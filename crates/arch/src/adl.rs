@@ -1,0 +1,232 @@
+//! A minimal architecture description language (ADL) for the CGRA —
+//! the paper's "detailed architecture description of the target
+//! architecture" input, as a parseable text file.
+//!
+//! ```text
+//! cgra 16 16
+//! clusters 4 4
+//! rf 8 reads 4 writes 4
+//! intercluster 6
+//! mem left_column
+//! ```
+//!
+//! Every directive is optional except `cgra`; omitted ones default to the
+//! paper's 16×16 settings. `mem` is `left_column` (one memory column per
+//! cluster) or `all`.
+
+use crate::CgraConfig;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced by [`CgraConfig::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArchError {
+    /// A line did not match any directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The mandatory `cgra <rows> <cols>` directive is missing.
+    MissingCgra,
+    /// The assembled description failed validation.
+    Invalid(crate::ArchError),
+}
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArchError::BadLine { line } => {
+                write!(f, "unparseable architecture directive at line {line}")
+            }
+            ParseArchError::MissingCgra => write!(f, "missing `cgra <rows> <cols>` directive"),
+            ParseArchError::Invalid(e) => write!(f, "invalid architecture: {e}"),
+        }
+    }
+}
+
+impl Error for ParseArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseArchError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl CgraConfig {
+    /// Serialises the description in ADL form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cgra {} {}", self.rows, self.cols);
+        let _ = writeln!(out, "clusters {} {}", self.cluster_rows, self.cluster_cols);
+        let _ = writeln!(
+            out,
+            "rf {} reads {} writes {}",
+            self.rf_size, self.rf_read_ports, self.rf_write_ports
+        );
+        let _ = writeln!(out, "intercluster {}", self.inter_cluster_links);
+        let _ = writeln!(
+            out,
+            "mem {}",
+            if self.mem_left_column_only {
+                "left_column"
+            } else {
+                "all"
+            }
+        );
+        if self.mul_every_n_columns == 1 {
+            let _ = writeln!(out, "mul all");
+        } else {
+            let _ = writeln!(out, "mul columns {}", self.mul_every_n_columns);
+        }
+        out
+    }
+
+    /// Parses an ADL description.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseArchError`].
+    pub fn from_text(text: &str) -> Result<CgraConfig, ParseArchError> {
+        let mut config = CgraConfig::paper_16x16();
+        let mut saw_cgra = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse2 = |a: Option<&str>, b: Option<&str>| -> Option<(usize, usize)> {
+                Some((a?.parse().ok()?, b?.parse().ok()?))
+            };
+            match parts.next() {
+                Some("cgra") => {
+                    let (r, c) = parse2(parts.next(), parts.next())
+                        .ok_or(ParseArchError::BadLine { line: line_no })?;
+                    config.rows = r;
+                    config.cols = c;
+                    saw_cgra = true;
+                }
+                Some("clusters") => {
+                    let (r, c) = parse2(parts.next(), parts.next())
+                        .ok_or(ParseArchError::BadLine { line: line_no })?;
+                    config.cluster_rows = r;
+                    config.cluster_cols = c;
+                }
+                Some("rf") => {
+                    // rf <size> [reads <n>] [writes <n>]
+                    config.rf_size = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(ParseArchError::BadLine { line: line_no })?;
+                    while let Some(word) = parts.next() {
+                        let n: usize = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or(ParseArchError::BadLine { line: line_no })?;
+                        match word {
+                            "reads" => config.rf_read_ports = n,
+                            "writes" => config.rf_write_ports = n,
+                            _ => return Err(ParseArchError::BadLine { line: line_no }),
+                        }
+                    }
+                }
+                Some("intercluster") => {
+                    config.inter_cluster_links = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(ParseArchError::BadLine { line: line_no })?;
+                }
+                Some("mem") => match parts.next() {
+                    Some("left_column") => config.mem_left_column_only = true,
+                    Some("all") => config.mem_left_column_only = false,
+                    _ => return Err(ParseArchError::BadLine { line: line_no }),
+                },
+                Some("mul") => match parts.next() {
+                    Some("all") => config.mul_every_n_columns = 1,
+                    Some("columns") => {
+                        config.mul_every_n_columns = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or(ParseArchError::BadLine { line: line_no })?;
+                    }
+                    _ => return Err(ParseArchError::BadLine { line: line_no }),
+                },
+                _ => return Err(ParseArchError::BadLine { line: line_no }),
+            }
+        }
+        if !saw_cgra {
+            return Err(ParseArchError::MissingCgra);
+        }
+        config.validate().map_err(ParseArchError::Invalid)?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_presets() {
+        for cfg in [
+            CgraConfig::paper_16x16(),
+            CgraConfig::paper_9x9(),
+            CgraConfig::scaled_8x8(),
+            CgraConfig::linear_6x1(),
+        ] {
+            let text = cfg.to_text();
+            let back = CgraConfig::from_text(&text).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written() {
+        let cfg = CgraConfig::from_text(
+            "
+            # my accelerator
+            cgra 8 8
+            clusters 2 2
+            rf 4 reads 2 writes 2
+            intercluster 3
+            mem all
+        ",
+        )
+        .unwrap();
+        assert_eq!(cfg.rows, 8);
+        assert_eq!(cfg.rf_size, 4);
+        assert_eq!(cfg.rf_write_ports, 2);
+        assert_eq!(cfg.inter_cluster_links, 3);
+        assert!(!cfg.mem_left_column_only);
+    }
+
+    #[test]
+    fn defaults_fill_omitted_directives() {
+        let cfg = CgraConfig::from_text("cgra 16 16").unwrap();
+        assert_eq!(cfg, CgraConfig::paper_16x16());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(
+            CgraConfig::from_text("clusters 2 2"),
+            Err(ParseArchError::MissingCgra)
+        );
+        assert!(matches!(
+            CgraConfig::from_text("cgra x y"),
+            Err(ParseArchError::BadLine { line: 1 })
+        ));
+        assert!(matches!(
+            CgraConfig::from_text("cgra 8 8\nmem sometimes"),
+            Err(ParseArchError::BadLine { line: 2 })
+        ));
+        // 3 cluster rows cannot tile 8 rows
+        assert!(matches!(
+            CgraConfig::from_text("cgra 8 8\nclusters 3 2"),
+            Err(ParseArchError::Invalid(_))
+        ));
+    }
+}

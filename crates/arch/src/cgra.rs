@@ -1,0 +1,413 @@
+//! The concrete CGRA: PEs, clusters, and physical links.
+
+use crate::{ArchError, CgraConfig, Mrrg};
+use std::fmt;
+
+/// Index of one processing element; dense `0..num_pes`, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeId(pub(crate) u32);
+
+impl PeId {
+    /// Dense index of the PE.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PeId` from a dense index; meaningful only for indices
+    /// obtained from the same [`Cgra`].
+    pub fn from_index(index: usize) -> Self {
+        PeId(index as u32)
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// Index of one CGRA cluster; dense `0..num_clusters`, row-major over the
+/// cluster grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub(crate) u32);
+
+impl ClusterId {
+    /// Dense index of the cluster.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cl{}", self.0)
+    }
+}
+
+/// A directed physical connection between two PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source PE.
+    pub src: PeId,
+    /// Destination PE.
+    pub dst: PeId,
+    /// `true` when the link crosses a cluster boundary (these links are the
+    /// scarce resource the cluster mapping minimises traffic over).
+    pub inter_cluster: bool,
+}
+
+/// A validated CGRA instance with precomputed cluster and link structure.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_arch::{Cgra, CgraConfig};
+///
+/// let cgra = Cgra::new(CgraConfig::scaled_8x8())?;
+/// let pe = cgra.pe_at(0, 0);
+/// assert!(cgra.is_mem_pe(pe)); // left column of its cluster
+/// # Ok::<(), panorama_arch::ArchError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cgra {
+    config: CgraConfig,
+    links: Vec<Link>,
+    /// Per-PE outgoing link indices into `links`.
+    out_links: Vec<Vec<u32>>,
+}
+
+impl Cgra {
+    /// Builds a CGRA from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CgraConfig::validate`] failures.
+    pub fn new(config: CgraConfig) -> Result<Self, ArchError> {
+        config.validate()?;
+        let mut cgra = Cgra {
+            links: Vec::new(),
+            out_links: vec![Vec::new(); config.rows * config.cols],
+            config,
+        };
+        cgra.build_links();
+        Ok(cgra)
+    }
+
+    fn add_link(&mut self, src: PeId, dst: PeId, inter_cluster: bool) {
+        let idx = self.links.len() as u32;
+        self.links.push(Link {
+            src,
+            dst,
+            inter_cluster,
+        });
+        self.out_links[src.index()].push(idx);
+    }
+
+    fn build_links(&mut self) {
+        let (rows, cols) = (self.config.rows, self.config.cols);
+        // Intra-cluster nearest-neighbour mesh: both directions for every
+        // adjacent pair inside the same cluster.
+        for r in 0..rows {
+            for c in 0..cols {
+                let p = self.pe_at(r, c);
+                for (dr, dc) in [(0i64, 1i64), (1, 0), (0, -1), (-1, 0)] {
+                    let (nr, nc) = (r as i64 + dr, c as i64 + dc);
+                    if nr < 0 || nc < 0 || nr >= rows as i64 || nc >= cols as i64 {
+                        continue;
+                    }
+                    let q = self.pe_at(nr as usize, nc as usize);
+                    if self.cluster_of(p) == self.cluster_of(q) {
+                        self.add_link(p, q, false);
+                    }
+                }
+            }
+        }
+        // Inter-cluster links: for each neighbouring cluster pair and each
+        // direction, `inter_cluster_links` links distributed round-robin
+        // over the facing boundary PE pairs (6 links over a 4-wide boundary
+        // means two positions carry a second parallel link).
+        let budget = self.config.inter_cluster_links;
+        let (ch, cw) = (self.config.cluster_height(), self.config.cluster_width());
+        let (cr, cc) = (self.config.cluster_rows, self.config.cluster_cols);
+        // horizontal boundaries (cluster (i,j) → (i,j+1)) and back
+        for ci in 0..cr {
+            for cj in 0..cc.saturating_sub(1) {
+                for l in 0..budget {
+                    let row_in_cluster = l % ch;
+                    let r = ci * ch + row_in_cluster;
+                    let left = self.pe_at(r, cj * cw + cw - 1);
+                    let right = self.pe_at(r, (cj + 1) * cw);
+                    self.add_link(left, right, true);
+                    self.add_link(right, left, true);
+                }
+            }
+        }
+        // vertical boundaries (cluster (i,j) → (i+1,j)) and back
+        for ci in 0..cr.saturating_sub(1) {
+            for cj in 0..cc {
+                for l in 0..budget {
+                    let col_in_cluster = l % cw;
+                    let c = cj * cw + col_in_cluster;
+                    let top = self.pe_at(ci * ch + ch - 1, c);
+                    let bottom = self.pe_at((ci + 1) * ch, c);
+                    self.add_link(top, bottom, true);
+                    self.add_link(bottom, top, true);
+                }
+            }
+        }
+    }
+
+    /// The architecture description.
+    pub fn config(&self) -> &CgraConfig {
+        &self.config
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.config.rows * self.config.cols
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.config.cluster_rows * self.config.cluster_cols
+    }
+
+    /// `(R, C)` cluster grid dimensions.
+    pub fn cluster_grid(&self) -> (usize, usize) {
+        (self.config.cluster_rows, self.config.cluster_cols)
+    }
+
+    /// The PE at grid position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is outside the grid.
+    pub fn pe_at(&self, row: usize, col: usize) -> PeId {
+        assert!(
+            row < self.config.rows && col < self.config.cols,
+            "PE position out of grid"
+        );
+        PeId((row * self.config.cols + col) as u32)
+    }
+
+    /// `(row, col)` grid position of `pe`.
+    pub fn pe_position(&self, pe: PeId) -> (usize, usize) {
+        (pe.index() / self.config.cols, pe.index() % self.config.cols)
+    }
+
+    /// Iterates over all PEs.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> {
+        (0..self.num_pes() as u32).map(PeId)
+    }
+
+    /// The cluster containing `pe`.
+    pub fn cluster_of(&self, pe: PeId) -> ClusterId {
+        let (r, c) = self.pe_position(pe);
+        let cr = r / self.config.cluster_height();
+        let cc = c / self.config.cluster_width();
+        ClusterId((cr * self.config.cluster_cols + cc) as u32)
+    }
+
+    /// `(row, col)` of `cluster` in the cluster grid.
+    pub fn cluster_position(&self, cluster: ClusterId) -> (usize, usize) {
+        (
+            cluster.index() / self.config.cluster_cols,
+            cluster.index() % self.config.cluster_cols,
+        )
+    }
+
+    /// The cluster at cluster-grid position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position is outside the cluster grid.
+    pub fn cluster_at(&self, row: usize, col: usize) -> ClusterId {
+        assert!(
+            row < self.config.cluster_rows && col < self.config.cluster_cols,
+            "cluster position out of grid"
+        );
+        ClusterId((row * self.config.cluster_cols + col) as u32)
+    }
+
+    /// PEs belonging to `cluster`.
+    pub fn cluster_pes(&self, cluster: ClusterId) -> Vec<PeId> {
+        self.pes()
+            .filter(|&p| self.cluster_of(p) == cluster)
+            .collect()
+    }
+
+    /// Whether `pe` may execute memory operations.
+    pub fn is_mem_pe(&self, pe: PeId) -> bool {
+        if !self.config.mem_left_column_only {
+            return true;
+        }
+        let (_, c) = self.pe_position(pe);
+        c % self.config.cluster_width() == 0
+    }
+
+    /// Number of memory-capable PEs.
+    pub fn num_mem_pes(&self) -> usize {
+        self.pes().filter(|&p| self.is_mem_pe(p)).count()
+    }
+
+    /// Whether `pe` carries a multiplier (REVAMP-style heterogeneity:
+    /// every `mul_every_n_columns`-th column; stride 1 = homogeneous).
+    pub fn has_multiplier(&self, pe: PeId) -> bool {
+        let (_, c) = self.pe_position(pe);
+        c % self.config.mul_every_n_columns == 0
+    }
+
+    /// Number of multiplier-capable PEs.
+    pub fn num_mul_pes(&self) -> usize {
+        self.pes().filter(|&p| self.has_multiplier(p)).count()
+    }
+
+    /// All directed physical links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Directed links leaving `pe`.
+    pub fn links_from(&self, pe: PeId) -> impl Iterator<Item = &Link> {
+        self.out_links[pe.index()].iter().map(|&i| &self.links[i as usize])
+    }
+
+    /// Manhattan distance between two PEs.
+    pub fn manhattan(&self, a: PeId, b: PeId) -> usize {
+        let (ar, ac) = self.pe_position(a);
+        let (br, bc) = self.pe_position(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// Manhattan distance between two clusters in the cluster grid.
+    pub fn cluster_manhattan(&self, a: ClusterId, b: ClusterId) -> usize {
+        let (ar, ac) = self.cluster_position(a);
+        let (br, bc) = self.cluster_position(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// Builds the modulo routing resource graph for initiation interval
+    /// `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ii == 0`.
+    pub fn mrrg(&self, ii: usize) -> Mrrg {
+        Mrrg::build(self, ii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cgra_16() -> Cgra {
+        Cgra::new(CgraConfig::paper_16x16()).unwrap()
+    }
+
+    #[test]
+    fn pe_indexing_roundtrip() {
+        let g = cgra_16();
+        for r in [0, 7, 15] {
+            for c in [0, 8, 15] {
+                let pe = g.pe_at(r, c);
+                assert_eq!(g.pe_position(pe), (r, c));
+            }
+        }
+        assert_eq!(g.num_pes(), 256);
+    }
+
+    #[test]
+    fn cluster_assignment() {
+        let g = cgra_16();
+        assert_eq!(g.num_clusters(), 16);
+        let pe = g.pe_at(5, 9); // cluster row 1, col 2
+        assert_eq!(g.cluster_of(pe), g.cluster_at(1, 2));
+        assert_eq!(g.cluster_pes(g.cluster_at(0, 0)).len(), 16);
+    }
+
+    #[test]
+    fn memory_pes_are_left_columns() {
+        let g = cgra_16();
+        assert!(g.is_mem_pe(g.pe_at(3, 0)));
+        assert!(g.is_mem_pe(g.pe_at(3, 4)));
+        assert!(g.is_mem_pe(g.pe_at(3, 8)));
+        assert!(!g.is_mem_pe(g.pe_at(3, 5)));
+        // 4 mem columns × 16 rows
+        assert_eq!(g.num_mem_pes(), 64);
+    }
+
+    #[test]
+    fn intra_cluster_mesh_complete() {
+        let g = cgra_16();
+        // interior PE of a cluster: 4 intra-cluster neighbours
+        let pe = g.pe_at(1, 1);
+        let intra = g.links_from(pe).filter(|l| !l.inter_cluster).count();
+        assert_eq!(intra, 4);
+        // corner PE of the array: 2
+        let pe = g.pe_at(0, 0);
+        assert_eq!(g.links_from(pe).filter(|l| !l.inter_cluster).count(), 2);
+    }
+
+    #[test]
+    fn no_nn_links_across_cluster_boundaries() {
+        let g = cgra_16();
+        // PE (0,3) is the right edge of cluster (0,0); its east neighbour
+        // (0,4) is another cluster: only inter-cluster links may connect.
+        let pe = g.pe_at(0, 3);
+        for l in g.links_from(pe) {
+            if g.cluster_of(l.dst) != g.cluster_of(pe) {
+                assert!(l.inter_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn inter_cluster_budget_respected() {
+        let g = cgra_16();
+        // links from cluster (0,0) to (0,1): exactly 6
+        let a = g.cluster_at(0, 0);
+        let b = g.cluster_at(0, 1);
+        let count = g
+            .links()
+            .iter()
+            .filter(|l| l.inter_cluster && g.cluster_of(l.src) == a && g.cluster_of(l.dst) == b)
+            .count();
+        assert_eq!(count, 6);
+        // and symmetric
+        let back = g
+            .links()
+            .iter()
+            .filter(|l| l.inter_cluster && g.cluster_of(l.src) == b && g.cluster_of(l.dst) == a)
+            .count();
+        assert_eq!(back, 6);
+    }
+
+    #[test]
+    fn linear_cgra_is_a_chain() {
+        let g = Cgra::new(CgraConfig::linear_6x1()).unwrap();
+        assert_eq!(g.num_pes(), 6);
+        assert_eq!(g.num_clusters(), 2);
+        // middle PEs connect left+right (one may be inter-cluster)
+        let pe = g.pe_at(0, 1);
+        assert_eq!(g.links_from(pe).count(), 2);
+        // every PE is memory-capable in this preset
+        assert!(g.pes().all(|p| g.is_mem_pe(p)));
+    }
+
+    #[test]
+    fn manhattan_distances() {
+        let g = cgra_16();
+        assert_eq!(g.manhattan(g.pe_at(0, 0), g.pe_at(3, 4)), 7);
+        assert_eq!(
+            g.cluster_manhattan(g.cluster_at(0, 0), g.cluster_at(3, 3)),
+            6
+        );
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(PeId(3).to_string(), "pe3");
+        assert_eq!(ClusterId(2).to_string(), "cl2");
+    }
+}

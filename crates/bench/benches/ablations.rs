@@ -1,0 +1,8 @@
+//! Design-choice ablations (DESIGN.md §6).
+
+fn main() {
+    println!("{}", panorama_bench::ablations::fixed_k());
+    println!("{}", panorama_bench::ablations::top_partitions());
+    println!("{}", panorama_bench::ablations::restriction());
+    println!("{}", panorama_bench::ablations::laplacian());
+}

@@ -1,0 +1,5 @@
+//! `cargo bench -p panorama-bench --bench fig5` regenerates this artifact.
+
+fn main() {
+    println!("{}", panorama_bench::fig5());
+}

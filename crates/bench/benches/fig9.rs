@@ -1,0 +1,5 @@
+//! `cargo bench -p panorama-bench --bench fig9` regenerates this artifact.
+
+fn main() {
+    println!("{}", panorama_bench::fig9());
+}

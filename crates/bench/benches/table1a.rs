@@ -1,0 +1,5 @@
+//! `cargo bench -p panorama-bench --bench table1a` regenerates this artifact.
+
+fn main() {
+    println!("{}", panorama_bench::table1a());
+}

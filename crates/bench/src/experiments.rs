@@ -1,0 +1,359 @@
+//! The table/figure generators (paper §4).
+
+use crate::{geomean, profile, Table};
+use panorama::{CompileReport, Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_cluster::{explore_partitions, top_balanced, SpectralConfig};
+use panorama_dfg::{kernels, Dfg, KernelId};
+use panorama_mapper::{
+    min_ii, LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper,
+};
+use panorama_power::PowerModel;
+use std::time::Duration;
+
+fn secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+fn spr_mapper(budget: Duration) -> SprMapper {
+    SprMapper::new(SprConfig {
+        time_budget: Some(budget),
+        ..SprConfig::default()
+    })
+}
+
+/// Compiles with and without PANORAMA guidance; `Err` cells become `fail`.
+fn run_pair<M: LowerLevelMapper>(
+    compiler: &Panorama,
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapper: &M,
+) -> (
+    Result<CompileReport, panorama::PanoramaError>,
+    Result<CompileReport, panorama::PanoramaError>,
+) {
+    let base = compiler.compile_baseline(dfg, cgra, mapper);
+    let pan = compiler.compile(dfg, cgra, mapper);
+    (base, pan)
+}
+
+/// **Table 1a** — DFG characteristics, clustering results, cluster-mapping
+/// histogram and higher-level compile time, with the paper's published
+/// numbers alongside.
+pub fn table1a() -> String {
+    let p = profile();
+    let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mut t = Table::new(
+        format!("Table 1a — DFG clustering & cluster mapping [{}]", p.name),
+        &[
+            "kernel", "nodes", "edges", "maxdeg", "(paper n/e/d)", "K", "Inter-E", "Intra-E",
+            "STD", "histogram", "t_clus", "t_map",
+        ],
+    );
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, p.scale);
+        let s = dfg.stats();
+        let (pn, pe, pd) = id.paper_stats();
+        match compiler.plan(&dfg, &cgra) {
+            Ok(plan) => {
+                let part = plan.partition();
+                let hist: Vec<String> = plan
+                    .cluster_map()
+                    .histogram()
+                    .iter()
+                    .map(|row| {
+                        format!(
+                            "[{}]",
+                            row.iter()
+                                .map(|c| c.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        )
+                    })
+                    .collect();
+                t.row(&[
+                    id.to_string(),
+                    s.nodes.to_string(),
+                    s.edges.to_string(),
+                    s.max_degree.to_string(),
+                    format!("({pn}/{pe}/{pd})"),
+                    part.k().to_string(),
+                    part.inter_edges(&dfg).to_string(),
+                    part.intra_edges(&dfg).to_string(),
+                    format!("{:.1}", part.size_std_dev()),
+                    hist.join(","),
+                    secs(plan.clustering_time()),
+                    secs(plan.cluster_mapping_time()),
+                ]);
+            }
+            Err(e) => t.row(&[id.to_string(), format!("plan failed: {e}")]),
+        }
+    }
+    t.render()
+}
+
+/// **Table 1b** — scalability of prior architecture-adaptive compilers
+/// (literature rows) plus our measured SPR\* row (30-node DFG, 4×4 CGRA,
+/// like the paper's comparison point).
+pub fn table1b() -> String {
+    let mut t = Table::new(
+        "Table 1b — architecture-adaptive compiler scalability",
+        &["compiler", "DFG nodes", "CGRA", "compile time"],
+    );
+    for (name, nodes, size, time) in [
+        ("CGRA-ME [7]", "12", "4x4", "NA"),
+        ("SPKM [11]", "16", "4x4", "~1s"),
+        ("G-Minor [5]", "35", "4x4, 16x16", "0.2s, 7s"),
+        ("EPIMAP [8]", "35", "4x4, 16x16", "54s, 23min"),
+        ("DRESC [6]", "56", "4x4", "~15min"),
+        ("EMS [9]", "4~142", "4x4", "~37min"),
+        ("SPR [2]", "263", "16x16", "NA"),
+    ] {
+        t.row(&[
+            name.to_string(),
+            nodes.to_string(),
+            size.to_string(),
+            time.to_string(),
+        ]);
+    }
+    // our measured rows: SPR* on a ~30-node DFG, and the exact ILP mapper
+    // on growing DFGs to expose the exhaustive-formulation scalability wall
+    let cgra = Cgra::new(CgraConfig::small_4x4()).expect("4x4 is valid");
+    let dfg = panorama_dfg::random_dfg(&panorama_dfg::RandomDfgConfig {
+        seed: 30,
+        layers: 5,
+        width: 6,
+        extra_fanin: 1,
+        back_edges: 1,
+    });
+    let mapper = spr_mapper(Duration::from_secs(120));
+    match mapper.map(&dfg, &cgra, None) {
+        Ok(m) => t.row(&[
+            "SPR* (ours, measured)".to_string(),
+            dfg.num_ops().to_string(),
+            "4x4".to_string(),
+            format!("{} (II {})", secs(m.stats().compile_time), m.ii()),
+        ]),
+        Err(e) => t.row(&[
+            "SPR* (ours, measured)".to_string(),
+            dfg.num_ops().to_string(),
+            "4x4".to_string(),
+            format!("failed: {e}"),
+        ]),
+    }
+    let exact = panorama_mapper::ExactMapper::default();
+    for width in [2usize, 4, 6] {
+        let dfg = panorama_dfg::random_dfg(&panorama_dfg::RandomDfgConfig {
+            seed: 12,
+            layers: 4,
+            width,
+            extra_fanin: 1,
+            back_edges: 1,
+        });
+        let cell = match exact.map(&dfg, &cgra, None) {
+            Ok(m) => format!("{} (II {})", secs(m.stats().compile_time), m.ii()),
+            Err(e) => format!("failed: {e}"),
+        };
+        t.row(&[
+            "exhaustive (ours, measured)".to_string(),
+            dfg.num_ops().to_string(),
+            "4x4".to_string(),
+            cell,
+        ]);
+    }
+    t.render()
+}
+
+/// **Figure 5** — imbalance factor vs number of clusters for four kernels.
+pub fn fig5() -> String {
+    let p = profile();
+    let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
+    let (rows, _) = cgra.cluster_grid();
+    let mut t = Table::new(
+        format!("Figure 5 — imbalance factor (%) vs cluster count [{}]", p.name),
+        &["kernel", "k", "IF (%)"],
+    );
+    for id in [
+        KernelId::Edn,
+        KernelId::IdctCols,
+        KernelId::Conv2d,
+        KernelId::Fir,
+    ] {
+        let dfg = kernels::generate(id, p.scale);
+        let r = rows.max(2);
+        let m = (dfg.num_ops() / 8).clamp(r, 32);
+        let parts = explore_partitions(&dfg, r, m, &SpectralConfig::default())
+            .expect("kernels cluster cleanly");
+        for part in &parts {
+            t.row(&[
+                id.to_string(),
+                part.k().to_string(),
+                format!("{:.1}", part.imbalance_factor() * 100.0),
+            ]);
+        }
+        // the paper reports IF < 20% achievable for every kernel
+        let best = top_balanced(&parts, 1)[0];
+        t.row(&[
+            id.to_string(),
+            format!("best={}", best.k()),
+            format!("{:.1}", best.imbalance_factor() * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+fn qom_time_figure<M: LowerLevelMapper>(
+    title: &str,
+    mapper: &M,
+    paper_claim: &str,
+) -> String {
+    let p = profile();
+    let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mut t = Table::new(
+        format!("{title} [{}]", p.name),
+        &[
+            "kernel", "MII", "base II", "base QoM", "base time", "Pan II", "Pan QoM", "Pan time",
+        ],
+    );
+    let mut qom_ratio = Vec::new();
+    let mut speedups = Vec::new();
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, p.scale);
+        let mii = min_ii(&dfg, &cgra).mii();
+        let (base, pan) = run_pair(&compiler, &dfg, &cgra, mapper);
+        let cells = |r: &Result<CompileReport, panorama::PanoramaError>| match r {
+            Ok(rep) => (
+                rep.mapping().ii().to_string(),
+                format!("{:.2}", rep.mapping().qom()),
+                secs(rep.total_time()),
+            ),
+            Err(_) => ("fail".into(), "0.00".into(), "-".into()),
+        };
+        let (bi, bq, bt) = cells(&base);
+        let (pi, pq, pt) = cells(&pan);
+        if let (Ok(b), Ok(pn)) = (&base, &pan) {
+            qom_ratio.push(pn.mapping().qom() / b.mapping().qom());
+            speedups.push(b.total_time().as_secs_f64() / pn.total_time().as_secs_f64());
+        }
+        t.row(&[
+            id.to_string(),
+            mii.to_string(),
+            bi,
+            bq,
+            bt,
+            pi,
+            pq,
+            pt,
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "summary: geomean QoM ratio (Pan/base) {:.2}x, geomean compile speedup {:.2}x (both over kernels where both mapped)\n",
+        geomean(&qom_ratio),
+        geomean(&speedups)
+    ));
+    out.push_str(paper_claim);
+    out.push('\n');
+    out
+}
+
+/// **Figure 7** — QoM and compile time, SPR\* vs Pan-SPR\*, all kernels.
+pub fn fig7() -> String {
+    let budget = profile().spr_budget;
+    qom_time_figure(
+        "Figure 7 — SPR* vs Pan-SPR* (QoM = MII/II, compile time)",
+        &spr_mapper(budget),
+        "paper: Pan-SPR* ~22% better QoM, 8.7x faster; MII reached on all kernels except mmul",
+    )
+}
+
+/// **Figure 9** — QoM and compile time, Ultra-Fast vs Pan-Ultra-Fast.
+pub fn fig9() -> String {
+    qom_time_figure(
+        "Figure 9 — Ultra-Fast vs Pan-Ultra-Fast (QoM, compile time)",
+        &UltraFastMapper::default(),
+        "paper: Pan-Ultra-Fast 2.6x better QoM, 4.8x faster compile",
+    )
+}
+
+/// **Figure 8** — power efficiency (MOPS/mW) of a small vs the main CGRA
+/// under SPR\* and Pan-SPR\*, normalised to SPR\* on the small CGRA.
+pub fn fig8() -> String {
+    let p = profile();
+    let big = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
+    let small = Cgra::new(p.small_cgra.clone()).expect("small CGRA is valid");
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let model = PowerModel::forty_nm();
+    let mapper = spr_mapper(p.spr_budget);
+    // a representative subset keeps the 4-way sweep tractable
+    let kernel_set = [
+        KernelId::Cordic,
+        KernelId::Edn,
+        KernelId::IdctCols,
+        KernelId::JpegFdct,
+        KernelId::KMeansClustering,
+        KernelId::Fir,
+    ];
+    let mut t = Table::new(
+        format!(
+            "Figure 8 — power efficiency normalised to SPR* on {}x{} [{}]",
+            p.small_cgra.rows, p.small_cgra.cols, p.name
+        ),
+        &[
+            "kernel",
+            "SPR* small",
+            "Pan small",
+            "SPR* big",
+            "Pan big",
+        ],
+    );
+    let eff = |rep: &CompileReport, cgra: &Cgra, dfg: &Dfg| -> f64 {
+        let hops = rep
+            .mapping()
+            .route_stats(dfg, cgra)
+            .map(|s| s.link_hops)
+            .unwrap_or(dfg.num_deps());
+        model
+            .evaluate(cgra, dfg.num_ops(), hops, rep.mapping().ii())
+            .efficiency()
+    };
+    let mut ratios = Vec::new();
+    for id in kernel_set {
+        let dfg = kernels::generate(id, p.scale);
+        let results = [
+            compiler.compile_baseline(&dfg, &small, &mapper),
+            compiler.compile(&dfg, &small, &mapper),
+            compiler.compile_baseline(&dfg, &big, &mapper),
+            compiler.compile(&dfg, &big, &mapper),
+        ];
+        let base = results[0]
+            .as_ref()
+            .ok()
+            .map(|r| eff(r, &small, &dfg));
+        let mut cells = vec![id.to_string()];
+        for (i, r) in results.iter().enumerate() {
+            let cgra = if i < 2 { &small } else { &big };
+            match (r, base) {
+                (Ok(rep), Some(b)) if b > 0.0 => {
+                    let e = eff(rep, cgra, &dfg) / b;
+                    if i == 3 {
+                        ratios.push(e);
+                    }
+                    cells.push(format!("{e:.2}"));
+                }
+                (Ok(_), _) => cells.push("1.00".into()),
+                (Err(_), _) => cells.push("fail".into()),
+            }
+        }
+        t.row(&cells);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "summary: geomean Pan-SPR*-on-big vs SPR*-on-small efficiency {:.2}x\n",
+        geomean(&ratios)
+    ));
+    out.push_str("paper: 16x16 is 68% more power-efficient than 9x9; Pan-SPR* adds 16% over SPR* on 16x16\n");
+    out
+}

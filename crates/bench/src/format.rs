@@ -1,0 +1,97 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A simple left-aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                let w = row.get(c).map_or(0, |s| s.len());
+                if w > widths[c] {
+                    widths[c] = w;
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let mut line = String::new();
+        for (h, w) in self.header.iter().zip(&widths) {
+            line.push_str(&format!("{h:<w$}  "));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for c in 0..cols {
+                let cell = row.get(c).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}  ", w = widths[c]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.row(&["xxxx".into(), "1".into()]);
+        t.row(&["y".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.starts_with("T\n"));
+        assert!(s.contains("a     long_header"));
+        assert!(s.contains("xxxx  1"));
+        assert!(s.contains("y     22"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§4).
+//!
+//! Each generator returns the rendered table as a `String`, so integration
+//! tests can assert on structure while the `cargo bench` targets print it.
+//! The **profile** controls scale:
+//!
+//! * default — the *scaled* profile: kernels at roughly a third of the
+//!   paper's node counts on an 8×8 CGRA (2×2 clusters of 4×4), so the full
+//!   suite regenerates in minutes on one core;
+//! * `PANORAMA_PAPER_SCALE=1` — the paper's setting: ~430-node kernels on
+//!   the 16×16 CGRA with 4×4 clusters (hours of compute, like the paper's
+//!   Xeon runs).
+//!
+//! Table/figure index (see DESIGN.md §4): [`table1a`], [`table1b`],
+//! [`fig5`], [`fig7`], [`fig8`], [`fig9`], plus the [`ablations`] module
+//! for the design-choice studies called out in DESIGN.md §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+mod experiments;
+mod format;
+
+pub use experiments::{fig5, fig7, fig8, fig9, table1a, table1b};
+pub use format::Table;
+
+use panorama_arch::CgraConfig;
+use panorama_dfg::KernelScale;
+use std::time::Duration;
+
+/// The evaluation profile: architecture sizes, kernel scale, per-mapping
+/// time budget.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Human-readable profile name, printed in every table header.
+    pub name: &'static str,
+    /// Main CGRA (Figures 7, 9; Tables 1a).
+    pub cgra: CgraConfig,
+    /// Smaller CGRA for the Figure 8 scaling comparison.
+    pub small_cgra: CgraConfig,
+    /// Kernel generation scale.
+    pub scale: KernelScale,
+    /// Wall-clock budget per SPR\* mapping attempt.
+    pub spr_budget: Duration,
+}
+
+/// Resolves the active profile from `PANORAMA_PAPER_SCALE`.
+pub fn profile() -> Profile {
+    if std::env::var_os("PANORAMA_PAPER_SCALE").is_some() {
+        Profile {
+            name: "paper (16x16 CGRA, ~430-node kernels)",
+            cgra: CgraConfig::paper_16x16(),
+            small_cgra: CgraConfig::paper_9x9(),
+            scale: KernelScale::Paper,
+            spr_budget: Duration::from_secs(1800),
+        }
+    } else {
+        Profile {
+            name: "scaled (8x8 CGRA, ~1/3-size kernels)",
+            cgra: CgraConfig::scaled_8x8(),
+            // the scaled kernels are sized to *fill* the 8x8 array (as the
+            // paper's unrolled kernels fill the 16x16); the small point of
+            // the scaling comparison is a 4x4 with 2x2 clusters
+            small_cgra: CgraConfig {
+                rows: 4,
+                cols: 4,
+                cluster_rows: 2,
+                cluster_cols: 2,
+                ..CgraConfig::paper_16x16()
+            },
+            scale: KernelScale::Scaled,
+            spr_budget: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Geometric mean of positive values; 0 when empty or any value is 0.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_scaled() {
+        // NB: assumes the test environment does not set PANORAMA_PAPER_SCALE
+        let p = profile();
+        assert_eq!(p.cgra.rows, 8);
+        assert_eq!(p.scale, KernelScale::Scaled);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The Cluster Dependency Graph (CDG): the contracted view of a
+//! partitioned DFG that the cluster-mapping ILPs operate on.
+
+use crate::Partition;
+use panorama_dfg::{Dfg, OpId};
+use std::fmt;
+
+/// Index of one CDG node (a DFG cluster); dense `0..k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CdgNodeId(pub(crate) u32);
+
+impl CdgNodeId {
+    /// Dense index of the cluster.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        CdgNodeId(index as u32)
+    }
+}
+
+impl fmt::Display for CdgNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// One (undirected) CDG edge: a pair of clusters plus the number of DFG
+/// edges running between them (Figure 3b's edge weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdgEdge {
+    /// First endpoint (always the smaller index).
+    pub a: CdgNodeId,
+    /// Second endpoint.
+    pub b: CdgNodeId,
+    /// Number of DFG dependencies between the two clusters (either
+    /// direction).
+    pub weight: u32,
+}
+
+/// The Cluster Dependency Graph of a partitioned DFG.
+///
+/// Edges are kept undirected because both scattering ILPs only consume
+/// adjacency and weights; DFG-level direction is reconstructed from the
+/// original graph when routing.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_cluster::{Cdg, Partition};
+/// use panorama_dfg::{DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new("t");
+/// let x = b.op(OpKind::Load, "x");
+/// let y = b.op(OpKind::Add, "y");
+/// b.data(x, y);
+/// let dfg = b.build()?;
+/// let cdg = Cdg::new(&dfg, &Partition::new(vec![0, 1], 2));
+/// assert_eq!(cdg.num_clusters(), 2);
+/// assert_eq!(cdg.edges().len(), 1);
+/// # Ok::<(), panorama_dfg::DfgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    sizes: Vec<usize>,
+    members: Vec<Vec<OpId>>,
+    edges: Vec<CdgEdge>,
+    /// Dense weight lookup, row-major `k × k`.
+    weights: Vec<u32>,
+    total_dfg_nodes: usize,
+}
+
+impl Cdg {
+    /// Contracts `dfg` under `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `partition` does not label exactly the DFG's nodes.
+    pub fn new(dfg: &Dfg, partition: &Partition) -> Self {
+        assert_eq!(
+            partition.labels().len(),
+            dfg.num_ops(),
+            "partition must label every DFG node"
+        );
+        let k = partition.k();
+        let mut sizes = vec![0usize; k];
+        let mut members = vec![Vec::new(); k];
+        for v in dfg.op_ids() {
+            let l = partition.label(v.index());
+            sizes[l] += 1;
+            members[l].push(v);
+        }
+        let mut weights = vec![0u32; k * k];
+        for e in dfg.deps() {
+            let (a, b) = (
+                partition.label(e.src.index()),
+                partition.label(e.dst.index()),
+            );
+            if a != b {
+                let (lo, hi) = (a.min(b), a.max(b));
+                weights[lo * k + hi] += 1;
+            }
+        }
+        let mut edges = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let w = weights[a * k + b];
+                if w > 0 {
+                    edges.push(CdgEdge {
+                        a: CdgNodeId(a as u32),
+                        b: CdgNodeId(b as u32),
+                        weight: w,
+                    });
+                }
+            }
+        }
+        Cdg {
+            sizes,
+            members,
+            edges,
+            weights,
+            total_dfg_nodes: dfg.num_ops(),
+        }
+    }
+
+    /// Number of clusters (CDG nodes).
+    pub fn num_clusters(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total DFG nodes across all clusters.
+    pub fn total_dfg_nodes(&self) -> usize {
+        self.total_dfg_nodes
+    }
+
+    /// Iterates over cluster ids.
+    pub fn cluster_ids(&self) -> impl DoubleEndedIterator<Item = CdgNodeId> + ExactSizeIterator {
+        (0..self.sizes.len() as u32).map(CdgNodeId)
+    }
+
+    /// Number of DFG nodes in `cluster` (the paper's `|vᵢ|`).
+    pub fn size(&self, cluster: CdgNodeId) -> usize {
+        self.sizes[cluster.index()]
+    }
+
+    /// DFG nodes belonging to `cluster`.
+    pub fn members(&self, cluster: CdgNodeId) -> &[OpId] {
+        &self.members[cluster.index()]
+    }
+
+    /// All weighted inter-cluster edges.
+    pub fn edges(&self) -> &[CdgEdge] {
+        &self.edges
+    }
+
+    /// Inter-cluster DFG edge count between `a` and `b` (either direction);
+    /// 0 when not adjacent or `a == b`.
+    pub fn weight(&self, a: CdgNodeId, b: CdgNodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
+        self.weights[lo * self.num_clusters() + hi]
+    }
+
+    /// Clusters adjacent to `cluster`, with weights.
+    pub fn neighbors(&self, cluster: CdgNodeId) -> Vec<(CdgNodeId, u32)> {
+        self.cluster_ids()
+            .filter(|&o| o != cluster)
+            .filter_map(|o| {
+                let w = self.weight(cluster, o);
+                (w > 0).then_some((o, w))
+            })
+            .collect()
+    }
+
+    /// Degree of `cluster` in the CDG (number of adjacent clusters).
+    pub fn degree(&self, cluster: CdgNodeId) -> usize {
+        self.neighbors(cluster).len()
+    }
+
+    /// Sum of all inter-cluster edge weights.
+    pub fn total_weight(&self) -> u32 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn triangle_dfg() -> Dfg {
+        // clusters: {0,1} {2,3} {4}; edges across: 1→2 (x2), 3→4, 0→4
+        let mut b = DfgBuilder::new("t");
+        let n: Vec<_> = (0..5).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        b.data(n[0], n[1]);
+        b.data(n[1], n[2]);
+        b.back(n[2], n[1], 1); // loop-carried edge still counts toward weight
+        b.data(n[2], n[3]);
+        b.data(n[3], n[4]);
+        b.data(n[0], n[4]);
+        b.build().unwrap()
+    }
+
+    fn partition() -> Partition {
+        Partition::new(vec![0, 0, 1, 1, 2], 3)
+    }
+
+    #[test]
+    fn contraction_counts_weights() {
+        let dfg = triangle_dfg();
+        let cdg = Cdg::new(&dfg, &partition());
+        assert_eq!(cdg.num_clusters(), 3);
+        assert_eq!(cdg.size(CdgNodeId(0)), 2);
+        assert_eq!(cdg.size(CdgNodeId(2)), 1);
+        // cluster0 ↔ cluster1: edges 1→2 and 2→1 → weight 2
+        assert_eq!(cdg.weight(CdgNodeId(0), CdgNodeId(1)), 2);
+        assert_eq!(cdg.weight(CdgNodeId(1), CdgNodeId(2)), 1);
+        assert_eq!(cdg.weight(CdgNodeId(0), CdgNodeId(2)), 1);
+        assert_eq!(cdg.total_weight(), 4);
+    }
+
+    #[test]
+    fn weight_is_symmetric_and_zero_on_diagonal() {
+        let dfg = triangle_dfg();
+        let cdg = Cdg::new(&dfg, &partition());
+        for a in cdg.cluster_ids() {
+            assert_eq!(cdg.weight(a, a), 0);
+            for b in cdg.cluster_ids() {
+                assert_eq!(cdg.weight(a, b), cdg.weight(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn members_partition_the_dfg() {
+        let dfg = triangle_dfg();
+        let cdg = Cdg::new(&dfg, &partition());
+        let total: usize = cdg.cluster_ids().map(|c| cdg.members(c).len()).sum();
+        assert_eq!(total, dfg.num_ops());
+        assert_eq!(cdg.total_dfg_nodes(), 5);
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let dfg = triangle_dfg();
+        let cdg = Cdg::new(&dfg, &partition());
+        assert_eq!(cdg.degree(CdgNodeId(0)), 2);
+        let nb = cdg.neighbors(CdgNodeId(2));
+        assert_eq!(nb.len(), 2);
+    }
+
+    #[test]
+    fn intra_only_partition_has_no_edges() {
+        let dfg = triangle_dfg();
+        let cdg = Cdg::new(&dfg, &Partition::new(vec![0; 5], 1));
+        assert!(cdg.edges().is_empty());
+        assert_eq!(cdg.total_weight(), 0);
+    }
+}

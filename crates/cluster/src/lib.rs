@@ -1,0 +1,45 @@
+//! DFG clustering for PANORAMA's higher-level mapping (paper §3.1).
+//!
+//! The divide step of the divide-and-conquer mapper:
+//!
+//! 1. [`SpectralClustering`] embeds the DFG with the `k` smallest
+//!    eigenvectors of its unnormalised Laplacian and groups nodes by
+//!    k-means — exactly the Scikit-Learn pipeline the paper uses, rebuilt
+//!    on [`panorama-linalg`];
+//! 2. [`Partition::imbalance_factor`] scores a clustering by the relative
+//!    spread of cluster sizes (Figure 5); [`explore_partitions`] sweeps
+//!    `k ∈ [R, m]` and [`top_balanced`] keeps the best three (Algorithm 1,
+//!    lines 1–5);
+//! 3. [`Cdg`] contracts a partition into the Cluster Dependency Graph whose
+//!    nodes are DFG clusters and whose edge weights count the DFG edges
+//!    between them (Figure 3b).
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_cluster::{explore_partitions, top_balanced, Cdg, SpectralConfig};
+//! use panorama_dfg::{kernels, KernelId, KernelScale};
+//!
+//! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+//! let parts = explore_partitions(&dfg, 2, 5, &SpectralConfig::default())?;
+//! let best = top_balanced(&parts, 3);
+//! let cdg = Cdg::new(&dfg, best[0]);
+//! assert_eq!(cdg.num_clusters(), best[0].k());
+//! # Ok::<(), panorama_cluster::ClusterError>(())
+//! ```
+//!
+//! [`panorama-linalg`]: https://docs.rs/panorama-linalg
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spectral;
+mod partition;
+mod cdg;
+
+pub use cdg::{Cdg, CdgEdge, CdgNodeId};
+pub use partition::Partition;
+pub use spectral::{
+    explore_partitions, top_balanced, ClusterError, SpectralClustering, SpectralConfig,
+    SpectralKind,
+};

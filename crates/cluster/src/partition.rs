@@ -1,0 +1,149 @@
+//! A clustering of DFG nodes and its quality metrics.
+
+use panorama_dfg::Dfg;
+
+/// An assignment of every DFG node to one of `k` clusters.
+///
+/// Produced by [`SpectralClustering::partition`](crate::SpectralClustering::partition);
+/// scored by [`imbalance_factor`](Partition::imbalance_factor) (the paper's
+/// IF metric, Figure 5) and summarised by the Table 1a columns
+/// ([`inter_edges`](Partition::inter_edges),
+/// [`intra_edges`](Partition::intra_edges),
+/// [`size_std_dev`](Partition::size_std_dev)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Partition {
+    /// Wraps raw labels; clusters must be numbered `0..k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a label is `>= k`.
+    pub fn new(labels: Vec<usize>, k: usize) -> Self {
+        assert!(
+            labels.iter().all(|&l| l < k),
+            "labels must lie in 0..k"
+        );
+        Partition { labels, k }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Cluster label of DFG node index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels, indexed by DFG node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of DFG nodes in each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// The paper's imbalance factor: `(max size − min size) / total nodes`.
+    /// Lower is more balanced; 0 means perfectly equal clusters.
+    pub fn imbalance_factor(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let sizes = self.cluster_sizes();
+        let max = *sizes.iter().max().expect("k >= 1") as f64;
+        let min = *sizes.iter().min().expect("k >= 1") as f64;
+        (max - min) / self.labels.len() as f64
+    }
+
+    /// Standard deviation of cluster sizes (Table 1a's STD column).
+    pub fn size_std_dev(&self) -> f64 {
+        let sizes = self.cluster_sizes();
+        let mean = sizes.iter().sum::<usize>() as f64 / self.k as f64;
+        let var = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean) * (s as f64 - mean))
+            .sum::<f64>()
+            / self.k as f64;
+        var.sqrt()
+    }
+
+    /// Number of DFG edges crossing cluster boundaries (Inter-E).
+    pub fn inter_edges(&self, dfg: &Dfg) -> usize {
+        dfg.deps()
+            .filter(|e| self.labels[e.src.index()] != self.labels[e.dst.index()])
+            .count()
+    }
+
+    /// Number of DFG edges inside clusters (Intra-E).
+    pub fn intra_edges(&self, dfg: &Dfg) -> usize {
+        dfg.num_deps() - self.inter_edges(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn two_island_dfg() -> Dfg {
+        let mut b = DfgBuilder::new("t");
+        // island 1: 0→1→2 ; island 2: 3→4
+        let n: Vec<_> = (0..5).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        b.data(n[0], n[1]);
+        b.data(n[1], n[2]);
+        b.data(n[3], n[4]);
+        b.data(n[2], n[3]); // one bridging edge
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sizes_and_if() {
+        let p = Partition::new(vec![0, 0, 0, 1, 1], 2);
+        assert_eq!(p.cluster_sizes(), vec![3, 2]);
+        assert!((p.imbalance_factor() - 0.2).abs() < 1e-12);
+        assert_eq!(p.k(), 2);
+    }
+
+    #[test]
+    fn perfectly_balanced_if_zero() {
+        let p = Partition::new(vec![0, 1, 0, 1], 2);
+        assert_eq!(p.imbalance_factor(), 0.0);
+        assert_eq!(p.size_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn inter_and_intra_edges() {
+        let dfg = two_island_dfg();
+        let p = Partition::new(vec![0, 0, 0, 1, 1], 2);
+        assert_eq!(p.inter_edges(&dfg), 1); // only 2→3 crosses
+        assert_eq!(p.intra_edges(&dfg), 3);
+    }
+
+    #[test]
+    fn std_dev_of_skewed_partition() {
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        // sizes 3,1: mean 2, var 1, std 1
+        assert!((p.size_std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..k")]
+    fn bad_labels_panic() {
+        let _ = Partition::new(vec![0, 2], 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! PANORAMA: divide-and-conquer mapping of complex loop kernels on CGRA.
+//!
+//! This crate is the top of the workspace — the paper's Algorithm 1:
+//!
+//! 1. **Divide**: spectral-cluster the DFG for every `k ∈ [R, m]`, keep
+//!    the top-3 most balanced partitions ([`panorama_cluster`]);
+//! 2. **Map clusters**: split & push each candidate CDG onto the `R × C`
+//!    CGRA cluster grid via the scattering ILPs, escalating ζ until
+//!    feasible, and keep the mapping with the least routing complexity
+//!    ([`panorama_place`]);
+//! 3. **Conquer**: hand the winning cluster assignment to a lower-level
+//!    mapper ([`panorama_mapper`]) as a placement restriction.
+//!
+//! [`Panorama::compile`] runs the whole pipeline; [`Panorama::plan`] stops
+//! after the higher-level mapping (useful for inspecting the divide step,
+//! and for the Table 1a harness).
+//!
+//! # Quick start
+//!
+//! ```
+//! use panorama::{Panorama, PanoramaConfig};
+//! use panorama_arch::{Cgra, CgraConfig};
+//! use panorama_dfg::{kernels, KernelId, KernelScale};
+//! use panorama_mapper::SprMapper;
+//!
+//! let cgra = Cgra::new(CgraConfig::scaled_8x8())?;
+//! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+//! let compiler = Panorama::new(PanoramaConfig::default());
+//! let report = compiler.compile(&dfg, &cgra, &SprMapper::default())?;
+//! assert!(report.mapping().qom() > 0.0);
+//! report.mapping().verify(&dfg, &cgra)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod report;
+
+pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};
+pub use report::{CompileReport, HigherLevelPlan};
+
+// Re-export the subsystem crates so downstream users need one dependency.
+pub use panorama_arch as arch;
+pub use panorama_cluster as cluster;
+pub use panorama_dfg as dfg;
+pub use panorama_graph as graph;
+pub use panorama_ilp as ilp;
+pub use panorama_linalg as linalg;
+pub use panorama_mapper as mapper;
+pub use panorama_place as place;
+pub use panorama_power as power;
+pub use panorama_sim as sim;

@@ -1,0 +1,270 @@
+//! The PANORAMA compilation pipeline (paper Algorithm 1).
+
+use crate::report::{CompileReport, HigherLevelPlan};
+use panorama_arch::Cgra;
+use panorama_cluster::{explore_partitions, top_balanced, Cdg, ClusterError, SpectralConfig};
+use panorama_dfg::Dfg;
+use panorama_mapper::{LowerLevelMapper, MapError, Restriction};
+use panorama_place::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Tunables of the higher-level mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanoramaConfig {
+    /// `m`: the largest DFG cluster count explored (Algorithm 1 input).
+    pub max_dfg_clusters: usize,
+    /// Balanced partitions carried into cluster mapping (the paper uses 3).
+    pub top_partitions: usize,
+    /// Spectral clustering settings.
+    pub spectral: SpectralConfig,
+    /// Scattering-ILP settings.
+    pub scatter: ScatterConfig,
+}
+
+impl Default for PanoramaConfig {
+    fn default() -> Self {
+        PanoramaConfig {
+            max_dfg_clusters: 32,
+            top_partitions: 3,
+            spectral: SpectralConfig::default(),
+            scatter: ScatterConfig::default(),
+        }
+    }
+}
+
+/// Error produced by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanoramaError {
+    /// DFG clustering failed.
+    Cluster(ClusterError),
+    /// Every candidate partition failed cluster mapping; carries the last
+    /// failure.
+    ClusterMapping(PlaceError),
+    /// The lower-level mapper exhausted its II budget.
+    Mapping(MapError),
+}
+
+impl fmt::Display for PanoramaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanoramaError::Cluster(e) => write!(f, "DFG clustering failed: {e}"),
+            PanoramaError::ClusterMapping(e) => {
+                write!(f, "cluster mapping failed for every partition: {e}")
+            }
+            PanoramaError::Mapping(e) => write!(f, "lower-level mapping failed: {e}"),
+        }
+    }
+}
+
+impl Error for PanoramaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PanoramaError::Cluster(e) => Some(e),
+            PanoramaError::ClusterMapping(e) => Some(e),
+            PanoramaError::Mapping(e) => Some(e),
+        }
+    }
+}
+
+impl From<ClusterError> for PanoramaError {
+    fn from(e: ClusterError) -> Self {
+        PanoramaError::Cluster(e)
+    }
+}
+
+impl From<MapError> for PanoramaError {
+    fn from(e: MapError) -> Self {
+        PanoramaError::Mapping(e)
+    }
+}
+
+/// The PANORAMA higher-level compiler.
+///
+/// See the [crate docs](crate) for the full pipeline description and an
+/// end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Panorama {
+    config: PanoramaConfig,
+}
+
+impl Panorama {
+    /// Creates a compiler with the given configuration.
+    pub fn new(config: PanoramaConfig) -> Self {
+        Panorama { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PanoramaConfig {
+        &self.config
+    }
+
+    /// Runs the higher-level mapping only (Algorithm 1 lines 1–9):
+    /// clustering exploration, top-`N` partition selection, cluster
+    /// mapping per candidate, and selection by least routing complexity.
+    ///
+    /// # Errors
+    ///
+    /// * [`PanoramaError::Cluster`] when spectral clustering fails;
+    /// * [`PanoramaError::ClusterMapping`] when no candidate partition
+    ///   admits a cluster mapping.
+    pub fn plan(&self, dfg: &Dfg, cgra: &Cgra) -> Result<HigherLevelPlan, PanoramaError> {
+        let (rows, cols) = cgra.cluster_grid();
+
+        let t0 = Instant::now();
+        // Cap the exploration so clusters keep a sensible minimum size —
+        // all-singleton partitions are perfectly "balanced" (IF = 0) but
+        // defeat the divide step. The paper's `m = 32` is twice its 16
+        // CGRA cells; scale the same way, and never below ~8 DFG nodes per
+        // cluster (Table 1a has ~15–40 per cluster at ~430 nodes).
+        let r = rows.max(2);
+        let m = (2 * rows * cols)
+            .min(dfg.num_ops() / 8)
+            .clamp(r, self.config.max_dfg_clusters.max(r));
+        let partitions = explore_partitions(dfg, r, m, &self.config.spectral)?;
+        let clustering_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let candidates = top_balanced(&partitions, self.config.top_partitions);
+        let mut best: Option<(usize, Cdg, ClusterMap)> = None;
+        let mut last_err: Option<PlaceError> = None;
+        for part in candidates {
+            let cdg = Cdg::new(dfg, part);
+            match map_clusters(&cdg, rows, cols, &self.config.scatter) {
+                Ok(map) => {
+                    let better = best
+                        .as_ref()
+                        .is_none_or(|(_, _, b)| map.routing_complexity() < b.routing_complexity());
+                    if better {
+                        let idx = partitions
+                            .iter()
+                            .position(|p| p == part)
+                            .expect("candidate comes from partitions");
+                        best = Some((idx, cdg, map));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let cluster_mapping_time = t1.elapsed();
+
+        let Some((idx, cdg, cluster_map)) = best else {
+            return Err(PanoramaError::ClusterMapping(
+                last_err.expect("no success implies at least one failure"),
+            ));
+        };
+        let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
+        Ok(HigherLevelPlan::new(
+            partitions[idx].clone(),
+            cdg,
+            cluster_map,
+            restriction,
+            clustering_time,
+            cluster_mapping_time,
+        ))
+    }
+
+    /// Runs the full pipeline: [`plan`](Panorama::plan), then the given
+    /// lower-level `mapper` guided by the resulting restriction
+    /// (Algorithm 1 line 10).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`plan`](Panorama::plan) returns, plus
+    /// [`PanoramaError::Mapping`] when the guided lower-level mapping
+    /// fails.
+    pub fn compile<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+    ) -> Result<CompileReport, PanoramaError> {
+        let plan = self.plan(dfg, cgra)?;
+        let t = Instant::now();
+        let mapping = mapper.map(dfg, cgra, Some(plan.restriction()))?;
+        let mapping_time = t.elapsed();
+        Ok(CompileReport::new(mapping, Some(plan), mapping_time))
+    }
+
+    /// Runs the *unguided* lower-level mapper, for baseline comparisons
+    /// (SPR\* / Ultra-Fast rows of Figures 7 and 9).
+    ///
+    /// # Errors
+    ///
+    /// [`PanoramaError::Mapping`] when the mapper fails.
+    pub fn compile_baseline<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+    ) -> Result<CompileReport, PanoramaError> {
+        let t = Instant::now();
+        let mapping = mapper.map(dfg, cgra, None)?;
+        let mapping_time = t.elapsed();
+        Ok(CompileReport::new(mapping, None, mapping_time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{kernels, KernelId, KernelScale};
+    use panorama_mapper::{SprMapper, UltraFastMapper};
+
+    fn cgra() -> Cgra {
+        Cgra::new(CgraConfig::scaled_8x8()).unwrap()
+    }
+
+    #[test]
+    fn plan_produces_consistent_artifacts() {
+        let dfg = kernels::generate(KernelId::Conv2d, KernelScale::Tiny);
+        let compiler = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            ..Default::default()
+        });
+        let plan = compiler.plan(&dfg, &cgra()).unwrap();
+        assert_eq!(plan.partition().labels().len(), dfg.num_ops());
+        assert_eq!(plan.cdg().num_clusters(), plan.partition().k());
+        assert_eq!(plan.cluster_map().grid(), (2, 2));
+        assert!(plan.clustering_time().as_nanos() > 0);
+    }
+
+    #[test]
+    fn compile_with_spr_verifies() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let compiler = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            ..Default::default()
+        });
+        let cgra = cgra();
+        let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+        report.mapping().verify(&dfg, &cgra).unwrap();
+        assert!(report.plan().is_some());
+    }
+
+    #[test]
+    fn compile_with_ultrafast_verifies() {
+        let dfg = kernels::generate(KernelId::Cordic, KernelScale::Tiny);
+        let compiler = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            ..Default::default()
+        });
+        let cgra = cgra();
+        let report = compiler
+            .compile(&dfg, &cgra, &UltraFastMapper::default())
+            .unwrap();
+        report.mapping().verify(&dfg, &cgra).unwrap();
+    }
+
+    #[test]
+    fn baseline_has_no_plan() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let compiler = Panorama::default();
+        let report = compiler
+            .compile_baseline(&dfg, &cgra(), &UltraFastMapper::default())
+            .unwrap();
+        assert!(report.plan().is_none());
+    }
+}

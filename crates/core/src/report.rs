@@ -1,0 +1,120 @@
+//! Pipeline result types: the higher-level plan and the compile report.
+
+use panorama_cluster::{Cdg, Partition};
+use panorama_mapper::{Mapping, Restriction};
+use panorama_place::ClusterMap;
+use std::time::Duration;
+
+/// The artifacts of the higher-level (divide) phase: the chosen partition,
+/// its CDG, the split & push cluster mapping, and the derived placement
+/// restriction.
+#[derive(Debug, Clone)]
+pub struct HigherLevelPlan {
+    partition: Partition,
+    cdg: Cdg,
+    cluster_map: ClusterMap,
+    restriction: Restriction,
+    clustering_time: Duration,
+    cluster_mapping_time: Duration,
+}
+
+impl HigherLevelPlan {
+    pub(crate) fn new(
+        partition: Partition,
+        cdg: Cdg,
+        cluster_map: ClusterMap,
+        restriction: Restriction,
+        clustering_time: Duration,
+        cluster_mapping_time: Duration,
+    ) -> Self {
+        HigherLevelPlan {
+            partition,
+            cdg,
+            cluster_map,
+            restriction,
+            clustering_time,
+            cluster_mapping_time,
+        }
+    }
+
+    /// The winning DFG partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The contracted cluster dependency graph.
+    pub fn cdg(&self) -> &Cdg {
+        &self.cdg
+    }
+
+    /// The CDG → CGRA-cluster assignment.
+    pub fn cluster_map(&self) -> &ClusterMap {
+        &self.cluster_map
+    }
+
+    /// The per-op placement restriction handed to the lower-level mapper.
+    pub fn restriction(&self) -> &Restriction {
+        &self.restriction
+    }
+
+    /// Wall-clock spent exploring spectral partitions (Table 1a's
+    /// "Clustering" column).
+    pub fn clustering_time(&self) -> Duration {
+        self.clustering_time
+    }
+
+    /// Wall-clock spent in the scattering ILPs (Table 1a's "Clus Map"
+    /// column).
+    pub fn cluster_mapping_time(&self) -> Duration {
+        self.cluster_mapping_time
+    }
+}
+
+/// The result of a full compilation: the mapping plus phase timings, and —
+/// for guided runs — the higher-level plan.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    mapping: Mapping,
+    plan: Option<HigherLevelPlan>,
+    mapping_time: Duration,
+}
+
+impl CompileReport {
+    pub(crate) fn new(
+        mapping: Mapping,
+        plan: Option<HigherLevelPlan>,
+        mapping_time: Duration,
+    ) -> Self {
+        CompileReport {
+            mapping,
+            plan,
+            mapping_time,
+        }
+    }
+
+    /// The final mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The higher-level plan (`None` for unguided baseline runs).
+    pub fn plan(&self) -> Option<&HigherLevelPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Wall-clock of the lower-level mapping phase.
+    pub fn mapping_time(&self) -> Duration {
+        self.mapping_time
+    }
+
+    /// Total compile time: higher-level phases (if any) plus lower-level
+    /// mapping.
+    pub fn total_time(&self) -> Duration {
+        self.mapping_time
+            + self
+                .plan
+                .as_ref()
+                .map(|p| p.clustering_time() + p.cluster_mapping_time())
+                .unwrap_or_default()
+    }
+}

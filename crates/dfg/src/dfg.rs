@@ -1,0 +1,361 @@
+//! The [`Dfg`] type, its builder, and structural validation.
+
+use crate::{Op, OpId, OpKind};
+use panorama_graph::{Digraph, DotOptions, EdgeRef};
+use std::error::Error;
+use std::fmt;
+
+/// A data dependency between two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dep {
+    /// Intra-iteration dependency: consumer runs after producer within the
+    /// same loop iteration.
+    Data,
+    /// Loop-carried (inter-iteration) dependency: the value produced in
+    /// iteration `i` is consumed in iteration `i + distance`.
+    Back {
+        /// Iteration distance (≥ 1).
+        distance: u32,
+    },
+}
+
+impl Dep {
+    /// Returns `true` for loop-carried edges.
+    pub fn is_back(self) -> bool {
+        matches!(self, Dep::Back { .. })
+    }
+
+    /// Iteration distance: 0 for intra-iteration edges.
+    pub fn distance(self) -> u32 {
+        match self {
+            Dep::Data => 0,
+            Dep::Back { distance } => distance,
+        }
+    }
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dep::Data => Ok(()),
+            Dep::Back { distance } => write!(f, "back[{distance}]"),
+        }
+    }
+}
+
+/// Structural error detected by [`Dfg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// The intra-iteration (non-back) edges form a cycle.
+    DataCycle {
+        /// A node on or downstream of the cycle.
+        witness: OpId,
+    },
+    /// A back edge was recorded with distance 0.
+    ZeroDistanceBackEdge {
+        /// Source of the offending edge.
+        src: OpId,
+        /// Destination of the offending edge.
+        dst: OpId,
+    },
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::DataCycle { witness } => {
+                write!(f, "intra-iteration edges form a cycle through {witness}")
+            }
+            DfgError::ZeroDistanceBackEdge { src, dst } => {
+                write!(f, "back edge {src}→{dst} has iteration distance 0")
+            }
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+/// Dataflow graph of a loop body.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_dfg::{DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new("axpy");
+/// let x = b.op(OpKind::Load, "x");
+/// let a = b.op(OpKind::Const, "a");
+/// let m = b.op(OpKind::Mul, "ax");
+/// let s = b.op(OpKind::Store, "out");
+/// b.data(x, m);
+/// b.data(a, m);
+/// b.data(m, s);
+/// let dfg = b.build()?;
+/// assert_eq!(dfg.num_ops(), 4);
+/// # Ok::<(), panorama_dfg::DfgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    name: String,
+    graph: Digraph<Op, Dep>,
+}
+
+impl Dfg {
+    /// Kernel name this DFG was generated from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Underlying graph (read-only).
+    pub fn graph(&self) -> &Digraph<Op, Dep> {
+        &self.graph
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of dependencies (including back edges).
+    pub fn num_deps(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The operation payload of `op`.
+    pub fn op(&self, op: OpId) -> &Op {
+        self.graph.node(op)
+    }
+
+    /// Iterates over all operation ids.
+    pub fn op_ids(&self) -> impl DoubleEndedIterator<Item = OpId> + ExactSizeIterator {
+        self.graph.node_ids()
+    }
+
+    /// Iterates over all dependency edges.
+    pub fn deps(&self) -> impl Iterator<Item = EdgeRef<'_, Dep>> {
+        self.graph.edge_refs()
+    }
+
+    /// Number of memory operations (loads + stores).
+    pub fn num_mem_ops(&self) -> usize {
+        self.op_ids()
+            .filter(|&v| self.op(v).kind.needs_memory())
+            .count()
+    }
+
+    /// Number of loop-carried (back) edges.
+    pub fn num_back_edges(&self) -> usize {
+        self.deps().filter(|e| e.weight.is_back()).count()
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::DataCycle`] when intra-iteration edges are cyclic
+    ///   (a loop body must be acyclic once back edges are removed);
+    /// * [`DfgError::ZeroDistanceBackEdge`] for a malformed back edge.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        for e in self.deps() {
+            if let Dep::Back { distance: 0 } = e.weight {
+                return Err(DfgError::ZeroDistanceBackEdge {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        self.graph
+            .topo_order_filtered(|e| !e.weight.is_back())
+            .map(|_| ())
+            .map_err(|c| DfgError::DataCycle { witness: c.witness })
+    }
+
+    /// Topological order of operations over intra-iteration edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the DFG is invalid; call [`Dfg::validate`] first for
+    /// untrusted graphs.
+    pub fn topo_order(&self) -> Vec<OpId> {
+        self.graph
+            .topo_order_filtered(|e| !e.weight.is_back())
+            .expect("validated DFG has acyclic data edges")
+    }
+
+    /// Renders the DFG in Graphviz DOT form; back edges are labelled with
+    /// their iteration distance.
+    pub fn to_dot(&self) -> String {
+        let options = DotOptions {
+            name: self.name.replace(|c: char| !c.is_alphanumeric(), "_"),
+            rankdir: "TB".into(),
+        };
+        self.graph.to_dot(
+            &options,
+            |id, op| format!("{} {}", id, op.kind),
+            |e| e.weight.to_string(),
+        )
+    }
+
+    /// Per-kind operation histogram.
+    pub fn kind_histogram(&self) -> Vec<(OpKind, usize)> {
+        OpKind::ALL
+            .iter()
+            .map(|&k| {
+                (
+                    k,
+                    self.op_ids().filter(|&v| self.op(v).kind == k).count(),
+                )
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+}
+
+/// Incremental builder for [`Dfg`].
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    graph: Digraph<Op, Dep>,
+}
+
+impl DfgBuilder {
+    /// Starts a DFG named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            graph: Digraph::new(),
+        }
+    }
+
+    /// Adds an operation.
+    pub fn op(&mut self, kind: OpKind, name: impl Into<String>) -> OpId {
+        self.graph.add_node(Op::new(kind, name))
+    }
+
+    /// Adds an intra-iteration data dependency `src → dst`.
+    pub fn data(&mut self, src: OpId, dst: OpId) {
+        self.graph.add_edge(src, dst, Dep::Data);
+    }
+
+    /// Adds a loop-carried dependency `src → dst` with iteration
+    /// `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `distance == 0`; use [`DfgBuilder::data`] for
+    /// intra-iteration edges.
+    pub fn back(&mut self, src: OpId, dst: OpId, distance: u32) {
+        assert!(distance > 0, "back edges must have distance >= 1");
+        self.graph.add_edge(src, dst, Dep::Back { distance });
+    }
+
+    /// Current number of operations added.
+    pub fn num_ops(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Finishes the DFG, validating its structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Dfg::validate`] failures.
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        let dfg = Dfg {
+            name: self.name,
+            graph: self.graph,
+        };
+        dfg.validate()?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac_kernel() -> Dfg {
+        // acc = acc + a[i]*b[i]  — one back edge on the accumulator
+        let mut b = DfgBuilder::new("mac");
+        let a = b.op(OpKind::Load, "a");
+        let x = b.op(OpKind::Load, "b");
+        let m = b.op(OpKind::Mul, "m");
+        let acc = b.op(OpKind::Add, "acc");
+        b.data(a, m);
+        b.data(x, m);
+        b.data(m, acc);
+        b.back(acc, acc, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_dfg() {
+        let dfg = mac_kernel();
+        assert_eq!(dfg.num_ops(), 4);
+        assert_eq!(dfg.num_deps(), 4);
+        assert_eq!(dfg.num_mem_ops(), 2);
+        assert_eq!(dfg.num_back_edges(), 1);
+        assert_eq!(dfg.name(), "mac");
+    }
+
+    #[test]
+    fn topo_order_ignores_back_edges() {
+        let dfg = mac_kernel();
+        let order = dfg.topo_order();
+        assert_eq!(order.len(), 4);
+        // acc comes last
+        assert_eq!(dfg.op(order[3]).name, "acc");
+    }
+
+    #[test]
+    fn data_cycle_is_rejected() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.op(OpKind::Add, "x");
+        let y = b.op(OpKind::Add, "y");
+        b.data(x, y);
+        b.data(y, x);
+        assert!(matches!(b.build(), Err(DfgError::DataCycle { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn zero_distance_back_edge_panics_in_builder() {
+        let mut b = DfgBuilder::new("bad");
+        let x = b.op(OpKind::Add, "x");
+        b.back(x, x, 0);
+    }
+
+    #[test]
+    fn dot_output_mentions_back_edges() {
+        let dfg = mac_kernel();
+        let dot = dfg.to_dot();
+        assert!(dot.contains("back[1]"));
+        assert!(dot.contains("mul"));
+    }
+
+    #[test]
+    fn kind_histogram_counts() {
+        let dfg = mac_kernel();
+        let hist = dfg.kind_histogram();
+        assert!(hist.contains(&(OpKind::Load, 2)));
+        assert!(hist.contains(&(OpKind::Mul, 1)));
+        assert!(hist.contains(&(OpKind::Add, 1)));
+        assert!(!hist.iter().any(|&(k, _)| k == OpKind::Store));
+    }
+
+    #[test]
+    fn dep_accessors() {
+        assert!(Dep::Back { distance: 2 }.is_back());
+        assert!(!Dep::Data.is_back());
+        assert_eq!(Dep::Data.distance(), 0);
+        assert_eq!(Dep::Back { distance: 3 }.distance(), 3);
+        assert_eq!(Dep::Back { distance: 3 }.to_string(), "back[3]");
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = DfgError::DataCycle {
+            witness: OpId::from_index(2),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+}

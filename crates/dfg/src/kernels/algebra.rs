@@ -1,0 +1,117 @@
+//! Linear-algebra kernels: matrix multiply and matrix inversion.
+
+use super::{KernelBuilder, KernelScale};
+use crate::{Dfg, OpId, OpKind};
+
+/// Matrix multiply: a 1×`cols` output strip of `depth`-deep inner products.
+/// The row operand `A[k]` is shared across every column, producing the
+/// fan-out hotspot the paper highlights (`mmul` is the one kernel where
+/// even Pan-SPR\* misses MII).
+pub(super) fn matrix_multiply(scale: KernelScale) -> Dfg {
+    let depth = scale.dim(3, 3, 2, 2);
+    let cols = scale.dim(50, 16, 3, 2);
+    let mut b = KernelBuilder::new("matrix_multiply");
+    let a_row: Vec<OpId> = (0..depth).map(|k| b.load(format!("a{k}"))).collect();
+    for j in 0..cols {
+        let products: Vec<OpId> = (0..depth)
+            .map(|k| {
+                let bkj = b.load(format!("b{k}_{j}"));
+                b.mul(a_row[k], bkj, format!("m{k}_{j}"))
+            })
+            .collect();
+        let sum = b.chain_sum(&products, &format!("c{j}"));
+        let rounded = b.shift(sum, format!("rnd{j}"));
+        if j == 0 {
+            b.recurrence(rounded, 4, "blk_state");
+        }
+        b.store(rounded, format!("out{j}"));
+    }
+    b.build().expect("mmul generator is structurally acyclic")
+}
+
+/// Matrix inversion by the adjugate method: per-entry cofactor expressions,
+/// a determinant reduction, one reciprocal whose fan-out is the full `n²`
+/// output matrix, and the final scaling multiplies.
+pub(super) fn invertmat(scale: KernelScale) -> Dfg {
+    let n = scale.dim(6, 3, 2, 2);
+    let (cof_muls, cof_adds) = if matches!(scale, KernelScale::Tiny) {
+        (2, 1)
+    } else {
+        (4, 3)
+    };
+    let mut b = KernelBuilder::new("invertmat");
+    let elems: Vec<OpId> = (0..n * n).map(|i| b.load(format!("a{i}"))).collect();
+
+    // cofactor expression per output entry: products of input elements,
+    // reduced; element choice walks the matrix deterministically
+    let mut cofactors = Vec::with_capacity(n * n);
+    for e in 0..n * n {
+        let mut terms = Vec::with_capacity(cof_muls);
+        for m in 0..cof_muls {
+            let x = elems[(e + m + 1) % (n * n)];
+            let y = elems[(e * 3 + m * 7 + 2) % (n * n)];
+            terms.push(b.mul(x, y, format!("cf{e}_{m}")));
+        }
+        // cof_adds adds combine the products (chain)
+        let mut acc = terms[0];
+        for (i, &t) in terms.iter().enumerate().skip(1).take(cof_adds) {
+            acc = b.add(acc, t, format!("ca{e}_{i}"));
+        }
+        cofactors.push(acc);
+    }
+
+    // determinant: first row of cofactors times first row of elements
+    let det_terms: Vec<OpId> = (0..n)
+        .map(|j| b.mul(elems[j], cofactors[j], format!("dt{j}")))
+        .collect();
+    let det = b.reduce(OpKind::Add, &det_terms, "det");
+    // reciprocal approximated on the ALU (modelled as a unary op)
+    let recip = b.unary(OpKind::Shift, det, "recip");
+
+    for (e, &cof) in cofactors.iter().enumerate() {
+        let out = b.mul(recip, cof, format!("inv{e}"));
+        if e == 0 {
+            b.recurrence(out, 5, "cond_state");
+        }
+        b.store(out, format!("o{e}"));
+    }
+    b.build().expect("invertmat generator is structurally acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelScale;
+
+    #[test]
+    fn mmul_shared_row_fanout() {
+        let dfg = matrix_multiply(KernelScale::Paper);
+        let s = dfg.stats();
+        // A-row loads feed all 50 columns
+        assert!(s.max_degree >= 45, "max degree {}", s.max_degree);
+        assert!((450..=560).contains(&s.nodes), "nodes {}", s.nodes);
+    }
+
+    #[test]
+    fn invertmat_reciprocal_dominates_fanout() {
+        let dfg = invertmat(KernelScale::Paper);
+        let s = dfg.stats();
+        // recip feeds n² = 36 scaling multiplies (+1 producer)
+        assert!((34..=45).contains(&s.max_degree), "max degree {}", s.max_degree);
+    }
+
+    #[test]
+    fn outputs_equal_matrix_entries() {
+        let dfg = invertmat(KernelScale::Scaled);
+        let stores = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Store)
+            .count();
+        assert_eq!(stores, 10); // 3×3 entries + recurrence state
+    }
+
+    #[test]
+    fn mmul_tiny_is_small() {
+        assert!(matrix_multiply(KernelScale::Tiny).num_ops() <= 30);
+    }
+}

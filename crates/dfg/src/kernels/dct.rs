@@ -1,0 +1,164 @@
+//! DCT-family kernels: `idctcols`, `idctrows`, `jpegfdct`, `jpegidctfst`.
+//!
+//! All four process 8-lane rows/columns of a block through butterfly
+//! add/sub rounds interleaved with constant multiplies, then round with a
+//! shift and store. They differ in round count, multiply density and how
+//! widely the fixed-point constants are shared across rows — which is what
+//! moves the max-degree column of Table 1a (23 for `idctcols` up to 40 for
+//! `idctrows`).
+
+use super::{KernelBuilder, KernelScale};
+use crate::{Dfg, OpId};
+
+const LANES: usize = 8;
+
+/// Parameters of one DCT-style kernel.
+struct DctShape {
+    name: &'static str,
+    /// Rows (or columns) of the block processed by the unrolled loop body.
+    rows: usize,
+    /// Butterfly add/sub rounds per row (each round is 8 ops over 8 lanes).
+    rounds: usize,
+    /// Constant multiplies per row in total.
+    muls_per_row: usize,
+    /// How many of those consume the *shared* fixed-point constant (the
+    /// rest fold their constant into the instruction).
+    shared_muls_per_row: usize,
+}
+
+fn dct_kernel(shape: &DctShape) -> Dfg {
+    let mut b = KernelBuilder::new(shape.name);
+    let shared_const = b.constant("c_shared");
+    for r in 0..shape.rows {
+        let mut lanes: Vec<OpId> = (0..LANES).map(|l| b.load(format!("in{r}_{l}"))).collect();
+
+        for round in 0..shape.rounds {
+            let mut next = vec![lanes[0]; LANES];
+            // pair lanes with a round-dependent stride, like the even/odd
+            // decomposition of a real DCT network
+            let stride = 1 << (round % 3); // 1, 2, 4
+            let mut paired = vec![false; LANES];
+            for l in 0..LANES {
+                if paired[l] {
+                    continue;
+                }
+                let partner = (l + stride) % LANES;
+                paired[l] = true;
+                paired[partner] = true;
+                next[l] = b.add(lanes[l], lanes[partner], format!("bf{r}_{round}_{l}a"));
+                next[partner] = b.sub(lanes[l], lanes[partner], format!("bf{r}_{round}_{l}s"));
+            }
+            lanes = next;
+        }
+
+        for m in 0..shape.muls_per_row {
+            let lane = m % LANES;
+            lanes[lane] = if m < shape.shared_muls_per_row {
+                b.mul(shared_const, lanes[lane], format!("cm{r}_{m}"))
+            } else {
+                b.mul_imm(lanes[lane], format!("im{r}_{m}"))
+            };
+        }
+
+        for (l, &v) in lanes.iter().enumerate() {
+            let rounded = b.shift(v, format!("rnd{r}_{l}"));
+            if r == 0 && l == 0 {
+                // running range/clamp state carried across block rows
+                b.recurrence(rounded, 4, "range_state");
+            }
+            b.store(rounded, format!("out{r}_{l}"));
+        }
+    }
+    b.build().expect("dct generators are structurally acyclic")
+}
+
+fn rows_for(scale: KernelScale) -> usize {
+    scale.dim(8, 3, 1, 1)
+}
+
+/// Inverse DCT over block columns: 3 butterfly rounds, sparse multiplies,
+/// moderately shared constants.
+pub(super) fn idctcols(scale: KernelScale) -> Dfg {
+    dct_kernel(&DctShape {
+        name: "idctcols",
+        rows: rows_for(scale),
+        rounds: 3,
+        muls_per_row: 3,
+        shared_muls_per_row: 3,
+    })
+}
+
+/// Inverse DCT over block rows: denser multiplies, all against one shared
+/// constant — the widest constant broadcast in the DCT family.
+pub(super) fn idctrows(scale: KernelScale) -> Dfg {
+    dct_kernel(&DctShape {
+        name: "idctrows",
+        rows: rows_for(scale),
+        rounds: 3,
+        muls_per_row: 5,
+        shared_muls_per_row: 5,
+    })
+}
+
+/// JPEG forward DCT: 3 rounds, 6 multiplies per row of which 4 share the
+/// scale constant.
+pub(super) fn jpegfdct(scale: KernelScale) -> Dfg {
+    dct_kernel(&DctShape {
+        name: "jpegfdct",
+        rows: rows_for(scale),
+        rounds: 3,
+        muls_per_row: 6,
+        shared_muls_per_row: 4,
+    })
+}
+
+/// JPEG fast inverse DCT: an extra butterfly round (the "fast" even/odd
+/// recombination), fewer shared multiplies.
+pub(super) fn jpegidctfst(scale: KernelScale) -> Dfg {
+    dct_kernel(&DctShape {
+        name: "jpegidctfst",
+        rows: rows_for(scale),
+        rounds: 4,
+        muls_per_row: 4,
+        shared_muls_per_row: 3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelScale, OpKind};
+
+    #[test]
+    fn row_counts_scale_linearly() {
+        let one = idctcols(KernelScale::Tiny).num_ops();
+        let eight = idctcols(KernelScale::Paper).num_ops();
+        // 8 rows ≈ 8 × (1 row) minus the shared constant overlap
+        assert!(eight > 7 * (one - 1), "{eight} vs {one}");
+    }
+
+    #[test]
+    fn idctrows_has_wider_broadcast_than_idctcols() {
+        let rows = idctrows(KernelScale::Paper).stats();
+        let cols = idctcols(KernelScale::Paper).stats();
+        assert!(rows.max_degree > cols.max_degree);
+    }
+
+    #[test]
+    fn butterfly_rounds_add_ops() {
+        let fst = jpegidctfst(KernelScale::Paper).num_ops();
+        let fdct = jpegfdct(KernelScale::Paper).num_ops();
+        // 4 rounds at 4 muls ≈ more ops than 3 rounds at 6 muls
+        assert!(fst > fdct);
+    }
+
+    #[test]
+    fn every_lane_is_stored() {
+        let dfg = jpegfdct(KernelScale::Tiny);
+        let stores = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Store)
+            .count();
+        assert_eq!(stores, LANES + 1); // 8 lanes + recurrence state
+    }
+}

@@ -1,0 +1,183 @@
+//! DSP kernels: FIR, matched filter, 2-D convolution and the Embench `edn`
+//! vector-MAC mix.
+
+use super::{KernelBuilder, KernelScale};
+use crate::{Dfg, OpId};
+
+/// Unrolled FIR filter: `out[j] = Σ_k c[k] · x[j+k]`, short tap count but
+/// deep unrolling, so the coefficient constants are the fan-out hotspot the
+/// paper's Table 1a reports (max degree 49 at 256 nodes).
+pub(super) fn fir(scale: KernelScale) -> Dfg {
+    let taps = 2;
+    let unroll = scale.dim(42, 14, 4, 2);
+    let mut b = KernelBuilder::new("fir");
+    let coeffs: Vec<OpId> = (0..taps).map(|k| b.constant(format!("c{k}"))).collect();
+    let samples: Vec<OpId> = (0..unroll + taps - 1)
+        .map(|i| b.load(format!("x{i}")))
+        .collect();
+    for j in 0..unroll {
+        let products: Vec<OpId> = (0..taps)
+            .map(|k| b.mul(coeffs[k], samples[j + k], format!("m{j}_{k}")))
+            .collect();
+        let sum = b.chain_sum(&products, &format!("s{j}"));
+        let rounded = b.shift(sum, format!("rnd{j}"));
+        if j == 0 {
+            b.recurrence(rounded, 3, "dc");
+        }
+        b.store(rounded, format!("y{j}"));
+    }
+    b.build().expect("fir generator is structurally acyclic")
+}
+
+/// Matched filter: long dot products of input windows against one shared
+/// template — the highest-fan-out kernel in the suite (max degree 75).
+pub(super) fn matched_filter(scale: KernelScale) -> Dfg {
+    let template = 3;
+    let windows = scale.dim(62, 22, 4, 2);
+    let mut b = KernelBuilder::new("matched_filter");
+    let coeffs: Vec<OpId> = (0..template).map(|k| b.constant(format!("h{k}"))).collect();
+    let samples: Vec<OpId> = (0..windows + template - 1)
+        .map(|i| b.load(format!("x{i}")))
+        .collect();
+    for j in 0..windows {
+        let products: Vec<OpId> = (0..template)
+            .map(|k| b.mul(coeffs[k], samples[j + k], format!("m{j}_{k}")))
+            .collect();
+        let sum = b.chain_sum(&products, &format!("s{j}"));
+        let rounded = b.shift(sum, format!("rnd{j}"));
+        if j == 0 {
+            b.recurrence(rounded, 3, "peak");
+        }
+        b.store(rounded, format!("y{j}"));
+    }
+    b.build()
+        .expect("matched filter generator is structurally acyclic")
+}
+
+/// 3×3 2-D convolution over a `w × h` tile of output pixels with shared
+/// (overlapping) image loads and shared stencil constants.
+pub(super) fn conv2d(scale: KernelScale) -> Dfg {
+    let w = scale.dim(6, 3, 1, 1);
+    let h = scale.dim(4, 3, 1, 1);
+    let mut b = KernelBuilder::new("conv2d");
+    let stencil: Vec<OpId> = (0..9).map(|k| b.constant(format!("k{k}"))).collect();
+    // (w+2) × (h+2) image tile, shared across overlapping windows
+    let mut image = Vec::with_capacity((w + 2) * (h + 2));
+    for r in 0..h + 2 {
+        for c in 0..w + 2 {
+            image.push(b.load(format!("img{r}_{c}")));
+        }
+    }
+    let img = |r: usize, c: usize| image[r * (w + 2) + c];
+    for r in 0..h {
+        for c in 0..w {
+            let mut products = Vec::with_capacity(9);
+            for dr in 0..3 {
+                for dc in 0..3 {
+                    products.push(b.mul(
+                        stencil[dr * 3 + dc],
+                        img(r + dr, c + dc),
+                        format!("m{r}_{c}_{dr}{dc}"),
+                    ));
+                }
+            }
+            let sum = b.reduce(crate::OpKind::Add, &products, &format!("p{r}_{c}"));
+            let rounded = b.shift(sum, format!("rnd{r}_{c}"));
+            if r == 0 && c == 0 {
+                b.recurrence(rounded, 3, "edge_state");
+            }
+            b.store(rounded, format!("out{r}_{c}"));
+        }
+    }
+    b.build().expect("conv2d generator is structurally acyclic")
+}
+
+/// Embench `edn`: a mix of independent dot products (shared second operand
+/// array) and a `vec_mpy`-style scaled multiply-accumulate loop with a
+/// loop-carried accumulator.
+pub(super) fn edn(scale: KernelScale) -> Dfg {
+    let dots = scale.dim(10, 4, 1, 1);
+    let dot_len = scale.dim(12, 8, 4, 2);
+    let vec_len = scale.dim(28, 12, 4, 2);
+    let mut b = KernelBuilder::new("edn");
+
+    // dot products: a[d] streams are private, b[] stream is shared
+    let shared: Vec<OpId> = (0..dot_len).map(|i| b.load(format!("b{i}"))).collect();
+    for d in 0..dots {
+        let products: Vec<OpId> = (0..dot_len)
+            .map(|i| {
+                let a = b.load(format!("a{d}_{i}"));
+                b.mul(a, shared[i], format!("dm{d}_{i}"))
+            })
+            .collect();
+        let sum = b.reduce(crate::OpKind::Add, &products, &format!("dot{d}"));
+        let rounded = b.shift(sum, format!("dr{d}"));
+        b.store(rounded, format!("dout{d}"));
+    }
+
+    // vec_mpy: y[i] += (scale * x[i]) >> s, with a loop-carried accumulator
+    let gain = b.constant("gain");
+    let mut acc_nodes = Vec::new();
+    let mut acc: Option<OpId> = None;
+    for i in 0..vec_len {
+        let x = b.load(format!("x{i}"));
+        let scaled = b.mul(gain, x, format!("vm{i}"));
+        let shifted = b.shift(scaled, format!("vs{i}"));
+        let sum = match acc {
+            None => shifted,
+            Some(prev) => b.add(prev, shifted, format!("va{i}")),
+        };
+        acc = Some(sum);
+        acc_nodes.push(sum);
+    }
+    let final_acc = acc.expect("vec_len >= 1");
+    b.store(final_acc, "vout");
+    let _ = acc_nodes;
+    // loop-carried scalar state (running MAC total)
+    b.recurrence(final_acc, 4, "mac_state");
+
+    b.build().expect("edn generator is structurally acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelScale, OpKind};
+
+    #[test]
+    fn fir_paper_scale_stats() {
+        let dfg = fir(KernelScale::Paper);
+        let s = dfg.stats();
+        assert!((230..=280).contains(&s.nodes), "nodes {}", s.nodes);
+        // coefficient fan-out dominates
+        assert!(s.max_degree >= 40, "max degree {}", s.max_degree);
+    }
+
+    #[test]
+    fn matched_filter_has_highest_fanout() {
+        let mf = matched_filter(KernelScale::Paper).stats();
+        let cv = conv2d(KernelScale::Paper).stats();
+        assert!(mf.max_degree > cv.max_degree);
+        assert!(mf.max_degree >= 55);
+    }
+
+    #[test]
+    fn conv2d_shares_image_loads() {
+        let dfg = conv2d(KernelScale::Scaled);
+        // interior image loads feed up to 9 windows
+        let max_load_deg = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Load)
+            .map(|v| dfg.graph().degree(v))
+            .max()
+            .unwrap();
+        assert!(max_load_deg >= 4, "overlap sharing missing: {max_load_deg}");
+    }
+
+    #[test]
+    fn edn_has_back_edge() {
+        let dfg = edn(KernelScale::Scaled);
+        assert_eq!(dfg.num_back_edges(), 1);
+        assert!(dfg.validate().is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared construction helpers for the kernel generators.
+
+use crate::{Dfg, DfgBuilder, DfgError, OpId, OpKind};
+
+/// Thin wrapper over [`DfgBuilder`] with the idioms the kernel generators
+/// share: binary ops, reduction trees, MAC chains and rounding shifts.
+#[derive(Debug)]
+pub(crate) struct KernelBuilder {
+    inner: DfgBuilder,
+}
+
+impl KernelBuilder {
+    pub fn new(name: &str) -> Self {
+        KernelBuilder {
+            inner: DfgBuilder::new(name),
+        }
+    }
+
+    pub fn load(&mut self, name: impl Into<String>) -> OpId {
+        self.inner.op(OpKind::Load, name)
+    }
+
+    pub fn store(&mut self, value: OpId, name: impl Into<String>) -> OpId {
+        let s = self.inner.op(OpKind::Store, name);
+        self.inner.data(value, s);
+        s
+    }
+
+    pub fn constant(&mut self, name: impl Into<String>) -> OpId {
+        self.inner.op(OpKind::Const, name)
+    }
+
+    pub fn unary(&mut self, kind: OpKind, a: OpId, name: impl Into<String>) -> OpId {
+        let v = self.inner.op(kind, name);
+        self.inner.data(a, v);
+        v
+    }
+
+    pub fn binary(&mut self, kind: OpKind, a: OpId, b: OpId, name: impl Into<String>) -> OpId {
+        let v = self.inner.op(kind, name);
+        self.inner.data(a, v);
+        self.inner.data(b, v);
+        v
+    }
+
+    pub fn add(&mut self, a: OpId, b: OpId, name: impl Into<String>) -> OpId {
+        self.binary(OpKind::Add, a, b, name)
+    }
+
+    pub fn sub(&mut self, a: OpId, b: OpId, name: impl Into<String>) -> OpId {
+        self.binary(OpKind::Sub, a, b, name)
+    }
+
+    pub fn mul(&mut self, a: OpId, b: OpId, name: impl Into<String>) -> OpId {
+        self.binary(OpKind::Mul, a, b, name)
+    }
+
+    /// Multiply by a compile-time coefficient folded into the instruction
+    /// (single-input multiply, as LLVM emits for constant operands).
+    pub fn mul_imm(&mut self, a: OpId, name: impl Into<String>) -> OpId {
+        self.unary(OpKind::Mul, a, name)
+    }
+
+    /// Arithmetic shift for fixed-point rounding (single input).
+    pub fn shift(&mut self, a: OpId, name: impl Into<String>) -> OpId {
+        self.unary(OpKind::Shift, a, name)
+    }
+
+    /// Adds a loop-carried dependency (accumulator-style).
+    pub fn back(&mut self, src: OpId, dst: OpId, distance: u32) {
+        self.inner.back(src, dst, distance);
+    }
+
+    /// Balanced binary reduction of `values` with `kind`; returns the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    pub fn reduce(&mut self, kind: OpKind, values: &[OpId], name: &str) -> OpId {
+        assert!(!values.is_empty(), "cannot reduce zero values");
+        let mut layer: Vec<OpId> = values.to_vec();
+        let mut level = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.chunks(2);
+            for (i, pair) in it.by_ref().enumerate() {
+                if pair.len() == 2 {
+                    next.push(self.binary(kind, pair[0], pair[1], format!("{name}_r{level}_{i}")));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            level += 1;
+        }
+        layer[0]
+    }
+
+    /// Sequential MAC chain: `acc := (((v0 + v1) + v2) + ...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    pub fn chain_sum(&mut self, values: &[OpId], name: &str) -> OpId {
+        assert!(!values.is_empty(), "cannot sum zero values");
+        let mut acc = values[0];
+        for (i, &v) in values.iter().enumerate().skip(1) {
+            acc = self.add(acc, v, format!("{name}_c{i}"));
+        }
+        acc
+    }
+
+    /// Threads a loop-carried state-update chain through the kernel: `len`
+    /// single-cycle ops in a distance-1 cycle, seeded by `tie_in` and
+    /// ending in a store. This models the accumulators / pointer updates
+    /// every streaming loop body carries and sets RecMII = `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len == 0`.
+    pub fn recurrence(&mut self, tie_in: OpId, len: usize, name: &str) {
+        assert!(len > 0, "recurrence chain needs at least one op");
+        let first = self.binary(OpKind::Add, tie_in, tie_in, format!("{name}_s0"));
+        let mut prev = first;
+        for i in 1..len {
+            let kind = if i % 2 == 0 { OpKind::Add } else { OpKind::Shift };
+            prev = self.unary(kind, prev, format!("{name}_s{i}"));
+        }
+        self.back(prev, first, 1);
+        self.store(prev, format!("{name}_out"));
+    }
+
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        self.inner.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_tree_shape() {
+        let mut b = KernelBuilder::new("t");
+        let vals: Vec<_> = (0..5).map(|i| b.load(format!("v{i}"))).collect();
+        let root = b.reduce(OpKind::Add, &vals, "sum");
+        let s = b.store(root, "out");
+        let _ = s;
+        let dfg = b.build().unwrap();
+        // 5 loads + 4 adds + 1 store
+        assert_eq!(dfg.num_ops(), 10);
+        // 8 add inputs + 1 store input
+        assert_eq!(dfg.num_deps(), 9);
+    }
+
+    #[test]
+    fn chain_sum_is_linear() {
+        let mut b = KernelBuilder::new("t");
+        let vals: Vec<_> = (0..4).map(|i| b.load(format!("v{i}"))).collect();
+        let root = b.chain_sum(&vals, "acc");
+        b.store(root, "out");
+        let dfg = b.build().unwrap();
+        // 4 loads + 3 adds + 1 store
+        assert_eq!(dfg.num_ops(), 8);
+    }
+
+    #[test]
+    fn single_value_reduce_is_identity() {
+        let mut b = KernelBuilder::new("t");
+        let v = b.load("v");
+        let root = b.reduce(OpKind::Add, &[v], "sum");
+        assert_eq!(root, v);
+    }
+}

@@ -1,0 +1,140 @@
+//! Iterative kernels: CORDIC rotations and the k-means assignment step.
+
+use super::{KernelBuilder, KernelScale};
+use crate::{Dfg, OpId, OpKind};
+
+/// CORDIC vector rotation, unrolled over independent samples. Each sample
+/// threads `x`, `y`, `z` through `iters` shift-add stages; the arctangent
+/// constants are shared across samples. Long dependence chains, low
+/// fan-out — the structural opposite of `fir`/`mmul`.
+pub(super) fn cordic(scale: KernelScale) -> Dfg {
+    let samples = scale.dim(12, 4, 1, 1);
+    let iters = scale.dim(4, 4, 3, 2);
+    let mut b = KernelBuilder::new("cordic");
+    let atan: Vec<OpId> = (0..iters).map(|i| b.constant(format!("atan{i}"))).collect();
+    for s in 0..samples {
+        let mut x = b.load(format!("x{s}"));
+        let mut y = b.load(format!("y{s}"));
+        let mut z = b.load(format!("z{s}"));
+        for i in 0..iters {
+            let xs = b.shift(x, format!("xs{s}_{i}"));
+            let ys = b.shift(y, format!("ys{s}_{i}"));
+            let xn = b.sub(x, ys, format!("xn{s}_{i}"));
+            let yn = b.add(y, xs, format!("yn{s}_{i}"));
+            let zn = b.sub(z, atan[i], format!("zn{s}_{i}"));
+            x = xn;
+            y = yn;
+            z = zn;
+        }
+        if s == 0 {
+            b.recurrence(z, 5, "gain_state");
+        }
+        b.store(x, format!("xo{s}"));
+        b.store(y, format!("yo{s}"));
+        b.store(z, format!("zo{s}"));
+    }
+    b.build().expect("cordic generator is structurally acyclic")
+}
+
+/// k-means assignment step: squared distances of each point to every
+/// centroid, an argmin over centroids, label store, plus a loop-carried
+/// per-cluster accumulator (the centroid-update partial sum).
+pub(super) fn kmeans(scale: KernelScale) -> Dfg {
+    let points = scale.dim(30, 10, 2, 2);
+    let (centroids, dims) = (2, 2);
+    let mut b = KernelBuilder::new("kmeans");
+    // centroid coordinates shared by every point: the fan-out hotspot
+    let mut cent = Vec::with_capacity(centroids * dims);
+    for c in 0..centroids {
+        for d in 0..dims {
+            cent.push(b.load(format!("c{c}_{d}")));
+        }
+    }
+    let mut acc_first: Option<OpId> = None;
+    let mut acc_last: Option<OpId> = None;
+    for p in 0..points {
+        let coords: Vec<OpId> = (0..dims).map(|d| b.load(format!("p{p}_{d}"))).collect();
+        let mut dists = Vec::with_capacity(centroids);
+        for c in 0..centroids {
+            let sq: Vec<OpId> = (0..dims)
+                .map(|d| {
+                    let diff = b.sub(coords[d], cent[c * dims + d], format!("df{p}_{c}_{d}"));
+                    b.mul(diff, diff, format!("sq{p}_{c}_{d}"))
+                })
+                .collect();
+            dists.push(b.reduce(OpKind::Add, &sq, &format!("ds{p}_{c}")));
+        }
+        // argmin over centroids: cmp + select chain
+        let mut best = dists[0];
+        for (c, &d) in dists.iter().enumerate().skip(1) {
+            let cmp = b.binary(OpKind::Cmp, best, d, format!("cm{p}_{c}"));
+            let sel = b.binary(OpKind::Select, cmp, d, format!("sl{p}_{c}"));
+            best = sel;
+        }
+        b.store(best, format!("lbl{p}"));
+        // running partial sum for the centroid update (loop-carried)
+        let acc = match acc_last {
+            None => {
+                let a = b.unary(OpKind::Add, coords[0], format!("acc{p}"));
+                acc_first = Some(a);
+                a
+            }
+            Some(prev) => b.add(prev, coords[0], format!("acc{p}")),
+        };
+        acc_last = Some(acc);
+    }
+    let _ = acc_first;
+    if let Some(last) = acc_last {
+        b.store(last, "accout");
+        // loop-carried per-cluster running sum
+        b.recurrence(last, 4, "centroid_state");
+    }
+    b.build().expect("kmeans generator is structurally acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelScale;
+
+    #[test]
+    fn cordic_has_low_fanout_long_chains() {
+        let dfg = cordic(KernelScale::Paper);
+        let s = dfg.stats();
+        assert!(s.max_degree <= 20, "max degree {}", s.max_degree);
+        // chain depth: each iteration adds ≥ 2 levels
+        let levels = dfg
+            .graph()
+            .longest_path_levels(|e| !e.weight.is_back())
+            .unwrap();
+        assert!(*levels.iter().max().unwrap() >= 6);
+    }
+
+    #[test]
+    fn kmeans_has_centroid_broadcast() {
+        let dfg = kmeans(KernelScale::Paper);
+        let s = dfg.stats();
+        assert!(s.max_degree >= 25, "max degree {}", s.max_degree);
+        assert_eq!(s.back_edges, 1);
+    }
+
+    #[test]
+    fn cordic_stores_three_outputs_per_sample() {
+        let dfg = cordic(KernelScale::Scaled);
+        let stores = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Store)
+            .count();
+        assert_eq!(stores, 13); // 4 samples × 3 outputs + recurrence state
+    }
+
+    #[test]
+    fn kmeans_labels_every_point() {
+        let dfg = kmeans(KernelScale::Scaled);
+        let stores = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Store)
+            .count();
+        assert_eq!(stores, 12); // 10 labels + accumulator + recurrence state
+    }
+}

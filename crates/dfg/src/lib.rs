@@ -1,0 +1,46 @@
+//! Dataflow graphs (DFGs) of loop kernels, plus the PANORAMA benchmark
+//! suite.
+//!
+//! A DFG represents one loop body: nodes are operations ([`Op`]), edges are
+//! data dependencies ([`Dep`]). Loop-carried dependencies are *back edges*
+//! carrying an iteration distance; they determine the recurrence-constrained
+//! minimum initiation interval (RecMII) during mapping.
+//!
+//! The original PANORAMA extracts DFGs from annotated C kernels with an
+//! LLVM 10 pass over MediaBench / Embench sources. This crate substitutes
+//! deterministic *structural generators* ([`kernels`]) that rebuild the same
+//! twelve loop kernels — unrolled FIR, 2-D convolution, DCT butterflies,
+//! CORDIC rotations, matrix multiply, and so on — at the paper's published
+//! sizes (Table 1a) and at scaled-down sizes for fast regression runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_dfg::{kernels, KernelId, KernelScale};
+//!
+//! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+//! let stats = dfg.stats();
+//! assert!(stats.nodes > 0);
+//! assert!(dfg.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod op;
+mod dfg;
+mod stats;
+mod random;
+mod text;
+
+pub mod kernels;
+
+pub use dfg::{Dfg, DfgBuilder, DfgError, Dep};
+pub use kernels::{KernelId, KernelScale};
+pub use op::{Op, OpKind};
+pub use random::{RandomDfgConfig, random_dfg};
+pub use text::ParseDfgError;
+pub use stats::DfgStats;
+
+/// Identifier of a DFG operation node (re-exported graph node id).
+pub type OpId = panorama_graph::NodeId;

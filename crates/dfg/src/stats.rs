@@ -1,0 +1,67 @@
+//! DFG statistics as reported in the paper's Table 1a.
+
+use crate::Dfg;
+use std::fmt;
+
+/// Summary statistics of a DFG (the "DFG Characteristics" columns of
+/// Table 1a plus a few extras used elsewhere in the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfgStats {
+    /// Operation count.
+    pub nodes: usize,
+    /// Dependency count (including back edges).
+    pub edges: usize,
+    /// Maximum node degree (in + out), the paper's complexity indicator.
+    pub max_degree: usize,
+    /// Memory operations (loads + stores).
+    pub mem_ops: usize,
+    /// Loop-carried dependencies.
+    pub back_edges: usize,
+}
+
+impl Dfg {
+    /// Computes summary statistics.
+    pub fn stats(&self) -> DfgStats {
+        DfgStats {
+            nodes: self.num_ops(),
+            edges: self.num_deps(),
+            max_degree: self.graph().max_degree(),
+            mem_ops: self.num_mem_ops(),
+            back_edges: self.num_back_edges(),
+        }
+    }
+}
+
+impl fmt::Display for DfgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, max degree {}, {} mem ops, {} back edges",
+            self.nodes, self.edges, self.max_degree, self.mem_ops, self.back_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DfgBuilder, OpKind};
+
+    #[test]
+    fn stats_match_structure() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, a);
+        b.data(a, s);
+        b.back(a, a, 1);
+        let stats = b.build().unwrap().stats();
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.mem_ops, 2);
+        assert_eq!(stats.back_edges, 1);
+        // 'a' has degree 4 (in: l, back-in; out: s, back-out)
+        assert_eq!(stats.max_degree, 4);
+        assert!(stats.to_string().contains("3 nodes"));
+    }
+}

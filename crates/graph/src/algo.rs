@@ -1,0 +1,307 @@
+//! Graph algorithms: topological ordering, longest paths, connected
+//! components, reachability.
+
+use crate::{Digraph, NodeId};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an operation requiring a DAG meets a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node known to participate in (or be downstream of) a cycle.
+    pub witness: NodeId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through {}", self.witness)
+    }
+}
+
+impl Error for CycleError {}
+
+/// Weakly-connected component labelling of a graph.
+///
+/// Produced by [`Components::of`]; component ids are dense `0..count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Computes weakly connected components (edge direction ignored).
+    pub fn of<N, E>(graph: &Digraph<N, E>) -> Self {
+        let n = graph.node_count();
+        let mut labels = vec![u32::MAX; n];
+        let mut count = 0usize;
+        let mut queue = VecDeque::new();
+        for start in graph.node_ids() {
+            if labels[start.index()] != u32::MAX {
+                continue;
+            }
+            labels[start.index()] = count as u32;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                for w in graph.successors(v).chain(graph.predecessors(v)) {
+                    if labels[w.index()] == u32::MAX {
+                        labels[w.index()] = count as u32;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        Components { labels, count }
+    }
+
+    /// Number of weakly connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `node` (dense, `0..count`).
+    pub fn label(&self, node: NodeId) -> usize {
+        self.labels[node.index()] as usize
+    }
+
+    /// Returns `true` when `a` and `b` lie in the same component.
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+}
+
+impl<N, E> Digraph<N, E> {
+    /// Kahn topological order over the edges selected by `use_edge`.
+    ///
+    /// Dataflow graphs carry loop-carried back edges which must be excluded
+    /// when ordering operations of a single iteration; pass a predicate that
+    /// rejects those edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when the selected edges contain a cycle.
+    pub fn topo_order_filtered(
+        &self,
+        mut use_edge: impl FnMut(crate::EdgeRef<'_, E>) -> bool,
+    ) -> Result<Vec<NodeId>, CycleError> {
+        let n = self.node_count();
+        let mut indeg = vec![0usize; n];
+        let mut kept_out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for e in self.edge_refs() {
+            if use_edge(e) {
+                indeg[e.dst.index()] += 1;
+                kept_out[e.src.index()].push(e.dst);
+            }
+        }
+        let mut queue: VecDeque<NodeId> = self
+            .node_ids()
+            .filter(|v| indeg[v.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &kept_out[v.index()] {
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let witness = self
+                .node_ids()
+                .find(|v| indeg[v.index()] > 0)
+                .expect("cycle implies a node with residual in-degree");
+            Err(CycleError { witness })
+        }
+    }
+
+    /// Kahn topological order over all edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when the graph is not a DAG.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, CycleError> {
+        self.topo_order_filtered(|_| true)
+    }
+
+    /// Returns `true` when the graph (over all edges) is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+
+    /// Longest-path length (in edges) from any source to each node, over the
+    /// edges selected by `use_edge`. This is the classic ASAP level used for
+    /// scheduling priorities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when the selected edges contain a cycle.
+    pub fn longest_path_levels(
+        &self,
+        mut use_edge: impl FnMut(crate::EdgeRef<'_, E>) -> bool,
+    ) -> Result<Vec<usize>, CycleError> {
+        // Two-pass: record which edges are kept, then relax in topo order.
+        let mut kept = vec![false; self.edge_count()];
+        for e in self.edge_refs() {
+            kept[e.id.index()] = use_edge(e);
+        }
+        let order = self.topo_order_filtered(|e| kept[e.id.index()])?;
+        let mut level = vec![0usize; self.node_count()];
+        for v in order {
+            for e in self.outgoing(v) {
+                if kept[e.id.index()] {
+                    let cand = level[v.index()] + 1;
+                    if cand > level[e.dst.index()] {
+                        level[e.dst.index()] = cand;
+                    }
+                }
+            }
+        }
+        Ok(level)
+    }
+
+    /// Height of each node: longest path (in edges) from the node to any
+    /// sink, over the edges selected by `use_edge`. This is the classic
+    /// scheduling priority ("height-based priority", Rau MICRO'94).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] when the selected edges contain a cycle.
+    pub fn heights(
+        &self,
+        mut use_edge: impl FnMut(crate::EdgeRef<'_, E>) -> bool,
+    ) -> Result<Vec<usize>, CycleError> {
+        let mut kept = vec![false; self.edge_count()];
+        for e in self.edge_refs() {
+            kept[e.id.index()] = use_edge(e);
+        }
+        let order = self.topo_order_filtered(|e| kept[e.id.index()])?;
+        let mut height = vec![0usize; self.node_count()];
+        for &v in order.iter().rev() {
+            for e in self.outgoing(v) {
+                if kept[e.id.index()] {
+                    let cand = height[e.dst.index()] + 1;
+                    if cand > height[v.index()] {
+                        height[v.index()] = cand;
+                    }
+                }
+            }
+        }
+        Ok(height)
+    }
+
+    /// Breadth-first distances (in hops, ignoring edge direction) from
+    /// `start` to every node; unreachable nodes get `usize::MAX`.
+    pub fn undirected_bfs_distances(&self, start: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.node_count()];
+        dist[start.index()] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            for w in self.successors(v).chain(self.predecessors(v)) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Digraph<usize, ()> {
+        let mut g = Digraph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn topo_order_of_chain() {
+        let g = chain(5);
+        let order = g.topo_order().unwrap();
+        let idx: Vec<_> = order.iter().map(|n| n.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = chain(3);
+        let first = g.node_ids().next().unwrap();
+        let last = g.node_ids().last().unwrap();
+        g.add_edge(last, first, ());
+        let err = g.topo_order().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn filtered_topo_ignores_back_edges() {
+        let mut g: Digraph<(), bool> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, false);
+        g.add_edge(b, a, true); // back edge
+        assert!(g.topo_order().is_err());
+        let order = g.topo_order_filtered(|e| !*e.weight).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn levels_and_heights() {
+        // diamond a→b→d, a→c→d
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        let lv = g.longest_path_levels(|_| true).unwrap();
+        assert_eq!(lv, vec![0, 1, 1, 2]);
+        let h = g.heights(|_| true).unwrap();
+        assert_eq!(h, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn components_of_two_islands() {
+        let mut g = chain(3);
+        let x = g.add_node(7);
+        let y = g.add_node(8);
+        g.add_edge(y, x, ()); // second island, direction irrelevant
+        let comps = Components::of(&g);
+        assert_eq!(comps.count(), 2);
+        assert!(comps.same(x, y));
+        assert!(!comps.same(x, g.node_ids().next().unwrap()));
+        assert_eq!(comps.label(g.node_ids().next().unwrap()), 0);
+    }
+
+    #[test]
+    fn bfs_distances_ignore_direction() {
+        let g = chain(4);
+        let last = g.node_ids().last().unwrap();
+        let d = g.undirected_bfs_distances(last);
+        assert_eq!(d, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        let g: Digraph<(), ()> = Digraph::new();
+        assert!(g.topo_order().unwrap().is_empty());
+        assert_eq!(Components::of(&g).count(), 0);
+        assert!(g.is_dag());
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export, used to inspect DFGs, CDGs and mappings.
+
+use crate::Digraph;
+use std::fmt::Write as _;
+
+/// Options controlling [`Digraph::to_dot`] output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name emitted in the `digraph <name> { ... }` header.
+    pub name: String,
+    /// Rank direction attribute (`TB`, `LR`, ...).
+    pub rankdir: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "g".to_owned(),
+            rankdir: "TB".to_owned(),
+        }
+    }
+}
+
+impl<N, E> Digraph<N, E> {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// `node_label` and `edge_label` produce the display label for each
+    /// element; an empty edge label omits the attribute.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panorama_graph::{Digraph, DotOptions};
+    ///
+    /// let mut g: Digraph<&str, ()> = Digraph::new();
+    /// let a = g.add_node("load");
+    /// let b = g.add_node("add");
+    /// g.add_edge(a, b, ());
+    /// let dot = g.to_dot(&DotOptions::default(), |_, n| n.to_string(), |_| String::new());
+    /// assert!(dot.contains("load"));
+    /// assert!(dot.contains("->"));
+    /// ```
+    pub fn to_dot(
+        &self,
+        options: &DotOptions,
+        mut node_label: impl FnMut(crate::NodeId, &N) -> String,
+        mut edge_label: impl FnMut(crate::EdgeRef<'_, E>) -> String,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", options.name);
+        let _ = writeln!(out, "  rankdir={};", options.rankdir);
+        for v in self.node_ids() {
+            let label = node_label(v, self.node(v)).replace('"', "\\\"");
+            let _ = writeln!(out, "  {} [label=\"{}\"];", v, label);
+        }
+        for e in self.edge_refs() {
+            let label = edge_label(e).replace('"', "\\\"");
+            if label.is_empty() {
+                let _ = writeln!(out, "  {} -> {};", e.src, e.dst);
+            } else {
+                let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.src, e.dst, label);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut g: Digraph<u32, u32> = Digraph::new();
+        let a = g.add_node(10);
+        let b = g.add_node(20);
+        g.add_edge(a, b, 5);
+        let dot = g.to_dot(
+            &DotOptions {
+                name: "dfg".into(),
+                rankdir: "LR".into(),
+            },
+            |id, w| format!("{}:{}", id, w),
+            |e| format!("w{}", e.weight),
+        );
+        assert!(dot.starts_with("digraph dfg {"));
+        assert!(dot.contains("rankdir=LR;"));
+        assert!(dot.contains("n0 [label=\"n0:10\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"w5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g: Digraph<&str, ()> = Digraph::new();
+        g.add_node("say \"hi\"");
+        let dot = g.to_dot(&DotOptions::default(), |_, n| n.to_string(), |_| String::new());
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,180 @@
+//! Adjacency-matrix view of a digraph, consumed by spectral clustering.
+
+use crate::Digraph;
+
+/// Dense symmetric adjacency matrix of a graph (direction ignored),
+/// with entry `(i, j)` counting edges between nodes `i` and `j`.
+///
+/// Spectral clustering treats the DFG as a similarity graph, so parallel
+/// edges accumulate weight and self-loops are dropped (they do not affect
+/// the graph Laplacian's cut structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl AdjacencyMatrix {
+    /// Builds the symmetric adjacency matrix of `graph`.
+    pub fn symmetric<N, E>(graph: &Digraph<N, E>) -> Self {
+        let n = graph.node_count();
+        let mut data = vec![0.0; n * n];
+        for e in graph.edge_refs() {
+            let (i, j) = (e.src.index(), e.dst.index());
+            if i == j {
+                continue;
+            }
+            data[i * n + j] += 1.0;
+            data[j * n + i] += 1.0;
+        }
+        AdjacencyMatrix { n, data }
+    }
+
+    /// Matrix dimension (number of graph nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the empty (0×0) matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Weighted degree of node `row` (sum of its adjacency row).
+    pub fn degree(&self, row: usize) -> f64 {
+        self.data[row * self.n..(row + 1) * self.n].iter().sum()
+    }
+
+    /// The unnormalised graph Laplacian `L = D − A` as a dense row-major
+    /// buffer, suitable for the symmetric eigensolver.
+    pub fn laplacian(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            let d = self.degree(i);
+            for j in 0..n {
+                l[i * n + j] = if i == j { d - self.get(i, j) } else { -self.get(i, j) };
+            }
+        }
+        l
+    }
+
+    /// The symmetric normalised Laplacian `L_sym = I − D^{-1/2} A D^{-1/2}`
+    /// (isolated nodes keep an identity row), used by Ng–Jordan–Weiss
+    /// normalised spectral clustering.
+    pub fn normalized_laplacian(&self) -> Vec<f64> {
+        let n = self.n;
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = self.degree(i);
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let a = self.get(i, j) * inv_sqrt[i] * inv_sqrt[j];
+                l[i * n + j] = if i == j { 1.0 - a } else { -a };
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_counts_parallel_edges() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let m = AdjacencyMatrix::symmetric(&g);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.degree(0), 3.0);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let m = AdjacencyMatrix::symmetric(&g);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        // triangle plus a pendant
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[2], ());
+        g.add_edge(ids[2], ids[0], ());
+        g.add_edge(ids[2], ids[3], ());
+        let m = AdjacencyMatrix::symmetric(&g);
+        let l = m.laplacian();
+        for i in 0..4 {
+            let row_sum: f64 = l[i * 4..(i + 1) * 4].iter().sum();
+            assert!(row_sum.abs() < 1e-12);
+        }
+        // degree of node 2 is 3
+        assert_eq!(l[2 * 4 + 2], 3.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_has_unit_diagonal_and_bounded_spectrum() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let ids: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[1], ids[2], ());
+        let m = AdjacencyMatrix::symmetric(&g);
+        let l = m.normalized_laplacian();
+        for i in 0..3 {
+            assert!((l[i * 3 + i] - 1.0).abs() < 1e-12);
+        }
+        // symmetric
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((l[i * 3 + j] - l[j * 3 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_isolated_node() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        g.add_node(());
+        let m = AdjacencyMatrix::symmetric(&g);
+        let l = m.normalized_laplacian();
+        assert_eq!(l, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let g: Digraph<(), ()> = Digraph::new();
+        let m = AdjacencyMatrix::symmetric(&g);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.laplacian().is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Strongly connected components (Tarjan), used to analyse the recurrence
+//! structure of dataflow graphs: every loop-carried dependency cycle lives
+//! inside one SCC of the full (data + back edge) graph.
+
+use crate::{Digraph, NodeId};
+
+/// Strongly-connected-component labelling of a digraph.
+///
+/// Produced by [`Sccs::of`]; components are numbered in *reverse
+/// topological order* of the condensation (Tarjan's natural output), so
+/// component 0 has no outgoing edges to other components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sccs {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Sccs {
+    /// Computes the strongly connected components of `graph`.
+    pub fn of<N, E>(graph: &Digraph<N, E>) -> Self {
+        let n = graph.node_count();
+        let mut state = TarjanState {
+            index: vec![u32::MAX; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            labels: vec![u32::MAX; n],
+            next_index: 0,
+            count: 0,
+        };
+        for v in graph.node_ids() {
+            if state.index[v.index()] == u32::MAX {
+                state.visit(graph, v);
+            }
+        }
+        Sccs {
+            labels: state.labels,
+            count: state.count,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `node`.
+    pub fn label(&self, node: NodeId) -> usize {
+        self.labels[node.index()] as usize
+    }
+
+    /// Whether `a` and `b` are strongly connected.
+    pub fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+
+    /// Members of each component with more than one node — i.e. the
+    /// non-trivial cycles (self-loops are still single-node components;
+    /// check those separately).
+    pub fn nontrivial<N, E>(&self, graph: &Digraph<N, E>) -> Vec<Vec<NodeId>> {
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); self.count];
+        for v in graph.node_ids() {
+            groups[self.label(v)].push(v);
+        }
+        groups.retain(|g| g.len() > 1);
+        groups
+    }
+}
+
+struct TarjanState {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeId>,
+    labels: Vec<u32>,
+    next_index: u32,
+    count: usize,
+}
+
+impl TarjanState {
+    /// Iterative Tarjan (explicit stack; recursion would overflow on long
+    /// dependence chains).
+    fn visit<N, E>(&mut self, graph: &Digraph<N, E>, root: NodeId) {
+        // frame: (node, next successor position)
+        let mut call: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                self.index[v.index()] = self.next_index;
+                self.lowlink[v.index()] = self.next_index;
+                self.next_index += 1;
+                self.stack.push(v);
+                self.on_stack[v.index()] = true;
+            }
+            let succs: Vec<NodeId> = graph.successors(v).collect();
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if self.index[w.index()] == u32::MAX {
+                    call.push((w, 0));
+                } else if self.on_stack[w.index()] {
+                    self.lowlink[v.index()] =
+                        self.lowlink[v.index()].min(self.index[w.index()]);
+                }
+            } else {
+                // leaving v
+                if self.lowlink[v.index()] == self.index[v.index()] {
+                    loop {
+                        let w = self.stack.pop().expect("stack holds the component");
+                        self.on_stack[w.index()] = false;
+                        self.labels[w.index()] = self.count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    self.count += 1;
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    self.lowlink[parent.index()] =
+                        self.lowlink[parent.index()].min(self.lowlink[v.index()]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let sccs = Sccs::of(&g);
+        assert_eq!(sccs.count(), 3);
+        assert!(!sccs.same(a, b));
+        assert!(sccs.nontrivial(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[0], ());
+        g.add_edge(n[2], n[3], ()); // tail out of the cycle
+        let sccs = Sccs::of(&g);
+        assert_eq!(sccs.count(), 2);
+        assert!(sccs.same(n[0], n[2]));
+        assert!(!sccs.same(n[0], n[3]));
+        let nt = sccs.nontrivial(&g);
+        assert_eq!(nt.len(), 1);
+        assert_eq!(nt[0].len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_are_separate() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[0], ());
+        g.add_edge(n[2], n[3], ());
+        g.add_edge(n[3], n[2], ());
+        let sccs = Sccs::of(&g);
+        assert_eq!(sccs.count(), 2);
+        assert!(sccs.same(n[0], n[1]));
+        assert!(sccs.same(n[2], n[3]));
+        assert!(!sccs.same(n[1], n[2]));
+        assert_eq!(sccs.nontrivial(&g).len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let sccs = Sccs::of(&g);
+        assert_eq!(sccs.count(), 1);
+        assert!(sccs.nontrivial(&g).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // iterative Tarjan must handle chains far beyond stack depth
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n: Vec<_> = (0..50_000).map(|_| g.add_node(())).collect();
+        for w in n.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g.add_edge(n[49_999], n[0], ()); // one giant cycle
+        let sccs = Sccs::of(&g);
+        assert_eq!(sccs.count(), 1);
+    }
+
+    #[test]
+    fn component_order_is_reverse_topological() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        let sccs = Sccs::of(&g);
+        // b (sink) finishes first → label 0
+        assert_eq!(sccs.label(b), 0);
+        assert_eq!(sccs.label(a), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Branch & bound over LP relaxations.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::simplex::{solve_lp, LpOutcome, LpRow};
+use crate::VarId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Model::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraint set admits no feasible assignment.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+    /// The branch & bound node budget was exhausted before proving
+    /// optimality. Carries the best feasible solution found, if any.
+    NodeLimit(Option<Solution>),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "model is unbounded"),
+            SolveError::NodeLimit(Some(_)) => {
+                write!(f, "node limit reached with a feasible incumbent")
+            }
+            SolveError::NodeLimit(None) => write!(f, "node limit reached without a solution"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// An optimal (or incumbent) assignment for a [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl Solution {
+    /// Value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` does not belong to the solved model.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of an integer variable, rounded to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` does not belong to the solved model.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Convenience accessor for 0/1 variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` does not belong to the solved model.
+    pub fn bool_value(&self, var: VarId) -> bool {
+        self.int_value(var) != 0
+    }
+
+    /// Objective value under the model's optimisation sense.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+}
+
+const INT_TOL: f64 = 1e-6;
+
+struct BnbNode {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Model {
+    /// Solves the model to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Infeasible`] — no assignment satisfies the
+    ///   constraints;
+    /// * [`SolveError::Unbounded`] — the LP relaxation is unbounded;
+    /// * [`SolveError::NodeLimit`] — the search budget ran out (carries the
+    ///   best incumbent found, if any).
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let n = self.num_vars();
+        // Internally always minimise.
+        let mut cost = self.objective.coefficients(n);
+        let obj_const = self.objective.constant_term();
+        if self.sense == Sense::Maximize {
+            for c in &mut cost {
+                *c = -*c;
+            }
+        }
+
+        // presolve: tighten the root box before searching
+        let root_lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
+        let root_upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
+        let (root_lower, root_upper) =
+            match crate::presolve::tighten(self, root_lower, root_upper) {
+                crate::presolve::Presolve::Bounds(lo, up) => (lo, up),
+                crate::presolve::Presolve::Infeasible => return Err(SolveError::Infeasible),
+            };
+        let root = BnbNode {
+            lower: root_lower,
+            upper: root_upper,
+        };
+
+        let mut stack = vec![root];
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut nodes = 0usize;
+        let mut root_unbounded = false;
+
+        while let Some(node) = stack.pop() {
+            nodes += 1;
+            if nodes > self.node_limit {
+                return Err(SolveError::NodeLimit(incumbent.map(|(values, obj)| {
+                    Solution {
+                        values,
+                        objective: self.finish_objective(obj, obj_const),
+                    }
+                })));
+            }
+            // Fast infeasibility: crossed bounds from branching.
+            if node
+                .lower
+                .iter()
+                .zip(&node.upper)
+                .any(|(l, u)| l > &(u + 1e-9))
+            {
+                continue;
+            }
+
+            let (rows, shifted_cost, shift_const) = self.build_lp(&node, &cost);
+            match solve_lp(n, &rows, &shifted_cost) {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => {
+                    if nodes == 1 {
+                        root_unbounded = true;
+                        break;
+                    }
+                    // Children of a bounded root cannot be unbounded in a
+                    // well-posed model (all integer vars are bounded);
+                    // treat defensively as a prune.
+                    continue;
+                }
+                LpOutcome::Optimal { x, objective } => {
+                    let lp_obj = objective + shift_const;
+                    if let Some((_, inc)) = &incumbent {
+                        if lp_obj >= *inc - 1e-9 {
+                            continue; // bound prune
+                        }
+                    }
+                    // Un-shift to original variable space.
+                    let values: Vec<f64> = x
+                        .iter()
+                        .zip(&node.lower)
+                        .map(|(xi, lo)| xi + lo)
+                        .collect();
+                    // Most fractional integer variable.
+                    let mut branch_var = None;
+                    let mut worst = INT_TOL;
+                    for (j, def) in self.vars.iter().enumerate() {
+                        if def.integer {
+                            let frac = (values[j] - values[j].round()).abs();
+                            if frac > worst {
+                                worst = frac;
+                                branch_var = Some(j);
+                            }
+                        }
+                    }
+                    match branch_var {
+                        None => {
+                            // Integer-feasible: snap and record.
+                            let snapped: Vec<f64> = self
+                                .vars
+                                .iter()
+                                .enumerate()
+                                .map(|(j, def)| {
+                                    if def.integer {
+                                        values[j].round()
+                                    } else {
+                                        values[j]
+                                    }
+                                })
+                                .collect();
+                            let obj: f64 = snapped
+                                .iter()
+                                .zip(&cost)
+                                .map(|(v, c)| v * c)
+                                .sum();
+                            if incumbent
+                                .as_ref()
+                                .map_or(true, |(_, inc)| obj < inc - 1e-9)
+                            {
+                                incumbent = Some((snapped, obj));
+                            }
+                        }
+                        Some(j) => {
+                            let v = values[j];
+                            let floor = v.floor();
+                            // Push the "far" child first so the child closer
+                            // to the LP optimum is explored first (DFS).
+                            let mut down = BnbNode {
+                                lower: node.lower.clone(),
+                                upper: node.upper.clone(),
+                            };
+                            down.upper[j] = floor;
+                            let mut up = BnbNode {
+                                lower: node.lower,
+                                upper: node.upper,
+                            };
+                            up.lower[j] = floor + 1.0;
+                            if v - floor < 0.5 {
+                                stack.push(up);
+                                stack.push(down);
+                            } else {
+                                stack.push(down);
+                                stack.push(up);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if root_unbounded {
+            return Err(SolveError::Unbounded);
+        }
+        match incumbent {
+            Some((values, obj)) => Ok(Solution {
+                values,
+                objective: self.finish_objective(obj, obj_const),
+            }),
+            None => Err(SolveError::Infeasible),
+        }
+    }
+
+    fn finish_objective(&self, internal: f64, obj_const: f64) -> f64 {
+        match self.sense {
+            Sense::Minimize => internal + obj_const,
+            Sense::Maximize => -internal + obj_const,
+        }
+    }
+
+    /// Builds the LP rows for one node: constraints shifted so every
+    /// variable has lower bound 0, plus explicit upper-bound rows.
+    /// Returns (rows, cost over shifted vars, objective shift constant).
+    fn build_lp(&self, node: &BnbNode, cost: &[f64]) -> (Vec<LpRow>, Vec<f64>, f64) {
+        let n = self.num_vars();
+        let mut rows = Vec::with_capacity(self.constraints.len() + n);
+        for c in &self.constraints {
+            let mut coeffs = vec![0.0; n];
+            let mut shift = 0.0;
+            for &(v, a) in &c.coeffs {
+                coeffs[v.index()] += a;
+            }
+            for (j, a) in coeffs.iter().enumerate() {
+                shift += a * node.lower[j];
+            }
+            rows.push(LpRow {
+                coeffs,
+                cmp: c.cmp,
+                rhs: c.rhs - shift,
+            });
+        }
+        for j in 0..n {
+            let span = node.upper[j] - node.lower[j];
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            rows.push(LpRow {
+                coeffs,
+                cmp: Cmp::Le,
+                rhs: span.max(0.0),
+            });
+        }
+        let shift_const: f64 = cost
+            .iter()
+            .zip(&node.lower)
+            .map(|(c, l)| c * l)
+            .sum();
+        (rows, cost.to_vec(), shift_const)
+    }
+}

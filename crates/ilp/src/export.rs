@@ -1,0 +1,154 @@
+//! CPLEX-LP-format export, for debugging scattering formulations against
+//! external solvers.
+
+use crate::model::{Cmp, Model, Sense};
+use std::fmt::Write as _;
+
+fn term(coef: f64, name: &str, first: bool) -> String {
+    let sign = if coef < 0.0 {
+        "- "
+    } else if first {
+        ""
+    } else {
+        "+ "
+    };
+    let mag = coef.abs();
+    if (mag - 1.0).abs() < 1e-12 {
+        format!("{sign}{name} ")
+    } else {
+        format!("{sign}{mag} {name} ")
+    }
+}
+
+/// Renders `model` in the LP file format understood by CPLEX, Gurobi,
+/// GLPK and friends — handy for cross-checking our solver's optima.
+///
+/// Variable names are sanitised to `x<i>` (LP identifiers are restrictive);
+/// the original names appear as comments.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_ilp::{write_lp, Cmp, LinExpr, Model, Sense};
+///
+/// let mut m = Model::new(Sense::Maximize);
+/// let a = m.bool_var("pick_a");
+/// m.set_objective(3.0 * a);
+/// m.add_constraint(LinExpr::from(a), Cmp::Le, 1.0);
+/// let lp = write_lp(&m);
+/// assert!(lp.contains("Maximize"));
+/// assert!(lp.contains("Binary"));
+/// ```
+pub fn write_lp(model: &Model) -> String {
+    let mut out = String::new();
+    let n = model.num_vars();
+    for j in 0..n {
+        let _ = writeln!(out, "\\ x{} = {}", j, model.var_name(crate::VarId(j as u32)));
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        match model.sense {
+            Sense::Minimize => "Minimize",
+            Sense::Maximize => "Maximize",
+        }
+    );
+    let coeffs = model.objective.coefficients(n);
+    let mut line = String::from(" obj: ");
+    let mut first = true;
+    for (j, &c) in coeffs.iter().enumerate() {
+        if c != 0.0 {
+            line.push_str(&term(c, &format!("x{j}"), first));
+            first = false;
+        }
+    }
+    if first {
+        line.push('0');
+    }
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "Subject To");
+    for (i, c) in model.constraints.iter().enumerate() {
+        let mut line = format!(" c{i}: ");
+        let mut merged = vec![0.0; n];
+        for &(v, a) in &c.coeffs {
+            merged[v.index()] += a;
+        }
+        let mut first = true;
+        for (j, &a) in merged.iter().enumerate() {
+            if a != 0.0 {
+                line.push_str(&term(a, &format!("x{j}"), first));
+                first = false;
+            }
+        }
+        if first {
+            line.push_str("0 ");
+        }
+        let op = match c.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, "{line}{op} {}", c.rhs);
+    }
+    let _ = writeln!(out, "Bounds");
+    for (j, v) in model.vars.iter().enumerate() {
+        let _ = writeln!(out, " {} <= x{j} <= {}", v.lower, v.upper);
+    }
+    let binaries: Vec<String> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.integer && v.lower == 0.0 && v.upper == 1.0)
+        .map(|(j, _)| format!("x{j}"))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binary\n {}", binaries.join(" "));
+    }
+    let generals: Vec<String> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.integer && !(v.lower == 0.0 && v.upper == 1.0))
+        .map(|(j, _)| format!("x{j}"))
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "General\n {}", generals.join(" "));
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    #[test]
+    fn exports_all_sections() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("flag");
+        let y = m.int_var("count", 0, 9);
+        let z = m.cont_var("slack", 0.0, 5.0);
+        m.add_constraint(2.0 * x + 1.0 * y - 1.0 * z, Cmp::Le, 4.0);
+        m.add_constraint(LinExpr::from(y), Cmp::Ge, 1.0);
+        m.set_objective(1.0 * x + 3.0 * y);
+        let lp = write_lp(&m);
+        assert!(lp.contains("Minimize"));
+        assert!(lp.contains("Subject To"));
+        assert!(lp.contains("c0: 2 x0 + x1 - x2 <= 4"));
+        assert!(lp.contains("c1: x1 >= 1"));
+        assert!(lp.contains("Bounds"));
+        assert!(lp.contains("Binary\n x0"));
+        assert!(lp.contains("General\n x1"));
+        assert!(lp.contains("\\ x0 = flag"));
+        assert!(lp.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut m = Model::new(Sense::Maximize);
+        let _ = m.bool_var("x");
+        let lp = write_lp(&m);
+        assert!(lp.contains("obj: 0"));
+    }
+}

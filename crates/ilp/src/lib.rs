@@ -1,0 +1,48 @@
+//! A small exact mixed-integer linear programming (MILP) solver.
+//!
+//! PANORAMA's cluster-mapping step formulates *column-wise scattering* and
+//! *row-wise scattering* as ILPs, solved with Gurobi in the original work.
+//! This crate replaces Gurobi with a self-contained solver sized for those
+//! problems (a few hundred variables):
+//!
+//! * [`Model`] — builder API for variables, linear constraints and a linear
+//!   objective, including an [absolute-value linearisation
+//!   helper](Model::abs_var) used by both scattering objectives;
+//! * a dense **two-phase primal simplex** for LP relaxations
+//!   (Bland's rule, so it cannot cycle);
+//! * **branch & bound** on fractional integer variables with best-bound
+//!   pruning and a rounding heuristic for early incumbents.
+//!
+//! # Examples
+//!
+//! A tiny knapsack:
+//!
+//! ```
+//! use panorama_ilp::{Cmp, Model, Sense};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let a = m.bool_var("a"); // value 3, weight 2
+//! let b = m.bool_var("b"); // value 4, weight 3
+//! let c = m.bool_var("c"); // value 2, weight 1
+//! m.set_objective(3.0 * a + 4.0 * b + 2.0 * c);
+//! m.add_constraint(2.0 * a + 3.0 * b + 1.0 * c, Cmp::Le, 4.0);
+//! let sol = m.solve()?;
+//! assert_eq!(sol.objective(), 6.0); // b + c
+//! # Ok::<(), panorama_ilp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod simplex;
+mod branch;
+mod presolve;
+mod export;
+
+pub use branch::{Solution, SolveError};
+pub use export::write_lp;
+pub use model::{Cmp, LinExpr, Model, Sense, VarId};
+
+#[cfg(test)]
+mod solver_tests;

@@ -1,0 +1,178 @@
+//! Presolve: constraint-driven bound tightening, run once at the root of
+//! branch & bound. Shrinking variable domains up front prunes large parts
+//! of the search tree for free and detects some infeasibilities without
+//! any LP solve.
+
+use crate::model::{Cmp, Model};
+
+/// Result of presolving: tightened bounds, or proof of infeasibility.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Presolve {
+    /// Tightened (lower, upper) bounds per variable.
+    Bounds(Vec<f64>, Vec<f64>),
+    /// Some constraint cannot be satisfied within the variable bounds.
+    Infeasible,
+}
+
+/// Activity bounds of `Σ aᵢxᵢ` over a box domain.
+fn activity(coeffs: &[(usize, f64)], lower: &[f64], upper: &[f64]) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for &(j, a) in coeffs {
+        if a >= 0.0 {
+            lo += a * lower[j];
+            hi += a * upper[j];
+        } else {
+            lo += a * upper[j];
+            hi += a * lower[j];
+        }
+    }
+    (lo, hi)
+}
+
+/// Iteratively tightens variable bounds from every constraint until a
+/// fixpoint (capped at a handful of sweeps — diminishing returns after).
+pub(crate) fn tighten(model: &Model, mut lower: Vec<f64>, mut upper: Vec<f64>) -> Presolve {
+    const SWEEPS: usize = 6;
+    const EPS: f64 = 1e-9;
+
+    // normalise: every constraint as one or two ≤ rows over (index, coeff)
+    let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+    for c in &model.constraints {
+        let coeffs: Vec<(usize, f64)> = c.coeffs.iter().map(|&(v, a)| (v.index(), a)).collect();
+        match c.cmp {
+            Cmp::Le => rows.push((coeffs, c.rhs)),
+            Cmp::Ge => rows.push((coeffs.iter().map(|&(j, a)| (j, -a)).collect(), -c.rhs)),
+            Cmp::Eq => {
+                rows.push((coeffs.clone(), c.rhs));
+                rows.push((coeffs.iter().map(|&(j, a)| (j, -a)).collect(), -c.rhs));
+            }
+        }
+    }
+
+    for _ in 0..SWEEPS {
+        let mut changed = false;
+        for (coeffs, rhs) in &rows {
+            let (act_lo, _) = activity(coeffs, &lower, &upper);
+            if act_lo > rhs + EPS {
+                return Presolve::Infeasible;
+            }
+            for &(j, a) in coeffs {
+                if a.abs() < EPS {
+                    continue;
+                }
+                // residual minimum activity of the other terms
+                let self_lo = if a >= 0.0 { a * lower[j] } else { a * upper[j] };
+                let rest_lo = act_lo - self_lo;
+                // a*x_j ≤ rhs − rest_lo
+                let budget = rhs - rest_lo;
+                if a > 0.0 {
+                    let mut new_up = budget / a;
+                    if model.vars[j].integer {
+                        new_up = (new_up + EPS).floor();
+                    }
+                    if new_up < upper[j] - EPS {
+                        upper[j] = new_up;
+                        changed = true;
+                    }
+                } else {
+                    let mut new_lo = budget / a; // negative divisor flips
+                    if model.vars[j].integer {
+                        new_lo = (new_lo - EPS).ceil();
+                    }
+                    if new_lo > lower[j] + EPS {
+                        lower[j] = new_lo;
+                        changed = true;
+                    }
+                }
+                if lower[j] > upper[j] + EPS {
+                    return Presolve::Infeasible;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Presolve::Bounds(lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Sense};
+
+    #[test]
+    fn tightens_upper_bound_from_le_row() {
+        // x + y ≤ 3 with x,y ∈ [0,10] → both upper bounds become 3
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        let y = m.int_var("y", 0, 10);
+        m.add_constraint(x + y, Cmp::Le, 3.0);
+        let lower = vec![0.0, 0.0];
+        let upper = vec![10.0, 10.0];
+        match tighten(&m, lower, upper) {
+            Presolve::Bounds(_, up) => {
+                assert_eq!(up, vec![3.0, 3.0]);
+            }
+            Presolve::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn tightens_lower_bound_from_ge_row() {
+        // x + y ≥ 15 with x ≤ 10 → y ≥ 5
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        let y = m.int_var("y", 0, 10);
+        m.add_constraint(x + y, Cmp::Ge, 15.0);
+        match tighten(&m, vec![0.0, 0.0], vec![10.0, 10.0]) {
+            Presolve::Bounds(lo, _) => {
+                assert_eq!(lo[1], 5.0);
+                assert_eq!(lo[0], 5.0);
+            }
+            Presolve::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x ≥ 5 and x ≤ 2
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Le, 2.0);
+        assert_eq!(
+            tighten(&m, vec![0.0], vec![10.0]),
+            Presolve::Infeasible
+        );
+    }
+
+    #[test]
+    fn integer_rounding_applies() {
+        // 2x ≤ 5 with integer x → x ≤ 2 (not 2.5)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        m.add_constraint(2.0 * x, Cmp::Le, 5.0);
+        match tighten(&m, vec![0.0], vec![10.0]) {
+            Presolve::Bounds(_, up) => assert_eq!(up[0], 2.0),
+            Presolve::Infeasible => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn equality_tightens_both_sides() {
+        // x + y = 4, x,y ∈ [0,3] → lower bounds rise to 1
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 3);
+        let y = m.int_var("y", 0, 3);
+        m.add_constraint(x + y, Cmp::Eq, 4.0);
+        match tighten(&m, vec![0.0, 0.0], vec![3.0, 3.0]) {
+            Presolve::Bounds(lo, up) => {
+                assert_eq!(lo, vec![1.0, 1.0]);
+                assert_eq!(up, vec![3.0, 3.0]);
+            }
+            Presolve::Infeasible => panic!("feasible"),
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! End-to-end solver tests: known optima, infeasibility, degenerate cases,
+//! and a brute-force cross-check over randomised small boolean programs.
+
+use crate::{Cmp, LinExpr, Model, Sense, SolveError};
+
+#[test]
+fn knapsack_small() {
+    let mut m = Model::new(Sense::Maximize);
+    let items = [(3.0, 2.0), (4.0, 3.0), (2.0, 1.0), (5.0, 4.0)];
+    let vars: Vec<_> = (0..items.len())
+        .map(|i| m.bool_var(format!("item{i}")))
+        .collect();
+    m.set_objective(LinExpr::sum(
+        vars.iter().zip(&items).map(|(&v, &(val, _))| (val, v)),
+    ));
+    m.add_constraint(
+        LinExpr::sum(vars.iter().zip(&items).map(|(&v, &(_, w))| (w, v))),
+        Cmp::Le,
+        5.0,
+    );
+    let sol = m.solve().unwrap();
+    // best: items 0 (3/2) + 1 (4/3) → value 7 weight 5
+    assert_eq!(sol.objective(), 7.0);
+    assert!(sol.bool_value(vars[0]));
+    assert!(sol.bool_value(vars[1]));
+}
+
+#[test]
+fn pure_lp_no_integers() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.cont_var("x", 0.0, 10.0);
+    let y = m.cont_var("y", 0.0, 10.0);
+    m.add_constraint(x + y, Cmp::Ge, 3.5);
+    m.set_objective(1.0 * x + 2.0 * y);
+    let sol = m.solve().unwrap();
+    assert!((sol.objective() - 3.5).abs() < 1e-7);
+    assert!((sol.value(x) - 3.5).abs() < 1e-7);
+}
+
+#[test]
+fn integrality_matters() {
+    // LP optimum is fractional; ILP optimum differs.
+    // max x + y st 2x + 2y <= 3, x,y ∈ {0,1} → LP 1.5, ILP 1
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.bool_var("x");
+    let y = m.bool_var("y");
+    m.add_constraint(2.0 * x + 2.0 * y, Cmp::Le, 3.0);
+    m.set_objective(x + y);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective(), 1.0);
+}
+
+#[test]
+fn equality_partition() {
+    // pick exactly 2 of 4 items minimising cost
+    let mut m = Model::new(Sense::Minimize);
+    let costs = [5.0, 1.0, 4.0, 2.0];
+    let vars: Vec<_> = costs.iter().map(|_| m.bool_var("v")).collect();
+    m.add_constraint(
+        LinExpr::sum(vars.iter().map(|&v| (1.0, v))),
+        Cmp::Eq,
+        2.0,
+    );
+    m.set_objective(LinExpr::sum(vars.iter().zip(&costs).map(|(&v, &c)| (c, v))));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective(), 3.0);
+    assert!(sol.bool_value(vars[1]) && sol.bool_value(vars[3]));
+}
+
+#[test]
+fn infeasible_model() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.bool_var("x");
+    m.add_constraint(LinExpr::from(x), Cmp::Ge, 2.0);
+    assert_eq!(m.solve().unwrap_err(), SolveError::Infeasible);
+}
+
+#[test]
+fn unbounded_model() {
+    let mut m = Model::new(Sense::Maximize);
+    // continuous var with a huge range and no constraint
+    let x = m.cont_var("x", 0.0, f64::MAX / 4.0);
+    m.set_objective(LinExpr::from(x));
+    // Bounded (by the variable's upper bound) but astronomically large —
+    // treated as a normal solve; verify it does not error.
+    let sol = m.solve().unwrap();
+    assert!(sol.objective() > 1e300);
+}
+
+#[test]
+fn negative_integer_bounds() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.int_var("x", -5, 5);
+    m.add_constraint(LinExpr::from(x), Cmp::Ge, -3.5);
+    m.set_objective(LinExpr::from(x));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(x), -3);
+}
+
+#[test]
+fn abs_linearisation_positive_and_negative() {
+    // minimise |x − 7| with x ∈ [0, 10] integer and x ≥ 9 → x = 9, |·| = 2
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.int_var("x", 0, 10);
+    m.add_constraint(LinExpr::from(x), Cmp::Ge, 9.0);
+    let t = m.abs_var("t", LinExpr::from(x) - 7.0, 20.0);
+    m.set_objective(LinExpr::from(t));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(x), 9);
+    assert!((sol.value(t) - 2.0).abs() < 1e-6);
+
+    // minimise |x − 7| with x ≤ 4 → x = 4, |·| = 3
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.int_var("x", 0, 10);
+    m.add_constraint(LinExpr::from(x), Cmp::Le, 4.0);
+    let t = m.abs_var("t", LinExpr::from(x) - 7.0, 20.0);
+    m.set_objective(LinExpr::from(t));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(x), 4);
+    assert!((sol.value(t) - 3.0).abs() < 1e-6);
+}
+
+#[test]
+fn assignment_problem_3x3() {
+    // classic assignment: cost matrix, each row/col exactly once
+    let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+    let mut m = Model::new(Sense::Minimize);
+    let mut x = Vec::new();
+    for i in 0..3 {
+        let row: Vec<_> = (0..3).map(|j| m.bool_var(format!("x{i}{j}"))).collect();
+        x.push(row);
+    }
+    for i in 0..3 {
+        m.add_constraint(
+            LinExpr::sum((0..3).map(|j| (1.0, x[i][j]))),
+            Cmp::Eq,
+            1.0,
+        );
+        m.add_constraint(
+            LinExpr::sum((0..3).map(|j| (1.0, x[j][i]))),
+            Cmp::Eq,
+            1.0,
+        );
+    }
+    let obj_terms: Vec<_> = (0..3)
+        .flat_map(|i| (0..3).map(move |j| (i, j)))
+        .map(|(i, j)| (cost[i][j], x[i][j]))
+        .collect();
+    m.set_objective(LinExpr::sum(obj_terms));
+    let sol = m.solve().unwrap();
+    // optimum: (0,1)+(1,0)+(2,2) = 1+2+2 = 5
+    assert_eq!(sol.objective(), 5.0);
+}
+
+#[test]
+fn node_limit_errors_gracefully() {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..16).map(|i| m.bool_var(format!("b{i}"))).collect();
+    // loose knapsack with correlated weights: forces branching
+    m.add_constraint(
+        LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (2.0 + (i % 3) as f64, v))),
+        Cmp::Le,
+        17.0,
+    );
+    m.set_objective(LinExpr::sum(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| (3.0 + (i % 5) as f64, v)),
+    ));
+    m.set_node_limit(1);
+    match m.solve() {
+        Err(SolveError::NodeLimit(_)) => {}
+        Ok(_) => {} // solved at the root — also acceptable
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn fixed_variable_via_equal_bounds() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.int_var("x", 3, 3);
+    let y = m.int_var("y", 0, 10);
+    m.add_constraint(x + y, Cmp::Ge, 5.0);
+    m.set_objective(LinExpr::from(y));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(x), 3);
+    assert_eq!(sol.int_value(y), 2);
+}
+
+#[test]
+fn maximization_with_constant_offset() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.bool_var("x");
+    m.set_objective(2.0 * x + 10.0);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective(), 12.0);
+}
+
+mod brute_force_cross_check {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Enumerates all 0/1 assignments and returns the best objective, or
+    /// None when infeasible.
+    fn brute_force(
+        n: usize,
+        cons: &[(Vec<f64>, Cmp, f64)],
+        obj: &[f64],
+        sense: Sense,
+    ) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for mask in 0..(1u32 << n) {
+            let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
+            let ok = cons.iter().all(|(coef, cmp, rhs)| {
+                let lhs: f64 = coef.iter().zip(&x).map(|(c, v)| c * v).sum();
+                match cmp {
+                    Cmp::Le => lhs <= rhs + 1e-9,
+                    Cmp::Ge => lhs >= rhs - 1e-9,
+                    Cmp::Eq => (lhs - rhs).abs() < 1e-9,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            let val: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(match (best, sense) {
+                (None, _) => val,
+                (Some(b), Sense::Minimize) => b.min(val),
+                (Some(b), Sense::Maximize) => b.max(val),
+            });
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn solver_matches_brute_force(
+            n in 2usize..7,
+            ncons in 1usize..4,
+            coef_seed in proptest::collection::vec(-4i8..5, 0..64),
+            rhs_seed in proptest::collection::vec(-3i8..8, 0..8),
+            obj_seed in proptest::collection::vec(-5i8..6, 0..8),
+            maximize in any::<bool>(),
+        ) {
+            let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+            let mut m = Model::new(sense);
+            let vars: Vec<_> = (0..n).map(|i| m.bool_var(format!("v{i}"))).collect();
+            let mut cons = Vec::new();
+            for c in 0..ncons {
+                let coeffs: Vec<f64> = (0..n)
+                    .map(|j| *coef_seed.get(c * n + j).unwrap_or(&1) as f64)
+                    .collect();
+                let rhs = *rhs_seed.get(c).unwrap_or(&2) as f64;
+                let cmp = match c % 3 {
+                    0 => Cmp::Le,
+                    1 => Cmp::Ge,
+                    _ => Cmp::Le,
+                };
+                m.add_constraint(
+                    LinExpr::sum(coeffs.iter().zip(&vars).map(|(&co, &v)| (co, v))),
+                    cmp,
+                    rhs,
+                );
+                cons.push((coeffs, cmp, rhs));
+            }
+            let obj: Vec<f64> = (0..n)
+                .map(|j| *obj_seed.get(j).unwrap_or(&1) as f64)
+                .collect();
+            m.set_objective(LinExpr::sum(obj.iter().zip(&vars).map(|(&c, &v)| (c, v))));
+
+            let expect = brute_force(n, &cons, &obj, sense);
+            match (m.solve(), expect) {
+                (Ok(sol), Some(best)) => {
+                    prop_assert!((sol.objective() - best).abs() < 1e-6,
+                        "solver {} vs brute force {}", sol.objective(), best);
+                    // solution must satisfy every constraint
+                    for (coeffs, cmp, rhs) in &cons {
+                        let lhs: f64 = coeffs.iter().zip(&vars)
+                            .map(|(c, &v)| c * sol.value(v)).sum();
+                        let ok = match cmp {
+                            Cmp::Le => lhs <= rhs + 1e-6,
+                            Cmp::Ge => lhs >= rhs - 1e-6,
+                            Cmp::Eq => (lhs - rhs).abs() < 1e-6,
+                        };
+                        prop_assert!(ok, "constraint violated: {lhs} {cmp} {rhs}");
+                    }
+                }
+                (Err(SolveError::Infeasible), None) => {}
+                (got, want) => prop_assert!(false, "solver {got:?} vs brute force {want:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn presolve_shrinks_search_fast() {
+    // chain of implications: x0 ≥ 3 forces a cascade through equalities —
+    // presolve should make this nearly free
+    let mut m = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..12).map(|i| m.int_var(format!("v{i}"), 0, 20)).collect();
+    m.add_constraint(LinExpr::from(vars[0]), Cmp::Ge, 3.0);
+    for w in vars.windows(2) {
+        // v_{i+1} = v_i + 1
+        m.add_constraint(LinExpr::from(w[1]) - w[0], Cmp::Eq, 1.0);
+    }
+    m.set_objective(LinExpr::from(vars[11]));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(vars[0]), 3);
+    assert_eq!(sol.int_value(vars[11]), 14);
+}
+
+#[test]
+fn degenerate_equalities_with_zero_rhs() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.bool_var("x");
+    let y = m.bool_var("y");
+    m.add_constraint(LinExpr::from(x) - y, Cmp::Eq, 0.0);
+    m.set_objective(x + y);
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective(), 2.0);
+    assert_eq!(sol.bool_value(x), sol.bool_value(y));
+}
+
+#[test]
+fn big_coefficients_stay_stable() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.int_var("x", 0, 1000);
+    m.add_constraint(997.0 * x, Cmp::Ge, 49_850.0);
+    m.set_objective(LinExpr::from(x));
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.int_value(x), 50);
+}
+
+#[test]
+fn lp_export_of_scatter_like_model_parses_visually() {
+    // smoke: a model shaped like row scattering exports all sections
+    let mut m = Model::new(Sense::Minimize);
+    let mut obj = LinExpr::new();
+    for i in 0..3 {
+        let cols: Vec<_> = (0..2).map(|c| m.bool_var(format!("v{i}{c}"))).collect();
+        m.add_constraint(LinExpr::sum(cols.iter().map(|&v| (1.0, v))), Cmp::Eq, 1.0);
+        let t = m.abs_var(format!("t{i}"), LinExpr::from(cols[0]) - cols[1], 4.0);
+        obj = obj + LinExpr::sum([(1.0, t)]);
+    }
+    m.set_objective(obj);
+    let lp = crate::write_lp(&m);
+    assert!(lp.contains("Minimize"));
+    assert!(lp.matches("c").count() > 3);
+    // and it still solves
+    assert!(m.solve().is_ok());
+}

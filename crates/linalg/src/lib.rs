@@ -1,0 +1,38 @@
+//! Dense linear algebra and clustering primitives for PANORAMA.
+//!
+//! This crate is the numeric substrate that replaces the Python stack
+//! (NumPy / Scikit-Learn) used by the original PANORAMA implementation:
+//!
+//! * [`DMatrix`] — a small dense row-major `f64` matrix;
+//! * [`SymmetricEigen`] — a cyclic-Jacobi eigendecomposition of symmetric
+//!   matrices (graph Laplacians are symmetric), returning eigenpairs sorted
+//!   by ascending eigenvalue as spectral embedding requires;
+//! * [`KMeans`] — Lloyd's algorithm with deterministic k-means++ seeding.
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_linalg::{DMatrix, SymmetricEigen};
+//!
+//! // Laplacian of a path graph on 3 nodes.
+//! let l = DMatrix::from_rows(&[
+//!     &[1.0, -1.0, 0.0],
+//!     &[-1.0, 2.0, -1.0],
+//!     &[0.0, -1.0, 1.0],
+//! ]);
+//! let eig = SymmetricEigen::new(&l)?;
+//! assert!(eig.eigenvalue(0).abs() < 1e-9); // connected graph: λ0 = 0
+//! # Ok::<(), panorama_linalg::EigenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod eigen;
+mod kmeans;
+mod tridiag;
+
+pub use eigen::{EigenError, SymmetricEigen};
+pub use kmeans::{KMeans, KMeansConfig, KMeansError};
+pub use matrix::DMatrix;

@@ -1,0 +1,303 @@
+//! Configuration generation: lowers a verified [`Mapping`] to the per-PE,
+//! per-cycle control words held in each PE's configuration memory
+//! (the paper's Figure 1 — "a predetermined sequence of configurations
+//! stored in the configuration memory", cycled every II cycles).
+//!
+//! Each [`ConfigWord`] says what one PE does in one slot of the repeating
+//! schedule: which operation the FU executes, which physical links it
+//! drives (and from which on-PE source), and which registers latch a new
+//! value. [`Configware::size_bits`] estimates the configuration-memory
+//! footprint, the hardware cost that motivates small IIs.
+
+use crate::mapping::Mapping;
+use panorama_arch::{Cgra, NodeKind, PeId};
+use panorama_dfg::{Dfg, OpId, OpKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a value driven onto the crossbar (or latched into a register)
+/// comes from, within one PE and cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSource {
+    /// The FU result computed this cycle.
+    FuResult,
+    /// The value arriving on the PE input mux this cycle.
+    Input,
+    /// Register `r` of the local register file.
+    Register(u8),
+}
+
+impl fmt::Display for ValueSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueSource::FuResult => write!(f, "fu"),
+            ValueSource::Input => write!(f, "in"),
+            ValueSource::Register(r) => write!(f, "r{r}"),
+        }
+    }
+}
+
+/// One PE's control word for one slot of the modulo schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigWord {
+    /// Operation the FU executes (`None` = FU idle this cycle).
+    pub op: Option<(OpId, OpKind)>,
+    /// Physical links this PE drives: `(link index, source)`.
+    pub link_drives: Vec<(u32, ValueSource)>,
+    /// Registers latched at the end of the cycle: `(register, source)`.
+    pub reg_writes: Vec<(u8, ValueSource)>,
+}
+
+impl ConfigWord {
+    /// Whether this word encodes any activity.
+    pub fn is_idle(&self) -> bool {
+        self.op.is_none() && self.link_drives.is_empty() && self.reg_writes.is_empty()
+    }
+}
+
+/// The full static configuration of a mapped CGRA: one word per PE per
+/// slot, repeated cyclically at the mapping's II.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_arch::{Cgra, CgraConfig};
+/// use panorama_dfg::{kernels, KernelId, KernelScale};
+/// use panorama_mapper::{Configware, LowerLevelMapper, SprMapper};
+///
+/// let cgra = Cgra::new(CgraConfig::small_4x4())?;
+/// let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+/// let mapping = SprMapper::default().map(&dfg, &cgra, None)?;
+/// let cfg = Configware::generate(&dfg, &cgra, &mapping);
+/// assert_eq!(cfg.ii(), mapping.ii());
+/// assert!(cfg.size_bits() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Configware {
+    ii: usize,
+    words: BTreeMap<(PeId, usize), ConfigWord>,
+}
+
+impl Configware {
+    /// Lowers `mapping` to configuration words.
+    ///
+    /// Call [`Mapping::verify`] first; generation assumes a structurally
+    /// valid mapping (it panics on disconnected routes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mapping has no routes (abstract mappers) or a route
+    /// is not MRRG-connected.
+    pub fn generate(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) -> Configware {
+        let routes = mapping
+            .routes()
+            .expect("configuration needs concrete routes (SPR-style mapping)");
+        let ii = mapping.ii();
+        let mrrg = cgra.mrrg(ii);
+        let mut words: BTreeMap<(PeId, usize), ConfigWord> = BTreeMap::new();
+
+        // FU operations
+        for op in dfg.op_ids() {
+            let key = (mapping.pe_of(op), mapping.time_of(op) % ii);
+            let word = words.entry(key).or_default();
+            word.op = Some((op, dfg.op(op).kind));
+        }
+
+        // route plumbing: walk each path, tracking what drives the value
+        // inside the current PE this cycle
+        for route in routes {
+            let mut source = ValueSource::FuResult; // starts at the producer's Out
+            for w in route.nodes.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let edge = mrrg
+                    .out_edges(a)
+                    .iter()
+                    .find(|me| me.dst == b)
+                    .expect("verified route is MRRG-connected");
+                let pe = mrrg.pe_of(a);
+                let slot = mrrg.time_of(a);
+                match (mrrg.kind(a), mrrg.kind(b)) {
+                    // driving a physical link from this PE's crossbar
+                    (NodeKind::Out, NodeKind::Link { index }) => {
+                        let word = words.entry((pe, slot)).or_default();
+                        if !word.link_drives.contains(&(index, source)) {
+                            word.link_drives.push((index, source));
+                        }
+                    }
+                    // arriving values lose their local source
+                    (NodeKind::Link { .. }, NodeKind::In) => source = ValueSource::Input,
+                    (NodeKind::Out, NodeKind::In) => source = ValueSource::Input,
+                    // latching into a register
+                    (NodeKind::RegWrite, NodeKind::Reg { index }) => {
+                        let word = words.entry((pe, slot)).or_default();
+                        if !word.reg_writes.contains(&(index, source)) {
+                            word.reg_writes.push((index, source));
+                        }
+                        source = ValueSource::Register(index);
+                    }
+                    // reading back from the file
+                    (NodeKind::Reg { index }, NodeKind::RegRead) => {
+                        source = ValueSource::Register(index);
+                    }
+                    _ => {
+                        let _ = edge;
+                    }
+                }
+            }
+        }
+        Configware { ii, words }
+    }
+
+    /// The II this configuration repeats at.
+    pub fn ii(&self) -> usize {
+        self.ii
+    }
+
+    /// The control word of `pe` at `slot`, if any activity is programmed.
+    pub fn word(&self, pe: PeId, slot: usize) -> Option<&ConfigWord> {
+        self.words.get(&(pe, slot))
+    }
+
+    /// Number of non-idle control words.
+    pub fn active_words(&self) -> usize {
+        self.words.values().filter(|w| !w.is_idle()).count()
+    }
+
+    /// Rough configuration-memory footprint in bits: opcode (5) + two
+    /// operand selects (2×4) per executing FU, link select (4) per driven
+    /// link, register select + source (4+2) per latch.
+    pub fn size_bits(&self) -> usize {
+        self.words
+            .values()
+            .map(|w| {
+                let fu = if w.op.is_some() { 5 + 8 } else { 0 };
+                fu + 4 * w.link_drives.len() + 6 * w.reg_writes.len()
+            })
+            .sum()
+    }
+
+    /// Human-readable dump, one line per active (PE, slot).
+    pub fn to_text(&self, cgra: &Cgra) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("configware at II {}\n", self.ii));
+        for ((pe, slot), w) in &self.words {
+            if w.is_idle() {
+                continue;
+            }
+            let (r, c) = cgra.pe_position(*pe);
+            let op = w
+                .op
+                .map(|(id, kind)| format!("{kind}#{}", id.index()))
+                .unwrap_or_else(|| "-".into());
+            let links: Vec<String> = w
+                .link_drives
+                .iter()
+                .map(|(l, s)| format!("L{l}<={s}"))
+                .collect();
+            let regs: Vec<String> = w
+                .reg_writes
+                .iter()
+                .map(|(r, s)| format!("r{r}<={s}"))
+                .collect();
+            out.push_str(&format!(
+                "pe({r},{c}) t{slot}: {op} {} {}\n",
+                links.join(","),
+                regs.join(",")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LowerLevelMapper, SprMapper};
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{kernels, DfgBuilder, KernelId, KernelScale};
+
+    fn mapped(dfg: &Dfg) -> (Cgra, Mapping) {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let mapping = SprMapper::default().map(dfg, &cgra, None).unwrap();
+        (cgra, mapping)
+    }
+
+    #[test]
+    fn every_op_gets_a_word() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let (cgra, mapping) = mapped(&dfg);
+        let cfg = Configware::generate(&dfg, &cgra, &mapping);
+        for op in dfg.op_ids() {
+            let word = cfg
+                .word(mapping.pe_of(op), mapping.time_of(op) % mapping.ii())
+                .expect("executing PE has a word");
+            assert_eq!(word.op.map(|(id, _)| id), Some(op));
+        }
+        assert!(cfg.active_words() >= dfg.num_ops());
+        assert!(cfg.size_bits() >= 13 * dfg.num_ops());
+    }
+
+    #[test]
+    fn links_are_driven_for_cross_pe_edges() {
+        let mut b = DfgBuilder::new("pair");
+        let x = b.op(panorama_dfg::OpKind::Add, "x");
+        let y = b.op(panorama_dfg::OpKind::Add, "y");
+        b.data(x, y);
+        // force distance by many independent ops? simpler: accept whatever
+        // placement; if same PE, no link drive is required.
+        let dfg = b.build().unwrap();
+        let (cgra, mapping) = mapped(&dfg);
+        let cfg = Configware::generate(&dfg, &cgra, &mapping);
+        if mapping.pe_of(x) != mapping.pe_of(y) {
+            let total_drives: usize = (0..mapping.ii())
+                .filter_map(|s| cfg.word(mapping.pe_of(x), s))
+                .map(|w| w.link_drives.len())
+                .sum();
+            assert!(total_drives > 0, "cross-PE edge must drive a link");
+        }
+    }
+
+    #[test]
+    fn text_dump_mentions_ops() {
+        let dfg = kernels::generate(KernelId::Cordic, KernelScale::Tiny);
+        let (cgra, mapping) = mapped(&dfg);
+        let cfg = Configware::generate(&dfg, &cgra, &mapping);
+        let text = cfg.to_text(&cgra);
+        assert!(text.contains("configware at II"));
+        assert!(text.contains("ld#") || text.contains("add#") || text.contains("shl#"));
+    }
+
+    #[test]
+    fn register_routes_imply_reg_write_words() {
+        // consistency: whenever a route parks a value in a register, the
+        // configuration must program the corresponding latch
+        let dfg = kernels::generate(KernelId::Edn, KernelScale::Tiny);
+        let (cgra, mapping) = mapped(&dfg);
+        let mrrg = cgra.mrrg(mapping.ii());
+        let routes_use_regs = mapping
+            .routes()
+            .unwrap()
+            .iter()
+            .flat_map(|r| r.nodes.iter())
+            .any(|&n| matches!(mrrg.kind(n), panorama_arch::NodeKind::Reg { .. }));
+        let cfg = Configware::generate(&dfg, &cgra, &mapping);
+        let total_reg_writes: usize = (0..cgra.num_pes())
+            .flat_map(|p| (0..mapping.ii()).map(move |s| (p, s)))
+            .filter_map(|(p, s)| cfg.word(panorama_arch::PeId::from_index(p), s))
+            .map(|w| w.reg_writes.len())
+            .sum();
+        assert_eq!(
+            routes_use_regs,
+            total_reg_writes > 0,
+            "register usage in routes must match programmed latches"
+        );
+    }
+
+    #[test]
+    fn value_source_display() {
+        assert_eq!(ValueSource::FuResult.to_string(), "fu");
+        assert_eq!(ValueSource::Input.to_string(), "in");
+        assert_eq!(ValueSource::Register(3).to_string(), "r3");
+    }
+}

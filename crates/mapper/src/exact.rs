@@ -1,0 +1,330 @@
+//! An exact exhaustive placement mapper, in the spirit of the constraint-
+//! based CGRA mappers of Table 1b (CGRA-ME and friends).
+//!
+//! Placement is solved *exactly* by backtracking search with constraint
+//! propagation: operations are placed most-constrained-first, and every
+//! partial assignment is pruned against FU exclusivity, memory capability
+//! and the hop-per-cycle routability bound. The result is handed to the
+//! same PathFinder router SPR\* uses. Exhaustive search scales
+//! exponentially with DFG size — the very wall the paper's Table 1b
+//! documents and PANORAMA exists to avoid — so this mapper guards its op
+//! count and search budget and fails fast instead of burning hours.
+
+use crate::placement::PlacementState;
+use crate::router::{route_all, RouterConfig};
+use crate::schedule::modulo_schedule;
+use crate::{min_ii, LowerLevelMapper, MapError, Mapping, MappingStats, Restriction};
+use panorama_arch::{Cgra, PeId};
+use panorama_dfg::Dfg;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Tunables for the exact mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactConfig {
+    /// Refuse DFGs larger than this (exhaustive placement explodes).
+    pub max_ops: usize,
+    /// II ceiling as `mii * factor + offset`.
+    pub max_ii_factor: usize,
+    /// Absolute offset on the II ceiling.
+    pub max_ii_offset: usize,
+    /// Backtracking-node budget per placement search.
+    pub search_budget: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_ops: 32,
+            max_ii_factor: 3,
+            max_ii_offset: 6,
+            search_budget: 2_000_000,
+        }
+    }
+}
+
+/// The exact exhaustive placement mapper.
+#[derive(Debug, Clone, Default)]
+pub struct ExactMapper {
+    /// Mapper configuration.
+    pub config: ExactConfig,
+}
+
+impl ExactMapper {
+    /// Creates a mapper with custom settings.
+    pub fn new(config: ExactConfig) -> Self {
+        ExactMapper { config }
+    }
+
+    /// Exhaustive placement at a fixed II and schedule; `None` when no
+    /// assignment satisfies the constraints (or the budget runs out).
+    fn place_exhaustive(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        times: &[usize],
+        ii: usize,
+    ) -> Option<Vec<PeId>> {
+        let n = dfg.num_ops();
+        // candidate PEs per op (static constraints only)
+        let domains: Vec<Vec<PeId>> = dfg
+            .op_ids()
+            .map(|op| {
+                cgra.pes()
+                    .filter(|&pe| !dfg.op(op).kind.needs_memory() || cgra.is_mem_pe(pe))
+                    .filter(|&pe| {
+                        dfg.op(op).kind != panorama_dfg::OpKind::Mul || cgra.has_multiplier(pe)
+                    })
+                    .filter(|&pe| {
+                        restriction.map_or(true, |r| r.allows(op, cgra.cluster_of(pe)))
+                    })
+                    .collect()
+            })
+            .collect();
+        if domains.iter().any(|d| d.is_empty()) {
+            return None;
+        }
+        // most-constrained-first: smaller domain, then more neighbours
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| {
+            let op = panorama_dfg::OpId::from_index(i);
+            (domains[i].len(), std::cmp::Reverse(dfg.graph().degree(op)))
+        });
+
+        let mut assignment: Vec<Option<PeId>> = vec![None; n];
+        let mut fu_used: HashMap<(PeId, usize), ()> = HashMap::new();
+        let mut budget = self.config.search_budget;
+        if self.backtrack(
+            dfg, cgra, times, ii, &domains, &order, 0, &mut assignment, &mut fu_used, &mut budget,
+        ) {
+            Some(assignment.into_iter().map(|a| a.expect("complete")).collect())
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        times: &[usize],
+        ii: usize,
+        domains: &[Vec<PeId>],
+        order: &[usize],
+        depth: usize,
+        assignment: &mut Vec<Option<PeId>>,
+        fu_used: &mut HashMap<(PeId, usize), ()>,
+        budget: &mut usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        if *budget == 0 {
+            return false;
+        }
+        let idx = order[depth];
+        let op = panorama_dfg::OpId::from_index(idx);
+        let slot = times[idx] % ii;
+        for &pe in &domains[idx] {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            if fu_used.contains_key(&(pe, slot)) {
+                continue;
+            }
+            // routability: every already-placed neighbour within slack hops
+            let ok = dfg
+                .graph()
+                .incoming(op)
+                .map(|e| (e.src, times[idx] as i64 - times[e.src.index()] as i64
+                    + e.weight.distance() as i64 * ii as i64))
+                .chain(dfg.graph().outgoing(op).map(|e| {
+                    (e.dst, times[e.dst.index()] as i64 - times[idx] as i64
+                        + e.weight.distance() as i64 * ii as i64)
+                }))
+                .all(|(other, slack)| match assignment[other.index()] {
+                    Some(opd) => (cgra.manhattan(pe, opd) as i64) <= slack,
+                    None => true,
+                });
+            if !ok {
+                continue;
+            }
+            assignment[idx] = Some(pe);
+            fu_used.insert((pe, slot), ());
+            if self.backtrack(
+                dfg, cgra, times, ii, domains, order, depth + 1, assignment, fu_used, budget,
+            ) {
+                return true;
+            }
+            assignment[idx] = None;
+            fu_used.remove(&(pe, slot));
+        }
+        false
+    }
+}
+
+impl LowerLevelMapper for ExactMapper {
+    fn map(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+    ) -> Result<Mapping, MapError> {
+        let start = Instant::now();
+        if dfg.num_ops() > self.config.max_ops {
+            return Err(MapError {
+                max_ii_tried: 0,
+                mapper: self.name(),
+            });
+        }
+        let mii = min_ii(dfg, cgra).mii();
+        let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
+        let mut stats = MappingStats::default();
+        for ii in mii..=max_ii {
+            stats.ii_attempts += 1;
+            let Ok(times) = modulo_schedule(dfg, ii, cgra.num_pes(), cgra.num_mem_pes().max(1))
+            else {
+                continue;
+            };
+            let Some(pe_of) = self.place_exhaustive(dfg, cgra, restriction, &times, ii) else {
+                continue;
+            };
+            // route with the shared PathFinder
+            let state = PlacementState {
+                pe_of: pe_of.clone(),
+                time_of: times.clone(),
+                fu_used: HashMap::new(), // router does not consult FU slots
+                ii,
+            };
+            let mrrg = cgra.mrrg(ii);
+            let mut history = Vec::new();
+            let outcome = route_all(
+                &mrrg,
+                cgra,
+                dfg,
+                &state,
+                &times,
+                &RouterConfig::default(),
+                &mut history,
+            );
+            stats.router_iterations += outcome.iterations;
+            if outcome.is_clean() {
+                stats.compile_time = start.elapsed();
+                let routes = outcome
+                    .routes
+                    .into_iter()
+                    .map(|r| r.expect("clean outcome has every route"))
+                    .collect();
+                return Ok(Mapping {
+                    mapper: self.name(),
+                    ii,
+                    mii,
+                    time_of: times,
+                    pe_of,
+                    routes: Some(routes),
+                    stats,
+                });
+            }
+        }
+        Err(MapError {
+            max_ii_tried: max_ii,
+            mapper: self.name(),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn cgra() -> Cgra {
+        Cgra::new(CgraConfig::small_4x4()).unwrap()
+    }
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let ids: Vec<_> = (0..n).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn maps_small_chain_optimally() {
+        let dfg = chain(8);
+        let cgra = cgra();
+        let mapping = ExactMapper::default().map(&dfg, &cgra, None).unwrap();
+        mapping.verify(&dfg, &cgra).unwrap();
+        assert_eq!(mapping.ii(), 1, "8 serial ops need only II 1");
+    }
+
+    #[test]
+    fn maps_small_mac_and_verifies() {
+        let mut b = DfgBuilder::new("mac");
+        let a = b.op(OpKind::Load, "a");
+        let x = b.op(OpKind::Load, "b");
+        let m = b.op(OpKind::Mul, "m");
+        let acc = b.op(OpKind::Add, "acc");
+        let s = b.op(OpKind::Store, "s");
+        b.data(a, m);
+        b.data(x, m);
+        b.data(m, acc);
+        b.data(acc, s);
+        b.back(acc, acc, 1);
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let mapping = ExactMapper::default().map(&dfg, &cgra, None).unwrap();
+        mapping.verify(&dfg, &cgra).unwrap();
+    }
+
+    #[test]
+    fn refuses_large_dfgs() {
+        let dfg = chain(40);
+        let err = ExactMapper::default().map(&dfg, &cgra(), None).unwrap_err();
+        assert_eq!(err.mapper, "exhaustive");
+        assert_eq!(err.max_ii_tried, 0);
+    }
+
+    #[test]
+    fn agrees_with_verifier_on_mem_constraints() {
+        let mut b = DfgBuilder::new("mem");
+        let l = b.op(OpKind::Load, "l");
+        let v = b.op(OpKind::Add, "v");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, v);
+        b.data(v, s);
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let mapping = ExactMapper::default().map(&dfg, &cgra, None).unwrap();
+        assert!(cgra.is_mem_pe(mapping.pe_of(l)));
+        assert!(cgra.is_mem_pe(mapping.pe_of(s)));
+    }
+
+    #[test]
+    fn random_small_dfgs_map_and_verify() {
+        for seed in 0..6 {
+            let dfg = panorama_dfg::random_dfg(&panorama_dfg::RandomDfgConfig {
+                seed,
+                layers: 3,
+                width: 4,
+                extra_fanin: 1,
+                back_edges: 1,
+            });
+            let cgra = cgra();
+            let mapping = ExactMapper::default()
+                .map(&dfg, &cgra, None)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            mapping.verify(&dfg, &cgra).unwrap();
+        }
+    }
+}

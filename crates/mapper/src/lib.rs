@@ -1,0 +1,88 @@
+//! Lower-level CGRA mappers: SPR\* (schedule / place / route) and
+//! Ultra-Fast, both optionally guided by PANORAMA's cluster mapping.
+//!
+//! The pipeline follows the paper's Algorithm 2:
+//!
+//! 1. [`min_ii`] computes the recurrence- and resource-constrained minimum
+//!    initiation interval (Rau, MICRO'94);
+//! 2. [`schedule`](schedule::modulo_schedule) produces an iterative modulo
+//!    schedule at a candidate II;
+//! 3. [`SprMapper`] places operations on FUs (restricted to their assigned
+//!    CGRA clusters when a [`Restriction`] is given) and routes every data
+//!    dependency through the [`Mrrg`](panorama_arch::Mrrg) with
+//!    PathFinder-style negotiated congestion, repairing overuse with a
+//!    simulated-annealing placement loop;
+//! 4. [`UltraFastMapper`] reproduces the Ultra-Fast baseline: a greedy 2-D
+//!    scheduler over an abstract single-cycle multi-hop HyCUBE with a
+//!    per-cycle wiring budget.
+//!
+//! Both mappers return a [`Mapping`] whose [`verify`](Mapping::verify)
+//! method independently re-checks placement legality, route connectivity,
+//! route timing and resource capacities.
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_arch::{Cgra, CgraConfig};
+//! use panorama_dfg::{kernels, KernelId, KernelScale};
+//! use panorama_mapper::{LowerLevelMapper, SprMapper};
+//!
+//! let cgra = Cgra::new(CgraConfig::small_4x4())?;
+//! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+//! let mapping = SprMapper::default().map(&dfg, &cgra, None)?;
+//! assert!(mapping.qom() <= 1.0);
+//! mapping.verify(&dfg, &cgra)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mii;
+mod schedule;
+mod placement;
+mod router;
+mod spr;
+mod ultrafast;
+mod mapping;
+mod restrict;
+mod configware;
+mod exact;
+mod render;
+mod stats;
+
+pub use configware::{ConfigWord, Configware, ValueSource};
+pub use exact::{ExactConfig, ExactMapper};
+pub use mapping::{Mapping, MappingStats, Route, VerifyError};
+pub use mii::{critical_recurrences, min_ii, MiiReport};
+pub use restrict::Restriction;
+pub use router::RouterConfig;
+pub use stats::RouteStats;
+pub use schedule::{modulo_schedule, ScheduleError};
+pub use spr::{MapError, SprConfig, SprMapper};
+pub use ultrafast::{UltraFastConfig, UltraFastMapper};
+
+use panorama_arch::Cgra;
+use panorama_dfg::Dfg;
+
+/// A lower-level mapper that PANORAMA's higher-level cluster mapping can
+/// guide (paper §3.3: "Panorama is a portable higher-level mapper which
+/// can be combined with any lower-level CGRA mapper").
+pub trait LowerLevelMapper {
+    /// Maps `dfg` onto `cgra`. When `restriction` is given, each operation
+    /// may only be placed inside its assigned CGRA clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when no valid mapping is found within the
+    /// mapper's II and effort budgets.
+    fn map(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+    ) -> Result<Mapping, MapError>;
+
+    /// Short mapper name for reports ("SPR*", "Ultra-Fast").
+    fn name(&self) -> &'static str;
+}

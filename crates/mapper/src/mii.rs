@@ -1,0 +1,232 @@
+//! Minimum initiation interval: resource and recurrence bounds
+//! (Rau, "Iterative Modulo Scheduling", MICRO'94).
+
+use panorama_arch::Cgra;
+use panorama_dfg::Dfg;
+
+/// The components of the minimum initiation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiiReport {
+    /// Resource-constrained bound: enough FU slots (and memory-capable FU
+    /// slots) per II cycles for every operation.
+    pub res_mii: usize,
+    /// Recurrence-constrained bound from loop-carried dependency cycles.
+    pub rec_mii: usize,
+}
+
+impl MiiReport {
+    /// The binding minimum II.
+    pub fn mii(&self) -> usize {
+        self.res_mii.max(self.rec_mii).max(1)
+    }
+}
+
+/// The operations of the recurrence cycles that bind RecMII: every
+/// non-trivial strongly connected component of the full dependence graph
+/// (data + back edges). Useful for diagnosing why a kernel cannot reach a
+/// lower II — speeding up any op outside these cycles cannot help.
+pub fn critical_recurrences(dfg: &Dfg) -> Vec<Vec<panorama_dfg::OpId>> {
+    let sccs = panorama_graph::Sccs::of(dfg.graph());
+    let mut cycles = sccs.nontrivial(dfg.graph());
+    // self-recurrences (distance-d self edges) are single-node cycles
+    for e in dfg.deps() {
+        if e.src == e.dst && e.weight.is_back() {
+            cycles.push(vec![e.src]);
+        }
+    }
+    cycles
+}
+
+/// Computes [`MiiReport`] for `dfg` on `cgra`.
+///
+/// ResMII = max(⌈ops / PEs⌉, ⌈mem-ops / mem-PEs⌉). RecMII is the smallest
+/// II for which the dependence-constraint graph (edge `u→v` imposing
+/// `t_v ≥ t_u + latency − II·distance`) has no positive cycle, found by
+/// running a longest-path fixpoint per candidate II.
+pub fn min_ii(dfg: &Dfg, cgra: &Cgra) -> MiiReport {
+    let ops = dfg.num_ops();
+    let mem_ops = dfg.num_mem_ops();
+    let mul_ops = dfg
+        .op_ids()
+        .filter(|&v| dfg.op(v).kind == panorama_dfg::OpKind::Mul)
+        .count();
+    let pes = cgra.num_pes();
+    let mem_pes = cgra.num_mem_pes().max(1);
+    let mul_pes = cgra.num_mul_pes().max(1);
+    let res_mii = (ops.div_ceil(pes))
+        .max(mem_ops.div_ceil(mem_pes))
+        .max(mul_ops.div_ceil(mul_pes))
+        .max(1);
+
+    let rec_mii = recurrence_mii(dfg);
+    MiiReport { res_mii, rec_mii }
+}
+
+/// Smallest II admitting a consistent schedule for all loop-carried cycles.
+fn recurrence_mii(dfg: &Dfg) -> usize {
+    if dfg.num_back_edges() == 0 {
+        return 1;
+    }
+    // Bellman-Ford-style positive-cycle detection on the constraint graph.
+    // Candidate IIs grow until no positive cycle remains; back-edge cycles
+    // are short in practice so the loop terminates quickly.
+    let n = dfg.num_ops();
+    'candidate: for ii in 1..=(n.max(2)) {
+        let mut dist = vec![0i64; n];
+        // n relaxation rounds; a change in round n ⇒ positive cycle
+        for round in 0..=n {
+            let mut changed = false;
+            for e in dfg.deps() {
+                let lat = dfg.op(e.src).kind.latency() as i64;
+                let slack = lat - (e.weight.distance() as i64) * ii as i64;
+                let cand = dist[e.src.index()] + slack;
+                if cand > dist[e.dst.index()] {
+                    dist[e.dst.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return ii;
+            }
+            if round == n {
+                continue 'candidate;
+            }
+        }
+    }
+    n.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn cgra() -> Cgra {
+        Cgra::new(CgraConfig::small_4x4()).unwrap()
+    }
+
+    #[test]
+    fn res_mii_scales_with_ops() {
+        // 33 ops on 16 PEs → ceil(33/16) = 3
+        let mut b = DfgBuilder::new("wide");
+        let first = b.op(OpKind::Add, "n0");
+        for i in 1..33 {
+            let v = b.op(OpKind::Add, format!("n{i}"));
+            b.data(first, v);
+        }
+        let dfg = b.build().unwrap();
+        let report = min_ii(&dfg, &cgra());
+        assert_eq!(report.res_mii, 3);
+        assert_eq!(report.rec_mii, 1);
+        assert_eq!(report.mii(), 3);
+    }
+
+    #[test]
+    fn mem_ops_bound_res_mii() {
+        // 4x4 with left-column memory: 4 mem PEs. 9 loads → ceil(9/4)=3
+        let mut b = DfgBuilder::new("memheavy");
+        let sink = b.op(OpKind::Add, "sink");
+        for i in 0..9 {
+            let l = b.op(OpKind::Load, format!("l{i}"));
+            b.data(l, sink);
+        }
+        let dfg = b.build().unwrap();
+        assert_eq!(min_ii(&dfg, &cgra()).res_mii, 3);
+    }
+
+    #[test]
+    fn self_recurrence_distance_one() {
+        // acc → acc with distance 1 and latency 1 → RecMII = 1
+        let mut b = DfgBuilder::new("acc");
+        let a = b.op(OpKind::Add, "acc");
+        b.back(a, a, 1);
+        let dfg = b.build().unwrap();
+        assert_eq!(min_ii(&dfg, &cgra()).rec_mii, 1);
+    }
+
+    #[test]
+    fn long_cycle_forces_higher_rec_mii() {
+        // chain of 4 ops + back edge distance 1: cycle latency 4 over
+        // distance 1 → RecMII = 4
+        let mut b = DfgBuilder::new("loop4");
+        let n: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        for w in n.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.back(n[3], n[0], 1);
+        let dfg = b.build().unwrap();
+        let report = min_ii(&dfg, &cgra());
+        assert_eq!(report.rec_mii, 4);
+        assert_eq!(report.mii(), 4);
+    }
+
+    #[test]
+    fn distance_two_halves_rec_mii() {
+        // same 4-op cycle but distance 2 → RecMII = ceil(4/2) = 2
+        let mut b = DfgBuilder::new("loop4d2");
+        let n: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        for w in n.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.back(n[3], n[0], 2);
+        let dfg = b.build().unwrap();
+        assert_eq!(min_ii(&dfg, &cgra()).rec_mii, 2);
+    }
+
+    #[test]
+    fn acyclic_dfg_mii_is_resource_bound() {
+        let mut b = DfgBuilder::new("tiny");
+        let x = b.op(OpKind::Load, "x");
+        let y = b.op(OpKind::Add, "y");
+        b.data(x, y);
+        let dfg = b.build().unwrap();
+        let report = min_ii(&dfg, &cgra());
+        assert_eq!(report.mii(), 1);
+    }
+}
+
+#[cfg(test)]
+mod recurrence_tests {
+    use super::*;
+    use panorama_dfg::{kernels, DfgBuilder, KernelId, KernelScale, OpKind};
+
+    #[test]
+    fn critical_recurrences_find_cycles() {
+        let mut b = DfgBuilder::new("rec");
+        let n: Vec<_> = (0..3).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        b.data(n[0], n[1]);
+        b.data(n[1], n[2]);
+        b.back(n[2], n[0], 1);
+        let outside = b.op(OpKind::Load, "outside");
+        b.data(outside, n[0]);
+        let dfg = b.build().unwrap();
+        let cycles = critical_recurrences(&dfg);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+        assert!(!cycles[0].contains(&outside));
+    }
+
+    #[test]
+    fn self_recurrence_is_reported() {
+        let mut b = DfgBuilder::new("acc");
+        let a = b.op(OpKind::Add, "acc");
+        b.back(a, a, 1);
+        let dfg = b.build().unwrap();
+        let cycles = critical_recurrences(&dfg);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![a]);
+    }
+
+    #[test]
+    fn every_kernel_has_a_recurrence() {
+        // the generators thread a state chain through every kernel
+        for id in KernelId::ALL {
+            let dfg = kernels::generate(id, KernelScale::Tiny);
+            assert!(
+                !critical_recurrences(&dfg).is_empty(),
+                "{id} should carry a recurrence"
+            );
+        }
+    }
+}

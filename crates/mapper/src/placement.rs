@@ -1,0 +1,354 @@
+//! Joint schedule-and-place: SPR's `EstimateLeastCostPlacement` /
+//! `ScheduleAndPlaceNode` steps (Algorithm 2, lines 4–8).
+//!
+//! Each operation picks a `(time, PE)` pair jointly: the time window is the
+//! modulo-scheduling window `[estart, estart + II)` clipped by already
+//! placed successors' recurrence deadlines, and the PE must have a free FU
+//! slot, memory capability when needed, and cluster permission under a
+//! PANORAMA restriction. The cost favours placements whose neighbours are
+//! reachable within the schedule slack — the exact failure of the paper's
+//! Figure 3c is a neighbour placed further away than its slack allows.
+
+use crate::Restriction;
+use panorama_arch::{Cgra, PeId};
+use panorama_dfg::{Dfg, OpId};
+use std::collections::HashMap;
+
+/// Placement + schedule state shared by the initial pass and annealing.
+#[derive(Debug, Clone)]
+pub(crate) struct PlacementState {
+    pub pe_of: Vec<PeId>,
+    pub time_of: Vec<usize>,
+    /// (pe, slot) → op currently executing there.
+    pub fu_used: HashMap<(PeId, usize), OpId>,
+    pub ii: usize,
+}
+
+impl PlacementState {
+    pub fn slot_of(&self, op: OpId) -> usize {
+        self.time_of[op.index()] % self.ii
+    }
+
+    pub fn is_free(&self, pe: PeId, slot: usize) -> bool {
+        !self.fu_used.contains_key(&(pe, slot))
+    }
+
+    pub fn place(&mut self, op: OpId, pe: PeId, time: usize) {
+        let slot = time % self.ii;
+        let prev = self.fu_used.insert((pe, slot), op);
+        debug_assert!(prev.is_none(), "placing onto an occupied FU slot");
+        self.pe_of[op.index()] = pe;
+        self.time_of[op.index()] = time;
+    }
+
+    pub fn remove(&mut self, op: OpId) {
+        let pe = self.pe_of[op.index()];
+        let slot = self.slot_of(op);
+        self.fu_used.remove(&(pe, slot));
+    }
+}
+
+/// PEs legal for `op` at schedule slot `slot`.
+pub(crate) fn candidates_for(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    state: &PlacementState,
+    restriction: Option<&Restriction>,
+    op: OpId,
+    slot: usize,
+) -> Vec<PeId> {
+    cgra.pes()
+        .filter(|&pe| state.is_free(pe, slot))
+        .filter(|&pe| !dfg.op(op).kind.needs_memory() || cgra.is_mem_pe(pe))
+        .filter(|&pe| dfg.op(op).kind != panorama_dfg::OpKind::Mul || cgra.has_multiplier(pe))
+        .filter(|&pe| restriction.map_or(true, |r| r.allows(op, cgra.cluster_of(pe))))
+        .collect()
+}
+
+/// Routing-aware cost of executing `op` on `pe` at absolute time `t`:
+/// distance beyond the per-neighbour slack dominates, plus wirelength,
+/// PE crowding and a mild lateness term.
+pub(crate) fn placement_cost(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    state: &PlacementState,
+    placed: &[bool],
+    op: OpId,
+    pe: PeId,
+    t: usize,
+) -> f64 {
+    let mut cost = 0.0;
+    let t = t as i64;
+    let ii = state.ii as i64;
+    let mut consider = |other: OpId, slack: i64| {
+        if !placed[other.index()] {
+            return;
+        }
+        let d = cgra.manhattan(pe, state.pe_of[other.index()]) as i64;
+        let deficit = (d - slack).max(0) as f64;
+        cost += 60.0 * deficit + d as f64;
+    };
+    for e in dfg.graph().incoming(op) {
+        let slack = t - state.time_of[e.src.index()] as i64 + (e.weight.distance() as i64) * ii;
+        consider(e.src, slack);
+    }
+    for e in dfg.graph().outgoing(op) {
+        let slack = state.time_of[e.dst.index()] as i64 - t + (e.weight.distance() as i64) * ii;
+        consider(e.dst, slack);
+    }
+    // spread ops: penalise PEs already busy in other slots
+    let busy = (0..state.ii).filter(|&s| !state.is_free(pe, s)).count();
+    cost + busy as f64 * 0.5
+}
+
+/// Penalty for leaving the op's strictly assigned ("home") cells: memory
+/// ops may spill to neighbouring cells when their own memory column is
+/// full, but should prefer home (otherwise loads — placed before their
+/// consumers exist — would scatter arbitrarily).
+pub(crate) fn home_bias(
+    cgra: &Cgra,
+    restriction: Option<&Restriction>,
+    op: OpId,
+    pe: PeId,
+) -> f64 {
+    let Some(r) = restriction else {
+        return 0.0;
+    };
+    let home = r.home_of(op);
+    if home.is_empty() {
+        return 0.0;
+    }
+    let cl = cgra.cluster_of(pe);
+    let dist = home
+        .iter()
+        .map(|&h| cgra.cluster_manhattan(cl, h))
+        .min()
+        .expect("home is nonempty");
+    dist as f64 * 8.0
+}
+
+/// Greedy least-cost joint schedule + placement of every op in topological
+/// order. Returns `Err(op)` naming the first op with no legal `(t, PE)`.
+pub(crate) fn initial_placement(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    ii: usize,
+    restriction: Option<&Restriction>,
+) -> Result<PlacementState, OpId> {
+    // quick global feasibility
+    if dfg.num_ops() > cgra.num_pes() * ii
+        || dfg.num_mem_ops() > cgra.num_mem_pes().max(1) * ii
+    {
+        return Err(dfg.op_ids().next().expect("nonempty DFG"));
+    }
+    let mut state = PlacementState {
+        pe_of: vec![PeId::from_index(0); dfg.num_ops()],
+        time_of: vec![0; dfg.num_ops()],
+        fu_used: HashMap::new(),
+        ii,
+    };
+    let mut placed = vec![false; dfg.num_ops()];
+    // memory slot budget, tracked separately from FU exclusivity
+    let mut mem_per_slot = vec![0usize; ii];
+    let mem_budget = cgra.num_mem_pes().max(1);
+
+    for op in dfg.topo_order() {
+        let is_mem = dfg.op(op).kind.needs_memory();
+        let op_is_const = dfg.op(op).kind == panorama_dfg::OpKind::Const;
+        // schedule window from placed neighbours. Iteration-varying values
+        // must not live longer than II cycles, or consecutive iterations
+        // would collide in the holding registers (modulo wrap); constants
+        // are iteration-invariant and exempt.
+        let mut estart = 0i64;
+        let mut lstart = i64::MAX;
+        for e in dfg.graph().incoming(op) {
+            if placed[e.src.index()] {
+                let tu = state.time_of[e.src.index()] as i64;
+                let d = e.weight.distance() as i64;
+                estart = estart.max(tu + 1 - d * ii as i64);
+                if dfg.op(e.src).kind != panorama_dfg::OpKind::Const {
+                    // lifetime bound: t_v − t_u + d·II ≤ II
+                    lstart = lstart.min(tu + (1 - d) * ii as i64);
+                }
+            }
+        }
+        for e in dfg.graph().outgoing(op) {
+            if placed[e.dst.index()] {
+                let tv = state.time_of[e.dst.index()] as i64;
+                let d = e.weight.distance() as i64;
+                lstart = lstart.min(tv - 1 + d * ii as i64);
+                if !op_is_const {
+                    // same lifetime bound, now a lower bound on the producer
+                    estart = estart.max(tv + (d - 1) * ii as i64);
+                }
+            }
+        }
+        let estart = estart.max(0);
+        if lstart < estart {
+            return Err(op);
+        }
+
+        let mut best: Option<(f64, usize, PeId)> = None;
+        for t in estart..(estart + ii as i64).min(lstart.saturating_add(1)) {
+            let t = t as usize;
+            let slot = t % ii;
+            if is_mem && mem_per_slot[slot] >= mem_budget {
+                continue;
+            }
+            for pe in candidates_for(dfg, cgra, &state, restriction, op, slot) {
+                // one cycle of slack beyond the earliest start is free: it
+                // is what gives the router room to detour around contested
+                // links (tight slack-1 edges have a unique shortest path)
+                let lateness = (t as i64 - estart - 1).max(0) as f64 * 0.25;
+                let cost = placement_cost(dfg, cgra, &state, &placed, op, pe, t)
+                    + home_bias(cgra, restriction, op, pe)
+                    + lateness;
+                let better = match best {
+                    None => true,
+                    Some((bc, bt, bpe)) => {
+                        cost < bc - 1e-12
+                            || ((cost - bc).abs() <= 1e-12 && (t, pe) < (bt, bpe))
+                    }
+                };
+                if better {
+                    best = Some((cost, t, pe));
+                }
+            }
+        }
+        match best {
+            Some((_, t, pe)) => {
+                state.place(op, pe, t);
+                if is_mem {
+                    mem_per_slot[t % ii] += 1;
+                }
+                placed[op.index()] = true;
+            }
+            None => return Err(op),
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn cgra() -> Cgra {
+        Cgra::new(CgraConfig::small_4x4()).unwrap()
+    }
+
+    #[test]
+    fn chain_places_neighbours_within_slack() {
+        let mut b = DfgBuilder::new("chain");
+        let n: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        for w in n.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let state = initial_placement(&dfg, &cgra, 4, None).unwrap();
+        for w in n.windows(2) {
+            let d = cgra.manhattan(state.pe_of[w[0].index()], state.pe_of[w[1].index()]);
+            let slack = state.time_of[w[1].index()] - state.time_of[w[0].index()];
+            assert!(d <= slack, "distance {d} exceeds slack {slack}");
+        }
+    }
+
+    #[test]
+    fn mem_ops_go_to_mem_pes() {
+        let mut b = DfgBuilder::new("mem");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, a);
+        b.data(a, s);
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let state = initial_placement(&dfg, &cgra, 3, None).unwrap();
+        assert!(cgra.is_mem_pe(state.pe_of[l.index()]));
+        assert!(cgra.is_mem_pe(state.pe_of[s.index()]));
+    }
+
+    #[test]
+    fn dependences_hold_in_joint_schedule() {
+        let mut b = DfgBuilder::new("diamond");
+        let a = b.op(OpKind::Load, "a");
+        let x = b.op(OpKind::Mul, "x");
+        let y = b.op(OpKind::Mul, "y");
+        let z = b.op(OpKind::Add, "z");
+        b.data(a, x);
+        b.data(a, y);
+        b.data(x, z);
+        b.data(y, z);
+        let dfg = b.build().unwrap();
+        let state = initial_placement(&dfg, &cgra(), 4, None).unwrap();
+        for e in dfg.deps() {
+            assert!(
+                state.time_of[e.dst.index()] >= state.time_of[e.src.index()] + 1,
+                "dependence violated"
+            );
+        }
+    }
+
+    #[test]
+    fn back_edge_deadline_respected() {
+        // u → v (data), v → u (back, distance 1): t_u ≤ t_v − 1 + II
+        let mut b = DfgBuilder::new("rec");
+        let u = b.op(OpKind::Add, "u");
+        let v = b.op(OpKind::Add, "v");
+        b.data(u, v);
+        b.back(v, u, 1);
+        let dfg = b.build().unwrap();
+        let ii = 2;
+        let state = initial_placement(&dfg, &cgra(), ii, None).unwrap();
+        let (tu, tv) = (state.time_of[u.index()] as i64, state.time_of[v.index()] as i64);
+        assert!(tv >= tu + 1);
+        assert!(tu >= tv + 1 - ii as i64);
+    }
+
+    #[test]
+    fn fu_exclusivity_enforced() {
+        // 17 independent ops on 16 PEs at II 1 → impossible
+        let mut b = DfgBuilder::new("conflict");
+        for i in 0..17 {
+            b.op(OpKind::Add, format!("n{i}"));
+        }
+        let dfg = b.build().unwrap();
+        assert!(initial_placement(&dfg, &cgra(), 1, None).is_err());
+        assert!(initial_placement(&dfg, &cgra(), 2, None).is_ok());
+    }
+
+    #[test]
+    fn no_two_ops_share_a_slot() {
+        let mut b = DfgBuilder::new("wide");
+        for i in 0..20 {
+            b.op(OpKind::Add, format!("n{i}"));
+        }
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let state = initial_placement(&dfg, &cgra, 2, None).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for op in dfg.op_ids() {
+            let key = (state.pe_of[op.index()], state.time_of[op.index()] % 2);
+            assert!(seen.insert(key), "slot reused: {key:?}");
+        }
+    }
+
+    #[test]
+    fn mem_budget_respected_per_slot() {
+        let mut b = DfgBuilder::new("mem8");
+        for i in 0..8 {
+            b.op(OpKind::Load, format!("l{i}"));
+        }
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let state = initial_placement(&dfg, &cgra, 2, None).unwrap();
+        let mut per_slot = [0usize; 2];
+        for op in dfg.op_ids() {
+            per_slot[state.time_of[op.index()] % 2] += 1;
+        }
+        assert!(per_slot.iter().all(|&c| c <= 4));
+    }
+}

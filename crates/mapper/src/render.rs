@@ -1,0 +1,119 @@
+//! Text rendering of mappings on the time-extended CGRA — the paper's
+//! Figure 3 visualisation: one PE grid per cycle of the modulo schedule,
+//! each cell showing the operation executing there.
+
+use crate::Mapping;
+use panorama_arch::Cgra;
+use panorama_dfg::Dfg;
+use std::fmt::Write as _;
+
+impl Mapping {
+    /// Renders the mapping as one `rows × cols` grid per schedule slot,
+    /// like the paper's time-extended CGRA figures. Cells show the op
+    /// index (`#12`) with a `*` suffix on memory operations; `.` is an
+    /// idle FU.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use panorama_arch::{Cgra, CgraConfig};
+    /// use panorama_dfg::{kernels, KernelId, KernelScale};
+    /// use panorama_mapper::{LowerLevelMapper, SprMapper};
+    ///
+    /// let cgra = Cgra::new(CgraConfig::small_4x4())?;
+    /// let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+    /// let mapping = SprMapper::default().map(&dfg, &cgra, None)?;
+    /// let picture = mapping.render(&dfg, &cgra);
+    /// assert!(picture.contains("cycle 0"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn render(&self, dfg: &Dfg, cgra: &Cgra) -> String {
+        let (rows, cols) = (cgra.config().rows, cgra.config().cols);
+        let ii = self.ii();
+        // cell contents per (slot, pe)
+        let mut cells: Vec<Vec<String>> =
+            vec![vec![".".to_string(); cgra.num_pes()]; ii];
+        for op in dfg.op_ids() {
+            let slot = self.time_of(op) % ii;
+            let pe = self.pe_of(op);
+            let marker = if dfg.op(op).kind.needs_memory() { "*" } else { "" };
+            cells[slot][pe.index()] = format!("#{}{}", op.index(), marker);
+        }
+        let width = cells
+            .iter()
+            .flatten()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(1)
+            .max(3);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mapping `{}` on {}x{} at II {} (QoM {:.2})",
+            dfg.name(),
+            rows,
+            cols,
+            ii,
+            self.qom()
+        );
+        for slot in 0..ii {
+            let _ = writeln!(out, "cycle {slot}:");
+            for r in 0..rows {
+                let mut line = String::from("  ");
+                for c in 0..cols {
+                    let pe = cgra.pe_at(r, c);
+                    let cell = &cells[slot][pe.index()];
+                    line.push_str(&format!("{cell:>width$} "));
+                }
+                out.push_str(line.trim_end());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LowerLevelMapper, SprMapper};
+    use panorama_arch::{Cgra, CgraConfig};
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    #[test]
+    fn render_shows_every_op_once() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, a);
+        b.data(a, s);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        let pic = mapping.render(&dfg, &cgra);
+        for op in ["#0*", "#1", "#2*"] {
+            assert_eq!(
+                pic.matches(op).count(),
+                1,
+                "{op} should appear exactly once in:\n{pic}"
+            );
+        }
+        assert!(pic.contains("cycle 0"));
+        // grid shape: ii × 4 grid rows plus headers
+        let grid_lines = pic.lines().filter(|l| l.starts_with("  ")).count();
+        assert_eq!(grid_lines, mapping.ii() * 4);
+    }
+
+    #[test]
+    fn idle_fus_render_as_dots() {
+        let mut b = DfgBuilder::new("one");
+        b.op(OpKind::Add, "only");
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        let pic = mapping.render(&dfg, &cgra);
+        assert!(pic.contains('.'));
+        assert!(pic.contains("#0"));
+    }
+}

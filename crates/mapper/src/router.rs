@@ -1,0 +1,476 @@
+//! PathFinder-style negotiated-congestion routing over the MRRG
+//! (McMurchie & Ebeling).
+//!
+//! Every DFG dependency becomes a signal routed from the producer's
+//! broadcast point to a node feeding the consumer's FU, with the number of
+//! time-advancing hops fixed by the schedule. Signals overusing a node pay
+//! a growing *present* penalty within an iteration and deposit *history*
+//! cost across iterations, until either every capacity is respected or the
+//! iteration budget runs out (placement then changes via simulated
+//! annealing, Algorithm 2 lines 9–15).
+
+use crate::mapping::Route;
+use crate::placement::PlacementState;
+use panorama_arch::{Cgra, Mrrg, MrrgNodeId, PeId};
+use panorama_dfg::Dfg;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// PathFinder tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Rip-up-and-reroute iterations per invocation.
+    pub max_iterations: usize,
+    /// Present-congestion penalty per unit of overuse, grows each
+    /// iteration.
+    pub present_factor: f64,
+    /// History cost deposited per unit of overuse per iteration.
+    pub history_increment: f64,
+    /// Hard cap on A* state expansions per signal (guards worst cases).
+    pub max_expansions: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_iterations: 24,
+            present_factor: 0.6,
+            history_increment: 0.35,
+            max_expansions: 400_000,
+        }
+    }
+}
+
+/// Result of one full routing attempt.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteOutcome {
+    /// Per-DFG-edge routes (`None` for unroutable signals).
+    pub routes: Vec<Option<Route>>,
+    /// Total capacity overuse across nodes after the last iteration.
+    pub overuse: usize,
+    /// Signals with no path at all (distance exceeds schedule slack).
+    pub failed: usize,
+    /// PathFinder iterations actually run.
+    pub iterations: usize,
+    /// Per-node usage of the last iteration (for annealing to target
+    /// congested ops).
+    pub usage: Vec<u16>,
+}
+
+impl RouteOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.overuse == 0 && self.failed == 0
+    }
+}
+
+/// Routes every DFG dependency; `history` persists across calls so
+/// congestion knowledge survives placement repair rounds.
+pub(crate) fn route_all(
+    mrrg: &Mrrg,
+    cgra: &Cgra,
+    dfg: &Dfg,
+    state: &PlacementState,
+    times: &[usize],
+    config: &RouterConfig,
+    history: &mut Vec<f32>,
+) -> RouteOutcome {
+    let ii = mrrg.ii();
+    history.resize(mrrg.num_nodes(), 0.0);
+
+    // signals, hardest (longest distance) first
+    struct Signal {
+        edge_index: usize,
+        producer: u32,
+        src_pe: PeId,
+        dst_pe: PeId,
+        start_time: usize,
+        dst_slot: usize,
+        delta: i64,
+    }
+    let mut signals: Vec<Signal> = dfg
+        .deps()
+        .enumerate()
+        .map(|(i, e)| {
+            let src_pe = state.pe_of[e.src.index()];
+            let dst_pe = state.pe_of[e.dst.index()];
+            let tu = times[e.src.index()];
+            let tv = times[e.dst.index()];
+            let delta = tv as i64 + (e.weight.distance() as i64) * ii as i64 - tu as i64;
+            Signal {
+                edge_index: i,
+                producer: e.src.index() as u32,
+                src_pe,
+                dst_pe,
+                start_time: tu % ii,
+                dst_slot: tv % ii,
+                delta,
+            }
+        })
+        .collect();
+    // group fan-out edges of one producer together (they share routing
+    // resources for free — it is one physical value), hardest first inside
+    signals.sort_by_key(|s| {
+        (
+            s.producer,
+            std::cmp::Reverse(cgra.manhattan(s.src_pe, s.dst_pe)),
+        )
+    });
+
+    let mut usage: Vec<u16> = vec![0; mrrg.num_nodes()];
+    let mut routes: Vec<Option<Route>> = vec![None; dfg.num_deps()];
+    let mut present = config.present_factor;
+    let mut iterations = 0;
+
+    let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for _ in 0..config.max_iterations.max(1) {
+        iterations += 1;
+        usage.iter_mut().for_each(|u| *u = 0);
+        let mut failed = 0usize;
+        let mut current_producer = u32::MAX;
+        for sig in &signals {
+            if sig.producer != current_producer {
+                current_producer = sig.producer;
+                claimed.clear();
+            }
+            let found = route_one(
+                mrrg,
+                cgra,
+                sig.src_pe,
+                sig.dst_pe,
+                sig.start_time,
+                sig.delta,
+                sig.dst_slot,
+                &usage,
+                history,
+                present,
+                config.max_expansions,
+                &claimed,
+            );
+            match found {
+                Some(path) => {
+                    for &n in &path {
+                        // fan-out edges of one producer broadcast a single
+                        // physical value: shared nodes count once
+                        if mrrg.capacity(n) != u16::MAX && claimed.insert(n.index() as u32) {
+                            usage[n.index()] = usage[n.index()].saturating_add(1);
+                        }
+                    }
+                    routes[sig.edge_index] = Some(Route {
+                        edge_index: sig.edge_index,
+                        nodes: path,
+                    });
+                }
+                None => {
+                    routes[sig.edge_index] = None;
+                    failed += 1;
+                }
+            }
+        }
+        let overuse: usize = usage
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                let cap = mrrg.capacity(MrrgNodeId::from_index(i));
+                (u as usize).saturating_sub(cap as usize)
+            })
+            .sum();
+        if overuse == 0 && failed == 0 {
+            return RouteOutcome {
+                routes,
+                overuse: 0,
+                failed: 0,
+                iterations,
+                usage,
+            };
+        }
+        // deposit history on overused nodes; sharpen present penalty
+        for (i, &u) in usage.iter().enumerate() {
+            let cap = mrrg.capacity(MrrgNodeId::from_index(i));
+            let over = (u as usize).saturating_sub(cap as usize);
+            if over > 0 {
+                history[i] += (over as f64 * config.history_increment) as f32;
+            }
+        }
+        present *= 1.4;
+        if iterations == config.max_iterations {
+            return RouteOutcome {
+                routes,
+                overuse,
+                failed,
+                iterations,
+                usage,
+            };
+        }
+    }
+    unreachable!("loop returns on final iteration");
+}
+
+/// Heap entry ordered by ascending f-cost.
+struct HeapEntry {
+    f: f64,
+    node: MrrgNodeId,
+    elapsed: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we need the min f on top
+        other.f.partial_cmp(&self.f).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// A* over (MRRG node, elapsed cycles): finds a cheapest path from the
+/// producer's `Out` to any node feeding the consumer's FU with *exactly*
+/// `delta` time advances.
+#[allow(clippy::too_many_arguments)]
+fn route_one(
+    mrrg: &Mrrg,
+    cgra: &Cgra,
+    src_pe: PeId,
+    dst_pe: PeId,
+    start_time: usize,
+    delta: i64,
+    dst_slot: usize,
+    usage: &[u16],
+    history: &[f32],
+    present: f64,
+    max_expansions: usize,
+    claimed: &std::collections::HashSet<u32>,
+) -> Option<Vec<MrrgNodeId>> {
+    if delta < 1 {
+        return None;
+    }
+    let delta = delta as u32;
+    let start = mrrg.out(src_pe, start_time);
+    let goal_in = mrrg.input(dst_pe, dst_slot);
+    let goal_rr = mrrg.reg_read(dst_pe, dst_slot);
+
+    let node_cost = |n: MrrgNodeId| -> f64 {
+        let cap = mrrg.capacity(n);
+        if cap == u16::MAX {
+            return 0.05; // topology nodes are nearly free
+        }
+        if claimed.contains(&(n.index() as u32)) {
+            return 0.02; // this producer already broadcasts here
+        }
+        let u = usage[n.index()] as f64;
+        let over = (u + 1.0 - cap as f64).max(0.0);
+        (1.0 + history[n.index()] as f64) * (1.0 + over * present)
+    };
+    let heuristic = |n: MrrgNodeId| cgra.manhattan(mrrg.pe_of(n), dst_pe) as f64;
+
+    let mut best: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut parent: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    let g0 = node_cost(start);
+    best.insert((start.index() as u32, 0), g0);
+    heap.push(HeapEntry {
+        f: g0 + heuristic(start),
+        node: start,
+        elapsed: 0,
+    });
+
+    let mut expansions = 0usize;
+    while let Some(HeapEntry { node, elapsed, .. }) = heap.pop() {
+        let key = (node.index() as u32, elapsed);
+        let g = *best.get(&key).expect("popped state was inserted");
+        expansions += 1;
+        if expansions > max_expansions {
+            return None;
+        }
+        if elapsed == delta && (node == goal_in || node == goal_rr) {
+            // reconstruct
+            let mut path = vec![node];
+            let mut cur = key;
+            while let Some(&prev) = parent.get(&cur) {
+                path.push(MrrgNodeId::from_index(prev.0 as usize));
+                cur = prev;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for edge in mrrg.out_edges(node) {
+            // never route *through* an FU: compute slots belong to placed
+            // ops (consumption happens past the path's terminal node)
+            if matches!(mrrg.kind(edge.dst), panorama_arch::NodeKind::Fu) {
+                continue;
+            }
+            let ne = elapsed + u32::from(edge.advance);
+            if ne > delta {
+                continue;
+            }
+            // reachability prune: remaining advances must cover the distance
+            let remaining = (delta - ne) as usize;
+            if cgra.manhattan(mrrg.pe_of(edge.dst), dst_pe) > remaining {
+                continue;
+            }
+            let ng = g + node_cost(edge.dst);
+            let nkey = (edge.dst.index() as u32, ne);
+            if best.get(&nkey).is_none_or(|&old| ng < old - 1e-12) {
+                best.insert(nkey, ng);
+                parent.insert(nkey, key);
+                heap.push(HeapEntry {
+                    f: ng + heuristic(edge.dst),
+                    node: edge.dst,
+                    elapsed: ne,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementState;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{DfgBuilder, OpKind};
+    use std::collections::HashMap as Map;
+
+    fn setup(ii: usize) -> (Cgra, Mrrg) {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let mrrg = cgra.mrrg(ii);
+        (cgra, mrrg)
+    }
+
+    #[test]
+    fn neighbour_route_is_direct() {
+        let (cgra, mrrg) = setup(2);
+        let a = cgra.pe_at(0, 0);
+        let b = cgra.pe_at(0, 1);
+        let usage = vec![0; mrrg.num_nodes()];
+        let history = vec![0.0; mrrg.num_nodes()];
+        let path = route_one(&mrrg, &cgra, a, b, 0, 1, 1, &usage, &history, 0.5, 100_000, &Default::default())
+            .expect("adjacent PEs route in one hop");
+        // out(a,0) → link → in(b,1)
+        assert_eq!(path.first().copied(), Some(mrrg.out(a, 0)));
+        assert_eq!(path.last().copied(), Some(mrrg.input(b, 1)));
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn too_far_for_slack_fails() {
+        let (cgra, mrrg) = setup(2);
+        let a = cgra.pe_at(0, 0);
+        let b = cgra.pe_at(3, 3); // manhattan 6
+        let usage = vec![0; mrrg.num_nodes()];
+        let history = vec![0.0; mrrg.num_nodes()];
+        assert!(route_one(&mrrg, &cgra, a, b, 0, 2, 0, &usage, &history, 0.5, 100_000, &Default::default()).is_none());
+    }
+
+    #[test]
+    fn waiting_in_registers_bridges_extra_time() {
+        // same PE pair, delta 3: value must park in a register for 2 cycles
+        let (cgra, mrrg) = setup(4);
+        let a = cgra.pe_at(1, 1);
+        let b = cgra.pe_at(1, 2);
+        let usage = vec![0; mrrg.num_nodes()];
+        let history = vec![0.0; mrrg.num_nodes()];
+        let path = route_one(&mrrg, &cgra, a, b, 0, 3, 3, &usage, &history, 0.5, 100_000, &Default::default())
+            .expect("register parking allows late consumption");
+        // count advances
+        let mut adv = 0;
+        for w in path.windows(2) {
+            let e = mrrg
+                .out_edges(w[0])
+                .iter()
+                .find(|e| e.dst == w[1])
+                .expect("path edges exist");
+            if e.advance {
+                adv += 1;
+            }
+        }
+        assert_eq!(adv, 3);
+    }
+
+    #[test]
+    fn route_all_clean_on_chain() {
+        let (cgra, mrrg) = setup(4);
+        let mut b = DfgBuilder::new("chain");
+        let n: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+        for w in n.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        let dfg = b.build().unwrap();
+        let times = vec![0, 1, 2, 3];
+        // place along the top row
+        let mut state = PlacementState {
+            pe_of: (0..4).map(|c| cgra.pe_at(0, c)).collect(),
+            time_of: times.clone(),
+            fu_used: Map::new(),
+            ii: 4,
+        };
+        for (i, op) in dfg.op_ids().enumerate() {
+            state.fu_used.insert((state.pe_of[i], times[i] % 4), op);
+        }
+        let mut history = Vec::new();
+        let outcome = route_all(
+            &mrrg,
+            &cgra,
+            &dfg,
+            &state,
+            &times,
+            &RouterConfig::default(),
+            &mut history,
+        );
+        assert!(outcome.is_clean(), "overuse {} failed {}", outcome.overuse, outcome.failed);
+        assert!(outcome.routes.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn congestion_negotiation_spreads_signals() {
+        // many values crossing the same boundary in the same cycle must
+        // negotiate; with enough iterations the router resolves them
+        let (cgra, mrrg) = setup(6);
+        let mut b = DfgBuilder::new("cross");
+        let mut srcs = Vec::new();
+        let mut dsts = Vec::new();
+        for i in 0..3 {
+            let s = b.op(OpKind::Add, format!("s{i}"));
+            let d = b.op(OpKind::Add, format!("d{i}"));
+            b.data(s, d);
+            srcs.push(s);
+            dsts.push(d);
+        }
+        let dfg = b.build().unwrap();
+        // all sources on (0,0)-(2,0), all sinks on (0,1)-(2,1), same slots
+        let times = vec![0, 1, 0, 1, 0, 1];
+        let mut pe_of = vec![cgra.pe_at(0, 0); 6];
+        for i in 0..3 {
+            pe_of[2 * i] = cgra.pe_at(i, 0);
+            pe_of[2 * i + 1] = cgra.pe_at(i, 1);
+        }
+        let mut state = PlacementState {
+            pe_of,
+            time_of: times.clone(),
+            fu_used: Map::new(),
+            ii: 6,
+        };
+        for (i, op) in dfg.op_ids().enumerate() {
+            state.fu_used.insert((state.pe_of[i], times[i] % 6), op);
+        }
+        let mut history = Vec::new();
+        let outcome = route_all(
+            &mrrg,
+            &cgra,
+            &dfg,
+            &state,
+            &times,
+            &RouterConfig::default(),
+            &mut history,
+        );
+        assert!(outcome.is_clean());
+    }
+}

@@ -1,0 +1,198 @@
+//! Analytical CGRA power model for the paper's power-efficiency comparison
+//! (Figure 8).
+//!
+//! The original work synthesises the 9×9 and 16×16 CGRAs in RTL on a
+//! commercial 40 nm process (Synopsys, 100 MHz) and reports MOPS/mW. This
+//! crate substitutes an analytical component model calibrated to published
+//! 40 nm CGRA characterisations: per-PE static/clock/configuration power,
+//! per-operation FU energy, per-hop interconnect energy and per-access RF
+//! energy. Figure 8 compares *ratios* (normalised efficiency), which
+//! depend on the mapped II and resource activity this model computes
+//! exactly; absolute milliwatts are therefore representative rather than
+//! silicon-measured.
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_arch::{Cgra, CgraConfig};
+//! use panorama_power::PowerModel;
+//!
+//! let cgra = Cgra::new(CgraConfig::paper_16x16())?;
+//! let model = PowerModel::forty_nm();
+//! // 400 ops per iteration, ~700 routed hops, II = 4
+//! let report = model.evaluate(&cgra, 400, 700, 4);
+//! assert!(report.mops() > 0.0);
+//! assert!(report.efficiency() > 0.0);
+//! # Ok::<(), panorama_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use panorama_arch::Cgra;
+
+/// Per-component power/energy constants of the modelled process.
+///
+/// Power figures are mW at the modelled clock; energy-like figures are the
+/// mW contribution of one event occurring every cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Clock frequency in MHz (the paper evaluates at 100 MHz).
+    pub clock_mhz: f64,
+    /// Always-on per-PE power: clock tree, configuration memory, leakage.
+    pub pe_static_mw: f64,
+    /// Added power when a PE's FU executes an op every cycle.
+    pub fu_dynamic_mw: f64,
+    /// Added power per routed hop (crossbar + link toggle) per cycle.
+    pub hop_dynamic_mw: f64,
+    /// Added power per register-file access per cycle.
+    pub rf_access_mw: f64,
+    /// Per-memory-bank power (one bank per cluster).
+    pub mem_bank_mw: f64,
+    /// Array-level fixed overhead: global control, AXI interface, PLL.
+    pub system_overhead_mw: f64,
+}
+
+impl PowerModel {
+    /// Constants representative of a commercial 40 nm standard-cell flow
+    /// at 100 MHz (same regime as the paper's Synopsys synthesis).
+    pub fn forty_nm() -> Self {
+        PowerModel {
+            clock_mhz: 100.0,
+            pe_static_mw: 0.22,
+            fu_dynamic_mw: 0.50,
+            hop_dynamic_mw: 0.08,
+            rf_access_mw: 0.06,
+            mem_bank_mw: 1.8,
+            system_overhead_mw: 36.0,
+        }
+    }
+
+    /// Static (activity-independent) power of `cgra` in mW.
+    pub fn static_power_mw(&self, cgra: &Cgra) -> f64 {
+        self.system_overhead_mw
+            + cgra.num_pes() as f64 * self.pe_static_mw
+            + cgra.num_clusters() as f64 * self.mem_bank_mw
+    }
+
+    /// Dynamic power in mW given average events per cycle.
+    pub fn dynamic_power_mw(&self, ops_per_cycle: f64, hops_per_cycle: f64) -> f64 {
+        // every executed op implies roughly one RF access on average
+        ops_per_cycle * (self.fu_dynamic_mw + self.rf_access_mw)
+            + hops_per_cycle * self.hop_dynamic_mw
+    }
+
+    /// Evaluates a mapped kernel: `ops_per_iteration` operations and
+    /// `routed_hops` interconnect hops execute every `ii` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ii == 0`.
+    pub fn evaluate(
+        &self,
+        cgra: &Cgra,
+        ops_per_iteration: usize,
+        routed_hops: usize,
+        ii: usize,
+    ) -> PowerReport {
+        assert!(ii > 0, "II must be at least 1");
+        let ops_per_cycle = ops_per_iteration as f64 / ii as f64;
+        let hops_per_cycle = routed_hops as f64 / ii as f64;
+        let total_mw =
+            self.static_power_mw(cgra) + self.dynamic_power_mw(ops_per_cycle, hops_per_cycle);
+        // ops/s = ops_per_iteration × clock / II; MOPS = that / 1e6
+        let mops = ops_per_iteration as f64 * self.clock_mhz / ii as f64;
+        PowerReport { total_mw, mops }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::forty_nm()
+    }
+}
+
+/// Power and throughput of one mapped kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    total_mw: f64,
+    mops: f64,
+}
+
+impl PowerReport {
+    /// Total array power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.total_mw
+    }
+
+    /// Throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        self.mops
+    }
+
+    /// The paper's Figure 8 metric: MOPS/mW.
+    pub fn efficiency(&self) -> f64 {
+        self.mops / self.total_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+
+    fn model() -> PowerModel {
+        PowerModel::forty_nm()
+    }
+
+    #[test]
+    fn static_power_scales_with_array() {
+        let small = Cgra::new(CgraConfig::paper_9x9()).unwrap();
+        let big = Cgra::new(CgraConfig::paper_16x16()).unwrap();
+        let m = model();
+        assert!(m.static_power_mw(&big) > m.static_power_mw(&small));
+        // sublinear in PE count thanks to the fixed overhead
+        let ratio = m.static_power_mw(&big) / m.static_power_mw(&small);
+        assert!(ratio < 256.0 / 81.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lower_ii_means_higher_throughput_and_efficiency() {
+        let cgra = Cgra::new(CgraConfig::paper_16x16()).unwrap();
+        let m = model();
+        let fast = m.evaluate(&cgra, 400, 600, 4);
+        let slow = m.evaluate(&cgra, 400, 600, 8);
+        assert!(fast.mops() > slow.mops());
+        assert!(fast.efficiency() > slow.efficiency());
+        assert!((fast.mops() - 10_000.0).abs() < 1e-9); // 400 × 100 / 4
+    }
+
+    #[test]
+    fn dynamic_power_grows_with_activity() {
+        let m = model();
+        assert!(m.dynamic_power_mw(100.0, 200.0) > m.dynamic_power_mw(50.0, 100.0));
+        assert_eq!(m.dynamic_power_mw(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bigger_array_amortises_overhead() {
+        // same per-PE activity density: the 16×16 should be at least as
+        // efficient as the 9×9 (Figure 8's scaling argument)
+        let small = Cgra::new(CgraConfig::paper_9x9()).unwrap();
+        let big = Cgra::new(CgraConfig::paper_16x16()).unwrap();
+        let m = model();
+        // both arrays 60% utilised at II 4
+        let ops_small = (81.0 * 4.0 * 0.6) as usize;
+        let ops_big = (256.0 * 4.0 * 0.6) as usize;
+        let e_small = m.evaluate(&small, ops_small, 2 * ops_small, 4).efficiency();
+        let e_big = m.evaluate(&big, ops_big, 2 * ops_big, 4).efficiency();
+        assert!(e_big > e_small, "{e_big} vs {e_small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ii_panics() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let _ = model().evaluate(&cgra, 10, 10, 0);
+    }
+}

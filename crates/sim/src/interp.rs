@@ -1,0 +1,222 @@
+//! Reference interpreter: executes a DFG's dataflow semantics directly,
+//! iteration by iteration.
+//!
+//! Actual arithmetic is irrelevant to mapping correctness — what matters
+//! is that every operation's value is a *deterministic, input-sensitive*
+//! function of its operand values, so that any mis-delivered operand
+//! changes the observed result. Operations therefore compute a collision-
+//! resistant mix of their inputs (commutative, because CGRA operand ports
+//! are not ordered in this model), with loads and constants seeded from
+//! their names.
+
+use panorama_dfg::{Dfg, OpId, OpKind};
+
+/// SplitMix64 finaliser: a cheap, high-quality 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The value an operation produces given its (unordered) operand values.
+///
+/// * `Const` ignores inputs and iteration: loop-invariant.
+/// * `Load` ignores inputs but varies with iteration: fresh data arrives
+///   every loop iteration.
+/// * every other kind mixes the operand values commutatively with a
+///   kind-specific tag.
+pub(crate) fn op_value(
+    dfg: &Dfg,
+    op: OpId,
+    iteration: u64,
+    inputs: impl Iterator<Item = u64>,
+) -> u64 {
+    let node = dfg.op(op);
+    let seed = hash_str(&node.name) ^ mix(op.index() as u64);
+    match node.kind {
+        OpKind::Const => mix(seed),
+        OpKind::Load => mix(seed ^ mix(iteration.wrapping_add(1))),
+        kind => {
+            let tag = mix(seed ^ (kind.mnemonic().len() as u64) ^ hash_str(kind.mnemonic()));
+            let folded = inputs.fold(0u64, |acc, v| acc.wrapping_add(mix(v)));
+            mix(tag ^ folded)
+        }
+    }
+}
+
+/// The value an operation consumed from before the loop started (back
+/// edges reaching "negative" iterations).
+pub(crate) fn initial_value(dfg: &Dfg, op: OpId) -> u64 {
+    mix(hash_str(&dfg.op(op).name) ^ 0xDEAD_BEEF)
+}
+
+/// Per-iteration values of every operation, as computed by direct
+/// dataflow interpretation.
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    /// `values[iter][op]`.
+    values: Vec<Vec<u64>>,
+}
+
+impl Interpretation {
+    /// Value of `op` in iteration `iter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `iter` exceeds the interpreted range.
+    pub fn value(&self, op: OpId, iter: usize) -> u64 {
+        self.values[iter][op.index()]
+    }
+
+    /// Number of iterations interpreted.
+    pub fn iterations(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value `op` produced in (possibly negative) iteration
+    /// `iter - distance`; falls back to the pre-loop initial value.
+    pub fn value_back(&self, dfg: &Dfg, op: OpId, iter: i64) -> u64 {
+        if iter < 0 {
+            initial_value(dfg, op)
+        } else {
+            self.value(op, iter as usize)
+        }
+    }
+}
+
+/// Interprets `iterations` loop iterations of `dfg`.
+///
+/// # Panics
+///
+/// Panics when the DFG is invalid (call [`Dfg::validate`] first for
+/// untrusted graphs).
+pub fn interpret(dfg: &Dfg, iterations: usize) -> Interpretation {
+    let order = dfg.topo_order();
+    let mut values: Vec<Vec<u64>> = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let mut row = vec![0u64; dfg.num_ops()];
+        for &op in &order {
+            let inputs: Vec<u64> = dfg
+                .graph()
+                .incoming(op)
+                .map(|e| {
+                    let d = e.weight.distance() as i64;
+                    if d == 0 {
+                        row[e.src.index()]
+                    } else if iter as i64 - d >= 0 {
+                        values[(iter as i64 - d) as usize][e.src.index()]
+                    } else {
+                        initial_value(dfg, e.src)
+                    }
+                })
+                .collect();
+            row[op.index()] = op_value(dfg, op, iter as u64, inputs.into_iter());
+        }
+        values.push(row);
+    }
+    Interpretation { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::DfgBuilder;
+
+    fn mac() -> Dfg {
+        let mut b = DfgBuilder::new("mac");
+        let a = b.op(OpKind::Load, "a");
+        let x = b.op(OpKind::Load, "b");
+        let m = b.op(OpKind::Mul, "m");
+        let acc = b.op(OpKind::Add, "acc");
+        b.data(a, m);
+        b.data(x, m);
+        b.data(m, acc);
+        b.back(acc, acc, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic() {
+        let dfg = mac();
+        let a = interpret(&dfg, 5);
+        let b = interpret(&dfg, 5);
+        for iter in 0..5 {
+            for op in dfg.op_ids() {
+                assert_eq!(a.value(op, iter), b.value(op, iter));
+            }
+        }
+        assert_eq!(a.iterations(), 5);
+    }
+
+    #[test]
+    fn loads_vary_per_iteration_constants_do_not() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let c = b.op(OpKind::Const, "c");
+        let dfg = b.build().unwrap();
+        let i = interpret(&dfg, 3);
+        assert_ne!(i.value(l, 0), i.value(l, 1));
+        assert_eq!(i.value(c, 0), i.value(c, 2));
+    }
+
+    #[test]
+    fn values_are_input_sensitive() {
+        let dfg = mac();
+        let i = interpret(&dfg, 3);
+        let m = OpId::from_index(2);
+        // mul output differs across iterations because loads differ
+        assert_ne!(i.value(m, 0), i.value(m, 1));
+    }
+
+    #[test]
+    fn back_edge_uses_previous_iteration() {
+        let dfg = mac();
+        let i = interpret(&dfg, 4);
+        let acc = OpId::from_index(3);
+        let m = OpId::from_index(2);
+        // recompute acc@2 from (m@2, acc@1) and compare
+        let expect = op_value(
+            &dfg,
+            acc,
+            2,
+            vec![i.value(m, 2), i.value(acc, 1)].into_iter(),
+        );
+        assert_eq!(i.value(acc, 2), expect);
+    }
+
+    #[test]
+    fn first_iteration_back_edge_uses_initial_value() {
+        let dfg = mac();
+        let i = interpret(&dfg, 1);
+        let acc = OpId::from_index(3);
+        let m = OpId::from_index(2);
+        let expect = op_value(
+            &dfg,
+            acc,
+            0,
+            vec![i.value(m, 0), initial_value(&dfg, acc)].into_iter(),
+        );
+        assert_eq!(i.value(acc, 0), expect);
+        assert_eq!(i.value_back(&dfg, acc, -1), initial_value(&dfg, acc));
+    }
+
+    #[test]
+    fn distinct_ops_with_same_kind_differ() {
+        let mut b = DfgBuilder::new("t");
+        let l1 = b.op(OpKind::Load, "l1");
+        let l2 = b.op(OpKind::Load, "l2");
+        let dfg = b.build().unwrap();
+        let i = interpret(&dfg, 1);
+        assert_ne!(i.value(l1, 0), i.value(l2, 0));
+    }
+}

@@ -1,0 +1,425 @@
+//! Cycle-level execution of a mapping: every routed value is walked
+//! through the machine, claiming each physical resource at each absolute
+//! cycle, and compared against the reference interpreter.
+
+use crate::interp::interpret;
+use panorama_arch::{Cgra, NodeKind};
+use panorama_dfg::{Dfg, OpKind};
+use panorama_mapper::Mapping;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Error found by [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The mapping carries no routes (abstract mappers); nothing to
+    /// execute cycle by cycle.
+    NoRoutes,
+    /// Two *different* values occupied one physical resource in the same
+    /// cycle — e.g. the modulo-wrap hazard where consecutive iterations
+    /// collide in a register.
+    ValueCollision {
+        /// Physical resource kind.
+        kind: NodeKind,
+        /// Absolute cycle of the collision.
+        cycle: u64,
+        /// Distinct values present.
+        values: usize,
+        /// Resource capacity.
+        cap: usize,
+    },
+    /// A route delivered its value in a cycle that does not match the
+    /// consumer's schedule.
+    ArrivalMismatch {
+        /// DFG edge index.
+        edge: usize,
+    },
+    /// An executed operation produced a value different from the
+    /// reference interpretation (operand mis-delivery).
+    WrongValue {
+        /// Operation index.
+        op: usize,
+        /// Iteration in which the mismatch occurred.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoRoutes => write!(f, "mapping has no routes to simulate"),
+            SimError::ValueCollision {
+                kind,
+                cycle,
+                values,
+                cap,
+            } => write!(
+                f,
+                "{values} distinct values on a {kind:?} resource at cycle {cycle} (capacity {cap})"
+            ),
+            SimError::ArrivalMismatch { edge } => {
+                write!(f, "edge {edge} delivered its value at the wrong cycle")
+            }
+            SimError::WrongValue { op, iteration } => {
+                write!(f, "op {op} computed a wrong value in iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Outcome of a successful simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Loop iterations executed.
+    pub iterations: usize,
+    /// Absolute cycles covered (iterations pipelined at II, plus drain).
+    pub cycles: u64,
+    /// Operand deliveries checked against the interpreter.
+    pub checked_deliveries: usize,
+    /// Fraction of FU slots doing useful work over the steady state.
+    pub fu_utilization: f64,
+    /// Fraction of physical links carrying a value per steady-state cycle.
+    pub link_utilization: f64,
+}
+
+/// Executes `iterations` pipelined loop iterations of `mapping` and
+/// cross-checks every value against [`interpret`].
+///
+/// # Errors
+///
+/// See [`SimError`]; the first violation is reported.
+pub fn simulate(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    iterations: usize,
+) -> Result<SimReport, SimError> {
+    let routes = mapping.routes().ok_or(SimError::NoRoutes)?;
+    let ii = mapping.ii() as u64;
+    let mrrg = cgra.mrrg(mapping.ii());
+    let reference = interpret(dfg, iterations);
+
+    // (physical resource, absolute cycle) → distinct values present
+    let mut occupancy: HashMap<(u32, u64), HashSet<u64>> = HashMap::new();
+    let mut checked = 0usize;
+
+    // claim FU slots with the op's output value
+    for iter in 0..iterations {
+        for op in dfg.op_ids() {
+            let t = mapping.time_of(op) as u64 + iter as u64 * ii;
+            let node = mrrg.fu(mapping.pe_of(op), mapping.time_of(op) % mapping.ii());
+            let v = reference.value(op, iter);
+            occupancy
+                .entry((mrrg.resource_of(node) as u32, t))
+                .or_default()
+                .insert(v);
+        }
+    }
+
+    // walk every route instance, claiming resources along the way
+    for (i, e) in dfg.deps().enumerate() {
+        let route = &routes[i];
+        let d = e.weight.distance() as i64;
+        for iter in 0..iterations {
+            // this instance carries the producer value of iteration `iter`
+            // to the consumer of iteration `iter + d`; skip instances whose
+            // consumer lies beyond the simulated horizon
+            if iter as i64 + d >= iterations as i64 {
+                continue;
+            }
+            let value = reference.value(e.src, iter);
+            let start = mapping.time_of(e.src) as u64 + iter as u64 * ii;
+            let mut t = start;
+            for w in route.nodes.windows(2) {
+                let advance = mrrg
+                    .out_edges(w[0])
+                    .iter()
+                    .find(|me| me.dst == w[1])
+                    .map(|me| me.advance)
+                    .expect("verified route is connected");
+                if advance {
+                    t += 1;
+                }
+                if mrrg.capacity(w[1]) != u16::MAX {
+                    occupancy
+                        .entry((mrrg.resource_of(w[1]) as u32, t))
+                        .or_default()
+                        .insert(value);
+                }
+            }
+            // arrival: the consumer reads in its execution cycle
+            let consumer_cycle =
+                mapping.time_of(e.dst) as u64 + (iter as i64 + d) as u64 * ii;
+            if t != consumer_cycle {
+                return Err(SimError::ArrivalMismatch { edge: i });
+            }
+            checked += 1;
+        }
+    }
+
+    // capacity check per (resource, cycle) over *distinct* values
+    for ((res, cycle), values) in &occupancy {
+        // reconstruct a node of this resource to query kind/capacity
+        let node = panorama_arch::MrrgNodeId::from_index(*res as usize);
+        let cap = mrrg.capacity(node) as usize;
+        if values.len() > cap {
+            return Err(SimError::ValueCollision {
+                kind: mrrg.kind(node),
+                cycle: *cycle,
+                values: values.len(),
+                cap,
+            });
+        }
+    }
+
+    // semantic re-check: recompute each op from its delivered operands
+    for iter in 0..iterations {
+        for op in dfg.op_ids() {
+            if dfg.op(op).kind == OpKind::Const || dfg.op(op).kind == OpKind::Load {
+                continue;
+            }
+            let inputs: Vec<u64> = dfg
+                .graph()
+                .incoming(op)
+                .map(|e| {
+                    reference.value_back(dfg, e.src, iter as i64 - e.weight.distance() as i64)
+                })
+                .collect();
+            let recomputed =
+                crate::interp::op_value(dfg, op, iter as u64, inputs.into_iter());
+            if recomputed != reference.value(op, iter) {
+                return Err(SimError::WrongValue {
+                    op: op.index(),
+                    iteration: iter,
+                });
+            }
+        }
+    }
+
+    // utilization over the steady state (one full II window mid-stream)
+    let makespan = dfg
+        .op_ids()
+        .map(|v| mapping.time_of(v))
+        .max()
+        .unwrap_or(0) as u64;
+    let cycles = makespan + iterations as u64 * ii + 1;
+    let fu_utilization = dfg.num_ops() as f64 / (cgra.num_pes() as f64 * ii as f64);
+    let links_in_use: HashSet<u32> = occupancy
+        .keys()
+        .filter(|(res, _)| {
+            matches!(
+                mrrg.kind(panorama_arch::MrrgNodeId::from_index(*res as usize)),
+                NodeKind::Link { .. }
+            )
+        })
+        .map(|(res, _)| *res)
+        .collect();
+    let link_utilization = links_in_use.len() as f64 / cgra.links().len().max(1) as f64;
+
+    Ok(SimReport {
+        iterations,
+        cycles,
+        checked_deliveries: checked,
+        fu_utilization,
+        link_utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{kernels, DfgBuilder, KernelId, KernelScale};
+    use panorama_mapper::{LowerLevelMapper, SprMapper, UltraFastMapper};
+
+    fn cgra() -> Cgra {
+        Cgra::new(CgraConfig::small_4x4()).unwrap()
+    }
+
+    #[test]
+    fn tiny_kernels_simulate_clean() {
+        for id in [KernelId::Fir, KernelId::Cordic, KernelId::Edn] {
+            let dfg = kernels::generate(id, KernelScale::Tiny);
+            let cgra = cgra();
+            let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+            let report = simulate(&dfg, &cgra, &mapping, 5)
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(report.iterations, 5);
+            assert!(report.checked_deliveries > 0);
+            assert!(report.fu_utilization > 0.0 && report.fu_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn recurrences_simulate_clean() {
+        let mut b = DfgBuilder::new("rec");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, a);
+        b.data(a, s);
+        b.back(a, a, 1);
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        simulate(&dfg, &cgra, &mapping, 6).unwrap();
+    }
+
+    #[test]
+    fn abstract_mapping_has_no_routes() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let cgra = cgra();
+        let mapping = UltraFastMapper::default().map(&dfg, &cgra, None).unwrap();
+        assert_eq!(
+            simulate(&dfg, &cgra, &mapping, 2),
+            Err(SimError::NoRoutes)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        assert!(SimError::NoRoutes.to_string().contains("no routes"));
+        assert!(SimError::ArrivalMismatch { edge: 3 }
+            .to_string()
+            .contains("edge 3"));
+        assert!(SimError::WrongValue { op: 1, iteration: 2 }
+            .to_string()
+            .contains("op 1"));
+    }
+
+    #[test]
+    fn zero_iterations_is_trivially_clean() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let cgra = cgra();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        let report = simulate(&dfg, &cgra, &mapping, 0).unwrap();
+        assert_eq!(report.checked_deliveries, 0);
+    }
+}
+
+#[cfg(test)]
+mod wrap_hazard_tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::DfgBuilder;
+    use panorama_mapper::{Mapping, Route};
+
+    /// Hand-builds the modulo-wrap hazard: a load's value parked in one
+    /// register for 4 cycles at II = 2, so consecutive iterations collide.
+    /// Static verification cannot see this (same net, deduplicated); the
+    /// simulator must.
+    #[test]
+    fn register_wrap_collision_is_caught() {
+        let mut b = DfgBuilder::new("hazard");
+        let u = b.op(OpKind::Load, "u");
+        let v = b.op(OpKind::Add, "v");
+        b.data(u, v);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let ii = 2;
+        let mrrg = cgra.mrrg(ii);
+        let pe = cgra.pe_at(0, 0); // memory-capable
+        let pe_v = cgra.pe_at(0, 0);
+
+        // u at t=0, v at t=5 (delta 5 > II): value waits in register 0
+        let path = vec![
+            mrrg.out(pe, 0),
+            mrrg.input(pe, 1),
+            mrrg.reg_write(pe, 1),
+            mrrg.reg(pe, 0, 0), // t=2 (slot 0)
+            mrrg.reg(pe, 0, 1), // t=3
+            mrrg.reg(pe, 0, 0), // t=4 — wraps onto slot 0 again
+            mrrg.reg(pe, 0, 1), // t=5
+            mrrg.reg_read(pe, 1),
+        ];
+        let mapping = Mapping::from_parts(
+            "hand",
+            ii,
+            1,
+            vec![0, 5],
+            vec![pe, pe_v],
+            Some(vec![Route {
+                edge_index: 0,
+                nodes: path,
+            }]),
+        );
+        // the static checker accepts it (same-net register reuse dedups)…
+        mapping.verify(&dfg, &cgra).unwrap();
+        // …but executing two or more iterations exposes the collision
+        let err = simulate(&dfg, &cgra, &mapping, 3).unwrap_err();
+        assert!(
+            matches!(err, SimError::ValueCollision { .. }),
+            "expected a value collision, got {err}"
+        );
+    }
+}
+
+/// One observable event in the executed schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Absolute cycle.
+    pub cycle: u64,
+    /// Loop iteration the executing op instance belongs to.
+    pub iteration: usize,
+    /// Operation index.
+    pub op: usize,
+    /// PE index executing it.
+    pub pe: usize,
+}
+
+/// Lists the first `max_cycles` cycles of op executions in cycle order —
+/// a waveform-style view of the pipelined schedule.
+pub fn trace(dfg: &Dfg, mapping: &Mapping, iterations: usize, max_cycles: u64) -> Vec<TraceEvent> {
+    let ii = mapping.ii() as u64;
+    let mut events = Vec::new();
+    for iter in 0..iterations {
+        for op in dfg.op_ids() {
+            let cycle = mapping.time_of(op) as u64 + iter as u64 * ii;
+            if cycle < max_cycles {
+                events.push(TraceEvent {
+                    cycle,
+                    iteration: iter,
+                    op: op.index(),
+                    pe: mapping.pe_of(op).index(),
+                });
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.cycle, e.pe));
+    events
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{kernels, KernelId, KernelScale};
+    use panorama_mapper::{LowerLevelMapper, SprMapper};
+
+    #[test]
+    fn trace_is_cycle_ordered_and_pipelined() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        let t = trace(&dfg, &mapping, 3, u64::MAX);
+        assert_eq!(t.len(), 3 * dfg.num_ops());
+        for w in t.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        // pipelining: iteration 1's first event starts II cycles later
+        let first_of = |it: usize| t.iter().find(|e| e.iteration == it).unwrap().cycle;
+        assert_eq!(first_of(1) - first_of(0), mapping.ii() as u64);
+    }
+
+    #[test]
+    fn trace_respects_cycle_horizon() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let dfg = kernels::generate(KernelId::Cordic, KernelScale::Tiny);
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        let t = trace(&dfg, &mapping, 4, 3);
+        assert!(t.iter().all(|e| e.cycle < 3));
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's motivating example (Figure 3): a 14-node DFG on a 6×1
+//! linear CGRA that only allows single-cycle single-hop transfers.
+//!
+//! A conventional mapper with a narrow, node-by-node view packs nodes
+//! greedily and strands node 14 too far from its parent; PANORAMA's global
+//! cluster view moves the whole community right and succeeds.
+//!
+//! ```sh
+//! cargo run --release --example motivating_example
+//! ```
+
+use panorama::{Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{Dfg, DfgBuilder, OpKind};
+use panorama_mapper::{LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper};
+use std::error::Error;
+
+/// The 14-node DFG of Figure 3a: five communities (A: 1,2,5; B: 3,6,9;
+/// C: 10,12,13; D: 4,7,8; E: 11,14) with sparse edges between them.
+fn figure3_dfg() -> Dfg {
+    let mut b = DfgBuilder::new("figure3");
+    let n: Vec<_> = (1..=14)
+        .map(|i| b.op(OpKind::Add, format!("n{i}")))
+        .collect();
+    let edge = |b: &mut DfgBuilder, u: usize, v: usize| {
+        b.data(n[u - 1], n[v - 1]);
+    };
+    // community A
+    edge(&mut b, 1, 2);
+    edge(&mut b, 2, 5);
+    // community B
+    edge(&mut b, 3, 6);
+    edge(&mut b, 6, 9);
+    // community C
+    edge(&mut b, 10, 12);
+    edge(&mut b, 12, 13);
+    // community D
+    edge(&mut b, 4, 7);
+    edge(&mut b, 7, 8);
+    // community E
+    edge(&mut b, 11, 14);
+    // inter-community dependencies
+    edge(&mut b, 1, 3); // A - B
+    edge(&mut b, 5, 10); // A - C
+    edge(&mut b, 9, 10); // B - C
+    edge(&mut b, 2, 4); // A - D
+    edge(&mut b, 4, 14); // D - E (the far-flung edge that breaks Fig. 3c)
+    edge(&mut b, 8, 11); // D - E
+    b.build().expect("figure 3 DFG is acyclic")
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cgra = Cgra::new(CgraConfig::linear_6x1())?;
+    let dfg = figure3_dfg();
+    println!(
+        "Figure 3: {} nodes, {} edges on a 6x1 linear CGRA (2 clusters of 3 PEs)",
+        dfg.num_ops(),
+        dfg.num_deps()
+    );
+
+    // The "conventional mapper with a narrow perspective": Ultra-Fast's
+    // greedy first-fit placement.
+    let greedy = UltraFastMapper::default();
+    match greedy.map(&dfg, &cgra, None) {
+        Ok(m) => println!("greedy mapper:   II {} (QoM {:.2})", m.ii(), m.qom()),
+        Err(e) => println!("greedy mapper:   {e}"),
+    }
+
+    // SPR* without guidance.
+    let spr = SprMapper::new(SprConfig::default());
+    match spr.map(&dfg, &cgra, None) {
+        Ok(m) => println!("SPR* unguided:   II {} (QoM {:.2})", m.ii(), m.qom()),
+        Err(e) => println!("SPR* unguided:   {e}"),
+    }
+
+    // The PANORAMA view: cluster the DFG, map communities onto the two
+    // 3-PE clusters, then run the guided mapper.
+    let compiler = Panorama::new(PanoramaConfig {
+        max_dfg_clusters: 5,
+        ..PanoramaConfig::default()
+    });
+    let report = compiler.compile(&dfg, &cgra, &spr)?;
+    report.mapping().verify(&dfg, &cgra)?;
+    let plan = report.plan().expect("guided compile has a plan");
+    println!(
+        "Panorama:        II {} (QoM {:.2}), {} DFG clusters -> histogram {:?}",
+        report.mapping().ii(),
+        report.mapping().qom(),
+        plan.cdg().num_clusters(),
+        plan.cluster_map().histogram()
+    );
+    // the paper's Figure 3d view: one PE row per cycle of the schedule
+    print!("{}", report.mapping().render(&dfg, &cgra));
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! PANORAMA workspace umbrella: the repo-level `examples/` and `tests/`
+//! live on this package. The library API is the [`panorama`] crate,
+//! re-exported here for convenience.
+
+pub use panorama::*;

@@ -1,0 +1,260 @@
+//! `panorama` — the command-line CGRA compiler.
+//!
+//! ```text
+//! panorama compile --dfg kernel.dfg --arch cgra.adl [--mapper spr|ultrafast|exhaustive]
+//!                  [--baseline] [--simulate N] [--configware] [--dot]
+//! panorama kernels [--scale tiny|scaled|paper]
+//! panorama info --arch cgra.adl
+//! ```
+//!
+//! `compile` reads a DFG in the text format (`--dfg -` for stdin, or a
+//! built-in kernel name like `fir`), an architecture in ADL form (or a
+//! preset like `8x8`), runs the PANORAMA pipeline, and reports the mapping.
+
+use panorama::{Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
+use panorama_mapper::{
+    Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper,
+};
+use panorama_sim::simulate;
+use std::collections::HashMap;
+use std::error::Error;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
+[--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
+[--simulate <iters>] [--configware] [--dot]\n  \
+     panorama kernels [--scale tiny|scaled|paper]\n  \
+     panorama info --arch <file|preset>\n\n\
+     presets: 4x4, 8x8, 9x9, 16x16, 6x1"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // boolean flags take no value
+            let boolean = matches!(name, "baseline" | "configware" | "dot");
+            if boolean {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    Ok(flags)
+}
+
+fn parse_scale(s: Option<&String>) -> Result<KernelScale, String> {
+    match s.map(String::as_str) {
+        None | Some("scaled") => Ok(KernelScale::Scaled),
+        Some("tiny") => Ok(KernelScale::Tiny),
+        Some("paper") => Ok(KernelScale::Paper),
+        Some(other) => Err(format!("unknown scale `{other}`")),
+    }
+}
+
+fn load_arch(spec: Option<&String>) -> Result<Cgra, Box<dyn Error>> {
+    let config = match spec.map(String::as_str) {
+        None | Some("8x8") => CgraConfig::scaled_8x8(),
+        Some("4x4") => CgraConfig::small_4x4(),
+        Some("9x9") => CgraConfig::paper_9x9(),
+        Some("16x16") => CgraConfig::paper_16x16(),
+        Some("6x1") => CgraConfig::linear_6x1(),
+        Some(path) => CgraConfig::from_text(&std::fs::read_to_string(path)?)?,
+    };
+    Ok(Cgra::new(config)?)
+}
+
+fn load_dfg(spec: &str, scale: KernelScale) -> Result<Dfg, Box<dyn Error>> {
+    // built-in kernel names first
+    if let Some(id) = KernelId::ALL
+        .iter()
+        .find(|id| id.name().eq_ignore_ascii_case(spec) || format!("{id:?}").eq_ignore_ascii_case(spec))
+    {
+        return Ok(kernels::generate(*id, scale));
+    }
+    let text = if spec == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(spec)?
+    };
+    Ok(Dfg::from_text(&text)?)
+}
+
+fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let scale = parse_scale(flags.get("scale"))?;
+    let dfg = load_dfg(
+        flags
+            .get("dfg")
+            .ok_or("`compile` needs --dfg <file|-|kernel-name>")?,
+        scale,
+    )?;
+    let cgra = load_arch(flags.get("arch"))?;
+    eprintln!(
+        "kernel `{}`: {} | CGRA {}x{} ({} clusters)",
+        dfg.name(),
+        dfg.stats(),
+        cgra.config().rows,
+        cgra.config().cols,
+        cgra.num_clusters()
+    );
+    if flags.contains_key("dot") {
+        println!("{}", dfg.to_dot());
+    }
+
+    let mapper_name = flags.get("mapper").map(String::as_str).unwrap_or("spr");
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let baseline = flags.contains_key("baseline");
+    let run = |m: &dyn LowerLevelMapper| {
+        if baseline {
+            compiler.compile_baseline(&dfg, &cgra, &DynMapper(m))
+        } else {
+            compiler.compile(&dfg, &cgra, &DynMapper(m))
+        }
+    };
+    let report = match mapper_name {
+        "spr" => run(&SprMapper::default())?,
+        "ultrafast" => run(&UltraFastMapper::default())?,
+        "exhaustive" => run(&ExactMapper::default())?,
+        other => return Err(format!("unknown mapper `{other}`").into()),
+    };
+    let mapping = report.mapping();
+    mapping.verify(&dfg, &cgra)?;
+    println!(
+        "mapped with {}{} at II {} (MII {}, QoM {:.2}) in {:.2?}",
+        if baseline { "" } else { "Pan-" },
+        mapping.mapper(),
+        mapping.ii(),
+        mapping.mii(),
+        mapping.qom(),
+        report.total_time()
+    );
+    if let Some(plan) = report.plan() {
+        println!(
+            "higher-level: {} DFG clusters, zeta {}, histogram {:?}",
+            plan.cdg().num_clusters(),
+            plan.cluster_map().zeta1(),
+            plan.cluster_map().histogram()
+        );
+    }
+    if let Some(iters) = flags.get("simulate") {
+        let iters: usize = iters.parse()?;
+        match simulate(&dfg, &cgra, mapping, iters) {
+            Ok(sim) => println!(
+                "simulation: {} iterations, {} deliveries checked, FU util {:.0}%, link util {:.0}%",
+                sim.iterations,
+                sim.checked_deliveries,
+                sim.fu_utilization * 100.0,
+                sim.link_utilization * 100.0
+            ),
+            Err(e) => println!("simulation unavailable: {e}"),
+        }
+    }
+    if flags.contains_key("configware") && mapping.routes().is_some() {
+        let cfg = Configware::generate(&dfg, &cgra, mapping);
+        println!(
+            "configware: {} active words, ~{} bits",
+            cfg.active_words(),
+            cfg.size_bits()
+        );
+        print!("{}", cfg.to_text(&cgra));
+    }
+    Ok(())
+}
+
+/// Object-safe shim so one closure can drive any mapper.
+struct DynMapper<'a>(&'a dyn LowerLevelMapper);
+
+impl LowerLevelMapper for DynMapper<'_> {
+    fn map(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&panorama_mapper::Restriction>,
+    ) -> Result<panorama_mapper::Mapping, panorama_mapper::MapError> {
+        self.0.map(dfg, cgra, restriction)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+fn cmd_kernels(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let scale = parse_scale(flags.get("scale"))?;
+    println!("{:<18} {:>6} {:>6} {:>7}  paper(n/e/deg)", "kernel", "nodes", "edges", "maxdeg");
+    for id in KernelId::ALL {
+        let s = kernels::generate(id, scale).stats();
+        let (pn, pe, pd) = id.paper_stats();
+        println!(
+            "{:<18} {:>6} {:>6} {:>7}  ({pn}/{pe}/{pd})",
+            id.name(),
+            s.nodes,
+            s.edges,
+            s.max_degree
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let cgra = load_arch(flags.get("arch"))?;
+    print!("{}", cgra.config().to_text());
+    println!(
+        "PEs {}  clusters {}  mem PEs {}  links {} ({} inter-cluster)",
+        cgra.num_pes(),
+        cgra.num_clusters(),
+        cgra.num_mem_pes(),
+        cgra.links().len(),
+        cgra.links().iter().filter(|l| l.inter_cluster).count()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(&flags),
+        "kernels" => cmd_kernels(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

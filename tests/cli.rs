@@ -1,0 +1,108 @@
+//! End-to-end tests of the `panorama` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_panorama"))
+}
+
+#[test]
+fn kernels_lists_all_twelve() {
+    let out = bin().args(["kernels", "--scale", "tiny"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["edn", "cordic", "fir", "invertmat", "matched filter"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    assert_eq!(stdout.lines().count(), 13); // header + 12 kernels
+}
+
+#[test]
+fn compile_builtin_kernel_end_to_end() {
+    let out = bin()
+        .args([
+            "compile", "--dfg", "cordic", "--arch", "8x8", "--scale", "tiny",
+            "--simulate", "3", "--configware",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("mapped with Pan-SPR*"));
+    assert!(stdout.contains("simulation: 3 iterations"));
+    assert!(stdout.contains("configware:"));
+}
+
+#[test]
+fn compile_reads_dfg_from_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["compile", "--dfg", "-", "--arch", "4x4", "--baseline"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"dfg pipe\nop 0 ld a\nop 1 add b\nop 2 st c\nedge 0 1\nedge 1 2\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("mapped with SPR*"));
+}
+
+#[test]
+fn info_describes_presets() {
+    let out = bin().args(["info", "--arch", "16x16"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success());
+    assert!(stdout.contains("cgra 16 16"));
+    assert!(stdout.contains("PEs 256"));
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = bin().args(["compile"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--dfg"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["compile", "--dfg", "cordic", "--mapper", "magic"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown mapper"));
+}
+
+#[test]
+fn exhaustive_mapper_selectable() {
+    let out = bin()
+        .args([
+            "compile", "--dfg", "-", "--arch", "4x4", "--baseline", "--mapper", "exhaustive",
+        ])
+        .env("RUST_BACKTRACE", "0")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .and_then(|mut child| {
+            use std::io::Write as _;
+            child
+                .stdin
+                .as_mut()
+                .unwrap()
+                .write_all(b"dfg small\nop 0 add a\nop 1 add b\nedge 0 1\n")?;
+            child.wait_with_output()
+        })
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("exhaustive"));
+}

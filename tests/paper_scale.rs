@@ -1,0 +1,54 @@
+//! Paper-scale regression: the headline Figure 7 behaviour at the paper's
+//! own sizes (16×16 CGRA with 4×4 clusters, ~300-node kernels).
+//!
+//! Marked `#[ignore]` because one run costs minutes on a single core; run
+//! with `cargo test --release --test paper_scale -- --ignored`.
+
+use panorama::{Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, KernelId, KernelScale};
+use panorama_mapper::{SprConfig, SprMapper};
+use std::time::Duration;
+
+#[test]
+#[ignore = "paper-scale run: minutes of compute"]
+fn cordic_at_paper_scale_reaches_mii_guided() {
+    let cgra = Cgra::new(CgraConfig::paper_16x16()).unwrap();
+    let dfg = kernels::generate(KernelId::Cordic, KernelScale::Paper);
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mapper = SprMapper::new(SprConfig {
+        time_budget: Some(Duration::from_secs(600)),
+        ..SprConfig::default()
+    });
+    let pan = compiler.compile(&dfg, &cgra, &mapper).expect("guided maps");
+    pan.mapping().verify(&dfg, &cgra).unwrap();
+    assert_eq!(
+        pan.mapping().qom(),
+        1.0,
+        "the paper's guided mapper reaches MII on cordic"
+    );
+    // and the baseline is slower and/or worse, as in Figure 7
+    let base = compiler.compile_baseline(&dfg, &cgra, &mapper).expect("baseline maps");
+    assert!(
+        base.mapping().ii() >= pan.mapping().ii(),
+        "baseline II {} vs guided {}",
+        base.mapping().ii(),
+        pan.mapping().ii()
+    );
+}
+
+#[test]
+#[ignore = "paper-scale run: minutes of compute"]
+fn double_unrolled_kernel_maps_on_16x16() {
+    // KernelScale::Custom beyond paper size: the unroll knob at work
+    let cgra = Cgra::new(CgraConfig::paper_16x16()).unwrap();
+    let dfg = kernels::generate(KernelId::Cordic, KernelScale::Custom { permille: 1500 });
+    assert!(dfg.num_ops() > kernels::generate(KernelId::Cordic, KernelScale::Paper).num_ops());
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mapper = SprMapper::new(SprConfig {
+        time_budget: Some(Duration::from_secs(600)),
+        ..SprConfig::default()
+    });
+    let report = compiler.compile(&dfg, &cgra, &mapper).expect("guided maps");
+    report.mapping().verify(&dfg, &cgra).unwrap();
+}

@@ -1,0 +1,35 @@
+//! Dynamic end-to-end validation: every guided mapping is *executed* for
+//! several pipelined iterations and value-checked against the reference
+//! DFG interpreter.
+
+use panorama::{Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, KernelId, KernelScale};
+use panorama_mapper::SprMapper;
+use panorama_sim::simulate;
+
+#[test]
+fn guided_mappings_simulate_clean_for_all_kernels() {
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let report = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let sim = simulate(&dfg, &cgra, report.mapping(), 6)
+            .unwrap_or_else(|e| panic!("{id}: simulation failed: {e}"));
+        assert!(sim.checked_deliveries >= dfg.num_deps(), "{id}");
+    }
+}
+
+#[test]
+fn scaled_kernel_simulates_many_iterations() {
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let dfg = kernels::generate(KernelId::Cordic, KernelScale::Scaled);
+    let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+    let sim = simulate(&dfg, &cgra, report.mapping(), 16).unwrap();
+    assert_eq!(sim.iterations, 16);
+    assert!(sim.link_utilization > 0.0);
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration tests of the substrates: spectral clustering
+//! over generated kernels, scattering ILPs over real CDGs, MRRG routing
+//! consistency, and property-based invariants spanning crate boundaries.
+
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_cluster::{explore_partitions, top_balanced, Cdg, SpectralConfig};
+use panorama_dfg::{kernels, random_dfg, KernelId, KernelScale, RandomDfgConfig};
+use panorama_mapper::{min_ii, LowerLevelMapper, SprMapper};
+use panorama_place::{map_clusters, ScatterConfig};
+use proptest::prelude::*;
+
+#[test]
+fn clustering_to_scattering_round_trip_on_all_kernels() {
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, KernelScale::Scaled);
+        let parts = explore_partitions(&dfg, 2, 8, &SpectralConfig::default())
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let best = top_balanced(&parts, 1)[0];
+        let cdg = Cdg::new(&dfg, best);
+        let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default())
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        // every CDG node landed somewhere
+        for n in cdg.cluster_ids() {
+            assert!(!map.cells_of(n).is_empty(), "{id}: {n} unmapped");
+        }
+        // histogram covers every cell (kernels are big enough)
+        let hist = map.histogram();
+        for row in &hist {
+            for &cell in row {
+                assert!(cell > 0, "{id}: empty cell in {hist:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mii_is_a_true_lower_bound() {
+    // whatever the mapper achieves can never beat MII
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    for id in [KernelId::Fir, KernelId::Cordic, KernelId::Edn] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let mii = min_ii(&dfg, &cgra).mii();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        assert!(mapping.ii() >= mii, "{id}: II {} < MII {mii}", mapping.ii());
+    }
+}
+
+#[test]
+fn routes_only_use_existing_mrrg_nodes() {
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let dfg = kernels::generate(KernelId::IdctCols, KernelScale::Tiny);
+    let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+    let mrrg = cgra.mrrg(mapping.ii());
+    for route in mapping.routes().expect("SPR produces routes") {
+        for &node in &route.nodes {
+            assert!(node.index() < mrrg.num_nodes());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random layered DFGs always survive the divide phase.
+    #[test]
+    fn random_dfgs_cluster_and_scatter(seed in 0u64..500, width in 3usize..7, layers in 3usize..6) {
+        let dfg = random_dfg(&RandomDfgConfig {
+            seed,
+            layers,
+            width,
+            extra_fanin: 2,
+            back_edges: 1,
+        });
+        prop_assert!(dfg.validate().is_ok());
+        let parts = explore_partitions(&dfg, 2, 6, &SpectralConfig::default()).unwrap();
+        let best = top_balanced(&parts, 1)[0];
+        let cdg = Cdg::new(&dfg, best);
+        prop_assert_eq!(cdg.total_dfg_nodes(), dfg.num_ops());
+        let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default()).unwrap();
+        for n in cdg.cluster_ids() {
+            prop_assert!(!map.cells_of(n).is_empty());
+        }
+    }
+
+    /// SPR mappings of random small DFGs verify end to end.
+    #[test]
+    fn random_dfgs_map_and_verify(seed in 0u64..200) {
+        let dfg = random_dfg(&RandomDfgConfig {
+            seed,
+            layers: 4,
+            width: 4,
+            extra_fanin: 1,
+            back_edges: 1,
+        });
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+        prop_assert!(mapping.verify(&dfg, &cgra).is_ok());
+    }
+}

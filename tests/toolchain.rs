@@ -1,0 +1,82 @@
+//! Toolchain-level integration: configware generation across kernels, the
+//! text-format boundary under property-based fuzzing, and render/CLI
+//! surfaces.
+
+use panorama::{Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, random_dfg, Dfg, KernelId, KernelScale, RandomDfgConfig};
+use panorama_mapper::{Configware, SprMapper};
+use proptest::prelude::*;
+
+#[test]
+fn configware_generates_for_every_kernel() {
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let report = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let cfg = Configware::generate(&dfg, &cgra, report.mapping());
+        assert_eq!(cfg.ii(), report.mapping().ii(), "{id}");
+        // at least one word per op, and a plausible footprint
+        assert!(cfg.active_words() >= dfg.num_ops(), "{id}");
+        assert!(cfg.size_bits() >= 13 * dfg.num_ops(), "{id}");
+        // the dump names every executing op
+        let text = cfg.to_text(&cgra);
+        assert!(text.lines().count() > dfg.num_ops(), "{id}");
+    }
+}
+
+#[test]
+fn render_covers_every_kernel() {
+    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    for id in [KernelId::Fir, KernelId::Cordic] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+        let pic = report.mapping().render(&dfg, &cgra);
+        // every op index appears
+        for op in dfg.op_ids() {
+            assert!(
+                pic.contains(&format!("#{}", op.index())),
+                "{id}: op {op} missing from render"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Text serialisation round-trips arbitrary generated DFGs exactly.
+    #[test]
+    fn dfg_text_round_trip(seed in 0u64..1000, layers in 2usize..6, width in 1usize..8, back in 0usize..3) {
+        let dfg = random_dfg(&RandomDfgConfig {
+            seed,
+            layers,
+            width,
+            extra_fanin: 2,
+            back_edges: back,
+        });
+        let text = dfg.to_text();
+        let parsed = Dfg::from_text(&text).expect("serialised DFGs parse");
+        prop_assert_eq!(parsed.num_ops(), dfg.num_ops());
+        prop_assert_eq!(parsed.num_deps(), dfg.num_deps());
+        prop_assert_eq!(parsed.stats(), dfg.stats());
+        // second round trip is byte-identical (canonical form)
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// The parser never panics on arbitrary junk.
+    #[test]
+    fn dfg_parser_total_on_junk(input in "[a-z0-9 #\\n]{0,200}") {
+        let _ = Dfg::from_text(&input); // must not panic
+    }
+
+    /// The architecture parser never panics on arbitrary junk either.
+    #[test]
+    fn adl_parser_total_on_junk(input in "[a-z0-9 \\n]{0,160}") {
+        let _ = CgraConfig::from_text(&input); // must not panic
+    }
+}
