@@ -75,7 +75,9 @@ impl CgraConfig {
                 "all"
             }
         );
-        if self.mul_every_n_columns == 1 {
+        if !self.mul_support {
+            let _ = writeln!(out, "mul none");
+        } else if self.mul_every_n_columns == 1 {
             let _ = writeln!(out, "mul all");
         } else {
             let _ = writeln!(out, "mul columns {}", self.mul_every_n_columns);
@@ -145,12 +147,17 @@ impl CgraConfig {
                     _ => return Err(ParseArchError::BadLine { line: line_no }),
                 },
                 Some("mul") => match parts.next() {
-                    Some("all") => config.mul_every_n_columns = 1,
+                    Some("all") => {
+                        config.mul_every_n_columns = 1;
+                        config.mul_support = true;
+                    }
+                    Some("none") => config.mul_support = false,
                     Some("columns") => {
                         config.mul_every_n_columns = parts
                             .next()
                             .and_then(|s| s.parse().ok())
                             .ok_or(ParseArchError::BadLine { line: line_no })?;
+                        config.mul_support = true;
                     }
                     _ => return Err(ParseArchError::BadLine { line: line_no }),
                 },
@@ -176,6 +183,10 @@ mod tests {
             CgraConfig::paper_9x9(),
             CgraConfig::scaled_8x8(),
             CgraConfig::linear_6x1(),
+            CgraConfig {
+                mul_support: false,
+                ..CgraConfig::small_4x4()
+            },
         ] {
             let text = cfg.to_text();
             let back = CgraConfig::from_text(&text).unwrap();
@@ -201,6 +212,14 @@ mod tests {
         assert_eq!(cfg.rf_write_ports, 2);
         assert_eq!(cfg.inter_cluster_links, 3);
         assert!(!cfg.mem_left_column_only);
+    }
+
+    #[test]
+    fn mul_none_disables_multipliers() {
+        let cfg = CgraConfig::from_text("cgra 4 4\nclusters 1 1\nmul none").unwrap();
+        assert!(!cfg.mul_support);
+        let back = CgraConfig::from_text(&cfg.to_text()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

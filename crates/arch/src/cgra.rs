@@ -251,8 +251,12 @@ impl Cgra {
     }
 
     /// Whether `pe` carries a multiplier (REVAMP-style heterogeneity:
-    /// every `mul_every_n_columns`-th column; stride 1 = homogeneous).
+    /// every `mul_every_n_columns`-th column; stride 1 = homogeneous;
+    /// `mul_support = false` disables multipliers array-wide).
     pub fn has_multiplier(&self, pe: PeId) -> bool {
+        if !self.config.mul_support {
+            return false;
+        }
         let (_, c) = self.pe_position(pe);
         c % self.config.mul_every_n_columns == 0
     }
@@ -269,7 +273,9 @@ impl Cgra {
 
     /// Directed links leaving `pe`.
     pub fn links_from(&self, pe: PeId) -> impl Iterator<Item = &Link> {
-        self.out_links[pe.index()].iter().map(|&i| &self.links[i as usize])
+        self.out_links[pe.index()]
+            .iter()
+            .map(|&i| &self.links[i as usize])
     }
 
     /// Manhattan distance between two PEs.

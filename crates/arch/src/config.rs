@@ -33,6 +33,11 @@ pub struct CgraConfig {
     /// Heterogeneity (REVAMP-style): only every `n`-th PE column carries a
     /// multiplier. `1` (the default) is the paper's homogeneous array.
     pub mul_every_n_columns: usize,
+    /// Whether the array has multipliers at all. `false` models an
+    /// adder-only fabric (ADL directive `mul none`); kernels containing
+    /// `mul` ops are then statically unmappable, which the lint
+    /// prechecker reports instead of letting a mapper time out.
+    pub mul_support: bool,
 }
 
 impl CgraConfig {
@@ -50,6 +55,7 @@ impl CgraConfig {
             inter_cluster_links: 6,
             mem_left_column_only: true,
             mul_every_n_columns: 1,
+            mul_support: true,
         }
     }
 
@@ -102,6 +108,7 @@ impl CgraConfig {
             inter_cluster_links: 1,
             mem_left_column_only: false,
             mul_every_n_columns: 1,
+            mul_support: true,
         }
     }
 
@@ -126,8 +133,8 @@ impl CgraConfig {
         }
         if self.cluster_rows == 0
             || self.cluster_cols == 0
-            || self.rows % self.cluster_rows != 0
-            || self.cols % self.cluster_cols != 0
+            || !self.rows.is_multiple_of(self.cluster_rows)
+            || !self.cols.is_multiple_of(self.cluster_cols)
         {
             return Err(ArchError::ClusterMismatch {
                 rows: self.rows,
@@ -225,7 +232,10 @@ mod tests {
             cluster_rows: 3,
             ..CgraConfig::paper_16x16()
         };
-        assert!(matches!(cfg.validate(), Err(ArchError::ClusterMismatch { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ArchError::ClusterMismatch { .. })
+        ));
     }
 
     #[test]

@@ -33,10 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod config;
-mod cgra;
-mod mrrg;
 mod adl;
+mod cgra;
+mod config;
+mod mrrg;
 
 pub use adl::ParseArchError;
 pub use cgra::{Cgra, ClusterId, Link, PeId};

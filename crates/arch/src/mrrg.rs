@@ -129,7 +129,7 @@ impl Mrrg {
             for _ in 0..1 {
                 owner_pe.push(pe as u32);
             }
-            owner_pe.extend(std::iter::repeat(pe as u32).take(per_pe - 1));
+            owner_pe.extend(std::iter::repeat_n(pe as u32, per_pe - 1));
             kinds.push(NodeKind::Fu);
             capacities.push(1);
             kinds.push(NodeKind::Out);

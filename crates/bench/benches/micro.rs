@@ -21,7 +21,7 @@ fn bench_eigen(c: &mut Criterion) {
         l[(j, i)] = -1.0;
     }
     c.bench_function("jacobi_eigen_96", |b| {
-        b.iter(|| SymmetricEigen::new(std::hint::black_box(&l)).unwrap())
+        b.iter(|| SymmetricEigen::new(std::hint::black_box(&l)).unwrap());
     });
 }
 
@@ -34,12 +34,8 @@ fn bench_ilp(c: &mut Criterion) {
                 let row: Vec<_> = (0..5).map(|j| m.bool_var(format!("x{i}{j}"))).collect();
                 vars.push(row);
             }
-            for i in 0..5 {
-                m.add_constraint(
-                    LinExpr::sum((0..5).map(|j| (1.0, vars[i][j]))),
-                    Cmp::Eq,
-                    1.0,
-                );
+            for (i, row) in vars.iter().enumerate() {
+                m.add_constraint(LinExpr::sum(row.iter().map(|&v| (1.0, v))), Cmp::Eq, 1.0);
                 m.add_constraint(
                     LinExpr::sum((0..5).map(|j| (1.0, vars[j][i]))),
                     Cmp::Eq,
@@ -50,7 +46,7 @@ fn bench_ilp(c: &mut Criterion) {
                 (0..25).map(|k| (((k * 7 + 3) % 11) as f64, vars[k / 5][k % 5])),
             ));
             m.solve().unwrap()
-        })
+        });
     });
 }
 
@@ -60,7 +56,7 @@ fn bench_spectral(c: &mut Criterion) {
         b.iter(|| {
             let sc = SpectralClustering::new(std::hint::black_box(&dfg)).unwrap();
             sc.partition(6, &SpectralConfig::default()).unwrap()
-        })
+        });
     });
 }
 
@@ -68,15 +64,15 @@ fn bench_mapping(c: &mut Criterion) {
     let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
     let dfg = kernels::generate(KernelId::Cordic, KernelScale::Tiny);
     c.bench_function("spr_map_cordic_tiny_4x4", |b| {
-        b.iter(|| SprMapper::default().map(&dfg, &cgra, None).unwrap())
+        b.iter(|| SprMapper::default().map(&dfg, &cgra, None).unwrap());
     });
     c.bench_function("ultrafast_map_cordic_tiny_4x4", |b| {
-        b.iter(|| UltraFastMapper::default().map(&dfg, &cgra, None).unwrap())
+        b.iter(|| UltraFastMapper::default().map(&dfg, &cgra, None).unwrap());
     });
 }
 
 fn bench_scatter(c: &mut Criterion) {
-    use panorama_cluster::{top_balanced, explore_partitions, Cdg};
+    use panorama_cluster::{explore_partitions, top_balanced, Cdg};
     use panorama_place::{map_clusters, ScatterConfig};
     let dfg = kernels::generate(KernelId::Edn, KernelScale::Scaled);
     let parts = explore_partitions(&dfg, 2, 8, &SpectralConfig::default()).unwrap();
@@ -85,7 +81,7 @@ fn bench_scatter(c: &mut Criterion) {
         b.iter(|| {
             let cdg = Cdg::new(std::hint::black_box(&dfg), &best);
             map_clusters(&cdg, 2, 2, &ScatterConfig::default()).unwrap()
-        })
+        });
     });
 }
 
@@ -95,14 +91,14 @@ fn bench_kernel_generation(c: &mut Criterion) {
             for id in panorama_dfg::KernelId::ALL {
                 std::hint::black_box(kernels::generate(id, KernelScale::Scaled));
             }
-        })
+        });
     });
 }
 
 fn bench_mrrg(c: &mut Criterion) {
     let cgra = Cgra::new(CgraConfig::paper_16x16()).unwrap();
     c.bench_function("mrrg_build_16x16_ii8", |b| {
-        b.iter(|| std::hint::black_box(&cgra).mrrg(8))
+        b.iter(|| std::hint::black_box(&cgra).mrrg(8));
     });
 }
 

@@ -10,8 +10,7 @@ use panorama_dfg::{kernels, KernelId};
 use panorama_mapper::{LowerLevelMapper, Restriction, SprConfig, SprMapper, UltraFastMapper};
 use panorama_place::{map_clusters, ScatterConfig};
 
-const ABLATION_KERNELS: [KernelId; 3] =
-    [KernelId::Cordic, KernelId::Edn, KernelId::IdctCols];
+const ABLATION_KERNELS: [KernelId; 3] = [KernelId::Cordic, KernelId::Edn, KernelId::IdctCols];
 
 fn spr(budget: std::time::Duration) -> SprMapper {
     SprMapper::new(SprConfig {
@@ -38,8 +37,7 @@ pub fn fixed_k() -> String {
         let dfg = kernels::generate(id, p.scale);
         let explored = compiler
             .compile(&dfg, &cgra, &mapper)
-            .map(|r| format!("{:.2}", r.mapping().qom()))
-            .unwrap_or_else(|_| "fail".into());
+            .map_or_else(|_| "fail".into(), |r| format!("{:.2}", r.mapping().qom()));
         // fixed k: single partition at exactly R*C clusters
         let fixed = explore_partitions(&dfg, rows * cols, rows * cols, &SpectralConfig::default())
             .ok()
@@ -49,8 +47,7 @@ pub fn fixed_k() -> String {
                 let restriction = Restriction::from_cluster_map(&dfg, &cdg, &map, &cgra);
                 mapper.map(&dfg, &cgra, Some(&restriction)).ok()
             })
-            .map(|m| format!("{:.2}", m.qom()))
-            .unwrap_or_else(|| "fail".into());
+            .map_or_else(|| "fail".into(), |m| format!("{:.2}", m.qom()));
         t.row(&[id.to_string(), explored, fixed]);
     }
     t.render()
@@ -73,8 +70,7 @@ pub fn top_partitions() -> String {
                 ..PanoramaConfig::default()
             })
             .compile(&dfg, &cgra, &mapper)
-            .map(|r| format!("{:.2}", r.mapping().qom()))
-            .unwrap_or_else(|_| "fail".into())
+            .map_or_else(|_| "fail".into(), |r| format!("{:.2}", r.mapping().qom()))
         };
         t.row(&[id.to_string(), run(3), run(1)]);
     }
@@ -96,8 +92,10 @@ pub fn restriction() -> String {
     for id in ABLATION_KERNELS {
         let dfg = kernels::generate(id, p.scale);
         let qom = |r: Result<panorama::CompileReport, panorama::PanoramaError>| {
-            r.map(|rep| format!("{:.2}", rep.mapping().qom()))
-                .unwrap_or_else(|_| "fail".into())
+            r.map_or_else(
+                |_| "fail".into(),
+                |rep| format!("{:.2}", rep.mapping().qom()),
+            )
         };
         t.row(&[
             id.to_string(),
@@ -118,7 +116,10 @@ pub fn laplacian() -> String {
     let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
     let mapper = spr(p.spr_budget);
     let mut t = Table::new(
-        format!("Ablation — unnormalised vs normalised Laplacian [{}]", p.name),
+        format!(
+            "Ablation — unnormalised vs normalised Laplacian [{}]",
+            p.name
+        ),
         &["kernel", "unnormalised QoM", "normalised QoM"],
     );
     for id in ABLATION_KERNELS {
@@ -132,8 +133,7 @@ pub fn laplacian() -> String {
                 ..PanoramaConfig::default()
             })
             .compile(&dfg, &cgra, &mapper)
-            .map(|r| format!("{:.2}", r.mapping().qom()))
-            .unwrap_or_else(|_| "fail".into())
+            .map_or_else(|_| "fail".into(), |r| format!("{:.2}", r.mapping().qom()))
         };
         t.row(&[
             id.to_string(),

@@ -5,9 +5,7 @@ use panorama::{CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_cluster::{explore_partitions, top_balanced, SpectralConfig};
 use panorama_dfg::{kernels, Dfg, KernelId};
-use panorama_mapper::{
-    min_ii, LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper,
-};
+use panorama_mapper::{min_ii, LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper};
 use panorama_power::PowerModel;
 use std::time::Duration;
 
@@ -47,8 +45,18 @@ pub fn table1a() -> String {
     let mut t = Table::new(
         format!("Table 1a — DFG clustering & cluster mapping [{}]", p.name),
         &[
-            "kernel", "nodes", "edges", "maxdeg", "(paper n/e/d)", "K", "Inter-E", "Intra-E",
-            "STD", "histogram", "t_clus", "t_map",
+            "kernel",
+            "nodes",
+            "edges",
+            "maxdeg",
+            "(paper n/e/d)",
+            "K",
+            "Inter-E",
+            "Intra-E",
+            "STD",
+            "histogram",
+            "t_clus",
+            "t_map",
         ],
     );
     for id in KernelId::ALL {
@@ -66,7 +74,7 @@ pub fn table1a() -> String {
                         format!(
                             "[{}]",
                             row.iter()
-                                .map(|c| c.to_string())
+                                .map(std::string::ToString::to_string)
                                 .collect::<Vec<_>>()
                                 .join(",")
                         )
@@ -171,7 +179,10 @@ pub fn fig5() -> String {
     let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
     let (rows, _) = cgra.cluster_grid();
     let mut t = Table::new(
-        format!("Figure 5 — imbalance factor (%) vs cluster count [{}]", p.name),
+        format!(
+            "Figure 5 — imbalance factor (%) vs cluster count [{}]",
+            p.name
+        ),
         &["kernel", "k", "IF (%)"],
     );
     for id in [
@@ -203,18 +214,21 @@ pub fn fig5() -> String {
     t.render()
 }
 
-fn qom_time_figure<M: LowerLevelMapper>(
-    title: &str,
-    mapper: &M,
-    paper_claim: &str,
-) -> String {
+fn qom_time_figure<M: LowerLevelMapper>(title: &str, mapper: &M, paper_claim: &str) -> String {
     let p = profile();
     let cgra = Cgra::new(p.cgra.clone()).expect("profile CGRA is valid");
     let compiler = Panorama::new(PanoramaConfig::default());
     let mut t = Table::new(
         format!("{title} [{}]", p.name),
         &[
-            "kernel", "MII", "base II", "base QoM", "base time", "Pan II", "Pan QoM", "Pan time",
+            "kernel",
+            "MII",
+            "base II",
+            "base QoM",
+            "base time",
+            "Pan II",
+            "Pan QoM",
+            "Pan time",
         ],
     );
     let mut qom_ratio = Vec::new();
@@ -237,16 +251,7 @@ fn qom_time_figure<M: LowerLevelMapper>(
             qom_ratio.push(pn.mapping().qom() / b.mapping().qom());
             speedups.push(b.total_time().as_secs_f64() / pn.total_time().as_secs_f64());
         }
-        t.row(&[
-            id.to_string(),
-            mii.to_string(),
-            bi,
-            bq,
-            bt,
-            pi,
-            pq,
-            pt,
-        ]);
+        t.row(&[id.to_string(), mii.to_string(), bi, bq, bt, pi, pq, pt]);
     }
     let mut out = t.render();
     out.push_str(&format!(
@@ -301,20 +306,13 @@ pub fn fig8() -> String {
             "Figure 8 — power efficiency normalised to SPR* on {}x{} [{}]",
             p.small_cgra.rows, p.small_cgra.cols, p.name
         ),
-        &[
-            "kernel",
-            "SPR* small",
-            "Pan small",
-            "SPR* big",
-            "Pan big",
-        ],
+        &["kernel", "SPR* small", "Pan small", "SPR* big", "Pan big"],
     );
     let eff = |rep: &CompileReport, cgra: &Cgra, dfg: &Dfg| -> f64 {
         let hops = rep
             .mapping()
             .route_stats(dfg, cgra)
-            .map(|s| s.link_hops)
-            .unwrap_or(dfg.num_deps());
+            .map_or(dfg.num_deps(), |s| s.link_hops);
         model
             .evaluate(cgra, dfg.num_ops(), hops, rep.mapping().ii())
             .efficiency()
@@ -328,10 +326,7 @@ pub fn fig8() -> String {
             compiler.compile_baseline(&dfg, &big, &mapper),
             compiler.compile(&dfg, &big, &mapper),
         ];
-        let base = results[0]
-            .as_ref()
-            .ok()
-            .map(|r| eff(r, &small, &dfg));
+        let base = results[0].as_ref().ok().map(|r| eff(r, &small, &dfg));
         let mut cells = vec![id.to_string()];
         for (i, r) in results.iter().enumerate() {
             let cgra = if i < 2 { &small } else { &big };
@@ -354,6 +349,8 @@ pub fn fig8() -> String {
         "summary: geomean Pan-SPR*-on-big vs SPR*-on-small efficiency {:.2}x\n",
         geomean(&ratios)
     ));
-    out.push_str("paper: 16x16 is 68% more power-efficient than 9x9; Pan-SPR* adds 16% over SPR* on 16x16\n");
+    out.push_str(
+        "paper: 16x16 is 68% more power-efficient than 9x9; Pan-SPR* adds 16% over SPR* on 16x16\n",
+    );
     out
 }

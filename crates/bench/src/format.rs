@@ -13,7 +13,10 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows: Vec::new(),
         }
     }
@@ -36,12 +39,12 @@ impl Table {
     /// Renders the table.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
-            for c in 0..cols {
-                let w = row.get(c).map_or(0, |s| s.len());
-                if w > widths[c] {
-                    widths[c] = w;
+            for (c, width) in widths.iter_mut().enumerate() {
+                let w = row.get(c).map_or(0, std::string::String::len);
+                if w > *width {
+                    *width = w;
                 }
             }
         }
@@ -58,9 +61,9 @@ impl Table {
         out.push('\n');
         for row in &self.rows {
             let mut line = String::new();
-            for c in 0..cols {
-                let cell = row.get(c).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<w$}  ", w = widths[c]));
+            for (c, &w) in widths.iter().enumerate() {
+                let cell = row.get(c).map_or("", String::as_str);
+                line.push_str(&format!("{cell:<w$}  "));
             }
             out.push_str(line.trim_end());
             out.push('\n');

@@ -33,9 +33,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod spectral;
-mod partition;
 mod cdg;
+mod partition;
+mod spectral;
 
 pub use cdg::{Cdg, CdgEdge, CdgNodeId};
 pub use partition::Partition;

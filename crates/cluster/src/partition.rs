@@ -23,10 +23,7 @@ impl Partition {
     ///
     /// Panics when a label is `>= k`.
     pub fn new(labels: Vec<usize>, k: usize) -> Self {
-        assert!(
-            labels.iter().all(|&l| l < k),
-            "labels must lie in 0..k"
-        );
+        assert!(labels.iter().all(|&l| l < k), "labels must lie in 0..k");
         Partition { labels, k }
     }
 

@@ -1,0 +1,119 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the external `criterion` dev-dependency is replaced by this
+//! local implementation of the surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of statistical sampling, each benchmark runs its routine a
+//! small fixed number of iterations and prints the mean wall-clock time —
+//! enough to smoke-test that every bench target builds and runs, and to
+//! give a rough timing signal. Use an external harness for publishable
+//! numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Benchmark harness handle passed to each registered bench function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `routine` and prints the mean iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+        };
+        routine(&mut bencher);
+        let mean_ns = bencher.elapsed_ns / bencher.iters.max(1);
+        println!("{id}: {} iters, mean {mean_ns} ns/iter", bencher.iters);
+        self
+    }
+}
+
+/// Per-benchmark timing handle.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+}
+
+/// Groups benchmark functions under a shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the named [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Criterion;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0u64;
+        Criterion::default()
+            .sample_size(4)
+            .bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4);
+    }
+}

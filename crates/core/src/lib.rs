@@ -48,6 +48,7 @@ pub use panorama_dfg as dfg;
 pub use panorama_graph as graph;
 pub use panorama_ilp as ilp;
 pub use panorama_linalg as linalg;
+pub use panorama_lint as lint;
 pub use panorama_mapper as mapper;
 pub use panorama_place as place;
 pub use panorama_power as power;

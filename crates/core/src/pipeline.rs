@@ -4,6 +4,7 @@ use crate::report::{CompileReport, HigherLevelPlan};
 use panorama_arch::Cgra;
 use panorama_cluster::{explore_partitions, top_balanced, Cdg, ClusterError, SpectralConfig};
 use panorama_dfg::Dfg;
+use panorama_lint::{precheck, Diagnostic, Diagnostics};
 use panorama_mapper::{LowerLevelMapper, MapError, Restriction};
 use panorama_place::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
 use std::error::Error;
@@ -21,6 +22,11 @@ pub struct PanoramaConfig {
     pub spectral: SpectralConfig,
     /// Scattering-ILP settings.
     pub scatter: ScatterConfig,
+    /// Optional II cap. The pre-flight check rejects a compile outright
+    /// (with [`PanoramaError::Infeasible`]) when the cap is provably below
+    /// the static minimum II, instead of letting a mapper search an empty
+    /// II range.
+    pub max_ii: Option<usize>,
 }
 
 impl Default for PanoramaConfig {
@@ -30,6 +36,7 @@ impl Default for PanoramaConfig {
             top_partitions: 3,
             spectral: SpectralConfig::default(),
             scatter: ScatterConfig::default(),
+            max_ii: None,
         }
     }
 }
@@ -44,6 +51,9 @@ pub enum PanoramaError {
     ClusterMapping(PlaceError),
     /// The lower-level mapper exhausted its II budget.
     Mapping(MapError),
+    /// The static pre-flight check proved the run infeasible before any
+    /// mapping was attempted; carries the error diagnostics.
+    Infeasible(Vec<Diagnostic>),
 }
 
 impl fmt::Display for PanoramaError {
@@ -54,6 +64,13 @@ impl fmt::Display for PanoramaError {
                 write!(f, "cluster mapping failed for every partition: {e}")
             }
             PanoramaError::Mapping(e) => write!(f, "lower-level mapping failed: {e}"),
+            PanoramaError::Infeasible(diags) => {
+                write!(f, "statically infeasible:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -64,6 +81,7 @@ impl Error for PanoramaError {
             PanoramaError::Cluster(e) => Some(e),
             PanoramaError::ClusterMapping(e) => Some(e),
             PanoramaError::Mapping(e) => Some(e),
+            PanoramaError::Infeasible(_) => None,
         }
     }
 }
@@ -100,16 +118,39 @@ impl Panorama {
         &self.config
     }
 
+    /// Runs the static pre-flight check: mappability bounds for `dfg` on
+    /// `cgra` (sharpened by `restriction` when given) against the
+    /// configured II cap. Returns [`PanoramaError::Infeasible`] carrying
+    /// the error diagnostics when the check proves no mapping can exist.
+    fn preflight(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+    ) -> Result<(), PanoramaError> {
+        let mut diags = Diagnostics::new();
+        let report = precheck(dfg, cgra, restriction, self.config.max_ii, &mut diags);
+        if report.feasible {
+            Ok(())
+        } else {
+            Err(PanoramaError::Infeasible(diags.errors().cloned().collect()))
+        }
+    }
+
     /// Runs the higher-level mapping only (Algorithm 1 lines 1–9):
     /// clustering exploration, top-`N` partition selection, cluster
     /// mapping per candidate, and selection by least routing complexity.
     ///
     /// # Errors
     ///
+    /// * [`PanoramaError::Infeasible`] when the static pre-flight check
+    ///   proves the run cannot succeed (before and after the restriction
+    ///   is derived);
     /// * [`PanoramaError::Cluster`] when spectral clustering fails;
     /// * [`PanoramaError::ClusterMapping`] when no candidate partition
     ///   admits a cluster mapping.
     pub fn plan(&self, dfg: &Dfg, cgra: &Cgra) -> Result<HigherLevelPlan, PanoramaError> {
+        self.preflight(dfg, cgra, None)?;
         let (rows, cols) = cgra.cluster_grid();
 
         let t0 = Instant::now();
@@ -155,6 +196,32 @@ impl Panorama {
             ));
         };
         let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
+
+        // Debug-mode invariant: the higher-level artifacts we just built
+        // must survive their own static analysis. A failure here is a bug
+        // in the divide step, not in the input.
+        #[cfg(debug_assertions)]
+        {
+            let mut diags = Diagnostics::new();
+            panorama_lint::lint_partition(
+                dfg,
+                &partitions[idx],
+                &cdg,
+                Some(&restriction),
+                &mut diags,
+            );
+            debug_assert!(
+                !diags.has_errors(),
+                "higher-level plan violates partition invariants:\n{}",
+                diags.render_human()
+            );
+        }
+
+        // Re-check mappability with the restriction in hand: the
+        // per-cluster-group capacity bound can prove this particular
+        // partition hopeless even when the unrestricted bounds pass.
+        self.preflight(dfg, cgra, Some(&restriction))?;
+
         Ok(HigherLevelPlan::new(
             partitions[idx].clone(),
             cdg,
@@ -192,13 +259,15 @@ impl Panorama {
     ///
     /// # Errors
     ///
-    /// [`PanoramaError::Mapping`] when the mapper fails.
+    /// [`PanoramaError::Infeasible`] when the pre-flight check proves the
+    /// run hopeless; [`PanoramaError::Mapping`] when the mapper fails.
     pub fn compile_baseline<M: LowerLevelMapper>(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
         mapper: &M,
     ) -> Result<CompileReport, PanoramaError> {
+        self.preflight(dfg, cgra, None)?;
         let t = Instant::now();
         let mapping = mapper.map(dfg, cgra, None)?;
         let mapping_time = t.elapsed();
@@ -239,7 +308,9 @@ mod tests {
             ..Default::default()
         });
         let cgra = cgra();
-        let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+        let report = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap();
         report.mapping().verify(&dfg, &cgra).unwrap();
         assert!(report.plan().is_some());
     }
@@ -256,6 +327,55 @@ mod tests {
             .compile(&dfg, &cgra, &UltraFastMapper::default())
             .unwrap();
         report.mapping().verify(&dfg, &cgra).unwrap();
+    }
+
+    #[test]
+    fn ii_cap_below_static_bound_is_rejected_up_front() {
+        use panorama_dfg::{DfgBuilder, OpKind};
+        // Four chained adds closed by a distance-1 back edge: RecMII = 4.
+        let mut b = DfgBuilder::new("loop4");
+        let ops: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("a{i}"))).collect();
+        for w in ops.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.back(ops[3], ops[0], 1);
+        let dfg = b.build().unwrap();
+        let compiler = Panorama::new(PanoramaConfig {
+            max_ii: Some(2),
+            ..Default::default()
+        });
+        let err = compiler
+            .compile_baseline(&dfg, &cgra(), &UltraFastMapper::default())
+            .unwrap_err();
+        let PanoramaError::Infeasible(diags) = err else {
+            panic!("expected Infeasible, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.code == "MAP003"), "{diags:?}");
+    }
+
+    #[test]
+    fn unsupported_op_kind_is_rejected_up_front() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        assert!(dfg
+            .kind_histogram()
+            .iter()
+            .any(|(k, n)| { *k == panorama_dfg::OpKind::Mul && *n > 0 }));
+        let cgra = Cgra::new(CgraConfig {
+            mul_support: false,
+            ..CgraConfig::scaled_8x8()
+        })
+        .unwrap();
+        let compiler = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            ..Default::default()
+        });
+        let err = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap_err();
+        let PanoramaError::Infeasible(diags) = err else {
+            panic!("expected Infeasible, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.code == "MAP001"), "{diags:?}");
     }
 
     #[test]

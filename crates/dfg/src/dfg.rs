@@ -200,12 +200,7 @@ impl Dfg {
     pub fn kind_histogram(&self) -> Vec<(OpKind, usize)> {
         OpKind::ALL
             .iter()
-            .map(|&k| {
-                (
-                    k,
-                    self.op_ids().filter(|&v| self.op(v).kind == k).count(),
-                )
-            })
+            .map(|&k| (k, self.op_ids().filter(|&v| self.op(v).kind == k).count()))
             .filter(|&(_, n)| n > 0)
             .collect()
     }

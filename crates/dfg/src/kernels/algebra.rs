@@ -75,7 +75,8 @@ pub(super) fn invertmat(scale: KernelScale) -> Dfg {
         }
         b.store(out, format!("o{e}"));
     }
-    b.build().expect("invertmat generator is structurally acyclic")
+    b.build()
+        .expect("invertmat generator is structurally acyclic")
 }
 
 #[cfg(test)]
@@ -97,7 +98,11 @@ mod tests {
         let dfg = invertmat(KernelScale::Paper);
         let s = dfg.stats();
         // recip feeds n² = 36 scaling multiplies (+1 producer)
-        assert!((34..=45).contains(&s.max_degree), "max degree {}", s.max_degree);
+        assert!(
+            (34..=45).contains(&s.max_degree),
+            "max degree {}",
+            s.max_degree
+        );
     }
 
     #[test]

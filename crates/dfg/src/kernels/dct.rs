@@ -37,7 +37,7 @@ fn dct_kernel(shape: &DctShape) -> Dfg {
             // pair lanes with a round-dependent stride, like the even/odd
             // decomposition of a real DCT network
             let stride = 1 << (round % 3); // 1, 2, 4
-            let mut paired = vec![false; LANES];
+            let mut paired = [false; LANES];
             for l in 0..LANES {
                 if paired[l] {
                     continue;

@@ -123,7 +123,11 @@ impl KernelBuilder {
         let first = self.binary(OpKind::Add, tie_in, tie_in, format!("{name}_s0"));
         let mut prev = first;
         for i in 1..len {
-            let kind = if i % 2 == 0 { OpKind::Add } else { OpKind::Shift };
+            let kind = if i % 2 == 0 {
+                OpKind::Add
+            } else {
+                OpKind::Shift
+            };
             prev = self.unary(kind, prev, format!("{name}_s{i}"));
         }
         self.back(prev, first, 1);

@@ -16,12 +16,12 @@ pub(super) fn cordic(scale: KernelScale) -> Dfg {
         let mut x = b.load(format!("x{s}"));
         let mut y = b.load(format!("y{s}"));
         let mut z = b.load(format!("z{s}"));
-        for i in 0..iters {
+        for (i, &atan_i) in atan.iter().enumerate() {
             let xs = b.shift(x, format!("xs{s}_{i}"));
             let ys = b.shift(y, format!("ys{s}_{i}"));
             let xn = b.sub(x, ys, format!("xn{s}_{i}"));
             let yn = b.add(y, xs, format!("yn{s}_{i}"));
-            let zn = b.sub(z, atan[i], format!("zn{s}_{i}"));
+            let zn = b.sub(z, atan_i, format!("zn{s}_{i}"));
             x = xn;
             y = yn;
             z = zn;

@@ -22,10 +22,10 @@
 //! }
 //! ```
 
-mod helpers;
-mod dsp;
-mod dct;
 mod algebra;
+mod dct;
+mod dsp;
+mod helpers;
 mod misc;
 
 use crate::Dfg;
@@ -154,9 +154,7 @@ impl KernelScale {
             KernelScale::Paper => paper,
             KernelScale::Scaled => scaled,
             KernelScale::Tiny => tiny,
-            KernelScale::Custom { permille } => {
-                ((paper * permille as usize) / 1000).max(min)
-            }
+            KernelScale::Custom { permille } => ((paper * permille as usize) / 1000).max(min),
         }
     }
 }
@@ -289,7 +287,8 @@ mod custom_scale_tests {
         for id in KernelId::ALL {
             for permille in [100, 700, 1500] {
                 let dfg = generate(id, KernelScale::Custom { permille });
-                dfg.validate().unwrap_or_else(|e| panic!("{id}@{permille}: {e}"));
+                dfg.validate()
+                    .unwrap_or_else(|e| panic!("{id}@{permille}: {e}"));
             }
         }
     }

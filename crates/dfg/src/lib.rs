@@ -27,20 +27,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod op;
 mod dfg;
-mod stats;
+mod op;
 mod random;
+mod stats;
 mod text;
 
 pub mod kernels;
 
-pub use dfg::{Dfg, DfgBuilder, DfgError, Dep};
+pub use dfg::{Dep, Dfg, DfgBuilder, DfgError};
 pub use kernels::{KernelId, KernelScale};
 pub use op::{Op, OpKind};
-pub use random::{RandomDfgConfig, random_dfg};
-pub use text::ParseDfgError;
+pub use random::{random_dfg, RandomDfgConfig};
 pub use stats::DfgStats;
+pub use text::ParseDfgError;
 
 /// Identifier of a DFG operation node (re-exported graph node id).
 pub type OpId = panorama_graph::NodeId;

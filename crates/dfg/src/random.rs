@@ -101,7 +101,8 @@ pub fn random_dfg(config: &RandomDfgConfig) -> Dfg {
         b.back(src, dst, 1 + (i as u32 % 2));
     }
 
-    b.build().expect("layered construction is acyclic over data edges")
+    b.build()
+        .expect("layered construction is acyclic over data edges")
 }
 
 #[cfg(test)]

@@ -96,13 +96,7 @@ impl Dfg {
                     let _ = writeln!(out, "edge {} {}", e.src.index(), e.dst.index());
                 }
                 crate::Dep::Back { distance } => {
-                    let _ = writeln!(
-                        out,
-                        "back {} {} {}",
-                        e.src.index(),
-                        e.dst.index(),
-                        distance
-                    );
+                    let _ = writeln!(out, "back {} {} {}", e.src.index(), e.dst.index(), distance);
                 }
             }
         }
@@ -136,17 +130,18 @@ impl Dfg {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .ok_or(ParseDfgError::BadLine { line: line_no })?;
-                    let kind_str = parts.next().ok_or(ParseDfgError::BadLine { line: line_no })?;
+                    let kind_str = parts
+                        .next()
+                        .ok_or(ParseDfgError::BadLine { line: line_no })?;
                     let op_name = parts.next().unwrap_or("_");
                     if id != declared {
                         return Err(ParseDfgError::NonDenseId { line: line_no });
                     }
-                    let kind = kind_from_mnemonic(kind_str).ok_or_else(|| {
-                        ParseDfgError::UnknownKind {
+                    let kind =
+                        kind_from_mnemonic(kind_str).ok_or_else(|| ParseDfgError::UnknownKind {
                             line: line_no,
                             kind: kind_str.to_string(),
-                        }
-                    })?;
+                        })?;
                     builder
                         .get_or_insert_with(|| DfgBuilder::new(name.clone()))
                         .op(kind, op_name);
@@ -269,16 +264,21 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blanks_ignored(){
+    fn comments_and_blanks_ignored() {
         let dfg = Dfg::from_text("\n# comment only\ndfg t\nop 0 cst c # trailing\n\n").unwrap();
         assert_eq!(dfg.num_ops(), 1);
     }
 
     #[test]
     fn error_messages() {
-        assert!(ParseDfgError::BadLine { line: 7 }.to_string().contains("line 7"));
-        assert!(ParseDfgError::UnknownKind { line: 2, kind: "q".into() }
+        assert!(ParseDfgError::BadLine { line: 7 }
             .to_string()
-            .contains('q'));
+            .contains("line 7"));
+        assert!(ParseDfgError::UnknownKind {
+            line: 2,
+            kind: "q".into()
+        }
+        .to_string()
+        .contains('q'));
     }
 }

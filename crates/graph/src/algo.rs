@@ -95,10 +95,8 @@ impl<N, E> Digraph<N, E> {
                 kept_out[e.src.index()].push(e.dst);
             }
         }
-        let mut queue: VecDeque<NodeId> = self
-            .node_ids()
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut queue: VecDeque<NodeId> =
+            self.node_ids().filter(|v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             order.push(v);

@@ -292,7 +292,10 @@ impl<N, E> Digraph<N, E> {
     ///
     /// Returns the subgraph plus the mapping from old node ids to new ones
     /// (`None` for dropped nodes).
-    pub fn induced_subgraph(&self, keep: impl Fn(NodeId) -> bool) -> (Digraph<N, E>, Vec<Option<NodeId>>)
+    pub fn induced_subgraph(
+        &self,
+        keep: impl Fn(NodeId) -> bool,
+    ) -> (Digraph<N, E>, Vec<Option<NodeId>>)
     where
         N: Clone,
         E: Clone,
@@ -427,7 +430,7 @@ mod tests {
         let (g, [a, b, ..]) = diamond();
         let r = g.reversed();
         assert_eq!(r.successors(b).collect::<Vec<_>>(), vec![a]);
-        assert_eq!(r.in_degree(a), 0 + 2); // a gains the two edges it emitted
+        assert_eq!(r.in_degree(a), 2); // a gains the two edges it emitted
     }
 
     #[test]

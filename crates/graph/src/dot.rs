@@ -51,7 +51,7 @@ impl<N, E> Digraph<N, E> {
         let _ = writeln!(out, "  rankdir={};", options.rankdir);
         for v in self.node_ids() {
             let label = node_label(v, self.node(v)).replace('"', "\\\"");
-            let _ = writeln!(out, "  {} [label=\"{}\"];", v, label);
+            let _ = writeln!(out, "  {v} [label=\"{label}\"];");
         }
         for e in self.edge_refs() {
             let label = edge_label(e).replace('"', "\\\"");
@@ -81,7 +81,7 @@ mod tests {
                 name: "dfg".into(),
                 rankdir: "LR".into(),
             },
-            |id, w| format!("{}:{}", id, w),
+            |id, w| format!("{id}:{w}"),
             |e| format!("w{}", e.weight),
         );
         assert!(dot.starts_with("digraph dfg {"));
@@ -95,7 +95,11 @@ mod tests {
     fn quotes_are_escaped() {
         let mut g: Digraph<&str, ()> = Digraph::new();
         g.add_node("say \"hi\"");
-        let dot = g.to_dot(&DotOptions::default(), |_, n| n.to_string(), |_| String::new());
+        let dot = g.to_dot(
+            &DotOptions::default(),
+            |_, n| n.to_string(),
+            |_| String::new(),
+        );
         assert!(dot.contains("say \\\"hi\\\""));
     }
 }

@@ -27,13 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod digraph;
 mod algo;
+mod digraph;
 mod dot;
 mod matrix;
 mod scc;
 
-pub use algo::{CycleError, Components};
+pub use algo::{Components, CycleError};
 pub use digraph::{Digraph, EdgeId, EdgeRef, NodeId};
 pub use dot::DotOptions;
 pub use matrix::AdjacencyMatrix;

@@ -63,7 +63,11 @@ impl AdjacencyMatrix {
         for i in 0..n {
             let d = self.degree(i);
             for j in 0..n {
-                l[i * n + j] = if i == j { d - self.get(i, j) } else { -self.get(i, j) };
+                l[i * n + j] = if i == j {
+                    d - self.get(i, j)
+                } else {
+                    -self.get(i, j)
+                };
             }
         }
         l

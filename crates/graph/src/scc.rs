@@ -98,8 +98,7 @@ impl TarjanState {
                 if self.index[w.index()] == u32::MAX {
                     call.push((w, 0));
                 } else if self.on_stack[w.index()] {
-                    self.lowlink[v.index()] =
-                        self.lowlink[v.index()].min(self.index[w.index()]);
+                    self.lowlink[v.index()] = self.lowlink[v.index()].min(self.index[w.index()]);
                 }
             } else {
                 // leaving v

@@ -105,11 +105,11 @@ impl Model {
         // presolve: tighten the root box before searching
         let root_lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
-        let (root_lower, root_upper) =
-            match crate::presolve::tighten(self, root_lower, root_upper) {
-                crate::presolve::Presolve::Bounds(lo, up) => (lo, up),
-                crate::presolve::Presolve::Infeasible => return Err(SolveError::Infeasible),
-            };
+        let (root_lower, root_upper) = match crate::presolve::tighten(self, root_lower, root_upper)
+        {
+            crate::presolve::Presolve::Bounds(lo, up) => (lo, up),
+            crate::presolve::Presolve::Infeasible => return Err(SolveError::Infeasible),
+        };
         let root = BnbNode {
             lower: root_lower,
             upper: root_upper,
@@ -161,11 +161,8 @@ impl Model {
                         }
                     }
                     // Un-shift to original variable space.
-                    let values: Vec<f64> = x
-                        .iter()
-                        .zip(&node.lower)
-                        .map(|(xi, lo)| xi + lo)
-                        .collect();
+                    let values: Vec<f64> =
+                        x.iter().zip(&node.lower).map(|(xi, lo)| xi + lo).collect();
                     // Most fractional integer variable.
                     let mut branch_var = None;
                     let mut worst = INT_TOL;
@@ -193,15 +190,8 @@ impl Model {
                                     }
                                 })
                                 .collect();
-                            let obj: f64 = snapped
-                                .iter()
-                                .zip(&cost)
-                                .map(|(v, c)| v * c)
-                                .sum();
-                            if incumbent
-                                .as_ref()
-                                .map_or(true, |(_, inc)| obj < inc - 1e-9)
-                            {
+                            let obj: f64 = snapped.iter().zip(&cost).map(|(v, c)| v * c).sum();
+                            if incumbent.as_ref().is_none_or(|(_, inc)| obj < inc - 1e-9) {
                                 incumbent = Some((snapped, obj));
                             }
                         }
@@ -283,11 +273,7 @@ impl Model {
                 rhs: span.max(0.0),
             });
         }
-        let shift_const: f64 = cost
-            .iter()
-            .zip(&node.lower)
-            .map(|(c, l)| c * l)
-            .sum();
+        let shift_const: f64 = cost.iter().zip(&node.lower).map(|(c, l)| c * l).sum();
         (rows, cost.to_vec(), shift_const)
     }
 }

@@ -43,7 +43,12 @@ pub fn write_lp(model: &Model) -> String {
     let mut out = String::new();
     let n = model.num_vars();
     for j in 0..n {
-        let _ = writeln!(out, "\\ x{} = {}", j, model.var_name(crate::VarId(j as u32)));
+        let _ = writeln!(
+            out,
+            "\\ x{} = {}",
+            j,
+            model.var_name(crate::VarId(j as u32))
+        );
     }
     let _ = writeln!(
         out,

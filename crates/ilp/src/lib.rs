@@ -34,15 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod model;
-mod simplex;
 mod branch;
-mod presolve;
 mod export;
+mod model;
+mod presolve;
+mod simplex;
 
 pub use branch::{Solution, SolveError};
 pub use export::write_lp;
-pub use model::{Cmp, LinExpr, Model, Sense, VarId};
+pub use model::{Cmp, ConstraintView, LinExpr, Model, Sense, VarId};
 
 #[cfg(test)]
 mod solver_tests;

@@ -142,10 +142,7 @@ mod tests {
         let x = m.int_var("x", 0, 10);
         m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
         m.add_constraint(LinExpr::from(x), Cmp::Le, 2.0);
-        assert_eq!(
-            tighten(&m, vec![0.0], vec![10.0]),
-            Presolve::Infeasible
-        );
+        assert_eq!(tighten(&m, vec![0.0], vec![10.0]), Presolve::Infeasible);
     }
 
     #[test]

@@ -207,17 +207,17 @@ fn run_simplex_excluding(
         // entering column: negative reduced cost
         let mut enter = usize::MAX;
         if bland {
-            for j in 0..exclude_from.min(total) {
-                if red[j] < -EPS {
+            for (j, &rc) in red.iter().enumerate().take(exclude_from.min(total)) {
+                if rc < -EPS {
                     enter = j;
                     break;
                 }
             }
         } else {
             let mut best = -EPS;
-            for j in 0..exclude_from.min(total) {
-                if red[j] < best {
-                    best = red[j];
+            for (j, &rc) in red.iter().enumerate().take(exclude_from.min(total)) {
+                if rc < best {
+                    best = rc;
                     enter = j;
                 }
             }
@@ -355,7 +355,11 @@ mod tests {
         let rows = vec![eq(vec![1.0, 1.0], 3.0), le(vec![1.0, 0.0], 1.0)];
         match solve_lp(2, &rows, &[2.0, 1.0]) {
             LpOutcome::Optimal { x, objective } => {
-                assert!((x[0] - 0.0).abs() < 1e-7 || (objective - 3.0).abs() < 1e-7 || (objective - 4.0).abs() < 1e-7);
+                assert!(
+                    (x[0] - 0.0).abs() < 1e-7
+                        || (objective - 3.0).abs() < 1e-7
+                        || (objective - 4.0).abs() < 1e-7
+                );
                 // min is actually x=0,y=3 → obj 3
                 assert!((objective - 3.0).abs() < 1e-7);
             }

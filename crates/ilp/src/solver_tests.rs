@@ -56,11 +56,7 @@ fn equality_partition() {
     let mut m = Model::new(Sense::Minimize);
     let costs = [5.0, 1.0, 4.0, 2.0];
     let vars: Vec<_> = costs.iter().map(|_| m.bool_var("v")).collect();
-    m.add_constraint(
-        LinExpr::sum(vars.iter().map(|&v| (1.0, v))),
-        Cmp::Eq,
-        2.0,
-    );
+    m.add_constraint(LinExpr::sum(vars.iter().map(|&v| (1.0, v))), Cmp::Eq, 2.0);
     m.set_objective(LinExpr::sum(vars.iter().zip(&costs).map(|(&v, &c)| (c, v))));
     let sol = m.solve().unwrap();
     assert_eq!(sol.objective(), 3.0);
@@ -130,17 +126,9 @@ fn assignment_problem_3x3() {
         let row: Vec<_> = (0..3).map(|j| m.bool_var(format!("x{i}{j}"))).collect();
         x.push(row);
     }
-    for i in 0..3 {
-        m.add_constraint(
-            LinExpr::sum((0..3).map(|j| (1.0, x[i][j]))),
-            Cmp::Eq,
-            1.0,
-        );
-        m.add_constraint(
-            LinExpr::sum((0..3).map(|j| (1.0, x[j][i]))),
-            Cmp::Eq,
-            1.0,
-        );
+    for (i, row) in x.iter().enumerate() {
+        m.add_constraint(LinExpr::sum(row.iter().map(|&v| (1.0, v))), Cmp::Eq, 1.0);
+        m.add_constraint(LinExpr::sum((0..3).map(|j| (1.0, x[j][i]))), Cmp::Eq, 1.0);
     }
     let obj_terms: Vec<_> = (0..3)
         .flat_map(|i| (0..3).map(move |j| (i, j)))
@@ -158,7 +146,11 @@ fn node_limit_errors_gracefully() {
     let vars: Vec<_> = (0..16).map(|i| m.bool_var(format!("b{i}"))).collect();
     // loose knapsack with correlated weights: forces branching
     m.add_constraint(
-        LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (2.0 + (i % 3) as f64, v))),
+        LinExpr::sum(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (2.0 + (i % 3) as f64, v)),
+        ),
         Cmp::Le,
         17.0,
     );

@@ -257,11 +257,7 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let m = DMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let m = DMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = SymmetricEigen::new(&m).unwrap();
         let r = reconstruct(&e);
         for i in 0..3 {
@@ -273,11 +269,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = DMatrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 6.0, 2.0],
-            &[1.0, 2.0, 7.0],
-        ]);
+        let m = DMatrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 2.0], &[1.0, 2.0, 7.0]]);
         let e = SymmetricEigen::new(&m).unwrap();
         let q = e.embedding(3);
         let qtq = q.transpose().matmul(&q);
@@ -326,9 +318,15 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let rect = DMatrix::zeros(2, 3);
-        assert!(matches!(SymmetricEigen::new(&rect), Err(EigenError::NotSquare)));
+        assert!(matches!(
+            SymmetricEigen::new(&rect),
+            Err(EigenError::NotSquare)
+        ));
         let asym = DMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
-        assert!(matches!(SymmetricEigen::new(&asym), Err(EigenError::NotSymmetric)));
+        assert!(matches!(
+            SymmetricEigen::new(&asym),
+            Err(EigenError::NotSymmetric)
+        ));
     }
 
     #[test]

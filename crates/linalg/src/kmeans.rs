@@ -53,7 +53,7 @@ pub struct KMeansConfig {
 impl Default for KMeansConfig {
     fn default() -> Self {
         KMeansConfig {
-            seed: 0xC64A_17,
+            seed: 0x00C6_4A17,
             max_iters: 100,
             restarts: 4,
         }
@@ -106,7 +106,7 @@ impl KMeans {
         for restart in 0..config.restarts.max(1) {
             let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(restart as u64));
             let run = Self::fit_once(points, k, config.max_iters, &mut rng);
-            if best.as_ref().map_or(true, |b| run.inertia < b.inertia) {
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
                 best = Some(run);
             }
         }
@@ -142,10 +142,10 @@ impl KMeans {
                 pick
             };
             centroids.row_mut(c).copy_from_slice(points.row(chosen));
-            for i in 0..n {
+            for (i, slot) in min_d2.iter_mut().enumerate() {
                 let d2 = sq_dist(points.row(i), centroids.row(c));
-                if d2 < min_d2[i] {
-                    min_d2[i] = d2;
+                if d2 < *slot {
+                    *slot = d2;
                 }
             }
         }
@@ -154,7 +154,7 @@ impl KMeans {
         let mut labels = vec![0usize; n];
         for _ in 0..max_iters {
             let mut changed = false;
-            for i in 0..n {
+            for (i, label) in labels.iter_mut().enumerate() {
                 let mut best_c = 0;
                 let mut best_d = f64::INFINITY;
                 for c in 0..k {
@@ -164,8 +164,8 @@ impl KMeans {
                         best_c = c;
                     }
                 }
-                if labels[i] != best_c {
-                    labels[i] = best_c;
+                if *label != best_c {
+                    *label = best_c;
                     changed = true;
                 }
             }
@@ -329,6 +329,9 @@ mod tests {
     fn error_messages_are_meaningful() {
         let e = KMeansError::TooFewPoints { points: 2, k: 5 };
         assert_eq!(e.to_string(), "cannot form 5 clusters from 2 points");
-        assert_eq!(KMeansError::ZeroClusters.to_string(), "k must be at least 1");
+        assert_eq!(
+            KMeansError::ZeroClusters.to_string(),
+            "k must be at least 1"
+        );
     }
 }

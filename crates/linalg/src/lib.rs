@@ -28,9 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod matrix;
 mod eigen;
 mod kmeans;
+mod matrix;
 mod tridiag;
 
 pub use eigen::{EigenError, SymmetricEigen};

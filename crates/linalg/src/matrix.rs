@@ -58,7 +58,11 @@ impl DMatrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        DMatrix { rows: r, cols: c, data }
+        DMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a row-major buffer.
@@ -294,6 +298,6 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         let m = DMatrix::identity(2);
-        assert!(format!("{:?}", m).contains("DMatrix 2x2"));
+        assert!(format!("{m:?}").contains("DMatrix 2x2"));
     }
 }

@@ -1,0 +1,234 @@
+//! Lints over a CGRA architecture, optionally checked against a kernel's
+//! operation mix.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `ARCH000` | error | configuration fails its own validation |
+//! | `ARCH001` | error | PE topology is not strongly connected |
+//! | `ARCH002` | error | multiple clusters but zero inter-cluster links |
+//! | `ARCH003` | error | kernel uses an op kind no functional unit supports |
+//! | `ARCH004` | warn | register file cannot feed a two-operand ALU per cycle |
+//! | `ARCH005` | error | cluster with zero PEs |
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_arch::Cgra;
+use panorama_dfg::{Dfg, OpKind};
+
+/// Runs every architecture lint on `cgra`, appending findings to `out`.
+///
+/// When `kernel` is given, functional-unit coverage (`ARCH003`) is checked
+/// against that kernel's op-kind mix; without one only kernel-independent
+/// properties are checked.
+pub fn lint_arch(cgra: &Cgra, kernel: Option<&Dfg>, out: &mut Diagnostics) {
+    // ARCH000: defensive re-validation. `Cgra::new` validates, so this only
+    // fires for configs mutated after construction — but it is cheap and
+    // keeps the pass usable on raw `CgraConfig` pipelines too.
+    if let Err(e) = cgra.config().validate() {
+        out.push(Diagnostic::new(
+            "ARCH000",
+            Severity::Error,
+            Entity::Global,
+            format!("architecture fails validation: {e}"),
+        ));
+    }
+
+    // ARCH001: every PE must reach every other PE, or placement/routing can
+    // silently fail for some op pairs. The link set is symmetric by
+    // construction, so one BFS from PE 0 decides connectivity.
+    let n = cgra.num_pes();
+    if n > 0 {
+        let mut seen = vec![false; n];
+        let start = cgra.pes().next().expect("non-empty grid");
+        seen[start.index()] = true;
+        let mut stack = vec![start];
+        let mut reached = 1usize;
+        while let Some(p) = stack.pop() {
+            for link in cgra.links_from(p) {
+                if !seen[link.dst.index()] {
+                    seen[link.dst.index()] = true;
+                    reached += 1;
+                    stack.push(link.dst);
+                }
+            }
+        }
+        if reached < n {
+            out.push(
+                Diagnostic::new(
+                    "ARCH001",
+                    Severity::Error,
+                    Entity::Global,
+                    format!("PE topology is disconnected: only {reached} of {n} PEs reachable"),
+                )
+                .with_help("add inter-cluster links or merge clusters"),
+            );
+        }
+    }
+
+    // ARCH002: the specific (and most common) cause of disconnection —
+    // a clustered array whose clusters cannot talk to each other.
+    if cgra.num_clusters() > 1 && !cgra.links().iter().any(|l| l.inter_cluster) {
+        out.push(
+            Diagnostic::new(
+                "ARCH002",
+                Severity::Error,
+                Entity::Global,
+                format!(
+                    "{} clusters but zero inter-cluster links",
+                    cgra.num_clusters()
+                ),
+            )
+            .with_help("set `intercluster` to at least 1 in the ADL"),
+        );
+    }
+
+    // ARCH003: functional-unit coverage against the kernel's op mix.
+    if let Some(dfg) = kernel {
+        let mul_ops = dfg
+            .op_ids()
+            .filter(|&v| dfg.op(v).kind == OpKind::Mul)
+            .count();
+        if mul_ops > 0 && cgra.num_mul_pes() == 0 {
+            out.push(
+                Diagnostic::new(
+                    "ARCH003",
+                    Severity::Error,
+                    Entity::Global,
+                    format!(
+                        "kernel `{}` contains {mul_ops} `mul` op(s) but no PE has a multiplier",
+                        dfg.name()
+                    ),
+                )
+                .with_help("use an architecture with `mul all` or rewrite the kernel"),
+            );
+        }
+        let mem_ops = dfg.num_mem_ops();
+        if mem_ops > 0 && cgra.num_mem_pes() == 0 {
+            out.push(Diagnostic::new(
+                "ARCH003",
+                Severity::Error,
+                Entity::Global,
+                format!(
+                    "kernel `{}` contains {mem_ops} memory op(s) but no PE is memory-capable",
+                    dfg.name()
+                ),
+            ));
+        }
+    }
+
+    // ARCH004: with a single RF read port, a two-operand op needs its second
+    // operand bypassed every cycle — legal but fragile under modulo routing.
+    if cgra.config().rf_read_ports < 2 {
+        out.push(
+            Diagnostic::new(
+                "ARCH004",
+                Severity::Warn,
+                Entity::Global,
+                format!(
+                    "register file has {} read port(s); two-operand ops cannot read both operands from the RF in one cycle",
+                    cgra.config().rf_read_ports
+                ),
+            )
+            .with_help("set `rf N reads 2 writes W` or larger"),
+        );
+    }
+
+    // ARCH005: zero-capacity clusters. Unreachable when the cluster grid
+    // tiles the PE grid, but guards against future irregular layouts.
+    let (cluster_rows, cluster_cols) = cgra.cluster_grid();
+    for r in 0..cluster_rows {
+        for c in 0..cluster_cols {
+            let cluster = cgra.cluster_at(r, c);
+            if cgra.cluster_pes(cluster).is_empty() {
+                out.push(Diagnostic::new(
+                    "ARCH005",
+                    Severity::Error,
+                    Entity::Cluster(cluster.index()),
+                    "cluster contains no PEs".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::DfgBuilder;
+
+    fn run(cgra: &Cgra, dfg: Option<&Dfg>) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        lint_arch(cgra, dfg, &mut d);
+        d
+    }
+
+    fn mul_kernel() -> Dfg {
+        let mut b = DfgBuilder::new("mulk");
+        let a = b.op(OpKind::Load, "a");
+        let m = b.op(OpKind::Mul, "m");
+        let s = b.op(OpKind::Store, "s");
+        b.data(a, m);
+        b.data(m, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn presets_are_clean() {
+        for cfg in [
+            CgraConfig::paper_16x16(),
+            CgraConfig::scaled_8x8(),
+            CgraConfig::small_4x4(),
+            CgraConfig::linear_6x1(),
+        ] {
+            let cgra = Cgra::new(cfg).unwrap();
+            let d = run(&cgra, Some(&mul_kernel()));
+            assert!(d.is_empty(), "{}", d.render_human());
+        }
+    }
+
+    #[test]
+    fn zero_intercluster_links_disconnect_the_array() {
+        let cgra = Cgra::new(CgraConfig {
+            inter_cluster_links: 0,
+            ..CgraConfig::scaled_8x8()
+        })
+        .unwrap();
+        let d = run(&cgra, None);
+        assert!(
+            d.iter().any(|x| x.code == "ARCH001"),
+            "{}",
+            d.render_human()
+        );
+        assert!(
+            d.iter().any(|x| x.code == "ARCH002"),
+            "{}",
+            d.render_human()
+        );
+    }
+
+    #[test]
+    fn mul_kernel_on_adder_only_fabric_is_an_error() {
+        let cgra = Cgra::new(CgraConfig {
+            mul_support: false,
+            ..CgraConfig::small_4x4()
+        })
+        .unwrap();
+        let d = run(&cgra, Some(&mul_kernel()));
+        let hit = d.iter().find(|x| x.code == "ARCH003").unwrap();
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("mul"));
+    }
+
+    #[test]
+    fn single_read_port_warns() {
+        let cgra = Cgra::new(CgraConfig {
+            rf_read_ports: 1,
+            ..CgraConfig::small_4x4()
+        })
+        .unwrap();
+        let d = run(&cgra, None);
+        assert!(d
+            .iter()
+            .any(|x| x.code == "ARCH004" && x.severity == Severity::Warn));
+    }
+}

@@ -1,0 +1,275 @@
+//! Structural lints over a kernel's dataflow graph.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `DFG001` | warn | dangling op: a non-store whose result no one consumes |
+//! | `DFG002` | warn | orphan op: a compute/store op with no producers |
+//! | `DFG003` | warn | back edge with an iteration distance larger than the op count |
+//! | `DFG004` | warn/error | arity inconsistent with the op kind |
+//! | `DFG005` | info | back edge that closes no recurrence cycle |
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_dfg::{Dfg, OpId, OpKind};
+
+fn op_entity(dfg: &Dfg, op: OpId) -> Entity {
+    Entity::Op {
+        index: op.index(),
+        name: dfg.op(op).name.clone(),
+    }
+}
+
+/// Runs every DFG lint on `dfg`, appending findings to `out`.
+pub fn lint_dfg(dfg: &Dfg, out: &mut Diagnostics) {
+    let n = dfg.num_ops();
+    let mut data_in = vec![0usize; n];
+    let mut any_out = vec![0usize; n];
+    for e in dfg.deps() {
+        any_out[e.src.index()] += 1;
+        if !e.weight.is_back() {
+            data_in[e.dst.index()] += 1;
+        }
+    }
+
+    for op in dfg.op_ids() {
+        let kind = dfg.op(op).kind;
+        let i = op.index();
+
+        // DFG001: a value computed and then dropped. Stores are sinks by
+        // nature; anything else with no consumers at all is dead work.
+        if any_out[i] == 0 && kind != OpKind::Store {
+            out.push(
+                Diagnostic::new(
+                    "DFG001",
+                    Severity::Warn,
+                    op_entity(dfg, op),
+                    format!("`{kind}` op has no consumers; its result is dropped"),
+                )
+                .with_help("remove the op or route its result to a store"),
+            );
+        }
+
+        // DFG002: compute ops and stores need at least one producer;
+        // loads and constants are the graph's sources.
+        let is_source_kind = matches!(kind, OpKind::Load | OpKind::Const);
+        if data_in[i] == 0 && !is_source_kind {
+            let severity = if kind == OpKind::Store {
+                // a store with nothing to store is meaningless
+                Severity::Error
+            } else {
+                Severity::Warn
+            };
+            out.push(
+                Diagnostic::new(
+                    "DFG002",
+                    severity,
+                    op_entity(dfg, op),
+                    format!("`{kind}` op has no intra-iteration producers"),
+                )
+                .with_help("feed it from a load/const or remove it"),
+            );
+        }
+
+        // DFG004 (inputs): sources taking data inputs, and fan-in beyond
+        // what a 2-operand ALU with a predicate port can consume.
+        if kind == OpKind::Const && data_in[i] > 0 {
+            out.push(Diagnostic::new(
+                "DFG004",
+                Severity::Error,
+                op_entity(dfg, op),
+                format!("`cst` op consumes {} data inputs", data_in[i]),
+            ));
+        }
+        let max_in = match kind {
+            OpKind::Select => 3, // condition + two alternatives
+            OpKind::Const => 0,
+            _ => 2,
+        };
+        if kind != OpKind::Const && data_in[i] > max_in {
+            out.push(
+                Diagnostic::new(
+                    "DFG004",
+                    Severity::Warn,
+                    op_entity(dfg, op),
+                    format!(
+                        "`{kind}` op has fan-in {} but a PE reads at most {max_in} operands per cycle",
+                        data_in[i]
+                    ),
+                )
+                .with_help("split the op into a reduction tree"),
+            );
+        }
+    }
+
+    // Reachability of src from dst over intra-iteration edges, for DFG005.
+    let reaches = |from: OpId, to: OpId| -> bool {
+        let mut seen = vec![false; n];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            for e in dfg.graph().outgoing(v) {
+                if !e.weight.is_back() && !seen[e.dst.index()] {
+                    seen[e.dst.index()] = true;
+                    stack.push(e.dst);
+                }
+            }
+        }
+        from == to
+    };
+
+    for e in dfg.deps() {
+        if !e.weight.is_back() {
+            continue;
+        }
+        // DFG003: distances beyond the op count never bind RecMII and
+        // usually indicate a unit mix-up in the frontend.
+        let distance = e.weight.distance() as usize;
+        if distance > n.max(1) {
+            out.push(Diagnostic::new(
+                "DFG003",
+                Severity::Warn,
+                Entity::Edge {
+                    src: e.src.index(),
+                    dst: e.dst.index(),
+                },
+                format!("back edge iteration distance {distance} exceeds the op count {n}"),
+            ));
+        }
+        // DFG005: a back edge whose destination cannot reach its source is
+        // a plain cross-iteration ordering constraint, not a recurrence.
+        if !reaches(e.dst, e.src) {
+            out.push(Diagnostic::new(
+                "DFG005",
+                Severity::Info,
+                Entity::Edge {
+                    src: e.src.index(),
+                    dst: e.dst.index(),
+                },
+                "back edge closes no recurrence cycle (destination does not reach source)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::DfgBuilder;
+
+    fn run(dfg: &Dfg) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        lint_dfg(dfg, &mut d);
+        d
+    }
+
+    #[test]
+    fn clean_mac_kernel_has_no_findings() {
+        let mut b = DfgBuilder::new("mac");
+        let a = b.op(OpKind::Load, "a");
+        let x = b.op(OpKind::Load, "b");
+        let m = b.op(OpKind::Mul, "m");
+        let acc = b.op(OpKind::Add, "acc");
+        let s = b.op(OpKind::Store, "out");
+        b.data(a, m);
+        b.data(x, m);
+        b.data(m, acc);
+        b.data(acc, s);
+        b.back(acc, acc, 1);
+        let d = run(&b.build().unwrap());
+        assert!(d.is_empty(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn dangling_op_warns() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let dead = b.op(OpKind::Add, "dead");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, dead);
+        b.data(l, s);
+        let d = run(&b.build().unwrap());
+        assert!(d.iter().any(|x| x.code == "DFG001"), "{}", d.render_human());
+    }
+
+    #[test]
+    fn store_without_producer_is_an_error() {
+        let mut b = DfgBuilder::new("t");
+        let _s = b.op(OpKind::Store, "s");
+        let d = run(&b.build().unwrap());
+        let hit = d.iter().find(|x| x.code == "DFG002").unwrap();
+        assert_eq!(hit.severity, Severity::Error);
+    }
+
+    #[test]
+    fn const_with_input_is_an_error() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let c = b.op(OpKind::Const, "c");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, c);
+        b.data(c, s);
+        let d = run(&b.build().unwrap());
+        assert!(d
+            .iter()
+            .any(|x| x.code == "DFG004" && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn excessive_fan_in_warns() {
+        let mut b = DfgBuilder::new("t");
+        let adds: Vec<_> = (0..4)
+            .map(|i| b.op(OpKind::Load, format!("l{i}")))
+            .collect();
+        let sum = b.op(OpKind::Add, "sum");
+        let s = b.op(OpKind::Store, "s");
+        for a in adds {
+            b.data(a, sum);
+        }
+        b.data(sum, s);
+        let d = run(&b.build().unwrap());
+        assert!(d
+            .iter()
+            .any(|x| x.code == "DFG004" && x.message.contains("fan-in 4")));
+    }
+
+    #[test]
+    fn non_cycle_back_edge_is_informational() {
+        // A back edge whose endpoints sit on one data path closes a cycle
+        // and must stay silent.
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, s);
+        b.back(s, l, 1);
+        let d = run(&b.build().unwrap());
+        assert!(!d.iter().any(|x| x.code == "DFG005"));
+
+        let mut b = DfgBuilder::new("t2");
+        let l1 = b.op(OpKind::Load, "l1");
+        let s1 = b.op(OpKind::Store, "s1");
+        let l2 = b.op(OpKind::Load, "l2");
+        let s2 = b.op(OpKind::Store, "s2");
+        b.data(l1, s1);
+        b.data(l2, s2);
+        b.back(s1, l2, 1); // cross-iteration ordering, no recurrence
+        let d = run(&b.build().unwrap());
+        let hit = d.iter().find(|x| x.code == "DFG005").unwrap();
+        assert_eq!(hit.severity, Severity::Info);
+    }
+
+    #[test]
+    fn huge_distance_warns() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, a);
+        b.data(a, s);
+        b.back(a, a, 1000);
+        let d = run(&b.build().unwrap());
+        assert!(d.iter().any(|x| x.code == "DFG003"));
+    }
+}

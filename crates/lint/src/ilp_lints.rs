@@ -1,0 +1,216 @@
+//! Lints over an ILP [`Model`] before it is handed to the solver.
+//!
+//! All checks are purely syntactic/interval-based — no solving happens, so
+//! they run in `O(vars + nonzeros)` and are safe inside debug assertions.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `ILP001` | warn | free variable: appears in no constraint and not in the objective |
+//! | `ILP002` | error | constraint infeasible under interval arithmetic over variable bounds |
+//! | `ILP003` | info | constraint satisfied by every point of the bounding box (redundant) |
+//! | `ILP004` | warn | objective effectively unbounded in the improving direction |
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_ilp::{Cmp, Model, Sense};
+
+/// Bound magnitude beyond which a variable is treated as unbounded.
+/// `cont_var` requires finite bounds, so callers model "no bound" with
+/// huge sentinels; anything at or above this threshold counts as one.
+pub const EFFECTIVELY_UNBOUNDED: f64 = 1e15;
+
+const EPS: f64 = 1e-9;
+
+/// Runs every ILP lint on `model`, appending findings to `out`.
+pub fn lint_model(model: &Model, out: &mut Diagnostics) {
+    let n = model.num_vars();
+
+    // Variable usage: constraint occurrences plus objective coefficients.
+    let mut used = vec![false; n];
+    for view in model.constraint_views() {
+        for &(v, c) in view.coeffs {
+            if c != 0.0 {
+                used[v.index()] = true;
+            }
+        }
+    }
+    let obj = model.objective().coefficients(n);
+    for (i, &c) in obj.iter().enumerate() {
+        if c != 0.0 {
+            used[i] = true;
+        }
+    }
+
+    // ILP001: a variable nothing reads is dead weight — usually a modelling
+    // bug (a forgotten linking constraint), occasionally just bloat.
+    for var in model.var_ids() {
+        if !used[var.index()] {
+            out.push(
+                Diagnostic::new(
+                    "ILP001",
+                    Severity::Warn,
+                    Entity::Var(model.var_name(var).to_string()),
+                    "free variable: appears in no constraint and not in the objective".to_string(),
+                )
+                .with_help("remove the variable or add its linking constraint"),
+            );
+        }
+    }
+
+    // ILP002/ILP003: interval arithmetic over the variable bounding box.
+    // lo = min of the LHS, hi = max of the LHS over all in-bounds points.
+    for (i, view) in model.constraint_views().enumerate() {
+        let (mut lo, mut hi) = (0.0f64, 0.0f64);
+        for &(v, c) in view.coeffs {
+            let (l, u) = model.var_bounds(v);
+            if c >= 0.0 {
+                lo += c * l;
+                hi += c * u;
+            } else {
+                lo += c * u;
+                hi += c * l;
+            }
+        }
+        let tol = EPS * (1.0 + view.rhs.abs());
+        let infeasible = match view.cmp {
+            Cmp::Le => lo > view.rhs + tol,
+            Cmp::Ge => hi < view.rhs - tol,
+            Cmp::Eq => view.rhs < lo - tol || view.rhs > hi + tol,
+        };
+        let redundant = match view.cmp {
+            Cmp::Le => hi <= view.rhs + tol,
+            Cmp::Ge => lo >= view.rhs - tol,
+            Cmp::Eq => (hi - lo).abs() <= tol && (lo - view.rhs).abs() <= tol,
+        };
+        if infeasible {
+            out.push(Diagnostic::new(
+                "ILP002",
+                Severity::Error,
+                Entity::Constraint(i),
+                format!(
+                    "infeasible under variable bounds: LHS ranges over [{lo}, {hi}] but must be {} {}",
+                    cmp_str(view.cmp),
+                    view.rhs
+                ),
+            ));
+        } else if redundant {
+            out.push(Diagnostic::new(
+                "ILP003",
+                Severity::Info,
+                Entity::Constraint(i),
+                format!(
+                    "redundant: LHS ranges over [{lo}, {hi}], always {} {}",
+                    cmp_str(view.cmp),
+                    view.rhs
+                ),
+            ));
+        }
+    }
+
+    // ILP004: a variable with a huge bound in the improving direction and a
+    // nonzero objective coefficient lets the objective run away unless some
+    // constraint binds it — worth flagging before the solver spins.
+    for var in model.var_ids() {
+        let c = obj[var.index()];
+        if c == 0.0 {
+            continue;
+        }
+        let (l, u) = model.var_bounds(var);
+        let improving_unbounded = match model.sense() {
+            Sense::Minimize => {
+                (c > 0.0 && l <= -EFFECTIVELY_UNBOUNDED) || (c < 0.0 && u >= EFFECTIVELY_UNBOUNDED)
+            }
+            Sense::Maximize => {
+                (c > 0.0 && u >= EFFECTIVELY_UNBOUNDED) || (c < 0.0 && l <= -EFFECTIVELY_UNBOUNDED)
+            }
+        };
+        if improving_unbounded {
+            out.push(
+                Diagnostic::new(
+                    "ILP004",
+                    Severity::Warn,
+                    Entity::Var(model.var_name(var).to_string()),
+                    "objective is effectively unbounded in this variable's improving direction"
+                        .to_string(),
+                )
+                .with_help("tighten the variable's bounds or add a binding constraint"),
+            );
+        }
+    }
+}
+
+fn cmp_str(cmp: Cmp) -> &'static str {
+    match cmp {
+        Cmp::Le => "<=",
+        Cmp::Ge => ">=",
+        Cmp::Eq => "==",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_ilp::LinExpr;
+
+    fn run(model: &Model) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        lint_model(model, &mut d);
+        d
+    }
+
+    #[test]
+    fn well_formed_model_is_clean() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        let y = m.int_var("y", 0, 10);
+        m.add_constraint(LinExpr::sum([(1.0, x), (1.0, y)]), Cmp::Ge, 7.0);
+        m.set_objective(LinExpr::sum([(1.0, x), (2.0, y)]));
+        let d = run(&m);
+        assert!(d.is_empty(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn unused_variable_is_flagged() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.int_var("x", 0, 10);
+        let _dead = m.bool_var("dead");
+        m.add_constraint(LinExpr::sum([(1.0, x)]), Cmp::Ge, 1.0);
+        m.set_objective(LinExpr::sum([(1.0, x)]));
+        let d = run(&m);
+        let hit = d.iter().find(|x| x.code == "ILP001").unwrap();
+        assert_eq!(hit.entity, Entity::Var("dead".into()));
+    }
+
+    #[test]
+    fn bound_infeasible_constraint_is_an_error() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("x");
+        let y = m.bool_var("y");
+        // x + y >= 3 cannot hold for two booleans.
+        m.add_constraint(LinExpr::sum([(1.0, x), (1.0, y)]), Cmp::Ge, 3.0);
+        m.set_objective(LinExpr::sum([(1.0, x), (1.0, y)]));
+        let d = run(&m);
+        assert!(d
+            .iter()
+            .any(|x| x.code == "ILP002" && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn box_satisfied_constraint_is_redundant() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.bool_var("x");
+        m.add_constraint(LinExpr::sum([(1.0, x)]), Cmp::Le, 5.0); // always true
+        m.set_objective(LinExpr::sum([(1.0, x)]));
+        let d = run(&m);
+        let hit = d.iter().find(|x| x.code == "ILP003").unwrap();
+        assert_eq!(hit.severity, Severity::Info);
+    }
+
+    #[test]
+    fn runaway_objective_warns() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.cont_var("x", 0.0, f64::MAX);
+        m.set_objective(LinExpr::sum([(1.0, x)]));
+        let d = run(&m);
+        assert!(d.iter().any(|x| x.code == "ILP004"));
+    }
+}

@@ -1,0 +1,67 @@
+//! `panorama-lint`: static diagnostics and mappability prechecking for the
+//! PANORAMA CGRA toolchain.
+//!
+//! The crate has two halves:
+//!
+//! * a small **diagnostics engine** — [`Diagnostic`] (stable code, severity,
+//!   entity, message, optional help) collected into [`Diagnostics`] with
+//!   human ([`Diagnostics::render_human`]) and JSON
+//!   ([`Diagnostics::render_json`]) renderers; and
+//! * a **registry of static passes** over the toolchain's artifacts:
+//!   dataflow graphs ([`lint_dfg`]), architectures ([`lint_arch`]),
+//!   partitions/CDGs/restrictions ([`lint_partition`]), ILP models
+//!   ([`lint_model`]) and the mappability [`precheck`] that proves
+//!   "cannot map at II < N" from ResMII/RecMII and per-cluster capacity
+//!   bounds before any mapper runs.
+//!
+//! Every check is static: no mapping, no solving. A full run over a kernel
+//! plus architecture costs microseconds, which is why the pipeline can
+//! afford to pre-flight every compile with it.
+//!
+//! # Diagnostic codes
+//!
+//! Codes are stable strings grouped by prefix: `DFG...` (kernel structure),
+//! `ARCH...` (architecture), `PART...` (partition/CDG/restriction),
+//! `ILP...` (solver models) and `MAP...` (mappability bounds). The per-pass
+//! module docs list every code with its severity.
+//!
+//! # Examples
+//!
+//! ```
+//! use panorama_lint::{LintContext, Registry};
+//! use panorama_arch::{Cgra, CgraConfig};
+//! use panorama_dfg::{DfgBuilder, OpKind};
+//!
+//! let mut b = DfgBuilder::new("mac");
+//! let a = b.op(OpKind::Load, "a");
+//! let m = b.op(OpKind::Mul, "m");
+//! let s = b.op(OpKind::Store, "out");
+//! b.data(a, m);
+//! b.data(m, s);
+//! let dfg = b.build()?;
+//! let cgra = Cgra::new(CgraConfig::small_4x4())?;
+//!
+//! let ctx = LintContext { dfg: Some(&dfg), cgra: Some(&cgra), ..LintContext::default() };
+//! let diags = Registry::with_default_passes().run(&ctx);
+//! assert_eq!(diags.num_errors(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch_lints;
+pub mod dfg_lints;
+mod diag;
+pub mod ilp_lints;
+pub mod partition_lints;
+pub mod precheck;
+mod registry;
+
+pub use arch_lints::lint_arch;
+pub use dfg_lints::lint_dfg;
+pub use diag::{Diagnostic, Diagnostics, Entity, Severity};
+pub use ilp_lints::lint_model;
+pub use partition_lints::lint_partition;
+pub use precheck::{precheck, PrecheckReport};
+pub use registry::{LintContext, LintPass, Registry};

@@ -1,0 +1,249 @@
+//! Lints over a DFG partition, its contracted CDG, and the placement
+//! restriction derived from them.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `PART001` | error | partition does not cover the DFG's nodes exactly |
+//! | `PART002` | error | CDG cut weight disagrees with the partition's inter-edges |
+//! | `PART003` | warn | empty cluster (wastes a scattering slot) |
+//! | `PART004` | warn | imbalance factor above [`IMBALANCE_LIMIT`] |
+//! | `PART005` | error | restriction leaves an op with no allowed cluster, or a home outside the allowed set |
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_cluster::{Cdg, Partition};
+use panorama_dfg::Dfg;
+use panorama_mapper::Restriction;
+
+/// Imbalance factor above which `PART004` fires. The paper's spectral
+/// partitions land well below this; crossing it means one cluster will
+/// dominate the II while others idle.
+pub const IMBALANCE_LIMIT: f64 = 0.75;
+
+/// Runs every partition lint, appending findings to `out`.
+///
+/// `restriction` is checked only when present (it is derived later in the
+/// pipeline than the partition itself).
+pub fn lint_partition(
+    dfg: &Dfg,
+    partition: &Partition,
+    cdg: &Cdg,
+    restriction: Option<&Restriction>,
+    out: &mut Diagnostics,
+) {
+    // PART001: the label vector and the CDG must both cover the DFG exactly.
+    if partition.labels().len() != dfg.num_ops() {
+        out.push(Diagnostic::new(
+            "PART001",
+            Severity::Error,
+            Entity::Global,
+            format!(
+                "partition labels {} node(s) but the DFG has {}",
+                partition.labels().len(),
+                dfg.num_ops()
+            ),
+        ));
+    }
+    if cdg.total_dfg_nodes() != dfg.num_ops() {
+        out.push(Diagnostic::new(
+            "PART001",
+            Severity::Error,
+            Entity::Global,
+            format!(
+                "CDG accounts for {} node(s) but the DFG has {}",
+                cdg.total_dfg_nodes(),
+                dfg.num_ops()
+            ),
+        ));
+    }
+    if cdg.num_clusters() != partition.k() {
+        out.push(Diagnostic::new(
+            "PART001",
+            Severity::Error,
+            Entity::Global,
+            format!(
+                "CDG has {} cluster(s) but the partition declares k={}",
+                cdg.num_clusters(),
+                partition.k()
+            ),
+        ));
+    }
+
+    // PART002: the contraction must conserve cut edges — the sum of CDG edge
+    // weights equals the number of DFG deps crossing cluster boundaries.
+    if partition.labels().len() == dfg.num_ops() {
+        let cut = partition.inter_edges(dfg);
+        let cdg_weight = cdg.total_weight() as usize;
+        if cut != cdg_weight {
+            out.push(Diagnostic::new(
+                "PART002",
+                Severity::Error,
+                Entity::Global,
+                format!(
+                    "CDG cut weight {cdg_weight} disagrees with the partition's {cut} inter-cluster edge(s)"
+                ),
+            ));
+        }
+    }
+
+    // PART003: empty clusters consume a scattering slot and distort the
+    // balance statistics without holding any work.
+    for (c, &size) in partition.cluster_sizes().iter().enumerate() {
+        if size == 0 {
+            out.push(
+                Diagnostic::new(
+                    "PART003",
+                    Severity::Warn,
+                    Entity::Cluster(c),
+                    "cluster holds no DFG nodes".to_string(),
+                )
+                .with_help("reduce k or re-run the partitioner"),
+            );
+        }
+    }
+
+    // PART004: imbalance bound.
+    let imbalance = partition.imbalance_factor();
+    if imbalance > IMBALANCE_LIMIT {
+        out.push(Diagnostic::new(
+            "PART004",
+            Severity::Warn,
+            Entity::Global,
+            format!(
+                "imbalance factor {imbalance:.2} exceeds {IMBALANCE_LIMIT}; one cluster dominates the II"
+            ),
+        ));
+    }
+
+    // PART005: the restriction must give every op somewhere to go, and its
+    // preferred (home) clusters must be within the allowed set.
+    if let Some(r) = restriction {
+        for op in dfg.op_ids() {
+            let allowed = r.clusters_of(op);
+            if allowed.is_empty() {
+                out.push(Diagnostic::new(
+                    "PART005",
+                    Severity::Error,
+                    Entity::Op {
+                        index: op.index(),
+                        name: dfg.op(op).name.clone(),
+                    },
+                    "restriction allows no cluster for this op".to_string(),
+                ));
+                continue;
+            }
+            for home in r.home_of(op) {
+                if !allowed.contains(home) {
+                    out.push(Diagnostic::new(
+                        "PART005",
+                        Severity::Error,
+                        Entity::Op {
+                            index: op.index(),
+                            name: dfg.op(op).name.clone(),
+                        },
+                        format!("home cluster {home} is outside the op's allowed set"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn chain(n: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let ops: Vec<_> = (0..n)
+            .map(|i| {
+                b.op(
+                    if i == 0 {
+                        OpKind::Load
+                    } else if i == n - 1 {
+                        OpKind::Store
+                    } else {
+                        OpKind::Add
+                    },
+                    format!("n{i}"),
+                )
+            })
+            .collect();
+        for w in ops.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    fn run(
+        dfg: &Dfg,
+        partition: &Partition,
+        cdg: &Cdg,
+        restriction: Option<&Restriction>,
+    ) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        lint_partition(dfg, partition, cdg, restriction, &mut d);
+        d
+    }
+
+    #[test]
+    fn balanced_bisection_is_clean() {
+        let dfg = chain(8);
+        let partition = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let cdg = Cdg::new(&dfg, &partition);
+        let d = run(&dfg, &partition, &cdg, None);
+        assert!(d.is_empty(), "{}", d.render_human());
+    }
+
+    #[test]
+    fn stale_cdg_breaks_cut_consistency() {
+        let dfg = chain(8);
+        let good = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        // CDG contracted under a different partition: the cut no longer
+        // matches (alternating labels cut all 7 edges, bisection cuts 1).
+        let stale = Partition::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let cdg = Cdg::new(&dfg, &stale);
+        let d = run(&dfg, &good, &cdg, None);
+        assert!(
+            d.iter().any(|x| x.code == "PART002"),
+            "{}",
+            d.render_human()
+        );
+    }
+
+    #[test]
+    fn empty_cluster_and_imbalance_warn() {
+        let dfg = chain(8);
+        let partition = Partition::new(vec![0; 8], 2); // cluster 1 empty
+        let cdg = Cdg::new(&dfg, &partition);
+        let d = run(&dfg, &partition, &cdg, None);
+        assert!(d.iter().any(|x| x.code == "PART003"));
+        assert!(d.iter().any(|x| x.code == "PART004"));
+    }
+
+    #[test]
+    fn wrong_sized_partition_is_an_error() {
+        let dfg = chain(8);
+        let partition = Partition::new(vec![0, 0, 1, 1], 2); // only 4 labels
+        let stale = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let cdg = Cdg::new(&dfg, &stale);
+        let d = run(&dfg, &partition, &cdg, None);
+        assert!(d.iter().any(|x| x.code == "PART001"));
+    }
+
+    #[test]
+    fn healthy_restriction_passes() {
+        use panorama_arch::{Cgra, CgraConfig};
+        use panorama_place::{map_clusters, ScatterConfig};
+
+        let dfg = chain(8);
+        let partition = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let cdg = Cdg::new(&dfg, &partition);
+        let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+        let (rows, cols) = cgra.cluster_grid();
+        let map = map_clusters(&cdg, rows, cols, &ScatterConfig::default()).unwrap();
+        let restriction = Restriction::from_cluster_map(&dfg, &cdg, &map, &cgra);
+        let d = run(&dfg, &partition, &cdg, Some(&restriction));
+        assert!(d.is_empty(), "{}", d.render_human());
+    }
+}

@@ -1,0 +1,214 @@
+//! The pass registry: what a lint run is given, and how passes plug in.
+
+use crate::{
+    arch_lints::lint_arch, dfg_lints::lint_dfg, ilp_lints::lint_model,
+    partition_lints::lint_partition, precheck::precheck, Diagnostics,
+};
+use panorama_arch::Cgra;
+use panorama_cluster::{Cdg, Partition};
+use panorama_dfg::Dfg;
+use panorama_ilp::Model;
+use panorama_mapper::Restriction;
+
+/// Everything a lint run may look at. All fields are optional: passes
+/// silently skip when the artifacts they need are absent, so one registry
+/// serves the CLI (kernel + architecture), the pipeline pre-flight
+/// (+ restriction and II cap) and unit tests (single artifacts).
+#[derive(Default, Clone, Copy)]
+pub struct LintContext<'a> {
+    /// The kernel under analysis.
+    pub dfg: Option<&'a Dfg>,
+    /// The target architecture.
+    pub cgra: Option<&'a Cgra>,
+    /// A partition of `dfg` together with its contracted CDG.
+    pub partition: Option<(&'a Partition, &'a Cdg)>,
+    /// The placement restriction derived from the cluster mapping.
+    pub restriction: Option<&'a Restriction>,
+    /// An ILP model about to be solved.
+    pub model: Option<&'a Model>,
+    /// The caller's II cap (e.g. `--max-ii`), checked by the prechecker.
+    pub max_ii: Option<usize>,
+}
+
+/// One static analysis pass.
+pub trait LintPass {
+    /// Stable pass name, e.g. `"dfg"`.
+    fn name(&self) -> &'static str;
+    /// Appends this pass's findings for `ctx` to `out`. Must skip quietly
+    /// when `ctx` lacks the artifacts the pass needs.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics);
+}
+
+struct DfgPass;
+impl LintPass for DfgPass {
+    fn name(&self) -> &'static str {
+        "dfg"
+    }
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        if let Some(dfg) = ctx.dfg {
+            lint_dfg(dfg, out);
+        }
+    }
+}
+
+struct ArchPass;
+impl LintPass for ArchPass {
+    fn name(&self) -> &'static str {
+        "arch"
+    }
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        if let Some(cgra) = ctx.cgra {
+            lint_arch(cgra, ctx.dfg, out);
+        }
+    }
+}
+
+struct PartitionPass;
+impl LintPass for PartitionPass {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        if let (Some(dfg), Some((partition, cdg))) = (ctx.dfg, ctx.partition) {
+            lint_partition(dfg, partition, cdg, ctx.restriction, out);
+        }
+    }
+}
+
+struct IlpPass;
+impl LintPass for IlpPass {
+    fn name(&self) -> &'static str {
+        "ilp"
+    }
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        if let Some(model) = ctx.model {
+            lint_model(model, out);
+        }
+    }
+}
+
+struct PrecheckPass;
+impl LintPass for PrecheckPass {
+    fn name(&self) -> &'static str {
+        "precheck"
+    }
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Diagnostics) {
+        if let (Some(dfg), Some(cgra)) = (ctx.dfg, ctx.cgra) {
+            precheck(dfg, cgra, ctx.restriction, ctx.max_ii, out);
+        }
+    }
+}
+
+/// An ordered collection of lint passes.
+pub struct Registry {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { passes: Vec::new() }
+    }
+
+    /// The built-in pass set, in reporting order: `dfg`, `arch`,
+    /// `partition`, `ilp`, `precheck`.
+    pub fn with_default_passes() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(DfgPass));
+        r.register(Box::new(ArchPass));
+        r.register(Box::new(PartitionPass));
+        r.register(Box::new(IlpPass));
+        r.register(Box::new(PrecheckPass));
+        r
+    }
+
+    /// Appends a pass; it runs after all already-registered passes.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `ctx` and collects all findings.
+    pub fn run(&self, ctx: &LintContext<'_>) -> Diagnostics {
+        let mut out = Diagnostics::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut out);
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_default_passes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_arch::CgraConfig;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    #[test]
+    fn empty_context_yields_no_findings() {
+        let registry = Registry::with_default_passes();
+        let d = registry.run(&LintContext::default());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn default_passes_are_ordered() {
+        let registry = Registry::with_default_passes();
+        assert_eq!(
+            registry.pass_names(),
+            vec!["dfg", "arch", "partition", "ilp", "precheck"]
+        );
+    }
+
+    #[test]
+    fn kernel_and_arch_run_dfg_arch_and_precheck() {
+        let mut b = DfgBuilder::new("t");
+        let l = b.op(OpKind::Load, "l");
+        let s = b.op(OpKind::Store, "s");
+        b.data(l, s);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let ctx = LintContext {
+            dfg: Some(&dfg),
+            cgra: Some(&cgra),
+            ..LintContext::default()
+        };
+        let d = Registry::with_default_passes().run(&ctx);
+        // the prechecker always reports the static bound
+        assert!(d.iter().any(|x| x.code == "MAP002"));
+        assert_eq!(d.num_errors(), 0);
+    }
+
+    #[test]
+    fn custom_passes_can_be_registered() {
+        struct Always;
+        impl LintPass for Always {
+            fn name(&self) -> &'static str {
+                "always"
+            }
+            fn run(&self, _ctx: &LintContext<'_>, out: &mut Diagnostics) {
+                out.push(crate::Diagnostic::new(
+                    "X001",
+                    crate::Severity::Info,
+                    crate::Entity::Global,
+                    "hello",
+                ));
+            }
+        }
+        let mut registry = Registry::new();
+        registry.register(Box::new(Always));
+        let d = registry.run(&LintContext::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.iter().next().unwrap().code, "X001");
+    }
+}

@@ -186,10 +186,8 @@ impl Configware {
                 continue;
             }
             let (r, c) = cgra.pe_position(*pe);
-            let op = w
-                .op
-                .map(|(id, kind)| format!("{kind}#{}", id.index()))
-                .unwrap_or_else(|| "-".into());
+            let op =
+                w.op.map_or_else(|| "-".into(), |(id, kind)| format!("{kind}#{}", id.index()));
             let links: Vec<String> = w
                 .link_drives
                 .iter()

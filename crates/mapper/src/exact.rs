@@ -76,13 +76,11 @@ impl ExactMapper {
                     .filter(|&pe| {
                         dfg.op(op).kind != panorama_dfg::OpKind::Mul || cgra.has_multiplier(pe)
                     })
-                    .filter(|&pe| {
-                        restriction.map_or(true, |r| r.allows(op, cgra.cluster_of(pe)))
-                    })
+                    .filter(|&pe| restriction.is_none_or(|r| r.allows(op, cgra.cluster_of(pe))))
                     .collect()
             })
             .collect();
-        if domains.iter().any(|d| d.is_empty()) {
+        if domains.iter().any(std::vec::Vec::is_empty) {
             return None;
         }
         // most-constrained-first: smaller domain, then more neighbours
@@ -96,9 +94,23 @@ impl ExactMapper {
         let mut fu_used: HashMap<(PeId, usize), ()> = HashMap::new();
         let mut budget = self.config.search_budget;
         if self.backtrack(
-            dfg, cgra, times, ii, &domains, &order, 0, &mut assignment, &mut fu_used, &mut budget,
+            dfg,
+            cgra,
+            times,
+            ii,
+            &domains,
+            &order,
+            0,
+            &mut assignment,
+            &mut fu_used,
+            &mut budget,
         ) {
-            Some(assignment.into_iter().map(|a| a.expect("complete")).collect())
+            Some(
+                assignment
+                    .into_iter()
+                    .map(|a| a.expect("complete"))
+                    .collect(),
+            )
         } else {
             None
         }
@@ -139,11 +151,19 @@ impl ExactMapper {
             let ok = dfg
                 .graph()
                 .incoming(op)
-                .map(|e| (e.src, times[idx] as i64 - times[e.src.index()] as i64
-                    + e.weight.distance() as i64 * ii as i64))
+                .map(|e| {
+                    (
+                        e.src,
+                        times[idx] as i64 - times[e.src.index()] as i64
+                            + e.weight.distance() as i64 * ii as i64,
+                    )
+                })
                 .chain(dfg.graph().outgoing(op).map(|e| {
-                    (e.dst, times[e.dst.index()] as i64 - times[idx] as i64
-                        + e.weight.distance() as i64 * ii as i64)
+                    (
+                        e.dst,
+                        times[e.dst.index()] as i64 - times[idx] as i64
+                            + e.weight.distance() as i64 * ii as i64,
+                    )
                 }))
                 .all(|(other, slack)| match assignment[other.index()] {
                     Some(opd) => (cgra.manhattan(pe, opd) as i64) <= slack,
@@ -155,7 +175,16 @@ impl ExactMapper {
             assignment[idx] = Some(pe);
             fu_used.insert((pe, slot), ());
             if self.backtrack(
-                dfg, cgra, times, ii, domains, order, depth + 1, assignment, fu_used, budget,
+                dfg,
+                cgra,
+                times,
+                ii,
+                domains,
+                order,
+                depth + 1,
+                assignment,
+                fu_used,
+                budget,
             ) {
                 return true;
             }

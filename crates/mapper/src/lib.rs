@@ -38,28 +38,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod mii;
-mod schedule;
-mod placement;
-mod router;
-mod spr;
-mod ultrafast;
-mod mapping;
-mod restrict;
 mod configware;
 mod exact;
+mod mapping;
+mod mii;
+mod placement;
 mod render;
+mod restrict;
+mod router;
+mod schedule;
+mod spr;
 mod stats;
+mod ultrafast;
 
 pub use configware::{ConfigWord, Configware, ValueSource};
 pub use exact::{ExactConfig, ExactMapper};
 pub use mapping::{Mapping, MappingStats, Route, VerifyError};
-pub use mii::{critical_recurrences, min_ii, MiiReport};
+pub use mii::{critical_recurrences, min_ii, restricted_min_ii, MiiReport};
 pub use restrict::Restriction;
 pub use router::RouterConfig;
-pub use stats::RouteStats;
 pub use schedule::{modulo_schedule, ScheduleError};
 pub use spr::{MapError, SprConfig, SprMapper};
+pub use stats::RouteStats;
 pub use ultrafast::{UltraFastConfig, UltraFastMapper};
 
 use panorama_arch::Cgra;

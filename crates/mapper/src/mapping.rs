@@ -312,7 +312,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "route of edge {edge} uses non-adjacent MRRG nodes")
             }
             VerifyError::RouteLatency { edge, got, want } => {
-                write!(f, "route of edge {edge} advances {got} cycles, schedule needs {want}")
+                write!(
+                    f,
+                    "route of edge {edge} advances {got} cycles, schedule needs {want}"
+                )
             }
             VerifyError::CapacityExceeded { kind, used, cap } => {
                 write!(f, "{kind:?} node used by {used} signals (capacity {cap})")
@@ -424,9 +427,97 @@ mod tests {
     fn wrong_shape_is_caught() {
         let (dfg, cgra, mut mapping) = mapped_chain();
         mapping.pe_of.pop();
+        assert_eq!(mapping.verify(&dfg, &cgra), Err(VerifyError::WrongShape));
+    }
+
+    // --- from_parts fixtures: each corruption yields its exact variant ---
+
+    fn pair_dfg() -> panorama_dfg::Dfg {
+        let mut b = DfgBuilder::new("pair");
+        let x = b.op(OpKind::Add, "x");
+        let y = b.op(OpKind::Add, "y");
+        b.data(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unplaced_op_is_wrong_shape() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        // only one of the two ops is placed/scheduled
+        let mapping = Mapping::from_parts("fixture", 1, 1, vec![0], vec![cgra.pe_at(0, 1)], None);
+        assert_eq!(mapping.verify(&dfg, &cgra), Err(VerifyError::WrongShape));
+    }
+
+    #[test]
+    fn modulo_time_resource_conflict_is_fu_conflict() {
+        // two independent ops, no deps — the only possible violation is the
+        // FU slot
+        let mut b = DfgBuilder::new("par");
+        let _x = b.op(OpKind::Add, "x");
+        let _y = b.op(OpKind::Add, "y");
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let pe = cgra.pe_at(1, 1);
+        // absolute times 0 and 2 alias at II 2: same PE, same modulo slot
+        let mapping = Mapping::from_parts("fixture", 2, 1, vec![0, 2], vec![pe, pe], None);
         assert_eq!(
             mapping.verify(&dfg, &cgra),
-            Err(VerifyError::WrongShape)
+            Err(VerifyError::FuConflict { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn route_jumping_between_non_adjacent_nodes_is_disconnected() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let ii = 2;
+        let mrrg = cgra.mrrg(ii);
+        let pe_u = cgra.pe_at(0, 1);
+        let pe_v = cgra.pe_at(0, 2);
+        // correct start, then a teleport across the array
+        let bad = Route {
+            edge_index: 0,
+            nodes: vec![mrrg.out(pe_u, 0), mrrg.out(cgra.pe_at(3, 3), 1)],
+        };
+        let mapping = Mapping::from_parts(
+            "fixture",
+            ii,
+            1,
+            vec![0, 1],
+            vec![pe_u, pe_v],
+            Some(vec![bad]),
+        );
+        assert_eq!(
+            mapping.verify(&dfg, &cgra),
+            Err(VerifyError::RouteDisconnected { edge: 0 })
+        );
+    }
+
+    #[test]
+    fn route_starting_away_from_the_producer_is_endpoint_mismatch() {
+        let dfg = pair_dfg();
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let ii = 2;
+        let mrrg = cgra.mrrg(ii);
+        let pe_u = cgra.pe_at(0, 1);
+        let pe_v = cgra.pe_at(0, 2);
+        // the route claims the value originates at the *consumer's* PE
+        let bad = Route {
+            edge_index: 0,
+            nodes: vec![mrrg.out(pe_v, 0)],
+        };
+        let mapping = Mapping::from_parts(
+            "fixture",
+            ii,
+            1,
+            vec![0, 1],
+            vec![pe_u, pe_v],
+            Some(vec![bad]),
+        );
+        assert_eq!(
+            mapping.verify(&dfg, &cgra),
+            Err(VerifyError::RouteEndpoint { edge: 0 })
         );
     }
 

@@ -1,8 +1,10 @@
 //! Minimum initiation interval: resource and recurrence bounds
 //! (Rau, "Iterative Modulo Scheduling", MICRO'94).
 
+use crate::Restriction;
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;
+use std::collections::HashMap;
 
 /// The components of the minimum initiation interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +62,66 @@ pub fn min_ii(dfg: &Dfg, cgra: &Cgra) -> MiiReport {
 
     let rec_mii = recurrence_mii(dfg);
     MiiReport { res_mii, rec_mii }
+}
+
+/// Tightens [`min_ii`] with per-cluster-group capacity bounds under a
+/// placement [`Restriction`].
+///
+/// Ops sharing the same allowed-cluster set compete for the PEs of exactly
+/// those clusters, so each group independently lower-bounds the II by
+/// `⌈group ops / group PEs⌉` (and likewise for its memory and multiply
+/// ops against the group's memory/multiplier PEs). The unrestricted
+/// ResMII only divides by whole-array capacity, so this bound is never
+/// smaller — II values below it are provably infeasible and a guided
+/// mapper can skip them outright.
+///
+/// Returns [`usize::MAX`] when some group needs a capability its clusters
+/// do not offer at all (no II can ever work).
+pub fn restricted_min_ii(dfg: &Dfg, cgra: &Cgra, restriction: &Restriction) -> usize {
+    // Group ops by their exact allowed-cluster set.
+    let mut groups: HashMap<Vec<u32>, Vec<panorama_dfg::OpId>> = HashMap::new();
+    for op in dfg.op_ids() {
+        let mut key: Vec<u32> = restriction
+            .clusters_of(op)
+            .iter()
+            .map(|c| c.index() as u32)
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        groups.entry(key).or_default().push(op);
+    }
+
+    let mut bound = min_ii(dfg, cgra).mii();
+    for (clusters, ops) in &groups {
+        let group_pes: Vec<_> = cgra
+            .pes()
+            .filter(|&p| clusters.contains(&(cgra.cluster_of(p).index() as u32)))
+            .collect();
+        let pes = group_pes.len();
+        let mem_pes = group_pes.iter().filter(|&&p| cgra.is_mem_pe(p)).count();
+        let mul_pes = group_pes
+            .iter()
+            .filter(|&&p| cgra.has_multiplier(p))
+            .count();
+        let mem_ops = ops
+            .iter()
+            .filter(|&&v| dfg.op(v).kind.needs_memory())
+            .count();
+        let mul_ops = ops
+            .iter()
+            .filter(|&&v| dfg.op(v).kind == panorama_dfg::OpKind::Mul)
+            .count();
+        for (need, cap) in [(ops.len(), pes), (mem_ops, mem_pes), (mul_ops, mul_pes)] {
+            if need == 0 {
+                continue;
+            }
+            if cap == 0 {
+                return usize::MAX;
+            }
+            bound = bound.max(need.div_ceil(cap));
+        }
+    }
+    bound
 }
 
 /// Smallest II admitting a consistent schedule for all loop-carried cycles.
@@ -172,6 +234,72 @@ mod tests {
         b.back(n[3], n[0], 2);
         let dfg = b.build().unwrap();
         assert_eq!(min_ii(&dfg, &cgra()).rec_mii, 2);
+    }
+
+    #[test]
+    fn unrestricted_restriction_matches_min_ii() {
+        let mut b = DfgBuilder::new("wide");
+        let first = b.op(OpKind::Add, "n0");
+        for i in 1..33 {
+            let v = b.op(OpKind::Add, format!("n{i}"));
+            b.data(first, v);
+        }
+        let dfg = b.build().unwrap();
+        let cgra = cgra();
+        let r = Restriction::unrestricted(&dfg, &cgra);
+        assert_eq!(
+            restricted_min_ii(&dfg, &cgra, &r),
+            min_ii(&dfg, &cgra).mii()
+        );
+    }
+
+    #[test]
+    fn missing_capability_is_unmappable_at_any_ii() {
+        let mut b = DfgBuilder::new("mul");
+        let x = b.op(OpKind::Mul, "m");
+        let y = b.op(OpKind::Add, "a");
+        b.data(x, y);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(CgraConfig {
+            mul_support: false,
+            ..CgraConfig::small_4x4()
+        })
+        .unwrap();
+        let r = Restriction::unrestricted(&dfg, &cgra);
+        assert_eq!(restricted_min_ii(&dfg, &cgra, &r), usize::MAX);
+    }
+
+    #[test]
+    fn single_cluster_group_tightens_the_bound() {
+        use panorama_cluster::{Cdg, Partition};
+        use panorama_place::{map_clusters, ScatterConfig};
+        // 8x8 in 2x2 clusters: 16 PEs per cluster, 64 total. 33 ops stuck
+        // in one cluster bound the II by ceil(33/16) = 3 even though the
+        // whole-array ResMII is 1.
+        let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+        let mut b = DfgBuilder::new("skew");
+        let mut labels = Vec::new();
+        let hub = b.op(OpKind::Add, "hub");
+        labels.push(0);
+        for i in 1..33 {
+            let v = b.op(OpKind::Add, format!("big{i}"));
+            b.data(hub, v);
+            labels.push(0);
+        }
+        for g in 1..4 {
+            let v = b.op(OpKind::Add, format!("small{g}"));
+            b.data(hub, v);
+            labels.push(g);
+        }
+        let dfg = b.build().unwrap();
+        let cdg = Cdg::new(&dfg, &Partition::new(labels, 4));
+        let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default()).unwrap();
+        let r = Restriction::from_cluster_map(&dfg, &cdg, &map, &cgra);
+        assert_eq!(min_ii(&dfg, &cgra).mii(), 1);
+        let bound = restricted_min_ii(&dfg, &cgra, &r);
+        // the big group owns at most 2 of the 4 cells (split & push may
+        // give it several), so its 33 ops need II >= ceil(33/32) = 2
+        assert!(bound >= 2, "bound {bound} should exceed the array ResMII");
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub(crate) fn candidates_for(
         .filter(|&pe| state.is_free(pe, slot))
         .filter(|&pe| !dfg.op(op).kind.needs_memory() || cgra.is_mem_pe(pe))
         .filter(|&pe| dfg.op(op).kind != panorama_dfg::OpKind::Mul || cgra.has_multiplier(pe))
-        .filter(|&pe| restriction.map_or(true, |r| r.allows(op, cgra.cluster_of(pe))))
+        .filter(|&pe| restriction.is_none_or(|r| r.allows(op, cgra.cluster_of(pe))))
         .collect()
 }
 
@@ -105,12 +105,7 @@ pub(crate) fn placement_cost(
 /// ops may spill to neighbouring cells when their own memory column is
 /// full, but should prefer home (otherwise loads — placed before their
 /// consumers exist — would scatter arbitrarily).
-pub(crate) fn home_bias(
-    cgra: &Cgra,
-    restriction: Option<&Restriction>,
-    op: OpId,
-    pe: PeId,
-) -> f64 {
+pub(crate) fn home_bias(cgra: &Cgra, restriction: Option<&Restriction>, op: OpId, pe: PeId) -> f64 {
     let Some(r) = restriction else {
         return 0.0;
     };
@@ -136,9 +131,7 @@ pub(crate) fn initial_placement(
     restriction: Option<&Restriction>,
 ) -> Result<PlacementState, OpId> {
     // quick global feasibility
-    if dfg.num_ops() > cgra.num_pes() * ii
-        || dfg.num_mem_ops() > cgra.num_mem_pes().max(1) * ii
-    {
+    if dfg.num_ops() > cgra.num_pes() * ii || dfg.num_mem_ops() > cgra.num_mem_pes().max(1) * ii {
         return Err(dfg.op_ids().next().expect("nonempty DFG"));
     }
     let mut state = PlacementState {
@@ -206,8 +199,7 @@ pub(crate) fn initial_placement(
                 let better = match best {
                     None => true,
                     Some((bc, bt, bpe)) => {
-                        cost < bc - 1e-12
-                            || ((cost - bc).abs() <= 1e-12 && (t, pe) < (bt, bpe))
+                        cost < bc - 1e-12 || ((cost - bc).abs() <= 1e-12 && (t, pe) < (bt, bpe))
                     }
                 };
                 if better {
@@ -286,7 +278,7 @@ mod tests {
         let state = initial_placement(&dfg, &cgra(), 4, None).unwrap();
         for e in dfg.deps() {
             assert!(
-                state.time_of[e.dst.index()] >= state.time_of[e.src.index()] + 1,
+                state.time_of[e.dst.index()] > state.time_of[e.src.index()],
                 "dependence violated"
             );
         }
@@ -303,8 +295,11 @@ mod tests {
         let dfg = b.build().unwrap();
         let ii = 2;
         let state = initial_placement(&dfg, &cgra(), ii, None).unwrap();
-        let (tu, tv) = (state.time_of[u.index()] as i64, state.time_of[v.index()] as i64);
-        assert!(tv >= tu + 1);
+        let (tu, tv) = (
+            state.time_of[u.index()] as i64,
+            state.time_of[v.index()] as i64,
+        );
+        assert!(tv > tu);
         assert!(tu >= tv + 1 - ii as i64);
     }
 

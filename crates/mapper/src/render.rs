@@ -31,18 +31,21 @@ impl Mapping {
         let (rows, cols) = (cgra.config().rows, cgra.config().cols);
         let ii = self.ii();
         // cell contents per (slot, pe)
-        let mut cells: Vec<Vec<String>> =
-            vec![vec![".".to_string(); cgra.num_pes()]; ii];
+        let mut cells: Vec<Vec<String>> = vec![vec![".".to_string(); cgra.num_pes()]; ii];
         for op in dfg.op_ids() {
             let slot = self.time_of(op) % ii;
             let pe = self.pe_of(op);
-            let marker = if dfg.op(op).kind.needs_memory() { "*" } else { "" };
+            let marker = if dfg.op(op).kind.needs_memory() {
+                "*"
+            } else {
+                ""
+            };
             cells[slot][pe.index()] = format!("#{}{}", op.index(), marker);
         }
         let width = cells
             .iter()
             .flatten()
-            .map(|s| s.len())
+            .map(std::string::String::len)
             .max()
             .unwrap_or(1)
             .max(3);
@@ -57,13 +60,13 @@ impl Mapping {
             ii,
             self.qom()
         );
-        for slot in 0..ii {
+        for (slot, slot_cells) in cells.iter().enumerate().take(ii) {
             let _ = writeln!(out, "cycle {slot}:");
             for r in 0..rows {
                 let mut line = String::from("  ");
                 for c in 0..cols {
                     let pe = cgra.pe_at(r, c);
-                    let cell = &cells[slot][pe.index()];
+                    let cell = &slot_cells[pe.index()];
                     line.push_str(&format!("{cell:>width$} "));
                 }
                 out.push_str(line.trim_end());

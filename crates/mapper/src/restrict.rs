@@ -41,10 +41,8 @@ impl Restriction {
         let mut home: Vec<Vec<ClusterId>> = vec![Vec::new(); dfg.num_ops()];
         for cdg_node in cdg.cluster_ids() {
             let cells = map.cells_of(cdg_node);
-            let strict: Vec<ClusterId> = cells
-                .iter()
-                .map(|&(r, c)| cgra.cluster_at(r, c))
-                .collect();
+            let strict: Vec<ClusterId> =
+                cells.iter().map(|&(r, c)| cgra.cluster_at(r, c)).collect();
             // Memory ops additionally reach the neighbouring cells' memory
             // columns: spectral clustering balances *node* counts, not
             // loads/stores, and a cell has few memory-capable PEs — without
@@ -78,10 +76,7 @@ impl Restriction {
     pub fn unrestricted(dfg: &Dfg, cgra: &Cgra) -> Self {
         let all: Vec<ClusterId> = (0..cgra.num_clusters())
             .map(|i| {
-                let (r, c) = (
-                    i / cgra.cluster_grid().1,
-                    i % cgra.cluster_grid().1,
-                );
+                let (r, c) = (i / cgra.cluster_grid().1, i % cgra.cluster_grid().1);
                 cgra.cluster_at(r, c)
             })
             .collect();

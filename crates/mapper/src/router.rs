@@ -352,8 +352,21 @@ mod tests {
         let b = cgra.pe_at(0, 1);
         let usage = vec![0; mrrg.num_nodes()];
         let history = vec![0.0; mrrg.num_nodes()];
-        let path = route_one(&mrrg, &cgra, a, b, 0, 1, 1, &usage, &history, 0.5, 100_000, &Default::default())
-            .expect("adjacent PEs route in one hop");
+        let path = route_one(
+            &mrrg,
+            &cgra,
+            a,
+            b,
+            0,
+            1,
+            1,
+            &usage,
+            &history,
+            0.5,
+            100_000,
+            &Default::default(),
+        )
+        .expect("adjacent PEs route in one hop");
         // out(a,0) → link → in(b,1)
         assert_eq!(path.first().copied(), Some(mrrg.out(a, 0)));
         assert_eq!(path.last().copied(), Some(mrrg.input(b, 1)));
@@ -367,7 +380,21 @@ mod tests {
         let b = cgra.pe_at(3, 3); // manhattan 6
         let usage = vec![0; mrrg.num_nodes()];
         let history = vec![0.0; mrrg.num_nodes()];
-        assert!(route_one(&mrrg, &cgra, a, b, 0, 2, 0, &usage, &history, 0.5, 100_000, &Default::default()).is_none());
+        assert!(route_one(
+            &mrrg,
+            &cgra,
+            a,
+            b,
+            0,
+            2,
+            0,
+            &usage,
+            &history,
+            0.5,
+            100_000,
+            &Default::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -378,8 +405,21 @@ mod tests {
         let b = cgra.pe_at(1, 2);
         let usage = vec![0; mrrg.num_nodes()];
         let history = vec![0.0; mrrg.num_nodes()];
-        let path = route_one(&mrrg, &cgra, a, b, 0, 3, 3, &usage, &history, 0.5, 100_000, &Default::default())
-            .expect("register parking allows late consumption");
+        let path = route_one(
+            &mrrg,
+            &cgra,
+            a,
+            b,
+            0,
+            3,
+            3,
+            &usage,
+            &history,
+            0.5,
+            100_000,
+            &Default::default(),
+        )
+        .expect("register parking allows late consumption");
         // count advances
         let mut adv = 0;
         for w in path.windows(2) {
@@ -425,8 +465,13 @@ mod tests {
             &RouterConfig::default(),
             &mut history,
         );
-        assert!(outcome.is_clean(), "overuse {} failed {}", outcome.overuse, outcome.failed);
-        assert!(outcome.routes.iter().all(|r| r.is_some()));
+        assert!(
+            outcome.is_clean(),
+            "overuse {} failed {}",
+            outcome.overuse,
+            outcome.failed
+        );
+        assert!(outcome.routes.iter().all(std::option::Option::is_some));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! SPR\* — the schedule / place / route mapper (paper §3.3, Algorithm 2),
 //! re-implementing SPR (Friedman et al., FPGA'09) on the MRRG.
 
-use crate::placement::{candidates_for, home_bias, initial_placement, placement_cost, PlacementState};
+use crate::placement::{
+    candidates_for, home_bias, initial_placement, placement_cost, PlacementState,
+};
 use crate::router::{route_all, RouterConfig};
 use crate::{min_ii, LowerLevelMapper, Mapping, MappingStats, Restriction};
 use panorama_arch::Cgra;
@@ -100,6 +102,12 @@ impl LowerLevelMapper for SprMapper {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
+        // With a restriction, per-cluster capacity bounds prove some low II
+        // values infeasible; skipping them avoids pointless SA+router runs.
+        let start_ii = match restriction {
+            Some(r) => mii.max(crate::restricted_min_ii(dfg, cgra, r)),
+            None => mii,
+        };
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut stats = MappingStats::default();
 
@@ -109,7 +117,7 @@ impl LowerLevelMapper for SprMapper {
                 .time_budget
                 .is_some_and(|budget| start.elapsed() > budget)
         };
-        for ii in mii..=max_ii {
+        for ii in start_ii..=max_ii {
             if out_of_time(start) {
                 break;
             }
@@ -216,7 +224,10 @@ fn congested_ops(
     state: &PlacementState,
     usage: &[u16],
     routes: &[Option<crate::mapping::Route>],
-) -> (Vec<OpId>, std::collections::HashMap<(panorama_arch::PeId, usize), f64>) {
+) -> (
+    Vec<OpId>,
+    std::collections::HashMap<(panorama_arch::PeId, usize), f64>,
+) {
     let mut hot = std::collections::HashSet::new();
     let mut heat: std::collections::HashMap<(panorama_arch::PeId, usize), f64> =
         std::collections::HashMap::new();
@@ -226,7 +237,9 @@ fn congested_ops(
         if cap != u16::MAX && u as usize > cap as usize {
             hot.insert(mrrg.pe_of(node));
             let over = (u as usize - cap as usize) as f64;
-            *heat.entry((mrrg.pe_of(node), mrrg.time_of(node))).or_insert(0.0) += 12.0 * over;
+            *heat
+                .entry((mrrg.pe_of(node), mrrg.time_of(node)))
+                .or_insert(0.0) += 12.0 * over;
         }
     }
     // overused node set for fast membership tests
@@ -254,7 +267,11 @@ fn congested_ops(
             // endpoints of signals squeezed through overused nodes are the
             // ones whose relocation/retiming actually clears the congestion
             Some(route) => {
-                if route.nodes.iter().any(|n| over.contains(&(n.index() as u32))) {
+                if route
+                    .nodes
+                    .iter()
+                    .any(|n| over.contains(&(n.index() as u32)))
+                {
                     ops.push(e.src);
                     ops.push(e.dst);
                 }
@@ -296,7 +313,10 @@ fn anneal_step(
         let old_pe = state.pe_of[op.index()];
         let old_cost = placement_cost(dfg, cgra, state, &placed, op, old_pe, old_t)
             + home_bias(cgra, restriction, op, old_pe)
-            + heat.get(&(old_pe, old_t % state.ii)).copied().unwrap_or(0.0);
+            + heat
+                .get(&(old_pe, old_t % state.ii))
+                .copied()
+                .unwrap_or(0.0);
         state.remove(op);
 
         // legal retiming window against the current neighbour schedule;
@@ -339,7 +359,10 @@ fn anneal_step(
         let new_pe = options[rng.gen_range(0..options.len())];
         let new_cost = placement_cost(dfg, cgra, state, &placed, op, new_pe, new_t)
             + home_bias(cgra, restriction, op, new_pe)
-            + heat.get(&(new_pe, new_t % state.ii)).copied().unwrap_or(0.0);
+            + heat
+                .get(&(new_pe, new_t % state.ii))
+                .copied()
+                .unwrap_or(0.0);
         let delta = new_cost - old_cost;
         let accept = delta < 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-9)).exp();
         if accept && (new_pe != old_pe || new_t != old_t) {

@@ -132,13 +132,17 @@ impl UltraFastMapper {
                         let producer = e.src.index() as u32;
                         let src_pe = pe_of[e.src.index()];
                         for (a, b) in l_path(cgra, src_pe, pe) {
-                            let (pa, pb) = (PeId::from_index(a as usize), PeId::from_index(b as usize));
+                            let (pa, pb) =
+                                (PeId::from_index(a as usize), PeId::from_index(b as usize));
                             let (ca, cb) = (cgra.cluster_of(pa), cgra.cluster_of(pb));
                             let (key, cap) = if ca == cb {
                                 ((slot, a, b), 1)
                             } else {
                                 // boundary pool, tagged to avoid key clashes
-                                ((slot, 0x8000_0000 | ca.index() as u32, cb.index() as u32), budget)
+                                (
+                                    (slot, 0x8000_0000 | ca.index() as u32, cb.index() as u32),
+                                    budget,
+                                )
                             };
                             let free = match link_used.get(&key) {
                                 None => true,
@@ -209,8 +213,14 @@ impl LowerLevelMapper for UltraFastMapper {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
+        // Skip II values the restriction's cluster capacities prove
+        // infeasible (see `restricted_min_ii`).
+        let start_ii = match restriction {
+            Some(r) => mii.max(crate::restricted_min_ii(dfg, cgra, r)),
+            None => mii,
+        };
         let mut stats = MappingStats::default();
-        for ii in mii..=max_ii {
+        for ii in start_ii..=max_ii {
             stats.ii_attempts += 1;
             if let Ok((time_of, pe_of)) = self.try_ii(dfg, cgra, restriction, ii) {
                 stats.compile_time = start.elapsed();

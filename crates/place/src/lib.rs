@@ -40,8 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod scatter;
 mod map;
+mod scatter;
 
 pub use map::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
 pub use scatter::{column_scatter, row_scatter};

@@ -146,11 +146,7 @@ impl ClusterMap {
     /// Result" histogram (e.g. `[2,2,1,1],[2,1,1,2],…`).
     pub fn histogram(&self) -> Vec<Vec<usize>> {
         (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self.nodes_at(r, c).len())
-                    .collect()
-            })
+            .map(|r| (0..self.cols).map(|c| self.nodes_at(r, c).len()).collect())
             .collect()
     }
 
@@ -265,7 +261,7 @@ mod tests {
         b.data(*groups[0].last().unwrap(), groups[2][0]);
         b.data(*groups[1].last().unwrap(), groups[3][0]);
         let dfg = b.build().unwrap();
-        let labels: Vec<usize> = (0..4).flat_map(|g| std::iter::repeat(g).take(4)).collect();
+        let labels: Vec<usize> = (0..4).flat_map(|g| std::iter::repeat_n(g, 4)).collect();
         let cdg = Cdg::new(&dfg, &Partition::new(labels, 4));
         (dfg, cdg)
     }
@@ -299,11 +295,13 @@ mod tests {
         // must span multiple columns (Figure 4)
         let mut b = DfgBuilder::new("imbalanced");
         let mut labels = Vec::new();
-        let big: Vec<_> = (0..12).map(|i| b.op(OpKind::Add, format!("b{i}"))).collect();
+        let big: Vec<_> = (0..12)
+            .map(|i| b.op(OpKind::Add, format!("b{i}")))
+            .collect();
         for w in big.windows(2) {
             b.data(w[0], w[1]);
         }
-        labels.extend(std::iter::repeat(0).take(12));
+        labels.extend(std::iter::repeat_n(0, 12));
         let mut prev = *big.last().unwrap();
         for g in 1..4 {
             let nodes: Vec<_> = (0..2)
@@ -312,7 +310,7 @@ mod tests {
             b.data(prev, nodes[0]);
             b.data(nodes[0], nodes[1]);
             prev = nodes[1];
-            labels.extend(std::iter::repeat(g).take(2));
+            labels.extend(std::iter::repeat_n(g, 2));
         }
         let dfg = b.build().unwrap();
         let cdg = Cdg::new(&dfg, &Partition::new(labels, 4));
@@ -358,7 +356,12 @@ impl ClusterMap {
             }
             cells.push(row);
         }
-        let width = cells.iter().flatten().map(|s| s.len()).max().unwrap_or(2);
+        let width = cells
+            .iter()
+            .flatten()
+            .map(std::string::String::len)
+            .max()
+            .unwrap_or(2);
         let mut out = String::new();
         let _ = writeln!(
             out,

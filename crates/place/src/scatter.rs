@@ -2,7 +2,7 @@
 
 use crate::{PlaceError, ScatterConfig};
 use panorama_cluster::{Cdg, CdgNodeId};
-use panorama_ilp::{Cmp, LinExpr, Model, Sense, SolveError, Solution, VarId};
+use panorama_ilp::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};
 
 /// Runs a model, accepting a node-limit incumbent as a (possibly
 /// suboptimal) success — scattering quality degrades gracefully.
@@ -56,11 +56,7 @@ pub fn column_scatter(
             .collect();
 
         // every row keeps at least one node; enough nodes continue downward
-        model.add_constraint(
-            LinExpr::sum(vars.iter().map(|&v| (1.0, v))),
-            Cmp::Ge,
-            1.0,
-        );
+        model.add_constraint(LinExpr::sum(vars.iter().map(|&v| (1.0, v))), Cmp::Ge, 1.0);
         model.add_constraint(
             LinExpr::sum(vars.iter().map(|&v| (1.0, v))),
             Cmp::Le,
@@ -120,11 +116,7 @@ pub fn column_scatter(
                     .map(|&j| (1.0, var_of(j)))
                     .chain(std::iter::once((deg as f64 - eta, vi))),
             );
-            model.add_constraint(
-                lhs,
-                Cmp::Ge,
-                2.0 * deg as f64 - zeta2 as f64 - eta,
-            );
+            model.add_constraint(lhs, Cmp::Ge, 2.0 * deg as f64 - zeta2 as f64 - eta);
         }
 
         let Some(sol) = solve_lenient(&model)? else {
@@ -266,9 +258,11 @@ fn row_scatter_at(
             }
             if balance_slack.is_finite() {
                 model.add_constraint(
-                    LinExpr::sum(members.iter().map(|&i| {
-                        (cdg.size(i_id(i)) as f64 / span_of[i] as f64, var_of(i)[c])
-                    })),
+                    LinExpr::sum(
+                        members
+                            .iter()
+                            .map(|&i| (cdg.size(i_id(i)) as f64 / span_of[i] as f64, var_of(i)[c])),
+                    ),
                     Cmp::Le,
                     (balance_slack * row_load / cols as f64).max(1.0),
                 );
@@ -301,9 +295,8 @@ fn row_scatter_at(
                     };
                     let sf = span_of[free] as f64;
                     // | Σ (c+1)·v_c − span_free·center |
-                    let diff = LinExpr::sum(
-                        (0..cols).map(|c| ((c + 1) as f64, var_of(free)[c])),
-                    ) - sf * center;
+                    let diff = LinExpr::sum((0..cols).map(|c| ((c + 1) as f64, var_of(free)[c])))
+                        - sf * center;
                     let t = model.abs_var(format!("a_{i}_{j}"), diff, bound * sf);
                     objective = objective + LinExpr::sum([(e.weight as f64, t)]);
                 }
@@ -316,11 +309,9 @@ fn row_scatter_at(
             return Ok(None);
         };
         for (&i, row_vars) in members.iter().zip(&vars) {
-            let chosen: Vec<usize> = (0..cols)
-                .filter(|&c| sol.bool_value(row_vars[c]))
-                .collect();
-            let center = chosen.iter().map(|&c| (c + 1) as f64).sum::<f64>()
-                / chosen.len().max(1) as f64;
+            let chosen: Vec<usize> = (0..cols).filter(|&c| sol.bool_value(row_vars[c])).collect();
+            let center =
+                chosen.iter().map(|&c| (c + 1) as f64).sum::<f64>() / chosen.len().max(1) as f64;
             fixed_center[i] = Some(center);
             cols_of[i] = chosen;
         }
@@ -355,7 +346,7 @@ mod tests {
                 b.data(prev, nodes[0]);
             }
             last_of_group.push(*nodes.last().unwrap());
-            labels.extend(std::iter::repeat(g).take(s));
+            labels.extend(std::iter::repeat_n(g, s));
         }
         let dfg = b.build().unwrap();
         let part = Partition::new(labels, sizes.len());
@@ -370,7 +361,10 @@ mod tests {
             .unwrap()
             .expect("feasible at zeta 1 for a path CDG");
         // two groups per row (8 DFG nodes each)
-        let weight_row0: usize = (0..4).filter(|&i| rows[i] == 0).map(|i| cdg.size(CdgNodeId::from_index(i))).sum();
+        let weight_row0: usize = (0..4)
+            .filter(|&i| rows[i] == 0)
+            .map(|i| cdg.size(CdgNodeId::from_index(i)))
+            .sum();
         assert_eq!(weight_row0, 8);
         assert!(rows.iter().all(|&r| r < 2));
     }
@@ -383,7 +377,7 @@ mod tests {
         assert!(result.is_some());
         let rows = result.unwrap();
         for r in 0..3 {
-            assert!(rows.iter().any(|&x| x == r), "row {r} left empty");
+            assert!(rows.contains(&r), "row {r} left empty");
         }
     }
 

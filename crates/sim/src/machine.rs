@@ -151,8 +151,7 @@ pub fn simulate(
                 }
             }
             // arrival: the consumer reads in its execution cycle
-            let consumer_cycle =
-                mapping.time_of(e.dst) as u64 + (iter as i64 + d) as u64 * ii;
+            let consumer_cycle = mapping.time_of(e.dst) as u64 + (iter as i64 + d) as u64 * ii;
             if t != consumer_cycle {
                 return Err(SimError::ArrivalMismatch { edge: i });
             }
@@ -184,12 +183,9 @@ pub fn simulate(
             let inputs: Vec<u64> = dfg
                 .graph()
                 .incoming(op)
-                .map(|e| {
-                    reference.value_back(dfg, e.src, iter as i64 - e.weight.distance() as i64)
-                })
+                .map(|e| reference.value_back(dfg, e.src, iter as i64 - e.weight.distance() as i64))
                 .collect();
-            let recomputed =
-                crate::interp::op_value(dfg, op, iter as u64, inputs.into_iter());
+            let recomputed = crate::interp::op_value(dfg, op, iter as u64, inputs.into_iter());
             if recomputed != reference.value(op, iter) {
                 return Err(SimError::WrongValue {
                     op: op.index(),
@@ -200,11 +196,7 @@ pub fn simulate(
     }
 
     // utilization over the steady state (one full II window mid-stream)
-    let makespan = dfg
-        .op_ids()
-        .map(|v| mapping.time_of(v))
-        .max()
-        .unwrap_or(0) as u64;
+    let makespan = dfg.op_ids().map(|v| mapping.time_of(v)).max().unwrap_or(0) as u64;
     let cycles = makespan + iterations as u64 * ii + 1;
     let fu_utilization = dfg.num_ops() as f64 / (cgra.num_pes() as f64 * ii as f64);
     let links_in_use: HashSet<u32> = occupancy
@@ -245,8 +237,7 @@ mod tests {
             let dfg = kernels::generate(id, KernelScale::Tiny);
             let cgra = cgra();
             let mapping = SprMapper::default().map(&dfg, &cgra, None).unwrap();
-            let report = simulate(&dfg, &cgra, &mapping, 5)
-                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            let report = simulate(&dfg, &cgra, &mapping, 5).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert_eq!(report.iterations, 5);
             assert!(report.checked_deliveries > 0);
             assert!(report.fu_utilization > 0.0 && report.fu_utilization <= 1.0);
@@ -273,10 +264,7 @@ mod tests {
         let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
         let cgra = cgra();
         let mapping = UltraFastMapper::default().map(&dfg, &cgra, None).unwrap();
-        assert_eq!(
-            simulate(&dfg, &cgra, &mapping, 2),
-            Err(SimError::NoRoutes)
-        );
+        assert_eq!(simulate(&dfg, &cgra, &mapping, 2), Err(SimError::NoRoutes));
     }
 
     #[test]
@@ -285,9 +273,12 @@ mod tests {
         assert!(SimError::ArrivalMismatch { edge: 3 }
             .to_string()
             .contains("edge 3"));
-        assert!(SimError::WrongValue { op: 1, iteration: 2 }
-            .to_string()
-            .contains("op 1"));
+        assert!(SimError::WrongValue {
+            op: 1,
+            iteration: 2
+        }
+        .to_string()
+        .contains("op 1"));
     }
 
     #[test]

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dfg = kernels::generate(KernelId::IdctCols, KernelScale::Scaled);
     println!("kernel `{}`: {}", dfg.name(), dfg.stats());
     println!();
-    println!("{:<12} {:>4} {:>6} {:>10} {:>10} {:>9}", "CGRA", "II", "QoM", "MOPS", "power(mW)", "MOPS/mW");
+    println!(
+        "{:<12} {:>4} {:>6} {:>10} {:>10} {:>9}",
+        "CGRA", "II", "QoM", "MOPS", "power(mW)", "MOPS/mW"
+    );
 
     let model = PowerModel::forty_nm();
     let compiler = Panorama::new(PanoramaConfig::default());
@@ -58,10 +61,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             Ok(report) => {
                 let mapping = report.mapping();
                 mapping.verify(&dfg, &cgra)?;
-                let hops = mapping
-                    .routes()
-                    .map(|r| r.iter().map(|x| x.nodes.len()).sum::<usize>() / 3)
-                    .unwrap_or(dfg.num_deps());
+                let hops = mapping.routes().map_or(dfg.num_deps(), |r| {
+                    r.iter().map(|x| x.nodes.len()).sum::<usize>() / 3
+                });
                 let p = model.evaluate(&cgra, dfg.num_ops(), hops, mapping.ii());
                 println!(
                     "{:<12} {:>4} {:>6.2} {:>10.0} {:>10.1} {:>9.2}",

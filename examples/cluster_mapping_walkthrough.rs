@@ -25,7 +25,7 @@ fn figure4_like() -> (Dfg, Cdg) {
         for w in nodes.windows(2) {
             b.data(w[0], w[1]);
         }
-        labels.extend(std::iter::repeat(g).take(s));
+        labels.extend(std::iter::repeat_n(g, s));
         groups.push(nodes);
     }
     // CDG edges: A-C, B-C, C-D, D-E, A-B
@@ -42,7 +42,11 @@ fn figure4_like() -> (Dfg, Cdg) {
 fn main() -> Result<(), Box<dyn Error>> {
     let (_dfg, cdg) = figure4_like();
     let names = ["A", "B", "C", "D", "E"];
-    println!("CDG: {} clusters over {} DFG nodes", cdg.num_clusters(), cdg.total_dfg_nodes());
+    println!(
+        "CDG: {} clusters over {} DFG nodes",
+        cdg.num_clusters(),
+        cdg.total_dfg_nodes()
+    );
     for n in cdg.cluster_ids() {
         println!(
             "  {} size {} neighbours {:?}",

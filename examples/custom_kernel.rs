@@ -61,7 +61,10 @@ fn complex_mac(unroll: usize) -> Dfg {
         acc_re = Some(next_re);
         acc_im = Some(next_im);
     }
-    let (last_re, first_re) = (acc_re.expect("unroll >= 1"), acc_re_first.expect("unroll >= 1"));
+    let (last_re, first_re) = (
+        acc_re.expect("unroll >= 1"),
+        acc_re_first.expect("unroll >= 1"),
+    );
     let out_re = b.op(OpKind::Store, "out_re");
     b.data(last_re, out_re);
     let out_im = b.op(OpKind::Store, "out_im");

@@ -2,4 +2,7 @@
 //! live on this package. The library API is the [`panorama`] crate,
 //! re-exported here for convenience.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use panorama::*;

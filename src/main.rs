@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! panorama compile --dfg kernel.dfg --arch cgra.adl [--mapper spr|ultrafast|exhaustive]
-//!                  [--baseline] [--simulate N] [--configware] [--dot]
+//!                  [--baseline] [--max-ii N] [--simulate N] [--configware] [--dot]
+//! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
 //! panorama kernels [--scale tiny|scaled|paper]
 //! panorama info --arch cgra.adl
 //! ```
@@ -10,13 +11,14 @@
 //! `compile` reads a DFG in the text format (`--dfg -` for stdin, or a
 //! built-in kernel name like `fir`), an architecture in ADL form (or a
 //! preset like `8x8`), runs the PANORAMA pipeline, and reports the mapping.
+//! `lint` runs the static diagnostics of [`panorama_lint`] over the same
+//! inputs without mapping anything.
 
 use panorama::{Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
-use panorama_mapper::{
-    Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper,
-};
+use panorama_lint::{LintContext, Registry};
+use panorama_mapper::{Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
 use panorama_sim::simulate;
 use std::collections::HashMap;
 use std::error::Error;
@@ -27,20 +29,57 @@ fn usage() -> &'static str {
     "usage:\n  \
      panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
-[--simulate <iters>] [--configware] [--dot]\n  \
+[--max-ii <ii>] [--simulate <iters>] [--configware] [--dot]\n  \
+     panorama lint --dfg <file|-|kernel-name> [--arch <file|preset>] \
+[--scale tiny|scaled|paper] [--max-ii <ii>] [--json]\n  \
      panorama kernels [--scale tiny|scaled|paper]\n  \
      panorama info --arch <file|preset>\n\n\
      presets: 4x4, 8x8, 9x9, 16x16, 6x1"
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Flags a command accepts: `(name, takes_no_value)`.
+type FlagSpec = &'static [(&'static str, bool)];
+
+const COMPILE_FLAGS: FlagSpec = &[
+    ("dfg", false),
+    ("arch", false),
+    ("mapper", false),
+    ("baseline", true),
+    ("scale", false),
+    ("max-ii", false),
+    ("simulate", false),
+    ("configware", true),
+    ("dot", true),
+];
+const LINT_FLAGS: FlagSpec = &[
+    ("dfg", false),
+    ("arch", false),
+    ("scale", false),
+    ("max-ii", false),
+    ("json", true),
+];
+const KERNELS_FLAGS: FlagSpec = &[("scale", false)];
+const INFO_FLAGS: FlagSpec = &[("arch", false)];
+
+fn parse_flags(
+    cmd: &str,
+    args: &[String],
+    spec: FlagSpec,
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            // boolean flags take no value
-            let boolean = matches!(name, "baseline" | "configware" | "dot");
+            let Some(&(_, boolean)) = spec.iter().find(|(n, _)| *n == name) else {
+                return Err(format!(
+                    "unknown flag `--{name}` for `{cmd}` (accepted: {})",
+                    spec.iter()
+                        .map(|(n, _)| format!("--{n}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            };
             if boolean {
                 flags.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -56,6 +95,16 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         }
     }
     Ok(flags)
+}
+
+fn parse_max_ii(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    flags
+        .get("max-ii")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--max-ii needs a positive integer, got `{s}`"))
+        })
+        .transpose()
 }
 
 fn parse_scale(s: Option<&String>) -> Result<KernelScale, String> {
@@ -81,10 +130,9 @@ fn load_arch(spec: Option<&String>) -> Result<Cgra, Box<dyn Error>> {
 
 fn load_dfg(spec: &str, scale: KernelScale) -> Result<Dfg, Box<dyn Error>> {
     // built-in kernel names first
-    if let Some(id) = KernelId::ALL
-        .iter()
-        .find(|id| id.name().eq_ignore_ascii_case(spec) || format!("{id:?}").eq_ignore_ascii_case(spec))
-    {
+    if let Some(id) = KernelId::ALL.iter().find(|id| {
+        id.name().eq_ignore_ascii_case(spec) || format!("{id:?}").eq_ignore_ascii_case(spec)
+    }) {
         return Ok(kernels::generate(*id, scale));
     }
     let text = if spec == "-" {
@@ -118,8 +166,11 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         println!("{}", dfg.to_dot());
     }
 
-    let mapper_name = flags.get("mapper").map(String::as_str).unwrap_or("spr");
-    let compiler = Panorama::new(PanoramaConfig::default());
+    let mapper_name = flags.get("mapper").map_or("spr", String::as_str);
+    let compiler = Panorama::new(PanoramaConfig {
+        max_ii: parse_max_ii(flags)?,
+        ..PanoramaConfig::default()
+    });
     let baseline = flags.contains_key("baseline");
     let run = |m: &dyn LowerLevelMapper| {
         if baseline {
@@ -196,9 +247,45 @@ impl LowerLevelMapper for DynMapper<'_> {
     }
 }
 
+/// `panorama lint`: static diagnostics over a kernel (and optionally an
+/// architecture) without mapping anything. Exits nonzero when any
+/// error-severity finding is reported.
+fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let scale = parse_scale(flags.get("scale"))?;
+    let dfg = load_dfg(
+        flags
+            .get("dfg")
+            .ok_or("`lint` needs --dfg <file|-|kernel-name>")?,
+        scale,
+    )?;
+    let cgra = match flags.get("arch") {
+        Some(_) => Some(load_arch(flags.get("arch"))?),
+        None => None,
+    };
+    let ctx = LintContext {
+        dfg: Some(&dfg),
+        cgra: cgra.as_ref(),
+        max_ii: parse_max_ii(flags)?,
+        ..LintContext::default()
+    };
+    let diags = Registry::with_default_passes().run(&ctx);
+    if flags.contains_key("json") {
+        println!("{}", diags.render_json());
+    } else {
+        print!("{}", diags.render_human());
+    }
+    if diags.has_errors() {
+        return Err(format!("lint found {} error(s)", diags.num_errors()).into());
+    }
+    Ok(())
+}
+
 fn cmd_kernels(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let scale = parse_scale(flags.get("scale"))?;
-    println!("{:<18} {:>6} {:>6} {:>7}  paper(n/e/deg)", "kernel", "nodes", "edges", "maxdeg");
+    println!(
+        "{:<18} {:>6} {:>6} {:>7}  paper(n/e/deg)",
+        "kernel", "nodes", "edges", "maxdeg"
+    );
     for id in KernelId::ALL {
         let s = kernels::generate(id, scale).stats();
         let (pn, pe, pd) = id.paper_stats();
@@ -233,7 +320,24 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(rest) {
+    let spec = match cmd.as_str() {
+        "compile" => COMPILE_FLAGS,
+        "lint" => LINT_FLAGS,
+        "kernels" => KERNELS_FLAGS,
+        "info" => INFO_FLAGS,
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!(
+                "error: unknown command `{other}` (expected compile, lint, kernels, info or help)\n\n{}",
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let flags = match parse_flags(cmd, rest, spec) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
@@ -242,13 +346,9 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "compile" => cmd_compile(&flags),
+        "lint" => cmd_lint(&flags),
         "kernels" => cmd_kernels(&flags),
-        "info" => cmd_info(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`").into()),
+        _ => cmd_info(&flags),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -21,8 +21,16 @@ fn kernels_lists_all_twelve() {
 fn compile_builtin_kernel_end_to_end() {
     let out = bin()
         .args([
-            "compile", "--dfg", "cordic", "--arch", "8x8", "--scale", "tiny",
-            "--simulate", "3", "--configware",
+            "compile",
+            "--dfg",
+            "cordic",
+            "--arch",
+            "8x8",
+            "--scale",
+            "tiny",
+            "--simulate",
+            "3",
+            "--configware",
         ])
         .output()
         .unwrap();
@@ -75,7 +83,10 @@ fn bad_usage_fails_with_message() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
 
-    let out = bin().args(["compile", "--dfg", "cordic", "--mapper", "magic"]).output().unwrap();
+    let out = bin()
+        .args(["compile", "--dfg", "cordic", "--mapper", "magic"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("unknown mapper"));
@@ -85,7 +96,14 @@ fn bad_usage_fails_with_message() {
 fn exhaustive_mapper_selectable() {
     let out = bin()
         .args([
-            "compile", "--dfg", "-", "--arch", "4x4", "--baseline", "--mapper", "exhaustive",
+            "compile",
+            "--dfg",
+            "-",
+            "--arch",
+            "4x4",
+            "--baseline",
+            "--mapper",
+            "exhaustive",
         ])
         .env("RUST_BACKTRACE", "0")
         .stdin(std::process::Stdio::piped())

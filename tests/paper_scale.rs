@@ -28,7 +28,9 @@ fn cordic_at_paper_scale_reaches_mii_guided() {
         "the paper's guided mapper reaches MII on cordic"
     );
     // and the baseline is slower and/or worse, as in Figure 7
-    let base = compiler.compile_baseline(&dfg, &cgra, &mapper).expect("baseline maps");
+    let base = compiler
+        .compile_baseline(&dfg, &cgra, &mapper)
+        .expect("baseline maps");
     assert!(
         base.mapping().ii() >= pan.mapping().ii(),
         "baseline II {} vs guided {}",

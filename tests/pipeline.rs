@@ -50,8 +50,12 @@ fn pipeline_is_deterministic() {
     let cgra = cgra();
     let compiler = Panorama::new(PanoramaConfig::default());
     let dfg = kernels::generate(KernelId::Edn, KernelScale::Tiny);
-    let a = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
-    let b = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+    let a = compiler
+        .compile(&dfg, &cgra, &SprMapper::default())
+        .unwrap();
+    let b = compiler
+        .compile(&dfg, &cgra, &SprMapper::default())
+        .unwrap();
     assert_eq!(a.mapping().ii(), b.mapping().ii());
     for op in dfg.op_ids() {
         assert_eq!(a.mapping().pe_of(op), b.mapping().pe_of(op));
@@ -64,7 +68,9 @@ fn guided_mapping_respects_cluster_restriction() {
     let cgra = cgra();
     let compiler = Panorama::new(PanoramaConfig::default());
     let dfg = kernels::generate(KernelId::Conv2d, KernelScale::Tiny);
-    let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+    let report = compiler
+        .compile(&dfg, &cgra, &SprMapper::default())
+        .unwrap();
     let plan = report.plan().expect("guided run has a plan");
     for op in dfg.op_ids() {
         let cluster = cgra.cluster_of(report.mapping().pe_of(op));

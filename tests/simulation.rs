@@ -28,7 +28,9 @@ fn scaled_kernel_simulates_many_iterations() {
     let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
     let compiler = Panorama::new(PanoramaConfig::default());
     let dfg = kernels::generate(KernelId::Cordic, KernelScale::Scaled);
-    let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+    let report = compiler
+        .compile(&dfg, &cgra, &SprMapper::default())
+        .unwrap();
     let sim = simulate(&dfg, &cgra, report.mapping(), 16).unwrap();
     assert_eq!(sim.iterations, 16);
     assert!(sim.link_utilization > 0.0);

@@ -34,7 +34,9 @@ fn render_covers_every_kernel() {
     let compiler = Panorama::new(PanoramaConfig::default());
     for id in [KernelId::Fir, KernelId::Cordic] {
         let dfg = kernels::generate(id, KernelScale::Tiny);
-        let report = compiler.compile(&dfg, &cgra, &SprMapper::default()).unwrap();
+        let report = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap();
         let pic = report.mapping().render(&dfg, &cgra);
         // every op index appears
         for op in dfg.op_ids() {
