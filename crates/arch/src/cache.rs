@@ -1,0 +1,143 @@
+//! Shared MRRG cache: build each `R×C×II` graph once per compile.
+//!
+//! The mappers rebuild the [`Mrrg`](crate::Mrrg) for every II they attempt,
+//! and the portfolio pipeline maps several partition candidates over the
+//! same II range concurrently. The graph depends only on the architecture
+//! and the II, so a [`Cgra`] carries an [`MrrgCache`] keyed by II: the
+//! first requester builds the graph, everyone else (other candidates,
+//! annealing restarts, verification, statistics) shares the same
+//! [`Arc<Mrrg>`].
+
+use crate::{Cgra, Mrrg};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe II → [`Mrrg`] cache.
+///
+/// Cloning a [`Cgra`] shares its cache (the architecture is immutable, so
+/// every clone produces identical graphs).
+///
+/// # Examples
+///
+/// ```
+/// use panorama_arch::{Cgra, CgraConfig};
+///
+/// let cgra = Cgra::new(CgraConfig::small_4x4())?;
+/// let a = cgra.mrrg_shared(3);
+/// let b = cgra.mrrg_shared(3);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!(cgra.mrrg_cache().hits(), 1);
+/// assert_eq!(cgra.mrrg_cache().misses(), 1);
+/// # Ok::<(), panorama_arch::ArchError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MrrgCache {
+    slots: Mutex<HashMap<usize, Arc<Mrrg>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MrrgCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        MrrgCache::default()
+    }
+
+    /// The cached graph for `ii`, building (and retaining) it on first
+    /// request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ii == 0` (propagated from [`Cgra::mrrg`]).
+    pub fn get_or_build(&self, cgra: &Cgra, ii: usize) -> Arc<Mrrg> {
+        if let Some(hit) = self.slots.lock().expect("MRRG cache poisoned").get(&ii) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Build outside the lock so a slow build of one II never blocks
+        // lookups of another. Two threads may race to build the same II;
+        // the graph is deterministic, so keeping the first insert is fine.
+        let built = Arc::new(cgra.mrrg(ii));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().expect("MRRG cache poisoned");
+        Arc::clone(slots.entry(ii).or_insert(built))
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to build a graph.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct IIs currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("MRRG cache poisoned").len()
+    }
+
+    /// Whether the cache holds no graphs yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CgraConfig;
+
+    #[test]
+    fn first_lookup_misses_then_hits() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = MrrgCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(&cgra, 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get_or_build(&cgra, 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_iis_get_distinct_graphs() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = MrrgCache::new();
+        let a = cache.get_or_build(&cgra, 2);
+        let b = cache.get_or_build(&cgra, 3);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.ii(), 2);
+        assert_eq!(b.ii(), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_graph() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = MrrgCache::new();
+        let graphs: Vec<Arc<Mrrg>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.get_or_build(&cgra, 4)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cgra_clones_share_the_cache() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let clone = cgra.clone();
+        let a = cgra.mrrg_shared(2);
+        let b = clone.mrrg_shared(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cgra.mrrg_cache().misses(), 1);
+        assert_eq!(cgra.mrrg_cache().hits(), 1);
+    }
+}

@@ -1,7 +1,8 @@
 //! The concrete CGRA: PEs, clusters, and physical links.
 
-use crate::{ArchError, CgraConfig, Mrrg};
+use crate::{ArchError, CgraConfig, Mrrg, MrrgCache};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of one processing element; dense `0..num_pes`, row-major.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,6 +75,9 @@ pub struct Cgra {
     links: Vec<Link>,
     /// Per-PE outgoing link indices into `links`.
     out_links: Vec<Vec<u32>>,
+    /// Shared II → MRRG cache; clones of this `Cgra` share it, since the
+    /// architecture (and hence every derived graph) is immutable.
+    mrrg_cache: Arc<MrrgCache>,
 }
 
 impl Cgra {
@@ -88,6 +92,7 @@ impl Cgra {
             links: Vec::new(),
             out_links: vec![Vec::new(); config.rows * config.cols],
             config,
+            mrrg_cache: Arc::new(MrrgCache::new()),
         };
         cgra.build_links();
         Ok(cgra)
@@ -300,6 +305,23 @@ impl Cgra {
     /// Panics when `ii == 0`.
     pub fn mrrg(&self, ii: usize) -> Mrrg {
         Mrrg::build(self, ii)
+    }
+
+    /// The cached modulo routing resource graph for `ii`, shared across
+    /// every user of this `Cgra` (and its clones): built on first request,
+    /// then returned by reference-counted handle. Prefer this over
+    /// [`Cgra::mrrg`] anywhere a graph may be requested more than once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ii == 0`.
+    pub fn mrrg_shared(&self, ii: usize) -> Arc<Mrrg> {
+        self.mrrg_cache.get_or_build(self, ii)
+    }
+
+    /// The II → MRRG cache (hit/miss counters for instrumentation).
+    pub fn mrrg_cache(&self) -> &MrrgCache {
+        &self.mrrg_cache
     }
 }
 

@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 mod adl;
+mod cache;
 mod cgra;
 mod config;
 mod mrrg;
 
 pub use adl::ParseArchError;
+pub use cache::MrrgCache;
 pub use cgra::{Cgra, ClusterId, Link, PeId};
 pub use config::{ArchError, CgraConfig};
 pub use mrrg::{Mrrg, MrrgEdge, MrrgNodeId, NodeKind};

@@ -76,7 +76,7 @@ fn bench_scatter(c: &mut Criterion) {
     use panorama_place::{map_clusters, ScatterConfig};
     let dfg = kernels::generate(KernelId::Edn, KernelScale::Scaled);
     let parts = explore_partitions(&dfg, 2, 8, &SpectralConfig::default()).unwrap();
-    let best = top_balanced(&parts, 1)[0].clone();
+    let best = top_balanced(&parts, 1)[0].1.clone();
     c.bench_function("cluster_mapping_edn_scaled_2x2", |b| {
         b.iter(|| {
             let cdg = Cdg::new(std::hint::black_box(&dfg), &best);

@@ -204,7 +204,7 @@ pub fn fig5() -> String {
             ]);
         }
         // the paper reports IF < 20% achievable for every kernel
-        let best = top_balanced(&parts, 1)[0];
+        let best = top_balanced(&parts, 1)[0].1;
         t.row(&[
             id.to_string(),
             format!("best={}", best.k()),

@@ -22,9 +22,12 @@
 pub mod ablations;
 mod experiments;
 mod format;
+mod json;
+pub mod perf;
 
 pub use experiments::{fig5, fig7, fig8, fig9, table1a, table1b};
 pub use format::Table;
+pub use perf::{BenchMapper, BenchOptions, BenchReport, KernelResult};
 
 use panorama_arch::CgraConfig;
 use panorama_dfg::KernelScale;
@@ -74,6 +77,14 @@ pub fn profile() -> Profile {
             spr_budget: Duration::from_secs(60),
         }
     }
+}
+
+/// Resolves a requested worker-pool size: `0` means one per available
+/// core, and the pool never exceeds the number of work items.
+pub fn pool_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work_items.max(1))
 }
 
 /// Geometric mean of positive values; 0 when empty or any value is 0.

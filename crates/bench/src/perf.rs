@@ -1,0 +1,460 @@
+//! The `panorama bench` performance harness.
+//!
+//! Compiles the full 12-kernel suite on two architecture presets, twice:
+//! once with the requested worker-thread count (jobs fan out over a pool
+//! *and* each compile runs its candidate portfolio in parallel), once
+//! fully sequential (`threads = 1` everywhere). It records per-kernel
+//! wall-clock and achieved II for both phases, checks the two phases
+//! produced bit-identical mappings (the portfolio's determinism guarantee,
+//! end to end), and reports the suite-level speedup.
+//!
+//! The report serialises to JSON (schema below) so CI can pin a baseline
+//! (`BENCH_PR2.json`) and fail on II drift or per-kernel wall-clock
+//! ceiling breaches — see [`BenchReport::check_against_baseline`].
+//!
+//! ```json
+//! {
+//!   "schema": "panorama-bench-v1",
+//!   "mapper": "Ultra-Fast",
+//!   "threads": 8,
+//!   "suite_wall_seconds": 1.9,
+//!   "suite_wall_seconds_single": 5.6,
+//!   "speedup": 2.9,
+//!   "kernels": [
+//!     {"kernel": "fir", "preset": "4x4", "ii": 3, "mii": 2,
+//!      "wall_seconds": 0.04, "wall_seconds_single": 0.09,
+//!      "identical": true}
+//!   ]
+//! }
+//! ```
+
+use crate::json::{self, Json};
+use panorama::{CompileReport, Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, KernelId, KernelScale};
+use panorama_mapper::{SprConfig, SprMapper, UltraFastMapper};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which lower-level mapper the harness drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BenchMapper {
+    /// The Ultra-Fast greedy mapper (fast enough for CI smoke runs).
+    #[default]
+    UltraFast,
+    /// SPR\* with a per-mapping time budget (representative, slower).
+    Spr,
+}
+
+impl BenchMapper {
+    /// Display name matching the mapper's own `name()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchMapper::UltraFast => "Ultra-Fast",
+            BenchMapper::Spr => "SPR*",
+        }
+    }
+}
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Worker threads for the parallel phase (`0` = one per core).
+    pub threads: usize,
+    /// Lower-level mapper.
+    pub mapper: BenchMapper,
+    /// Per-SPR-mapping wall-clock budget.
+    pub spr_budget: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            threads: 0,
+            mapper: BenchMapper::UltraFast,
+            spr_budget: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One kernel × preset measurement.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (paper Table 1 naming).
+    pub kernel: String,
+    /// Architecture preset (`"4x4"` / `"8x8"`).
+    pub preset: String,
+    /// Achieved initiation interval (identical across phases by
+    /// construction; checked).
+    pub ii: usize,
+    /// Static minimum II.
+    pub mii: usize,
+    /// Wall-clock of the parallel-phase compile, seconds.
+    pub wall_seconds: f64,
+    /// Wall-clock of the sequential-phase compile, seconds.
+    pub wall_seconds_single: f64,
+    /// Whether the two phases produced bit-identical mappings and plans.
+    pub identical: bool,
+}
+
+/// The full suite measurement.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Mapper driven by the harness.
+    pub mapper: &'static str,
+    /// Effective worker-thread count of the parallel phase.
+    pub threads: usize,
+    /// Parallel-phase suite wall-clock, seconds.
+    pub suite_wall_seconds: f64,
+    /// Sequential-phase suite wall-clock, seconds.
+    pub suite_wall_seconds_single: f64,
+    /// `suite_wall_seconds_single / suite_wall_seconds`.
+    pub speedup: f64,
+    /// Per-kernel rows, in suite order.
+    pub kernels: Vec<KernelResult>,
+}
+
+/// The two architecture presets the suite runs on: a 4×4 with tiny
+/// kernels and the scaled 8×8 with ~1/3-paper-size kernels.
+fn presets() -> Vec<(&'static str, CgraConfig, KernelScale)> {
+    vec![
+        ("4x4", CgraConfig::small_4x4(), KernelScale::Tiny),
+        ("8x8", CgraConfig::scaled_8x8(), KernelScale::Scaled),
+    ]
+}
+
+fn compile_job(
+    kernel: KernelId,
+    cgra: &Cgra,
+    scale: KernelScale,
+    threads: usize,
+    options: &BenchOptions,
+) -> Result<(CompileReport, f64), String> {
+    let dfg = kernels::generate(kernel, scale);
+    let compiler = Panorama::new(PanoramaConfig {
+        threads,
+        ..PanoramaConfig::default()
+    });
+    let t = Instant::now();
+    let report = match options.mapper {
+        BenchMapper::UltraFast => compiler.compile(&dfg, cgra, &UltraFastMapper::default()),
+        BenchMapper::Spr => compiler.compile(
+            &dfg,
+            cgra,
+            &SprMapper::new(SprConfig {
+                time_budget: Some(options.spr_budget),
+                ..SprConfig::default()
+            }),
+        ),
+    };
+    let wall = t.elapsed().as_secs_f64();
+    report
+        .map(|r| (r, wall))
+        .map_err(|e| format!("{kernel} on {}: {e}", cgra.config().rows))
+}
+
+/// Two compile reports describe bit-identical results: same II and
+/// per-op placement/schedule, and the same winning partition labels.
+fn reports_identical(a: &CompileReport, b: &CompileReport, dfg_ops: usize) -> bool {
+    let (ma, mb) = (a.mapping(), b.mapping());
+    if ma.ii() != mb.ii() {
+        return false;
+    }
+    let ops_match = (0..dfg_ops).all(|i| {
+        let op = panorama_dfg::OpId::from_index(i);
+        ma.pe_of(op) == mb.pe_of(op) && ma.time_of(op) == mb.time_of(op)
+    });
+    let plans_match = match (a.plan(), b.plan()) {
+        (Some(pa), Some(pb)) => pa.partition().labels() == pb.partition().labels(),
+        (None, None) => true,
+        _ => false,
+    };
+    ops_match && plans_match
+}
+
+/// Runs the suite. See the module docs for what is measured.
+///
+/// # Errors
+///
+/// Returns a human-readable message when any kernel fails to compile in
+/// either phase.
+pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
+    let presets = presets();
+    let jobs: Vec<(KernelId, usize)> = KernelId::ALL
+        .iter()
+        .flat_map(|&k| (0..presets.len()).map(move |p| (k, p)))
+        .collect();
+    let cgras: Vec<Cgra> = presets
+        .iter()
+        .map(|(_, config, _)| Cgra::new(config.clone()).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let threads = crate::pool_threads(options.threads, jobs.len());
+
+    // parallel phase: jobs fan out over the pool, each compile also runs
+    // its candidate portfolio on `threads` workers (clamped to candidates)
+    let t_par = Instant::now();
+    let parallel: Vec<Result<(CompileReport, f64), String>> = run_jobs(threads, jobs.len(), |j| {
+        let (kernel, p) = jobs[j];
+        compile_job(kernel, &cgras[p], presets[p].2, threads, options)
+    });
+    let suite_wall_seconds = t_par.elapsed().as_secs_f64();
+
+    // sequential phase: one job at a time, portfolio pinned to one thread
+    let t_seq = Instant::now();
+    let sequential: Vec<Result<(CompileReport, f64), String>> = jobs
+        .iter()
+        .map(|&(kernel, p)| compile_job(kernel, &cgras[p], presets[p].2, 1, options))
+        .collect();
+    let suite_wall_seconds_single = t_seq.elapsed().as_secs_f64();
+
+    let mut rows = Vec::with_capacity(jobs.len());
+    for (j, &(kernel, p)) in jobs.iter().enumerate() {
+        let (par_report, par_wall) = parallel[j].clone()?;
+        let (seq_report, seq_wall) = sequential[j].clone()?;
+        let dfg_ops = kernels::generate(kernel, presets[p].2).num_ops();
+        rows.push(KernelResult {
+            kernel: kernel.to_string(),
+            preset: presets[p].0.to_string(),
+            ii: par_report.mapping().ii(),
+            mii: par_report.mapping().mii(),
+            wall_seconds: par_wall,
+            wall_seconds_single: seq_wall,
+            identical: reports_identical(&par_report, &seq_report, dfg_ops),
+        });
+    }
+    let speedup = if suite_wall_seconds > 0.0 {
+        suite_wall_seconds_single / suite_wall_seconds
+    } else {
+        0.0
+    };
+    Ok(BenchReport {
+        mapper: options.mapper.name(),
+        threads,
+        suite_wall_seconds,
+        suite_wall_seconds_single,
+        speedup,
+        kernels: rows,
+    })
+}
+
+impl BenchReport {
+    /// Serialises the report with stable field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"panorama-bench-v1\",\n");
+        let _ = writeln!(out, "  \"mapper\": \"{}\",", json::escape(self.mapper));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(
+            out,
+            "  \"suite_wall_seconds\": {:.6},",
+            self.suite_wall_seconds
+        );
+        let _ = writeln!(
+            out,
+            "  \"suite_wall_seconds_single\": {:.6},",
+            self.suite_wall_seconds_single
+        );
+        let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup);
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \"mii\": {}, \
+                 \"wall_seconds\": {:.6}, \"wall_seconds_single\": {:.6}, \"identical\": {}}}",
+                json::escape(&k.kernel),
+                json::escape(&k.preset),
+                k.ii,
+                k.mii,
+                k.wall_seconds,
+                k.wall_seconds_single,
+                k.identical
+            );
+            out.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Whether every kernel's parallel and sequential compiles agreed.
+    pub fn all_identical(&self) -> bool {
+        self.kernels.iter().all(|k| k.identical)
+    }
+
+    /// CI gate: compares this (fresh) report against a checked-in baseline
+    /// JSON. Fails on
+    ///
+    /// * II drift — any kernel whose achieved II differs from the
+    ///   baseline's;
+    /// * missing kernels — a kernel present in the baseline but not here;
+    /// * wall-clock ceiling — any kernel in *either* phase slower than
+    ///   `max_kernel_seconds`;
+    /// * a parallel/sequential mismatch (`identical == false`).
+    ///
+    /// Wall-clock values in the baseline are informational only — machines
+    /// differ; the ceiling guards against pathological regressions.
+    ///
+    /// # Errors
+    ///
+    /// Returns every violation, one per line.
+    pub fn check_against_baseline(
+        &self,
+        baseline_json: &str,
+        max_kernel_seconds: f64,
+    ) -> Result<(), String> {
+        let baseline = json::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+        if baseline.get("schema").and_then(Json::as_str) != Some("panorama-bench-v1") {
+            return Err("baseline: unknown or missing schema".into());
+        }
+        let mut violations = Vec::new();
+        let rows = baseline
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("baseline: missing kernels array")?;
+        for row in rows {
+            let kernel = row.get("kernel").and_then(Json::as_str).unwrap_or("?");
+            let preset = row.get("preset").and_then(Json::as_str).unwrap_or("?");
+            let baseline_ii = row.get("ii").and_then(Json::as_f64).unwrap_or(-1.0) as i64;
+            match self
+                .kernels
+                .iter()
+                .find(|k| k.kernel == kernel && k.preset == preset)
+            {
+                None => violations.push(format!("{kernel}/{preset}: missing from fresh run")),
+                Some(fresh) => {
+                    if fresh.ii as i64 != baseline_ii {
+                        violations.push(format!(
+                            "{kernel}/{preset}: II drift (baseline {baseline_ii}, got {})",
+                            fresh.ii
+                        ));
+                    }
+                }
+            }
+        }
+        for k in &self.kernels {
+            let worst = k.wall_seconds.max(k.wall_seconds_single);
+            if worst > max_kernel_seconds {
+                violations.push(format!(
+                    "{}/{}: wall-clock {worst:.3}s exceeds ceiling {max_kernel_seconds:.3}s",
+                    k.kernel, k.preset
+                ));
+            }
+            if !k.identical {
+                violations.push(format!(
+                    "{}/{}: parallel and sequential compiles disagree",
+                    k.kernel, k.preset
+                ));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("\n"))
+        }
+    }
+}
+
+/// Runs `f(0..count)` on a scoped worker pool, results in index order.
+/// (A job-level twin of the portfolio pool in `panorama`, kept separate so
+/// the bench crate stays decoupled from pipeline internals.)
+fn run_jobs<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(count, || None);
+    let results = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                results.lock().expect("bench worker panicked")[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("bench worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every job index claimed once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            mapper: "Ultra-Fast",
+            threads: 4,
+            suite_wall_seconds: 1.0,
+            suite_wall_seconds_single: 2.5,
+            speedup: 2.5,
+            kernels: vec![KernelResult {
+                kernel: "fir".into(),
+                preset: "4x4".into(),
+                ii: 3,
+                mii: 2,
+                wall_seconds: 0.1,
+                wall_seconds_single: 0.2,
+                identical: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_parses() {
+        let text = tiny_report().to_json();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("panorama-bench-v1")
+        );
+        let rows = v.get("kernels").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("ii").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn baseline_check_flags_drift_and_ceiling() {
+        let report = tiny_report();
+        // identical baseline: clean
+        report
+            .check_against_baseline(&report.to_json(), 10.0)
+            .unwrap();
+        // II drift
+        let drifted = report.to_json().replace("\"ii\": 3", "\"ii\": 2");
+        let err = report.check_against_baseline(&drifted, 10.0).unwrap_err();
+        assert!(err.contains("II drift"), "{err}");
+        // ceiling breach
+        let err = report
+            .check_against_baseline(&report.to_json(), 0.05)
+            .unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn baseline_check_flags_missing_kernels() {
+        let mut fresh = tiny_report();
+        let baseline = fresh.to_json();
+        fresh.kernels.clear();
+        let err = fresh.check_against_baseline(&baseline, 10.0).unwrap_err();
+        assert!(err.contains("missing from fresh run"), "{err}");
+    }
+}

@@ -22,9 +22,10 @@
 //!
 //! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
 //! let parts = explore_partitions(&dfg, 2, 5, &SpectralConfig::default())?;
+//! // each entry is (index into `parts`, the partition itself)
 //! let best = top_balanced(&parts, 3);
-//! let cdg = Cdg::new(&dfg, best[0]);
-//! assert_eq!(cdg.num_clusters(), best[0].k());
+//! let cdg = Cdg::new(&dfg, best[0].1);
+//! assert_eq!(cdg.num_clusters(), best[0].1.k());
 //! # Ok::<(), panorama_cluster::ClusterError>(())
 //! ```
 //!

@@ -240,10 +240,12 @@ pub fn explore_partitions(
 }
 
 /// Algorithm 1 line 5: the `take` most balanced partitions (lowest
-/// imbalance factor; ties broken toward fewer clusters).
-pub fn top_balanced(parts: &[Partition], take: usize) -> Vec<&Partition> {
-    let mut ranked: Vec<&Partition> = parts.iter().collect();
-    ranked.sort_by(|a, b| {
+/// imbalance factor; ties broken toward fewer clusters), each paired with
+/// its index in `parts` so downstream stages can refer to candidates
+/// without re-searching the slice.
+pub fn top_balanced(parts: &[Partition], take: usize) -> Vec<(usize, &Partition)> {
+    let mut ranked: Vec<(usize, &Partition)> = parts.iter().enumerate().collect();
+    ranked.sort_by(|(_, a), (_, b)| {
         a.imbalance_factor()
             .partial_cmp(&b.imbalance_factor())
             .expect("IF is finite")
@@ -330,8 +332,10 @@ mod tests {
             Partition::new(vec![0, 1, 2, 0], 3), // IF 0.25
         ];
         let top = top_balanced(&parts, 2);
-        assert_eq!(top[0].imbalance_factor(), 0.0);
-        assert!((top[1].imbalance_factor() - 0.25).abs() < 1e-12);
+        assert_eq!(top[0].0, 1, "index of the IF-0 partition");
+        assert_eq!(top[0].1.imbalance_factor(), 0.0);
+        assert_eq!(top[1].0, 2);
+        assert!((top[1].1.imbalance_factor() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -342,9 +346,9 @@ mod tests {
             let parts = explore_partitions(&dfg, 4, 12, &SpectralConfig::default()).unwrap();
             let best = top_balanced(&parts, 1);
             assert!(
-                best[0].imbalance_factor() < 0.35,
+                best[0].1.imbalance_factor() < 0.35,
                 "{id}: IF {}",
-                best[0].imbalance_factor()
+                best[0].1.imbalance_factor()
             );
         }
     }
@@ -354,7 +358,7 @@ mod tests {
         // Table 1a: Intra-E >> Inter-E
         let dfg = kernels::generate(KernelId::IdctCols, KernelScale::Scaled);
         let parts = explore_partitions(&dfg, 4, 10, &SpectralConfig::default()).unwrap();
-        let best = top_balanced(&parts, 1)[0];
+        let best = top_balanced(&parts, 1)[0].1;
         assert!(best.intra_edges(&dfg) > best.inter_edges(&dfg));
     }
 

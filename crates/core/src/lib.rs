@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod pipeline;
+mod portfolio;
 mod report;
 
 pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};

@@ -1,14 +1,18 @@
 //! The PANORAMA compilation pipeline (paper Algorithm 1).
 
+use crate::portfolio::{effective_threads, run_indexed};
 use crate::report::{CompileReport, HigherLevelPlan};
 use panorama_arch::Cgra;
-use panorama_cluster::{explore_partitions, top_balanced, Cdg, ClusterError, SpectralConfig};
+use panorama_cluster::{
+    explore_partitions, top_balanced, Cdg, ClusterError, Partition, SpectralConfig,
+};
 use panorama_dfg::Dfg;
 use panorama_lint::{precheck, Diagnostic, Diagnostics};
-use panorama_mapper::{LowerLevelMapper, MapError, Restriction};
+use panorama_mapper::{LowerLevelMapper, MapError, PortfolioBound, Restriction, SearchControl};
 use panorama_place::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tunables of the higher-level mapping.
@@ -27,6 +31,11 @@ pub struct PanoramaConfig {
     /// the static minimum II, instead of letting a mapper search an empty
     /// II range.
     pub max_ii: Option<usize>,
+    /// Worker threads for the candidate portfolio (cluster mapping and
+    /// guided lower-level mapping run per-candidate in parallel). `0`
+    /// means one per available core. The compile result is bit-identical
+    /// for every value — parallelism only changes wall-clock.
+    pub threads: usize,
 }
 
 impl Default for PanoramaConfig {
@@ -37,6 +46,7 @@ impl Default for PanoramaConfig {
             spectral: SpectralConfig::default(),
             scatter: ScatterConfig::default(),
             max_ii: None,
+            threads: 0,
         }
     }
 }
@@ -137,6 +147,72 @@ impl Panorama {
         }
     }
 
+    /// Spectral exploration (Algorithm 1 lines 1–4). Returns the explored
+    /// partitions and the clustering wall-clock.
+    fn explore(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+    ) -> Result<(Vec<Partition>, std::time::Duration), PanoramaError> {
+        let (rows, cols) = cgra.cluster_grid();
+        let t0 = Instant::now();
+        // Cap the exploration so clusters keep a sensible minimum size —
+        // all-singleton partitions are perfectly "balanced" (IF = 0) but
+        // defeat the divide step. The paper's `m = 32` is twice its 16
+        // CGRA cells; scale the same way, and never below ~8 DFG nodes per
+        // cluster (Table 1a has ~15–40 per cluster at ~430 nodes).
+        let r = rows.max(2);
+        let m = (2 * rows * cols)
+            .min(dfg.num_ops() / 8)
+            .clamp(r, self.config.max_dfg_clusters.max(r));
+        let partitions = explore_partitions(dfg, r, m, &self.config.spectral)?;
+        Ok((partitions, t0.elapsed()))
+    }
+
+    /// Cluster-maps the top-`N` balanced candidates, one scattering ILP
+    /// per candidate fanned out over the portfolio worker pool. Results
+    /// come back in balance-rank order, each `(partition index, attempt)`.
+    #[allow(clippy::type_complexity)]
+    fn cluster_map_candidates(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        partitions: &[Partition],
+    ) -> Vec<(usize, Result<(Cdg, ClusterMap), PlaceError>)> {
+        let (rows, cols) = cgra.cluster_grid();
+        let ranked = top_balanced(partitions, self.config.top_partitions);
+        let threads = effective_threads(self.config.threads, ranked.len());
+        run_indexed(threads, ranked.len(), |rank| {
+            let (idx, part) = ranked[rank];
+            let cdg = Cdg::new(dfg, part);
+            let attempt = map_clusters(&cdg, rows, cols, &self.config.scatter).map(|m| (cdg, m));
+            (idx, attempt)
+        })
+    }
+
+    /// Debug-mode invariant: the higher-level artifacts we just built must
+    /// survive their own static analysis. A failure here is a bug in the
+    /// divide step, not in the input.
+    #[allow(unused_variables)]
+    fn assert_plan_invariants(
+        &self,
+        dfg: &Dfg,
+        partition: &Partition,
+        cdg: &Cdg,
+        restriction: &Restriction,
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            let mut diags = Diagnostics::new();
+            panorama_lint::lint_partition(dfg, partition, cdg, Some(restriction), &mut diags);
+            debug_assert!(
+                !diags.has_errors(),
+                "higher-level plan violates partition invariants:\n{}",
+                diags.render_human()
+            );
+        }
+    }
+
     /// Runs the higher-level mapping only (Algorithm 1 lines 1–9):
     /// clustering exploration, top-`N` partition selection, cluster
     /// mapping per candidate, and selection by least routing complexity.
@@ -151,37 +227,21 @@ impl Panorama {
     ///   admits a cluster mapping.
     pub fn plan(&self, dfg: &Dfg, cgra: &Cgra) -> Result<HigherLevelPlan, PanoramaError> {
         self.preflight(dfg, cgra, None)?;
-        let (rows, cols) = cgra.cluster_grid();
-
-        let t0 = Instant::now();
-        // Cap the exploration so clusters keep a sensible minimum size —
-        // all-singleton partitions are perfectly "balanced" (IF = 0) but
-        // defeat the divide step. The paper's `m = 32` is twice its 16
-        // CGRA cells; scale the same way, and never below ~8 DFG nodes per
-        // cluster (Table 1a has ~15–40 per cluster at ~430 nodes).
-        let r = rows.max(2);
-        let m = (2 * rows * cols)
-            .min(dfg.num_ops() / 8)
-            .clamp(r, self.config.max_dfg_clusters.max(r));
-        let partitions = explore_partitions(dfg, r, m, &self.config.spectral)?;
-        let clustering_time = t0.elapsed();
+        let (partitions, clustering_time) = self.explore(dfg, cgra)?;
 
         let t1 = Instant::now();
-        let candidates = top_balanced(&partitions, self.config.top_partitions);
+        // Deterministic reduction over the parallel attempts: least
+        // routing complexity wins, ties go to the best balance rank (the
+        // iteration order of the candidates).
         let mut best: Option<(usize, Cdg, ClusterMap)> = None;
         let mut last_err: Option<PlaceError> = None;
-        for part in candidates {
-            let cdg = Cdg::new(dfg, part);
-            match map_clusters(&cdg, rows, cols, &self.config.scatter) {
-                Ok(map) => {
+        for (idx, attempt) in self.cluster_map_candidates(dfg, cgra, &partitions) {
+            match attempt {
+                Ok((cdg, map)) => {
                     let better = best
                         .as_ref()
                         .is_none_or(|(_, _, b)| map.routing_complexity() < b.routing_complexity());
                     if better {
-                        let idx = partitions
-                            .iter()
-                            .position(|p| p == part)
-                            .expect("candidate comes from partitions");
                         best = Some((idx, cdg, map));
                     }
                 }
@@ -196,26 +256,7 @@ impl Panorama {
             ));
         };
         let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
-
-        // Debug-mode invariant: the higher-level artifacts we just built
-        // must survive their own static analysis. A failure here is a bug
-        // in the divide step, not in the input.
-        #[cfg(debug_assertions)]
-        {
-            let mut diags = Diagnostics::new();
-            panorama_lint::lint_partition(
-                dfg,
-                &partitions[idx],
-                &cdg,
-                Some(&restriction),
-                &mut diags,
-            );
-            debug_assert!(
-                !diags.has_errors(),
-                "higher-level plan violates partition invariants:\n{}",
-                diags.render_human()
-            );
-        }
+        self.assert_plan_invariants(dfg, &partitions[idx], &cdg, &restriction);
 
         // Re-check mappability with the restriction in hand: the
         // per-cluster-group capacity bound can prove this particular
@@ -232,25 +273,148 @@ impl Panorama {
         ))
     }
 
-    /// Runs the full pipeline: [`plan`](Panorama::plan), then the given
-    /// lower-level `mapper` guided by the resulting restriction
-    /// (Algorithm 1 line 10).
+    /// Runs the full pipeline with a *portfolio* conquer phase: every
+    /// candidate partition that survives cluster mapping and the restricted
+    /// pre-flight check is handed to the lower-level `mapper` on the
+    /// worker pool, with a shared best-II bound for early cancellation
+    /// (Algorithm 1 line 10, widened across candidates).
+    ///
+    /// The winner is reduced deterministically by *(achieved II, cluster
+    /// routing complexity, candidate rank)*, so the report is bit-identical
+    /// for every [`PanoramaConfig::threads`] value — including `1`.
     ///
     /// # Errors
     ///
-    /// Everything [`plan`](Panorama::plan) returns, plus
-    /// [`PanoramaError::Mapping`] when the guided lower-level mapping
-    /// fails.
+    /// * [`PanoramaError::Infeasible`] when the pre-flight check proves the
+    ///   run (or every surviving candidate) hopeless;
+    /// * [`PanoramaError::Cluster`] when spectral clustering fails;
+    /// * [`PanoramaError::ClusterMapping`] when no candidate partition
+    ///   admits a cluster mapping;
+    /// * [`PanoramaError::Mapping`] when every candidate's guided
+    ///   lower-level mapping fails.
     pub fn compile<M: LowerLevelMapper>(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
         mapper: &M,
     ) -> Result<CompileReport, PanoramaError> {
-        let plan = self.plan(dfg, cgra)?;
-        let t = Instant::now();
-        let mapping = mapper.map(dfg, cgra, Some(plan.restriction()))?;
-        let mapping_time = t.elapsed();
+        self.preflight(dfg, cgra, None)?;
+        let (partitions, clustering_time) = self.explore(dfg, cgra)?;
+
+        let t1 = Instant::now();
+        struct Candidate {
+            rank: usize,
+            partition_index: usize,
+            cdg: Cdg,
+            cluster_map: ClusterMap,
+            restriction: Restriction,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut last_place_err: Option<PlaceError> = None;
+        let mut first_infeasible: Option<Vec<Diagnostic>> = None;
+        for (rank, (idx, attempt)) in self
+            .cluster_map_candidates(dfg, cgra, &partitions)
+            .into_iter()
+            .enumerate()
+        {
+            match attempt {
+                Ok((cdg, cluster_map)) => {
+                    let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
+                    self.assert_plan_invariants(dfg, &partitions[idx], &cdg, &restriction);
+                    // Restricted pre-flight: candidates the static bounds
+                    // prove hopeless cannot produce a mapping, so they
+                    // never enter the portfolio.
+                    match self.preflight(dfg, cgra, Some(&restriction)) {
+                        Ok(()) => candidates.push(Candidate {
+                            rank,
+                            partition_index: idx,
+                            cdg,
+                            cluster_map,
+                            restriction,
+                        }),
+                        Err(PanoramaError::Infeasible(diags)) => {
+                            if first_infeasible.is_none() {
+                                first_infeasible = Some(diags);
+                            }
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+                Err(e) => last_place_err = Some(e),
+            }
+        }
+        let cluster_mapping_time = t1.elapsed();
+
+        if candidates.is_empty() {
+            return Err(match (first_infeasible, last_place_err) {
+                (Some(diags), _) => PanoramaError::Infeasible(diags),
+                (None, Some(e)) => PanoramaError::ClusterMapping(e),
+                (None, None) => unreachable!("top_balanced yields at least one candidate"),
+            });
+        }
+
+        // Conquer portfolio: likely winners (lowest routing complexity)
+        // first, so the shared bound starts pruning early. The execution
+        // order affects only wall-clock — see the reduction below.
+        candidates.sort_by_key(|c| (c.cluster_map.routing_complexity(), c.rank));
+        let threads = effective_threads(self.config.threads, candidates.len());
+        let bound = PortfolioBound::new();
+        let t2 = Instant::now();
+        let outcomes = run_indexed(threads, candidates.len(), |i| {
+            let c = &candidates[i];
+            let control = SearchControl::new(
+                Arc::clone(&bound),
+                c.cluster_map.routing_complexity(),
+                c.rank,
+            );
+            mapper.map_with_control(dfg, cgra, Some(&c.restriction), Some(&control))
+        });
+        let mapping_time = t2.elapsed();
+
+        // Deterministic reduction: lowest (achieved II, routing
+        // complexity, candidate rank). The bound admits exactly the keys
+        // that would win here, so pruned candidates can never be the
+        // winner and the result is thread-count-invariant.
+        let mut best: Option<(u64, usize)> = None;
+        let mut first_map_err: Option<(usize, MapError)> = None;
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let c = &candidates[i];
+            match outcome {
+                Ok(mapping) => {
+                    let key = SearchControl::reduction_key(
+                        mapping.ii(),
+                        c.cluster_map.routing_complexity(),
+                        c.rank,
+                    );
+                    if best.as_ref().is_none_or(|&(b, _)| key < b) {
+                        best = Some((key, i));
+                    }
+                }
+                Err(e) => {
+                    if first_map_err.as_ref().is_none_or(|&(r, _)| c.rank < r) {
+                        first_map_err = Some((c.rank, e.clone()));
+                    }
+                }
+            }
+        }
+        let Some((_, winner)) = best else {
+            let (_, e) = first_map_err.expect("no success implies at least one failure");
+            return Err(PanoramaError::Mapping(e));
+        };
+        let mapping = outcomes
+            .into_iter()
+            .nth(winner)
+            .expect("winner index in range")
+            .expect("winner is a success");
+        let c = candidates.swap_remove(winner);
+        let plan = HigherLevelPlan::new(
+            partitions[c.partition_index].clone(),
+            c.cdg,
+            c.cluster_map,
+            c.restriction,
+            clustering_time,
+            cluster_mapping_time,
+        );
         Ok(CompileReport::new(mapping, Some(plan), mapping_time))
     }
 

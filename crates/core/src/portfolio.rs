@@ -1,0 +1,84 @@
+//! Parallel candidate-portfolio machinery.
+//!
+//! The divide phase produces a small ranked set of partition candidates;
+//! both the cluster-mapping ILPs and the guided lower-level mapping runs
+//! are independent across candidates, so the pipeline fans them out over
+//! a scoped worker pool. Determinism is preserved by construction: workers
+//! only *compute*, the reduction over their results is sequential and
+//! keyed by a total order, and the shared [`PortfolioBound`] prunes a
+//! candidate only when nothing it could still produce would win that
+//! reduction — so the outcome is bit-identical for any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means one per available core,
+/// and there is never a reason to spawn more workers than work items.
+pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work_items.max(1))
+}
+
+/// Runs `f(0..count)` on `threads` scoped workers and returns the results
+/// in index order. With one thread (or one item) no worker is spawned —
+/// the closures run inline on the caller's stack, which keeps the
+/// sequential path free of synchronisation entirely.
+pub(crate) fn run_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(count, || None);
+    let results = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                results.lock().expect("portfolio worker panicked")[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("portfolio worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_clamps_to_work() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 3), 2);
+        assert_eq!(effective_threads(1, 0), 1);
+        assert!(effective_threads(0, 64) >= 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for threads in [1, 2, 4] {
+            let out = run_indexed(threads, 9, |i| i * i);
+            assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+}

@@ -94,7 +94,7 @@ impl Configware {
             .routes()
             .expect("configuration needs concrete routes (SPR-style mapping)");
         let ii = mapping.ii();
-        let mrrg = cgra.mrrg(ii);
+        let mrrg = cgra.mrrg_shared(ii);
         let mut words: BTreeMap<(PeId, usize), ConfigWord> = BTreeMap::new();
 
         // FU operations
@@ -272,7 +272,7 @@ mod tests {
         // configuration must program the corresponding latch
         let dfg = kernels::generate(KernelId::Edn, KernelScale::Tiny);
         let (cgra, mapping) = mapped(&dfg);
-        let mrrg = cgra.mrrg(mapping.ii());
+        let mrrg = cgra.mrrg_shared(mapping.ii());
         let routes_use_regs = mapping
             .routes()
             .unwrap()

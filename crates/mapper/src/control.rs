@@ -1,0 +1,156 @@
+//! Cooperative bounding of portfolio II searches.
+//!
+//! The pipeline maps several partition candidates concurrently and keeps
+//! the best result under the deterministic ordering *(achieved II, cluster
+//! routing complexity, candidate index)*. [`PortfolioBound`] holds that
+//! ordering's current minimum packed into one atomic word; each candidate's
+//! [`SearchControl`] asks, before every II attempt, whether a success at
+//! that II could still beat the bound. Because the bound only ever
+//! tightens, and a candidate is only pruned when *nothing it could still
+//! produce* would win the final reduction, pruning never changes the
+//! winner — the portfolio's outcome is identical for any thread count or
+//! completion order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Packs the reduction key `(ii, routing_complexity, candidate_index)`
+/// into one `u64` preserving lexicographic order: II in the top 16 bits,
+/// complexity in the middle 32, index in the low 16.
+fn pack(ii: usize, complexity: u32, index: usize) -> u64 {
+    let ii = ii.min(u16::MAX as usize) as u64;
+    let index = index.min(u16::MAX as usize) as u64;
+    (ii << 48) | (u64::from(complexity) << 16) | index
+}
+
+/// The portfolio-wide best result seen so far, shared by every candidate.
+#[derive(Debug)]
+pub struct PortfolioBound {
+    best: AtomicU64,
+}
+
+impl Default for PortfolioBound {
+    fn default() -> Self {
+        PortfolioBound {
+            best: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl PortfolioBound {
+    /// A fresh bound admitting everything.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PortfolioBound::default())
+    }
+
+    /// Records a completed mapping; the bound keeps the minimum key.
+    fn record(&self, ii: usize, complexity: u32, index: usize) {
+        self.best
+            .fetch_min(pack(ii, complexity, index), Ordering::SeqCst);
+    }
+
+    fn admits(&self, key: u64) -> bool {
+        key < self.best.load(Ordering::SeqCst)
+    }
+}
+
+/// One candidate's view of the shared [`PortfolioBound`]: carries the
+/// candidate's fixed tie-break fields (cluster-mapping routing complexity
+/// and candidate index) so mappers only have to supply the II.
+///
+/// Mappers search II ascending, so once [`SearchControl::admits`] returns
+/// `false` it stays `false` for every higher II — giving up on the whole
+/// candidate is safe.
+#[derive(Debug, Clone)]
+pub struct SearchControl {
+    bound: Arc<PortfolioBound>,
+    complexity: u32,
+    index: usize,
+}
+
+impl SearchControl {
+    /// A control for candidate `index` whose cluster mapping scored
+    /// `complexity`, sharing `bound` with its siblings.
+    pub fn new(bound: Arc<PortfolioBound>, complexity: u32, index: usize) -> Self {
+        SearchControl {
+            bound,
+            complexity,
+            index,
+        }
+    }
+
+    /// Whether a mapping achieved at `ii` would still win the portfolio's
+    /// deterministic reduction.
+    pub fn admits(&self, ii: usize) -> bool {
+        self.bound.admits(pack(ii, self.complexity, self.index))
+    }
+
+    /// Reports a successful mapping at `ii`, tightening the shared bound
+    /// so sibling candidates can stop earlier.
+    pub fn record_success(&self, ii: usize) {
+        self.bound.record(ii, self.complexity, self.index);
+    }
+
+    /// The packed reduction key for `(ii, complexity, index)` — exposed so
+    /// the portfolio's sequential reduction compares results under exactly
+    /// the total order the bound prunes against.
+    pub fn reduction_key(ii: usize, complexity: u32, index: usize) -> u64 {
+        pack(ii, complexity, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_preserves_lexicographic_order() {
+        assert!(pack(2, 999, 9) < pack(3, 0, 0));
+        assert!(pack(3, 1, 9) < pack(3, 2, 0));
+        assert!(pack(3, 2, 0) < pack(3, 2, 1));
+        // saturation keeps order sane at the extremes
+        assert!(pack(70_000, 0, 0) <= pack(70_001, 0, 0));
+    }
+
+    #[test]
+    fn fresh_bound_admits_everything() {
+        let bound = PortfolioBound::new();
+        // the worst representable candidate short of full saturation (a
+        // fully saturated key equals the fresh bound and is the one value
+        // never admitted — it cannot win any reduction anyway)
+        let ctl = SearchControl::new(bound, u32::MAX, u16::MAX as usize - 1);
+        assert!(ctl.admits(u16::MAX as usize));
+    }
+
+    #[test]
+    fn recorded_success_prunes_losers_but_not_potential_winners() {
+        let bound = PortfolioBound::new();
+        let winner = SearchControl::new(Arc::clone(&bound), 5, 0);
+        let lower_complexity = SearchControl::new(Arc::clone(&bound), 4, 1);
+        let higher_complexity = SearchControl::new(Arc::clone(&bound), 6, 2);
+        winner.record_success(3);
+        // strictly worse II: pruned regardless of tie-break fields
+        assert!(!lower_complexity.admits(4));
+        // same II, better complexity: still worth trying
+        assert!(lower_complexity.admits(3));
+        // same II, worse complexity: pruned
+        assert!(!higher_complexity.admits(3));
+        // better II: always worth trying
+        assert!(higher_complexity.admits(2));
+    }
+
+    #[test]
+    fn bound_keeps_the_minimum() {
+        let bound = PortfolioBound::new();
+        let a = SearchControl::new(Arc::clone(&bound), 1, 0);
+        let b = SearchControl::new(Arc::clone(&bound), 1, 1);
+        a.record_success(4);
+        b.record_success(2);
+        a.record_success(5); // later, worse: ignored
+                             // bound is b's (ii 2, complexity 1, index 1): a at ii 2 would still
+                             // win the index tie-break, b itself would not
+        assert!(a.admits(2));
+        assert!(!b.admits(2));
+        assert!(!a.admits(3));
+    }
+}

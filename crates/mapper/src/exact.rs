@@ -212,6 +212,7 @@ impl LowerLevelMapper for ExactMapper {
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
         let mut stats = MappingStats::default();
+        let mut scratch = crate::router::RouterScratch::new();
         for ii in mii..=max_ii {
             stats.ii_attempts += 1;
             let Ok(times) = modulo_schedule(dfg, ii, cgra.num_pes(), cgra.num_mem_pes().max(1))
@@ -228,8 +229,8 @@ impl LowerLevelMapper for ExactMapper {
                 fu_used: HashMap::new(), // router does not consult FU slots
                 ii,
             };
-            let mrrg = cgra.mrrg(ii);
-            let mut history = Vec::new();
+            let mrrg = cgra.mrrg_shared(ii);
+            scratch.reset_for_ii();
             let outcome = route_all(
                 &mrrg,
                 cgra,
@@ -237,7 +238,7 @@ impl LowerLevelMapper for ExactMapper {
                 &state,
                 &times,
                 &RouterConfig::default(),
-                &mut history,
+                &mut scratch,
             );
             stats.router_iterations += outcome.iterations;
             if outcome.is_clean() {

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod configware;
+mod control;
 mod exact;
 mod mapping;
 mod mii;
@@ -52,6 +53,7 @@ mod stats;
 mod ultrafast;
 
 pub use configware::{ConfigWord, Configware, ValueSource};
+pub use control::{PortfolioBound, SearchControl};
 pub use exact::{ExactConfig, ExactMapper};
 pub use mapping::{Mapping, MappingStats, Route, VerifyError};
 pub use mii::{critical_recurrences, min_ii, restricted_min_ii, MiiReport};
@@ -68,7 +70,11 @@ use panorama_dfg::Dfg;
 /// A lower-level mapper that PANORAMA's higher-level cluster mapping can
 /// guide (paper §3.3: "Panorama is a portable higher-level mapper which
 /// can be combined with any lower-level CGRA mapper").
-pub trait LowerLevelMapper {
+///
+/// `Sync` is required so the portfolio pipeline can drive one mapper from
+/// several candidate worker threads; mappers are plain configuration
+/// structs, so this holds trivially.
+pub trait LowerLevelMapper: Sync {
     /// Maps `dfg` onto `cgra`. When `restriction` is given, each operation
     /// may only be placed inside its assigned CGRA clusters.
     ///
@@ -82,6 +88,28 @@ pub trait LowerLevelMapper {
         cgra: &Cgra,
         restriction: Option<&Restriction>,
     ) -> Result<Mapping, MapError>;
+
+    /// Like [`map`](LowerLevelMapper::map), but consulted by a portfolio
+    /// search: before each II attempt the mapper should ask
+    /// [`SearchControl::admits`] and give up once the answer is `false`
+    /// (II searches ascend, so the answer stays `false`), and report
+    /// successes via [`SearchControl::record_success`]. The default
+    /// implementation ignores the control and maps normally — correct for
+    /// mappers without an incremental II search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when no admissible mapping is found.
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+    ) -> Result<Mapping, MapError> {
+        let _ = control;
+        self.map(dfg, cgra, restriction)
+    }
 
     /// Short mapper name for reports ("SPR*", "Ultra-Fast").
     fn name(&self) -> &'static str;

@@ -161,7 +161,7 @@ impl Mapping {
         if routes.len() != dfg.num_deps() {
             return Err(VerifyError::WrongShape);
         }
-        let mrrg = cgra.mrrg(self.ii);
+        let mrrg = cgra.mrrg_shared(self.ii);
         // fan-out edges of one producer broadcast a single physical value,
         // so occupancy counts *distinct producers* per node
         let mut usage: HashMap<MrrgNodeId, std::collections::HashSet<u32>> = HashMap::new();

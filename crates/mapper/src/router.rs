@@ -8,13 +8,19 @@
 //! cost across iterations, until either every capacity is respected or the
 //! iteration budget runs out (placement then changes via simulated
 //! annealing, Algorithm 2 lines 9–15).
+//!
+//! This is the hottest loop in the toolchain, so the per-signal A* runs on
+//! flat `Vec`-backed tables indexed by `(elapsed, MRRG node)` and
+//! invalidated by generation stamps — no hashing, and no per-signal
+//! clearing. All buffers live in a [`RouterScratch`] reused across
+//! signals, PathFinder iterations, and annealing rounds.
 
 use crate::mapping::Route;
 use crate::placement::PlacementState;
 use panorama_arch::{Cgra, Mrrg, MrrgNodeId, PeId};
 use panorama_dfg::Dfg;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// PathFinder tunables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,8 +69,238 @@ impl RouteOutcome {
     }
 }
 
-/// Routes every DFG dependency; `history` persists across calls so
-/// congestion knowledge survives placement repair rounds.
+/// One signal to route: a DFG dependency lowered against the current
+/// placement and schedule.
+struct Signal {
+    edge_index: usize,
+    producer: u32,
+    src_pe: PeId,
+    dst_pe: PeId,
+    start_time: usize,
+    dst_slot: usize,
+    delta: i64,
+}
+
+/// Reusable routing state: A* tables, the priority heap, per-producer
+/// claim marks, congestion history, and per-iteration base costs. Created
+/// once per II attempt and threaded through every `route_all` call of the
+/// annealing loop, so the hot path never allocates.
+pub(crate) struct RouterScratch {
+    /// Generation stamp per `(elapsed, node)` A* state; a state is live
+    /// only when its stamp equals the current generation.
+    stamp: Vec<u32>,
+    /// Best g-cost per live state.
+    best: Vec<f64>,
+    /// Predecessor state key per live state (`u32::MAX` = none).
+    parent: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<HeapEntry>,
+    /// Per-node stamp marking nodes already claimed by the current
+    /// producer's broadcast tree (shared fan-out routes cost ~nothing).
+    claimed_stamp: Vec<u32>,
+    claimed_generation: u32,
+    /// `1 + history` per node, refreshed once per PathFinder iteration so
+    /// the A* inner loop pays one multiply instead of a float add per
+    /// visit.
+    base_cost: Vec<f64>,
+    /// Persistent congestion history (per II attempt, across annealing
+    /// rounds).
+    history: Vec<f32>,
+    /// Per-node usage of the current iteration.
+    usage: Vec<u16>,
+    signals: Vec<Signal>,
+}
+
+impl RouterScratch {
+    pub fn new() -> Self {
+        RouterScratch {
+            stamp: Vec::new(),
+            best: Vec::new(),
+            parent: Vec::new(),
+            generation: 0,
+            heap: BinaryHeap::new(),
+            claimed_stamp: Vec::new(),
+            claimed_generation: 0,
+            base_cost: Vec::new(),
+            history: Vec::new(),
+            usage: Vec::new(),
+            signals: Vec::new(),
+        }
+    }
+
+    /// Forgets congestion history; call when moving to a new II attempt
+    /// (the MRRG, and hence every node index, changes meaning).
+    pub fn reset_for_ii(&mut self) {
+        self.history.clear();
+        // Node counts change between IIs, so stamped state sizes change
+        // too; dropping the stamps (cheap — they are reused allocations)
+        // keeps stale small-II entries from aliasing large-II states.
+        self.stamp.clear();
+        self.claimed_stamp.clear();
+        self.generation = 0;
+        self.claimed_generation = 0;
+    }
+
+    /// Sizes every per-node / per-state table for `num_nodes` MRRG nodes
+    /// and signal slacks up to `max_delta`.
+    fn ensure_capacity(&mut self, num_nodes: usize, max_delta: usize) {
+        let states = num_nodes * (max_delta + 1);
+        if self.stamp.len() < states {
+            self.stamp.resize(states, 0);
+            self.best.resize(states, 0.0);
+            self.parent.resize(states, u32::MAX);
+        }
+        if self.claimed_stamp.len() < num_nodes {
+            self.claimed_stamp.resize(num_nodes, 0);
+        }
+        self.history.resize(num_nodes, 0.0);
+        self.usage.resize(num_nodes, 0);
+        if self.base_cost.len() < num_nodes {
+            self.base_cost.resize(num_nodes, 1.0);
+        }
+    }
+
+    /// Refreshes the per-node base costs from the congestion history;
+    /// once per PathFinder iteration.
+    fn refresh_base_costs(&mut self, num_nodes: usize) {
+        for n in 0..num_nodes {
+            self.base_cost[n] = 1.0 + f64::from(self.history[n]);
+        }
+    }
+
+    /// Advances the A* generation, invalidating every stamped state
+    /// without touching memory (stamps wrap safely: on overflow the table
+    /// is zeroed once).
+    fn next_generation(&mut self) -> u32 {
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Starts a new producer group: previously claimed nodes become
+    /// unclaimed, again without clearing.
+    fn next_claim_generation(&mut self) {
+        if self.claimed_generation == u32::MAX {
+            self.claimed_stamp.fill(0);
+            self.claimed_generation = 0;
+        }
+        self.claimed_generation += 1;
+    }
+
+    /// A* over `(MRRG node, elapsed cycles)`: finds a cheapest path from
+    /// the producer's `Out` to any node feeding the consumer's FU with
+    /// *exactly* `delta` time advances.
+    #[allow(clippy::too_many_arguments)]
+    fn route_one(
+        &mut self,
+        mrrg: &Mrrg,
+        cgra: &Cgra,
+        src_pe: PeId,
+        dst_pe: PeId,
+        start_time: usize,
+        delta: i64,
+        dst_slot: usize,
+        present: f64,
+        max_expansions: usize,
+    ) -> Option<Vec<MrrgNodeId>> {
+        if delta < 1 {
+            return None;
+        }
+        let delta = delta as u32;
+        let num_nodes = mrrg.num_nodes();
+        let generation = self.next_generation();
+        let start = mrrg.out(src_pe, start_time);
+        let goal_in = mrrg.input(dst_pe, dst_slot);
+        let goal_rr = mrrg.reg_read(dst_pe, dst_slot);
+
+        let node_cost = |scratch: &Self, n: MrrgNodeId| -> f64 {
+            let cap = mrrg.capacity(n);
+            if cap == u16::MAX {
+                return 0.05; // topology nodes are nearly free
+            }
+            let i = n.index();
+            if scratch.claimed_stamp[i] == scratch.claimed_generation
+                && scratch.claimed_generation > 0
+            {
+                return 0.02; // this producer already broadcasts here
+            }
+            let over = (f64::from(scratch.usage[i]) + 1.0 - f64::from(cap)).max(0.0);
+            scratch.base_cost[i] * (1.0 + over * present)
+        };
+        let heuristic = |n: MrrgNodeId| cgra.manhattan(mrrg.pe_of(n), dst_pe) as f64;
+
+        self.heap.clear();
+        let g0 = node_cost(self, start);
+        let start_key = start.index() as u32; // elapsed 0 ⇒ key = node index
+        self.stamp[start_key as usize] = generation;
+        self.best[start_key as usize] = g0;
+        self.parent[start_key as usize] = u32::MAX;
+        self.heap.push(HeapEntry {
+            f: g0 + heuristic(start),
+            key: start_key,
+        });
+
+        let mut expansions = 0usize;
+        while let Some(HeapEntry { key, .. }) = self.heap.pop() {
+            let node = MrrgNodeId::from_index(key as usize % num_nodes);
+            let elapsed = key / num_nodes as u32;
+            let g = self.best[key as usize];
+            expansions += 1;
+            if expansions > max_expansions {
+                return None;
+            }
+            if elapsed == delta && (node == goal_in || node == goal_rr) {
+                // reconstruct
+                let mut path = vec![node];
+                let mut cur = key;
+                while self.parent[cur as usize] != u32::MAX {
+                    cur = self.parent[cur as usize];
+                    path.push(MrrgNodeId::from_index(cur as usize % num_nodes));
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for edge in mrrg.out_edges(node) {
+                // never route *through* an FU: compute slots belong to
+                // placed ops (consumption happens past the path's terminal
+                // node)
+                if matches!(mrrg.kind(edge.dst), panorama_arch::NodeKind::Fu) {
+                    continue;
+                }
+                let ne = elapsed + u32::from(edge.advance);
+                if ne > delta {
+                    continue;
+                }
+                // reachability prune: remaining advances must cover the
+                // distance
+                let remaining = (delta - ne) as usize;
+                if cgra.manhattan(mrrg.pe_of(edge.dst), dst_pe) > remaining {
+                    continue;
+                }
+                let ng = g + node_cost(self, edge.dst);
+                let nkey = ne * num_nodes as u32 + edge.dst.index() as u32;
+                let ni = nkey as usize;
+                if self.stamp[ni] != generation || ng < self.best[ni] - 1e-12 {
+                    self.stamp[ni] = generation;
+                    self.best[ni] = ng;
+                    self.parent[ni] = key;
+                    self.heap.push(HeapEntry {
+                        f: ng + heuristic(edge.dst),
+                        key: nkey,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Routes every DFG dependency. `scratch` persists across calls so
+/// congestion knowledge (and every buffer) survives placement repair
+/// rounds.
 pub(crate) fn route_all(
     mrrg: &Mrrg,
     cgra: &Cgra,
@@ -72,101 +308,109 @@ pub(crate) fn route_all(
     state: &PlacementState,
     times: &[usize],
     config: &RouterConfig,
-    history: &mut Vec<f32>,
+    scratch: &mut RouterScratch,
 ) -> RouteOutcome {
     let ii = mrrg.ii();
-    history.resize(mrrg.num_nodes(), 0.0);
+    let num_nodes = mrrg.num_nodes();
 
-    // signals, hardest (longest distance) first
-    struct Signal {
-        edge_index: usize,
-        producer: u32,
-        src_pe: PeId,
-        dst_pe: PeId,
-        start_time: usize,
-        dst_slot: usize,
-        delta: i64,
+    // signals, grouped by producer, hardest (longest distance) first
+    scratch.signals.clear();
+    for (i, e) in dfg.deps().enumerate() {
+        let src_pe = state.pe_of[e.src.index()];
+        let dst_pe = state.pe_of[e.dst.index()];
+        let tu = times[e.src.index()];
+        let tv = times[e.dst.index()];
+        let delta = tv as i64 + (e.weight.distance() as i64) * ii as i64 - tu as i64;
+        scratch.signals.push(Signal {
+            edge_index: i,
+            producer: e.src.index() as u32,
+            src_pe,
+            dst_pe,
+            start_time: tu % ii,
+            dst_slot: tv % ii,
+            delta,
+        });
     }
-    let mut signals: Vec<Signal> = dfg
-        .deps()
-        .enumerate()
-        .map(|(i, e)| {
-            let src_pe = state.pe_of[e.src.index()];
-            let dst_pe = state.pe_of[e.dst.index()];
-            let tu = times[e.src.index()];
-            let tv = times[e.dst.index()];
-            let delta = tv as i64 + (e.weight.distance() as i64) * ii as i64 - tu as i64;
-            Signal {
-                edge_index: i,
-                producer: e.src.index() as u32,
-                src_pe,
-                dst_pe,
-                start_time: tu % ii,
-                dst_slot: tv % ii,
-                delta,
-            }
-        })
-        .collect();
-    // group fan-out edges of one producer together (they share routing
+    // fan-out edges of one producer are grouped (they share routing
     // resources for free — it is one physical value), hardest first inside
-    signals.sort_by_key(|s| {
+    scratch.signals.sort_by_key(|s| {
         (
             s.producer,
             std::cmp::Reverse(cgra.manhattan(s.src_pe, s.dst_pe)),
         )
     });
+    let max_delta = scratch
+        .signals
+        .iter()
+        .map(|s| s.delta.max(0) as usize)
+        .max()
+        .unwrap_or(0);
+    scratch.ensure_capacity(num_nodes, max_delta);
 
-    let mut usage: Vec<u16> = vec![0; mrrg.num_nodes()];
     let mut routes: Vec<Option<Route>> = vec![None; dfg.num_deps()];
     let mut present = config.present_factor;
     let mut iterations = 0;
 
-    let mut claimed: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for _ in 0..config.max_iterations.max(1) {
         iterations += 1;
-        usage.iter_mut().for_each(|u| *u = 0);
+        scratch.refresh_base_costs(num_nodes);
+        scratch.usage.iter_mut().for_each(|u| *u = 0);
         let mut failed = 0usize;
         let mut current_producer = u32::MAX;
-        for sig in &signals {
-            if sig.producer != current_producer {
-                current_producer = sig.producer;
-                claimed.clear();
+        for sig_index in 0..scratch.signals.len() {
+            let (edge_index, producer, src_pe, dst_pe, start_time, delta, dst_slot) = {
+                let s = &scratch.signals[sig_index];
+                (
+                    s.edge_index,
+                    s.producer,
+                    s.src_pe,
+                    s.dst_pe,
+                    s.start_time,
+                    s.delta,
+                    s.dst_slot,
+                )
+            };
+            if producer != current_producer {
+                current_producer = producer;
+                scratch.next_claim_generation();
             }
-            let found = route_one(
+            let found = scratch.route_one(
                 mrrg,
                 cgra,
-                sig.src_pe,
-                sig.dst_pe,
-                sig.start_time,
-                sig.delta,
-                sig.dst_slot,
-                &usage,
-                history,
+                src_pe,
+                dst_pe,
+                start_time,
+                delta,
+                dst_slot,
                 present,
                 config.max_expansions,
-                &claimed,
             );
             match found {
                 Some(path) => {
                     for &n in &path {
                         // fan-out edges of one producer broadcast a single
                         // physical value: shared nodes count once
-                        if mrrg.capacity(n) != u16::MAX && claimed.insert(n.index() as u32) {
-                            usage[n.index()] = usage[n.index()].saturating_add(1);
+                        let i = n.index();
+                        if mrrg.capacity(n) != u16::MAX
+                            && scratch.claimed_stamp[i] != scratch.claimed_generation
+                        {
+                            scratch.claimed_stamp[i] = scratch.claimed_generation;
+                            scratch.usage[i] = scratch.usage[i].saturating_add(1);
                         }
                     }
-                    routes[sig.edge_index] = Some(Route {
-                        edge_index: sig.edge_index,
+                    routes[edge_index] = Some(Route {
+                        edge_index,
                         nodes: path,
                     });
                 }
                 None => {
-                    routes[sig.edge_index] = None;
+                    routes[edge_index] = None;
                     failed += 1;
                 }
             }
         }
-        let overuse: usize = usage
+        let overuse: usize = scratch
+            .usage
             .iter()
             .enumerate()
             .map(|(i, &u)| {
@@ -180,15 +424,15 @@ pub(crate) fn route_all(
                 overuse: 0,
                 failed: 0,
                 iterations,
-                usage,
+                usage: scratch.usage.clone(),
             };
         }
         // deposit history on overused nodes; sharpen present penalty
-        for (i, &u) in usage.iter().enumerate() {
+        for (i, &u) in scratch.usage.iter().enumerate() {
             let cap = mrrg.capacity(MrrgNodeId::from_index(i));
             let over = (u as usize).saturating_sub(cap as usize);
             if over > 0 {
-                history[i] += (over as f64 * config.history_increment) as f32;
+                scratch.history[i] += (over as f64 * config.history_increment) as f32;
             }
         }
         present *= 1.4;
@@ -198,7 +442,7 @@ pub(crate) fn route_all(
                 overuse,
                 failed,
                 iterations,
-                usage,
+                usage: scratch.usage.clone(),
             };
         }
     }
@@ -208,8 +452,8 @@ pub(crate) fn route_all(
 /// Heap entry ordered by ascending f-cost.
 struct HeapEntry {
     f: f64,
-    node: MrrgNodeId,
-    elapsed: u32,
+    /// Packed `(elapsed, node)` state: `elapsed * num_nodes + node`.
+    key: u32,
 }
 
 impl PartialEq for HeapEntry {
@@ -230,107 +474,6 @@ impl Ord for HeapEntry {
     }
 }
 
-/// A* over (MRRG node, elapsed cycles): finds a cheapest path from the
-/// producer's `Out` to any node feeding the consumer's FU with *exactly*
-/// `delta` time advances.
-#[allow(clippy::too_many_arguments)]
-fn route_one(
-    mrrg: &Mrrg,
-    cgra: &Cgra,
-    src_pe: PeId,
-    dst_pe: PeId,
-    start_time: usize,
-    delta: i64,
-    dst_slot: usize,
-    usage: &[u16],
-    history: &[f32],
-    present: f64,
-    max_expansions: usize,
-    claimed: &std::collections::HashSet<u32>,
-) -> Option<Vec<MrrgNodeId>> {
-    if delta < 1 {
-        return None;
-    }
-    let delta = delta as u32;
-    let start = mrrg.out(src_pe, start_time);
-    let goal_in = mrrg.input(dst_pe, dst_slot);
-    let goal_rr = mrrg.reg_read(dst_pe, dst_slot);
-
-    let node_cost = |n: MrrgNodeId| -> f64 {
-        let cap = mrrg.capacity(n);
-        if cap == u16::MAX {
-            return 0.05; // topology nodes are nearly free
-        }
-        if claimed.contains(&(n.index() as u32)) {
-            return 0.02; // this producer already broadcasts here
-        }
-        let u = usage[n.index()] as f64;
-        let over = (u + 1.0 - cap as f64).max(0.0);
-        (1.0 + history[n.index()] as f64) * (1.0 + over * present)
-    };
-    let heuristic = |n: MrrgNodeId| cgra.manhattan(mrrg.pe_of(n), dst_pe) as f64;
-
-    let mut best: HashMap<(u32, u32), f64> = HashMap::new();
-    let mut parent: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
-    let mut heap = BinaryHeap::new();
-    let g0 = node_cost(start);
-    best.insert((start.index() as u32, 0), g0);
-    heap.push(HeapEntry {
-        f: g0 + heuristic(start),
-        node: start,
-        elapsed: 0,
-    });
-
-    let mut expansions = 0usize;
-    while let Some(HeapEntry { node, elapsed, .. }) = heap.pop() {
-        let key = (node.index() as u32, elapsed);
-        let g = *best.get(&key).expect("popped state was inserted");
-        expansions += 1;
-        if expansions > max_expansions {
-            return None;
-        }
-        if elapsed == delta && (node == goal_in || node == goal_rr) {
-            // reconstruct
-            let mut path = vec![node];
-            let mut cur = key;
-            while let Some(&prev) = parent.get(&cur) {
-                path.push(MrrgNodeId::from_index(prev.0 as usize));
-                cur = prev;
-            }
-            path.reverse();
-            return Some(path);
-        }
-        for edge in mrrg.out_edges(node) {
-            // never route *through* an FU: compute slots belong to placed
-            // ops (consumption happens past the path's terminal node)
-            if matches!(mrrg.kind(edge.dst), panorama_arch::NodeKind::Fu) {
-                continue;
-            }
-            let ne = elapsed + u32::from(edge.advance);
-            if ne > delta {
-                continue;
-            }
-            // reachability prune: remaining advances must cover the distance
-            let remaining = (delta - ne) as usize;
-            if cgra.manhattan(mrrg.pe_of(edge.dst), dst_pe) > remaining {
-                continue;
-            }
-            let ng = g + node_cost(edge.dst);
-            let nkey = (edge.dst.index() as u32, ne);
-            if best.get(&nkey).is_none_or(|&old| ng < old - 1e-12) {
-                best.insert(nkey, ng);
-                parent.insert(nkey, key);
-                heap.push(HeapEntry {
-                    f: ng + heuristic(edge.dst),
-                    node: edge.dst,
-                    elapsed: ne,
-                });
-            }
-        }
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,28 +488,23 @@ mod tests {
         (cgra, mrrg)
     }
 
+    /// A scratch sized for direct `route_one` tests (no congestion).
+    fn fresh_scratch(mrrg: &Mrrg, max_delta: usize) -> RouterScratch {
+        let mut s = RouterScratch::new();
+        s.ensure_capacity(mrrg.num_nodes(), max_delta);
+        s.refresh_base_costs(mrrg.num_nodes());
+        s
+    }
+
     #[test]
     fn neighbour_route_is_direct() {
         let (cgra, mrrg) = setup(2);
         let a = cgra.pe_at(0, 0);
         let b = cgra.pe_at(0, 1);
-        let usage = vec![0; mrrg.num_nodes()];
-        let history = vec![0.0; mrrg.num_nodes()];
-        let path = route_one(
-            &mrrg,
-            &cgra,
-            a,
-            b,
-            0,
-            1,
-            1,
-            &usage,
-            &history,
-            0.5,
-            100_000,
-            &Default::default(),
-        )
-        .expect("adjacent PEs route in one hop");
+        let mut scratch = fresh_scratch(&mrrg, 1);
+        let path = scratch
+            .route_one(&mrrg, &cgra, a, b, 0, 1, 1, 0.5, 100_000)
+            .expect("adjacent PEs route in one hop");
         // out(a,0) → link → in(b,1)
         assert_eq!(path.first().copied(), Some(mrrg.out(a, 0)));
         assert_eq!(path.last().copied(), Some(mrrg.input(b, 1)));
@@ -378,23 +516,10 @@ mod tests {
         let (cgra, mrrg) = setup(2);
         let a = cgra.pe_at(0, 0);
         let b = cgra.pe_at(3, 3); // manhattan 6
-        let usage = vec![0; mrrg.num_nodes()];
-        let history = vec![0.0; mrrg.num_nodes()];
-        assert!(route_one(
-            &mrrg,
-            &cgra,
-            a,
-            b,
-            0,
-            2,
-            0,
-            &usage,
-            &history,
-            0.5,
-            100_000,
-            &Default::default()
-        )
-        .is_none());
+        let mut scratch = fresh_scratch(&mrrg, 2);
+        assert!(scratch
+            .route_one(&mrrg, &cgra, a, b, 0, 2, 0, 0.5, 100_000)
+            .is_none());
     }
 
     #[test]
@@ -403,23 +528,10 @@ mod tests {
         let (cgra, mrrg) = setup(4);
         let a = cgra.pe_at(1, 1);
         let b = cgra.pe_at(1, 2);
-        let usage = vec![0; mrrg.num_nodes()];
-        let history = vec![0.0; mrrg.num_nodes()];
-        let path = route_one(
-            &mrrg,
-            &cgra,
-            a,
-            b,
-            0,
-            3,
-            3,
-            &usage,
-            &history,
-            0.5,
-            100_000,
-            &Default::default(),
-        )
-        .expect("register parking allows late consumption");
+        let mut scratch = fresh_scratch(&mrrg, 3);
+        let path = scratch
+            .route_one(&mrrg, &cgra, a, b, 0, 3, 3, 0.5, 100_000)
+            .expect("register parking allows late consumption");
         // count advances
         let mut adv = 0;
         for w in path.windows(2) {
@@ -433,6 +545,88 @@ mod tests {
             }
         }
         assert_eq!(adv, 3);
+    }
+
+    #[test]
+    fn stale_entries_are_invisible_across_generations() {
+        // Route a first signal to pollute the tables, then a second,
+        // unrelated one without any clearing: generation stamps must hide
+        // every stale entry, so the second answer matches a fresh scratch.
+        let (cgra, mrrg) = setup(4);
+        let mut reused = fresh_scratch(&mrrg, 3);
+        let first = reused
+            .route_one(
+                &mrrg,
+                &cgra,
+                cgra.pe_at(0, 0),
+                cgra.pe_at(0, 3),
+                0,
+                3,
+                3,
+                0.5,
+                100_000,
+            )
+            .expect("row route exists");
+        assert!(first.len() >= 4);
+        let stale_generation = reused.generation;
+        let reused_path = reused
+            .route_one(
+                &mrrg,
+                &cgra,
+                cgra.pe_at(3, 3),
+                cgra.pe_at(3, 2),
+                1,
+                2,
+                3,
+                0.5,
+                100_000,
+            )
+            .expect("second route exists");
+        assert_eq!(reused.generation, stale_generation + 1, "no table clears");
+        let mut fresh = fresh_scratch(&mrrg, 3);
+        let fresh_path = fresh
+            .route_one(
+                &mrrg,
+                &cgra,
+                cgra.pe_at(3, 3),
+                cgra.pe_at(3, 2),
+                1,
+                2,
+                3,
+                0.5,
+                100_000,
+            )
+            .expect("second route exists");
+        assert_eq!(reused_path, fresh_path, "stale entries leaked into A*");
+    }
+
+    #[test]
+    fn claim_generations_expire_previous_producers() {
+        let (cgra, mrrg) = setup(2);
+        let mut scratch = fresh_scratch(&mrrg, 1);
+        let a = cgra.pe_at(0, 0);
+        let b = cgra.pe_at(0, 1);
+        scratch.next_claim_generation();
+        let path = scratch
+            .route_one(&mrrg, &cgra, a, b, 0, 1, 1, 0.5, 100_000)
+            .unwrap();
+        // claim the path for the producer, as route_all does
+        for &n in &path {
+            if mrrg.capacity(n) != u16::MAX {
+                scratch.claimed_stamp[n.index()] = scratch.claimed_generation;
+            }
+        }
+        let claimed_now: Vec<usize> = path
+            .iter()
+            .filter(|n| mrrg.capacity(**n) != u16::MAX)
+            .map(|n| n.index())
+            .collect();
+        assert!(!claimed_now.is_empty());
+        // a new producer group must not see those claims
+        scratch.next_claim_generation();
+        for i in claimed_now {
+            assert_ne!(scratch.claimed_stamp[i], scratch.claimed_generation);
+        }
     }
 
     #[test]
@@ -455,7 +649,7 @@ mod tests {
         for (i, op) in dfg.op_ids().enumerate() {
             state.fu_used.insert((state.pe_of[i], times[i] % 4), op);
         }
-        let mut history = Vec::new();
+        let mut scratch = RouterScratch::new();
         let outcome = route_all(
             &mrrg,
             &cgra,
@@ -463,7 +657,7 @@ mod tests {
             &state,
             &times,
             &RouterConfig::default(),
-            &mut history,
+            &mut scratch,
         );
         assert!(
             outcome.is_clean(),
@@ -506,7 +700,7 @@ mod tests {
         for (i, op) in dfg.op_ids().enumerate() {
             state.fu_used.insert((state.pe_of[i], times[i] % 6), op);
         }
-        let mut history = Vec::new();
+        let mut scratch = RouterScratch::new();
         let outcome = route_all(
             &mrrg,
             &cgra,
@@ -514,8 +708,56 @@ mod tests {
             &state,
             &times,
             &RouterConfig::default(),
-            &mut history,
+            &mut scratch,
         );
         assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        // two consecutive route_all calls over different placements with
+        // one reused scratch must agree with fresh-scratch runs
+        let (cgra, mrrg) = setup(4);
+        let mut b = DfgBuilder::new("pair");
+        let s = b.op(OpKind::Add, "s");
+        let d = b.op(OpKind::Add, "d");
+        b.data(s, d);
+        let dfg = b.build().unwrap();
+        let mk_state = |col: usize| {
+            let times = vec![0usize, 1];
+            let pe_of = vec![cgra.pe_at(0, col), cgra.pe_at(1, col)];
+            let mut state = PlacementState {
+                pe_of,
+                time_of: times,
+                fu_used: Map::new(),
+                ii: 4,
+            };
+            for (i, op) in dfg.op_ids().enumerate() {
+                let t = state.time_of[i] % 4;
+                state.fu_used.insert((state.pe_of[i], t), op);
+            }
+            state
+        };
+        let cfg = RouterConfig::default();
+        let mut reused = RouterScratch::new();
+        let mut fresh_routes = Vec::new();
+        let mut reused_routes = Vec::new();
+        for col in [0, 2] {
+            let state = mk_state(col);
+            let a = route_all(
+                &mrrg,
+                &cgra,
+                &dfg,
+                &state,
+                &state.time_of,
+                &cfg,
+                &mut reused,
+            );
+            let mut fresh = RouterScratch::new();
+            let b = route_all(&mrrg, &cgra, &dfg, &state, &state.time_of, &cfg, &mut fresh);
+            reused_routes.push(a.routes);
+            fresh_routes.push(b.routes);
+        }
+        assert_eq!(reused_routes, fresh_routes);
     }
 }

@@ -4,8 +4,8 @@
 use crate::placement::{
     candidates_for, home_bias, initial_placement, placement_cost, PlacementState,
 };
-use crate::router::{route_all, RouterConfig};
-use crate::{min_ii, LowerLevelMapper, Mapping, MappingStats, Restriction};
+use crate::router::{route_all, RouterConfig, RouterScratch};
+use crate::{min_ii, LowerLevelMapper, Mapping, MappingStats, Restriction, SearchControl};
 use panorama_arch::Cgra;
 use panorama_dfg::{Dfg, OpId};
 use rand::rngs::SmallRng;
@@ -99,6 +99,16 @@ impl LowerLevelMapper for SprMapper {
         cgra: &Cgra,
         restriction: Option<&Restriction>,
     ) -> Result<Mapping, MapError> {
+        self.map_with_control(dfg, cgra, restriction, None)
+    }
+
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+    ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
@@ -110,6 +120,8 @@ impl LowerLevelMapper for SprMapper {
         };
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut stats = MappingStats::default();
+        let mut scratch = RouterScratch::new();
+        let mut anneal_scratch = AnnealScratch::default();
 
         let debug = std::env::var_os("PANORAMA_DEBUG").is_some();
         let out_of_time = |start: Instant| {
@@ -119,6 +131,11 @@ impl LowerLevelMapper for SprMapper {
         };
         for ii in start_ii..=max_ii {
             if out_of_time(start) {
+                break;
+            }
+            // II searches ascend: once the portfolio bound rejects this II
+            // it rejects every later one, so the candidate is done.
+            if control.is_some_and(|c| !c.admits(ii)) {
                 break;
             }
             stats.ii_attempts += 1;
@@ -132,8 +149,8 @@ impl LowerLevelMapper for SprMapper {
             let Ok(mut state) = placement else {
                 continue;
             };
-            let mrrg = cgra.mrrg(ii);
-            let mut history: Vec<f32> = Vec::new();
+            let mrrg = cgra.mrrg_shared(ii);
+            scratch.reset_for_ii();
             let mut temp = self.config.sa_initial_temp;
 
             loop {
@@ -144,7 +161,7 @@ impl LowerLevelMapper for SprMapper {
                     &state,
                     &state.time_of,
                     &self.config.router,
-                    &mut history,
+                    &mut scratch,
                 );
                 stats.router_iterations += outcome.iterations;
                 if debug {
@@ -172,6 +189,9 @@ impl LowerLevelMapper for SprMapper {
                         .into_iter()
                         .map(|r| r.expect("clean outcome has every route"))
                         .collect();
+                    if let Some(c) = control {
+                        c.record_success(ii);
+                    }
                     return Ok(Mapping {
                         mapper: self.name(),
                         ii,
@@ -187,15 +207,22 @@ impl LowerLevelMapper for SprMapper {
                 }
                 // simulated-annealing placement repair targeting the ops on
                 // congested PEs (Algorithm 2 line 14)
-                let (congested, heat) =
-                    congested_ops(dfg, &mrrg, &state, &outcome.usage, &outcome.routes);
+                congested_ops(
+                    dfg,
+                    &mrrg,
+                    cgra,
+                    &state,
+                    &outcome.usage,
+                    &outcome.routes,
+                    &mut anneal_scratch,
+                );
                 let moves = anneal_step(
                     dfg,
                     cgra,
                     &mut state,
                     restriction,
-                    &congested,
-                    &heat,
+                    &anneal_scratch.ops,
+                    &anneal_scratch.heat,
                     temp,
                     self.config.sa_moves_per_temp,
                     &mut rng,
@@ -215,80 +242,87 @@ impl LowerLevelMapper for SprMapper {
     }
 }
 
+/// Scratch buffers for the annealing candidate/heat computation, sized
+/// once from the MRRG and reused across every SA round of an II attempt —
+/// the previous `HashMap`/`HashSet` version reallocated all four
+/// containers on every temperature step.
+#[derive(Debug, Default)]
+struct AnnealScratch {
+    /// PEs owning at least one overused MRRG node (`num_pes` flags).
+    hot_pe: Vec<bool>,
+    /// Overused MRRG nodes (`num_nodes` flags), for route membership
+    /// tests.
+    over: Vec<bool>,
+    /// Congestion heat per `(PE, modulo slot)`, indexed
+    /// `pe.index() * ii + slot`.
+    heat: Vec<f64>,
+    /// Candidate ops for relocation/retiming (the function's output).
+    ops: Vec<OpId>,
+}
+
 /// Ops to consider moving: those placed on PEs owning overused MRRG nodes
-/// plus the endpoints of unroutable signals. Also returns a per-(PE, slot)
-/// congestion heat map steering the annealing cost.
+/// plus the endpoints of unroutable signals. Fills `scratch.ops` and the
+/// per-(PE, slot) congestion heat map `scratch.heat` steering the
+/// annealing cost.
 fn congested_ops(
     dfg: &Dfg,
     mrrg: &panorama_arch::Mrrg,
+    cgra: &Cgra,
     state: &PlacementState,
     usage: &[u16],
     routes: &[Option<crate::mapping::Route>],
-) -> (
-    Vec<OpId>,
-    std::collections::HashMap<(panorama_arch::PeId, usize), f64>,
+    scratch: &mut AnnealScratch,
 ) {
-    let mut hot = std::collections::HashSet::new();
-    let mut heat: std::collections::HashMap<(panorama_arch::PeId, usize), f64> =
-        std::collections::HashMap::new();
+    let ii = mrrg.ii();
+    scratch.hot_pe.clear();
+    scratch.hot_pe.resize(cgra.num_pes(), false);
+    scratch.over.clear();
+    scratch.over.resize(mrrg.num_nodes(), false);
+    scratch.heat.clear();
+    scratch.heat.resize(cgra.num_pes() * ii, 0.0);
+    scratch.ops.clear();
     for (i, &u) in usage.iter().enumerate() {
         let node = panorama_arch::MrrgNodeId::from_index(i);
         let cap = mrrg.capacity(node);
         if cap != u16::MAX && u as usize > cap as usize {
-            hot.insert(mrrg.pe_of(node));
+            let pe = mrrg.pe_of(node);
+            scratch.hot_pe[pe.index()] = true;
+            scratch.over[i] = true;
             let over = (u as usize - cap as usize) as f64;
-            *heat
-                .entry((mrrg.pe_of(node), mrrg.time_of(node)))
-                .or_insert(0.0) += 12.0 * over;
+            scratch.heat[pe.index() * ii + mrrg.time_of(node)] += 12.0 * over;
         }
     }
-    // overused node set for fast membership tests
-    let over: std::collections::HashSet<u32> = usage
-        .iter()
-        .enumerate()
-        .filter(|&(i, &u)| {
-            let node = panorama_arch::MrrgNodeId::from_index(i);
-            let cap = mrrg.capacity(node);
-            cap != u16::MAX && u as usize > cap as usize
-        })
-        .map(|(i, _)| i as u32)
-        .collect();
-    let mut ops: Vec<OpId> = dfg
-        .op_ids()
-        .filter(|&v| hot.contains(&state.pe_of[v.index()]))
-        .collect();
+    scratch.ops.extend(
+        dfg.op_ids()
+            .filter(|&v| scratch.hot_pe[state.pe_of[v.index()].index()]),
+    );
     for (i, e) in dfg.deps().enumerate() {
         match &routes[i] {
             // endpoints of unroutable signals must move or retime
             None => {
-                ops.push(e.src);
-                ops.push(e.dst);
+                scratch.ops.push(e.src);
+                scratch.ops.push(e.dst);
             }
             // endpoints of signals squeezed through overused nodes are the
             // ones whose relocation/retiming actually clears the congestion
             Some(route) => {
-                if route
-                    .nodes
-                    .iter()
-                    .any(|n| over.contains(&(n.index() as u32)))
-                {
-                    ops.push(e.src);
-                    ops.push(e.dst);
+                if route.nodes.iter().any(|n| scratch.over[n.index()]) {
+                    scratch.ops.push(e.src);
+                    scratch.ops.push(e.dst);
                 }
             }
         }
     }
-    ops.sort_unstable();
-    ops.dedup();
-    if ops.is_empty() {
-        ops = dfg.op_ids().collect();
+    scratch.ops.sort_unstable();
+    scratch.ops.dedup();
+    if scratch.ops.is_empty() {
+        scratch.ops.extend(dfg.op_ids());
     }
-    (ops, heat)
 }
 
 /// One temperature step: relocate or retime candidate ops with Metropolis
 /// acceptance on the placement-cost proxy plus the router's congestion
-/// heat map. Returns accepted moves.
+/// heat map (`heat[pe.index() * ii + slot]`). Returns accepted moves.
 #[allow(clippy::too_many_arguments)]
 fn anneal_step(
     dfg: &Dfg,
@@ -296,7 +330,7 @@ fn anneal_step(
     state: &mut PlacementState,
     restriction: Option<&Restriction>,
     candidates: &[OpId],
-    heat: &std::collections::HashMap<(panorama_arch::PeId, usize), f64>,
+    heat: &[f64],
     temp: f64,
     budget: usize,
     rng: &mut SmallRng,
@@ -313,10 +347,7 @@ fn anneal_step(
         let old_pe = state.pe_of[op.index()];
         let old_cost = placement_cost(dfg, cgra, state, &placed, op, old_pe, old_t)
             + home_bias(cgra, restriction, op, old_pe)
-            + heat
-                .get(&(old_pe, old_t % state.ii))
-                .copied()
-                .unwrap_or(0.0);
+            + heat[old_pe.index() * state.ii + old_t % state.ii];
         state.remove(op);
 
         // legal retiming window against the current neighbour schedule;
@@ -359,10 +390,7 @@ fn anneal_step(
         let new_pe = options[rng.gen_range(0..options.len())];
         let new_cost = placement_cost(dfg, cgra, state, &placed, op, new_pe, new_t)
             + home_bias(cgra, restriction, op, new_pe)
-            + heat
-                .get(&(new_pe, new_t % state.ii))
-                .copied()
-                .unwrap_or(0.0);
+            + heat[new_pe.index() * state.ii + new_t % state.ii];
         let delta = new_cost - old_cost;
         let accept = delta < 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-9)).exp();
         if accept && (new_pe != old_pe || new_t != old_t) {
@@ -453,7 +481,7 @@ mod tests {
         let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
         let dfg = kernels::generate(KernelId::Edn, KernelScale::Tiny);
         let parts = explore_partitions(&dfg, 2, 6, &SpectralConfig::default()).unwrap();
-        let best = top_balanced(&parts, 1)[0];
+        let best = top_balanced(&parts, 1)[0].1;
         let cdg = Cdg::new(&dfg, best);
         let cmap = map_clusters(&cdg, 2, 2, &ScatterConfig::default()).unwrap();
         let restriction = Restriction::from_cluster_map(&dfg, &cdg, &cmap, &cgra);

@@ -28,7 +28,7 @@ impl Mapping {
     /// routes.
     pub fn route_stats(&self, dfg: &Dfg, cgra: &Cgra) -> Option<RouteStats> {
         let routes = self.routes()?;
-        let mrrg = cgra.mrrg(self.ii());
+        let mrrg = cgra.mrrg_shared(self.ii());
         let mut stats = RouteStats::default();
         let mut links_seen = std::collections::HashSet::new();
         let _ = dfg;

@@ -210,6 +210,16 @@ impl LowerLevelMapper for UltraFastMapper {
         cgra: &Cgra,
         restriction: Option<&Restriction>,
     ) -> Result<Mapping, MapError> {
+        self.map_with_control(dfg, cgra, restriction, None)
+    }
+
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&crate::SearchControl>,
+    ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
@@ -221,9 +231,16 @@ impl LowerLevelMapper for UltraFastMapper {
         };
         let mut stats = MappingStats::default();
         for ii in start_ii..=max_ii {
+            // ascending II search: a rejected II rejects the whole tail
+            if control.is_some_and(|c| !c.admits(ii)) {
+                break;
+            }
             stats.ii_attempts += 1;
             if let Ok((time_of, pe_of)) = self.try_ii(dfg, cgra, restriction, ii) {
                 stats.compile_time = start.elapsed();
+                if let Some(c) = control {
+                    c.record_success(ii);
+                }
                 return Ok(Mapping {
                     mapper: self.name(),
                     ii,

@@ -28,7 +28,7 @@
 //!
 //! let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
 //! let parts = explore_partitions(&dfg, 2, 6, &SpectralConfig::default())?;
-//! let best = top_balanced(&parts, 1)[0];
+//! let best = top_balanced(&parts, 1)[0].1;
 //! let cdg = Cdg::new(&dfg, best);
 //! let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default())?;
 //! assert_eq!(map.grid(), (2, 2));

@@ -99,7 +99,7 @@ pub fn simulate(
 ) -> Result<SimReport, SimError> {
     let routes = mapping.routes().ok_or(SimError::NoRoutes)?;
     let ii = mapping.ii() as u64;
-    let mrrg = cgra.mrrg(mapping.ii());
+    let mrrg = cgra.mrrg_shared(mapping.ii());
     let reference = interpret(dfg, iterations);
 
     // (physical resource, absolute cycle) → distinct values present
@@ -311,7 +311,7 @@ mod wrap_hazard_tests {
         let dfg = b.build().unwrap();
         let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
         let ii = 2;
-        let mrrg = cgra.mrrg(ii);
+        let mrrg = cgra.mrrg_shared(ii);
         let pe = cgra.pe_at(0, 0); // memory-capable
         let pe_v = cgra.pe_at(0, 0);
 

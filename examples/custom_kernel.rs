@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             p.inter_edges(&dfg)
         );
     }
-    let best = top_balanced(&parts, 1)[0];
+    let best = top_balanced(&parts, 1)[0].1;
     println!("most balanced: k = {}", best.k());
 
     // End-to-end guided mapping.

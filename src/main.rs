@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! panorama compile --dfg kernel.dfg --arch cgra.adl [--mapper spr|ultrafast|exhaustive]
-//!                  [--baseline] [--max-ii N] [--simulate N] [--configware] [--dot]
+//!                  [--baseline] [--threads N] [--max-ii N] [--simulate N]
+//!                  [--configware] [--dot]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
+//! panorama bench [--json] [--out FILE] [--mapper spr|ultrafast] [--threads N]
+//!                [--check FILE] [--max-kernel-seconds S]
 //! panorama kernels [--scale tiny|scaled|paper]
 //! panorama info --arch cgra.adl
 //! ```
@@ -12,7 +15,9 @@
 //! built-in kernel name like `fir`), an architecture in ADL form (or a
 //! preset like `8x8`), runs the PANORAMA pipeline, and reports the mapping.
 //! `lint` runs the static diagnostics of [`panorama_lint`] over the same
-//! inputs without mapping anything.
+//! inputs without mapping anything. `bench` measures the 12-kernel suite
+//! in parallel and sequential modes, verifies both produce identical
+//! mappings, and can gate CI against a checked-in JSON baseline.
 
 use panorama::{Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
@@ -29,9 +34,11 @@ fn usage() -> &'static str {
     "usage:\n  \
      panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
-[--max-ii <ii>] [--simulate <iters>] [--configware] [--dot]\n  \
+[--threads <n>] [--max-ii <ii>] [--simulate <iters>] [--configware] [--dot]\n  \
      panorama lint --dfg <file|-|kernel-name> [--arch <file|preset>] \
 [--scale tiny|scaled|paper] [--max-ii <ii>] [--json]\n  \
+     panorama bench [--json] [--out <file>] [--mapper spr|ultrafast] \
+[--threads <n>] [--check <baseline.json>] [--max-kernel-seconds <s>]\n  \
      panorama kernels [--scale tiny|scaled|paper]\n  \
      panorama info --arch <file|preset>\n\n\
      presets: 4x4, 8x8, 9x9, 16x16, 6x1"
@@ -46,10 +53,19 @@ const COMPILE_FLAGS: FlagSpec = &[
     ("mapper", false),
     ("baseline", true),
     ("scale", false),
+    ("threads", false),
     ("max-ii", false),
     ("simulate", false),
     ("configware", true),
     ("dot", true),
+];
+const BENCH_FLAGS: FlagSpec = &[
+    ("json", true),
+    ("out", false),
+    ("mapper", false),
+    ("threads", false),
+    ("check", false),
+    ("max-kernel-seconds", false),
 ];
 const LINT_FLAGS: FlagSpec = &[
     ("dfg", false),
@@ -105,6 +121,14 @@ fn parse_max_ii(flags: &HashMap<String, String>) -> Result<Option<usize>, String
                 .map_err(|_| format!("--max-ii needs a positive integer, got `{s}`"))
         })
         .transpose()
+}
+
+/// `--threads N` (0 or absent = one worker per core).
+fn parse_threads(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags.get("threads").map_or(Ok(0), |s| {
+        s.parse::<usize>()
+            .map_err(|_| format!("--threads needs a non-negative integer, got `{s}`"))
+    })
 }
 
 fn parse_scale(s: Option<&String>) -> Result<KernelScale, String> {
@@ -169,6 +193,7 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let mapper_name = flags.get("mapper").map_or("spr", String::as_str);
     let compiler = Panorama::new(PanoramaConfig {
         max_ii: parse_max_ii(flags)?,
+        threads: parse_threads(flags)?,
         ..PanoramaConfig::default()
     });
     let baseline = flags.contains_key("baseline");
@@ -242,9 +267,80 @@ impl LowerLevelMapper for DynMapper<'_> {
         self.0.map(dfg, cgra, restriction)
     }
 
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&panorama_mapper::Restriction>,
+        control: Option<&panorama_mapper::SearchControl>,
+    ) -> Result<panorama_mapper::Mapping, panorama_mapper::MapError> {
+        // forward rather than inherit the default, so the portfolio bound
+        // reaches the wrapped mapper's II search
+        self.0.map_with_control(dfg, cgra, restriction, control)
+    }
+
     fn name(&self) -> &'static str {
         self.0.name()
     }
+}
+
+/// `panorama bench`: the perf harness over the 12-kernel suite. With
+/// `--json` the report is written to `--out` (default `BENCH_PR2.json`);
+/// with `--check` the fresh run is gated against a checked-in baseline.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let options = panorama_bench::BenchOptions {
+        threads: parse_threads(flags)?,
+        mapper: match flags.get("mapper").map(String::as_str) {
+            None | Some("ultrafast") => panorama_bench::BenchMapper::UltraFast,
+            Some("spr") => panorama_bench::BenchMapper::Spr,
+            Some(other) => return Err(format!("unknown bench mapper `{other}`").into()),
+        },
+        ..panorama_bench::BenchOptions::default()
+    };
+    eprintln!(
+        "benching 12 kernels x 2 presets with {} ({} threads)...",
+        options.mapper.name(),
+        if options.threads == 0 {
+            "auto".to_string()
+        } else {
+            options.threads.to_string()
+        }
+    );
+    let report = panorama_bench::perf::run(&options)?;
+    println!(
+        "{:<18} {:>6} {:>4} {:>4} {:>10} {:>10}  identical",
+        "kernel", "preset", "II", "MII", "par(s)", "seq(s)"
+    );
+    for k in &report.kernels {
+        println!(
+            "{:<18} {:>6} {:>4} {:>4} {:>10.3} {:>10.3}  {}",
+            k.kernel, k.preset, k.ii, k.mii, k.wall_seconds, k.wall_seconds_single, k.identical
+        );
+    }
+    println!(
+        "suite: {:.2}s parallel ({} threads) vs {:.2}s sequential -> {:.2}x speedup",
+        report.suite_wall_seconds, report.threads, report.suite_wall_seconds_single, report.speedup
+    );
+    if !report.all_identical() {
+        return Err("parallel and sequential compiles disagree".into());
+    }
+    if flags.contains_key("json") {
+        let out = flags.get("out").map_or("BENCH_PR2.json", String::as_str);
+        std::fs::write(out, report.to_json())?;
+        eprintln!("wrote {out}");
+    }
+    if let Some(baseline_path) = flags.get("check") {
+        let ceiling = flags
+            .get("max-kernel-seconds")
+            .map_or(Ok(120.0), |s| s.parse::<f64>())
+            .map_err(|_| "--max-kernel-seconds needs a number")?;
+        let baseline = std::fs::read_to_string(baseline_path)?;
+        report
+            .check_against_baseline(&baseline, ceiling)
+            .map_err(|e| format!("baseline check failed:\n{e}"))?;
+        eprintln!("baseline check passed ({baseline_path})");
+    }
+    Ok(())
 }
 
 /// `panorama lint`: static diagnostics over a kernel (and optionally an
@@ -323,6 +419,7 @@ fn main() -> ExitCode {
     let spec = match cmd.as_str() {
         "compile" => COMPILE_FLAGS,
         "lint" => LINT_FLAGS,
+        "bench" => BENCH_FLAGS,
         "kernels" => KERNELS_FLAGS,
         "info" => INFO_FLAGS,
         "help" | "--help" | "-h" => {
@@ -331,7 +428,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "error: unknown command `{other}` (expected compile, lint, kernels, info or help)\n\n{}",
+                "error: unknown command `{other}` (expected compile, lint, bench, kernels, info or help)\n\n{}",
                 usage()
             );
             return ExitCode::FAILURE;
@@ -347,6 +444,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "compile" => cmd_compile(&flags),
         "lint" => cmd_lint(&flags),
+        "bench" => cmd_bench(&flags),
         "kernels" => cmd_kernels(&flags),
         _ => cmd_info(&flags),
     };

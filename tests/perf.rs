@@ -1,0 +1,107 @@
+//! Determinism tests for the parallel candidate portfolio (DESIGN.md §9).
+//!
+//! The pipeline's contract is that `PanoramaConfig::threads` only changes
+//! wall-clock, never the result: the shared best-II bound prunes only
+//! candidates that cannot win the final reduction, and the reduction key
+//! `(II, routing complexity, candidate rank)` is unique per candidate. These
+//! tests compile real kernels at thread counts 1, 2 and 4 and require the
+//! resulting reports to be observably identical — same II, same per-op
+//! placement and schedule, same winning partition.
+
+use panorama::{CompileReport, Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
+use panorama_mapper::{LowerLevelMapper, SprMapper, UltraFastMapper};
+
+/// Everything observable about a compile, flattened for equality checks.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    ii: usize,
+    placement: Vec<(usize, usize)>,
+    partition_labels: Vec<usize>,
+}
+
+fn fingerprint(dfg: &Dfg, report: &CompileReport) -> Fingerprint {
+    let mapping = report.mapping();
+    Fingerprint {
+        ii: mapping.ii(),
+        placement: dfg
+            .op_ids()
+            .map(|op| (mapping.pe_of(op).index(), mapping.time_of(op)))
+            .collect(),
+        partition_labels: report
+            .plan()
+            .map(|plan| plan.partition().labels().to_vec())
+            .unwrap_or_default(),
+    }
+}
+
+fn compile_at<M: LowerLevelMapper>(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapper: &M,
+    threads: usize,
+) -> Fingerprint {
+    let panorama = Panorama::new(PanoramaConfig {
+        threads,
+        ..PanoramaConfig::default()
+    });
+    let report = panorama
+        .compile(dfg, cgra, mapper)
+        .unwrap_or_else(|e| panic!("compile failed at {threads} threads: {e}"));
+    fingerprint(dfg, &report)
+}
+
+#[test]
+fn ultrafast_portfolio_is_thread_count_invariant_on_all_kernels() {
+    for (name, config) in [
+        ("4x4", CgraConfig::small_4x4()),
+        ("8x8", CgraConfig::scaled_8x8()),
+    ] {
+        let cgra = Cgra::new(config).unwrap();
+        let mapper = UltraFastMapper::default();
+        for id in KernelId::ALL {
+            let dfg = kernels::generate(id, KernelScale::Tiny);
+            let base = compile_at(&dfg, &cgra, &mapper, 1);
+            for threads in [2, 4] {
+                let got = compile_at(&dfg, &cgra, &mapper, threads);
+                assert_eq!(
+                    base, got,
+                    "{id} on {name}: report diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spr_portfolio_is_thread_count_invariant() {
+    // SPR* is the expensive mapper, so cover a representative subset: a
+    // pipeline kernel, a recurrence-bound kernel and a wide one.
+    let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+    let mapper = SprMapper::default();
+    for id in [KernelId::Fir, KernelId::Cordic, KernelId::IdctRows] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let base = compile_at(&dfg, &cgra, &mapper, 1);
+        for threads in [2, 4] {
+            let got = compile_at(&dfg, &cgra, &mapper, threads);
+            assert_eq!(base, got, "{id}: report diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn bench_harness_reports_identical_results() {
+    // The harness's own phase comparison (parallel vs sequential re-run)
+    // must agree on every kernel; this is the same check `panorama bench`
+    // enforces before writing a baseline.
+    let report = panorama_bench::perf::run(&panorama_bench::BenchOptions {
+        threads: 3,
+        ..panorama_bench::BenchOptions::default()
+    })
+    .expect("bench suite compiles");
+    for k in &report.kernels {
+        assert!(k.identical, "{} on {} diverged", k.kernel, k.preset);
+        assert!(k.ii >= k.mii, "{} on {}: II below MII", k.kernel, k.preset);
+    }
+}

@@ -15,7 +15,7 @@ fn clustering_to_scattering_round_trip_on_all_kernels() {
         let dfg = kernels::generate(id, KernelScale::Scaled);
         let parts = explore_partitions(&dfg, 2, 8, &SpectralConfig::default())
             .unwrap_or_else(|e| panic!("{id}: {e}"));
-        let best = top_balanced(&parts, 1)[0];
+        let best = top_balanced(&parts, 1)[0].1;
         let cdg = Cdg::new(&dfg, best);
         let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default())
             .unwrap_or_else(|e| panic!("{id}: {e}"));
@@ -73,7 +73,7 @@ proptest! {
         });
         prop_assert!(dfg.validate().is_ok());
         let parts = explore_partitions(&dfg, 2, 6, &SpectralConfig::default()).unwrap();
-        let best = top_balanced(&parts, 1)[0];
+        let best = top_balanced(&parts, 1)[0].1;
         let cdg = Cdg::new(&dfg, best);
         prop_assert_eq!(cdg.total_dfg_nodes(), dfg.num_ops());
         let map = map_clusters(&cdg, 2, 2, &ScatterConfig::default()).unwrap();
