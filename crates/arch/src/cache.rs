@@ -11,7 +11,7 @@
 use crate::{Cgra, Mrrg};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A thread-safe II → [`Mrrg`] cache.
 ///
@@ -51,7 +51,7 @@ impl MrrgCache {
     ///
     /// Panics when `ii == 0` (propagated from [`Cgra::mrrg`]).
     pub fn get_or_build(&self, cgra: &Cgra, ii: usize) -> Arc<Mrrg> {
-        if let Some(hit) = self.slots.lock().expect("MRRG cache poisoned").get(&ii) {
+        if let Some(hit) = self.slots().get(&ii) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
@@ -60,8 +60,17 @@ impl MrrgCache {
         // the graph is deterministic, so keeping the first insert is fine.
         let built = Arc::new(cgra.mrrg(ii));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut slots = self.slots.lock().expect("MRRG cache poisoned");
+        let mut slots = self.slots();
         Arc::clone(slots.entry(ii).or_insert(built))
+    }
+
+    /// Locks the slot map, recovering from poisoning: the map is
+    /// insert-only with `Arc`'d values, so a thread that panicked while
+    /// holding the lock can never have left a half-built entry behind.
+    /// One crashing portfolio candidate must not turn every later compile
+    /// on the shared `Cgra` into a cascade of cache panics.
+    fn slots(&self) -> MutexGuard<'_, HashMap<usize, Arc<Mrrg>>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of lookups answered from the cache.
@@ -76,7 +85,7 @@ impl MrrgCache {
 
     /// Number of distinct IIs currently cached.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("MRRG cache poisoned").len()
+        self.slots().len()
     }
 
     /// Whether the cache holds no graphs yet.
@@ -128,6 +137,29 @@ mod tests {
         });
         assert!(graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_still_serves_hits() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = Arc::new(MrrgCache::new());
+        let first = cache.get_or_build(&cgra, 2);
+        // Poison the slot mutex: panic in another thread while holding it,
+        // the way a crashing portfolio candidate would mid-lookup.
+        let poisoner = Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.slots.lock().unwrap();
+            panic!("simulated candidate crash while holding the cache lock");
+        });
+        assert!(handle.join().is_err());
+        assert!(cache.slots.is_poisoned());
+        // The cache must keep working: hits still hit, inserts still land.
+        let again = cache.get_or_build(&cgra, 2);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(cache.hits(), 1);
+        let other = cache.get_or_build(&cgra, 3);
+        assert_eq!(other.ii(), 3);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -22,12 +22,11 @@
 pub mod ablations;
 mod experiments;
 mod format;
-mod json;
 pub mod perf;
 
 pub use experiments::{fig5, fig7, fig8, fig9, table1a, table1b};
 pub use format::Table;
-pub use perf::{BenchMapper, BenchOptions, BenchReport, KernelResult};
+pub use perf::{calibration_scale, BenchMapper, BenchOptions, BenchReport, KernelResult};
 
 use panorama_arch::CgraConfig;
 use panorama_dfg::KernelScale;

@@ -28,11 +28,12 @@
 //! }
 //! ```
 
-use crate::json::{self, Json};
 use panorama::{CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, KernelId, KernelScale};
 use panorama_mapper::{SprConfig, SprMapper, UltraFastMapper};
+use panorama_trace::json::{self, Json};
+use panorama_trace::{phase_totals, RecordingSink, TraceEvent, TraceReport, Tracer};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -67,6 +68,10 @@ pub struct BenchOptions {
     pub mapper: BenchMapper,
     /// Per-SPR-mapping wall-clock budget.
     pub spr_budget: Duration,
+    /// Trace the parallel-phase compiles: per-kernel phase summaries land
+    /// in [`KernelResult::trace_phases`] and the suite timeline is
+    /// exportable via [`BenchReport::to_trace_report`].
+    pub trace: bool,
 }
 
 impl Default for BenchOptions {
@@ -75,6 +80,7 @@ impl Default for BenchOptions {
             threads: 0,
             mapper: BenchMapper::UltraFast,
             spr_budget: Duration::from_secs(60),
+            trace: false,
         }
     }
 }
@@ -97,6 +103,9 @@ pub struct KernelResult {
     pub wall_seconds_single: f64,
     /// Whether the two phases produced bit-identical mappings and plans.
     pub identical: bool,
+    /// Per-phase `(phase, event count, total ns)` rows from tracing the
+    /// parallel-phase compile; empty when tracing was off.
+    pub trace_phases: Vec<(String, u64, u64)>,
 }
 
 /// The full suite measurement.
@@ -125,33 +134,52 @@ fn presets() -> Vec<(&'static str, CgraConfig, KernelScale)> {
     ]
 }
 
+/// One finished compile: the report, its wall-clock seconds and the
+/// per-phase trace summaries (`(phase, count, total_ns)`, empty untraced).
+type JobResult = (CompileReport, f64, Vec<(String, u64, u64)>);
+
 fn compile_job(
     kernel: KernelId,
     cgra: &Cgra,
     scale: KernelScale,
     threads: usize,
     options: &BenchOptions,
-) -> Result<(CompileReport, f64), String> {
+    trace: bool,
+) -> Result<JobResult, String> {
     let dfg = kernels::generate(kernel, scale);
     let compiler = Panorama::new(PanoramaConfig {
         threads,
         ..PanoramaConfig::default()
     });
+    let sink = trace.then(RecordingSink::shared);
+    let tracer = match &sink {
+        Some(sink) => Tracer::new(sink.clone()),
+        None => Tracer::disabled(),
+    };
     let t = Instant::now();
     let report = match options.mapper {
-        BenchMapper::UltraFast => compiler.compile(&dfg, cgra, &UltraFastMapper::default()),
-        BenchMapper::Spr => compiler.compile(
+        BenchMapper::UltraFast => {
+            compiler.compile_traced(&dfg, cgra, &UltraFastMapper::default(), &tracer)
+        }
+        BenchMapper::Spr => compiler.compile_traced(
             &dfg,
             cgra,
             &SprMapper::new(SprConfig {
                 time_budget: Some(options.spr_budget),
                 ..SprConfig::default()
             }),
+            &tracer,
         ),
     };
     let wall = t.elapsed().as_secs_f64();
+    let phases = sink.map_or_else(Vec::new, |sink| {
+        phase_totals(&sink.take())
+            .into_iter()
+            .map(|(phase, count, total_ns)| (phase.to_string(), count, total_ns))
+            .collect()
+    });
     report
-        .map(|r| (r, wall))
+        .map(|r| (r, wall, phases))
         .map_err(|e| format!("{kernel} on {}: {e}", cgra.config().rows))
 }
 
@@ -195,24 +223,32 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
     // parallel phase: jobs fan out over the pool, each compile also runs
     // its candidate portfolio on `threads` workers (clamped to candidates)
     let t_par = Instant::now();
-    let parallel: Vec<Result<(CompileReport, f64), String>> = run_jobs(threads, jobs.len(), |j| {
+    let parallel: Vec<Result<JobResult, String>> = run_jobs(threads, jobs.len(), |j| {
         let (kernel, p) = jobs[j];
-        compile_job(kernel, &cgras[p], presets[p].2, threads, options)
+        compile_job(
+            kernel,
+            &cgras[p],
+            presets[p].2,
+            threads,
+            options,
+            options.trace,
+        )
     });
     let suite_wall_seconds = t_par.elapsed().as_secs_f64();
 
-    // sequential phase: one job at a time, portfolio pinned to one thread
+    // sequential phase: one job at a time, portfolio pinned to one thread,
+    // never traced — its wall-clock feeds the speedup denominator
     let t_seq = Instant::now();
-    let sequential: Vec<Result<(CompileReport, f64), String>> = jobs
+    let sequential: Vec<Result<JobResult, String>> = jobs
         .iter()
-        .map(|&(kernel, p)| compile_job(kernel, &cgras[p], presets[p].2, 1, options))
+        .map(|&(kernel, p)| compile_job(kernel, &cgras[p], presets[p].2, 1, options, false))
         .collect();
     let suite_wall_seconds_single = t_seq.elapsed().as_secs_f64();
 
     let mut rows = Vec::with_capacity(jobs.len());
     for (j, &(kernel, p)) in jobs.iter().enumerate() {
-        let (par_report, par_wall) = parallel[j].clone()?;
-        let (seq_report, seq_wall) = sequential[j].clone()?;
+        let (par_report, par_wall, trace_phases) = parallel[j].clone()?;
+        let (seq_report, seq_wall, _) = sequential[j].clone()?;
         let dfg_ops = kernels::generate(kernel, presets[p].2).num_ops();
         rows.push(KernelResult {
             kernel: kernel.to_string(),
@@ -222,6 +258,7 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
             wall_seconds: par_wall,
             wall_seconds_single: seq_wall,
             identical: reports_identical(&par_report, &seq_report, dfg_ops),
+            trace_phases,
         });
     }
     let speedup = if suite_wall_seconds > 0.0 {
@@ -263,7 +300,7 @@ impl BenchReport {
             let _ = write!(
                 out,
                 "    {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \"mii\": {}, \
-                 \"wall_seconds\": {:.6}, \"wall_seconds_single\": {:.6}, \"identical\": {}}}",
+                 \"wall_seconds\": {:.6}, \"wall_seconds_single\": {:.6}, \"identical\": {}",
                 json::escape(&k.kernel),
                 json::escape(&k.preset),
                 k.ii,
@@ -272,6 +309,21 @@ impl BenchReport {
                 k.wall_seconds_single,
                 k.identical
             );
+            if !k.trace_phases.is_empty() {
+                out.push_str(", \"trace_phases\": {");
+                for (j, (phase, count, total_ns)) in k.trace_phases.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "\"{}\": {{\"count\": {count}, \"total_ns\": {total_ns}}}",
+                        json::escape(phase)
+                    );
+                }
+                out.push('}');
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.kernels.len() {
                 ",\n"
             } else {
@@ -280,6 +332,41 @@ impl BenchReport {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Packages the suite as a `panorama-trace-v1` report: one top-level
+    /// `kernel` span per suite job, laid end-to-end from the sequential
+    /// phase's wall-clocks (that phase genuinely runs jobs back-to-back,
+    /// so the timeline is real). The `candidate` field carries the job's
+    /// index into [`BenchReport::kernels`].
+    pub fn to_trace_report(&self) -> TraceReport {
+        let mut events = Vec::with_capacity(self.kernels.len());
+        let mut offset = 0u64;
+        for (i, k) in self.kernels.iter().enumerate() {
+            let ns = (k.wall_seconds_single * 1e9) as u64;
+            events.push(TraceEvent {
+                phase: "kernel",
+                candidate: i as u32,
+                seq: 0,
+                start_ns: offset,
+                end_ns: offset + ns,
+                counters: vec![
+                    ("ii", k.ii as i64),
+                    ("mii", k.mii as i64),
+                    ("identical", i64::from(k.identical)),
+                ],
+                stable: true,
+            });
+            offset += ns;
+        }
+        TraceReport {
+            kernel: "suite".into(),
+            arch: "4x4+8x8".into(),
+            mapper: self.mapper.into(),
+            threads: self.threads,
+            wall_ns: offset,
+            events,
+        }
     }
 
     /// Whether every kernel's parallel and sequential compiles agreed.
@@ -294,11 +381,14 @@ impl BenchReport {
     ///   baseline's;
     /// * missing kernels — a kernel present in the baseline but not here;
     /// * wall-clock ceiling — any kernel in *either* phase slower than
-    ///   `max_kernel_seconds`;
+    ///   `max_kernel_seconds * max(ceiling_scale, 1.0)`;
     /// * a parallel/sequential mismatch (`identical == false`).
     ///
     /// Wall-clock values in the baseline are informational only — machines
-    /// differ; the ceiling guards against pathological regressions.
+    /// differ; the ceiling guards against pathological regressions, and
+    /// `ceiling_scale` (normally [`calibration_scale`]) widens it on
+    /// machines slower than the one the ceiling was tuned on. The II-drift
+    /// and determinism checks are never relaxed.
     ///
     /// # Errors
     ///
@@ -307,7 +397,9 @@ impl BenchReport {
         &self,
         baseline_json: &str,
         max_kernel_seconds: f64,
+        ceiling_scale: f64,
     ) -> Result<(), String> {
+        let max_kernel_seconds = max_kernel_seconds * ceiling_scale.max(1.0);
         let baseline = json::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
         if baseline.get("schema").and_then(Json::as_str) != Some("panorama-bench-v1") {
             return Err("baseline: unknown or missing schema".into());
@@ -358,6 +450,28 @@ impl BenchReport {
             Err(violations.join("\n"))
         }
     }
+}
+
+/// Single-core wall-clock of the calibration workload on the reference
+/// machine the checked-in wall-clock ceilings were tuned on, seconds.
+const PROBE_REF_SECONDS: f64 = 0.055;
+
+/// Measures how much slower this machine is than the ceiling reference:
+/// times a fixed integer workload and returns `elapsed / reference`,
+/// clamped to `>= 1.0` (faster machines keep the strict ceiling; slower
+/// runners widen it proportionally). Costs a few tens of milliseconds.
+pub fn calibration_scale() -> f64 {
+    // LCG churn: pure ALU work, no memory pressure, so the ratio tracks
+    // scalar CPU speed — the resource the compile pipeline is bound by.
+    let t = Instant::now();
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..40_000_000u64 {
+        acc = acc
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(i | 1);
+    }
+    std::hint::black_box(acc);
+    (t.elapsed().as_secs_f64() / PROBE_REF_SECONDS).max(1.0)
 }
 
 /// Runs `f(0..count)` on a scoped worker pool, results in index order.
@@ -414,6 +528,7 @@ mod tests {
                 wall_seconds: 0.1,
                 wall_seconds_single: 0.2,
                 identical: true,
+                trace_phases: vec![("scatter".into(), 3, 1_500_000)],
             }],
         }
     }
@@ -436,17 +551,41 @@ mod tests {
         let report = tiny_report();
         // identical baseline: clean
         report
-            .check_against_baseline(&report.to_json(), 10.0)
+            .check_against_baseline(&report.to_json(), 10.0, 1.0)
             .unwrap();
         // II drift
         let drifted = report.to_json().replace("\"ii\": 3", "\"ii\": 2");
-        let err = report.check_against_baseline(&drifted, 10.0).unwrap_err();
+        let err = report
+            .check_against_baseline(&drifted, 10.0, 1.0)
+            .unwrap_err();
         assert!(err.contains("II drift"), "{err}");
         // ceiling breach
         let err = report
-            .check_against_baseline(&report.to_json(), 0.05)
+            .check_against_baseline(&report.to_json(), 0.05, 1.0)
             .unwrap_err();
         assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn ceiling_scale_widens_only_the_ceiling() {
+        let report = tiny_report();
+        // 0.05s ceiling breaches at scale 1, passes at scale 10
+        assert!(report
+            .check_against_baseline(&report.to_json(), 0.05, 1.0)
+            .is_err());
+        report
+            .check_against_baseline(&report.to_json(), 0.05, 10.0)
+            .unwrap();
+        // scale below 1 is clamped: still as strict as scale 1
+        assert!(report
+            .check_against_baseline(&report.to_json(), 0.05, 0.1)
+            .is_err());
+        // II drift is never forgiven by scaling
+        let drifted = report.to_json().replace("\"ii\": 3", "\"ii\": 2");
+        let err = report
+            .check_against_baseline(&drifted, 10.0, 100.0)
+            .unwrap_err();
+        assert!(err.contains("II drift"), "{err}");
     }
 
     #[test]
@@ -454,7 +593,42 @@ mod tests {
         let mut fresh = tiny_report();
         let baseline = fresh.to_json();
         fresh.kernels.clear();
-        let err = fresh.check_against_baseline(&baseline, 10.0).unwrap_err();
+        let err = fresh
+            .check_against_baseline(&baseline, 10.0, 1.0)
+            .unwrap_err();
         assert!(err.contains("missing from fresh run"), "{err}");
+    }
+
+    #[test]
+    fn calibration_scale_is_at_least_one() {
+        let scale = calibration_scale();
+        assert!(scale >= 1.0, "{scale}");
+        assert!(scale.is_finite());
+    }
+
+    #[test]
+    fn trace_export_lays_kernels_end_to_end() {
+        let report = tiny_report();
+        let trace = report.to_trace_report();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].phase, "kernel");
+        assert_eq!(trace.events[0].candidate, 0);
+        assert_eq!(trace.wall_ns, trace.events[0].end_ns);
+        assert_eq!(trace.top_level_ns(), trace.wall_ns);
+        // schema-valid JSON
+        let v = json::parse(&trace.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("panorama-trace-v1")
+        );
+    }
+
+    #[test]
+    fn json_emits_trace_phase_summaries() {
+        let v = json::parse(&tiny_report().to_json()).unwrap();
+        let rows = v.get("kernels").and_then(Json::as_arr).unwrap();
+        let phases = rows[0].get("trace_phases").and_then(Json::as_obj).unwrap();
+        assert_eq!(phases[0].0, "scatter");
+        assert_eq!(phases[0].1.get("count").and_then(Json::as_f64), Some(3.0));
     }
 }

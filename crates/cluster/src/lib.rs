@@ -41,6 +41,6 @@ mod spectral;
 pub use cdg::{Cdg, CdgEdge, CdgNodeId};
 pub use partition::Partition;
 pub use spectral::{
-    explore_partitions, top_balanced, ClusterError, SpectralClustering, SpectralConfig,
-    SpectralKind,
+    explore_partitions, explore_partitions_with_stats, top_balanced, ClusterError,
+    SpectralClustering, SpectralConfig, SpectralKind,
 };

@@ -152,6 +152,12 @@ impl SpectralClustering {
         self.nodes
     }
 
+    /// Jacobi sweeps the shared eigendecomposition took — the eigensolve
+    /// effort counter surfaced by the partitioning trace.
+    pub fn eigen_sweeps(&self) -> usize {
+        self.eigen.sweeps()
+    }
+
     /// Clusters the DFG into `k` groups using the first `k` eigenvectors
     /// and k-means.
     ///
@@ -225,6 +231,21 @@ pub fn explore_partitions(
     m: usize,
     config: &SpectralConfig,
 ) -> Result<Vec<Partition>, ClusterError> {
+    explore_partitions_with_stats(dfg, r, m, config).map(|(parts, _)| parts)
+}
+
+/// [`explore_partitions`] that also reports the Jacobi sweep count of the
+/// shared eigendecomposition, for the partitioning trace.
+///
+/// # Errors
+///
+/// Same contract as [`explore_partitions`].
+pub fn explore_partitions_with_stats(
+    dfg: &Dfg,
+    r: usize,
+    m: usize,
+    config: &SpectralConfig,
+) -> Result<(Vec<Partition>, usize), ClusterError> {
     let sc = SpectralClustering::with_kind(dfg, config.kind)?;
     let mut parts = Vec::new();
     for k in r..=m.min(sc.num_nodes()) {
@@ -236,7 +257,7 @@ pub fn explore_partitions(
             nodes: sc.num_nodes(),
         });
     }
-    Ok(parts)
+    Ok((parts, sc.eigen_sweeps()))
 }
 
 /// Algorithm 1 line 5: the `take` most balanced partitions (lowest

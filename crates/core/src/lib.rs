@@ -54,3 +54,4 @@ pub use panorama_mapper as mapper;
 pub use panorama_place as place;
 pub use panorama_power as power;
 pub use panorama_sim as sim;
+pub use panorama_trace as trace;

@@ -4,12 +4,13 @@ use crate::portfolio::{effective_threads, run_indexed};
 use crate::report::{CompileReport, HigherLevelPlan};
 use panorama_arch::Cgra;
 use panorama_cluster::{
-    explore_partitions, top_balanced, Cdg, ClusterError, Partition, SpectralConfig,
+    explore_partitions_with_stats, top_balanced, Cdg, ClusterError, Partition, SpectralConfig,
 };
 use panorama_dfg::Dfg;
 use panorama_lint::{precheck, Diagnostic, Diagnostics};
 use panorama_mapper::{LowerLevelMapper, MapError, PortfolioBound, Restriction, SearchControl};
 use panorama_place::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
+use panorama_trace::{SpanCollector, Tracer, NO_CANDIDATE, SEQ_BASE_MAP};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -148,12 +149,15 @@ impl Panorama {
     }
 
     /// Spectral exploration (Algorithm 1 lines 1–4). Returns the explored
-    /// partitions and the clustering wall-clock.
+    /// partitions, the total Jacobi eigensolve sweep count, and the
+    /// clustering wall-clock; records one `partition.k` trace event per
+    /// explored candidate.
     fn explore(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
-    ) -> Result<(Vec<Partition>, std::time::Duration), PanoramaError> {
+        trace: &mut SpanCollector,
+    ) -> Result<(Vec<Partition>, usize, std::time::Duration), PanoramaError> {
         let (rows, cols) = cgra.cluster_grid();
         let t0 = Instant::now();
         // Cap the exploration so clusters keep a sensible minimum size —
@@ -165,28 +169,68 @@ impl Panorama {
         let m = (2 * rows * cols)
             .min(dfg.num_ops() / 8)
             .clamp(r, self.config.max_dfg_clusters.max(r));
-        let partitions = explore_partitions(dfg, r, m, &self.config.spectral)?;
-        Ok((partitions, t0.elapsed()))
+        let (partitions, eigen_sweeps) =
+            explore_partitions_with_stats(dfg, r, m, &self.config.spectral)?;
+        if trace.is_enabled() {
+            for p in &partitions {
+                trace.event(
+                    "partition.k",
+                    &[
+                        ("k", p.k() as i64),
+                        ("if_milli", (p.imbalance_factor() * 1000.0) as i64),
+                    ],
+                );
+            }
+        }
+        Ok((partitions, eigen_sweeps, t0.elapsed()))
     }
 
     /// Cluster-maps the top-`N` balanced candidates, one scattering ILP
     /// per candidate fanned out over the portfolio worker pool. Results
-    /// come back in balance-rank order, each `(partition index, attempt)`.
+    /// come back in balance-rank order, each `(partition index, attempt,
+    /// trace collector)`. Scattering runs to completion on every candidate
+    /// (no cross-candidate pruning), so its trace events are stable.
     #[allow(clippy::type_complexity)]
     fn cluster_map_candidates(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
         partitions: &[Partition],
-    ) -> Vec<(usize, Result<(Cdg, ClusterMap), PlaceError>)> {
+        tracer: &Tracer,
+    ) -> Vec<(usize, Result<(Cdg, ClusterMap), PlaceError>, SpanCollector)> {
         let (rows, cols) = cgra.cluster_grid();
         let ranked = top_balanced(partitions, self.config.top_partitions);
         let threads = effective_threads(self.config.threads, ranked.len());
         run_indexed(threads, ranked.len(), |rank| {
             let (idx, part) = ranked[rank];
+            let mut col = tracer.collector(rank as u32);
+            let span = col.start();
             let cdg = Cdg::new(dfg, part);
             let attempt = map_clusters(&cdg, rows, cols, &self.config.scatter).map(|m| (cdg, m));
-            (idx, attempt)
+            match &attempt {
+                Ok((_, map)) => {
+                    let effort = map.ilp_effort();
+                    col.record(
+                        "scatter",
+                        span,
+                        &[
+                            ("k", part.k() as i64),
+                            ("zeta1", i64::from(map.zeta1())),
+                            ("zeta2", i64::from(map.zeta2())),
+                            ("routing_complexity", i64::from(map.routing_complexity())),
+                            ("ilp_solves", effort.solves as i64),
+                            ("bnb_nodes", effort.bnb_nodes as i64),
+                            ("simplex_pivots", effort.simplex_pivots as i64),
+                            ("presolve_reductions", effort.presolve_reductions as i64),
+                            ("success", 1),
+                        ],
+                    );
+                }
+                Err(_) => {
+                    col.record("scatter", span, &[("k", part.k() as i64), ("success", 0)]);
+                }
+            }
+            (idx, attempt, col)
         })
     }
 
@@ -226,16 +270,63 @@ impl Panorama {
     /// * [`PanoramaError::ClusterMapping`] when no candidate partition
     ///   admits a cluster mapping.
     pub fn plan(&self, dfg: &Dfg, cgra: &Cgra) -> Result<HigherLevelPlan, PanoramaError> {
-        self.preflight(dfg, cgra, None)?;
-        let (partitions, clustering_time) = self.explore(dfg, cgra)?;
+        self.plan_traced(dfg, cgra, &Tracer::disabled())
+    }
 
+    /// [`plan`](Panorama::plan) with trace recording: pipeline-level spans
+    /// (`preflight`, `partition`, `cluster_map`) plus per-candidate
+    /// `scatter` spans are merged and submitted to `tracer`'s sink, on
+    /// success and on error alike.
+    ///
+    /// # Errors
+    ///
+    /// As for [`plan`](Panorama::plan).
+    pub fn plan_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        tracer: &Tracer,
+    ) -> Result<HigherLevelPlan, PanoramaError> {
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut collectors: Vec<SpanCollector> = Vec::new();
+        let result = self.plan_inner(dfg, cgra, tracer, &mut pipe, &mut collectors);
+        collectors.push(pipe);
+        tracer.submit(collectors);
+        result
+    }
+
+    fn plan_inner(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        tracer: &Tracer,
+        pipe: &mut SpanCollector,
+        collectors: &mut Vec<SpanCollector>,
+    ) -> Result<HigherLevelPlan, PanoramaError> {
+        let span = pipe.start();
+        self.preflight(dfg, cgra, None)?;
+        pipe.record("preflight", span, &[]);
+
+        let span = pipe.start();
+        let (partitions, eigen_sweeps, clustering_time) = self.explore(dfg, cgra, pipe)?;
+        pipe.record(
+            "partition",
+            span,
+            &[
+                ("partitions", partitions.len() as i64),
+                ("eigen_sweeps", eigen_sweeps as i64),
+            ],
+        );
+
+        let span = pipe.start();
         let t1 = Instant::now();
         // Deterministic reduction over the parallel attempts: least
         // routing complexity wins, ties go to the best balance rank (the
         // iteration order of the candidates).
         let mut best: Option<(usize, Cdg, ClusterMap)> = None;
         let mut last_err: Option<PlaceError> = None;
-        for (idx, attempt) in self.cluster_map_candidates(dfg, cgra, &partitions) {
+        for (idx, attempt, col) in self.cluster_map_candidates(dfg, cgra, &partitions, tracer) {
+            collectors.push(col);
             match attempt {
                 Ok((cdg, map)) => {
                     let better = best
@@ -262,6 +353,11 @@ impl Panorama {
         // per-cluster-group capacity bound can prove this particular
         // partition hopeless even when the unrestricted bounds pass.
         self.preflight(dfg, cgra, Some(&restriction))?;
+        pipe.record(
+            "cluster_map",
+            span,
+            &[("attempts", collectors.len() as i64)],
+        );
 
         Ok(HigherLevelPlan::new(
             partitions[idx].clone(),
@@ -298,9 +394,60 @@ impl Panorama {
         cgra: &Cgra,
         mapper: &M,
     ) -> Result<CompileReport, PanoramaError> {
-        self.preflight(dfg, cgra, None)?;
-        let (partitions, clustering_time) = self.explore(dfg, cgra)?;
+        self.compile_traced(dfg, cgra, mapper, &Tracer::disabled())
+    }
 
+    /// [`compile`](Panorama::compile) with trace recording: pipeline-level
+    /// spans (`preflight`, `partition`, `cluster_map`, `map`), per-candidate
+    /// `scatter` spans and the lower-level mappers' own events are merged
+    /// deterministically and submitted to `tracer`'s sink, on success and
+    /// on error alike. Losing candidates' mapper streams depend on
+    /// bound-pruning timing and are marked unstable; the winner's stream
+    /// is stable at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile`](Panorama::compile).
+    pub fn compile_traced<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        tracer: &Tracer,
+    ) -> Result<CompileReport, PanoramaError> {
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut collectors: Vec<SpanCollector> = Vec::new();
+        let result = self.compile_inner(dfg, cgra, mapper, tracer, &mut pipe, &mut collectors);
+        collectors.push(pipe);
+        tracer.submit(collectors);
+        result
+    }
+
+    fn compile_inner<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        tracer: &Tracer,
+        pipe: &mut SpanCollector,
+        collectors: &mut Vec<SpanCollector>,
+    ) -> Result<CompileReport, PanoramaError> {
+        let span = pipe.start();
+        self.preflight(dfg, cgra, None)?;
+        pipe.record("preflight", span, &[]);
+
+        let span = pipe.start();
+        let (partitions, eigen_sweeps, clustering_time) = self.explore(dfg, cgra, pipe)?;
+        pipe.record(
+            "partition",
+            span,
+            &[
+                ("partitions", partitions.len() as i64),
+                ("eigen_sweeps", eigen_sweeps as i64),
+            ],
+        );
+
+        let span = pipe.start();
         let t1 = Instant::now();
         struct Candidate {
             rank: usize,
@@ -312,11 +459,14 @@ impl Panorama {
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut last_place_err: Option<PlaceError> = None;
         let mut first_infeasible: Option<Vec<Diagnostic>> = None;
-        for (rank, (idx, attempt)) in self
-            .cluster_map_candidates(dfg, cgra, &partitions)
+        let mut attempts = 0i64;
+        for (rank, (idx, attempt, col)) in self
+            .cluster_map_candidates(dfg, cgra, &partitions, tracer)
             .into_iter()
             .enumerate()
         {
+            collectors.push(col);
+            attempts += 1;
             match attempt {
                 Ok((cdg, cluster_map)) => {
                     let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
@@ -344,6 +494,14 @@ impl Panorama {
             }
         }
         let cluster_mapping_time = t1.elapsed();
+        pipe.record(
+            "cluster_map",
+            span,
+            &[
+                ("attempts", attempts),
+                ("survivors", candidates.len() as i64),
+            ],
+        );
 
         if candidates.is_empty() {
             return Err(match (first_infeasible, last_place_err) {
@@ -359,15 +517,30 @@ impl Panorama {
         candidates.sort_by_key(|c| (c.cluster_map.routing_complexity(), c.rank));
         let threads = effective_threads(self.config.threads, candidates.len());
         let bound = PortfolioBound::new();
+        let span = pipe.start();
         let t2 = Instant::now();
-        let outcomes = run_indexed(threads, candidates.len(), |i| {
+        let mut outcomes = run_indexed(threads, candidates.len(), |i| {
             let c = &candidates[i];
             let control = SearchControl::new(
                 Arc::clone(&bound),
                 c.cluster_map.routing_complexity(),
                 c.rank,
             );
-            mapper.map_with_control(dfg, cgra, Some(&c.restriction), Some(&control))
+            // The conquer collector's seq numbers start at SEQ_BASE_MAP so
+            // they merge after the same candidate's scatter events.
+            let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP);
+            let attempt_span = col.start();
+            let outcome =
+                mapper.map_traced(dfg, cgra, Some(&c.restriction), Some(&control), &mut col);
+            match &outcome {
+                Ok(m) => col.record(
+                    "map.candidate",
+                    attempt_span,
+                    &[("ii", m.ii() as i64), ("success", 1)],
+                ),
+                Err(_) => col.record("map.candidate", attempt_span, &[("success", 0)]),
+            }
+            (outcome, col)
         });
         let mapping_time = t2.elapsed();
 
@@ -377,7 +550,7 @@ impl Panorama {
         // winner and the result is thread-count-invariant.
         let mut best: Option<(u64, usize)> = None;
         let mut first_map_err: Option<(usize, MapError)> = None;
-        for (i, outcome) in outcomes.iter().enumerate() {
+        for (i, (outcome, _)) in outcomes.iter().enumerate() {
             let c = &candidates[i];
             match outcome {
                 Ok(mapping) => {
@@ -397,16 +570,44 @@ impl Panorama {
                 }
             }
         }
-        let Some((_, winner)) = best else {
+        // Only the winner's lower-level search replays identically at any
+        // thread count; every other candidate may have been pruned at a
+        // timing-dependent point, so its conquer events are unstable.
+        let winner_index = best.map(|(_, i)| i);
+        for (i, (_, col)) in outcomes.iter_mut().enumerate() {
+            if Some(i) != winner_index {
+                col.mark_unstable();
+            }
+        }
+        if tracer.is_enabled() {
+            let cache = cgra.mrrg_cache();
+            pipe.event_unstable(
+                "mrrg_cache",
+                &[
+                    ("hits", cache.hits() as i64),
+                    ("misses", cache.misses() as i64),
+                    ("entries", cache.len() as i64),
+                ],
+            );
+        }
+        let Some(winner) = winner_index else {
+            collectors.extend(outcomes.into_iter().map(|(_, col)| col));
             let (_, e) = first_map_err.expect("no success implies at least one failure");
             return Err(PanoramaError::Mapping(e));
         };
-        let mapping = outcomes
-            .into_iter()
-            .nth(winner)
-            .expect("winner index in range")
-            .expect("winner is a success");
         let c = candidates.swap_remove(winner);
+        pipe.record(
+            "map",
+            span,
+            &[
+                ("winner_rank", c.rank as i64),
+                ("candidates", outcomes.len() as i64),
+            ],
+        );
+        let (outcome, winner_col) = outcomes.swap_remove(winner);
+        collectors.push(winner_col);
+        collectors.extend(outcomes.into_iter().map(|(_, col)| col));
+        let mapping = outcome.expect("winner is a success");
         let plan = HigherLevelPlan::new(
             partitions[c.partition_index].clone(),
             c.cdg,
@@ -431,11 +632,38 @@ impl Panorama {
         cgra: &Cgra,
         mapper: &M,
     ) -> Result<CompileReport, PanoramaError> {
-        self.preflight(dfg, cgra, None)?;
-        let t = Instant::now();
-        let mapping = mapper.map(dfg, cgra, None)?;
-        let mapping_time = t.elapsed();
-        Ok(CompileReport::new(mapping, None, mapping_time))
+        self.compile_baseline_traced(dfg, cgra, mapper, &Tracer::disabled())
+    }
+
+    /// [`compile_baseline`](Panorama::compile_baseline) with trace
+    /// recording: `preflight` and `map` pipeline spans plus the mapper's
+    /// own events (tagged candidate 0) go to `tracer`'s sink.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_baseline`](Panorama::compile_baseline).
+    pub fn compile_baseline_traced<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        tracer: &Tracer,
+    ) -> Result<CompileReport, PanoramaError> {
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut map_col = tracer.collector_from(0, SEQ_BASE_MAP);
+        let result = (|| {
+            let span = pipe.start();
+            self.preflight(dfg, cgra, None)?;
+            pipe.record("preflight", span, &[]);
+            let span = pipe.start();
+            let t = Instant::now();
+            let mapping = mapper.map_traced(dfg, cgra, None, None, &mut map_col)?;
+            let mapping_time = t.elapsed();
+            pipe.record("map", span, &[("ii", mapping.ii() as i64)]);
+            Ok(CompileReport::new(mapping, None, mapping_time))
+        })();
+        tracer.submit(vec![map_col, pipe]);
+        result
     }
 }
 

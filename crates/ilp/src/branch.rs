@@ -1,10 +1,34 @@
 //! Branch & bound over LP relaxations.
 
 use crate::model::{Cmp, Model, Sense};
-use crate::simplex::{solve_lp, LpOutcome, LpRow};
+use crate::simplex::{solve_lp_counted, LpOutcome, LpRow};
 use crate::VarId;
 use std::error::Error;
 use std::fmt;
+
+/// Solver effort counters for one [`Model::solve`] call.
+///
+/// The scattering pipeline aggregates these across its matching-cut solves
+/// and surfaces them as trace events, reproducing the per-phase solver
+/// statistics that make ILP-based mappers comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch & bound nodes explored.
+    pub nodes: u64,
+    /// Simplex pivots across every LP relaxation solved.
+    pub pivots: u64,
+    /// Individual bound tightenings applied by presolve.
+    pub presolve_reductions: u64,
+}
+
+impl SolveStats {
+    /// Accumulates another solve's counters into `self`.
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.nodes += other.nodes;
+        self.pivots += other.pivots;
+        self.presolve_reductions += other.presolve_reductions;
+    }
+}
 
 /// Error produced by [`Model::solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +62,7 @@ impl Error for SolveError {}
 pub struct Solution {
     values: Vec<f64>,
     objective: f64,
+    stats: SolveStats,
 }
 
 impl Solution {
@@ -72,6 +97,11 @@ impl Solution {
     pub fn objective(&self) -> f64 {
         self.objective
     }
+
+    /// Effort counters accumulated while solving for this solution.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
 }
 
 const INT_TOL: f64 = 1e-6;
@@ -103,10 +133,15 @@ impl Model {
         }
 
         // presolve: tighten the root box before searching
+        let mut stats = SolveStats::default();
         let root_lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
-        let (root_lower, root_upper) = match crate::presolve::tighten(self, root_lower, root_upper)
-        {
+        let (root_lower, root_upper) = match crate::presolve::tighten(
+            self,
+            root_lower,
+            root_upper,
+            &mut stats.presolve_reductions,
+        ) {
             crate::presolve::Presolve::Bounds(lo, up) => (lo, up),
             crate::presolve::Presolve::Infeasible => return Err(SolveError::Infeasible),
         };
@@ -123,10 +158,12 @@ impl Model {
         while let Some(node) = stack.pop() {
             nodes += 1;
             if nodes > self.node_limit {
+                stats.nodes = nodes as u64;
                 return Err(SolveError::NodeLimit(incumbent.map(|(values, obj)| {
                     Solution {
                         values,
                         objective: self.finish_objective(obj, obj_const),
+                        stats,
                     }
                 })));
             }
@@ -141,7 +178,7 @@ impl Model {
             }
 
             let (rows, shifted_cost, shift_const) = self.build_lp(&node, &cost);
-            match solve_lp(n, &rows, &shifted_cost) {
+            match solve_lp_counted(n, &rows, &shifted_cost, &mut stats.pivots) {
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded => {
                     if nodes == 1 {
@@ -226,10 +263,12 @@ impl Model {
         if root_unbounded {
             return Err(SolveError::Unbounded);
         }
+        stats.nodes = nodes as u64;
         match incumbent {
             Some((values, obj)) => Ok(Solution {
                 values,
                 objective: self.finish_objective(obj, obj_const),
+                stats,
             }),
             None => Err(SolveError::Infeasible),
         }

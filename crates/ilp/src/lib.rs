@@ -40,7 +40,7 @@ mod model;
 mod presolve;
 mod simplex;
 
-pub use branch::{Solution, SolveError};
+pub use branch::{Solution, SolveError, SolveStats};
 pub use export::write_lp;
 pub use model::{Cmp, ConstraintView, LinExpr, Model, Sense, VarId};
 

@@ -32,7 +32,14 @@ fn activity(coeffs: &[(usize, f64)], lower: &[f64], upper: &[f64]) -> (f64, f64)
 
 /// Iteratively tightens variable bounds from every constraint until a
 /// fixpoint (capped at a handful of sweeps — diminishing returns after).
-pub(crate) fn tighten(model: &Model, mut lower: Vec<f64>, mut upper: Vec<f64>) -> Presolve {
+/// Every individual bound change counts one *reduction* into `reductions`
+/// (surfaced through [`Solution::stats`](crate::Solution::stats)).
+pub(crate) fn tighten(
+    model: &Model,
+    mut lower: Vec<f64>,
+    mut upper: Vec<f64>,
+    reductions: &mut u64,
+) -> Presolve {
     const SWEEPS: usize = 6;
     const EPS: f64 = 1e-9;
 
@@ -74,6 +81,7 @@ pub(crate) fn tighten(model: &Model, mut lower: Vec<f64>, mut upper: Vec<f64>) -
                     if new_up < upper[j] - EPS {
                         upper[j] = new_up;
                         changed = true;
+                        *reductions += 1;
                     }
                 } else {
                     let mut new_lo = budget / a; // negative divisor flips
@@ -83,6 +91,7 @@ pub(crate) fn tighten(model: &Model, mut lower: Vec<f64>, mut upper: Vec<f64>) -
                     if new_lo > lower[j] + EPS {
                         lower[j] = new_lo;
                         changed = true;
+                        *reductions += 1;
                     }
                 }
                 if lower[j] > upper[j] + EPS {
@@ -111,7 +120,7 @@ mod tests {
         m.add_constraint(x + y, Cmp::Le, 3.0);
         let lower = vec![0.0, 0.0];
         let upper = vec![10.0, 10.0];
-        match tighten(&m, lower, upper) {
+        match tighten(&m, lower, upper, &mut 0) {
             Presolve::Bounds(_, up) => {
                 assert_eq!(up, vec![3.0, 3.0]);
             }
@@ -126,7 +135,7 @@ mod tests {
         let x = m.int_var("x", 0, 10);
         let y = m.int_var("y", 0, 10);
         m.add_constraint(x + y, Cmp::Ge, 15.0);
-        match tighten(&m, vec![0.0, 0.0], vec![10.0, 10.0]) {
+        match tighten(&m, vec![0.0, 0.0], vec![10.0, 10.0], &mut 0) {
             Presolve::Bounds(lo, _) => {
                 assert_eq!(lo[1], 5.0);
                 assert_eq!(lo[0], 5.0);
@@ -142,7 +151,10 @@ mod tests {
         let x = m.int_var("x", 0, 10);
         m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
         m.add_constraint(LinExpr::from(x), Cmp::Le, 2.0);
-        assert_eq!(tighten(&m, vec![0.0], vec![10.0]), Presolve::Infeasible);
+        assert_eq!(
+            tighten(&m, vec![0.0], vec![10.0], &mut 0),
+            Presolve::Infeasible
+        );
     }
 
     #[test]
@@ -151,7 +163,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.int_var("x", 0, 10);
         m.add_constraint(2.0 * x, Cmp::Le, 5.0);
-        match tighten(&m, vec![0.0], vec![10.0]) {
+        match tighten(&m, vec![0.0], vec![10.0], &mut 0) {
             Presolve::Bounds(_, up) => assert_eq!(up[0], 2.0),
             Presolve::Infeasible => panic!("feasible"),
         }
@@ -164,7 +176,7 @@ mod tests {
         let x = m.int_var("x", 0, 3);
         let y = m.int_var("y", 0, 3);
         m.add_constraint(x + y, Cmp::Eq, 4.0);
-        match tighten(&m, vec![0.0, 0.0], vec![3.0, 3.0]) {
+        match tighten(&m, vec![0.0, 0.0], vec![3.0, 3.0], &mut 0) {
             Presolve::Bounds(lo, up) => {
                 assert_eq!(lo, vec![1.0, 1.0]);
                 assert_eq!(up, vec![3.0, 3.0]);

@@ -36,7 +36,20 @@ const MAX_ITERS: usize = 200_000;
 /// Solves `minimize cost·x` subject to `rows`, `x ≥ 0`.
 ///
 /// Callers must fold variable upper bounds into `rows`.
+#[cfg(test)]
 pub(crate) fn solve_lp(num_vars: usize, rows: &[LpRow], cost: &[f64]) -> LpOutcome {
+    solve_lp_counted(num_vars, rows, cost, &mut 0)
+}
+
+/// `solve_lp` variant that also accumulates the number of simplex pivots into
+/// `pivots` (both phases plus artificial-cleanup pivots) — the effort
+/// counter surfaced through [`Solution::stats`](crate::Solution::stats).
+pub(crate) fn solve_lp_counted(
+    num_vars: usize,
+    rows: &[LpRow],
+    cost: &[f64],
+    pivots: &mut u64,
+) -> LpOutcome {
     debug_assert_eq!(cost.len(), num_vars);
     let m = rows.len();
 
@@ -103,7 +116,7 @@ pub(crate) fn solve_lp(num_vars: usize, rows: &[LpRow], cost: &[f64]) -> LpOutco
         for &c in &artificial_cols {
             cost1[c] = 1.0;
         }
-        let outcome = run_simplex(&mut t, &mut basis, m, total, width, &cost1);
+        let outcome = run_simplex(&mut t, &mut basis, m, total, width, &cost1, pivots);
         if outcome == RunOutcome::Unbounded {
             // Phase-1 objective is bounded below by 0; unbounded here means
             // a numerical breakdown — treat as infeasible.
@@ -125,6 +138,7 @@ pub(crate) fn solve_lp(num_vars: usize, rows: &[LpRow], cost: &[f64]) -> LpOutco
                 for j in 0..art_start {
                     if t[i * width + j].abs() > EPS {
                         pivot(&mut t, &mut basis, m, width, i, j);
+                        *pivots += 1;
                         pivoted = true;
                         break;
                     }
@@ -144,7 +158,9 @@ pub(crate) fn solve_lp(num_vars: usize, rows: &[LpRow], cost: &[f64]) -> LpOutco
     // ---- Phase 2: original objective, artificial columns frozen ----
     let mut cost2 = vec![0.0f64; total];
     cost2[..num_vars].copy_from_slice(cost);
-    let outcome = run_simplex_excluding(&mut t, &mut basis, m, total, width, &cost2, art_start);
+    let outcome = run_simplex_excluding(
+        &mut t, &mut basis, m, total, width, &cost2, art_start, pivots,
+    );
     if outcome == RunOutcome::Unbounded {
         return LpOutcome::Unbounded;
     }
@@ -165,6 +181,7 @@ enum RunOutcome {
     Unbounded,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_simplex(
     t: &mut [f64],
     basis: &mut [usize],
@@ -172,12 +189,14 @@ fn run_simplex(
     total: usize,
     width: usize,
     cost: &[f64],
+    pivots: &mut u64,
 ) -> RunOutcome {
-    run_simplex_excluding(t, basis, m, total, width, cost, total)
+    run_simplex_excluding(t, basis, m, total, width, cost, total, pivots)
 }
 
 /// Primal simplex loop; columns `>= exclude_from` may never *enter* the
 /// basis (used to freeze artificials in phase 2).
+#[allow(clippy::too_many_arguments)]
 fn run_simplex_excluding(
     t: &mut [f64],
     basis: &mut [usize],
@@ -186,6 +205,7 @@ fn run_simplex_excluding(
     width: usize,
     cost: &[f64],
     exclude_from: usize,
+    pivots: &mut u64,
 ) -> RunOutcome {
     // Reduced costs: z_j - c_j computed from scratch each iteration would be
     // O(m·n); keep a working cost row updated by pivots instead.
@@ -249,6 +269,7 @@ fn run_simplex_excluding(
         }
 
         pivot_with_cost(t, basis, width, leave, enter, &mut red);
+        *pivots += 1;
     }
     // Iteration safety net: report the current (possibly suboptimal) basis
     // as optimal; callers treat LP bounds conservatively.
@@ -405,6 +426,19 @@ mod tests {
             LpOutcome::Optimal { objective, .. } => assert!(objective.abs() < 1e-7),
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pivot_counter_accumulates() {
+        let rows = vec![
+            le(vec![1.0, 0.0], 4.0),
+            le(vec![0.0, 2.0], 12.0),
+            le(vec![3.0, 2.0], 18.0),
+        ];
+        let mut pivots = 0u64;
+        let outcome = solve_lp_counted(2, &rows, &[-3.0, -5.0], &mut pivots);
+        assert!(matches!(outcome, LpOutcome::Optimal { .. }));
+        assert!(pivots > 0, "a non-trivial LP must pivot at least once");
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct SymmetricEigen {
     eigenvalues: Vec<f64>,
     /// Column `j` of this matrix is the eigenvector for `eigenvalues[j]`.
     eigenvectors: DMatrix,
+    /// Jacobi sweeps executed before convergence (0 for the tridiagonal
+    /// and trivial paths).
+    sweeps: usize,
 }
 
 const MAX_SWEEPS: usize = 64;
@@ -81,6 +84,7 @@ impl SymmetricEigen {
             return Ok(SymmetricEigen {
                 eigenvalues: Vec::new(),
                 eigenvectors: DMatrix::zeros(0, 0),
+                sweeps: 0,
             });
         }
         // The tridiagonal (tred2/tql2) path is asymptotically faster, but
@@ -99,11 +103,13 @@ impl SymmetricEigen {
         let threshold = 1e-12 * scale * (n as f64);
 
         let mut converged = false;
+        let mut sweeps = 0usize;
         for _ in 0..MAX_SWEEPS {
             if a.off_diagonal_norm() <= threshold {
                 converged = true;
                 break;
             }
+            sweeps += 1;
             // Cyclic sweep over the upper triangle.
             for p in 0..n {
                 for q in (p + 1)..n {
@@ -151,7 +157,15 @@ impl SymmetricEigen {
         }
 
         let values: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-        Ok(Self::from_pairs(values, v))
+        let mut eigen = Self::from_pairs(values, v);
+        eigen.sweeps = sweeps;
+        Ok(eigen)
+    }
+
+    /// Number of Jacobi sweeps the decomposition took — the eigensolve
+    /// effort counter surfaced by the partitioning trace.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
     }
 
     /// Sorts raw (unsorted) eigenpairs by ascending eigenvalue.
@@ -169,6 +183,7 @@ impl SymmetricEigen {
         SymmetricEigen {
             eigenvalues,
             eigenvectors: sorted,
+            sweeps: 0,
         }
     }
 

@@ -59,6 +59,8 @@ pub enum Entity {
     Var(String),
     /// An ILP constraint, by dense index.
     Constraint(usize),
+    /// A trace event, by position in the trace's event array.
+    Event(usize),
 }
 
 impl fmt::Display for Entity {
@@ -70,6 +72,7 @@ impl fmt::Display for Entity {
             Entity::Cluster(c) => write!(f, "cluster {c}"),
             Entity::Var(name) => write!(f, "var `{name}`"),
             Entity::Constraint(i) => write!(f, "constraint {i}"),
+            Entity::Event(i) => write!(f, "event {i}"),
         }
     }
 }

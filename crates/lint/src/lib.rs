@@ -22,8 +22,9 @@
 //!
 //! Codes are stable strings grouped by prefix: `DFG...` (kernel structure),
 //! `ARCH...` (architecture), `PART...` (partition/CDG/restriction),
-//! `ILP...` (solver models) and `MAP...` (mappability bounds). The per-pass
-//! module docs list every code with its severity.
+//! `ILP...` (solver models), `MAP...` (mappability bounds) and `TRACE...`
+//! (`panorama-trace-v1` JSON exports). The per-pass module docs list every
+//! code with its severity.
 //!
 //! # Examples
 //!
@@ -57,6 +58,7 @@ pub mod ilp_lints;
 pub mod partition_lints;
 pub mod precheck;
 mod registry;
+pub mod trace_lints;
 
 pub use arch_lints::lint_arch;
 pub use dfg_lints::lint_dfg;
@@ -65,3 +67,4 @@ pub use ilp_lints::lint_model;
 pub use partition_lints::lint_partition;
 pub use precheck::{precheck, PrecheckReport};
 pub use registry::{LintContext, LintPass, Registry};
+pub use trace_lints::lint_trace_json;

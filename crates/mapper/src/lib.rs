@@ -66,6 +66,7 @@ pub use ultrafast::{UltraFastConfig, UltraFastMapper};
 
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;
+use panorama_trace::SpanCollector;
 
 /// A lower-level mapper that PANORAMA's higher-level cluster mapping can
 /// guide (paper §3.3: "Panorama is a portable higher-level mapper which
@@ -109,6 +110,27 @@ pub trait LowerLevelMapper: Sync {
     ) -> Result<Mapping, MapError> {
         let _ = control;
         self.map(dfg, cgra, restriction)
+    }
+
+    /// Like [`map_with_control`](LowerLevelMapper::map_with_control), but
+    /// additionally records per-phase spans and counters into `trace`. The
+    /// default implementation ignores the collector (correct for mappers
+    /// without instrumentation); passing a disabled collector must cost
+    /// nothing beyond a branch per would-be event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when no admissible mapping is found.
+    fn map_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+        trace: &mut SpanCollector,
+    ) -> Result<Mapping, MapError> {
+        let _ = trace;
+        self.map_with_control(dfg, cgra, restriction, control)
     }
 
     /// Short mapper name for reports ("SPR*", "Ultra-Fast").

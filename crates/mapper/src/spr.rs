@@ -8,6 +8,7 @@ use crate::router::{route_all, RouterConfig, RouterScratch};
 use crate::{min_ii, LowerLevelMapper, Mapping, MappingStats, Restriction, SearchControl};
 use panorama_arch::Cgra;
 use panorama_dfg::{Dfg, OpId};
+use panorama_trace::SpanCollector;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -109,6 +110,23 @@ impl LowerLevelMapper for SprMapper {
         restriction: Option<&Restriction>,
         control: Option<&SearchControl>,
     ) -> Result<Mapping, MapError> {
+        self.map_traced(
+            dfg,
+            cgra,
+            restriction,
+            control,
+            &mut SpanCollector::disabled(),
+        )
+    }
+
+    fn map_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+        trace: &mut SpanCollector,
+    ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
@@ -123,7 +141,6 @@ impl LowerLevelMapper for SprMapper {
         let mut scratch = RouterScratch::new();
         let mut anneal_scratch = AnnealScratch::default();
 
-        let debug = std::env::var_os("PANORAMA_DEBUG").is_some();
         let out_of_time = |start: Instant| {
             self.config
                 .time_budget
@@ -131,22 +148,32 @@ impl LowerLevelMapper for SprMapper {
         };
         for ii in start_ii..=max_ii {
             if out_of_time(start) {
+                // Wall-clock cutoffs depend on machine load, so the event
+                // is excluded from the deterministic trace signature.
+                trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
                 break;
             }
             // II searches ascend: once the portfolio bound rejects this II
             // it rejects every later one, so the candidate is done.
             if control.is_some_and(|c| !c.admits(ii)) {
+                trace.event_unstable("spr.cancelled", &[("ii", ii as i64)]);
                 break;
             }
             stats.ii_attempts += 1;
+            let ii_span = trace.start();
             // joint schedule + least-cost placement (Algorithm 2 lines 4–8)
+            let place_span = trace.start();
             let placement = initial_placement(dfg, cgra, ii, restriction);
-            if debug {
-                if let Err(op) = &placement {
-                    eprintln!("[spr] ii {ii}: placement failed at op {op}");
-                }
+            match &placement {
+                Ok(_) => trace.record("spr.place", place_span, &[("ii", ii as i64)]),
+                Err(op) => trace.record(
+                    "spr.place_fail",
+                    place_span,
+                    &[("ii", ii as i64), ("op", op.index() as i64)],
+                ),
             }
             let Ok(mut state) = placement else {
+                trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
                 continue;
             };
             let mrrg = cgra.mrrg_shared(ii);
@@ -154,6 +181,7 @@ impl LowerLevelMapper for SprMapper {
             let mut temp = self.config.sa_initial_temp;
 
             loop {
+                let route_span = trace.start();
                 let outcome = route_all(
                     &mrrg,
                     cgra,
@@ -164,23 +192,29 @@ impl LowerLevelMapper for SprMapper {
                     &mut scratch,
                 );
                 stats.router_iterations += outcome.iterations;
-                if debug {
-                    eprintln!(
-                        "[spr] ii {ii}: temp {temp:.3} overuse {} failed {}",
-                        outcome.overuse, outcome.failed
+                if trace.is_enabled() {
+                    // overused-node census, formerly a PANORAMA_DEBUG
+                    // stderr dump; only computed when someone listens
+                    let overused = outcome
+                        .usage
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, &u)| {
+                            let cap = mrrg.capacity(panorama_arch::MrrgNodeId::from_index(i));
+                            cap != u16::MAX && u as usize > cap as usize
+                        })
+                        .count();
+                    trace.record(
+                        "spr.route",
+                        route_span,
+                        &[
+                            ("ii", ii as i64),
+                            ("iterations", outcome.iterations as i64),
+                            ("overuse", outcome.overuse as i64),
+                            ("failed", outcome.failed as i64),
+                            ("overused_nodes", overused as i64),
+                        ],
                     );
-                    for (i, &u) in outcome.usage.iter().enumerate() {
-                        let node = panorama_arch::MrrgNodeId::from_index(i);
-                        let cap = mrrg.capacity(node);
-                        if cap != u16::MAX && u as usize > cap as usize {
-                            eprintln!(
-                                "[spr]   overused {:?} at {} t{} use {u} cap {cap}",
-                                mrrg.kind(node),
-                                mrrg.pe_of(node),
-                                mrrg.time_of(node)
-                            );
-                        }
-                    }
                 }
                 if outcome.is_clean() {
                     stats.compile_time = start.elapsed();
@@ -192,6 +226,7 @@ impl LowerLevelMapper for SprMapper {
                     if let Some(c) = control {
                         c.record_success(ii);
                     }
+                    trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 1)]);
                     return Ok(Mapping {
                         mapper: self.name(),
                         ii,
@@ -202,11 +237,16 @@ impl LowerLevelMapper for SprMapper {
                         stats,
                     });
                 }
-                if temp < self.config.sa_min_temp || out_of_time(start) {
+                if temp < self.config.sa_min_temp {
                     break; // give up on this II
+                }
+                if out_of_time(start) {
+                    trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
+                    break;
                 }
                 // simulated-annealing placement repair targeting the ops on
                 // congested PEs (Algorithm 2 line 14)
+                let anneal_span = trace.start();
                 congested_ops(
                     dfg,
                     &mrrg,
@@ -228,9 +268,21 @@ impl LowerLevelMapper for SprMapper {
                     &mut rng,
                 );
                 stats.anneal_moves += moves;
+                trace.record(
+                    "spr.anneal",
+                    anneal_span,
+                    &[
+                        ("ii", ii as i64),
+                        ("temp_milli", (temp * 1000.0) as i64),
+                        ("moves", moves as i64),
+                        ("candidates", anneal_scratch.ops.len() as i64),
+                    ],
+                );
                 temp *= self.config.sa_alpha;
             }
+            trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
         }
+        trace.event("spr.exhausted", &[("max_ii", max_ii as i64)]);
         Err(MapError {
             max_ii_tried: max_ii,
             mapper: self.name(),

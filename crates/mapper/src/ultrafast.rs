@@ -220,6 +220,23 @@ impl LowerLevelMapper for UltraFastMapper {
         restriction: Option<&Restriction>,
         control: Option<&crate::SearchControl>,
     ) -> Result<Mapping, MapError> {
+        self.map_traced(
+            dfg,
+            cgra,
+            restriction,
+            control,
+            &mut panorama_trace::SpanCollector::disabled(),
+        )
+    }
+
+    fn map_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&crate::SearchControl>,
+        trace: &mut panorama_trace::SpanCollector,
+    ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
@@ -233,14 +250,21 @@ impl LowerLevelMapper for UltraFastMapper {
         for ii in start_ii..=max_ii {
             // ascending II search: a rejected II rejects the whole tail
             if control.is_some_and(|c| !c.admits(ii)) {
+                trace.event_unstable("ultrafast.cancelled", &[("ii", ii as i64)]);
                 break;
             }
             stats.ii_attempts += 1;
+            let ii_span = trace.start();
             if let Ok((time_of, pe_of)) = self.try_ii(dfg, cgra, restriction, ii) {
                 stats.compile_time = start.elapsed();
                 if let Some(c) = control {
                     c.record_success(ii);
                 }
+                trace.record(
+                    "ultrafast.ii",
+                    ii_span,
+                    &[("ii", ii as i64), ("success", 1)],
+                );
                 return Ok(Mapping {
                     mapper: self.name(),
                     ii,
@@ -251,7 +275,13 @@ impl LowerLevelMapper for UltraFastMapper {
                     stats,
                 });
             }
+            trace.record(
+                "ultrafast.ii",
+                ii_span,
+                &[("ii", ii as i64), ("success", 0)],
+            );
         }
+        trace.event("ultrafast.exhausted", &[("max_ii", max_ii as i64)]);
         Err(MapError {
             max_ii_tried: max_ii,
             mapper: self.name(),

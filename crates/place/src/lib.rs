@@ -43,5 +43,7 @@
 mod map;
 mod scatter;
 
-pub use map::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
-pub use scatter::{column_scatter, row_scatter};
+pub use map::{map_clusters, ClusterMap, IlpEffort, PlaceError, ScatterConfig};
+pub use scatter::{
+    column_scatter, column_scatter_with_effort, row_scatter, row_scatter_with_effort,
+};

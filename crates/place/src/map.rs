@@ -1,11 +1,34 @@
 //! The cluster-mapping driver ([`map_clusters`], Algorithm 1 lines 6–9)
 //! and its result type [`ClusterMap`].
 
-use crate::{column_scatter, row_scatter};
+use crate::{column_scatter_with_effort, row_scatter_with_effort};
 use panorama_cluster::{Cdg, CdgNodeId};
-use panorama_ilp::SolveError;
+use panorama_ilp::{SolveError, SolveStats};
 use std::error::Error;
 use std::fmt;
+
+/// Accumulated ILP solver effort across a cluster mapping's scattering
+/// solves — the split&push statistics surfaced as trace events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpEffort {
+    /// Individual ILP models solved (matching-cut splits + row placements).
+    pub solves: u64,
+    /// Branch & bound nodes explored in total.
+    pub bnb_nodes: u64,
+    /// Simplex pivots across every LP relaxation.
+    pub simplex_pivots: u64,
+    /// Presolve bound tightenings applied.
+    pub presolve_reductions: u64,
+}
+
+impl IlpEffort {
+    /// Folds one solve's counters into the running totals.
+    pub fn absorb(&mut self, stats: SolveStats) {
+        self.bnb_nodes += stats.nodes;
+        self.simplex_pivots += stats.pivots;
+        self.presolve_reductions += stats.presolve_reductions;
+    }
+}
 
 /// Tunables for the scattering ILPs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +111,7 @@ pub struct ClusterMap {
     cols_of: Vec<Vec<usize>>,
     zeta1: u32,
     zeta2: u32,
+    effort: IlpEffort,
 }
 
 impl ClusterMap {
@@ -133,6 +157,12 @@ impl ClusterMap {
     /// ζ2 used by the accepted column scattering.
     pub fn zeta2(&self) -> u32 {
         self.zeta2
+    }
+
+    /// ILP solver effort spent producing this map (every ζ escalation
+    /// attempt included).
+    pub fn ilp_effort(&self) -> IlpEffort {
+        self.effort
     }
 
     /// The paper's tie-breaker between candidate cluster mappings: lower
@@ -203,8 +233,10 @@ pub fn map_clusters(
     // and fall back to the best-balanced assignment seen.
     let fair = cdg.total_dfg_nodes() as f64 / rows as f64;
     let mut best: Option<(f64, u32, Vec<usize>)> = None;
+    let mut effort = IlpEffort::default();
     for zeta in 1..=config.max_zeta {
-        let Some(row_of) = column_scatter(cdg, rows, zeta, zeta, config)? else {
+        let Some(row_of) = column_scatter_with_effort(cdg, rows, zeta, zeta, config, &mut effort)?
+        else {
             continue;
         };
         let mut loads = vec![0usize; rows];
@@ -225,7 +257,7 @@ pub fn map_clusters(
             max_zeta: config.max_zeta,
         });
     };
-    let cols_of = row_scatter(cdg, &row_of, rows, cols, config)?;
+    let cols_of = row_scatter_with_effort(cdg, &row_of, rows, cols, config, &mut effort)?;
     Ok(ClusterMap {
         rows,
         cols,
@@ -233,6 +265,7 @@ pub fn map_clusters(
         cols_of,
         zeta1: zeta,
         zeta2: zeta,
+        effort,
     })
 }
 

@@ -1,16 +1,25 @@
 //! The two scattering ILPs (paper §3.2.1 and §3.2.2).
 
-use crate::{PlaceError, ScatterConfig};
+use crate::{IlpEffort, PlaceError, ScatterConfig};
 use panorama_cluster::{Cdg, CdgNodeId};
 use panorama_ilp::{Cmp, LinExpr, Model, Sense, Solution, SolveError, VarId};
 
 /// Runs a model, accepting a node-limit incumbent as a (possibly
-/// suboptimal) success — scattering quality degrades gracefully.
-fn solve_lenient(model: &Model) -> Result<Option<Solution>, PlaceError> {
+/// suboptimal) success — scattering quality degrades gracefully. Every
+/// solve counts into `effort`, the choke point through which all
+/// scattering ILP statistics flow.
+fn solve_lenient(model: &Model, effort: &mut IlpEffort) -> Result<Option<Solution>, PlaceError> {
+    effort.solves += 1;
     match model.solve() {
-        Ok(sol) => Ok(Some(sol)),
+        Ok(sol) => {
+            effort.absorb(sol.stats());
+            Ok(Some(sol))
+        }
         Err(SolveError::Infeasible) => Ok(None),
-        Err(SolveError::NodeLimit(Some(sol))) => Ok(Some(sol)),
+        Err(SolveError::NodeLimit(Some(sol))) => {
+            effort.absorb(sol.stats());
+            Ok(Some(sol))
+        }
         Err(e @ (SolveError::Unbounded | SolveError::NodeLimit(None))) => {
             Err(PlaceError::Solver(e))
         }
@@ -35,6 +44,23 @@ pub fn column_scatter(
     zeta1: u32,
     zeta2: u32,
     config: &ScatterConfig,
+) -> Result<Option<Vec<usize>>, PlaceError> {
+    column_scatter_with_effort(cdg, rows, zeta1, zeta2, config, &mut IlpEffort::default())
+}
+
+/// [`column_scatter`] that also accumulates ILP solver effort into
+/// `effort` (one matching-cut solve per split).
+///
+/// # Errors
+///
+/// Same contract as [`column_scatter`].
+pub fn column_scatter_with_effort(
+    cdg: &Cdg,
+    rows: usize,
+    zeta1: u32,
+    zeta2: u32,
+    config: &ScatterConfig,
+    effort: &mut IlpEffort,
 ) -> Result<Option<Vec<usize>>, PlaceError> {
     let k = cdg.num_clusters();
     if k < rows {
@@ -119,7 +145,7 @@ pub fn column_scatter(
             model.add_constraint(lhs, Cmp::Ge, 2.0 * deg as f64 - zeta2 as f64 - eta);
         }
 
-        let Some(sol) = solve_lenient(&model)? else {
+        let Some(sol) = solve_lenient(&model, effort)? else {
             return Ok(None);
         };
 
@@ -162,6 +188,23 @@ pub fn row_scatter(
     cols: usize,
     config: &ScatterConfig,
 ) -> Result<Vec<Vec<usize>>, PlaceError> {
+    row_scatter_with_effort(cdg, row_of, rows, cols, config, &mut IlpEffort::default())
+}
+
+/// [`row_scatter`] that also accumulates ILP solver effort into `effort`
+/// (one solve per row per balance-slack attempt).
+///
+/// # Errors
+///
+/// Same contract as [`row_scatter`].
+pub fn row_scatter_with_effort(
+    cdg: &Cdg,
+    row_of: &[usize],
+    rows: usize,
+    cols: usize,
+    config: &ScatterConfig,
+    effort: &mut IlpEffort,
+) -> Result<Vec<Vec<usize>>, PlaceError> {
     let k = cdg.num_clusters();
     assert_eq!(row_of.len(), k, "row assignment must cover every CDG node");
     let total = cdg.total_dfg_nodes() as f64;
@@ -178,7 +221,7 @@ pub fn row_scatter(
     // Try tight per-cell load balance first, relaxing only when the ILP
     // has no solution at that slack.
     for slack in [1.35, 1.7, 2.5, f64::INFINITY] {
-        match row_scatter_at(cdg, row_of, rows, cols, config, &span_of, slack)? {
+        match row_scatter_at(cdg, row_of, rows, cols, config, &span_of, slack, effort)? {
             Some(columns) => return Ok(columns),
             None => continue,
         }
@@ -195,6 +238,7 @@ pub fn row_scatter(
 /// joint ILP with Gurobi; the decomposition keeps our branch & bound
 /// solver comfortably inside its budget at every scale and loses little —
 /// inter-row alignment is still optimised, one direction at a time.
+#[allow(clippy::too_many_arguments)]
 fn row_scatter_at(
     cdg: &Cdg,
     row_of: &[usize],
@@ -203,6 +247,7 @@ fn row_scatter_at(
     config: &ScatterConfig,
     span_of: &[usize],
     balance_slack: f64,
+    effort: &mut IlpEffort,
 ) -> Result<Option<Vec<Vec<usize>>>, PlaceError> {
     let k = cdg.num_clusters();
     let mut cols_of: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -305,7 +350,7 @@ fn row_scatter_at(
         }
         model.set_objective(objective);
 
-        let Some(sol) = solve_lenient(&model)? else {
+        let Some(sol) = solve_lenient(&model, effort)? else {
             return Ok(None);
         };
         for (&i, row_vars) in members.iter().zip(&vars) {

@@ -1,14 +1,14 @@
-//! Minimal JSON reader for the bench harness's own reports.
+//! Minimal JSON reader/writer shared by the trace and bench tooling.
 //!
-//! The workspace is dependency-free, so the `panorama bench --check` path
-//! parses the checked-in baseline with this small recursive-descent
-//! parser. It supports exactly the JSON subset the harness emits: objects,
+//! The workspace is dependency-free, so trace export, bench baselines and
+//! the lint-side schema checker all rely on this small recursive-descent
+//! parser. It supports exactly the JSON subset the tools emit: objects,
 //! arrays, strings (with `\"`/`\\`/`\/`/`\n`/`\t`/`\r` escapes), numbers,
 //! booleans and `null`.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// Object; insertion-ordered key/value pairs.
     Obj(Vec<(String, Json)>),
     /// Array.
@@ -32,6 +32,7 @@ impl Json {
         }
     }
 
+    /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -39,6 +40,7 @@ impl Json {
         }
     }
 
+    /// The numeric payload, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
@@ -46,16 +48,33 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
         }
     }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// Parses a complete JSON document.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
@@ -195,7 +214,7 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 /// Escapes a string for embedding in emitted JSON.
-pub(crate) fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -215,19 +234,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn round_trips_the_bench_shapes() {
-        let doc = r#"{"schema": "panorama-bench-v1", "threads": 4,
-                      "kernels": [{"kernel": "fir", "ii": 2, "wall_seconds": 0.125,
-                                   "identical": true}], "note": null}"#;
+    fn round_trips_the_report_shapes() {
+        let doc = r#"{"schema": "panorama-trace-v1", "threads": 4,
+                      "events": [{"phase": "spr.route", "candidate": null,
+                                  "stable": true, "counters": {"ii": 3}}],
+                      "note": null}"#;
         let v = parse(doc).unwrap();
         assert_eq!(
             v.get("schema").and_then(Json::as_str),
-            Some("panorama-bench-v1")
+            Some("panorama-trace-v1")
         );
         assert_eq!(v.get("threads").and_then(Json::as_f64), Some(4.0));
-        let kernels = v.get("kernels").and_then(Json::as_arr).unwrap();
-        assert_eq!(kernels[0].get("ii").and_then(Json::as_f64), Some(2.0));
-        assert_eq!(kernels[0].get("identical"), Some(&Json::Bool(true)));
+        let events = v.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[0].get("candidate"), Some(&Json::Null));
+        assert_eq!(events[0].get("stable").and_then(Json::as_bool), Some(true));
+        let counters = events[0].get("counters").and_then(Json::as_obj).unwrap();
+        assert_eq!(counters[0].0, "ii");
         assert_eq!(v.get("note"), Some(&Json::Null));
     }
 

@@ -65,6 +65,76 @@ fn compile_reads_dfg_from_stdin() {
 }
 
 #[test]
+fn trace_subcommand_profiles_and_exports_lintable_json() {
+    let path = std::env::temp_dir().join(format!("panorama-trace-cli-{}.json", std::process::id()));
+    let path = path.to_str().unwrap().to_string();
+    let out = bin()
+        .args([
+            "trace",
+            "fir",
+            "--arch",
+            "4x4",
+            "--scale",
+            "tiny",
+            "--mapper",
+            "ultrafast",
+            "--out",
+            &path,
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("trace profile: fir"), "{stdout}");
+    assert!(stdout.contains("partition"), "{stdout}");
+    assert!(stdout.contains("wall-clock"), "{stdout}");
+
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"panorama-trace-v1\""));
+    let lint = bin()
+        .args(["lint", "--trace-json", &path])
+        .output()
+        .unwrap();
+    assert!(
+        lint.status.success(),
+        "{}",
+        String::from_utf8(lint.stdout).unwrap()
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn compile_trace_flag_writes_trace_json() {
+    let path = std::env::temp_dir().join(format!(
+        "panorama-compile-trace-cli-{}.json",
+        std::process::id()
+    ));
+    let path = path.to_str().unwrap().to_string();
+    let out = bin()
+        .args([
+            "compile",
+            "--dfg",
+            "cordic",
+            "--arch",
+            "4x4",
+            "--scale",
+            "tiny",
+            "--mapper",
+            "ultrafast",
+            "--trace",
+            &path,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"panorama-trace-v1\""));
+    assert!(json.contains("\"kernel\": \"cordic\""));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn info_describes_presets() {
     let out = bin().args(["info", "--arch", "16x16"]).output().unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();

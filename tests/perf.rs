@@ -12,6 +12,8 @@ use panorama::{CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_mapper::{LowerLevelMapper, SprMapper, UltraFastMapper};
+use panorama_trace::{RecordingSink, SpanCollector, TraceReport, Tracer};
+use std::time::{Duration, Instant};
 
 /// Everything observable about a compile, flattened for equality checks.
 #[derive(Debug, PartialEq, Eq)]
@@ -88,6 +90,105 @@ fn spr_portfolio_is_thread_count_invariant() {
             assert_eq!(base, got, "{id}: report diverged at {threads} threads");
         }
     }
+}
+
+/// Compiles with a recording tracer and returns both the mapping
+/// fingerprint and the assembled trace report.
+fn traced_compile_at<M: LowerLevelMapper>(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapper: &M,
+    threads: usize,
+) -> (Fingerprint, TraceReport) {
+    let sink = RecordingSink::shared();
+    let tracer = Tracer::new(sink.clone());
+    let panorama = Panorama::new(PanoramaConfig {
+        threads,
+        ..PanoramaConfig::default()
+    });
+    let report = panorama
+        .compile_traced(dfg, cgra, mapper, &tracer)
+        .unwrap_or_else(|e| panic!("traced compile failed at {threads} threads: {e}"));
+    let trace = TraceReport {
+        kernel: dfg.name().to_string(),
+        arch: "4x4".to_string(),
+        mapper: mapper.name().to_string(),
+        threads,
+        wall_ns: report.total_time().as_nanos() as u64,
+        events: sink.take(),
+    };
+    (fingerprint(dfg, &report), trace)
+}
+
+#[test]
+fn tracing_is_thread_count_invariant_and_schema_valid() {
+    // Recording must not perturb the portfolio (same fingerprint as the
+    // untraced contract), the stable-event digest must be identical at 1, 2
+    // and 4 threads, and the exported JSON must pass every TRACE* lint.
+    let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+    let mapper = UltraFastMapper::default();
+    for id in [KernelId::Fir, KernelId::Cordic, KernelId::IdctRows] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let (base_fp, base_trace) = traced_compile_at(&dfg, &cgra, &mapper, 1);
+        assert!(
+            !base_trace.events.is_empty(),
+            "{id}: recording tracer captured nothing"
+        );
+        let mut diags = panorama_lint::Diagnostics::new();
+        panorama_lint::lint_trace_json(&base_trace.to_json(), &mut diags);
+        assert!(!diags.has_errors(), "{id}:\n{}", diags.render_human());
+        for threads in [2, 4] {
+            let (fp, trace) = traced_compile_at(&dfg, &cgra, &mapper, threads);
+            assert_eq!(
+                base_fp, fp,
+                "{id}: traced mapping diverged at {threads} threads"
+            );
+            assert_eq!(
+                base_trace.deterministic_signature(),
+                trace.deterministic_signature(),
+                "{id}: stable trace digest diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_collector_adds_no_measurable_overhead() {
+    // The disabled-path contract: start/record on a disabled collector are
+    // single-branch no-ops that never read the clock, so a hot loop with
+    // them interleaved must not be measurably slower than the bare loop.
+    // The threshold is deliberately generous to stay robust on noisy CI.
+    const ITERS: u64 = 2_000_000;
+    let lcg = |acc: u64, i: u64| {
+        acc.wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(i | 1)
+    };
+
+    let mut acc = 0u64;
+    let t = Instant::now();
+    for i in 0..ITERS {
+        acc = lcg(acc, i);
+    }
+    let bare = t.elapsed();
+    std::hint::black_box(acc);
+
+    let mut col = SpanCollector::disabled();
+    let mut acc = 0u64;
+    let t = Instant::now();
+    for i in 0..ITERS {
+        let span = col.start();
+        acc = lcg(acc, i);
+        col.record("hot", span, &[("i", 0)]);
+    }
+    let traced = t.elapsed();
+    std::hint::black_box(acc);
+    assert_eq!(col.dropped(), 0, "disabled collector must not buffer");
+
+    let ceiling = bare * 3 + Duration::from_millis(50);
+    assert!(
+        traced <= ceiling,
+        "disabled tracing cost too much: bare {bare:?}, traced {traced:?}"
+    );
 }
 
 #[test]
