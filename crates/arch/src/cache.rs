@@ -7,13 +7,57 @@
 //! first requester builds the graph, everyone else (other candidates,
 //! annealing restarts, verification, statistics) shares the same
 //! [`Arc<Mrrg>`].
+//!
+//! The cache is *bounded*: a resident server compiles arbitrarily many
+//! kernels against one shared `Cgra`, and each kernel's II sweep touches a
+//! different II range — an unbounded map would grow for the lifetime of
+//! the process. Above [`MrrgCache::capacity`] entries the least recently
+//! used graph is evicted; in-flight users keep their `Arc` alive, so
+//! eviction only drops the cache's own reference.
 
 use crate::{Cgra, Mrrg};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-/// A thread-safe II → [`Mrrg`] cache.
+/// Default [`MrrgCache`] capacity: generous for one compile's II sweep
+/// (tens of IIs at most) while keeping a server's resident set bounded.
+pub const DEFAULT_MRRG_CACHE_CAPACITY: usize = 32;
+
+/// One cached graph plus its recency stamp.
+#[derive(Debug)]
+struct Slot {
+    mrrg: Arc<Mrrg>,
+    last_used: u64,
+}
+
+/// Mutex-guarded cache state. `tick` increments on every lookup, so
+/// `last_used` values are unique and LRU victims are unambiguous.
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<usize, Slot>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl Inner {
+    /// Evicts least-recently-used entries until the capacity holds;
+    /// returns how many graphs were dropped. A capacity of `0` means
+    /// unbounded.
+    fn evict_to_capacity(&mut self) -> u64 {
+        let mut dropped = 0;
+        while self.capacity > 0 && self.slots.len() > self.capacity {
+            let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, s)| s.last_used) else {
+                break;
+            };
+            self.slots.remove(&victim);
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+/// A thread-safe, LRU-bounded II → [`Mrrg`] cache.
 ///
 /// Cloning a [`Cgra`] shares its cache (the architecture is immutable, so
 /// every clone produces identical graphs).
@@ -31,46 +75,106 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// assert_eq!(cgra.mrrg_cache().misses(), 1);
 /// # Ok::<(), panorama_arch::ArchError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MrrgCache {
-    slots: Mutex<HashMap<usize, Arc<Mrrg>>>,
+    inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for MrrgCache {
+    fn default() -> Self {
+        MrrgCache::with_capacity(DEFAULT_MRRG_CACHE_CAPACITY)
+    }
 }
 
 impl MrrgCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache holding at most
+    /// [`DEFAULT_MRRG_CACHE_CAPACITY`] graphs.
     pub fn new() -> Self {
         MrrgCache::default()
     }
 
+    /// Creates an empty cache holding at most `capacity` graphs; `0`
+    /// means unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        MrrgCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+                capacity,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
     /// The cached graph for `ii`, building (and retaining) it on first
-    /// request.
+    /// request. Inserting past the capacity evicts the least recently
+    /// used graph.
     ///
     /// # Panics
     ///
     /// Panics when `ii == 0` (propagated from [`Cgra::mrrg`]).
     pub fn get_or_build(&self, cgra: &Cgra, ii: usize) -> Arc<Mrrg> {
-        if let Some(hit) = self.slots().get(&ii) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.slots.get_mut(&ii) {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&slot.mrrg);
+            }
         }
         // Build outside the lock so a slow build of one II never blocks
         // lookups of another. Two threads may race to build the same II;
         // the graph is deterministic, so keeping the first insert is fine.
         let built = Arc::new(cgra.mrrg(ii));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut slots = self.slots();
-        Arc::clone(slots.entry(ii).or_insert(built))
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.entry(ii).or_insert(Slot {
+            mrrg: built,
+            last_used: 0,
+        });
+        slot.last_used = tick;
+        let out = Arc::clone(&slot.mrrg);
+        // The entry just touched carries the newest stamp, so with any
+        // capacity ≥ 1 it is never its own insert's victim.
+        let dropped = inner.evict_to_capacity();
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+        out
     }
 
-    /// Locks the slot map, recovering from poisoning: the map is
-    /// insert-only with `Arc`'d values, so a thread that panicked while
-    /// holding the lock can never have left a half-built entry behind.
-    /// One crashing portfolio candidate must not turn every later compile
-    /// on the shared `Cgra` into a cascade of cache panics.
-    fn slots(&self) -> MutexGuard<'_, HashMap<usize, Arc<Mrrg>>> {
-        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Changes the capacity, evicting immediately when the cache already
+    /// holds more graphs; `0` means unbounded.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        let dropped = inner.evict_to_capacity();
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// The maximum number of graphs retained (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Locks the cache state, recovering from poisoning: the map holds
+    /// only `Arc`'d complete graphs and monotonic stamps, so a thread that
+    /// panicked while holding the lock can never have left a half-built
+    /// entry behind. One crashing portfolio candidate must not turn every
+    /// later compile on the shared `Cgra` into a cascade of cache panics.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of lookups answered from the cache.
@@ -83,9 +187,14 @@ impl MrrgCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of graphs evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct IIs currently cached.
     pub fn len(&self) -> usize {
-        self.slots().len()
+        self.lock().slots.len()
     }
 
     /// Whether the cache holds no graphs yet.
@@ -104,6 +213,7 @@ mod tests {
         let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
         let cache = MrrgCache::new();
         assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), DEFAULT_MRRG_CACHE_CAPACITY);
         let a = cache.get_or_build(&cgra, 2);
         assert_eq!((cache.hits(), cache.misses()), (0, 1));
         let b = cache.get_or_build(&cgra, 2);
@@ -144,15 +254,15 @@ mod tests {
         let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
         let cache = Arc::new(MrrgCache::new());
         let first = cache.get_or_build(&cgra, 2);
-        // Poison the slot mutex: panic in another thread while holding it,
-        // the way a crashing portfolio candidate would mid-lookup.
+        // Poison the mutex: panic in another thread while holding it, the
+        // way a crashing portfolio candidate would mid-lookup.
         let poisoner = Arc::clone(&cache);
         let handle = std::thread::spawn(move || {
-            let _guard = poisoner.slots.lock().unwrap();
+            let _guard = poisoner.inner.lock().unwrap();
             panic!("simulated candidate crash while holding the cache lock");
         });
         assert!(handle.join().is_err());
-        assert!(cache.slots.is_poisoned());
+        assert!(cache.inner.is_poisoned());
         // The cache must keep working: hits still hit, inserts still land.
         let again = cache.get_or_build(&cgra, 2);
         assert!(Arc::ptr_eq(&first, &again));
@@ -171,5 +281,50 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cgra.mrrg_cache().misses(), 1);
         assert_eq!(cgra.mrrg_cache().hits(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_least_recently_used_graph() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = MrrgCache::with_capacity(2);
+        let a = cache.get_or_build(&cgra, 2); // {2}
+        cache.get_or_build(&cgra, 3); // {2, 3}
+        let a2 = cache.get_or_build(&cgra, 2); // touch 2 → 3 is now LRU
+        assert!(Arc::ptr_eq(&a, &a2));
+        cache.get_or_build(&cgra, 4); // evicts 3, keeps {2, 4}
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // The recently-used graph survived: same Arc, one more hit.
+        let hits = cache.hits();
+        let a3 = cache.get_or_build(&cgra, 2);
+        assert!(Arc::ptr_eq(&a, &a3));
+        assert_eq!(cache.hits(), hits + 1);
+        // The evicted II must be rebuilt: a fresh miss (and it evicts 4,
+        // the LRU at this point).
+        let misses = cache.misses();
+        let b2 = cache.get_or_build(&cgra, 3);
+        assert_eq!(b2.ii(), 3);
+        assert_eq!(cache.misses(), misses + 1);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_immediately_and_zero_means_unbounded() {
+        let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+        let cache = MrrgCache::with_capacity(0);
+        for ii in 2..=9 {
+            cache.get_or_build(&cgra, ii);
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.evictions(), 0);
+        cache.set_capacity(3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 5);
+        // The three newest stamps (IIs 7, 8, 9) survive the shrink.
+        let misses = cache.misses();
+        for ii in 7..=9 {
+            cache.get_or_build(&cgra, ii);
+        }
+        assert_eq!(cache.misses(), misses);
     }
 }

@@ -39,6 +39,7 @@ mod pipeline;
 mod portfolio;
 mod report;
 
+pub use panorama_mapper::CancelToken;
 pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};
 pub use report::{CompileReport, HigherLevelPlan};
 

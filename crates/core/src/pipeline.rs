@@ -8,7 +8,9 @@ use panorama_cluster::{
 };
 use panorama_dfg::Dfg;
 use panorama_lint::{precheck, Diagnostic, Diagnostics};
-use panorama_mapper::{LowerLevelMapper, MapError, PortfolioBound, Restriction, SearchControl};
+use panorama_mapper::{
+    CancelToken, LowerLevelMapper, MapError, PortfolioBound, Restriction, SearchControl,
+};
 use panorama_place::{map_clusters, ClusterMap, PlaceError, ScatterConfig};
 use panorama_trace::{SpanCollector, Tracer, NO_CANDIDATE, SEQ_BASE_MAP};
 use std::error::Error;
@@ -65,6 +67,10 @@ pub enum PanoramaError {
     /// The static pre-flight check proved the run infeasible before any
     /// mapping was attempted; carries the error diagnostics.
     Infeasible(Vec<Diagnostic>),
+    /// A [`CancelToken`] fired before the pipeline finished (deadline
+    /// exceeded, server shutdown). The partial work is discarded; the
+    /// compile stopped at the next II iteration or PathFinder round.
+    Cancelled,
 }
 
 impl fmt::Display for PanoramaError {
@@ -82,6 +88,7 @@ impl fmt::Display for PanoramaError {
                 }
                 Ok(())
             }
+            PanoramaError::Cancelled => write!(f, "compilation cancelled before completion"),
         }
     }
 }
@@ -93,6 +100,7 @@ impl Error for PanoramaError {
             PanoramaError::ClusterMapping(e) => Some(e),
             PanoramaError::Mapping(e) => Some(e),
             PanoramaError::Infeasible(_) => None,
+            PanoramaError::Cancelled => None,
         }
     }
 }
@@ -415,26 +423,69 @@ impl Panorama {
         mapper: &M,
         tracer: &Tracer,
     ) -> Result<CompileReport, PanoramaError> {
+        self.compile_traced_with_cancel(dfg, cgra, mapper, tracer, None)
+    }
+
+    /// [`compile_traced`](Panorama::compile_traced) with cooperative
+    /// cancellation: a fired `cancel` token makes the pipeline stop at the
+    /// next phase boundary, II iteration, or PathFinder round and return
+    /// [`PanoramaError::Cancelled`]. A token that never fires leaves the
+    /// result bit-identical to a cancel-free run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile`](Panorama::compile), plus
+    /// [`PanoramaError::Cancelled`].
+    pub fn compile_traced_with_cancel<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        tracer: &Tracer,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
         let mut pipe = tracer.collector(NO_CANDIDATE);
         let mut collectors: Vec<SpanCollector> = Vec::new();
-        let result = self.compile_inner(dfg, cgra, mapper, tracer, &mut pipe, &mut collectors);
+        let result = self.compile_inner(
+            dfg,
+            cgra,
+            mapper,
+            tracer,
+            cancel,
+            &mut pipe,
+            &mut collectors,
+        );
         collectors.push(pipe);
         tracer.submit(collectors);
         result
     }
 
+    /// `Err(Cancelled)` once `cancel` has fired — polled at every phase
+    /// boundary so a cancelled compile never starts the next phase.
+    fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), PanoramaError> {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            Err(PanoramaError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn compile_inner<M: LowerLevelMapper>(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
         mapper: &M,
         tracer: &Tracer,
+        cancel: Option<&CancelToken>,
         pipe: &mut SpanCollector,
         collectors: &mut Vec<SpanCollector>,
     ) -> Result<CompileReport, PanoramaError> {
+        Self::check_cancel(cancel)?;
         let span = pipe.start();
         self.preflight(dfg, cgra, None)?;
         pipe.record("preflight", span, &[]);
+        Self::check_cancel(cancel)?;
 
         let span = pipe.start();
         let (partitions, eigen_sweeps, clustering_time) = self.explore(dfg, cgra, pipe)?;
@@ -510,6 +561,7 @@ impl Panorama {
                 (None, None) => unreachable!("top_balanced yields at least one candidate"),
             });
         }
+        Self::check_cancel(cancel)?;
 
         // Conquer portfolio: likely winners (lowest routing complexity)
         // first, so the shared bound starts pruning early. The execution
@@ -521,11 +573,14 @@ impl Panorama {
         let t2 = Instant::now();
         let mut outcomes = run_indexed(threads, candidates.len(), |i| {
             let c = &candidates[i];
-            let control = SearchControl::new(
+            let mut control = SearchControl::new(
                 Arc::clone(&bound),
                 c.cluster_map.routing_complexity(),
                 c.rank,
             );
+            if let Some(tok) = cancel {
+                control = control.with_cancel(tok.clone());
+            }
             // The conquer collector's seq numbers start at SEQ_BASE_MAP so
             // they merge after the same candidate's scatter events.
             let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP);
@@ -543,6 +598,18 @@ impl Panorama {
             (outcome, col)
         });
         let mapping_time = t2.elapsed();
+
+        // A fired token wins over any candidate that slipped through
+        // before cancellation was observed: the caller asked for the run
+        // to stop, and which candidates completed first is a race. Every
+        // collector is unstable for the same reason.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            collectors.extend(outcomes.into_iter().map(|(_, mut col)| {
+                col.mark_unstable();
+                col
+            }));
+            return Err(PanoramaError::Cancelled);
+        }
 
         // Deterministic reduction: lowest (achieved II, routing
         // complexity, candidate rank). The bound admits exactly the keys
@@ -593,7 +660,11 @@ impl Panorama {
         let Some(winner) = winner_index else {
             collectors.extend(outcomes.into_iter().map(|(_, col)| col));
             let (_, e) = first_map_err.expect("no success implies at least one failure");
-            return Err(PanoramaError::Mapping(e));
+            return Err(if e.cancelled {
+                PanoramaError::Cancelled
+            } else {
+                PanoramaError::Mapping(e)
+            });
         };
         let c = candidates.swap_remove(winner);
         pipe.record(
@@ -649,15 +720,47 @@ impl Panorama {
         mapper: &M,
         tracer: &Tracer,
     ) -> Result<CompileReport, PanoramaError> {
+        self.compile_baseline_traced_with_cancel(dfg, cgra, mapper, tracer, None)
+    }
+
+    /// [`compile_baseline_traced`](Panorama::compile_baseline_traced) with
+    /// cooperative cancellation; see
+    /// [`compile_traced_with_cancel`](Panorama::compile_traced_with_cancel).
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_baseline`](Panorama::compile_baseline), plus
+    /// [`PanoramaError::Cancelled`].
+    pub fn compile_baseline_traced_with_cancel<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        tracer: &Tracer,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
         let mut pipe = tracer.collector(NO_CANDIDATE);
         let mut map_col = tracer.collector_from(0, SEQ_BASE_MAP);
         let result = (|| {
+            Self::check_cancel(cancel)?;
             let span = pipe.start();
             self.preflight(dfg, cgra, None)?;
             pipe.record("preflight", span, &[]);
+            Self::check_cancel(cancel)?;
             let span = pipe.start();
             let t = Instant::now();
-            let mapping = mapper.map_traced(dfg, cgra, None, None, &mut map_col)?;
+            // An unbounded control never prunes, so attaching one (for the
+            // token alone) leaves the baseline search bit-identical.
+            let control = cancel.map(|tok| SearchControl::unbounded().with_cancel(tok.clone()));
+            let mapping = mapper
+                .map_traced(dfg, cgra, None, control.as_ref(), &mut map_col)
+                .map_err(|e| {
+                    if e.cancelled {
+                        PanoramaError::Cancelled
+                    } else {
+                        PanoramaError::Mapping(e)
+                    }
+                })?;
             let mapping_time = t.elapsed();
             pipe.record("map", span, &[("ii", mapping.ii() as i64)]);
             Ok(CompileReport::new(mapping, None, mapping_time))

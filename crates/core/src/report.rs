@@ -117,4 +117,94 @@ impl CompileReport {
                 .map(|p| p.clustering_time() + p.cluster_mapping_time())
                 .unwrap_or_default()
     }
+
+    /// Serialises the report as the canonical `panorama-compile-v1` JSON
+    /// document (`kernel` and `arch` name the inputs, which the report
+    /// itself does not carry).
+    ///
+    /// The document is *deterministic*: wall-clock timings are omitted and
+    /// every included field — placement, routes, plan summary, search
+    /// counters — is invariant under the portfolio's thread count, so two
+    /// compiles of the same inputs serialise byte-identically. The serve
+    /// daemon's result cache and its bit-identity guarantee both rest on
+    /// this property.
+    pub fn to_json(&self, kernel: &str, arch: &str) -> String {
+        use panorama_trace::json::escape;
+        use std::fmt::Write as _;
+        let m = &self.mapping;
+        let mut s = String::with_capacity(4096);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"panorama-compile-v1\",\"kernel\":\"{}\",\"arch\":\"{}\",\
+             \"mapper\":\"{}{}\",\"guided\":{},\"ii\":{},\"mii\":{},\"qom\":{:.4}",
+            escape(kernel),
+            escape(arch),
+            if self.plan.is_some() { "Pan-" } else { "" },
+            escape(m.mapper()),
+            self.plan.is_some(),
+            m.ii(),
+            m.mii(),
+            m.qom(),
+        );
+        s.push_str(",\"placement\":[");
+        for (i, (time, pe)) in m.assignments().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{}]", time, pe.index());
+        }
+        s.push(']');
+        match m.routes() {
+            Some(routes) => {
+                s.push_str(",\"routes\":[");
+                for (i, route) in routes.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    for (j, node) in route.nodes.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "{}", node.index());
+                    }
+                    s.push(']');
+                }
+                s.push(']');
+            }
+            None => s.push_str(",\"routes\":null"),
+        }
+        match &self.plan {
+            Some(plan) => {
+                let _ = write!(
+                    s,
+                    ",\"plan\":{{\"clusters\":{},\"zeta1\":{},\"histogram\":[",
+                    plan.cdg().num_clusters(),
+                    plan.cluster_map().zeta1(),
+                );
+                for (i, row) in plan.cluster_map().histogram().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('[');
+                    for (j, n) in row.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ = write!(s, "{n}");
+                    }
+                    s.push(']');
+                }
+                s.push_str("]}");
+            }
+            None => s.push_str(",\"plan\":null"),
+        }
+        let stats = m.stats();
+        let _ = write!(
+            s,
+            ",\"stats\":{{\"ii_attempts\":{},\"router_iterations\":{},\"anneal_moves\":{}}}}}",
+            stats.ii_attempts, stats.router_iterations, stats.anneal_moves,
+        );
+        s
+    }
 }

@@ -58,6 +58,7 @@ pub mod ilp_lints;
 pub mod partition_lints;
 pub mod precheck;
 mod registry;
+pub mod serve_lints;
 pub mod trace_lints;
 
 pub use arch_lints::lint_arch;
@@ -67,4 +68,5 @@ pub use ilp_lints::lint_model;
 pub use partition_lints::lint_partition;
 pub use precheck::{precheck, PrecheckReport};
 pub use registry::{LintContext, LintPass, Registry};
+pub use serve_lints::lint_serve_json;
 pub use trace_lints::lint_trace_json;

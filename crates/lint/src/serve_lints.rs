@@ -1,0 +1,319 @@
+//! Schema and invariant validation for `panorama-serve-metrics-v1` JSON.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `SERVE001` | error | invalid JSON, wrong `schema`, or missing/mistyped field |
+//! | `SERVE002` | error | conservation broken, or a cumulative counter decreased between snapshots |
+//! | `SERVE003` | error | pipeline phases missing despite non-cached completions, or percentiles out of order |
+//!
+//! The daemon's `/metrics` endpoint maintains the conservation invariant
+//!
+//! ```text
+//! received == completed + shed + cancelled + failed + queued + in_flight
+//! ```
+//!
+//! *exactly* (transitions are combined updates under one lock), so
+//! `SERVE002` checks equality, not a tolerance. The input may be a single
+//! metrics document or a JSON array of successive snapshots; with an
+//! array, cumulative counters must also be non-decreasing pairwise —
+//! a decrease means the daemon restarted mid-scrape or the collector
+//! interleaved two servers.
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_trace::json::{self, Json};
+
+/// The schema this linter validates (mirrored by `panorama-serve`).
+pub const SERVE_METRICS_SCHEMA: &str = "panorama-serve-metrics-v1";
+
+fn err(code: &'static str, entity: Entity, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(code, Severity::Error, entity, message)
+}
+
+fn num(doc: &Json, section: &str, field: &str) -> Option<u64> {
+    let v = doc.get(section)?.get(field)?.as_f64()?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return None;
+    }
+    Some(v as u64)
+}
+
+/// Fields every snapshot must carry, as `(section, field)` pairs. All are
+/// cumulative except the `queue` gauges and cache `entries`/`capacity`.
+const REQUIRED: &[(&str, &str)] = &[
+    ("queue", "depth"),
+    ("queue", "capacity"),
+    ("queue", "in_flight"),
+    ("requests", "received"),
+    ("requests", "completed"),
+    ("requests", "shed"),
+    ("requests", "cancelled"),
+    ("requests", "failed"),
+    ("result_cache", "hits"),
+    ("result_cache", "misses"),
+    ("result_cache", "entries"),
+    ("result_cache", "capacity"),
+    ("result_cache", "evictions"),
+    ("mrrg_cache", "hits"),
+    ("mrrg_cache", "misses"),
+    ("mrrg_cache", "entries"),
+    ("mrrg_cache", "capacity"),
+    ("mrrg_cache", "evictions"),
+];
+
+/// The cumulative subset of [`REQUIRED`] that must never decrease across
+/// successive snapshots of one daemon.
+const MONOTONIC: &[(&str, &str)] = &[
+    ("requests", "received"),
+    ("requests", "completed"),
+    ("requests", "shed"),
+    ("requests", "cancelled"),
+    ("requests", "failed"),
+    ("result_cache", "hits"),
+    ("result_cache", "misses"),
+    ("result_cache", "evictions"),
+    ("mrrg_cache", "hits"),
+    ("mrrg_cache", "misses"),
+    ("mrrg_cache", "evictions"),
+];
+
+/// `SERVE001`: schema and field shape. Returns `false` when the snapshot
+/// is too malformed for the invariant checks to be meaningful.
+fn check_shape(doc: &Json, at: Entity, out: &mut Diagnostics) -> bool {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SERVE_METRICS_SCHEMA) => {}
+        Some(other) => {
+            out.push(err(
+                "SERVE001",
+                at,
+                format!("unknown schema `{other}` (expected `{SERVE_METRICS_SCHEMA}`)"),
+            ));
+            return false;
+        }
+        None => {
+            out.push(err(
+                "SERVE001",
+                at,
+                format!("missing `schema` field (expected `{SERVE_METRICS_SCHEMA}`)"),
+            ));
+            return false;
+        }
+    }
+    let mut ok = true;
+    for &(section, field) in REQUIRED {
+        if num(doc, section, field).is_none() {
+            out.push(err(
+                "SERVE001",
+                at.clone(),
+                format!("`{section}.{field}` missing or not a non-negative integer"),
+            ));
+            ok = false;
+        }
+    }
+    if doc.get("phases").and_then(Json::as_arr).is_none() {
+        out.push(err("SERVE001", at, "`phases` missing or not an array"));
+        ok = false;
+    }
+    ok
+}
+
+/// `SERVE002` (single snapshot): the conservation equality.
+fn check_conservation(doc: &Json, at: Entity, out: &mut Diagnostics) {
+    let get = |s, f| num(doc, s, f).unwrap_or(0);
+    let received = get("requests", "received");
+    let accounted = get("requests", "completed")
+        + get("requests", "shed")
+        + get("requests", "cancelled")
+        + get("requests", "failed")
+        + get("queue", "depth")
+        + get("queue", "in_flight");
+    if received != accounted {
+        out.push(err(
+            "SERVE002",
+            at,
+            format!(
+                "conservation broken: received {received} != completed+shed+cancelled+failed+queued+in_flight = {accounted}"
+            ),
+        ));
+    }
+}
+
+/// `SERVE003`: phase coverage and percentile ordering.
+fn check_phases(doc: &Json, at: Entity, out: &mut Diagnostics) {
+    let Some(phases) = doc.get("phases").and_then(Json::as_arr) else {
+        return;
+    };
+    let mut names = Vec::new();
+    for p in phases {
+        let Some(name) = p.get("phase").and_then(Json::as_str) else {
+            out.push(err(
+                "SERVE003",
+                at.clone(),
+                "phase entry missing `phase` name",
+            ));
+            continue;
+        };
+        names.push(name);
+        let pct = |f: &str| p.get(f).and_then(Json::as_f64).unwrap_or(0.0);
+        let (p50, p90, p99) = (pct("p50_ns"), pct("p90_ns"), pct("p99_ns"));
+        if !(p50 <= p90 && p90 <= p99) {
+            out.push(err(
+                "SERVE003",
+                at.clone(),
+                format!("phase `{name}` percentiles out of order: p50 {p50} p90 {p90} p99 {p99}"),
+            ));
+        }
+    }
+    // Completions beyond result-cache hits ran the full pipeline, so its
+    // top-level phases must have latency histograms.
+    let completed = num(doc, "requests", "completed").unwrap_or(0);
+    let hits = num(doc, "result_cache", "hits").unwrap_or(0);
+    if completed > hits {
+        for required in ["preflight", "map"] {
+            if !names.contains(&required) {
+                out.push(err(
+                    "SERVE003",
+                    at.clone(),
+                    format!(
+                        "{} non-cached compile(s) completed but phase `{required}` has no latency histogram",
+                        completed - hits
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `SERVE002` (snapshot pairs): cumulative counters never decrease.
+fn check_monotonic(prev: &Json, cur: &Json, at: Entity, out: &mut Diagnostics) {
+    for &(section, field) in MONOTONIC {
+        let (Some(before), Some(after)) = (num(prev, section, field), num(cur, section, field))
+        else {
+            continue;
+        };
+        if after < before {
+            out.push(err(
+                "SERVE002",
+                at.clone(),
+                format!("`{section}.{field}` decreased between snapshots: {before} -> {after}"),
+            ));
+        }
+    }
+}
+
+/// Validates a `panorama-serve-metrics-v1` document — either one snapshot
+/// object or an array of successive snapshots — appending findings to
+/// `out`.
+pub fn lint_serve_json(text: &str, out: &mut Diagnostics) {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            out.push(err(
+                "SERVE001",
+                Entity::Global,
+                format!("invalid JSON: {e}"),
+            ));
+            return;
+        }
+    };
+    let snapshots: Vec<&Json> = match doc.as_arr() {
+        Some(arr) => arr.iter().collect(),
+        None => vec![&doc],
+    };
+    if snapshots.is_empty() {
+        out.push(err("SERVE001", Entity::Global, "empty snapshot array"));
+        return;
+    }
+    let single = snapshots.len() == 1;
+    let mut shaped: Vec<Option<&Json>> = Vec::with_capacity(snapshots.len());
+    for (i, snap) in snapshots.iter().enumerate() {
+        let at = if single {
+            Entity::Global
+        } else {
+            Entity::Event(i)
+        };
+        if check_shape(snap, at.clone(), out) {
+            check_conservation(snap, at.clone(), out);
+            check_phases(snap, at, out);
+            shaped.push(Some(snap));
+        } else {
+            shaped.push(None);
+        }
+    }
+    for i in 1..shaped.len() {
+        if let (Some(prev), Some(cur)) = (shaped[i - 1], shaped[i]) {
+            check_monotonic(prev, cur, Entity::Event(i), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(received: u64, completed: u64, hits: u64, phases: &str) -> String {
+        let depth = received - completed;
+        format!(
+            "{{\"schema\":\"{SERVE_METRICS_SCHEMA}\",\
+             \"queue\":{{\"depth\":{depth},\"capacity\":8,\"in_flight\":0}},\
+             \"requests\":{{\"received\":{received},\"completed\":{completed},\"shed\":0,\"cancelled\":0,\"failed\":0}},\
+             \"result_cache\":{{\"hits\":{hits},\"misses\":1,\"entries\":1,\"capacity\":256,\"evictions\":0}},\
+             \"mrrg_cache\":{{\"hits\":4,\"misses\":2,\"entries\":2,\"capacity\":32,\"evictions\":0}},\
+             \"phases\":[{phases}]}}"
+        )
+    }
+
+    const GOOD_PHASES: &str = "{\"phase\":\"map\",\"count\":1,\"total_ns\":9,\"p50_ns\":15,\"p90_ns\":15,\"p99_ns\":15},\
+         {\"phase\":\"preflight\",\"count\":1,\"total_ns\":2,\"p50_ns\":3,\"p90_ns\":3,\"p99_ns\":3}";
+
+    fn run(text: &str) -> Vec<String> {
+        let mut diags = Diagnostics::new();
+        lint_serve_json(text, &mut diags);
+        diags.iter().map(|d| d.code.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_snapshot_passes() {
+        assert!(run(&snapshot(3, 3, 1, GOOD_PHASES)).is_empty());
+    }
+
+    #[test]
+    fn wrong_schema_and_bad_json_hit_serve001() {
+        assert_eq!(run("{\"schema\":\"nope\"}"), ["SERVE001"]);
+        assert_eq!(run("{nope"), ["SERVE001"]);
+        let missing = snapshot(1, 1, 1, GOOD_PHASES).replace("\"shed\":0,", "");
+        assert!(run(&missing).contains(&"SERVE001".to_string()));
+    }
+
+    #[test]
+    fn broken_conservation_hits_serve002() {
+        // received=5 but only 3 accounted (completed 1 + depth 2... make it wrong on purpose)
+        let text = snapshot(5, 1, 1, GOOD_PHASES).replace("\"depth\":4", "\"depth\":1");
+        assert_eq!(run(&text), ["SERVE002"]);
+    }
+
+    #[test]
+    fn counter_decrease_across_snapshots_hits_serve002() {
+        let a = snapshot(5, 5, 2, GOOD_PHASES);
+        let b = snapshot(3, 3, 1, GOOD_PHASES);
+        let codes = run(&format!("[{a},{b}]"));
+        assert!(codes.iter().all(|c| c == "SERVE002"), "{codes:?}");
+        assert!(!codes.is_empty());
+        // Reverse order is monotone and clean.
+        assert!(run(&format!("[{b},{a}]")).is_empty());
+    }
+
+    #[test]
+    fn missing_pipeline_phases_hit_serve003() {
+        // 2 completions, 1 cache hit -> one real compile, but no histograms.
+        let codes = run(&snapshot(2, 2, 1, ""));
+        assert_eq!(codes, ["SERVE003", "SERVE003"]); // preflight + map
+                                                     // All completions from cache: no phases required.
+        assert!(run(&snapshot(2, 2, 2, "")).is_empty());
+    }
+
+    #[test]
+    fn unordered_percentiles_hit_serve003() {
+        let bad = GOOD_PHASES.replace("\"p90_ns\":15", "\"p90_ns\":1");
+        assert_eq!(run(&snapshot(1, 1, 1, &bad)), ["SERVE003"]);
+    }
+}

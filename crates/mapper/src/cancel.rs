@@ -1,0 +1,78 @@
+//! Cooperative cancellation of in-flight mapping work.
+//!
+//! A compile serving an interactive DSE loop (or a shared daemon) must be
+//! able to stop *early* — not just have its result discarded — because the
+//! II search and PathFinder easily run for seconds on hard kernels. The
+//! mappers poll a [`CancelToken`] at their natural backtracking points:
+//! once per II attempt and once per PathFinder rip-up-and-reroute round.
+//! Cancellation is therefore bounded by the cost of a single routing
+//! round, never by the whole search.
+//!
+//! Tokens are cheap (`Arc<AtomicBool>`), clonable, and one-way: once
+//! cancelled they stay cancelled. A token that is never cancelled changes
+//! nothing about a mapping run — the result stays bit-identical.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag.
+///
+/// # Examples
+///
+/// ```
+/// use panorama_mapper::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. A relaxed poll — safe to
+    /// call from any hot loop.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // idempotent
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn cross_thread_cancellation_is_observed() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel()).join().unwrap();
+        assert!(token.is_cancelled());
+    }
+}

@@ -56,7 +56,9 @@ impl PortfolioBound {
 
 /// One candidate's view of the shared [`PortfolioBound`]: carries the
 /// candidate's fixed tie-break fields (cluster-mapping routing complexity
-/// and candidate index) so mappers only have to supply the II.
+/// and candidate index) so mappers only have to supply the II, plus an
+/// optional [`CancelToken`](crate::CancelToken) for external abort
+/// (deadlines, shutdown).
 ///
 /// Mappers search II ascending, so once [`SearchControl::admits`] returns
 /// `false` it stays `false` for every higher II — giving up on the whole
@@ -66,6 +68,7 @@ pub struct SearchControl {
     bound: Arc<PortfolioBound>,
     complexity: u32,
     index: usize,
+    cancel: Option<crate::CancelToken>,
 }
 
 impl SearchControl {
@@ -76,7 +79,37 @@ impl SearchControl {
             bound,
             complexity,
             index,
+            cancel: None,
         }
+    }
+
+    /// A control that never prunes — for single-candidate (baseline) runs
+    /// that only need deadline cancellation.
+    pub fn unbounded() -> Self {
+        SearchControl::new(PortfolioBound::new(), 0, 0)
+    }
+
+    /// Attaches a cancellation token; mappers poll it at each II attempt
+    /// and PathFinder round, aborting with a cancelled
+    /// [`MapError`](crate::MapError) once it fires.
+    #[must_use]
+    pub fn with_cancel(mut self, token: crate::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether external cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(crate::CancelToken::is_cancelled)
+    }
+
+    /// The attached cancellation token, if any — forwarded to inner loops
+    /// (the router) that poll it independently of the II search.
+    pub fn cancel_token(&self) -> Option<&crate::CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Whether a mapping achieved at `ii` would still win the portfolio's

@@ -204,10 +204,7 @@ impl LowerLevelMapper for ExactMapper {
     ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         if dfg.num_ops() > self.config.max_ops {
-            return Err(MapError {
-                max_ii_tried: 0,
-                mapper: self.name(),
-            });
+            return Err(MapError::exhausted(0, self.name()));
         }
         let mii = min_ii(dfg, cgra).mii();
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
@@ -239,6 +236,7 @@ impl LowerLevelMapper for ExactMapper {
                 &times,
                 &RouterConfig::default(),
                 &mut scratch,
+                None,
             );
             stats.router_iterations += outcome.iterations;
             if outcome.is_clean() {
@@ -259,10 +257,7 @@ impl LowerLevelMapper for ExactMapper {
                 });
             }
         }
-        Err(MapError {
-            max_ii_tried: max_ii,
-            mapper: self.name(),
-        })
+        Err(MapError::exhausted(max_ii, self.name()))
     }
 
     fn name(&self) -> &'static str {

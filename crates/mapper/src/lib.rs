@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod configware;
 mod control;
 mod exact;
@@ -52,6 +53,7 @@ mod spr;
 mod stats;
 mod ultrafast;
 
+pub use cancel::CancelToken;
 pub use configware::{ConfigWord, Configware, ValueSource};
 pub use control::{PortfolioBound, SearchControl};
 pub use exact::{ExactConfig, ExactMapper};

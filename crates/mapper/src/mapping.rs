@@ -102,6 +102,11 @@ impl Mapping {
         self.pe_of[op.index()]
     }
 
+    /// Per-op `(cycle, PE)` assignments in DFG op order.
+    pub fn assignments(&self) -> impl Iterator<Item = (usize, PeId)> + '_ {
+        self.time_of.iter().copied().zip(self.pe_of.iter().copied())
+    }
+
     /// Routed paths, when the mapper produced concrete routes.
     pub fn routes(&self) -> Option<&[Route]> {
         self.routes.as_deref()

@@ -300,7 +300,10 @@ impl RouterScratch {
 
 /// Routes every DFG dependency. `scratch` persists across calls so
 /// congestion knowledge (and every buffer) survives placement repair
-/// rounds.
+/// rounds. A fired `cancel` token stops the negotiation after the current
+/// rip-up-and-reroute round — the caller sees a dirty outcome and is
+/// expected to check the token itself before retrying.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn route_all(
     mrrg: &Mrrg,
     cgra: &Cgra,
@@ -309,6 +312,7 @@ pub(crate) fn route_all(
     times: &[usize],
     config: &RouterConfig,
     scratch: &mut RouterScratch,
+    cancel: Option<&crate::CancelToken>,
 ) -> RouteOutcome {
     let ii = mrrg.ii();
     let num_nodes = mrrg.num_nodes();
@@ -352,6 +356,17 @@ pub(crate) fn route_all(
     let mut iterations = 0;
 
     for _ in 0..config.max_iterations.max(1) {
+        if cancel.is_some_and(crate::CancelToken::is_cancelled) {
+            // Abandon the negotiation between rounds; report every signal
+            // as failed so the partial state cannot pass for a success.
+            return RouteOutcome {
+                routes,
+                overuse: 0,
+                failed: scratch.signals.len().max(1),
+                iterations,
+                usage: scratch.usage.clone(),
+            };
+        }
         iterations += 1;
         scratch.refresh_base_costs(num_nodes);
         scratch.usage.iter_mut().for_each(|u| *u = 0);
@@ -658,6 +673,7 @@ mod tests {
             &times,
             &RouterConfig::default(),
             &mut scratch,
+            None,
         );
         assert!(
             outcome.is_clean(),
@@ -709,6 +725,7 @@ mod tests {
             &times,
             &RouterConfig::default(),
             &mut scratch,
+            None,
         );
         assert!(outcome.is_clean());
     }
@@ -752,9 +769,19 @@ mod tests {
                 &state.time_of,
                 &cfg,
                 &mut reused,
+                None,
             );
             let mut fresh = RouterScratch::new();
-            let b = route_all(&mrrg, &cgra, &dfg, &state, &state.time_of, &cfg, &mut fresh);
+            let b = route_all(
+                &mrrg,
+                &cgra,
+                &dfg,
+                &state,
+                &state.time_of,
+                &cfg,
+                &mut fresh,
+                None,
+            );
             reused_routes.push(a.routes);
             fresh_routes.push(b.routes);
         }

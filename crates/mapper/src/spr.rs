@@ -15,22 +15,54 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
-/// Error produced when a mapper exhausts its II budget.
+/// Error produced when a mapper exhausts its II budget — or is cancelled
+/// mid-search by a [`CancelToken`](crate::CancelToken).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapError {
     /// Highest II attempted.
     pub max_ii_tried: usize,
     /// The mapper that gave up.
     pub mapper: &'static str,
+    /// Whether the search was aborted by cooperative cancellation rather
+    /// than exhausting its budget.
+    pub cancelled: bool,
+}
+
+impl MapError {
+    /// The search ran its full II budget without success.
+    pub fn exhausted(max_ii_tried: usize, mapper: &'static str) -> Self {
+        MapError {
+            max_ii_tried,
+            mapper,
+            cancelled: false,
+        }
+    }
+
+    /// The search observed a fired cancellation token and stopped early.
+    pub fn cancelled(max_ii_tried: usize, mapper: &'static str) -> Self {
+        MapError {
+            max_ii_tried,
+            mapper,
+            cancelled: true,
+        }
+    }
 }
 
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} found no valid mapping up to II {}",
-            self.mapper, self.max_ii_tried
-        )
+        if self.cancelled {
+            write!(
+                f,
+                "{} was cancelled while attempting II {}",
+                self.mapper, self.max_ii_tried
+            )
+        } else {
+            write!(
+                f,
+                "{} found no valid mapping up to II {}",
+                self.mapper, self.max_ii_tried
+            )
+        }
     }
 }
 
@@ -146,7 +178,15 @@ impl LowerLevelMapper for SprMapper {
                 .time_budget
                 .is_some_and(|budget| start.elapsed() > budget)
         };
+        let cancel = control.and_then(SearchControl::cancel_token);
         for ii in start_ii..=max_ii {
+            // External cancellation (deadline, shutdown) aborts the whole
+            // search with a distinguishable error; timing-dependent, so the
+            // event stays out of the deterministic signature.
+            if control.is_some_and(SearchControl::is_cancelled) {
+                trace.event_unstable("spr.abort", &[("ii", ii as i64)]);
+                return Err(MapError::cancelled(ii, self.name()));
+            }
             if out_of_time(start) {
                 // Wall-clock cutoffs depend on machine load, so the event
                 // is excluded from the deterministic trace signature.
@@ -190,6 +230,7 @@ impl LowerLevelMapper for SprMapper {
                     &state.time_of,
                     &self.config.router,
                     &mut scratch,
+                    cancel,
                 );
                 stats.router_iterations += outcome.iterations;
                 if trace.is_enabled() {
@@ -240,6 +281,12 @@ impl LowerLevelMapper for SprMapper {
                 if temp < self.config.sa_min_temp {
                     break; // give up on this II
                 }
+                // A fired token makes the router return early with a dirty
+                // outcome; abort before spending another annealing round.
+                if control.is_some_and(SearchControl::is_cancelled) {
+                    trace.event_unstable("spr.abort", &[("ii", ii as i64)]);
+                    return Err(MapError::cancelled(ii, self.name()));
+                }
                 if out_of_time(start) {
                     trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
                     break;
@@ -283,10 +330,7 @@ impl LowerLevelMapper for SprMapper {
             trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
         }
         trace.event("spr.exhausted", &[("max_ii", max_ii as i64)]);
-        Err(MapError {
-            max_ii_tried: max_ii,
-            mapper: self.name(),
-        })
+        Err(MapError::exhausted(max_ii, self.name()))
     }
 
     fn name(&self) -> &'static str {

@@ -248,6 +248,12 @@ impl LowerLevelMapper for UltraFastMapper {
         };
         let mut stats = MappingStats::default();
         for ii in start_ii..=max_ii {
+            // external cancellation (deadline / shutdown) first: it must
+            // abort even searches the portfolio bound still admits
+            if control.is_some_and(crate::SearchControl::is_cancelled) {
+                trace.event_unstable("ultrafast.abort", &[("ii", ii as i64)]);
+                return Err(MapError::cancelled(ii, self.name()));
+            }
             // ascending II search: a rejected II rejects the whole tail
             if control.is_some_and(|c| !c.admits(ii)) {
                 trace.event_unstable("ultrafast.cancelled", &[("ii", ii as i64)]);
@@ -282,10 +288,7 @@ impl LowerLevelMapper for UltraFastMapper {
             );
         }
         trace.event("ultrafast.exhausted", &[("max_ii", max_ii as i64)]);
-        Err(MapError {
-            max_ii_tried: max_ii,
-            mapper: self.name(),
-        })
+        Err(MapError::exhausted(max_ii, self.name()))
     }
 
     fn name(&self) -> &'static str {

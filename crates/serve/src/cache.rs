@@ -1,0 +1,169 @@
+//! Content-addressed LRU cache of completed compile responses.
+//!
+//! Iterative DSE loops re-query the same (kernel, architecture, options)
+//! point many times; the compile pipeline is deterministic, so the
+//! canonical response document can be replayed byte-for-byte. The key is
+//! an FNV-1a hash over the *content* that determines the response — the
+//! DFG text, the architecture text, and the mapping options — never over
+//! anything incidental like the client, the worker count, or arrival time.
+//! (The portfolio's result is bit-identical at any thread count, which is
+//! what makes excluding `threads` from the key sound.)
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Accumulating FNV-1a hasher over byte chunks, with length framing so
+/// `("ab", "c")` and `("a", "bc")` key differently.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentHash(u64);
+
+impl Default for ContentHash {
+    fn default() -> Self {
+        ContentHash(0xcbf2_9ce4_8422_2325) // FNV offset basis
+    }
+}
+
+impl ContentHash {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        ContentHash::default()
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+        }
+    }
+
+    /// Mixes one framed chunk into the hash.
+    #[must_use]
+    pub fn chunk(mut self, bytes: &str) -> Self {
+        self.push_bytes(&(bytes.len() as u64).to_le_bytes());
+        self.push_bytes(bytes.as_bytes());
+        self
+    }
+
+    /// The final 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+struct Slot {
+    response: String,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    tick: u64,
+}
+
+/// A bounded key → response-document cache with LRU eviction.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache retaining at most `capacity` responses (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Poison recovery, same reasoning as the job queue: values are whole
+    /// inserted strings, never partially built under the lock.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The cached response for `key`, refreshing its recency.
+    pub fn get(&self, key: u64) -> Option<String> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = inner.slots.get_mut(&key)?;
+        slot.last_used = tick;
+        Some(slot.response.clone())
+    }
+
+    /// Stores a response, evicting the least recently used entry past
+    /// capacity.
+    pub fn insert(&self, key: u64, response: String) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.slots.insert(
+            key,
+            Slot {
+                response,
+                last_used: tick,
+            },
+        );
+        while inner.slots.len() > self.capacity {
+            let Some((&victim, _)) = inner.slots.iter().min_by_key(|(_, s)| s.last_used) else {
+                break;
+            };
+            inner.slots.remove(&victim);
+        }
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The maximum number of retained responses.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_frames_chunks() {
+        let a = ContentHash::new().chunk("ab").chunk("c").finish();
+        let b = ContentHash::new().chunk("a").chunk("bc").finish();
+        assert_ne!(a, b);
+        let c = ContentHash::new().chunk("ab").chunk("c").finish();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "one".to_string());
+        cache.insert(2, "two".to_string());
+        assert_eq!(cache.get(1).as_deref(), Some("one")); // 2 is now LRU
+        cache.insert(3, "three".to_string());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1).as_deref(), Some("one"));
+        assert_eq!(cache.get(3).as_deref(), Some("three"));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = ResultCache::new(2);
+        cache.insert(1, "old".to_string());
+        cache.insert(1, "new".to_string());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1).as_deref(), Some("new"));
+    }
+}

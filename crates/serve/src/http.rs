@@ -1,0 +1,162 @@
+//! Minimal HTTP/1.1 framing over blocking sockets.
+//!
+//! The daemon's surface is four endpoints exchanging small JSON bodies, so
+//! a full HTTP stack would be all liability: this module implements exactly
+//! the subset the server speaks — request line, headers, `Content-Length`
+//! bodies, and `Connection: close` responses — on `std::io` streams, with
+//! hard caps on header and body sizes so a hostile peer cannot balloon
+//! memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (generous for inline DFG/ADL text).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request: method, path, and body.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`).
+    pub method: String,
+    /// Request target path, query string included verbatim.
+    pub path: String,
+    /// Decoded request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Reads one HTTP/1.1 request from `stream`. Returns `Err` with a
+/// human-readable reason on malformed input or when a size cap trips.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            return Err("request head exceeds 16 KiB".to_string());
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version `{version}`"));
+    }
+    let mut content_length = 0usize;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| "bad Content-Length".to_string())?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body exceeds 4 MiB".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `Connection: close` response with a JSON body.
+/// `extra_headers` lines must be complete (`"Retry-After: 1"`), without
+/// trailing CRLF.
+pub fn write_response<S: Write>(
+    mut stream: S,
+    status: u16,
+    extra_headers: &[&str],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for header in extra_headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compile");
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_allocating_them() {
+        let raw = "POST /compile HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        let err = read_request(raw.as_bytes()).unwrap_err();
+        assert!(err.contains("4 MiB"), "{err}");
+    }
+
+    #[test]
+    fn rejects_short_bodies() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, &["Retry-After: 1"], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `panorama-serve`: the PANORAMA compile daemon.
+//!
+//! Exposes the compilation pipeline as a long-lived service so iterative
+//! DSE loops amortise process startup and MRRG construction across
+//! requests instead of paying them per invocation:
+//!
+//! * `POST /compile` — map a kernel; the response body is byte-identical
+//!   to `panorama compile --json` for the same inputs;
+//! * `POST /lint` — run the static mappability prechecker;
+//! * `GET /healthz` — liveness probe;
+//! * `GET /metrics` — queue depth, shed/cancel counts, cache hit rates,
+//!   per-phase latency percentiles (`panorama-serve-metrics-v1`);
+//! * `POST /admin/shutdown` — loopback-only graceful drain.
+//!
+//! Zero dependencies beyond `std` and the workspace crates: HTTP framing
+//! is [`http`], backpressure is [`queue`], replay is [`cache`], and
+//! accounting is [`metrics`]. The daemon itself lives in [`server`].
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::{ContentHash, ResultCache};
+pub use metrics::{CacheStats, Metrics, METRICS_SCHEMA};
+pub use queue::{JobQueue, PushError};
+pub use server::{DrainHandle, ServeConfig, Server, ERROR_SCHEMA};

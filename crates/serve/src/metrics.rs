@@ -1,0 +1,330 @@
+//! Exact request accounting and per-phase latency aggregation.
+//!
+//! Every request-state transition happens under one lock as a *combined*
+//! update (e.g. "left the queue, became in-flight"), so the fundamental
+//! conservation invariant
+//!
+//! ```text
+//! received == completed + shed + cancelled + failed + queued + in_flight
+//! ```
+//!
+//! holds at every instant, not just quiescently — `/metrics` snapshots can
+//! be checked for exact equality (lint `SERVE002`), and a violated
+//! invariant is a server bug, never a race artifact.
+//!
+//! Latencies aggregate into power-of-two bucket histograms fed from the
+//! per-job trace collectors ([`panorama_trace`] events), keeping memory
+//! constant regardless of request volume while still answering
+//! p50/p90/p99 within a factor of two.
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Schema identifier of the `/metrics` document (lint `SERVE001`).
+pub const METRICS_SCHEMA: &str = "panorama-serve-metrics-v1";
+
+/// Log2-bucketed latency histogram.
+#[derive(Debug, Clone)]
+struct Hist {
+    phase: String,
+    /// `buckets[i]` counts samples with `ns < 2^i` (and `>= 2^(i-1)`).
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+}
+
+impl Hist {
+    fn new(phase: &str) -> Self {
+        Hist {
+            phase: phase.to_string(),
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+
+    fn add(&mut self, ns: u64) {
+        let idx = (64 - ns.leading_zeros() as usize).min(63);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// The upper bound of the bucket holding the `p`-th percentile sample
+    /// (`p` in 0..=100).
+    fn percentile_ns(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * p).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    received: u64,
+    completed: u64,
+    shed: u64,
+    cancelled: u64,
+    failed: u64,
+    queued: u64,
+    in_flight: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    phases: Vec<Hist>,
+}
+
+impl Inner {
+    fn hist(&mut self, phase: &str) -> &mut Hist {
+        if let Some(i) = self.phases.iter().position(|h| h.phase == phase) {
+            return &mut self.phases[i];
+        }
+        self.phases.push(Hist::new(phase));
+        self.phases.last_mut().expect("just pushed")
+    }
+}
+
+/// Cache statistics snapshot passed into [`Metrics::to_json`] (the caches
+/// live outside the metrics lock).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Maximum entries retained (`0` = unbounded).
+    pub capacity: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// The daemon's counters; shared by every connection and worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Poison recovery: every update is a batch of integer increments —
+    /// no partial state can leak from a panicking thread.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A `/compile` request answered straight from the result cache.
+    pub fn request_cache_hit(&self) {
+        let mut m = self.lock();
+        m.received += 1;
+        m.cache_hits += 1;
+        m.completed += 1;
+    }
+
+    /// A cache-missing `/compile` request accepted into the queue.
+    pub fn request_enqueued(&self) {
+        let mut m = self.lock();
+        m.received += 1;
+        m.cache_misses += 1;
+        m.queued += 1;
+    }
+
+    /// A cache-missing `/compile` request shed (queue full or draining).
+    pub fn request_shed(&self) {
+        let mut m = self.lock();
+        m.received += 1;
+        m.cache_misses += 1;
+        m.shed += 1;
+    }
+
+    /// A worker popped a job: queued → in-flight.
+    pub fn job_started(&self) {
+        let mut m = self.lock();
+        m.queued -= 1;
+        m.in_flight += 1;
+    }
+
+    /// An in-flight job finished successfully; `phase_ns` are the
+    /// per-phase durations folded into the latency histograms.
+    pub fn job_completed(&self, phase_ns: &[(&str, u64)]) {
+        let mut m = self.lock();
+        m.in_flight -= 1;
+        m.completed += 1;
+        for &(phase, ns) in phase_ns {
+            m.hist(phase).add(ns);
+        }
+    }
+
+    /// An in-flight job hit its deadline (or the drain) and was cancelled.
+    pub fn job_cancelled(&self) {
+        let mut m = self.lock();
+        m.in_flight -= 1;
+        m.cancelled += 1;
+    }
+
+    /// An in-flight job failed (infeasible input, mapping exhaustion, …).
+    pub fn job_failed(&self) {
+        let mut m = self.lock();
+        m.in_flight -= 1;
+        m.failed += 1;
+    }
+
+    /// Jobs currently waiting or running — the drain loop's exit check.
+    pub fn pending(&self) -> u64 {
+        let m = self.lock();
+        m.queued + m.in_flight
+    }
+
+    /// Renders the `panorama-serve-metrics-v1` document. `queue_capacity`
+    /// and the cache statistics come from the structures that own them.
+    pub fn to_json(
+        &self,
+        queue_capacity: usize,
+        mut result_cache: CacheStats,
+        mrrg_cache: CacheStats,
+    ) -> String {
+        let m = self.lock();
+        // Result-cache lookups are tallied here (they take part in the
+        // conservation invariant); the cache only knows its occupancy.
+        result_cache.hits = m.cache_hits;
+        result_cache.misses = m.cache_misses;
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{METRICS_SCHEMA}\",\
+             \"queue\":{{\"depth\":{},\"capacity\":{queue_capacity},\"in_flight\":{}}},\
+             \"requests\":{{\"received\":{},\"completed\":{},\"shed\":{},\"cancelled\":{},\"failed\":{}}}",
+            m.queued, m.in_flight, m.received, m.completed, m.shed, m.cancelled, m.failed,
+        );
+        for (name, c) in [("result_cache", &result_cache), ("mrrg_cache", &mrrg_cache)] {
+            let _ = write!(
+                s,
+                ",\"{name}\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{},\"evictions\":{}}}",
+                c.hits, c.misses, c.entries, c.capacity, c.evictions,
+            );
+        }
+        s.push_str(",\"phases\":[");
+        let mut phases: Vec<&Hist> = m.phases.iter().collect();
+        phases.sort_by(|a, b| a.phase.cmp(&b.phase));
+        for (i, h) in phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"phase\":\"{}\",\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                panorama_trace::json::escape(&h.phase),
+                h.count,
+                h.total_ns,
+                h.percentile_ns(50),
+                h.percentile_ns(90),
+                h.percentile_ns(99),
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_trace::json;
+
+    fn counters(doc: &json::Json) -> (u64, u64) {
+        let req = doc.get("requests").unwrap();
+        let get = |k: &str| req.get(k).unwrap().as_f64().unwrap() as u64;
+        let q = doc.get("queue").unwrap();
+        let flows = get("completed") + get("shed") + get("cancelled") + get("failed");
+        let held = q.get("depth").unwrap().as_f64().unwrap() as u64
+            + q.get("in_flight").unwrap().as_f64().unwrap() as u64;
+        (get("received"), flows + held)
+    }
+
+    #[test]
+    fn conservation_holds_through_every_transition() {
+        let m = Metrics::new();
+        let check = |m: &Metrics| {
+            let doc = json::parse(&m.to_json(4, CacheStats::default(), CacheStats::default()))
+                .expect("metrics JSON parses");
+            let (received, accounted) = counters(&doc);
+            assert_eq!(received, accounted);
+        };
+        check(&m);
+        m.request_cache_hit();
+        check(&m);
+        m.request_enqueued();
+        check(&m);
+        m.request_shed();
+        check(&m);
+        m.job_started();
+        check(&m);
+        m.job_completed(&[("map", 1_000_000), ("preflight", 5_000)]);
+        check(&m);
+        m.request_enqueued();
+        m.job_started();
+        m.job_cancelled();
+        check(&m);
+        m.request_enqueued();
+        m.job_started();
+        m.job_failed();
+        check(&m);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bucketed() {
+        let mut h = Hist::new("map");
+        for ns in [100, 200, 400, 800, 100_000] {
+            h.add(ns);
+        }
+        let (p50, p90, p99) = (
+            h.percentile_ns(50),
+            h.percentile_ns(90),
+            h.percentile_ns(99),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // p50 falls in the bucket holding 400 (256..=511)
+        assert_eq!(p50, 511);
+        // p99 falls in the bucket holding 100_000
+        assert!(p99 >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Hist::new("x");
+        assert_eq!(h.percentile_ns(99), 0);
+    }
+
+    #[test]
+    fn schema_and_phases_render() {
+        let m = Metrics::new();
+        m.request_enqueued();
+        m.job_started();
+        m.job_completed(&[("preflight", 10), ("map", 20)]);
+        let doc = json::parse(&m.to_json(8, CacheStats::default(), CacheStats::default())).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), METRICS_SCHEMA);
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = phases
+            .iter()
+            .map(|p| p.get("phase").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["map", "preflight"]); // sorted
+    }
+}

@@ -1,0 +1,171 @@
+//! Bounded MPMC job queue with load shedding.
+//!
+//! The serving pipeline's backpressure point: connection threads
+//! [`try_push`](JobQueue::try_push) (never block, never grow the queue
+//! past its capacity — a full queue is the *caller's* problem, surfaced as
+//! `503`), worker threads [`pop`](JobQueue::pop) (block until a job or
+//! shutdown). Closing the queue rejects new pushes while letting workers
+//! drain what was already accepted, which is exactly the graceful-drain
+//! ordering the daemon needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; shed the request.
+    Full,
+    /// The queue is draining; no new work is accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue accepting at most `capacity` pending jobs
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Recovers from poisoning: the queue state is a plain `VecDeque` plus
+    /// a flag, both valid after any panic point, and a stuck queue would
+    /// deadlock every connection thread.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `job` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, job: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((job, PushError::Closed));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err((job, PushError::Full));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest job, blocking while the queue is open and
+    /// empty. Returns `None` only when the queue is closed *and* drained —
+    /// the worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops accepting pushes; queued jobs remain poppable. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (excludes jobs a worker already popped).
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// The maximum number of pending jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_and_reports_the_job_back() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (job, err) = q.try_push(3).unwrap_err();
+        assert_eq!((job, err), (3, PushError::Full));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_pops() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3).unwrap_err().1, PushError::Closed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None); // stays drained
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(JobQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<i32>::new(1));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2).unwrap_err().1, PushError::Full);
+    }
+}

@@ -1,0 +1,789 @@
+//! The compile daemon: accept loop, worker pool, deadline watchdog, and
+//! graceful drain.
+//!
+//! ```text
+//! connection threads          bounded JobQueue          worker pool
+//!   parse HTTP+JSON  ──try_push──▶ [ jobs … ] ──pop──▶ compile_traced
+//!   (503 on full)                                       _with_cancel
+//!        ▲                                                   │
+//!        └────────────── mpsc response channel ◀─────────────┘
+//! ```
+//!
+//! Request lifecycle invariants:
+//!
+//! * every `/compile` request lands in exactly one terminal counter
+//!   (completed / shed / cancelled / failed) — see [`crate::metrics`];
+//! * a full queue never grows: excess load is shed with `503` and
+//!   `Retry-After`, so memory use is bounded by `queue_depth` plus the
+//!   worker count regardless of offered load;
+//! * deadlines are enforced by a watchdog that fires each job's
+//!   [`CancelToken`]; the pipeline stops cooperatively at its next II
+//!   iteration or PathFinder round, never mid-write;
+//! * drain (`POST /admin/shutdown`, loopback-only) stops accepting,
+//!   lets queued and in-flight jobs finish, folds their trace collectors
+//!   into the metrics, then returns from [`Server::run`] — the process
+//!   exits `0`.
+
+use crate::cache::{ContentHash, ResultCache};
+use crate::http::{read_request, write_response, Request};
+use crate::metrics::{CacheStats, Metrics};
+use crate::queue::JobQueue;
+use panorama::{CompileReport, Panorama, PanoramaConfig, PanoramaError};
+use panorama_arch::{Cgra, CgraConfig, DEFAULT_MRRG_CACHE_CAPACITY};
+use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
+use panorama_lint::{Diagnostics, LintContext, Registry};
+use panorama_mapper::{CancelToken, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
+use panorama_trace::json::{escape, parse, Json};
+use panorama_trace::{phase_totals, RecordingSink, Tracer};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Schema identifier of error payloads.
+pub const ERROR_SCHEMA: &str = "panorama-error-v1";
+
+/// Daemon tunables; every knob maps to a `panorama serve` flag.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Compile worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue sheds with `503`.
+    pub queue_depth: usize,
+    /// Per-request compile deadline; `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Completed compile responses retained for replay.
+    pub result_cache_capacity: usize,
+    /// Per-architecture MRRG cache bound (see
+    /// [`panorama_arch::MrrgCache`]).
+    pub mrrg_cache_capacity: usize,
+    /// Portfolio threads per compile job (the job-level parallelism
+    /// already comes from `workers`; results are bit-identical for any
+    /// value).
+    pub portfolio_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            deadline: None,
+            result_cache_capacity: 256,
+            mrrg_cache_capacity: DEFAULT_MRRG_CACHE_CAPACITY,
+            portfolio_threads: 1,
+        }
+    }
+}
+
+/// A parsed, validated `/compile` request.
+struct CompileRequest {
+    dfg: Dfg,
+    arch_display: String,
+    arch_config: CgraConfig,
+    mapper: String,
+    baseline: bool,
+    max_ii: Option<usize>,
+    /// Per-request portfolio-thread override; `None` falls back to the
+    /// daemon's `--threads` (results are bit-identical either way).
+    threads: Option<usize>,
+    deadline: Option<Duration>,
+}
+
+/// What a worker sends back to the waiting connection thread.
+struct JobOutcome {
+    status: u16,
+    body: String,
+}
+
+/// One queued compile.
+struct Job {
+    request: CompileRequest,
+    key: u64,
+    cancel: CancelToken,
+    done: Arc<AtomicBool>,
+    respond: mpsc::Sender<JobOutcome>,
+}
+
+/// A deadline the watchdog enforces.
+struct WatchEntry {
+    deadline: Instant,
+    cancel: CancelToken,
+    done: Arc<AtomicBool>,
+}
+
+struct State {
+    config: ServeConfig,
+    queue: JobQueue<Job>,
+    metrics: Metrics,
+    results: ResultCache,
+    /// Shared `Cgra` per architecture, so every request against the same
+    /// architecture reuses one MRRG cache. Keyed by the canonical ADL
+    /// text; bounded crudely (cleared past 16 architectures — a daemon
+    /// serves a handful).
+    cgras: Mutex<HashMap<String, Cgra>>,
+    watch: Mutex<Vec<WatchEntry>>,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    addr: SocketAddr,
+    connections: Mutex<usize>,
+    connections_drained: Condvar,
+}
+
+impl State {
+    fn cgra_for(&self, config: &CgraConfig) -> Result<Cgra, String> {
+        let key = config.to_text();
+        let mut cgras = self.cgras.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cgra) = cgras.get(&key) {
+            return Ok(cgra.clone());
+        }
+        let cgra = Cgra::new(config.clone()).map_err(|e| e.to_string())?;
+        cgra.mrrg_cache()
+            .set_capacity(self.config.mrrg_cache_capacity);
+        if cgras.len() >= 16 {
+            cgras.clear();
+        }
+        cgras.insert(key, cgra.clone());
+        Ok(cgra)
+    }
+
+    fn mrrg_stats(&self) -> CacheStats {
+        let cgras = self.cgras.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut stats = CacheStats {
+            capacity: self.config.mrrg_cache_capacity as u64,
+            ..CacheStats::default()
+        };
+        for cgra in cgras.values() {
+            let c = cgra.mrrg_cache();
+            stats.hits += c.hits();
+            stats.misses += c.misses();
+            stats.entries += c.len() as u64;
+            stats.evictions += c.evictions();
+        }
+        stats
+    }
+
+    fn result_stats(&self) -> CacheStats {
+        // hits/misses live in Metrics (folded into the conservation
+        // invariant); the cache itself only knows occupancy.
+        CacheStats {
+            entries: self.results.len() as u64,
+            capacity: self.results.capacity() as u64,
+            ..CacheStats::default()
+        }
+    }
+}
+
+/// A handle that can trigger the graceful drain from another thread (the
+/// CLI's stdin watcher, tests).
+#[derive(Clone)]
+pub struct DrainHandle {
+    state: Arc<State>,
+}
+
+impl DrainHandle {
+    /// Initiates the drain: stop accepting, finish queued and in-flight
+    /// jobs, then [`Server::run`] returns. Idempotent.
+    pub fn drain(&self) {
+        initiate_drain(&self.state);
+    }
+}
+
+fn initiate_drain(state: &Arc<State>) {
+    if state.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the accept loop so it observes the flag. The dummy
+    // connection is dropped unserved, which is fine — we are the server.
+    let _ = TcpStream::connect(state.addr);
+}
+
+/// The bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener (so the port is known before serving starts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            queue: JobQueue::new(config.queue_depth),
+            metrics: Metrics::new(),
+            results: ResultCache::new(config.result_cache_capacity),
+            cgras: Mutex::new(HashMap::new()),
+            watch: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            addr,
+            connections: Mutex::new(0),
+            connections_drained: Condvar::new(),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A handle that can drain the server from another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until drained, then returns. See the module docs for the
+    /// drain ordering.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures that indicate a dead listener.
+    pub fn run(self) -> io::Result<()> {
+        let state = self.state;
+        let workers: Vec<_> = (0..state.config.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        let watchdog = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || watchdog_loop(&state))
+        };
+
+        for stream in self.listener.incoming() {
+            if state.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            {
+                let mut n = state
+                    .connections
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *n += 1;
+            }
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                handle_connection(&state, stream);
+                let mut n = state
+                    .connections
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *n -= 1;
+                if *n == 0 {
+                    state.connections_drained.notify_all();
+                }
+            });
+        }
+
+        // Drain: new pushes are refused, queued jobs still pop.
+        state.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Connection threads finish once their job responses arrive (all
+        // workers have exited, so every response has been sent).
+        {
+            let mut n = state
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while *n > 0 {
+                n = state
+                    .connections_drained
+                    .wait(n)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        state.stopped.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
+        // Every per-job trace collector has been folded into the metrics
+        // synchronously at job completion; nothing is buffered past this
+        // point, so returning here *is* the flush.
+        Ok(())
+    }
+}
+
+/// Cancels tokens whose deadline passed; prunes finished entries.
+fn watchdog_loop(state: &Arc<State>) {
+    while !state.stopped.load(Ordering::SeqCst) {
+        {
+            let mut watch = state.watch.lock().unwrap_or_else(PoisonError::into_inner);
+            let now = Instant::now();
+            watch.retain(|entry| {
+                if entry.done.load(Ordering::Acquire) {
+                    return false;
+                }
+                if now >= entry.deadline {
+                    entry.cancel.cancel();
+                    return false;
+                }
+                true
+            });
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn worker_loop(state: &Arc<State>) {
+    while let Some(job) = state.queue.pop() {
+        state.metrics.job_started();
+        let outcome = run_job(state, &job);
+        job.done.store(true, Ordering::Release);
+        // A disappeared client is not an error; the job's effects
+        // (metrics, result cache) already landed.
+        let _ = job.respond.send(outcome);
+    }
+}
+
+/// Compiles one job; returns the HTTP outcome and settles the metrics.
+fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
+    let req = &job.request;
+    let started = Instant::now();
+    if job.cancel.is_cancelled() {
+        // Deadline expired while the job sat in the queue.
+        state.metrics.job_cancelled();
+        return error_outcome(504, "cancelled", "deadline exceeded before compile started");
+    }
+    let cgra = match state.cgra_for(&req.arch_config) {
+        Ok(cgra) => cgra,
+        Err(e) => {
+            state.metrics.job_failed();
+            return error_outcome(422, "bad_arch", &e);
+        }
+    };
+    let compiler = Panorama::new(PanoramaConfig {
+        max_ii: req.max_ii,
+        threads: req.threads.unwrap_or(state.config.portfolio_threads),
+        ..PanoramaConfig::default()
+    });
+    let sink = RecordingSink::shared();
+    let tracer = Tracer::new(sink.clone());
+    let run = |m: &dyn LowerLevelMapper| {
+        let shim = DynMapper(m);
+        if req.baseline {
+            compiler.compile_baseline_traced_with_cancel(
+                &req.dfg,
+                &cgra,
+                &shim,
+                &tracer,
+                Some(&job.cancel),
+            )
+        } else {
+            compiler.compile_traced_with_cancel(&req.dfg, &cgra, &shim, &tracer, Some(&job.cancel))
+        }
+    };
+    let result: Result<CompileReport, PanoramaError> = match req.mapper.as_str() {
+        "spr" => run(&SprMapper::default()),
+        "ultrafast" => run(&UltraFastMapper::default()),
+        "exhaustive" => run(&ExactMapper::default()),
+        other => {
+            state.metrics.job_failed();
+            return error_outcome(400, "bad_mapper", &format!("unknown mapper `{other}`"));
+        }
+    };
+    match result {
+        Ok(report) => {
+            if let Err(e) = report.mapping().verify(&req.dfg, &cgra) {
+                state.metrics.job_failed();
+                return error_outcome(422, "verify_failed", &e.to_string());
+            }
+            let mut body = report.to_json(req.dfg.name(), &req.arch_display);
+            body.push('\n');
+            // Fold this job's top-level phase durations into the latency
+            // histograms, plus the end-to-end compile span.
+            let events = sink.take();
+            let totals = phase_totals(&events);
+            let mut folded: Vec<(&str, u64)> = totals
+                .iter()
+                .filter(|(phase, _, _)| !phase.contains('.'))
+                .map(|&(phase, _, ns)| (phase, ns))
+                .collect();
+            let request_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            folded.push(("request", request_ns));
+            state.metrics.job_completed(&folded);
+            state.results.insert(job.key, body.clone());
+            JobOutcome { status: 200, body }
+        }
+        Err(PanoramaError::Cancelled) => {
+            state.metrics.job_cancelled();
+            error_outcome(
+                504,
+                "cancelled",
+                "deadline exceeded; the pipeline stopped cooperatively",
+            )
+        }
+        Err(e) => {
+            state.metrics.job_failed();
+            error_outcome(422, "compile_failed", &e.to_string())
+        }
+    }
+}
+
+fn error_outcome(status: u16, error: &str, detail: &str) -> JobOutcome {
+    JobOutcome {
+        status,
+        body: format!(
+            "{{\"schema\":\"{ERROR_SCHEMA}\",\"error\":\"{}\",\"detail\":\"{}\"}}\n",
+            escape(error),
+            escape(detail)
+        ),
+    }
+}
+
+fn handle_connection(state: &Arc<State>, stream: TcpStream) {
+    let peer_loopback = stream.peer_addr().is_ok_and(|a| a.ip().is_loopback());
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
+            let _ = write_response(&stream, status, &[], &body);
+            return;
+        }
+    };
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let _ = write_response(&stream, 200, &[], "{\"status\":\"ok\"}\n");
+        }
+        ("GET", "/metrics") => {
+            let body = format!(
+                "{}\n",
+                state.metrics.to_json(
+                    state.queue.capacity(),
+                    state.result_stats(),
+                    state.mrrg_stats(),
+                )
+            );
+            let _ = write_response(&stream, 200, &[], &body);
+        }
+        ("POST", "/admin/shutdown") => {
+            if peer_loopback {
+                initiate_drain(state);
+                let _ = write_response(&stream, 200, &[], "{\"status\":\"draining\"}\n");
+            } else {
+                let JobOutcome { status, body } =
+                    error_outcome(403, "forbidden", "shutdown is loopback-only");
+                let _ = write_response(&stream, status, &[], &body);
+            }
+        }
+        ("POST", "/compile") => handle_compile(state, &stream, &request),
+        ("POST", "/lint") => handle_lint(&stream, &request),
+        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/compile" | "/lint") => {
+            let JobOutcome { status, body } =
+                error_outcome(405, "method_not_allowed", "wrong method for this path");
+            let _ = write_response(&stream, status, &[], &body);
+        }
+        _ => {
+            let JobOutcome { status, body } = error_outcome(404, "not_found", "unknown path");
+            let _ = write_response(&stream, status, &[], &body);
+        }
+    }
+}
+
+fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
+    let parsed = match parse_compile_request(&request.body, state.config.deadline) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
+            let _ = write_response(stream, status, &[], &body);
+            return;
+        }
+    };
+    let key = ContentHash::new()
+        .chunk(&parsed.dfg.to_text())
+        .chunk(&parsed.arch_display)
+        .chunk(&parsed.arch_config.to_text())
+        .chunk(&parsed.mapper)
+        .chunk(if parsed.baseline {
+            "baseline"
+        } else {
+            "guided"
+        })
+        .chunk(&parsed.max_ii.map(|n| n.to_string()).unwrap_or_default())
+        .finish();
+    if let Some(body) = state.results.get(key) {
+        state.metrics.request_cache_hit();
+        let _ = write_response(stream, 200, &[], &body);
+        return;
+    }
+    let deadline = parsed.deadline;
+    let cancel = CancelToken::new();
+    let done = Arc::new(AtomicBool::new(false));
+    if let Some(d) = deadline {
+        // Register before the push so the clock includes queue wait.
+        state
+            .watch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(WatchEntry {
+                deadline: Instant::now() + d,
+                cancel: cancel.clone(),
+                done: Arc::clone(&done),
+            });
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request: parsed,
+        key,
+        cancel,
+        done: Arc::clone(&done),
+        respond: tx,
+    };
+    if let Err((job, _reason)) = state.queue.try_push(job) {
+        // Full and draining shed identically: try again later.
+        job.done.store(true, Ordering::Release);
+        state.metrics.request_shed();
+        let JobOutcome { status, body } = error_outcome(
+            503,
+            "overloaded",
+            "compile queue is full; retry after the indicated delay",
+        );
+        let _ = write_response(stream, status, &["Retry-After: 1"], &body);
+        return;
+    }
+    state.metrics.request_enqueued();
+    match rx.recv() {
+        Ok(outcome) => {
+            let _ = write_response(stream, outcome.status, &[], &outcome.body);
+        }
+        Err(_) => {
+            // Worker pool died before responding — only possible during a
+            // hard teardown; treat like shedding so the client retries.
+            let JobOutcome { status, body } =
+                error_outcome(503, "shutting_down", "server is draining");
+            let _ = write_response(stream, status, &["Retry-After: 1"], &body);
+        }
+    }
+}
+
+fn handle_lint(stream: &TcpStream, request: &Request) {
+    let body = match lint_body(&request.body) {
+        Ok(body) => body,
+        Err(e) => {
+            let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
+            let _ = write_response(stream, status, &[], &body);
+            return;
+        }
+    };
+    let _ = write_response(stream, 200, &[], &body);
+}
+
+fn lint_body(raw: &str) -> Result<String, String> {
+    let doc = parse(raw)?;
+    let dfg = parse_dfg_field(&doc)?;
+    let cgra = match parse_arch_field(&doc)? {
+        Some((_display, config)) => Some(Cgra::new(config).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let max_ii = opt_usize(&doc, "max_ii")?;
+    let ctx = LintContext {
+        dfg: Some(&dfg),
+        cgra: cgra.as_ref(),
+        max_ii,
+        ..LintContext::default()
+    };
+    let mut diags = Diagnostics::new();
+    diags.extend(Registry::with_default_passes().run(&ctx));
+    Ok(format!("{}\n", diags.render_json()))
+}
+
+fn opt_str<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get(key).and_then(Json::as_str)
+}
+
+fn opt_usize(doc: &Json, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+            Ok(Some(n as usize))
+        }
+    }
+}
+
+fn parse_dfg_field(doc: &Json) -> Result<Dfg, String> {
+    let scale = match opt_str(doc, "scale") {
+        None | Some("scaled") => KernelScale::Scaled,
+        Some("tiny") => KernelScale::Tiny,
+        Some("paper") => KernelScale::Paper,
+        Some(other) => return Err(format!("unknown scale `{other}`")),
+    };
+    match (opt_str(doc, "kernel"), opt_str(doc, "dfg")) {
+        (Some(name), None) => {
+            let id = KernelId::ALL
+                .iter()
+                .find(|id| {
+                    id.name().eq_ignore_ascii_case(name)
+                        || format!("{id:?}").eq_ignore_ascii_case(name)
+                })
+                .ok_or_else(|| format!("unknown kernel `{name}`"))?;
+            Ok(kernels::generate(*id, scale))
+        }
+        (None, Some(text)) => Dfg::from_text(text).map_err(|e| e.to_string()),
+        (Some(_), Some(_)) => Err("give either `kernel` or `dfg`, not both".to_string()),
+        (None, None) => Err("missing `kernel` (builtin name) or `dfg` (inline text)".to_string()),
+    }
+}
+
+/// `(display name, config)` from `arch` (preset) / `arch_text` (inline
+/// ADL); `None` when the request names no architecture (lint only).
+fn parse_arch_field(doc: &Json) -> Result<Option<(String, CgraConfig)>, String> {
+    if let Some(text) = opt_str(doc, "arch_text") {
+        let config = CgraConfig::from_text(text).map_err(|e| e.to_string())?;
+        let display = opt_str(doc, "arch").unwrap_or("custom").to_string();
+        return Ok(Some((display, config)));
+    }
+    let Some(preset) = opt_str(doc, "arch") else {
+        return Ok(None);
+    };
+    let config = match preset {
+        "8x8" => CgraConfig::scaled_8x8(),
+        "4x4" => CgraConfig::small_4x4(),
+        "9x9" => CgraConfig::paper_9x9(),
+        "16x16" => CgraConfig::paper_16x16(),
+        "6x1" => CgraConfig::linear_6x1(),
+        other => {
+            return Err(format!(
+                "unknown arch preset `{other}` (use arch_text for ADL)"
+            ))
+        }
+    };
+    Ok(Some((preset.to_string(), config)))
+}
+
+fn parse_compile_request(
+    raw: &str,
+    default_deadline: Option<Duration>,
+) -> Result<CompileRequest, String> {
+    let doc = parse(raw)?;
+    let dfg = parse_dfg_field(&doc)?;
+    let (arch_display, arch_config) =
+        parse_arch_field(&doc)?.unwrap_or_else(|| ("8x8".to_string(), CgraConfig::scaled_8x8()));
+    let mapper = opt_str(&doc, "mapper").unwrap_or("spr").to_string();
+    if !matches!(mapper.as_str(), "spr" | "ultrafast" | "exhaustive") {
+        return Err(format!("unknown mapper `{mapper}`"));
+    }
+    let baseline = doc.get("baseline").and_then(Json::as_bool).unwrap_or(false);
+    let max_ii = opt_usize(&doc, "max_ii")?;
+    let threads = opt_usize(&doc, "threads")?;
+    let deadline = match opt_usize(&doc, "deadline_ms")? {
+        Some(ms) => Some(Duration::from_millis(ms as u64)),
+        None => default_deadline,
+    };
+    Ok(CompileRequest {
+        dfg,
+        arch_display,
+        arch_config,
+        mapper,
+        baseline,
+        max_ii,
+        threads,
+        deadline,
+    })
+}
+
+/// Object-safe shim so one closure drives any mapper (mirrors the CLI).
+struct DynMapper<'a>(&'a dyn LowerLevelMapper);
+
+impl LowerLevelMapper for DynMapper<'_> {
+    fn map(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&panorama_mapper::Restriction>,
+    ) -> Result<panorama_mapper::Mapping, panorama_mapper::MapError> {
+        self.0.map(dfg, cgra, restriction)
+    }
+
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&panorama_mapper::Restriction>,
+        control: Option<&panorama_mapper::SearchControl>,
+    ) -> Result<panorama_mapper::Mapping, panorama_mapper::MapError> {
+        self.0.map_with_control(dfg, cgra, restriction, control)
+    }
+
+    fn map_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&panorama_mapper::Restriction>,
+        control: Option<&panorama_mapper::SearchControl>,
+        trace: &mut panorama_trace::SpanCollector,
+    ) -> Result<panorama_mapper::Mapping, panorama_mapper::MapError> {
+        self.0.map_traced(dfg, cgra, restriction, control, trace)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_request_parses_defaults() {
+        let req = parse_compile_request("{\"kernel\":\"fir\"}", None).unwrap();
+        assert_eq!(req.dfg.name(), "fir");
+        assert_eq!(req.arch_display, "8x8");
+        assert_eq!(req.mapper, "spr");
+        assert!(!req.baseline);
+        assert_eq!(req.threads, None);
+        assert!(req.deadline.is_none());
+    }
+
+    #[test]
+    fn compile_request_rejects_unknowns() {
+        assert!(parse_compile_request("{\"kernel\":\"nope\"}", None).is_err());
+        assert!(parse_compile_request("{\"kernel\":\"fir\",\"mapper\":\"magic\"}", None).is_err());
+        assert!(parse_compile_request("{\"kernel\":\"fir\",\"arch\":\"3x3\"}", None).is_err());
+        assert!(parse_compile_request("{}", None).is_err());
+        assert!(parse_compile_request("not json", None).is_err());
+    }
+
+    #[test]
+    fn per_request_deadline_overrides_the_default() {
+        let default = Some(Duration::from_secs(60));
+        let req =
+            parse_compile_request("{\"kernel\":\"fir\",\"deadline_ms\":25}", default).unwrap();
+        assert_eq!(req.deadline, Some(Duration::from_millis(25)));
+        let req = parse_compile_request("{\"kernel\":\"fir\"}", default).unwrap();
+        assert_eq!(req.deadline, default);
+    }
+
+    #[test]
+    fn inline_dfg_text_round_trips() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let body = format!(
+            "{{\"dfg\":\"{}\",\"arch\":\"4x4\"}}",
+            escape(&dfg.to_text())
+        );
+        let req = parse_compile_request(&body, None).unwrap();
+        assert_eq!(req.dfg.name(), dfg.name());
+        assert_eq!(req.arch_display, "4x4");
+    }
+}

@@ -7,7 +7,9 @@
 //! panorama trace <kernel> [--arch cgra.adl] [--mapper spr|ultrafast|exhaustive]
 //!                [--baseline] [--threads N] [--max-ii N] [--out FILE]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
-//!               [--trace-json FILE]
+//!               [--trace-json FILE] [--serve-json FILE]
+//! panorama serve [--addr IP:PORT] [--workers N] [--queue-depth N]
+//!                [--deadline-ms MS] [--result-cache N] [--mrrg-cache N]
 //! panorama bench [--json] [--out FILE] [--mapper spr|ultrafast] [--threads N]
 //!                [--check FILE] [--max-kernel-seconds S] [--ceiling-scale X]
 //!                [--trace FILE]
@@ -32,7 +34,7 @@
 use panorama::{Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
-use panorama_lint::{lint_trace_json, Diagnostics, LintContext, Registry};
+use panorama_lint::{lint_serve_json, lint_trace_json, Diagnostics, LintContext, Registry};
 use panorama_mapper::{Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
 use panorama_sim::simulate;
 use panorama_trace::{RecordingSink, TraceEvent, TraceReport, Tracer};
@@ -46,12 +48,15 @@ fn usage() -> &'static str {
      panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
 [--threads <n>] [--max-ii <ii>] [--simulate <iters>] [--configware] [--dot] \
-[--trace <file>]\n  \
+[--trace <file>] [--json]\n  \
      panorama trace <kernel-name|file|-> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
 [--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
      panorama lint [--dfg <file|-|kernel-name>] [--arch <file|preset>] \
-[--scale tiny|scaled|paper] [--max-ii <ii>] [--trace-json <file>] [--json]\n  \
+[--scale tiny|scaled|paper] [--max-ii <ii>] [--trace-json <file>] \
+[--serve-json <file>] [--json]\n  \
+     panorama serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] \
+[--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>]\n  \
      panorama bench [--json] [--out <file>] [--mapper spr|ultrafast] \
 [--threads <n>] [--check <baseline.json>] [--max-kernel-seconds <s>] \
 [--ceiling-scale <x>] [--trace <file>]\n  \
@@ -75,6 +80,7 @@ const COMPILE_FLAGS: FlagSpec = &[
     ("configware", true),
     ("dot", true),
     ("trace", false),
+    ("json", true),
 ];
 const TRACE_FLAGS: FlagSpec = &[
     ("arch", false),
@@ -102,9 +108,19 @@ const LINT_FLAGS: FlagSpec = &[
     ("max-ii", false),
     ("json", true),
     ("trace-json", false),
+    ("serve-json", false),
 ];
 const KERNELS_FLAGS: FlagSpec = &[("scale", false)];
 const INFO_FLAGS: FlagSpec = &[("arch", false)];
+const SERVE_FLAGS: FlagSpec = &[
+    ("addr", false),
+    ("workers", false),
+    ("queue-depth", false),
+    ("deadline-ms", false),
+    ("result-cache", false),
+    ("mrrg-cache", false),
+    ("threads", false),
+];
 
 fn parse_flags(
     cmd: &str,
@@ -240,22 +256,31 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     }
     let mapping = report.mapping();
     mapping.verify(&dfg, &cgra)?;
-    println!(
-        "mapped with {}{} at II {} (MII {}, QoM {:.2}) in {:.2?}",
-        if baseline { "" } else { "Pan-" },
-        mapping.mapper(),
-        mapping.ii(),
-        mapping.mii(),
-        mapping.qom(),
-        report.total_time()
-    );
-    if let Some(plan) = report.plan() {
+    if flags.contains_key("json") {
+        // The canonical deterministic document — byte-identical to what
+        // `panorama serve` returns for the same inputs.
         println!(
-            "higher-level: {} DFG clusters, zeta {}, histogram {:?}",
-            plan.cdg().num_clusters(),
-            plan.cluster_map().zeta1(),
-            plan.cluster_map().histogram()
+            "{}",
+            report.to_json(dfg.name(), flags.get("arch").map_or("8x8", String::as_str))
         );
+    } else {
+        println!(
+            "mapped with {}{} at II {} (MII {}, QoM {:.2}) in {:.2?}",
+            if baseline { "" } else { "Pan-" },
+            mapping.mapper(),
+            mapping.ii(),
+            mapping.mii(),
+            mapping.qom(),
+            report.total_time()
+        );
+        if let Some(plan) = report.plan() {
+            println!(
+                "higher-level: {} DFG clusters, zeta {}, histogram {:?}",
+                plan.cdg().num_clusters(),
+                plan.cluster_map().zeta1(),
+                plan.cluster_map().histogram()
+            );
+        }
     }
     if let Some(iters) = flags.get("simulate") {
         let iters: usize = iters.parse()?;
@@ -493,8 +518,14 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
 /// Exits nonzero when any error-severity finding is reported.
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let scale = parse_scale(flags.get("scale"))?;
-    if !flags.contains_key("dfg") && !flags.contains_key("trace-json") {
-        return Err("`lint` needs --dfg <file|-|kernel-name> and/or --trace-json <file>".into());
+    if !["dfg", "trace-json", "serve-json"]
+        .iter()
+        .any(|k| flags.contains_key(*k))
+    {
+        return Err(
+            "`lint` needs --dfg <file|-|kernel-name>, --trace-json <file> and/or --serve-json <file>"
+                .into(),
+        );
     }
     let mut diags = Diagnostics::new();
     if let Some(spec) = flags.get("dfg") {
@@ -514,6 +545,16 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if let Some(path) = flags.get("trace-json") {
         lint_trace_json(&std::fs::read_to_string(path)?, &mut diags);
     }
+    if let Some(path) = flags.get("serve-json") {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        } else {
+            std::fs::read_to_string(path)?
+        };
+        lint_serve_json(&text, &mut diags);
+    }
     if flags.contains_key("json") {
         println!("{}", diags.render_json());
     } else {
@@ -522,6 +563,59 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if diags.has_errors() {
         return Err(format!("lint found {} error(s)", diags.num_errors()).into());
     }
+    Ok(())
+}
+
+/// `panorama serve`: run the compile daemon until drained.
+///
+/// The process cannot install a signal handler without `unsafe`, so the
+/// graceful-drain triggers are `POST /admin/shutdown` (loopback-only) and
+/// stdin reaching EOF — closing the daemon's stdin (or piping from a
+/// process that exits) drains it exactly like the admin endpoint.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let parse_n = |key: &str, default: usize| -> Result<usize, String> {
+        flags.get(key).map_or(Ok(default), |s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--{key} needs a non-negative integer, got `{s}`"))
+        })
+    };
+    let config = panorama_serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: parse_n("workers", 2)?,
+        queue_depth: parse_n("queue-depth", 16)?,
+        deadline: match flags.get("deadline-ms") {
+            None => None,
+            Some(s) => {
+                let ms = s
+                    .parse::<u64>()
+                    .map_err(|_| format!("--deadline-ms needs a positive integer, got `{s}`"))?;
+                Some(std::time::Duration::from_millis(ms))
+            }
+        },
+        result_cache_capacity: parse_n("result-cache", 256)?,
+        mrrg_cache_capacity: parse_n("mrrg-cache", panorama_arch::DEFAULT_MRRG_CACHE_CAPACITY)?,
+        portfolio_threads: parse_threads(flags)?,
+    };
+    let server = panorama_serve::Server::bind(config)?;
+    let addr = server.local_addr();
+    println!("panorama-serve listening on http://{addr}");
+    println!(
+        "endpoints: POST /compile, POST /lint, GET /healthz, GET /metrics, POST /admin/shutdown"
+    );
+    println!("drain: POST /admin/shutdown (loopback-only) or close stdin");
+    let drain = server.drain_handle();
+    std::thread::spawn(move || {
+        // Block until stdin closes, then drain. Under a terminal this
+        // waits for ^D; under CI the daemon is drained via the endpoint.
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+        drain.drain();
+    });
+    server.run()?;
+    println!("panorama-serve drained cleanly");
     Ok(())
 }
 
@@ -572,13 +666,14 @@ fn main() -> ExitCode {
         "bench" => BENCH_FLAGS,
         "kernels" => KERNELS_FLAGS,
         "info" => INFO_FLAGS,
+        "serve" => SERVE_FLAGS,
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
         }
         other => {
             eprintln!(
-                "error: unknown command `{other}` (expected compile, trace, lint, bench, kernels, info or help)\n\n{}",
+                "error: unknown command `{other}` (expected compile, trace, lint, bench, serve, kernels, info or help)\n\n{}",
                 usage()
             );
             return ExitCode::FAILURE;
@@ -612,6 +707,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(&flags),
         "bench" => cmd_bench(&flags),
         "kernels" => cmd_kernels(&flags),
+        "serve" => cmd_serve(&flags),
         _ => cmd_info(&flags),
     };
     match result {

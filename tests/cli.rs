@@ -42,6 +42,76 @@ fn compile_builtin_kernel_end_to_end() {
 }
 
 #[test]
+fn compile_json_emits_canonical_document() {
+    let out = bin()
+        .args([
+            "compile", "--dfg", "cordic", "--arch", "8x8", "--scale", "tiny", "--json",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    // Exactly one line of JSON on stdout (human banner goes to stderr).
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    let doc = panorama_trace::json::parse(&stdout).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("panorama-compile-v1")
+    );
+    assert_eq!(doc.get("kernel").unwrap().as_str(), Some("cordic"));
+    assert_eq!(doc.get("arch").unwrap().as_str(), Some("8x8"));
+    for field in ["mapper", "ii", "mii", "qom", "placement", "stats"] {
+        assert!(doc.get(field).is_some(), "missing `{field}`: {stdout}");
+    }
+    // Deterministic: a second run is byte-identical.
+    let again = bin()
+        .args([
+            "compile", "--dfg", "cordic", "--arch", "8x8", "--scale", "tiny", "--json",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(stdout, String::from_utf8(again.stdout).unwrap());
+}
+
+#[test]
+fn lint_validates_serve_metrics_files() {
+    let dir = std::env::temp_dir().join("panorama-serve-lint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.json");
+    std::fs::write(
+        &good,
+        "{\"schema\":\"panorama-serve-metrics-v1\",\
+         \"queue\":{\"depth\":0,\"capacity\":4,\"in_flight\":0},\
+         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
+         \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
+         \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
+         \"phases\":[]}",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["lint", "--serve-json", good.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // Broken conservation: received 2 but only 1 accounted.
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &bad,
+        std::fs::read_to_string(&good)
+            .unwrap()
+            .replace("\"received\":1", "\"received\":2"),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["lint", "--serve-json", bad.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SERVE002"), "{stdout}");
+}
+
+#[test]
 fn compile_reads_dfg_from_stdin() {
     use std::io::Write as _;
     use std::process::Stdio;

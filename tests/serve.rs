@@ -1,0 +1,447 @@
+//! End-to-end tests of the `panorama-serve` daemon: bit-identity with the
+//! offline CLI under concurrency, bounded-queue shedding, cooperative
+//! deadline cancellation, graceful drain, and metrics validity.
+
+use panorama::{CancelToken, Panorama, PanoramaConfig, PanoramaError};
+use panorama_dfg::{kernels, KernelId, KernelScale};
+use panorama_lint::{lint_serve_json, Diagnostics};
+use panorama_mapper::{LowerLevelMapper, SearchControl, SprMapper};
+use panorama_serve::{ServeConfig, Server};
+use panorama_trace::json::{self, escape, Json};
+use panorama_trace::{RecordingSink, Tracer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A started in-process daemon plus the thread running it.
+struct Daemon {
+    addr: SocketAddr,
+    drain: panorama_serve::DrainHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(config: ServeConfig) -> Daemon {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr();
+    let drain = server.drain_handle();
+    let thread = std::thread::spawn(move || server.run());
+    Daemon {
+        addr,
+        drain,
+        thread,
+    }
+}
+
+impl Daemon {
+    fn drain_and_join(self) {
+        self.drain.drain();
+        self.thread.join().expect("server thread").expect("run ok");
+    }
+}
+
+/// One HTTP request over a fresh connection; returns `(status, headers,
+/// body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("header separator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), payload.to_string())
+}
+
+fn compile_body(kernel: &str, extra: &str) -> String {
+    format!(
+        "{{\"kernel\":\"{}\",\"arch\":\"8x8\",\"scale\":\"tiny\"{extra}}}",
+        escape(kernel)
+    )
+}
+
+fn metrics(addr: SocketAddr) -> Json {
+    let (status, _, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    json::parse(&body).expect("metrics parses")
+}
+
+fn metric(doc: &Json, section: &str, field: &str) -> u64 {
+    doc.get(section)
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+        .expect("metric present") as u64
+}
+
+/// Polls `/metrics` until `pred` holds (the daemon's counters are exact,
+/// so this is synchronisation, not a tolerance).
+fn wait_for(addr: SocketAddr, what: &str, pred: impl Fn(&Json) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if pred(&metrics(addr)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The tentpole acceptance test: N concurrent clients compiling the whole
+/// 12-kernel suite get byte-identical responses to the offline
+/// `panorama compile --json` CLI, at every worker count, including replays
+/// served from the result cache.
+#[test]
+fn concurrent_compiles_match_cli_bit_for_bit() {
+    // Offline reference outputs, once per kernel.
+    let expected: Vec<(String, String)> = KernelId::ALL
+        .iter()
+        .map(|id| {
+            let out = Command::new(env!("CARGO_BIN_EXE_panorama"))
+                .args([
+                    "compile",
+                    "--dfg",
+                    id.name(),
+                    "--arch",
+                    "8x8",
+                    "--scale",
+                    "tiny",
+                    "--json",
+                ])
+                .output()
+                .expect("run CLI");
+            assert!(out.status.success(), "CLI failed for {}", id.name());
+            (
+                id.name().to_string(),
+                String::from_utf8(out.stdout).expect("utf-8"),
+            )
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let daemon = start(ServeConfig {
+            workers,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        });
+        for round in 0..2 {
+            let responses: Vec<_> = expected
+                .iter()
+                .map(|(kernel, want)| {
+                    let kernel = kernel.clone();
+                    let want = want.clone();
+                    let addr = daemon.addr;
+                    std::thread::spawn(move || {
+                        let (status, _, body) =
+                            http(addr, "POST", "/compile", &compile_body(&kernel, ""));
+                        assert_eq!(status, 200, "{kernel}: {body}");
+                        assert_eq!(
+                            body, want,
+                            "{kernel} differs from CLI (workers {workers}, round {round})"
+                        );
+                    })
+                })
+                .collect();
+            for r in responses {
+                r.join().expect("client thread");
+            }
+        }
+        // Round two was answered from the result cache.
+        let m = metrics(daemon.addr);
+        assert_eq!(metric(&m, "requests", "received"), 24);
+        assert_eq!(metric(&m, "requests", "completed"), 24);
+        assert_eq!(metric(&m, "result_cache", "hits"), 12);
+        assert_eq!(metric(&m, "result_cache", "misses"), 12);
+        daemon.drain_and_join();
+    }
+}
+
+/// Satellite: a saturated bounded queue sheds with `503 Retry-After`
+/// instead of growing, and the shed shows up in the metrics.
+#[test]
+fn saturated_queue_sheds_with_503() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    // A slow, cancellable occupant: baseline mapping skips the (fast,
+    // non-cancellable) partition phase, so the deadline caps the test's
+    // runtime without masking the saturation window.
+    let slow = "{\"kernel\":\"edn\",\"arch\":\"8x8\",\"scale\":\"scaled\",\
+                 \"baseline\":true,\"deadline_ms\":20000}"
+        .to_string();
+    let spawn_slow = |tag: u64| {
+        let addr = daemon.addr;
+        // Distinct max_ii per request so none is a result-cache replay.
+        let body = slow.replace(
+            "\"baseline\":true",
+            &format!("\"baseline\":true,\"max_ii\":{}", 30 + tag),
+        );
+        std::thread::spawn(move || http(addr, "POST", "/compile", &body).0)
+    };
+    let first = spawn_slow(0);
+    wait_for(daemon.addr, "first job in flight", |m| {
+        metric(m, "queue", "in_flight") == 1
+    });
+    let second = spawn_slow(1);
+    wait_for(daemon.addr, "second job queued", |m| {
+        metric(m, "queue", "depth") == 1
+    });
+    // Worker busy + queue full: the third must be shed, never enqueued.
+    let (status, head, body) = http(daemon.addr, "POST", "/compile", &slow);
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        head.contains("Retry-After: 1"),
+        "missing Retry-After:\n{head}"
+    );
+    assert!(body.contains("\"error\":\"overloaded\""), "{body}");
+    let m = metrics(daemon.addr);
+    assert_eq!(metric(&m, "requests", "shed"), 1);
+    // The occupants finish (mapped or deadline-cancelled — both fine).
+    for t in [first, second] {
+        let status = t.join().expect("slow client");
+        assert!(status == 200 || status == 504, "unexpected status {status}");
+    }
+    daemon.drain_and_join();
+}
+
+/// Satellite: a request that exceeds its deadline comes back as a
+/// cancelled-error payload and is counted as cancelled, not failed.
+#[test]
+fn deadline_returns_cancelled_payload() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        deadline: Some(Duration::from_millis(100)),
+        ..ServeConfig::default()
+    });
+    let body = compile_body("edn", ",\"baseline\":true")
+        .replace("\"scale\":\"tiny\"", "\"scale\":\"scaled\"");
+    let (status, _, payload) = http(daemon.addr, "POST", "/compile", &body);
+    assert_eq!(status, 504, "{payload}");
+    let doc = json::parse(&payload).expect("error payload parses");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("panorama-error-v1")
+    );
+    assert_eq!(doc.get("error").unwrap().as_str(), Some("cancelled"));
+    let m = metrics(daemon.addr);
+    assert_eq!(metric(&m, "requests", "cancelled"), 1);
+    assert_eq!(metric(&m, "requests", "failed"), 0);
+    daemon.drain_and_join();
+}
+
+/// The cancellation token actually stops the pipeline early, verified via
+/// trace event counts: a fired token yields `Cancelled` with strictly
+/// fewer events than the full run and no `map` phase record, and at the
+/// mapper level the II search emits an abort event instead of mapping.
+#[test]
+fn cancel_token_stops_the_pipeline_early() {
+    let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+    let cgra = panorama_arch::Cgra::new(panorama_arch::CgraConfig::scaled_8x8()).unwrap();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mapper = SprMapper::default();
+
+    let full_sink = RecordingSink::shared();
+    let report = compiler
+        .compile_baseline_traced_with_cancel(
+            &dfg,
+            &cgra,
+            &mapper,
+            &Tracer::new(full_sink.clone()),
+            None,
+        )
+        .expect("uncancelled baseline compile succeeds");
+    report.mapping().verify(&dfg, &cgra).expect("valid mapping");
+    let full_events = full_sink.take();
+
+    let token = CancelToken::new();
+    token.cancel(); // fired before the pipeline starts
+    let cancelled_sink = RecordingSink::shared();
+    let err = compiler
+        .compile_baseline_traced_with_cancel(
+            &dfg,
+            &cgra,
+            &mapper,
+            &Tracer::new(cancelled_sink.clone()),
+            Some(&token),
+        )
+        .expect_err("fired token must cancel");
+    assert!(matches!(err, PanoramaError::Cancelled), "{err}");
+    let cancelled_events = cancelled_sink.take();
+    assert!(
+        cancelled_events.len() < full_events.len(),
+        "cancelled run recorded {} events, full run {}",
+        cancelled_events.len(),
+        full_events.len()
+    );
+    assert!(
+        !cancelled_events.iter().any(|e| e.phase == "map"),
+        "cancelled run must not reach the map phase"
+    );
+
+    // Mapper level: the II search observes the token at its loop head and
+    // aborts with an event instead of attempting placement.
+    let sink = RecordingSink::shared();
+    let tracer = Tracer::new(sink.clone());
+    let mut col = tracer.collector(0);
+    let control = SearchControl::unbounded().with_cancel(token.clone());
+    let err = mapper
+        .map_traced(&dfg, &cgra, None, Some(&control), &mut col)
+        .expect_err("fired token must abort the II search");
+    assert!(err.cancelled, "{err}");
+    tracer.submit(vec![col]);
+    let events = sink.take();
+    assert!(
+        events.iter().any(|e| e.phase.ends_with(".abort")),
+        "no abort event: {:?}",
+        events.iter().map(|e| e.phase).collect::<Vec<_>>()
+    );
+}
+
+/// Satellite: graceful drain finishes in-flight work, then `run` returns
+/// and the port stops accepting.
+#[test]
+fn drain_finishes_inflight_work_then_exits() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let inflight = {
+        let addr = daemon.addr;
+        std::thread::spawn(move || http(addr, "POST", "/compile", &compile_body("fir", "")))
+    };
+    wait_for(daemon.addr, "compile received", |m| {
+        metric(m, "requests", "received") >= 1
+    });
+    let (status, _, body) = http(daemon.addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("draining"), "{body}");
+    // The in-flight compile still completes with a real response.
+    let (status, _, body) = inflight.join().expect("in-flight client");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.starts_with("{\"schema\":\"panorama-compile-v1\""));
+    let addr = daemon.addr;
+    daemon
+        .thread
+        .join()
+        .expect("server thread")
+        .expect("clean exit");
+    // Drained: the listener is gone.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}
+
+/// Satellite: `/metrics` snapshots taken throughout a serving session pass
+/// the SERVE001–003 lints, individually and as a monotone sequence.
+#[test]
+fn metrics_snapshots_pass_serve_lints() {
+    let daemon = start(ServeConfig {
+        workers: 2,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let mut snapshots = Vec::new();
+    let mut snap = |addr| {
+        let (status, _, body) = http(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        snapshots.push(body.trim().to_string());
+    };
+    snap(daemon.addr);
+    for kernel in ["fir", "cordic"] {
+        let (status, _, _) = http(daemon.addr, "POST", "/compile", &compile_body(kernel, ""));
+        assert_eq!(status, 200);
+        snap(daemon.addr);
+    }
+    // A replay (cache hit) and a lint round-trip.
+    let (status, _, _) = http(daemon.addr, "POST", "/compile", &compile_body("fir", ""));
+    assert_eq!(status, 200);
+    let (status, _, lint_response) = http(
+        daemon.addr,
+        "POST",
+        "/lint",
+        "{\"kernel\":\"fir\",\"arch\":\"8x8\",\"scale\":\"tiny\"}",
+    );
+    assert_eq!(status, 200, "{lint_response}");
+    json::parse(&lint_response).expect("lint response parses");
+    snap(daemon.addr);
+    daemon.drain_and_join();
+
+    let mut diags = Diagnostics::new();
+    lint_serve_json(&format!("[{}]", snapshots.join(",")), &mut diags);
+    assert_eq!(
+        diags.iter().count(),
+        0,
+        "lint findings: {:?}",
+        diags
+            .iter()
+            .map(|d| (d.code, d.message.clone()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Satellite: the MRRG cache is shared across requests for the same
+/// architecture — repeat compiles hit it instead of rebuilding graphs.
+#[test]
+fn mrrg_cache_is_reused_across_requests() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+    let (status, _, _) = http(daemon.addr, "POST", "/compile", &compile_body("fir", ""));
+    assert_eq!(status, 200);
+    let first = metric(&metrics(daemon.addr), "mrrg_cache", "misses");
+    assert!(first > 0, "first compile must build MRRGs");
+    // Different kernel, same architecture: IIs overlap, so at least one
+    // lookup must now hit the shared cache.
+    let (status, _, _) = http(daemon.addr, "POST", "/compile", &compile_body("cordic", ""));
+    assert_eq!(status, 200);
+    let m = metrics(daemon.addr);
+    assert!(
+        metric(&m, "mrrg_cache", "hits") > 0,
+        "second compile on the same arch should hit the MRRG cache"
+    );
+    daemon.drain_and_join();
+}
+
+/// Malformed requests and unknown routes get structured errors, and the
+/// loopback guard is wired (every local connection *is* loopback, so the
+/// allowed path is what's testable here; the 403 arm is unit-logic).
+#[test]
+fn bad_requests_get_structured_errors() {
+    let daemon = start(ServeConfig::default());
+    let (status, _, body) = http(daemon.addr, "POST", "/compile", "{\"kernel\":\"nope\"}");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown kernel"), "{body}");
+    let (status, _, _) = http(daemon.addr, "POST", "/compile", "not json");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(daemon.addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(daemon.addr, "GET", "/compile", "");
+    assert_eq!(status, 405);
+    // An infeasible compile is a 422, not a hang or a 500: fir at scaled
+    // size cannot fit the 6x1 linear array.
+    let (status, _, body) = http(
+        daemon.addr,
+        "POST",
+        "/compile",
+        "{\"kernel\":\"fir\",\"arch\":\"6x1\",\"scale\":\"scaled\",\"max_ii\":4}",
+    );
+    assert_eq!(status, 422, "{body}");
+    let m = metrics(daemon.addr);
+    assert_eq!(metric(&m, "requests", "failed"), 1);
+    daemon.drain_and_join();
+}
