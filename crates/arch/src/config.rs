@@ -112,6 +112,91 @@ impl CgraConfig {
         }
     }
 
+    /// Deterministic enumeration of the architecture space the fuzzer
+    /// sweeps: the presets plus heterogeneous-FU, memory-model, cluster
+    /// shape, link-budget, and register-pressure variants. Every entry
+    /// passes [`CgraConfig::validate`]; the order is part of the fuzzer's
+    /// reproducibility contract, so append new variants at the end.
+    pub fn sample_space() -> Vec<(&'static str, CgraConfig)> {
+        let space = vec![
+            ("4x4", Self::small_4x4()),
+            ("8x8", Self::scaled_8x8()),
+            ("6x1", Self::linear_6x1()),
+            // Heterogeneous FUs: multipliers only in every 2nd/3rd column.
+            (
+                "4x4-mul2",
+                CgraConfig {
+                    mul_every_n_columns: 2,
+                    ..Self::small_4x4()
+                },
+            ),
+            (
+                "8x8-mul3",
+                CgraConfig {
+                    mul_every_n_columns: 3,
+                    ..Self::scaled_8x8()
+                },
+            ),
+            // Adder-only fabric: kernels with muls are statically infeasible.
+            (
+                "4x4-nomul",
+                CgraConfig {
+                    mul_support: false,
+                    ..Self::small_4x4()
+                },
+            ),
+            // All-PE memory model instead of left-column-only.
+            (
+                "4x4-memall",
+                CgraConfig {
+                    mem_left_column_only: false,
+                    ..Self::small_4x4()
+                },
+            ),
+            // Varied cluster shapes on the same PE budget.
+            (
+                "4x8-c1x2",
+                CgraConfig {
+                    rows: 4,
+                    cols: 8,
+                    cluster_rows: 1,
+                    cluster_cols: 2,
+                    ..Self::paper_16x16()
+                },
+            ),
+            (
+                "6x6-c2x2",
+                CgraConfig {
+                    rows: 6,
+                    cols: 6,
+                    cluster_rows: 2,
+                    cluster_cols: 2,
+                    ..Self::paper_16x16()
+                },
+            ),
+            // Link-starved inter-cluster fabric.
+            (
+                "8x8-icl1",
+                CgraConfig {
+                    inter_cluster_links: 1,
+                    ..Self::scaled_8x8()
+                },
+            ),
+            // Register-pressure variant: tiny RF with single ports.
+            (
+                "4x4-rf2",
+                CgraConfig {
+                    rf_size: 2,
+                    rf_read_ports: 1,
+                    rf_write_ports: 1,
+                    ..Self::small_4x4()
+                },
+            ),
+        ];
+        debug_assert!(space.iter().all(|(_, c)| c.validate().is_ok()));
+        space
+    }
+
     /// PEs per cluster row (`rows / cluster_rows`).
     pub fn cluster_height(&self) -> usize {
         self.rows / self.cluster_rows
@@ -215,6 +300,19 @@ mod tests {
         ] {
             cfg.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn sample_space_entries_validate_and_have_unique_names() {
+        let space = CgraConfig::sample_space();
+        assert!(space.len() >= 8, "fuzz space should cover many variants");
+        let mut names: Vec<_> = space.iter().map(|(n, _)| *n).collect();
+        for (name, cfg) in &space {
+            cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), space.len(), "duplicate sample-space names");
     }
 
     #[test]

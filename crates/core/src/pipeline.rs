@@ -405,6 +405,24 @@ impl Panorama {
         self.compile_traced(dfg, cgra, mapper, &Tracer::disabled())
     }
 
+    /// [`compile`](Panorama::compile) with cooperative cancellation but no
+    /// tracing — the combination long-running batch drivers (the fuzzer's
+    /// wall-clock cap, the serve daemon's deadlines) actually want.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile`](Panorama::compile), plus
+    /// [`PanoramaError::Cancelled`] when `cancel` fires mid-run.
+    pub fn compile_with_cancel<M: LowerLevelMapper>(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &M,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
+        self.compile_traced_with_cancel(dfg, cgra, mapper, &Tracer::disabled(), cancel)
+    }
+
     /// [`compile`](Panorama::compile) with trace recording: pipeline-level
     /// spans (`preflight`, `partition`, `cluster_map`, `map`), per-candidate
     /// `scatter` spans and the lower-level mappers' own events are merged

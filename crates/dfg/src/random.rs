@@ -35,7 +35,11 @@ impl Default for RandomDfgConfig {
 /// layer feeding compute layers feeding a store layer, with optional
 /// loop-carried accumulators.
 ///
-/// The result always passes [`Dfg::validate`].
+/// The result always passes [`Dfg::validate`] and is connected (ignoring
+/// edge direction): unconsumed loads are wired into the first compute
+/// layer, and stray parallel chains are joined through deterministic
+/// bridge edges — both without extra RNG draws, so the graph for a given
+/// config is stable.
 ///
 /// # Examples
 ///
@@ -57,13 +61,17 @@ pub fn random_dfg(config: &RandomDfgConfig) -> Dfg {
         OpKind::Cmp,
         OpKind::Select,
     ];
+    // Undirected edge list mirroring every builder edge, for the
+    // connectivity pass at the end.
+    let mut und: Vec<(usize, usize)> = Vec::new();
 
     let mut layers: Vec<Vec<crate::OpId>> = Vec::new();
     // layer 0: loads
     let loads: Vec<_> = (0..config.width.max(1))
         .map(|i| b.op(OpKind::Load, format!("ld{i}")))
         .collect();
-    layers.push(loads);
+    layers.push(loads.clone());
+    let mut load_used = vec![false; loads.len()];
 
     for l in 1..config.layers.max(2) {
         let prev = layers.last().expect("at least one layer").clone();
@@ -74,15 +82,35 @@ pub fn random_dfg(config: &RandomDfgConfig) -> Dfg {
             // at least one producer from the previous layer keeps it a DAG
             let p = prev[rng.gen_range(0..prev.len())];
             b.data(p, v);
+            und.push((p.index(), v.index()));
+            if l == 1 {
+                load_used[p.index()] = true;
+            }
             for _ in 0..rng.gen_range(0..=config.extra_fanin) {
                 // extra producers from any earlier layer
-                let src_layer = &layers[rng.gen_range(0..layers.len())];
+                let src_idx = rng.gen_range(0..layers.len());
+                let src_layer = &layers[src_idx];
                 let p = src_layer[rng.gen_range(0..src_layer.len())];
                 b.data(p, v);
+                und.push((p.index(), v.index()));
+                if src_idx == 0 {
+                    load_used[p.index()] = true;
+                }
             }
             layer.push(v);
         }
         layers.push(layer);
+    }
+
+    // Every load must feed something, or it floats free of the graph.
+    // Wire unconsumed loads into the first compute layer round-robin.
+    let first_compute = layers[1].clone();
+    for (i, &ld) in loads.iter().enumerate() {
+        if !load_used[i] {
+            let dst = first_compute[i % first_compute.len()];
+            b.data(ld, dst);
+            und.push((ld.index(), dst.index()));
+        }
     }
 
     // final layer: stores consuming the last compute layer
@@ -90,6 +118,7 @@ pub fn random_dfg(config: &RandomDfgConfig) -> Dfg {
     for (i, &v) in last.iter().enumerate().take((config.width / 2).max(1)) {
         let s = b.op(OpKind::Store, format!("st{i}"));
         b.data(v, s);
+        und.push((v.index(), s.index()));
     }
 
     // loop-carried accumulators: back edge from a late node to an early one
@@ -99,6 +128,62 @@ pub fn random_dfg(config: &RandomDfgConfig) -> Dfg {
         let src = late_layer[i % late_layer.len()];
         let dst = early_layer[i % early_layer.len()];
         b.back(src, dst, 1 + (i as u32 % 2));
+        und.push((src.index(), dst.index()));
+    }
+
+    // Connectivity pass: with narrow fan-in the layered construction can
+    // leave parallel chains that never touch. Union-find the undirected
+    // components and bridge every stray one with a data edge from a
+    // main-component node in a strictly earlier layer (which preserves
+    // acyclicity and keeps fan-out spread like ordinary layer edges).
+    let n = b.num_ops();
+    let mut layer_of = vec![0usize; n];
+    for (l, layer) in layers.iter().enumerate() {
+        for &v in layer {
+            layer_of[v.index()] = l;
+        }
+    }
+    // Stores sit one layer past the last compute layer.
+    let placed = layers.iter().map(Vec::len).sum::<usize>();
+    for slot in layer_of.iter_mut().take(n).skip(placed) {
+        *slot = layers.len();
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]]; // path halving
+            v = parent[v];
+        }
+        v
+    }
+    for &(a, c) in &und {
+        let (ra, rc) = (find(&mut parent, a), find(&mut parent, c));
+        parent[ra] = rc;
+    }
+    let main = find(&mut parent, loads[0].index());
+    // Loads are all consumed by now, so every stray component contains a
+    // compute or store op (index >= the load count) to bridge into; its
+    // lowest-index member is its earliest-layer op.
+    for v in loads.len()..n {
+        let root = find(&mut parent, v);
+        if root == main {
+            continue;
+        }
+        let lv = layer_of[v];
+        // Deepest main-component op still strictly below layer `lv`;
+        // load 0 (layer 0) always qualifies, so `src` is never None.
+        let mut src = None;
+        for u in 0..n {
+            if layer_of[u] < lv && find(&mut parent, u) == main {
+                match src {
+                    Some(s) if layer_of[s] >= layer_of[u] => {}
+                    _ => src = Some(u),
+                }
+            }
+        }
+        let src = src.expect("load 0 is in the main component at layer 0");
+        b.data(crate::OpId::from_index(src), crate::OpId::from_index(v));
+        parent[root] = main;
     }
 
     b.build()
@@ -154,5 +239,54 @@ mod tests {
     fn contains_loads_and_stores() {
         let dfg = random_dfg(&RandomDfgConfig::default());
         assert!(dfg.num_mem_ops() >= 2);
+    }
+
+    /// Undirected connectivity: every op reachable from op 0 ignoring
+    /// edge direction.
+    fn is_connected(dfg: &Dfg) -> bool {
+        if dfg.num_ops() == 0 {
+            return true;
+        }
+        let start = dfg.op_ids().next().expect("nonempty");
+        dfg.graph()
+            .undirected_bfs_distances(start)
+            .iter()
+            .all(|&d| d != usize::MAX)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn generated_dfgs_are_valid_connected_and_sized(
+            seed in proptest::prelude::any::<u64>(),
+            layers in 2usize..7,
+            width in 1usize..7,
+            extra_fanin in 0usize..4,
+            back_edges in 0usize..4,
+        ) {
+            let cfg = RandomDfgConfig { seed, layers, width, extra_fanin, back_edges };
+            let dfg = random_dfg(&cfg);
+            // Acyclic modulo back edges (validate checks exactly this).
+            proptest::prop_assert!(dfg.validate().is_ok());
+            // Respect layers x width bounds: loads + compute + stores.
+            let expected = layers.max(2) * width.max(1) + (width / 2).max(1);
+            proptest::prop_assert_eq!(dfg.num_ops(), expected);
+            proptest::prop_assert_eq!(dfg.num_back_edges(), back_edges);
+            // Connected: no orphan loads or floating parallel chains.
+            proptest::prop_assert!(is_connected(&dfg));
+        }
+
+        #[test]
+        fn identical_seeds_are_byte_identical(
+            seed in proptest::prelude::any::<u64>(),
+            layers in 2usize..6,
+            width in 1usize..6,
+        ) {
+            let cfg = RandomDfgConfig { seed, layers, width, extra_fanin: 2, back_edges: 2 };
+            let a = random_dfg(&cfg).to_text();
+            let b = random_dfg(&cfg).to_text();
+            proptest::prop_assert_eq!(a, b);
+        }
     }
 }

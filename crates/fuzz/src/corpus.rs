@@ -1,0 +1,236 @@
+//! The on-disk regression corpus: one minimized reproducer per file.
+//!
+//! A corpus file is a DFG in the standard text format, prefixed with `#!`
+//! directive comments that the DFG parser ignores (every `#` line is a
+//! comment to it) but the replayer reads:
+//!
+//! ```text
+//! #! arch cgra 4 4; clusters 1 1; mul none
+//! #! oracle spr/verify
+//! #! note single-op graph on a mul-less array
+//! dfg repro
+//! op 0 cst c
+//! ```
+//!
+//! `#! arch` is either a name from [`CgraConfig::sample_space`] or a
+//! semicolon-joined ADL description (self-contained, so a corpus file
+//! survives sample-space reshuffles). `#! oracle` records which
+//! backend/oracle pair originally failed; `#! note` is free text. Replay
+//! runs the full oracle stack and demands zero `Fail` outcomes — a
+//! committed corpus case is a *fixed* bug (or a boundary case), so it
+//! must stay green.
+
+use crate::oracle::{run_case, OracleConfig};
+use crate::report::CorpusStats;
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::Dfg;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// The reproducer DFG.
+    pub dfg: Dfg,
+    /// The target architecture.
+    pub arch: CgraConfig,
+    /// How the architecture was spelled in the file (name or ADL).
+    pub arch_text: String,
+    /// The `backend/oracle` pair that originally failed, when recorded.
+    pub oracle: Option<String>,
+    /// Free-form note, when recorded.
+    pub note: Option<String>,
+}
+
+/// Serializes a corpus file: `#!` directives followed by the DFG text.
+/// The architecture is embedded as a semicolon-joined ADL so the file is
+/// self-contained.
+pub fn corpus_case_text(dfg: &Dfg, arch: &CgraConfig, oracle: &str, note: &str) -> String {
+    let adl = arch.to_text().lines().collect::<Vec<_>>().join("; ");
+    let mut out = String::new();
+    let _ = writeln!(out, "#! arch {adl}");
+    if !oracle.is_empty() {
+        let _ = writeln!(out, "#! oracle {oracle}");
+    }
+    if !note.is_empty() {
+        let _ = writeln!(out, "#! note {}", note.replace('\n', " "));
+    }
+    out.push_str(&dfg.to_text());
+    out
+}
+
+/// Parses a corpus file.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the directives or the DFG text
+/// are malformed, or when `#! arch` names an unknown architecture.
+pub fn parse_corpus_case(text: &str) -> Result<CorpusCase, String> {
+    let mut arch_spec: Option<String> = None;
+    let mut oracle = None;
+    let mut note = None;
+    for raw in text.lines() {
+        let Some(directive) = raw.trim().strip_prefix("#!") else {
+            continue;
+        };
+        let directive = directive.trim();
+        if let Some(v) = directive.strip_prefix("arch ") {
+            arch_spec = Some(v.trim().to_string());
+        } else if let Some(v) = directive.strip_prefix("oracle ") {
+            oracle = Some(v.trim().to_string());
+        } else if let Some(v) = directive.strip_prefix("note ") {
+            note = Some(v.trim().to_string());
+        } else {
+            return Err(format!("unknown corpus directive `#! {directive}`"));
+        }
+    }
+    let arch_text = arch_spec.ok_or("missing `#! arch` directive")?;
+    let arch = resolve_arch(&arch_text)?;
+    let dfg = Dfg::from_text(text).map_err(|e| format!("bad DFG text: {e}"))?;
+    Ok(CorpusCase {
+        dfg,
+        arch,
+        arch_text,
+        oracle,
+        note,
+    })
+}
+
+/// Resolves `#! arch` — a sample-space name, or semicolon-joined ADL.
+fn resolve_arch(spec: &str) -> Result<CgraConfig, String> {
+    if let Some((_, config)) = CgraConfig::sample_space()
+        .into_iter()
+        .find(|(name, _)| *name == spec)
+    {
+        return Ok(config);
+    }
+    if spec.contains("cgra") {
+        let adl = spec.replace(';', "\n");
+        return CgraConfig::from_text(&adl).map_err(|e| format!("bad ADL `{spec}`: {e}"));
+    }
+    Err(format!("unknown architecture `{spec}`"))
+}
+
+/// Replays one parsed corpus case through the oracle stack; `Ok` means no
+/// oracle failed (skips are fine), `Err` carries the failure lines.
+pub fn replay_case(case: &CorpusCase, cfg: &OracleConfig) -> Result<(), String> {
+    let cgra = Cgra::new(case.arch.clone()).map_err(|e| format!("invalid architecture: {e}"))?;
+    let result = run_case(&case.dfg, &cgra, cfg);
+    if result.has_failure() {
+        let lines: Vec<String> = result
+            .failures()
+            .into_iter()
+            .map(|(backend, oracle, msg)| format!("{backend}/{oracle}: {msg}"))
+            .collect();
+        return Err(lines.join("; "));
+    }
+    Ok(())
+}
+
+/// Replays every `*.dfg` file under `dir` (sorted by file name, for
+/// deterministic report order) through the oracles.
+pub fn replay_corpus(dir: &Path, cfg: &OracleConfig) -> CorpusStats {
+    let mut stats = CorpusStats::default();
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "dfg"))
+            .collect(),
+        Err(e) => {
+            stats
+                .failures
+                .push(format!("{}: unreadable: {e}", dir.display()));
+            stats.failed = 1;
+            return stats;
+        }
+    };
+    files.sort();
+    for path in files {
+        stats.total += 1;
+        let name = path.file_name().map_or_else(
+            || path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        );
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                stats.failed += 1;
+                stats.failures.push(format!("{name}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let case = match parse_corpus_case(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                stats.failed += 1;
+                stats.failures.push(format!("{name}: {e}"));
+                continue;
+            }
+        };
+        stats.replayed += 1;
+        if let Err(msg) = replay_case(&case, cfg) {
+            stats.failed += 1;
+            stats.failures.push(format!("{name}: {msg}"));
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    fn tiny_dfg() -> Dfg {
+        let mut b = DfgBuilder::new("repro");
+        let l = b.op(OpKind::Load, "l");
+        let a = b.op(OpKind::Add, "a");
+        b.data(l, a);
+        b.back(a, a, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn corpus_text_round_trips() {
+        let dfg = tiny_dfg();
+        let arch = CgraConfig::small_4x4();
+        let text = corpus_case_text(&dfg, &arch, "spr/verify", "a note");
+        let case = parse_corpus_case(&text).expect("round trip");
+        assert_eq!(case.dfg.num_ops(), dfg.num_ops());
+        assert_eq!(case.dfg.num_deps(), dfg.num_deps());
+        assert_eq!(case.arch, arch);
+        assert_eq!(case.oracle.as_deref(), Some("spr/verify"));
+        assert_eq!(case.note.as_deref(), Some("a note"));
+    }
+
+    #[test]
+    fn arch_directive_accepts_sample_space_names() {
+        let mut text = String::from("#! arch 4x4\n");
+        text.push_str(&tiny_dfg().to_text());
+        let case = parse_corpus_case(&text).expect("named arch");
+        assert_eq!(case.arch, CgraConfig::small_4x4());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(parse_corpus_case("dfg x\nop 0 cst c\n")
+            .unwrap_err()
+            .contains("missing `#! arch`"));
+        assert!(parse_corpus_case("#! arch nope\ndfg x\nop 0 cst c\n")
+            .unwrap_err()
+            .contains("unknown architecture"));
+        assert!(parse_corpus_case("#! banana\ndfg x\nop 0 cst c\n")
+            .unwrap_err()
+            .contains("unknown corpus directive"));
+    }
+
+    #[test]
+    fn replay_flags_oracle_failures() {
+        let dfg = tiny_dfg();
+        let arch = CgraConfig::small_4x4();
+        let text = corpus_case_text(&dfg, &arch, "", "");
+        let case = parse_corpus_case(&text).unwrap();
+        assert!(replay_case(&case, &OracleConfig::default()).is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Greedy failing-case minimization over the DFG reduction primitives in
+//! [`panorama_dfg::shrink`].
+//!
+//! The algorithm is classic delta-debugging flavoured for layered loop
+//! DFGs: repeatedly try the largest-win reductions first (delete an op,
+//! bridging its deps), then back-edge drops, then redundant fan-in drops,
+//! keeping any candidate for which `still_fails` holds, until a fixpoint
+//! or the evaluation budget is reached. The predicate re-runs the full
+//! oracle stack, so every accepted step preserves the *same* failure key
+//! (`backend`/`oracle`), not merely "some failure".
+
+use panorama_dfg::{shrink, Dfg};
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized DFG (possibly the original when nothing could go).
+    pub dfg: Dfg,
+    /// Accepted reduction steps.
+    pub steps: usize,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimizes `dfg` while `still_fails` holds, spending at most
+/// `max_evals` predicate evaluations.
+pub fn shrink_dfg(
+    dfg: &Dfg,
+    max_evals: usize,
+    mut still_fails: impl FnMut(&Dfg) -> bool,
+) -> ShrinkOutcome {
+    let mut cur = dfg.clone();
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+    loop {
+        if evals >= max_evals {
+            break;
+        }
+        let mut advanced = false;
+        for cand in candidates(&cur) {
+            if evals >= max_evals {
+                break;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                steps += 1;
+                advanced = true;
+                break; // re-derive candidates from the smaller graph
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    ShrinkOutcome {
+        dfg: cur,
+        steps,
+        evals,
+    }
+}
+
+/// All one-step reductions of `cur`, most aggressive first: op deletions
+/// (highest index first — later ops are stores/late compute whose removal
+/// rarely breaks the failing core), then back-edge drops, then redundant
+/// fan-in drops.
+fn candidates(cur: &Dfg) -> Vec<Dfg> {
+    let mut out = Vec::new();
+    for v in cur.op_ids().rev() {
+        if let Some(d) = shrink::without_op(cur, v) {
+            out.push(d);
+        }
+    }
+    for idx in shrink::back_edge_indices(cur) {
+        if let Some(d) = shrink::without_dep(cur, idx) {
+            out.push(d);
+        }
+    }
+    for idx in shrink::redundant_fanin_indices(cur) {
+        if let Some(d) = shrink::without_dep(cur, idx) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panorama_dfg::{DfgBuilder, OpKind};
+
+    /// A wide graph where the "bug" is simply containing a Mul op: the
+    /// minimizer should strip everything else.
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        let mut b = DfgBuilder::new("wide");
+        let loads: Vec<_> = (0..4)
+            .map(|i| b.op(OpKind::Load, format!("ld{i}")))
+            .collect();
+        let m = b.op(OpKind::Mul, "m");
+        let a = b.op(OpKind::Add, "a");
+        let s = b.op(OpKind::Store, "s");
+        for &l in &loads {
+            b.data(l, m);
+        }
+        b.data(m, a);
+        b.data(a, s);
+        b.back(a, a, 1);
+        let dfg = b.build().unwrap();
+
+        let result = shrink_dfg(&dfg, 500, |d| {
+            d.op_ids().any(|v| d.op(v).kind == OpKind::Mul)
+        });
+        assert_eq!(result.dfg.num_ops(), 1, "only the mul should survive");
+        assert!(result.steps >= 6);
+        assert!(result.dfg.validate().is_ok());
+    }
+
+    #[test]
+    fn budget_bounds_the_search() {
+        let mut b = DfgBuilder::new("chain");
+        let ids: Vec<_> = (0..10)
+            .map(|i| b.op(OpKind::Add, format!("n{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            b.data(w[0], w[1]);
+        }
+        let dfg = b.build().unwrap();
+        let result = shrink_dfg(&dfg, 3, |_| true);
+        assert!(result.evals <= 3);
+    }
+
+    #[test]
+    fn unshrinkable_case_returns_original() {
+        let mut b = DfgBuilder::new("one");
+        b.op(OpKind::Const, "c");
+        let dfg = b.build().unwrap();
+        let result = shrink_dfg(&dfg, 100, |_| true);
+        assert_eq!(result.dfg.num_ops(), 1);
+        assert_eq!(result.steps, 0);
+    }
+}

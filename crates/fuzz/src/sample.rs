@@ -1,0 +1,118 @@
+//! Deterministic `(seed, case index)` → test-case sampling.
+//!
+//! Every case is fully determined by the harness seed and the case index:
+//! a SplitMix-style mix decorrelates per-case RNG streams, and the
+//! architecture is drawn from [`CgraConfig::sample_space`], whose order is
+//! part of the reproducibility contract.
+
+use panorama_arch::CgraConfig;
+use panorama_dfg::RandomDfgConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One sampled fuzz case: the DFG generator config plus the target
+/// architecture (by name and value).
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    /// Case index within the run.
+    pub index: usize,
+    /// Generator configuration for [`panorama_dfg::random_dfg`].
+    pub dfg_config: RandomDfgConfig,
+    /// Architecture name from [`CgraConfig::sample_space`].
+    pub arch_name: &'static str,
+    /// The architecture itself.
+    pub arch: CgraConfig,
+}
+
+/// SplitMix64-style finalizer decorrelating `(seed, index)` pairs.
+fn case_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples case `index` of a run with harness seed `seed`. The DFG is
+/// clamped to at most `max_nodes` operations (layers shrink first, then
+/// width), so budget-bounded runs stay budget-bounded no matter what the
+/// RNG draws.
+pub fn sample_case(seed: u64, index: usize, max_nodes: usize) -> CaseSpec {
+    let mut rng = SmallRng::seed_from_u64(case_seed(seed, index));
+    let mut layers = rng.gen_range(2..=6usize);
+    let mut width = rng.gen_range(1..=6usize);
+    let extra_fanin = rng.gen_range(0..=3usize);
+    // Lean into back-edge-heavy shapes: they stress RecMII, the modulo
+    // wrap hazard, and the schedule's distance bookkeeping.
+    let back_edges = rng.gen_range(0..=width.min(4));
+    loop {
+        let nodes = layers.max(2) * width.max(1) + (width / 2).max(1);
+        if nodes <= max_nodes.max(4) {
+            break;
+        }
+        if layers > 2 {
+            layers -= 1;
+        } else if width > 1 {
+            width -= 1;
+        } else {
+            break;
+        }
+    }
+    let space = CgraConfig::sample_space();
+    let (arch_name, arch) = space[rng.gen_range(0..space.len())].clone();
+    CaseSpec {
+        index,
+        dfg_config: RandomDfgConfig {
+            seed: rng.gen::<u64>(),
+            layers,
+            width,
+            extra_fanin,
+            back_edges,
+        },
+        arch_name,
+        arch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        for index in [0usize, 1, 7, 99] {
+            let a = sample_case(42, index, 48);
+            let b = sample_case(42, index, 48);
+            assert_eq!(a.dfg_config, b.dfg_config);
+            assert_eq!(a.arch_name, b.arch_name);
+            assert_eq!(a.arch, b.arch);
+        }
+    }
+
+    #[test]
+    fn cases_differ_across_indices() {
+        let a = sample_case(42, 0, 48);
+        let b = sample_case(42, 1, 48);
+        assert!(a.dfg_config != b.dfg_config || a.arch_name != b.arch_name);
+    }
+
+    #[test]
+    fn max_nodes_is_respected() {
+        for index in 0..64 {
+            let spec = sample_case(7, index, 12);
+            let dfg = panorama_dfg::random_dfg(&spec.dfg_config);
+            assert!(
+                dfg.num_ops() <= 12,
+                "case {index}: {} ops exceeds the cap",
+                dfg.num_ops()
+            );
+        }
+    }
+
+    #[test]
+    fn arch_space_is_exercised() {
+        let mut names: Vec<&str> = (0..64).map(|i| sample_case(3, i, 48).arch_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert!(names.len() >= 4, "64 cases should hit several archs");
+    }
+}

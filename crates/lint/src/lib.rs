@@ -22,9 +22,10 @@
 //!
 //! Codes are stable strings grouped by prefix: `DFG...` (kernel structure),
 //! `ARCH...` (architecture), `PART...` (partition/CDG/restriction),
-//! `ILP...` (solver models), `MAP...` (mappability bounds) and `TRACE...`
-//! (`panorama-trace-v1` JSON exports). The per-pass module docs list every
-//! code with its severity.
+//! `ILP...` (solver models), `MAP...` (mappability bounds), `TRACE...`
+//! (`panorama-trace-v1` JSON exports), `SERVE...` (`panorama-serve`
+//! metrics) and `FUZZ...` (`panorama-fuzz-v1` reports). The per-pass
+//! module docs list every code with its severity.
 //!
 //! # Examples
 //!
@@ -54,6 +55,7 @@
 pub mod arch_lints;
 pub mod dfg_lints;
 mod diag;
+pub mod fuzz_lints;
 pub mod ilp_lints;
 pub mod partition_lints;
 pub mod precheck;
@@ -64,6 +66,7 @@ pub mod trace_lints;
 pub use arch_lints::lint_arch;
 pub use dfg_lints::lint_dfg;
 pub use diag::{Diagnostic, Diagnostics, Entity, Severity};
+pub use fuzz_lints::lint_fuzz_json;
 pub use ilp_lints::lint_model;
 pub use partition_lints::lint_partition;
 pub use precheck::{precheck, PrecheckReport};

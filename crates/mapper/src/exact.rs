@@ -12,8 +12,10 @@
 
 use crate::placement::PlacementState;
 use crate::router::{route_all, RouterConfig};
-use crate::schedule::modulo_schedule;
-use crate::{min_ii, LowerLevelMapper, MapError, Mapping, MappingStats, Restriction};
+use crate::schedule::modulo_schedule_variant;
+use crate::{
+    min_ii, LowerLevelMapper, MapError, Mapping, MappingStats, Restriction, SearchControl,
+};
 use panorama_arch::{Cgra, PeId};
 use panorama_dfg::Dfg;
 use std::collections::HashMap;
@@ -30,6 +32,18 @@ pub struct ExactConfig {
     pub max_ii_offset: usize,
     /// Backtracking-node budget per placement search.
     pub search_budget: usize,
+    /// Complete placements handed to the router per II before giving up.
+    /// The hop-per-cycle bound the search prunes against is necessary but
+    /// not sufficient for routability, so a placement can satisfy it and
+    /// still fail PathFinder; enumerating a few alternatives keeps one
+    /// congested corner from sinking an otherwise feasible II.
+    pub route_attempts: usize,
+    /// Distinct modulo schedules tried per II (tie-break variants). The
+    /// placement search is exhaustive only *for a given schedule*; a
+    /// feasible II can hide behind a different op-to-slot assignment, so
+    /// declaring an II infeasible from a single schedule under-estimates
+    /// the mapper (found by differential fuzzing against SPR\*).
+    pub schedule_attempts: usize,
 }
 
 impl Default for ExactConfig {
@@ -39,6 +53,8 @@ impl Default for ExactConfig {
             max_ii_factor: 3,
             max_ii_offset: 6,
             search_budget: 2_000_000,
+            route_attempts: 32,
+            schedule_attempts: 6,
         }
     }
 }
@@ -56,8 +72,12 @@ impl ExactMapper {
         ExactMapper { config }
     }
 
-    /// Exhaustive placement at a fixed II and schedule; `None` when no
-    /// assignment satisfies the constraints (or the budget runs out).
+    /// Exhaustive placement at a fixed II and schedule. Every complete
+    /// assignment satisfying the constraints is offered to `accept`
+    /// (most-constrained-first order, so successive placements differ in
+    /// the hardest ops first); the search stops when `accept` returns
+    /// `true` and yields that placement, or `None` when the space or the
+    /// budget is exhausted without an accepted placement.
     fn place_exhaustive(
         &self,
         dfg: &Dfg,
@@ -65,6 +85,7 @@ impl ExactMapper {
         restriction: Option<&Restriction>,
         times: &[usize],
         ii: usize,
+        accept: &mut dyn FnMut(&[PeId]) -> bool,
     ) -> Option<Vec<PeId>> {
         let n = dfg.num_ops();
         // candidate PEs per op (static constraints only)
@@ -104,6 +125,7 @@ impl ExactMapper {
             &mut assignment,
             &mut fu_used,
             &mut budget,
+            accept,
         ) {
             Some(
                 assignment
@@ -129,9 +151,14 @@ impl ExactMapper {
         assignment: &mut Vec<Option<PeId>>,
         fu_used: &mut HashMap<(PeId, usize), ()>,
         budget: &mut usize,
+        accept: &mut dyn FnMut(&[PeId]) -> bool,
     ) -> bool {
         if depth == order.len() {
-            return true;
+            let complete: Vec<PeId> = assignment
+                .iter()
+                .map(|a| a.expect("complete at full depth"))
+                .collect();
+            return accept(&complete);
         }
         if *budget == 0 {
             return false;
@@ -185,6 +212,7 @@ impl ExactMapper {
                 assignment,
                 fu_used,
                 budget,
+                accept,
             ) {
                 return true;
             }
@@ -202,6 +230,16 @@ impl LowerLevelMapper for ExactMapper {
         cgra: &Cgra,
         restriction: Option<&Restriction>,
     ) -> Result<Mapping, MapError> {
+        self.map_with_control(dfg, cgra, restriction, None)
+    }
+
+    fn map_with_control(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&crate::SearchControl>,
+    ) -> Result<Mapping, MapError> {
         let start = Instant::now();
         if dfg.num_ops() > self.config.max_ops {
             return Err(MapError::exhausted(0, self.name()));
@@ -211,50 +249,103 @@ impl LowerLevelMapper for ExactMapper {
         let mut stats = MappingStats::default();
         let mut scratch = crate::router::RouterScratch::new();
         for ii in mii..=max_ii {
+            if let Some(c) = control {
+                if c.is_cancelled() {
+                    return Err(MapError::cancelled(ii.saturating_sub(1), self.name()));
+                }
+                if !c.admits(ii) {
+                    return Err(MapError::exhausted(ii.saturating_sub(1), self.name()));
+                }
+            }
             stats.ii_attempts += 1;
-            let Ok(times) = modulo_schedule(dfg, ii, cgra.num_pes(), cgra.num_mem_pes().max(1))
-            else {
-                continue;
-            };
-            let Some(pe_of) = self.place_exhaustive(dfg, cgra, restriction, &times, ii) else {
-                continue;
-            };
-            // route with the shared PathFinder
-            let state = PlacementState {
-                pe_of: pe_of.clone(),
-                time_of: times.clone(),
-                fu_used: HashMap::new(), // router does not consult FU slots
-                ii,
-            };
             let mrrg = cgra.mrrg_shared(ii);
-            scratch.reset_for_ii();
-            let outcome = route_all(
-                &mrrg,
-                cgra,
-                dfg,
-                &state,
-                &times,
-                &RouterConfig::default(),
-                &mut scratch,
-                None,
-            );
-            stats.router_iterations += outcome.iterations;
-            if outcome.is_clean() {
-                stats.compile_time = start.elapsed();
-                let routes = outcome
-                    .routes
-                    .into_iter()
-                    .map(|r| r.expect("clean outcome has every route"))
-                    .collect();
-                return Ok(Mapping {
-                    mapper: self.name(),
+            // Placement is exhaustive only per schedule, so an II is
+            // abandoned only after every distinct schedule variant failed.
+            let mut tried_schedules: Vec<Vec<usize>> = Vec::new();
+            for variant in 0..self.config.schedule_attempts.max(1) as u64 {
+                if control.is_some_and(SearchControl::is_cancelled) {
+                    return Err(MapError::cancelled(ii.saturating_sub(1), self.name()));
+                }
+                let Ok(times) = modulo_schedule_variant(
+                    dfg,
                     ii,
-                    mii,
-                    time_of: times,
-                    pe_of,
-                    routes: Some(routes),
-                    stats,
-                });
+                    cgra.num_pes(),
+                    cgra.num_mem_pes().max(1),
+                    variant,
+                ) else {
+                    continue;
+                };
+                if tried_schedules.contains(&times) {
+                    continue; // tie-break landed on an already-tried schedule
+                }
+                tried_schedules.push(times.clone());
+                // Each complete placement the search yields goes straight
+                // to the shared PathFinder; the first routable one wins.
+                let mut attempts = self.config.route_attempts;
+                let mut routed: Option<Vec<crate::Route>> = None;
+                let mut router_iterations = 0usize;
+                let accepted = self.place_exhaustive(
+                    dfg,
+                    cgra,
+                    restriction,
+                    &times,
+                    ii,
+                    &mut |pe_of: &[PeId]| {
+                        if attempts == 0 {
+                            // Budget spent: accept unrouted to end the
+                            // search; `routed` stays None and this
+                            // schedule is abandoned.
+                            return true;
+                        }
+                        attempts -= 1;
+                        let state = PlacementState {
+                            pe_of: pe_of.to_vec(),
+                            time_of: times.clone(),
+                            fu_used: HashMap::new(), // router does not consult FU slots
+                            ii,
+                        };
+                        scratch.reset_for_ii();
+                        let outcome = route_all(
+                            &mrrg,
+                            cgra,
+                            dfg,
+                            &state,
+                            &times,
+                            &RouterConfig::default(),
+                            &mut scratch,
+                            None,
+                        );
+                        router_iterations += outcome.iterations;
+                        if outcome.is_clean() {
+                            routed = Some(
+                                outcome
+                                    .routes
+                                    .into_iter()
+                                    .map(|r| r.expect("clean outcome has every route"))
+                                    .collect(),
+                            );
+                            true
+                        } else {
+                            false
+                        }
+                    },
+                );
+                stats.router_iterations += router_iterations;
+                if let (Some(pe_of), Some(routes)) = (accepted, routed) {
+                    if let Some(c) = control {
+                        c.record_success(ii);
+                    }
+                    stats.compile_time = start.elapsed();
+                    return Ok(Mapping {
+                        mapper: self.name(),
+                        ii,
+                        mii,
+                        time_of: times,
+                        pe_of,
+                        routes: Some(routes),
+                        stats,
+                    });
+                }
             }
         }
         Err(MapError::exhausted(max_ii, self.name()))
@@ -333,6 +424,17 @@ mod tests {
         let mapping = ExactMapper::default().map(&dfg, &cgra, None).unwrap();
         assert!(cgra.is_mem_pe(mapping.pe_of(l)));
         assert!(cgra.is_mem_pe(mapping.pe_of(s)));
+    }
+
+    #[test]
+    fn cancellation_stops_the_ii_search() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let control = crate::SearchControl::unbounded().with_cancel(token);
+        let err = ExactMapper::default()
+            .map_with_control(&chain(6), &cgra(), None, Some(&control))
+            .unwrap_err();
+        assert!(err.cancelled, "fired token must abort the search: {err}");
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use mapping::{Mapping, MappingStats, Route, VerifyError};
 pub use mii::{critical_recurrences, min_ii, restricted_min_ii, MiiReport};
 pub use restrict::Restriction;
 pub use router::RouterConfig;
-pub use schedule::{modulo_schedule, ScheduleError};
+pub use schedule::{modulo_schedule, modulo_schedule_variant, ScheduleError};
 pub use spr::{MapError, SprConfig, SprMapper};
 pub use stats::RouteStats;
 pub use ultrafast::{UltraFastConfig, UltraFastMapper};

@@ -167,9 +167,14 @@ impl Mapping {
             return Err(VerifyError::WrongShape);
         }
         let mrrg = cgra.mrrg_shared(self.ii);
-        // fan-out edges of one producer broadcast a single physical value,
-        // so occupancy counts *distinct producers* per node
-        let mut usage: HashMap<MrrgNodeId, std::collections::HashSet<u32>> = HashMap::new();
+        // Occupancy counts distinct *(producer, visit time)* pairs per
+        // node: fan-out edges of one producer broadcast a single physical
+        // value only when they cross a node in the same cycle. The same
+        // producer's signal crossing one node at two different times means
+        // two different iterations' values coexist there in the pipelined
+        // steady state — a real conflict the simulator observes (found by
+        // differential fuzzing against `panorama_sim::simulate`).
+        let mut usage: HashMap<MrrgNodeId, std::collections::HashSet<(u32, i64)>> = HashMap::new();
         for (i, e) in dfg.deps().enumerate() {
             let route = &routes[i];
             if route.edge_index != i || route.nodes.is_empty() {
@@ -185,14 +190,28 @@ impl Mapping {
             if route.nodes[0] != mrrg.out(pe_u, tu % self.ii) {
                 return Err(VerifyError::RouteEndpoint { edge: i });
             }
-            // consecutive nodes are MRRG-adjacent; count time advances
+            // consecutive nodes are MRRG-adjacent; count time advances and
+            // record the visit time of every capacitated node on the way
+            let producer = e.src.index() as u32;
             let mut delta = 0i64;
+            if mrrg.capacity(route.nodes[0]) != u16::MAX {
+                usage
+                    .entry(route.nodes[0])
+                    .or_default()
+                    .insert((producer, tu as i64));
+            }
             for w in route.nodes.windows(2) {
                 let Some(edge) = mrrg.out_edges(w[0]).iter().find(|me| me.dst == w[1]) else {
                     return Err(VerifyError::RouteDisconnected { edge: i });
                 };
                 if edge.advance {
                     delta += 1;
+                }
+                if mrrg.capacity(w[1]) != u16::MAX {
+                    usage
+                        .entry(w[1])
+                        .or_default()
+                        .insert((producer, tu as i64 + delta));
                 }
             }
             if delta != expected_delta {
@@ -211,18 +230,13 @@ impl Mapping {
             if !feeds_fu {
                 return Err(VerifyError::RouteEndpoint { edge: i });
             }
-            for &node in &route.nodes {
-                if mrrg.capacity(node) != u16::MAX {
-                    usage.entry(node).or_default().insert(e.src.index() as u32);
-                }
-            }
         }
-        for (node, producers) in usage {
+        for (node, values) in usage {
             let cap = mrrg.capacity(node) as usize;
-            if producers.len() > cap {
+            if values.len() > cap {
                 return Err(VerifyError::CapacityExceeded {
                     kind: mrrg.kind(node),
-                    used: producers.len(),
+                    used: values.len(),
                     cap,
                 });
             }

@@ -97,7 +97,15 @@ pub(crate) struct RouterScratch {
     heap: BinaryHeap<HeapEntry>,
     /// Per-node stamp marking nodes already claimed by the current
     /// producer's broadcast tree (shared fan-out routes cost ~nothing).
+    /// A claim is only shareable at the *same elapsed time* (see
+    /// `claimed_time`): the same producer crossing a node at two different
+    /// times carries two different iterations' values in the pipelined
+    /// steady state, which is a real conflict, not a broadcast share.
     claimed_stamp: Vec<u32>,
+    /// Elapsed time (cycles since the producer's broadcast) at which the
+    /// current claim on each node was made; only valid where
+    /// `claimed_stamp` matches the current generation.
+    claimed_time: Vec<u32>,
     claimed_generation: u32,
     /// `1 + history` per node, refreshed once per PathFinder iteration so
     /// the A* inner loop pays one multiply instead of a float add per
@@ -120,6 +128,7 @@ impl RouterScratch {
             generation: 0,
             heap: BinaryHeap::new(),
             claimed_stamp: Vec::new(),
+            claimed_time: Vec::new(),
             claimed_generation: 0,
             base_cost: Vec::new(),
             history: Vec::new(),
@@ -137,6 +146,7 @@ impl RouterScratch {
         // keeps stale small-II entries from aliasing large-II states.
         self.stamp.clear();
         self.claimed_stamp.clear();
+        self.claimed_time.clear();
         self.generation = 0;
         self.claimed_generation = 0;
     }
@@ -152,6 +162,7 @@ impl RouterScratch {
         }
         if self.claimed_stamp.len() < num_nodes {
             self.claimed_stamp.resize(num_nodes, 0);
+            self.claimed_time.resize(num_nodes, 0);
         }
         self.history.resize(num_nodes, 0.0);
         self.usage.resize(num_nodes, 0);
@@ -192,7 +203,9 @@ impl RouterScratch {
 
     /// A* over `(MRRG node, elapsed cycles)`: finds a cheapest path from
     /// the producer's `Out` to any node feeding the consumer's FU with
-    /// *exactly* `delta` time advances.
+    /// *exactly* `delta` time advances. Returns every node together with
+    /// its elapsed time so the caller can account occupancy per
+    /// `(node, time)` rather than per node.
     #[allow(clippy::too_many_arguments)]
     fn route_one(
         &mut self,
@@ -205,7 +218,7 @@ impl RouterScratch {
         dst_slot: usize,
         present: f64,
         max_expansions: usize,
-    ) -> Option<Vec<MrrgNodeId>> {
+    ) -> Option<Vec<(MrrgNodeId, u32)>> {
         if delta < 1 {
             return None;
         }
@@ -216,7 +229,7 @@ impl RouterScratch {
         let goal_in = mrrg.input(dst_pe, dst_slot);
         let goal_rr = mrrg.reg_read(dst_pe, dst_slot);
 
-        let node_cost = |scratch: &Self, n: MrrgNodeId| -> f64 {
+        let node_cost = |scratch: &Self, n: MrrgNodeId, elapsed: u32| -> f64 {
             let cap = mrrg.capacity(n);
             if cap == u16::MAX {
                 return 0.05; // topology nodes are nearly free
@@ -224,8 +237,11 @@ impl RouterScratch {
             let i = n.index();
             if scratch.claimed_stamp[i] == scratch.claimed_generation
                 && scratch.claimed_generation > 0
+                && scratch.claimed_time[i] == elapsed
             {
-                return 0.02; // this producer already broadcasts here
+                // this producer already broadcasts here *in the same
+                // cycle*: one physical value, genuinely shared
+                return 0.02;
             }
             let over = (f64::from(scratch.usage[i]) + 1.0 - f64::from(cap)).max(0.0);
             scratch.base_cost[i] * (1.0 + over * present)
@@ -233,7 +249,7 @@ impl RouterScratch {
         let heuristic = |n: MrrgNodeId| cgra.manhattan(mrrg.pe_of(n), dst_pe) as f64;
 
         self.heap.clear();
-        let g0 = node_cost(self, start);
+        let g0 = node_cost(self, start, 0);
         let start_key = start.index() as u32; // elapsed 0 ⇒ key = node index
         self.stamp[start_key as usize] = generation;
         self.best[start_key as usize] = g0;
@@ -253,12 +269,16 @@ impl RouterScratch {
                 return None;
             }
             if elapsed == delta && (node == goal_in || node == goal_rr) {
-                // reconstruct
-                let mut path = vec![node];
+                // reconstruct; the elapsed time of every hop is encoded in
+                // its state key, so recovering it is free
+                let mut path = vec![(node, elapsed)];
                 let mut cur = key;
                 while self.parent[cur as usize] != u32::MAX {
                     cur = self.parent[cur as usize];
-                    path.push(MrrgNodeId::from_index(cur as usize % num_nodes));
+                    path.push((
+                        MrrgNodeId::from_index(cur as usize % num_nodes),
+                        cur / num_nodes as u32,
+                    ));
                 }
                 path.reverse();
                 return Some(path);
@@ -280,7 +300,7 @@ impl RouterScratch {
                 if cgra.manhattan(mrrg.pe_of(edge.dst), dst_pe) > remaining {
                     continue;
                 }
-                let ng = g + node_cost(self, edge.dst);
+                let ng = g + node_cost(self, edge.dst, ne);
                 let nkey = ne * num_nodes as u32 + edge.dst.index() as u32;
                 let ni = nkey as usize;
                 if self.stamp[ni] != generation || ng < self.best[ni] - 1e-12 {
@@ -402,20 +422,24 @@ pub(crate) fn route_all(
             );
             match found {
                 Some(path) => {
-                    for &n in &path {
+                    for &(n, t) in &path {
                         // fan-out edges of one producer broadcast a single
-                        // physical value: shared nodes count once
+                        // physical value: nodes shared *at the same cycle*
+                        // count once. A second visit at a different time is
+                        // a different iteration's value and must pay.
                         let i = n.index();
                         if mrrg.capacity(n) != u16::MAX
-                            && scratch.claimed_stamp[i] != scratch.claimed_generation
+                            && (scratch.claimed_stamp[i] != scratch.claimed_generation
+                                || scratch.claimed_time[i] != t)
                         {
                             scratch.claimed_stamp[i] = scratch.claimed_generation;
+                            scratch.claimed_time[i] = t;
                             scratch.usage[i] = scratch.usage[i].saturating_add(1);
                         }
                     }
                     routes[edge_index] = Some(Route {
                         edge_index,
-                        nodes: path,
+                        nodes: path.into_iter().map(|(n, _)| n).collect(),
                     });
                 }
                 None => {
@@ -521,8 +545,8 @@ mod tests {
             .route_one(&mrrg, &cgra, a, b, 0, 1, 1, 0.5, 100_000)
             .expect("adjacent PEs route in one hop");
         // out(a,0) → link → in(b,1)
-        assert_eq!(path.first().copied(), Some(mrrg.out(a, 0)));
-        assert_eq!(path.last().copied(), Some(mrrg.input(b, 1)));
+        assert_eq!(path.first().copied(), Some((mrrg.out(a, 0), 0)));
+        assert_eq!(path.last().copied(), Some((mrrg.input(b, 1), 1)));
         assert_eq!(path.len(), 3);
     }
 
@@ -547,17 +571,18 @@ mod tests {
         let path = scratch
             .route_one(&mrrg, &cgra, a, b, 0, 3, 3, 0.5, 100_000)
             .expect("register parking allows late consumption");
-        // count advances
-        let mut adv = 0;
+        // count advances, and check the per-hop elapsed times agree
+        let mut adv = 0u32;
         for w in path.windows(2) {
             let e = mrrg
-                .out_edges(w[0])
+                .out_edges(w[0].0)
                 .iter()
-                .find(|e| e.dst == w[1])
+                .find(|e| e.dst == w[1].0)
                 .expect("path edges exist");
             if e.advance {
                 adv += 1;
             }
+            assert_eq!(w[1].1, w[0].1 + u32::from(e.advance));
         }
         assert_eq!(adv, 3);
     }
@@ -626,15 +651,16 @@ mod tests {
             .route_one(&mrrg, &cgra, a, b, 0, 1, 1, 0.5, 100_000)
             .unwrap();
         // claim the path for the producer, as route_all does
-        for &n in &path {
+        for &(n, t) in &path {
             if mrrg.capacity(n) != u16::MAX {
                 scratch.claimed_stamp[n.index()] = scratch.claimed_generation;
+                scratch.claimed_time[n.index()] = t;
             }
         }
         let claimed_now: Vec<usize> = path
             .iter()
-            .filter(|n| mrrg.capacity(**n) != u16::MAX)
-            .map(|n| n.index())
+            .filter(|(n, _)| mrrg.capacity(*n) != u16::MAX)
+            .map(|(n, _)| n.index())
             .collect();
         assert!(!claimed_now.is_empty());
         // a new producer group must not see those claims

@@ -58,6 +58,29 @@ pub fn modulo_schedule(
     fu_budget: usize,
     mem_budget: usize,
 ) -> Result<Vec<usize>, ScheduleError> {
+    modulo_schedule_variant(dfg, ii, fu_budget, mem_budget, 0)
+}
+
+/// Like [`modulo_schedule`], but `variant` perturbs the priority tie-break
+/// among equal-height operations, yielding alternative legal schedules for
+/// the same II. Variant 0 is byte-identical to [`modulo_schedule`].
+///
+/// The exact mapper enumerates variants because a placement search that is
+/// exhaustive *for one schedule* can still miss a feasible II whose only
+/// routable placements exist under a different op-to-slot assignment
+/// (found by differential fuzzing: SPR's joint schedule-and-place reached
+/// an II the single-schedule exhaustive search declared infeasible).
+///
+/// # Errors
+///
+/// Same as [`modulo_schedule`].
+pub fn modulo_schedule_variant(
+    dfg: &Dfg,
+    ii: usize,
+    fu_budget: usize,
+    mem_budget: usize,
+    variant: u64,
+) -> Result<Vec<usize>, ScheduleError> {
     assert!(ii > 0, "II must be at least 1");
     let n = dfg.num_ops();
     if n == 0 {
@@ -81,13 +104,16 @@ pub fn modulo_schedule(
     #[derive(PartialEq, Eq)]
     struct Item {
         height: usize,
+        /// Tie-break rank among equal heights; equals `idx` for variant 0,
+        /// a deterministic permutation of the indices otherwise.
+        rank: u64,
         idx: usize,
     }
     impl Ord for Item {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             self.height
                 .cmp(&other.height)
-                .then(other.idx.cmp(&self.idx))
+                .then(other.rank.cmp(&self.rank))
         }
     }
     impl PartialOrd for Item {
@@ -95,11 +121,25 @@ pub fn modulo_schedule(
             Some(self.cmp(other))
         }
     }
+    // SplitMix64 of (variant, idx): a cheap deterministic permutation key
+    let rank_of = |idx: usize| -> u64 {
+        if variant == 0 {
+            return idx as u64;
+        }
+        let mut z = variant
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(idx as u64)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
 
     let mut queue: BinaryHeap<Item> = dfg
         .op_ids()
         .map(|v| Item {
             height: heights[v.index()],
+            rank: rank_of(v.index()),
             idx: v.index(),
         })
         .collect();
@@ -130,17 +170,30 @@ pub fn modulo_schedule(
         }
         let estart = estart.max(0) as usize;
 
-        // first resource-feasible slot in [estart, estart+ii)
-        let mut chosen = None;
+        // resource-feasible slots in [estart, estart+ii); variant 0 takes
+        // the first (classic ASAP), other variants pick a rank-driven
+        // alternative — later choices trade makespan for routing slack,
+        // which a placement-only exhaustive search cannot recover on its
+        // own
+        let mut feasible: Vec<usize> = Vec::new();
         for t in estart..estart + ii {
             let s = t % ii;
             let fu_ok = slot_count[s] < fu_budget;
             let mem_ok = !is_mem || slot_mem[s] < mem_budget;
             if fu_ok && mem_ok {
-                chosen = Some(t);
-                break;
+                if variant == 0 {
+                    feasible.push(t);
+                    break;
+                }
+                feasible.push(t);
             }
         }
+        let chosen = if feasible.is_empty() {
+            None
+        } else {
+            let pick = (rank_of(idx) >> 17) as usize % feasible.len();
+            Some(feasible[pick])
+        };
         // force + evict when every slot is blocked
         let t = chosen.unwrap_or_else(|| {
             let s = estart % ii;
@@ -165,6 +218,7 @@ pub fn modulo_schedule(
                     in_queue[u] = true;
                     queue.push(Item {
                         height: heights[u],
+                        rank: rank_of(u),
                         idx: u,
                     });
                 }
@@ -192,6 +246,7 @@ pub fn modulo_schedule(
                         in_queue[w] = true;
                         queue.push(Item {
                             height: heights[w],
+                            rank: rank_of(w),
                             idx: w,
                         });
                     }

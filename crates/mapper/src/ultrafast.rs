@@ -80,14 +80,41 @@ impl UltraFastMapper {
             .expect("validated DFG");
         let mut order = dfg.topo_order();
         order.sort_by_key(|&v| (levels[v.index()], v.index()));
+        let mut scheduled = vec![false; n];
         for &op in &order {
             let is_mem = dfg.op(op).kind.needs_memory();
             let mut t = 0usize;
             for e in dfg.graph().incoming(op) {
                 if e.weight.is_back() {
-                    continue; // producer scheduled later; distance covers it
+                    // a back edge whose producer is already scheduled still
+                    // lower-bounds this op: t >= t(src) + lat - d*II
+                    if scheduled[e.src.index()] {
+                        let lat = dfg.op(e.src).kind.latency() as i64;
+                        let lb = time_of[e.src.index()] as i64 + lat
+                            - e.weight.distance() as i64 * ii as i64;
+                        t = t.max(lb.max(0) as usize);
+                    }
+                    continue;
                 }
                 t = t.max(time_of[e.src.index()] + 1);
+            }
+            // back edges *out of* this op whose consumer is already
+            // scheduled impose a deadline: t <= t(dst) - lat + d*II.
+            // (Ignoring these was unsound — found by differential fuzzing:
+            // an op with no data inputs but an incoming back edge lands at
+            // time 0 while its producer lands arbitrarily late.)
+            let mut deadline = i64::MAX;
+            for e in dfg.graph().outgoing(op) {
+                if e.weight.is_back() && scheduled[e.dst.index()] {
+                    let lat = dfg.op(op).kind.latency() as i64;
+                    deadline = deadline.min(
+                        time_of[e.dst.index()] as i64 - lat
+                            + e.weight.distance() as i64 * ii as i64,
+                    );
+                }
+            }
+            if (t as i64) > deadline {
+                return Err(op); // infeasible at this II; a larger II loosens it
             }
             // distance-greedy PE preference: nearest the already-placed
             // producers first (Ultra-Fast's marginal-cost placement; the
@@ -103,8 +130,9 @@ impl UltraFastMapper {
                 let d: usize = producers.iter().map(|&p| cgra.manhattan(pe, p)).sum();
                 (d, pe.index())
             });
+            let latest = (deadline.min((t + ii - 1) as i64)) as usize;
             let mut placed = false;
-            'time: for tt in t..t + ii {
+            'time: for tt in t..=latest {
                 let slot = tt % ii;
                 for &pe in &preferred {
                     if fu_used.contains_key(&(pe, slot)) {
@@ -167,6 +195,7 @@ impl UltraFastMapper {
                     fu_used.insert((pe, slot), ());
                     time_of[op.index()] = tt;
                     pe_of[op.index()] = pe;
+                    scheduled[op.index()] = true;
                     placed = true;
                     break 'time;
                 }
@@ -329,6 +358,26 @@ mod tests {
         let dfg = b.build().unwrap();
         let mapping = UltraFastMapper::default().map(&dfg, &cgra(), None).unwrap();
         mapping.verify(&dfg, &cgra()).unwrap();
+    }
+
+    #[test]
+    fn back_edge_deadline_bounds_the_producer() {
+        // Found by differential fuzzing: op `c` has no data inputs, only an
+        // incoming back edge from `m` (scheduled a level later). The naive
+        // schedule puts `c` at time 0 and `m` at time 1, violating
+        // t(c) >= t(m) + lat - d*II at small II.
+        let mut b = DfgBuilder::new("fuzz-repro");
+        let a = b.op(OpKind::Add, "a");
+        let c = b.op(OpKind::Add, "c");
+        let m = b.op(OpKind::Add, "m");
+        b.data(a, m);
+        b.back(m, c, 1);
+        let dfg = b.build().unwrap();
+        for config in [CgraConfig::small_4x4(), CgraConfig::scaled_8x8()] {
+            let cgra = Cgra::new(config).unwrap();
+            let mapping = UltraFastMapper::default().map(&dfg, &cgra, None).unwrap();
+            mapping.verify(&dfg, &cgra).unwrap();
+        }
     }
 
     #[test]

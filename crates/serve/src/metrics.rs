@@ -154,6 +154,17 @@ impl Metrics {
         m.shed += 1;
     }
 
+    /// A request counted by [`Metrics::request_enqueued`] that bounced off
+    /// a full (or draining) queue: queued → shed. The enqueue is accounted
+    /// *before* the push so a worker popping the job immediately cannot
+    /// decrement `queued` below zero; a refused push is then rolled back
+    /// here.
+    pub fn request_shed_after_enqueue(&self) {
+        let mut m = self.lock();
+        m.queued -= 1;
+        m.shed += 1;
+    }
+
     /// A worker popped a job: queued → in-flight.
     pub fn job_started(&self) {
         let mut m = self.lock();

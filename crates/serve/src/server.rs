@@ -546,10 +546,14 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
         done: Arc::clone(&done),
         respond: tx,
     };
+    // Account the enqueue *before* pushing: once the job is in the queue a
+    // worker may pop it at any moment, and `job_started` must never see
+    // `queued == 0` (debug builds panic on the underflow).
+    state.metrics.request_enqueued();
     if let Err((job, _reason)) = state.queue.try_push(job) {
         // Full and draining shed identically: try again later.
         job.done.store(true, Ordering::Release);
-        state.metrics.request_shed();
+        state.metrics.request_shed_after_enqueue();
         let JobOutcome { status, body } = error_outcome(
             503,
             "overloaded",
@@ -558,7 +562,6 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
         let _ = write_response(stream, status, &["Retry-After: 1"], &body);
         return;
     }
-    state.metrics.request_enqueued();
     match rx.recv() {
         Ok(outcome) => {
             let _ = write_response(stream, outcome.status, &[], &outcome.body);

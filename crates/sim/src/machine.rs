@@ -16,6 +16,21 @@ pub enum SimError {
     /// The mapping carries no routes (abstract mappers); nothing to
     /// execute cycle by cycle.
     NoRoutes,
+    /// The mapping's tables do not match the DFG it is being simulated
+    /// against — wrong op count or wrong route count. Indexing into a
+    /// mismatched mapping would read garbage (or panic), so this is
+    /// rejected up front; the differential fuzzer exercises exactly this
+    /// class of truncated/foreign mappings.
+    WrongShape {
+        /// Ops in the mapping.
+        ops: usize,
+        /// Ops in the DFG.
+        expected_ops: usize,
+        /// Routes in the mapping.
+        deps: usize,
+        /// Dependencies in the DFG.
+        expected_deps: usize,
+    },
     /// Two *different* values occupied one physical resource in the same
     /// cycle — e.g. the modulo-wrap hazard where consecutive iterations
     /// collide in a register.
@@ -35,6 +50,15 @@ pub enum SimError {
         /// DFG edge index.
         edge: usize,
     },
+    /// A route starts somewhere other than its producer's output port, or
+    /// ends on a node that does not feed its consumer's FU — the value
+    /// physically travels to the wrong place even if the timing happens to
+    /// line up (caught by mutation testing: a same-producer aliased route
+    /// with a matching delta passed the timing-only walk).
+    Misrouted {
+        /// DFG edge index.
+        edge: usize,
+    },
     /// An executed operation produced a value different from the
     /// reference interpretation (operand mis-delivery).
     WrongValue {
@@ -49,6 +73,15 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NoRoutes => write!(f, "mapping has no routes to simulate"),
+            SimError::WrongShape {
+                ops,
+                expected_ops,
+                deps,
+                expected_deps,
+            } => write!(
+                f,
+                "mapping shape mismatch: {ops} ops / {deps} routes vs DFG with {expected_ops} ops / {expected_deps} deps"
+            ),
             SimError::ValueCollision {
                 kind,
                 cycle,
@@ -60,6 +93,12 @@ impl fmt::Display for SimError {
             ),
             SimError::ArrivalMismatch { edge } => {
                 write!(f, "edge {edge} delivered its value at the wrong cycle")
+            }
+            SimError::Misrouted { edge } => {
+                write!(
+                    f,
+                    "edge {edge}'s route does not connect its producer to its consumer"
+                )
             }
             SimError::WrongValue { op, iteration } => {
                 write!(f, "op {op} computed a wrong value in iteration {iteration}")
@@ -98,6 +137,15 @@ pub fn simulate(
     iterations: usize,
 ) -> Result<SimReport, SimError> {
     let routes = mapping.routes().ok_or(SimError::NoRoutes)?;
+    let mapped_ops = mapping.assignments().count();
+    if mapped_ops != dfg.num_ops() || routes.len() != dfg.num_deps() {
+        return Err(SimError::WrongShape {
+            ops: mapped_ops,
+            expected_ops: dfg.num_ops(),
+            deps: routes.len(),
+            expected_deps: dfg.num_deps(),
+        });
+    }
     let ii = mapping.ii() as u64;
     let mrrg = cgra.mrrg_shared(mapping.ii());
     let reference = interpret(dfg, iterations);
@@ -123,6 +171,21 @@ pub fn simulate(
     for (i, e) in dfg.deps().enumerate() {
         let route = &routes[i];
         let d = e.weight.distance() as i64;
+        // spatial endpoints: the walk below only checks *when* the value
+        // arrives; it must also leave from the producer's output port and
+        // land on a node feeding the consumer's FU
+        let src_slot = mapping.time_of(e.src) % mapping.ii();
+        let dst_slot = mapping.time_of(e.dst) % mapping.ii();
+        let starts_at_producer =
+            route.nodes.first() == Some(&mrrg.out(mapping.pe_of(e.src), src_slot));
+        let feeds_consumer = route.nodes.last().is_some_and(|&last| {
+            mrrg.out_edges(last)
+                .iter()
+                .any(|me| me.dst == mrrg.fu(mapping.pe_of(e.dst), dst_slot))
+        });
+        if !starts_at_producer || !feeds_consumer {
+            return Err(SimError::Misrouted { edge: i });
+        }
         for iter in 0..iterations {
             // this instance carries the producer value of iteration `iter`
             // to the consumer of iteration `iter + d`; skip instances whose
@@ -134,12 +197,16 @@ pub fn simulate(
             let start = mapping.time_of(e.src) as u64 + iter as u64 * ii;
             let mut t = start;
             for w in route.nodes.windows(2) {
-                let advance = mrrg
+                let Some(advance) = mrrg
                     .out_edges(w[0])
                     .iter()
                     .find(|me| me.dst == w[1])
                     .map(|me| me.advance)
-                    .expect("verified route is connected");
+                else {
+                    // consecutive nodes not MRRG-adjacent: the signal
+                    // cannot physically take this path
+                    return Err(SimError::Misrouted { edge: i });
+                };
                 if advance {
                     t += 1;
                 }
@@ -300,8 +367,10 @@ mod wrap_hazard_tests {
 
     /// Hand-builds the modulo-wrap hazard: a load's value parked in one
     /// register for 4 cycles at II = 2, so consecutive iterations collide.
-    /// Static verification cannot see this (same net, deduplicated); the
-    /// simulator must.
+    /// Historically the static checker deduplicated same-producer visits
+    /// per node and missed this; the differential fuzzer caught the gap
+    /// (simulate rejected a verified mapping) and verify now counts
+    /// occupancy per `(producer, visit time)`. Both oracles must agree.
     #[test]
     fn register_wrap_collision_is_caught() {
         let mut b = DfgBuilder::new("hazard");
@@ -337,9 +406,14 @@ mod wrap_hazard_tests {
                 nodes: path,
             }]),
         );
-        // the static checker accepts it (same-net register reuse dedups)…
-        mapping.verify(&dfg, &cgra).unwrap();
-        // …but executing two or more iterations exposes the collision
+        // the static checker sees the wrap: slot 0 of register 0 is
+        // visited at t=2 and t=4, two iterations' values at once
+        let verr = mapping.verify(&dfg, &cgra).unwrap_err();
+        assert!(
+            matches!(verr, panorama_mapper::VerifyError::CapacityExceeded { .. }),
+            "verify must count per (producer, time), got {verr:?}"
+        );
+        // executing two or more iterations exposes the same collision
         let err = simulate(&dfg, &cgra, &mapping, 3).unwrap_err();
         assert!(
             matches!(err, SimError::ValueCollision { .. }),

@@ -7,7 +7,10 @@
 //! panorama trace <kernel> [--arch cgra.adl] [--mapper spr|ultrafast|exhaustive]
 //!                [--baseline] [--threads N] [--max-ii N] [--out FILE]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
-//!               [--trace-json FILE] [--serve-json FILE]
+//!               [--trace-json FILE] [--serve-json FILE] [--fuzz-json FILE]
+//! panorama fuzz [--seed N] [--cases N] [--max-nodes N] [--shrink-evals N]
+//!               [--max-seconds S] [--corpus DIR] [--write-corpus]
+//!               [--out FILE] [--json]
 //! panorama serve [--addr IP:PORT] [--workers N] [--queue-depth N]
 //!                [--deadline-ms MS] [--result-cache N] [--mrrg-cache N]
 //! panorama bench [--json] [--out FILE] [--mapper spr|ultrafast] [--threads N]
@@ -30,11 +33,18 @@
 //! mappings, and can gate CI against a checked-in JSON baseline; the
 //! ceiling of that gate is widened by `--ceiling-scale` (defaulting to a
 //! calibration probe, so slow CI machines don't trip the absolute bound).
+//! `fuzz` runs the deterministic differential fuzzing harness of
+//! [`panorama_fuzz`]: seeded random DFG/architecture sweeps, both
+//! lower-level backends, verify/simulate/exact-II oracle cross-checks,
+//! failing-case minimization, and regression-corpus replay; its
+//! `panorama-fuzz-v1` JSON report is what `lint --fuzz-json` validates.
 
 use panorama::{Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
-use panorama_lint::{lint_serve_json, lint_trace_json, Diagnostics, LintContext, Registry};
+use panorama_lint::{
+    lint_fuzz_json, lint_serve_json, lint_trace_json, Diagnostics, LintContext, Registry,
+};
 use panorama_mapper::{Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
 use panorama_sim::simulate;
 use panorama_trace::{RecordingSink, TraceEvent, TraceReport, Tracer};
@@ -54,7 +64,10 @@ fn usage() -> &'static str {
 [--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
      panorama lint [--dfg <file|-|kernel-name>] [--arch <file|preset>] \
 [--scale tiny|scaled|paper] [--max-ii <ii>] [--trace-json <file>] \
-[--serve-json <file>] [--json]\n  \
+[--serve-json <file>] [--fuzz-json <file>] [--json]\n  \
+     panorama fuzz [--seed <n>] [--cases <n>] [--max-nodes <n>] \
+[--shrink-evals <n>] [--max-seconds <s>] [--corpus <dir>] [--write-corpus] \
+[--out <file>] [--json]\n  \
      panorama serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] \
 [--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>]\n  \
      panorama bench [--json] [--out <file>] [--mapper spr|ultrafast] \
@@ -109,6 +122,18 @@ const LINT_FLAGS: FlagSpec = &[
     ("json", true),
     ("trace-json", false),
     ("serve-json", false),
+    ("fuzz-json", false),
+];
+const FUZZ_FLAGS: FlagSpec = &[
+    ("seed", false),
+    ("cases", false),
+    ("max-nodes", false),
+    ("shrink-evals", false),
+    ("max-seconds", false),
+    ("corpus", false),
+    ("write-corpus", true),
+    ("out", false),
+    ("json", true),
 ];
 const KERNELS_FLAGS: FlagSpec = &[("scale", false)];
 const INFO_FLAGS: FlagSpec = &[("arch", false)];
@@ -512,18 +537,93 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `panorama fuzz`: the deterministic differential fuzzing harness.
+/// Exits nonzero when any oracle disagrees, a backend crashes, or a
+/// corpus case fails replay. `--write-corpus` drops each minimized
+/// reproducer into the corpus directory as a ready-to-commit `.dfg` file.
+fn cmd_fuzz(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let parse_n = |key: &str, default: usize| -> Result<usize, String> {
+        flags.get(key).map_or(Ok(default), |s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--{key} needs a non-negative integer, got `{s}`"))
+        })
+    };
+    let defaults = panorama_fuzz::FuzzOptions::default();
+    let cancel = panorama_mapper::CancelToken::new();
+    let opts = panorama_fuzz::FuzzOptions {
+        seed: flags.get("seed").map_or(Ok(defaults.seed), |s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--seed needs a non-negative integer, got `{s}`"))
+        })?,
+        cases: parse_n("cases", defaults.cases)?,
+        max_nodes: parse_n("max-nodes", defaults.max_nodes)?,
+        shrink_evals: parse_n("shrink-evals", defaults.shrink_evals)?,
+        oracle: panorama_fuzz::OracleConfig {
+            cancel: Some(cancel.clone()),
+            ..panorama_fuzz::OracleConfig::default()
+        },
+        corpus_dir: flags.get("corpus").map(std::path::PathBuf::from),
+    };
+    if flags.contains_key("write-corpus") && opts.corpus_dir.is_none() {
+        return Err("--write-corpus needs --corpus <dir>".into());
+    }
+    if let Some(s) = flags.get("max-seconds") {
+        let seconds = s
+            .parse::<u64>()
+            .map_err(|_| format!("--max-seconds needs a positive integer, got `{s}`"))?;
+        let token = cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs(seconds));
+            token.cancel();
+        });
+    }
+    let report = panorama_fuzz::run(&opts);
+    if flags.contains_key("write-corpus") {
+        let dir = opts.corpus_dir.as_ref().expect("checked above");
+        std::fs::create_dir_all(dir)?;
+        for f in &report.failures {
+            let name = format!(
+                "seed{}-case{}-{}-{}.dfg",
+                report.seed, f.case, f.backend, f.oracle
+            );
+            std::fs::write(dir.join(&name), &f.repro)?;
+            eprintln!("wrote {}", dir.join(&name).display());
+        }
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json())?;
+        eprintln!("wrote fuzz report {path}");
+    }
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    let corpus_failed = report.corpus.as_ref().map_or(0, |c| c.failed);
+    if report.total_failures() > 0 || corpus_failed > 0 {
+        return Err(format!(
+            "fuzz found {} oracle failure(s) and {} corpus failure(s)",
+            report.total_failures(),
+            corpus_failed
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// `panorama lint`: static diagnostics over a kernel (and optionally an
 /// architecture) without mapping anything; `--trace-json` validates a
 /// recorded `panorama-trace-v1` file instead of (or besides) a kernel.
 /// Exits nonzero when any error-severity finding is reported.
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let scale = parse_scale(flags.get("scale"))?;
-    if !["dfg", "trace-json", "serve-json"]
+    if !["dfg", "trace-json", "serve-json", "fuzz-json"]
         .iter()
         .any(|k| flags.contains_key(*k))
     {
         return Err(
-            "`lint` needs --dfg <file|-|kernel-name>, --trace-json <file> and/or --serve-json <file>"
+            "`lint` needs --dfg <file|-|kernel-name>, --trace-json <file>, --serve-json <file> \
+             and/or --fuzz-json <file>"
                 .into(),
         );
     }
@@ -554,6 +654,16 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             std::fs::read_to_string(path)?
         };
         lint_serve_json(&text, &mut diags);
+    }
+    if let Some(path) = flags.get("fuzz-json") {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        } else {
+            std::fs::read_to_string(path)?
+        };
+        lint_fuzz_json(&text, &mut diags);
     }
     if flags.contains_key("json") {
         println!("{}", diags.render_json());
@@ -667,13 +777,14 @@ fn main() -> ExitCode {
         "kernels" => KERNELS_FLAGS,
         "info" => INFO_FLAGS,
         "serve" => SERVE_FLAGS,
+        "fuzz" => FUZZ_FLAGS,
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
         }
         other => {
             eprintln!(
-                "error: unknown command `{other}` (expected compile, trace, lint, bench, serve, kernels, info or help)\n\n{}",
+                "error: unknown command `{other}` (expected compile, trace, lint, bench, serve, fuzz, kernels, info or help)\n\n{}",
                 usage()
             );
             return ExitCode::FAILURE;
@@ -708,6 +819,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&flags),
         "kernels" => cmd_kernels(&flags),
         "serve" => cmd_serve(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         _ => cmd_info(&flags),
     };
     match result {
