@@ -1,0 +1,84 @@
+//! The lattices the analysis passes interpret the DFG over.
+
+use crate::engine::Lattice;
+
+/// The flat constant lattice: `Bottom < Known(v) < Top`.
+///
+/// `Bottom` means "no evidence yet" (the initial value), `Known(v)` a
+/// proven loop-invariant value, `Top` "varies or unknowable" (loads,
+/// anything fed through a loop-carried edge). Joining two different
+/// known values yields `Top` — the classic constant-propagation domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// No evidence yet.
+    Bottom,
+    /// Proven loop-invariant with this concrete value.
+    Known(u64),
+    /// Varies across iterations or cannot be determined statically.
+    Top,
+}
+
+impl Value {
+    /// The proven constant, if any.
+    pub fn known(self) -> Option<u64> {
+        match self {
+            Value::Known(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Lattice for Value {
+    fn join(&self, other: &Self) -> Self {
+        match (*self, *other) {
+            (Value::Bottom, v) | (v, Value::Bottom) => v,
+            (Value::Known(a), Value::Known(b)) if a == b => Value::Known(a),
+            _ => Value::Top,
+        }
+    }
+}
+
+/// The two-point liveness lattice: `Dead < Live`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Live(pub bool);
+
+impl Lattice for Live {
+    fn join(&self, other: &Self) -> Self {
+        Live(self.0 || other.0)
+    }
+}
+
+/// Schedule level (ASAP/ALAP depth over intra-iteration edges), ordered
+/// by max — the longest-path lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level(pub u32);
+
+impl Lattice for Level {
+    fn join(&self, other: &Self) -> Self {
+        Level(self.0.max(other.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_join_table() {
+        use Value::{Bottom, Known, Top};
+        assert_eq!(Bottom.join(&Known(3)), Known(3));
+        assert_eq!(Known(3).join(&Known(3)), Known(3));
+        assert_eq!(Known(3).join(&Known(4)), Top);
+        assert_eq!(Top.join(&Known(3)), Top);
+        assert_eq!(Bottom.join(&Bottom), Bottom);
+        assert_eq!(Known(7).known(), Some(7));
+        assert_eq!(Top.known(), None);
+    }
+
+    #[test]
+    fn live_and_level_join() {
+        assert_eq!(Live(false).join(&Live(true)), Live(true));
+        assert_eq!(Live(false).join(&Live(false)), Live(false));
+        assert_eq!(Level(2).join(&Level(5)), Level(5));
+    }
+}

@@ -72,6 +72,9 @@ pub struct BenchOptions {
     /// in [`KernelResult::trace_phases`] and the suite timeline is
     /// exportable via [`BenchReport::to_trace_report`].
     pub trace: bool,
+    /// Run the pre-mapping DFG optimizer before every compile. Off by
+    /// default so checked-in baselines keep their exact IIs.
+    pub analyze: bool,
 }
 
 impl Default for BenchOptions {
@@ -81,6 +84,7 @@ impl Default for BenchOptions {
             mapper: BenchMapper::UltraFast,
             spr_budget: Duration::from_secs(60),
             trace: false,
+            analyze: false,
         }
     }
 }
@@ -149,6 +153,7 @@ fn compile_job(
     let dfg = kernels::generate(kernel, scale);
     let compiler = Panorama::new(PanoramaConfig {
         threads,
+        analyze: options.analyze.then(panorama::AnalyzeConfig::default),
         ..PanoramaConfig::default()
     });
     let sink = trace.then(RecordingSink::shared);
@@ -188,6 +193,14 @@ fn compile_job(
 fn reports_identical(a: &CompileReport, b: &CompileReport, dfg_ops: usize) -> bool {
     let (ma, mb) = (a.mapping(), b.mapping());
     if ma.ii() != mb.ii() {
+        return false;
+    }
+    // With the analyzer on, both phases mapped the (deterministically)
+    // optimized graph — compare over its op count, not the input's.
+    let dfg_ops = a.analyzed_dfg().map_or(dfg_ops, panorama_dfg::Dfg::num_ops);
+    if a.analyzed_dfg().map(panorama_dfg::Dfg::num_ops)
+        != b.analyzed_dfg().map(panorama_dfg::Dfg::num_ops)
+    {
         return false;
     }
     let ops_match = (0..dfg_ops).all(|i| {

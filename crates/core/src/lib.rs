@@ -39,11 +39,13 @@ mod pipeline;
 mod portfolio;
 mod report;
 
+pub use panorama_analyze::AnalyzeConfig;
 pub use panorama_mapper::CancelToken;
 pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};
 pub use report::{CompileReport, HigherLevelPlan};
 
 // Re-export the subsystem crates so downstream users need one dependency.
+pub use panorama_analyze as analyze;
 pub use panorama_arch as arch;
 pub use panorama_cluster as cluster;
 pub use panorama_dfg as dfg;

@@ -2,6 +2,7 @@
 
 use crate::portfolio::{effective_threads, run_indexed};
 use crate::report::{CompileReport, HigherLevelPlan};
+use panorama_analyze::{optimize, AnalyzeConfig, AnalyzeError, Optimization};
 use panorama_arch::Cgra;
 use panorama_cluster::{
     explore_partitions_with_stats, top_balanced, Cdg, ClusterError, Partition, SpectralConfig,
@@ -34,6 +35,15 @@ pub struct PanoramaConfig {
     /// the static minimum II, instead of letting a mapper search an empty
     /// II range.
     pub max_ii: Option<usize>,
+    /// Run the `panorama-analyze` optimizer (constant folding, CSE, dead
+    /// node elimination — each rewrite equivalence-checked against the
+    /// reference interpreter) on the DFG before mapping. The produced
+    /// mapping then targets the *optimized* graph, which
+    /// [`CompileReport::mapped_dfg`] exposes; verification and simulation
+    /// must use it. Off by default so existing artifacts stay bit-stable.
+    /// Only the compile entry points honour this;
+    /// [`plan`](Panorama::plan) always inspects the input graph as-is.
+    pub analyze: Option<AnalyzeConfig>,
     /// Worker threads for the candidate portfolio (cluster mapping and
     /// guided lower-level mapping run per-candidate in parallel). `0`
     /// means one per available core. The compile result is bit-identical
@@ -49,6 +59,7 @@ impl Default for PanoramaConfig {
             spectral: SpectralConfig::default(),
             scatter: ScatterConfig::default(),
             max_ii: None,
+            analyze: None,
             threads: 0,
         }
     }
@@ -64,6 +75,10 @@ pub enum PanoramaError {
     ClusterMapping(PlaceError),
     /// The lower-level mapper exhausted its II budget.
     Mapping(MapError),
+    /// The pre-mapping DFG optimizer failed — either a rewrite was
+    /// ill-formed or the rewritten graph failed the interpreter
+    /// equivalence check. The input graph was never touched.
+    Analysis(AnalyzeError),
     /// The static pre-flight check proved the run infeasible before any
     /// mapping was attempted; carries the error diagnostics.
     Infeasible(Vec<Diagnostic>),
@@ -81,6 +96,7 @@ impl fmt::Display for PanoramaError {
                 write!(f, "cluster mapping failed for every partition: {e}")
             }
             PanoramaError::Mapping(e) => write!(f, "lower-level mapping failed: {e}"),
+            PanoramaError::Analysis(e) => write!(f, "pre-mapping analysis failed: {e}"),
             PanoramaError::Infeasible(diags) => {
                 write!(f, "statically infeasible:")?;
                 for d in diags {
@@ -99,6 +115,7 @@ impl Error for PanoramaError {
             PanoramaError::Cluster(e) => Some(e),
             PanoramaError::ClusterMapping(e) => Some(e),
             PanoramaError::Mapping(e) => Some(e),
+            PanoramaError::Analysis(e) => Some(e),
             PanoramaError::Infeasible(_) => None,
             PanoramaError::Cancelled => None,
         }
@@ -114,6 +131,12 @@ impl From<ClusterError> for PanoramaError {
 impl From<MapError> for PanoramaError {
     fn from(e: MapError) -> Self {
         PanoramaError::Mapping(e)
+    }
+}
+
+impl From<AnalyzeError> for PanoramaError {
+    fn from(e: AnalyzeError) -> Self {
+        PanoramaError::Analysis(e)
     }
 }
 
@@ -488,6 +511,35 @@ impl Panorama {
         }
     }
 
+    /// Runs the configured pre-mapping optimizer (when enabled), recording
+    /// an `analyze` pipeline span with the rewrite counters. `None` when
+    /// analysis is off — the rest of the pipeline then maps the input
+    /// graph untouched, byte-for-byte as before the pass existed.
+    fn analyze_input(
+        &self,
+        dfg: &Dfg,
+        pipe: &mut SpanCollector,
+    ) -> Result<Option<Optimization>, PanoramaError> {
+        let Some(config) = &self.config.analyze else {
+            return Ok(None);
+        };
+        let span = pipe.start();
+        let opt = optimize(dfg, config)?;
+        pipe.record(
+            "analyze",
+            span,
+            &[
+                ("ops_before", dfg.num_ops() as i64),
+                ("ops_after", opt.dfg.num_ops() as i64),
+                ("rounds", opt.rounds as i64),
+                ("folded", opt.folded as i64),
+                ("merged", opt.merged as i64),
+                ("removed", opt.removed as i64),
+            ],
+        );
+        Ok(Some(opt))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn compile_inner<M: LowerLevelMapper>(
         &self,
@@ -499,6 +551,9 @@ impl Panorama {
         pipe: &mut SpanCollector,
         collectors: &mut Vec<SpanCollector>,
     ) -> Result<CompileReport, PanoramaError> {
+        Self::check_cancel(cancel)?;
+        let analyzed = self.analyze_input(dfg, pipe)?;
+        let dfg = analyzed.as_ref().map_or(dfg, |o| &o.dfg);
         Self::check_cancel(cancel)?;
         let span = pipe.start();
         self.preflight(dfg, cgra, None)?;
@@ -705,7 +760,8 @@ impl Panorama {
             clustering_time,
             cluster_mapping_time,
         );
-        Ok(CompileReport::new(mapping, Some(plan), mapping_time))
+        Ok(CompileReport::new(mapping, Some(plan), mapping_time)
+            .with_analysis(analyzed.map(|o| o.dfg)))
     }
 
     /// Runs the *unguided* lower-level mapper, for baseline comparisons
@@ -761,6 +817,9 @@ impl Panorama {
         let mut map_col = tracer.collector_from(0, SEQ_BASE_MAP);
         let result = (|| {
             Self::check_cancel(cancel)?;
+            let analyzed = self.analyze_input(dfg, &mut pipe)?;
+            let dfg = analyzed.as_ref().map_or(dfg, |o| &o.dfg);
+            Self::check_cancel(cancel)?;
             let span = pipe.start();
             self.preflight(dfg, cgra, None)?;
             pipe.record("preflight", span, &[]);
@@ -781,7 +840,8 @@ impl Panorama {
                 })?;
             let mapping_time = t.elapsed();
             pipe.record("map", span, &[("ii", mapping.ii() as i64)]);
-            Ok(CompileReport::new(mapping, None, mapping_time))
+            Ok(CompileReport::new(mapping, None, mapping_time)
+                .with_analysis(analyzed.map(|o| o.dfg)))
         })();
         tracer.submit(vec![map_col, pipe]);
         result
@@ -889,6 +949,50 @@ mod tests {
             panic!("expected Infeasible, got {err}");
         };
         assert!(diags.iter().any(|d| d.code == "MAP001"), "{diags:?}");
+    }
+
+    #[test]
+    fn compile_with_analysis_verifies_on_optimized_graph() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let compiler = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            analyze: Some(AnalyzeConfig::default()),
+            ..Default::default()
+        });
+        let cgra = cgra();
+        let report = compiler
+            .compile(&dfg, &cgra, &SprMapper::default())
+            .unwrap();
+        let mapped = report.mapped_dfg(&dfg);
+        assert!(report.analyzed_dfg().is_some());
+        assert!(mapped.num_ops() <= dfg.num_ops());
+        report.mapping().verify(mapped, &cgra).unwrap();
+
+        // The optimized graph never maps worse than the untouched one.
+        let plain = Panorama::new(PanoramaConfig {
+            max_dfg_clusters: 8,
+            ..Default::default()
+        })
+        .compile(&dfg, &cgra, &SprMapper::default())
+        .unwrap();
+        assert!(report.mapping().ii() <= plain.mapping().ii());
+    }
+
+    #[test]
+    fn baseline_with_analysis_verifies_on_optimized_graph() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let compiler = Panorama::new(PanoramaConfig {
+            analyze: Some(AnalyzeConfig::default()),
+            ..Default::default()
+        });
+        let cgra = cgra();
+        let report = compiler
+            .compile_baseline(&dfg, &cgra, &UltraFastMapper::default())
+            .unwrap();
+        report
+            .mapping()
+            .verify(report.mapped_dfg(&dfg), &cgra)
+            .unwrap();
     }
 
     #[test]

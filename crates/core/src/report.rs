@@ -1,6 +1,7 @@
 //! Pipeline result types: the higher-level plan and the compile report.
 
 use panorama_cluster::{Cdg, Partition};
+use panorama_dfg::Dfg;
 use panorama_mapper::{Mapping, Restriction};
 use panorama_place::ClusterMap;
 use std::time::Duration;
@@ -77,6 +78,7 @@ pub struct CompileReport {
     mapping: Mapping,
     plan: Option<HigherLevelPlan>,
     mapping_time: Duration,
+    analyzed: Option<Dfg>,
 }
 
 impl CompileReport {
@@ -89,12 +91,35 @@ impl CompileReport {
             mapping,
             plan,
             mapping_time,
+            analyzed: None,
         }
+    }
+
+    /// Attaches the optimized DFG produced by the pre-mapping analyzer
+    /// (see [`PanoramaConfig::analyze`](crate::PanoramaConfig::analyze)).
+    pub(crate) fn with_analysis(mut self, analyzed: Option<Dfg>) -> Self {
+        self.analyzed = analyzed;
+        self
     }
 
     /// The final mapping.
     pub fn mapping(&self) -> &Mapping {
         &self.mapping
+    }
+
+    /// The optimized DFG the mapping targets, when the compile ran with
+    /// the pre-mapping analyzer enabled. `None` means the mapping targets
+    /// the input graph unchanged.
+    pub fn analyzed_dfg(&self) -> Option<&Dfg> {
+        self.analyzed.as_ref()
+    }
+
+    /// The graph [`mapping`](CompileReport::mapping) actually placed and
+    /// routed: the analyzer's rewritten graph when analysis ran, the
+    /// caller's `original` otherwise. Verification and simulation must use
+    /// this graph, not the compile input.
+    pub fn mapped_dfg<'a>(&'a self, original: &'a Dfg) -> &'a Dfg {
+        self.analyzed.as_ref().unwrap_or(original)
     }
 
     /// The higher-level plan (`None` for unguided baseline runs).
@@ -146,6 +171,11 @@ impl CompileReport {
             m.mii(),
             m.qom(),
         );
+        // Only present when the pre-mapping analyzer ran, so analyze-off
+        // documents keep their exact historical bytes.
+        if let Some(dfg) = &self.analyzed {
+            let _ = write!(s, ",\"analyzed_ops\":{}", dfg.num_ops());
+        }
         s.push_str(",\"placement\":[");
         for (i, (time, pe)) in m.assignments().enumerate() {
             if i > 0 {

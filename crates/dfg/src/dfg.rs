@@ -227,6 +227,12 @@ impl DfgBuilder {
         self.graph.add_node(Op::new(kind, name))
     }
 
+    /// Adds a pre-built operation, preserving any immediate payload.
+    /// Rewrite and reduction passes use this to copy ops verbatim.
+    pub fn push_op(&mut self, op: Op) -> OpId {
+        self.graph.add_node(op)
+    }
+
     /// Adds an intra-iteration data dependency `src → dst`.
     pub fn data(&mut self, src: OpId, dst: OpId) {
         self.graph.add_edge(src, dst, Dep::Data);

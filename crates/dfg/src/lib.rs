@@ -34,6 +34,7 @@ mod stats;
 mod text;
 
 pub mod kernels;
+pub mod rewrite;
 pub mod shrink;
 
 pub use dfg::{Dep, Dfg, DfgBuilder, DfgError};

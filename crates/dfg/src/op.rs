@@ -88,6 +88,11 @@ pub struct Op {
     pub kind: OpKind,
     /// Diagnostic name (e.g. `"mul_3_7"`); not semantically meaningful.
     pub name: String,
+    /// Explicit immediate value. Only meaningful on [`OpKind::Const`]:
+    /// a `Const` with an immediate produces exactly this value, while a
+    /// `Const` without one produces a value derived from its name. The
+    /// optimizer uses immediates to materialise folded constant subgraphs.
+    pub imm: Option<u64>,
 }
 
 impl Op {
@@ -96,6 +101,16 @@ impl Op {
         Op {
             kind,
             name: name.into(),
+            imm: None,
+        }
+    }
+
+    /// Creates a `Const` operation carrying an explicit immediate value.
+    pub fn constant(name: impl Into<String>, value: u64) -> Self {
+        Op {
+            kind: OpKind::Const,
+            name: name.into(),
+            imm: Some(value),
         }
     }
 }
@@ -130,5 +145,13 @@ mod tests {
     fn display_round_trip() {
         let op = Op::new(OpKind::Mul, "m0");
         assert_eq!(op.to_string(), "mul:m0");
+    }
+
+    #[test]
+    fn constant_carries_immediate() {
+        let op = Op::constant("c0", 42);
+        assert_eq!(op.kind, OpKind::Const);
+        assert_eq!(op.imm, Some(42));
+        assert_eq!(Op::new(OpKind::Const, "c1").imm, None);
     }
 }

@@ -17,8 +17,7 @@ pub fn without_dep(dfg: &Dfg, edge_index: usize) -> Option<Dfg> {
     }
     let mut b = DfgBuilder::new(dfg.name());
     for v in dfg.op_ids() {
-        let op = dfg.op(v);
-        b.op(op.kind, op.name.clone());
+        b.push_op(dfg.op(v).clone());
     }
     for (i, e) in dfg.deps().enumerate() {
         if i == edge_index {
@@ -47,8 +46,7 @@ pub fn without_op(dfg: &Dfg, victim: OpId) -> Option<Dfg> {
         if v == victim {
             remap.push(None);
         } else {
-            let op = dfg.op(v);
-            remap.push(Some(b.op(op.kind, op.name.clone())));
+            remap.push(Some(b.push_op(dfg.op(v).clone())));
         }
     }
     let mapped = |v: OpId| remap[v.index()];

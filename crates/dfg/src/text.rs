@@ -11,10 +11,11 @@
 //! back 2 0 1
 //! ```
 //!
-//! `op <id> <kind> <name>` declares operation `<id>` (ids must be dense
-//! and ascending), `edge <src> <dst>` an intra-iteration dependency, and
-//! `back <src> <dst> <distance>` a loop-carried one. Blank lines and `#`
-//! comments are ignored.
+//! `op <id> <kind> <name> [imm]` declares operation `<id>` (ids must be
+//! dense and ascending; the optional trailing integer is an explicit
+//! constant immediate), `edge <src> <dst>` an intra-iteration dependency,
+//! and `back <src> <dst> <distance>` a loop-carried one. Blank lines and
+//! `#` comments are ignored.
 
 use crate::{Dfg, DfgBuilder, OpId, OpKind};
 use std::error::Error;
@@ -88,7 +89,21 @@ impl Dfg {
         let _ = writeln!(out, "dfg {}", self.name());
         for v in self.op_ids() {
             let op = self.op(v);
-            let _ = writeln!(out, "op {} {} {}", v.index(), op.kind.mnemonic(), op.name);
+            match op.imm {
+                Some(imm) => {
+                    let _ = writeln!(
+                        out,
+                        "op {} {} {} {}",
+                        v.index(),
+                        op.kind.mnemonic(),
+                        op.name,
+                        imm
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "op {} {} {}", v.index(), op.kind.mnemonic(), op.name);
+                }
+            }
         }
         for e in self.deps() {
             match e.weight {
@@ -142,9 +157,20 @@ impl Dfg {
                             line: line_no,
                             kind: kind_str.to_string(),
                         })?;
+                    let imm = match parts.next() {
+                        Some(tok) => Some(
+                            tok.parse::<u64>()
+                                .map_err(|_| ParseDfgError::BadLine { line: line_no })?,
+                        ),
+                        None => None,
+                    };
                     builder
                         .get_or_insert_with(|| DfgBuilder::new(name.clone()))
-                        .op(kind, op_name);
+                        .push_op(crate::Op {
+                            kind,
+                            name: op_name.to_string(),
+                            imm,
+                        });
                     declared += 1;
                 }
                 Some("edge") => {
@@ -199,7 +225,7 @@ impl Dfg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{kernels, KernelId, KernelScale};
+    use crate::{kernels, KernelId, KernelScale, Op};
 
     #[test]
     fn round_trip_all_kernels() {
@@ -260,6 +286,27 @@ mod tests {
         assert!(matches!(
             Dfg::from_text("op 0 add x\nop 1 add y\nedge 0 1\nedge 1 0"),
             Err(ParseDfgError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn immediates_round_trip() {
+        let mut b = crate::DfgBuilder::new("imm");
+        let c = b.push_op(Op::constant("c0", 77));
+        let plain = b.op(OpKind::Const, "c1");
+        let s = b.op(OpKind::Store, "out");
+        b.data(c, s);
+        b.data(plain, s);
+        let dfg = b.build().unwrap();
+        let text = dfg.to_text();
+        assert!(text.contains("op 0 cst c0 77"), "{text}");
+        let back = Dfg::from_text(&text).unwrap();
+        assert_eq!(back.op(c).imm, Some(77));
+        assert_eq!(back.op(plain).imm, None);
+        // a non-integer trailing token is rejected, not silently dropped
+        assert!(matches!(
+            Dfg::from_text("op 0 cst c zzz"),
+            Err(ParseDfgError::BadLine { line: 1 })
         ));
     }
 

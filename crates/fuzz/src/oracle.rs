@@ -6,6 +6,7 @@
 //! | `verify`   | static  | structural violations: FU conflicts, missing/disconnected routes, dependence or capacity violations |
 //! | `simulate` | dynamic | cycle-accurate disagreements: wrong operand arrival, value collisions, golden-value mismatches vs the interpreter |
 //! | `exact_ii` | cross   | a route-producing backend reporting an II below the exhaustive mapper's optimum — an unsound II claim. Abstract backends (no routes) are excluded: their relaxed interconnect model makes lower IIs legitimate |
+//! | `rewrite`  | cross   | the `panorama-analyze` optimizer producing a graph the reference interpreter distinguishes from the input — a broken rewrite (per case, before any mapping) |
 //! | `crash`    | harness | panics anywhere in the pipeline, caught per backend |
 //!
 //! A failed *mapping* is not a failed oracle: heuristics may legitimately
@@ -13,6 +14,7 @@
 
 use crate::sample::CaseSpec;
 use panorama::{Panorama, PanoramaConfig};
+use panorama_analyze::{optimize, AnalyzeConfig};
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;
 use panorama_mapper::{
@@ -89,6 +91,10 @@ pub struct CaseResult {
     pub backends: Vec<BackendResult>,
     /// The II-optimality cross-check (one per case, not per backend).
     pub exact_ii: OracleOutcome,
+    /// The rewriter-equivalence cross-check (one per case): the analyze
+    /// optimizer's output must be indistinguishable from its input under
+    /// the reference interpreter.
+    pub rewrite: OracleOutcome,
     /// Panic message when any backend crashed.
     pub crash: Option<String>,
 }
@@ -96,7 +102,8 @@ pub struct CaseResult {
 impl CaseResult {
     /// All failures as `(backend, oracle, message)` triples; crashes use
     /// backend `"harness"` and oracle `"crash"`, the exact cross-check
-    /// uses backend `"exact"` and oracle `"exact_ii"`.
+    /// uses backend `"exact"` and oracle `"exact_ii"`, the rewriter
+    /// cross-check uses backend `"analyze"` and oracle `"rewrite"`.
     pub fn failures(&self) -> Vec<(String, String, String)> {
         let mut out = Vec::new();
         for b in &self.backends {
@@ -109,6 +116,9 @@ impl CaseResult {
         }
         if let OracleOutcome::Fail(msg) = &self.exact_ii {
             out.push(("exact".into(), "exact_ii".into(), msg.clone()));
+        }
+        if let OracleOutcome::Fail(msg) = &self.rewrite {
+            out.push(("analyze".into(), "rewrite".into(), msg.clone()));
         }
         if let Some(msg) = &self.crash {
             out.push(("harness".into(), "crash".into(), msg.clone()));
@@ -272,6 +282,17 @@ fn exact_oracle(
     }
 }
 
+/// The rewriter-equivalence oracle: run the full `panorama-analyze`
+/// optimizer (which golden-compares its output against the reference
+/// interpreter through the rewrite map) and fail on any equivalence
+/// violation it reports. Runs per case, independent of any backend.
+fn rewrite_oracle(dfg: &Dfg) -> OracleOutcome {
+    match optimize(dfg, &AnalyzeConfig::default()) {
+        Ok(_) => OracleOutcome::Pass,
+        Err(e) => OracleOutcome::Fail(format!("rewriter broke interpreter equivalence: {e}")),
+    }
+}
+
 /// Runs every oracle over one `(dfg, cgra)` case. Panics in the pipeline
 /// are caught per backend and surface as the `crash` pseudo-oracle
 /// instead of tearing the harness down.
@@ -312,9 +333,18 @@ pub fn run_case(dfg: &Dfg, cgra: &Cgra, cfg: &OracleConfig) -> CaseResult {
             }
         }
     };
+    let rewrite = match catch_unwind(AssertUnwindSafe(|| rewrite_oracle(dfg))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = format!("rewrite oracle panicked: {}", panic_text(&*payload));
+            crash.get_or_insert(msg);
+            OracleOutcome::Skip("crashed".into())
+        }
+    };
     CaseResult {
         backends,
         exact_ii,
+        rewrite,
         crash,
     }
 }
@@ -347,6 +377,7 @@ mod tests {
         assert!(spr.mapped);
         assert_eq!(spr.verify, OracleOutcome::Pass);
         assert_eq!(spr.simulate, OracleOutcome::Pass);
+        assert_eq!(result.rewrite, OracleOutcome::Pass);
         // ultrafast has no routes -> simulate skips
         let uf = &result.backends[1];
         assert!(matches!(uf.simulate, OracleOutcome::Skip(_)));

@@ -105,6 +105,8 @@ pub struct FuzzReport {
     pub simulate: OracleCounts,
     /// Exact II-optimality tallies (per case).
     pub exact_ii: OracleCounts,
+    /// Rewriter-equivalence tallies (per case).
+    pub rewrite: OracleCounts,
     /// SPR\* mapping tallies.
     pub spr: BackendCounts,
     /// Ultra-Fast mapping tallies.
@@ -128,6 +130,7 @@ impl FuzzReport {
             verify: OracleCounts::default(),
             simulate: OracleCounts::default(),
             exact_ii: OracleCounts::default(),
+            rewrite: OracleCounts::default(),
             spr: BackendCounts::default(),
             ultrafast: BackendCounts::default(),
             failures: Vec::new(),
@@ -156,12 +159,17 @@ impl FuzzReport {
             self.simulate.add(&b.simulate);
         }
         self.exact_ii.add(&result.exact_ii);
+        self.rewrite.add(&result.rewrite);
     }
 
     /// Total oracle failures (must equal `failures.len()`; FUZZ002 checks
     /// the conservation).
     pub fn total_failures(&self) -> usize {
-        self.verify.fail + self.simulate.fail + self.exact_ii.fail + self.crashes
+        self.verify.fail
+            + self.simulate.fail
+            + self.exact_ii.fail
+            + self.rewrite.fail
+            + self.crashes
     }
 
     /// Serializes the report as `panorama-fuzz-v1` JSON. Deterministic:
@@ -181,6 +189,7 @@ impl FuzzReport {
             ("verify", &self.verify),
             ("simulate", &self.simulate),
             ("exact_ii", &self.exact_ii),
+            ("rewrite", &self.rewrite),
         ];
         for (i, (name, c)) in oracle_rows.iter().enumerate() {
             let _ = write!(
@@ -268,6 +277,7 @@ impl FuzzReport {
             ("verify  ", &self.verify),
             ("simulate", &self.simulate),
             ("exact_ii", &self.exact_ii),
+            ("rewrite ", &self.rewrite),
         ] {
             let _ = writeln!(
                 out,
@@ -348,7 +358,7 @@ mod tests {
             doc.get("oracles")
                 .and_then(|o| o.as_arr())
                 .map(<[panorama_trace::json::Json]>::len),
-            Some(3)
+            Some(4)
         );
     }
 

@@ -1,0 +1,231 @@
+//! Schema validation for `panorama-analyze-v1` JSON reports.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `ANLZ005` | error | the document is not a well-formed `panorama-analyze-v1` report |
+//!
+//! `ANLZ005` is shared with the in-process analyzer pass
+//! (`panorama-analyze`'s `AnalyzePass` reports it when an optimization
+//! fails its equivalence check); here it guards the serialized form —
+//! hand-edited fixtures, truncated artifact uploads — so CI can fail fast
+//! on a corrupt analyze artifact. Beyond field shapes, the cross-field
+//! invariants the writer guarantees are re-checked: the op accounting
+//! (`ops.after = ops.before - merged - removed`), and the witness cycle
+//! actually proving the claimed `rec_mii.after` (`ceil(latency /
+//! distance)`).
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_trace::json::{self, Json};
+
+fn err(message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new("ANLZ005", Severity::Error, Entity::Global, message)
+}
+
+/// Validates a `panorama-analyze-v1` document, appending findings to
+/// `out`. Returns early on unparseable JSON or a wrong schema — field
+/// checks on an arbitrary document would only produce noise.
+pub fn lint_analyze_json(text: &str, out: &mut Diagnostics) {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            out.push(err(format!("invalid JSON: {e}")));
+            return;
+        }
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("panorama-analyze-v1") => {}
+        Some(other) => {
+            out.push(err(format!(
+                "unknown schema `{other}` (expected `panorama-analyze-v1`)"
+            )));
+            return;
+        }
+        None => {
+            out.push(err(
+                "missing `schema` field (expected `panorama-analyze-v1`)",
+            ));
+            return;
+        }
+    }
+
+    if doc.get("kernel").and_then(Json::as_str).is_none() {
+        out.push(err("top-level field `kernel` missing or not a string"));
+    }
+    for field in [
+        "rounds",
+        "folded",
+        "merged",
+        "removed",
+        "known_constants",
+        "equiv_iterations",
+    ] {
+        if counter(&doc, field).is_none() {
+            out.push(err(format!(
+                "top-level field `{field}` missing or not a non-negative number"
+            )));
+        }
+    }
+    let mut pairs = [
+        ("ops", None),
+        ("deps", None),
+        ("critical_path", None),
+        ("rec_mii", None),
+    ];
+    for (field, slot) in &mut pairs {
+        let pair = doc
+            .get(field)
+            .and_then(|o| Some((counter(o, "before")?, counter(o, "after")?)));
+        if pair.is_none() {
+            out.push(err(format!(
+                "`{field}` must be an object with non-negative `before`/`after` numbers"
+            )));
+        }
+        *slot = pair;
+    }
+
+    // Op accounting: folding replaces an op in place, merging and removal
+    // drop one op each — nothing else changes the op count.
+    if let (Some((ops_before, ops_after)), Some(merged), Some(removed)) = (
+        pairs[0].1,
+        counter(&doc, "merged"),
+        counter(&doc, "removed"),
+    ) {
+        if ops_before.saturating_sub(merged + removed) != ops_after {
+            out.push(err(format!(
+                "op accounting broken: ops.before {ops_before} - merged {merged} - \
+                 removed {removed} != ops.after {ops_after}"
+            )));
+        }
+    }
+
+    let rec_mii_after = pairs[3].1.map(|(_, after)| after);
+    match doc.get("witness") {
+        Some(Json::Null) => {
+            if rec_mii_after.is_some_and(|r| r > 1) {
+                out.push(err(format!(
+                    "rec_mii.after is {} but no witness cycle proves it",
+                    rec_mii_after.unwrap_or_default()
+                )));
+            }
+        }
+        Some(w) => {
+            let ops_len = w.get("ops").and_then(Json::as_arr).map(<[Json]>::len);
+            let latency = counter(w, "latency");
+            let distance = counter(w, "distance");
+            match (ops_len, latency, distance) {
+                (Some(n), Some(lat), Some(dist)) if n > 0 && dist > 0 => {
+                    let ratio = lat.div_ceil(dist);
+                    if rec_mii_after.is_some_and(|r| r != ratio) {
+                        out.push(err(format!(
+                            "witness proves RecMII ceil({lat}/{dist}) = {ratio}, but \
+                             rec_mii.after claims {}",
+                            rec_mii_after.unwrap_or_default()
+                        )));
+                    }
+                }
+                _ => out.push(err(
+                    "`witness` must be null or an object with a non-empty `ops` array and \
+                     non-negative `latency`/positive `distance`",
+                )),
+            }
+        }
+        None => out.push(err(
+            "top-level field `witness` missing (use null when empty)",
+        )),
+    }
+}
+
+/// A non-negative integer field, or `None` when missing/mistyped.
+fn counter(obj: &Json, field: &str) -> Option<u64> {
+    match obj.get(field).and_then(Json::as_f64) {
+        Some(n) if n >= 0.0 => Some(n as u64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(text: &str) -> Diagnostics {
+        let mut diags = Diagnostics::new();
+        lint_analyze_json(text, &mut diags);
+        diags
+    }
+
+    fn sample(witness: &str) -> String {
+        format!(
+            r#"{{
+  "schema": "panorama-analyze-v1",
+  "kernel": "k",
+  "ops": {{"before": 7, "after": 5}},
+  "deps": {{"before": 8, "after": 5}},
+  "rounds": 2,
+  "folded": 1,
+  "merged": 0,
+  "removed": 2,
+  "known_constants": 3,
+  "critical_path": {{"before": 4, "after": 3}},
+  "rec_mii": {{"before": 1, "after": 1}},
+  "witness": {witness},
+  "equiv_iterations": 6
+}}"#
+        )
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let diags = lint(&sample("null"));
+        assert!(diags.is_empty(), "{}", diags.render_human());
+        let diags = lint(&sample(r#"{"ops": [3], "latency": 1, "distance": 1}"#));
+        assert!(diags.is_empty(), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn invalid_json_and_wrong_schema_are_anlz005() {
+        assert!(lint("{nope").has_errors());
+        assert!(lint(r#"{"schema": "bogus-v9"}"#).has_errors());
+        assert!(lint(r#"{"kernel": "k"}"#).has_errors());
+        assert!(lint("{nope").iter().all(|d| d.code == "ANLZ005"));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let text = sample("null").replace(r#"  "rounds": 2,"#, "");
+        let diags = lint(&text);
+        assert!(diags.iter().any(|d| d.message.contains("rounds")));
+    }
+
+    #[test]
+    fn op_accounting_is_checked() {
+        let text = sample("null").replace(r#""removed": 2"#, r#""removed": 1"#);
+        let diags = lint(&text);
+        assert!(
+            diags.iter().any(|d| d.message.contains("op accounting")),
+            "{}",
+            diags.render_human()
+        );
+    }
+
+    #[test]
+    fn witness_must_prove_the_claimed_bound() {
+        // claims RecMII 1 but the cycle proves ceil(4/2) = 2
+        let diags = lint(&sample(r#"{"ops": [1, 2], "latency": 4, "distance": 2}"#));
+        assert!(
+            diags.iter().any(|d| d.message.contains("witness proves")),
+            "{}",
+            diags.render_human()
+        );
+        // claims RecMII 2 with no witness at all
+        let text = sample("null").replace(
+            r#""rec_mii": {"before": 1, "after": 1}"#,
+            r#""rec_mii": {"before": 1, "after": 2}"#,
+        );
+        let diags = lint(&text);
+        assert!(
+            diags.iter().any(|d| d.message.contains("no witness")),
+            "{}",
+            diags.render_human()
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! The diagnostic data model and its human/JSON renderers.
 
+use panorama_trace::json::string as json_string;
 use std::fmt;
 
 /// How bad a finding is.
@@ -250,25 +251,6 @@ impl IntoIterator for Diagnostics {
     fn into_iter(self) -> Self::IntoIter {
         self.items.into_iter()
     }
-}
-
-/// Escapes `s` as a JSON string literal (with quotes).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -40,8 +40,8 @@ fn row_num(row: &Json, field: &str) -> Option<u64> {
     Some(v as u64)
 }
 
-/// The three oracles every report must tally, in report order.
-const ORACLES: &[&str] = &["verify", "simulate", "exact_ii"];
+/// The four oracles every report must tally, in report order.
+const ORACLES: &[&str] = &["verify", "simulate", "exact_ii", "rewrite"];
 
 /// `FUZZ001`: schema and field shape. Returns `false` when the report is
 /// too malformed for the invariant checks to be meaningful.
@@ -342,7 +342,8 @@ mod tests {
              \"oracles\": [\
                {{\"oracle\": \"verify\", \"checks\": {c2}, \"pass\": {vp}, \"fail\": {fails}, \"skip\": 0}},\
                {{\"oracle\": \"simulate\", \"checks\": {c2}, \"pass\": {c2}, \"fail\": 0, \"skip\": 0}},\
-               {{\"oracle\": \"exact_ii\", \"checks\": {completed}, \"pass\": 0, \"fail\": 0, \"skip\": {completed}}}],\
+               {{\"oracle\": \"exact_ii\", \"checks\": {completed}, \"pass\": 0, \"fail\": 0, \"skip\": {completed}}},\
+               {{\"oracle\": \"rewrite\", \"checks\": {completed}, \"pass\": {completed}, \"fail\": 0, \"skip\": 0}}],\
              \"backends\": [\
                {{\"backend\": \"spr\", \"mapped\": {completed}, \"unmapped\": 0}},\
                {{\"backend\": \"ultrafast\", \"mapped\": {completed}, \"unmapped\": 0}}],\

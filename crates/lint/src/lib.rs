@@ -24,8 +24,10 @@
 //! `ARCH...` (architecture), `PART...` (partition/CDG/restriction),
 //! `ILP...` (solver models), `MAP...` (mappability bounds), `TRACE...`
 //! (`panorama-trace-v1` JSON exports), `SERVE...` (`panorama-serve`
-//! metrics) and `FUZZ...` (`panorama-fuzz-v1` reports). The per-pass
-//! module docs list every code with its severity.
+//! metrics), `FUZZ...` (`panorama-fuzz-v1` reports) and `ANLZ...`
+//! (`panorama-analyze` findings and `panorama-analyze-v1` reports). The
+//! per-pass module docs list every code with its severity; [`codes`] is
+//! the machine-readable index of all of them.
 //!
 //! # Examples
 //!
@@ -52,7 +54,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze_lints;
 pub mod arch_lints;
+pub mod codes;
 pub mod dfg_lints;
 mod diag;
 pub mod fuzz_lints;
@@ -63,6 +67,7 @@ mod registry;
 pub mod serve_lints;
 pub mod trace_lints;
 
+pub use analyze_lints::lint_analyze_json;
 pub use arch_lints::lint_arch;
 pub use dfg_lints::lint_dfg;
 pub use diag::{Diagnostic, Diagnostics, Entity, Severity};

@@ -58,7 +58,10 @@ pub use configware::{ConfigWord, Configware, ValueSource};
 pub use control::{PortfolioBound, SearchControl};
 pub use exact::{ExactConfig, ExactMapper};
 pub use mapping::{Mapping, MappingStats, Route, VerifyError};
-pub use mii::{critical_recurrences, min_ii, restricted_min_ii, MiiReport};
+pub use mii::{
+    critical_recurrences, exact_recurrence_mii, min_ii, restricted_min_ii, MiiReport,
+    RecurrenceAnalysis,
+};
 pub use restrict::Restriction;
 pub use router::RouterConfig;
 pub use schedule::{modulo_schedule, modulo_schedule_variant, ScheduleError};

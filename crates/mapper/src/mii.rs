@@ -60,8 +60,138 @@ pub fn min_ii(dfg: &Dfg, cgra: &Cgra) -> MiiReport {
         .max(mul_ops.div_ceil(mul_pes))
         .max(1);
 
-    let rec_mii = recurrence_mii(dfg);
+    let rec_mii = exact_recurrence_mii(dfg).rec_mii;
     MiiReport { res_mii, rec_mii }
+}
+
+/// Result of the exact recurrence analysis: the provably minimal
+/// recurrence-constrained II together with a witness cycle achieving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceAnalysis {
+    /// The exact RecMII: `max` over all dependence cycles of
+    /// `⌈latency / distance⌉` (1 when the graph has no cycles).
+    pub rec_mii: usize,
+    /// Ops of a cycle that attains the bound, in cycle order starting
+    /// from the lowest-id member. Empty when `rec_mii == 1` and no cycle
+    /// binds (acyclic graphs).
+    pub witness: Vec<panorama_dfg::OpId>,
+    /// Total operation latency around the witness cycle.
+    pub witness_latency: u64,
+    /// Total iteration distance around the witness cycle.
+    pub witness_distance: u64,
+}
+
+/// Bellman-Ford longest-path probe of the constraint graph at candidate
+/// `ii` (edge `u→v` weighs `latency(u) − ii·distance`). Returns a
+/// positive-weight cycle as `(ops, latency, distance)` when one exists —
+/// i.e. when `ii` is infeasible — and `None` when `ii` admits a schedule.
+fn positive_cycle(dfg: &Dfg, ii: usize) -> Option<(Vec<panorama_dfg::OpId>, u64, u64)> {
+    let n = dfg.num_ops();
+    let mut dist = vec![0i64; n];
+    let mut parent: Vec<Option<panorama_dfg::OpId>> = vec![None; n];
+    let mut changed_node = None;
+    for round in 0..=n {
+        let mut changed = None;
+        for e in dfg.deps() {
+            let lat = dfg.op(e.src).kind.latency() as i64;
+            let slack = lat - (e.weight.distance() as i64) * ii as i64;
+            let cand = dist[e.src.index()] + slack;
+            if cand > dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                parent[e.dst.index()] = Some(e.src);
+                changed = Some(e.dst);
+            }
+        }
+        match changed {
+            None => return None, // fixpoint: no positive cycle at this II
+            Some(v) if round == n => {
+                changed_node = Some(v);
+            }
+            Some(_) => {}
+        }
+    }
+    // A node relaxed in round n sits on or downstream of a positive
+    // cycle; n parent hops land strictly inside it.
+    let mut v = changed_node.expect("round n relaxed some node");
+    for _ in 0..n {
+        v = parent[v.index()].expect("relaxed nodes have parents");
+    }
+    let mut cycle = vec![v];
+    let mut cur = parent[v.index()].expect("cycle nodes have parents");
+    while cur != v {
+        cycle.push(cur);
+        cur = parent[cur.index()].expect("cycle nodes have parents");
+    }
+    cycle.reverse(); // parent pointers run backwards; restore cycle order
+                     // Rotate so the lowest id leads: a canonical, deterministic witness.
+    let lead = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, op)| op.index())
+        .map_or(0, |(i, _)| i);
+    cycle.rotate_left(lead);
+    let latency: u64 = cycle
+        .iter()
+        .map(|&op| u64::from(dfg.op(op).kind.latency()))
+        .sum();
+    // Distance around the cycle: for each consecutive pair pick the
+    // smallest-distance edge connecting them (parallel edges possible).
+    let mut distance = 0u64;
+    for i in 0..cycle.len() {
+        let (src, dst) = (cycle[i], cycle[(i + 1) % cycle.len()]);
+        let d = dfg
+            .deps()
+            .filter(|e| e.src == src && e.dst == dst)
+            .map(|e| u64::from(e.weight.distance()))
+            .min()
+            .expect("consecutive witness ops are connected");
+        distance += d;
+    }
+    Some((cycle, latency, distance))
+}
+
+/// Computes the exact recurrence-constrained minimum II by binary search
+/// over candidate IIs with a Bellman-Ford positive-cycle test, plus a
+/// witness cycle proving the bound tight.
+///
+/// Feasibility is monotone in the II (larger II only shrinks every edge
+/// weight `latency − II·distance`), so binary search over `[1, n]` is
+/// exact; `II = n` is always feasible because any simple cycle has
+/// latency ≤ n and distance ≥ 1. The witness is the positive cycle found
+/// at `rec_mii − 1`: its latency `L` and distance `D` satisfy
+/// `L > (rec_mii − 1)·D`, hence `⌈L/D⌉ ≥ rec_mii`, matching the upper
+/// bound from feasibility at `rec_mii`.
+pub fn exact_recurrence_mii(dfg: &Dfg) -> RecurrenceAnalysis {
+    let none = RecurrenceAnalysis {
+        rec_mii: 1,
+        witness: Vec::new(),
+        witness_latency: 0,
+        witness_distance: 0,
+    };
+    if dfg.num_back_edges() == 0 {
+        return none;
+    }
+    let (mut lo, mut hi) = (1usize, dfg.num_ops().max(1)); // hi is always feasible
+    if positive_cycle(dfg, lo).is_none() {
+        return none; // II = 1 feasible: nothing binds above the trivial floor
+    }
+    // Invariant: lo infeasible, hi feasible.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if positive_cycle(dfg, mid).is_none() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let (witness, witness_latency, witness_distance) =
+        positive_cycle(dfg, lo).expect("lo is infeasible by invariant");
+    RecurrenceAnalysis {
+        rec_mii: hi,
+        witness,
+        witness_latency,
+        witness_distance,
+    }
 }
 
 /// Tightens [`min_ii`] with per-cluster-group capacity bounds under a
@@ -122,40 +252,6 @@ pub fn restricted_min_ii(dfg: &Dfg, cgra: &Cgra, restriction: &Restriction) -> u
         }
     }
     bound
-}
-
-/// Smallest II admitting a consistent schedule for all loop-carried cycles.
-fn recurrence_mii(dfg: &Dfg) -> usize {
-    if dfg.num_back_edges() == 0 {
-        return 1;
-    }
-    // Bellman-Ford-style positive-cycle detection on the constraint graph.
-    // Candidate IIs grow until no positive cycle remains; back-edge cycles
-    // are short in practice so the loop terminates quickly.
-    let n = dfg.num_ops();
-    'candidate: for ii in 1..=(n.max(2)) {
-        let mut dist = vec![0i64; n];
-        // n relaxation rounds; a change in round n ⇒ positive cycle
-        for round in 0..=n {
-            let mut changed = false;
-            for e in dfg.deps() {
-                let lat = dfg.op(e.src).kind.latency() as i64;
-                let slack = lat - (e.weight.distance() as i64) * ii as i64;
-                let cand = dist[e.src.index()] + slack;
-                if cand > dist[e.dst.index()] {
-                    dist[e.dst.index()] = cand;
-                    changed = true;
-                }
-            }
-            if !changed {
-                return ii;
-            }
-            if round == n {
-                continue 'candidate;
-            }
-        }
-    }
-    n.max(1)
 }
 
 #[cfg(test)]
@@ -318,6 +414,120 @@ mod tests {
 mod recurrence_tests {
     use super::*;
     use panorama_dfg::{kernels, DfgBuilder, KernelId, KernelScale, OpKind};
+
+    /// The pre-exact-analysis heuristic: linear scan over candidate IIs
+    /// with a change-detection Bellman-Ford, falling back to `n`. Kept
+    /// here as the comparison baseline for the exactness tests.
+    fn heuristic_recurrence_mii(dfg: &Dfg) -> usize {
+        if dfg.num_back_edges() == 0 {
+            return 1;
+        }
+        let n = dfg.num_ops();
+        'candidate: for ii in 1..=(n.max(2)) {
+            let mut dist = vec![0i64; n];
+            for round in 0..=n {
+                let mut changed = false;
+                for e in dfg.deps() {
+                    let lat = dfg.op(e.src).kind.latency() as i64;
+                    let slack = lat - (e.weight.distance() as i64) * ii as i64;
+                    let cand = dist[e.src.index()] + slack;
+                    if cand > dist[e.dst.index()] {
+                        dist[e.dst.index()] = cand;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    return ii;
+                }
+                if round == n {
+                    continue 'candidate;
+                }
+            }
+        }
+        n.max(1)
+    }
+
+    #[test]
+    fn exact_matches_or_sharpens_heuristic_on_every_kernel() {
+        for id in KernelId::ALL {
+            for scale in [KernelScale::Tiny, KernelScale::Scaled] {
+                let dfg = kernels::generate(id, scale);
+                let exact = exact_recurrence_mii(&dfg);
+                let heuristic = heuristic_recurrence_mii(&dfg);
+                assert!(
+                    exact.rec_mii >= heuristic,
+                    "{id}: exact {} < heuristic {heuristic}",
+                    exact.rec_mii
+                );
+                // both are exact for unit-latency graphs in range
+                assert_eq!(exact.rec_mii, heuristic, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_cycle_proves_the_bound() {
+        for id in KernelId::ALL {
+            let dfg = kernels::generate(id, KernelScale::Tiny);
+            let a = exact_recurrence_mii(&dfg);
+            if a.rec_mii > 1 {
+                assert!(!a.witness.is_empty(), "{id}: binding bound needs a witness");
+                assert!(a.witness_distance > 0, "{id}");
+                // ⌈L/D⌉ both certifies rec_mii from below and matches it
+                let ratio = a.witness_latency.div_ceil(a.witness_distance) as usize;
+                assert_eq!(ratio, a.rec_mii, "{id}: witness ratio must be tight");
+                // witness edges really exist, consecutively
+                for i in 0..a.witness.len() {
+                    let (src, dst) = (a.witness[i], a.witness[(i + 1) % a.witness.len()]);
+                    assert!(
+                        dfg.deps().any(|e| e.src == src && e.dst == dst),
+                        "{id}: witness pair {src}→{dst} not an edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_recmii_on_known_shapes() {
+        // 4-op cycle, distance 1 → 4; distance 2 → 2 (witnessed)
+        for (distance, expect) in [(1u32, 4usize), (2, 2)] {
+            let mut b = DfgBuilder::new("loop4");
+            let n: Vec<_> = (0..4).map(|i| b.op(OpKind::Add, format!("n{i}"))).collect();
+            for w in n.windows(2) {
+                b.data(w[0], w[1]);
+            }
+            b.back(n[3], n[0], distance);
+            let dfg = b.build().unwrap();
+            let a = exact_recurrence_mii(&dfg);
+            assert_eq!(a.rec_mii, expect);
+            assert_eq!(a.witness.len(), 4);
+            assert_eq!(a.witness_latency, 4);
+            assert_eq!(a.witness_distance, u64::from(distance));
+            assert_eq!(a.witness[0], n[0], "witness leads with the lowest id");
+        }
+        // acyclic → 1, no witness
+        let mut b = DfgBuilder::new("line");
+        let x = b.op(OpKind::Load, "x");
+        let y = b.op(OpKind::Add, "y");
+        b.data(x, y);
+        let a = exact_recurrence_mii(&b.build().unwrap());
+        assert_eq!(a.rec_mii, 1);
+        assert!(a.witness.is_empty());
+        // two competing cycles: the tighter one wins and is the witness
+        let mut b = DfgBuilder::new("two");
+        let p: Vec<_> = (0..3).map(|i| b.op(OpKind::Add, format!("p{i}"))).collect();
+        b.data(p[0], p[1]);
+        b.data(p[1], p[2]);
+        b.back(p[2], p[0], 1); // ratio 3
+        let q = b.op(OpKind::Add, "q");
+        b.back(q, q, 2); // ratio 1
+        let dfg = b.build().unwrap();
+        let a = exact_recurrence_mii(&dfg);
+        assert_eq!(a.rec_mii, 3);
+        assert_eq!(a.witness.len(), 3);
+        assert!(!a.witness.contains(&q));
+    }
 
     #[test]
     fn critical_recurrences_find_cycles() {

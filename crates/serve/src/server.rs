@@ -66,6 +66,10 @@ pub struct ServeConfig {
     /// already comes from `workers`; results are bit-identical for any
     /// value).
     pub portfolio_threads: usize,
+    /// Run the pre-mapping DFG optimizer on every compile that does not
+    /// say otherwise (a request's `analyze` field overrides this
+    /// default). Off by default so responses stay bit-stable.
+    pub analyze: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +82,7 @@ impl Default for ServeConfig {
             result_cache_capacity: 256,
             mrrg_cache_capacity: DEFAULT_MRRG_CACHE_CAPACITY,
             portfolio_threads: 1,
+            analyze: false,
         }
     }
 }
@@ -94,6 +99,9 @@ struct CompileRequest {
     /// daemon's `--threads` (results are bit-identical either way).
     threads: Option<usize>,
     deadline: Option<Duration>,
+    /// Resolved at parse time: the request's `analyze` field, falling
+    /// back to the daemon's `--analyze` default.
+    analyze: bool,
 }
 
 /// What a worker sends back to the waiting connection thread.
@@ -371,6 +379,7 @@ fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
     let compiler = Panorama::new(PanoramaConfig {
         max_ii: req.max_ii,
         threads: req.threads.unwrap_or(state.config.portfolio_threads),
+        analyze: req.analyze.then(panorama::AnalyzeConfig::default),
         ..PanoramaConfig::default()
     });
     let sink = RecordingSink::shared();
@@ -400,7 +409,7 @@ fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
     };
     match result {
         Ok(report) => {
-            if let Err(e) = report.mapping().verify(&req.dfg, &cgra) {
+            if let Err(e) = report.mapping().verify(report.mapped_dfg(&req.dfg), &cgra) {
                 state.metrics.job_failed();
                 return error_outcome(422, "verify_failed", &e.to_string());
             }
@@ -498,14 +507,15 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
 }
 
 fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
-    let parsed = match parse_compile_request(&request.body, state.config.deadline) {
-        Ok(parsed) => parsed,
-        Err(e) => {
-            let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
-            let _ = write_response(stream, status, &[], &body);
-            return;
-        }
-    };
+    let parsed =
+        match parse_compile_request(&request.body, state.config.deadline, state.config.analyze) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
+                let _ = write_response(stream, status, &[], &body);
+                return;
+            }
+        };
     let key = ContentHash::new()
         .chunk(&parsed.dfg.to_text())
         .chunk(&parsed.arch_display)
@@ -517,6 +527,7 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
             "guided"
         })
         .chunk(&parsed.max_ii.map(|n| n.to_string()).unwrap_or_default())
+        .chunk(if parsed.analyze { "analyze" } else { "plain" })
         .finish();
     if let Some(body) = state.results.get(key) {
         state.metrics.request_cache_hit();
@@ -677,6 +688,7 @@ fn parse_arch_field(doc: &Json) -> Result<Option<(String, CgraConfig)>, String> 
 fn parse_compile_request(
     raw: &str,
     default_deadline: Option<Duration>,
+    default_analyze: bool,
 ) -> Result<CompileRequest, String> {
     let doc = parse(raw)?;
     let dfg = parse_dfg_field(&doc)?;
@@ -693,6 +705,10 @@ fn parse_compile_request(
         Some(ms) => Some(Duration::from_millis(ms as u64)),
         None => default_deadline,
     };
+    let analyze = doc
+        .get("analyze")
+        .and_then(Json::as_bool)
+        .unwrap_or(default_analyze);
     Ok(CompileRequest {
         dfg,
         arch_display,
@@ -702,6 +718,7 @@ fn parse_compile_request(
         max_ii,
         threads,
         deadline,
+        analyze,
     })
 }
 
@@ -750,32 +767,53 @@ mod tests {
 
     #[test]
     fn compile_request_parses_defaults() {
-        let req = parse_compile_request("{\"kernel\":\"fir\"}", None).unwrap();
+        let req = parse_compile_request("{\"kernel\":\"fir\"}", None, false).unwrap();
         assert_eq!(req.dfg.name(), "fir");
         assert_eq!(req.arch_display, "8x8");
         assert_eq!(req.mapper, "spr");
         assert!(!req.baseline);
         assert_eq!(req.threads, None);
         assert!(req.deadline.is_none());
+        assert!(!req.analyze);
     }
 
     #[test]
     fn compile_request_rejects_unknowns() {
-        assert!(parse_compile_request("{\"kernel\":\"nope\"}", None).is_err());
-        assert!(parse_compile_request("{\"kernel\":\"fir\",\"mapper\":\"magic\"}", None).is_err());
-        assert!(parse_compile_request("{\"kernel\":\"fir\",\"arch\":\"3x3\"}", None).is_err());
-        assert!(parse_compile_request("{}", None).is_err());
-        assert!(parse_compile_request("not json", None).is_err());
+        assert!(parse_compile_request("{\"kernel\":\"nope\"}", None, false).is_err());
+        assert!(
+            parse_compile_request("{\"kernel\":\"fir\",\"mapper\":\"magic\"}", None, false)
+                .is_err()
+        );
+        assert!(
+            parse_compile_request("{\"kernel\":\"fir\",\"arch\":\"3x3\"}", None, false).is_err()
+        );
+        assert!(parse_compile_request("{}", None, false).is_err());
+        assert!(parse_compile_request("not json", None, false).is_err());
     }
 
     #[test]
     fn per_request_deadline_overrides_the_default() {
         let default = Some(Duration::from_secs(60));
-        let req =
-            parse_compile_request("{\"kernel\":\"fir\",\"deadline_ms\":25}", default).unwrap();
+        let req = parse_compile_request("{\"kernel\":\"fir\",\"deadline_ms\":25}", default, false)
+            .unwrap();
         assert_eq!(req.deadline, Some(Duration::from_millis(25)));
-        let req = parse_compile_request("{\"kernel\":\"fir\"}", default).unwrap();
+        let req = parse_compile_request("{\"kernel\":\"fir\"}", default, false).unwrap();
         assert_eq!(req.deadline, default);
+    }
+
+    #[test]
+    fn per_request_analyze_overrides_the_daemon_default() {
+        let req = parse_compile_request("{\"kernel\":\"fir\"}", None, true).unwrap();
+        assert!(
+            req.analyze,
+            "daemon default applies when the field is absent"
+        );
+        let req =
+            parse_compile_request("{\"kernel\":\"fir\",\"analyze\":false}", None, true).unwrap();
+        assert!(!req.analyze);
+        let req =
+            parse_compile_request("{\"kernel\":\"fir\",\"analyze\":true}", None, false).unwrap();
+        assert!(req.analyze);
     }
 
     #[test]
@@ -785,7 +823,7 @@ mod tests {
             "{{\"dfg\":\"{}\",\"arch\":\"4x4\"}}",
             escape(&dfg.to_text())
         );
-        let req = parse_compile_request(&body, None).unwrap();
+        let req = parse_compile_request(&body, None, false).unwrap();
         assert_eq!(req.dfg.name(), dfg.name());
         assert_eq!(req.arch_display, "4x4");
     }

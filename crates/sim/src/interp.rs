@@ -1,64 +1,13 @@
 //! Reference interpreter: executes a DFG's dataflow semantics directly,
 //! iteration by iteration.
 //!
-//! Actual arithmetic is irrelevant to mapping correctness — what matters
-//! is that every operation's value is a *deterministic, input-sensitive*
-//! function of its operand values, so that any mis-delivered operand
-//! changes the observed result. Operations therefore compute a collision-
-//! resistant mix of their inputs (commutative, because CGRA operand ports
-//! are not ordered in this model), with loads and constants seeded from
-//! their names.
+//! The value model lives in [`crate::semantics`]; this module just runs
+//! the dataflow fixpoint: each iteration evaluates ops in topological
+//! order, back edges read `distance` iterations into the past (or the
+//! pre-loop initial value).
 
-use panorama_dfg::{Dfg, OpId, OpKind};
-
-/// SplitMix64 finaliser: a cheap, high-quality 64-bit mixer.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-fn hash_str(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// The value an operation produces given its (unordered) operand values.
-///
-/// * `Const` ignores inputs and iteration: loop-invariant.
-/// * `Load` ignores inputs but varies with iteration: fresh data arrives
-///   every loop iteration.
-/// * every other kind mixes the operand values commutatively with a
-///   kind-specific tag.
-pub(crate) fn op_value(
-    dfg: &Dfg,
-    op: OpId,
-    iteration: u64,
-    inputs: impl Iterator<Item = u64>,
-) -> u64 {
-    let node = dfg.op(op);
-    let seed = hash_str(&node.name) ^ mix(op.index() as u64);
-    match node.kind {
-        OpKind::Const => mix(seed),
-        OpKind::Load => mix(seed ^ mix(iteration.wrapping_add(1))),
-        kind => {
-            let tag = mix(seed ^ (kind.mnemonic().len() as u64) ^ hash_str(kind.mnemonic()));
-            let folded = inputs.fold(0u64, |acc, v| acc.wrapping_add(mix(v)));
-            mix(tag ^ folded)
-        }
-    }
-}
-
-/// The value an operation consumed from before the loop started (back
-/// edges reaching "negative" iterations).
-pub(crate) fn initial_value(dfg: &Dfg, op: OpId) -> u64 {
-    mix(hash_str(&dfg.op(op).name) ^ 0xDEAD_BEEF)
-}
+use crate::semantics::{initial_value, op_value};
+use panorama_dfg::{Dfg, OpId};
 
 /// Per-iteration values of every operation, as computed by direct
 /// dataflow interpretation.
@@ -87,7 +36,7 @@ impl Interpretation {
     /// `iter - distance`; falls back to the pre-loop initial value.
     pub fn value_back(&self, dfg: &Dfg, op: OpId, iter: i64) -> u64 {
         if iter < 0 {
-            initial_value(dfg, op)
+            initial_value(&dfg.op(op).name)
         } else {
             self.value(op, iter as usize)
         }
@@ -116,7 +65,7 @@ pub fn interpret(dfg: &Dfg, iterations: usize) -> Interpretation {
                     } else if iter as i64 - d >= 0 {
                         values[(iter as i64 - d) as usize][e.src.index()]
                     } else {
-                        initial_value(dfg, e.src)
+                        initial_value(&dfg.op(e.src).name)
                     }
                 })
                 .collect();
@@ -130,7 +79,7 @@ pub fn interpret(dfg: &Dfg, iterations: usize) -> Interpretation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use panorama_dfg::DfgBuilder;
+    use panorama_dfg::{DfgBuilder, OpKind};
 
     fn mac() -> Dfg {
         let mut b = DfgBuilder::new("mac");
@@ -204,19 +153,37 @@ mod tests {
             &dfg,
             acc,
             0,
-            vec![i.value(m, 0), initial_value(&dfg, acc)].into_iter(),
+            vec![i.value(m, 0), initial_value("acc")].into_iter(),
         );
         assert_eq!(i.value(acc, 0), expect);
-        assert_eq!(i.value_back(&dfg, acc, -1), initial_value(&dfg, acc));
+        assert_eq!(i.value_back(&dfg, acc, -1), initial_value("acc"));
     }
 
     #[test]
-    fn distinct_ops_with_same_kind_differ() {
+    fn distinct_loads_with_same_kind_differ() {
         let mut b = DfgBuilder::new("t");
         let l1 = b.op(OpKind::Load, "l1");
         let l2 = b.op(OpKind::Load, "l2");
         let dfg = b.build().unwrap();
         let i = interpret(&dfg, 1);
         assert_ne!(i.value(l1, 0), i.value(l2, 0));
+    }
+
+    #[test]
+    fn identical_subgraphs_compute_identical_values() {
+        // Two adds fed by the same loads agree — the CSE precondition.
+        let mut b = DfgBuilder::new("t");
+        let l1 = b.op(OpKind::Load, "x");
+        let l2 = b.op(OpKind::Load, "y");
+        let a1 = b.op(OpKind::Add, "a1");
+        let a2 = b.op(OpKind::Add, "a2");
+        b.data(l1, a1);
+        b.data(l2, a1);
+        b.data(l1, a2);
+        b.data(l2, a2);
+        let dfg = b.build().unwrap();
+        let i = interpret(&dfg, 2);
+        assert_eq!(i.value(a1, 0), i.value(a2, 0));
+        assert_eq!(i.value(a1, 1), i.value(a2, 1));
     }
 }

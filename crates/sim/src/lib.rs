@@ -34,6 +34,7 @@
 
 mod interp;
 mod machine;
+pub mod semantics;
 
 pub use interp::{interpret, Interpretation};
 pub use machine::{simulate, trace, SimError, SimReport, TraceEvent};

@@ -252,7 +252,7 @@ pub fn simulate(
                 .incoming(op)
                 .map(|e| reference.value_back(dfg, e.src, iter as i64 - e.weight.distance() as i64))
                 .collect();
-            let recomputed = crate::interp::op_value(dfg, op, iter as u64, inputs.into_iter());
+            let recomputed = crate::semantics::op_value(dfg, op, iter as u64, inputs.into_iter());
             if recomputed != reference.value(op, iter) {
                 return Err(SimError::WrongValue {
                     op: op.index(),

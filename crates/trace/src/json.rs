@@ -215,6 +215,7 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 /// Escapes a string for embedding in emitted JSON.
 pub fn escape(s: &str) -> String {
+    use std::fmt::Write as _;
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -223,10 +224,18 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             _ => out.push(c),
         }
     }
     out
+}
+
+/// Escapes `s` as a complete JSON string literal, quotes included.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
 }
 
 #[cfg(test)]

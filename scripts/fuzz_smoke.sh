@@ -32,6 +32,6 @@ cmp "$OUT_A" "$OUT_B"
 echo "reports are byte-identical"
 
 echo "== report lints (FUZZ001-003) =="
-"$BIN" lint --fuzz-json "$OUT_A"
+"$BIN" lint --report "$OUT_A"
 
 echo "fuzz smoke OK"

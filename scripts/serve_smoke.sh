@@ -95,7 +95,7 @@ echo "== shed with 503 + Retry-After"
 
 echo "== metrics pass the SERVE lints"
 body_of "$(http GET /metrics)" > "$TMP/metrics.json"
-"$BIN" lint --serve-json "$TMP/metrics.json"
+"$BIN" lint --report "$TMP/metrics.json"
 
 echo "== graceful drain"
 r=$(http POST /admin/shutdown)

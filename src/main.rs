@@ -3,11 +3,13 @@
 //! ```text
 //! panorama compile --dfg kernel.dfg --arch cgra.adl [--mapper spr|ultrafast|exhaustive]
 //!                  [--baseline] [--threads N] [--max-ii N] [--simulate N]
-//!                  [--configware] [--dot]
+//!                  [--configware] [--dot] [--analyze]
+//! panorama analyze <kernel> [--arch cgra.adl] [--no-fold] [--no-cse] [--no-dce]
+//!                  [--out FILE] [--json]
 //! panorama trace <kernel> [--arch cgra.adl] [--mapper spr|ultrafast|exhaustive]
 //!                [--baseline] [--threads N] [--max-ii N] [--out FILE]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
-//!               [--trace-json FILE] [--serve-json FILE] [--fuzz-json FILE]
+//!               [--report FILE]
 //! panorama fuzz [--seed N] [--cases N] [--max-nodes N] [--shrink-evals N]
 //!               [--max-seconds S] [--corpus DIR] [--write-corpus]
 //!               [--out FILE] [--json]
@@ -23,12 +25,19 @@
 //! `compile` reads a DFG in the text format (`--dfg -` for stdin, or a
 //! built-in kernel name like `fir`), an architecture in ADL form (or a
 //! preset like `8x8`), runs the PANORAMA pipeline, and reports the mapping;
-//! `--trace FILE` additionally records every pipeline phase and writes the
-//! `panorama-trace-v1` JSON. `trace` is the profiling spin of the same run:
+//! `--analyze` first runs the equivalence-checked DFG optimizer of
+//! [`panorama_analyze`] and maps the optimized graph, and `--trace FILE`
+//! additionally records every pipeline phase and writes the
+//! `panorama-trace-v1` JSON. `analyze` runs the optimizer *without*
+//! mapping: it prints the op/dependence shrink, the exact
+//! recurrence-constrained II floor (with the cycle that proves it), and
+//! the `ANLZ` diagnostics; `--out` writes the `panorama-analyze-v1` JSON.
+//! `trace` is the profiling spin of a compile run:
 //! it always records and prints the per-phase profile table instead of the
 //! mapping details. `lint` runs the static diagnostics of [`panorama_lint`]
-//! over the same inputs without mapping anything (`--trace-json` validates
-//! a recorded trace file instead). `bench` measures the 12-kernel suite
+//! over the same inputs without mapping anything (`--report` validates a
+//! recorded trace/serve/fuzz/analyze report file instead, auto-detecting
+//! the schema). `bench` measures the 12-kernel suite
 //! in parallel and sequential modes, verifies both produce identical
 //! mappings, and can gate CI against a checked-in JSON baseline; the
 //! ceiling of that gate is widened by `--ceiling-scale` (defaulting to a
@@ -39,11 +48,13 @@
 //! failing-case minimization, and regression-corpus replay; its
 //! `panorama-fuzz-v1` JSON report is what `lint --fuzz-json` validates.
 
-use panorama::{Panorama, PanoramaConfig};
+use panorama::{AnalyzeConfig, Panorama, PanoramaConfig};
+use panorama_analyze::{analyze, analyze_diagnostics};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_lint::{
-    lint_fuzz_json, lint_serve_json, lint_trace_json, Diagnostics, LintContext, Registry,
+    lint_analyze_json, lint_fuzz_json, lint_serve_json, lint_trace_json, Diagnostics, LintContext,
+    Registry,
 };
 use panorama_mapper::{Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
 use panorama_sim::simulate;
@@ -58,13 +69,15 @@ fn usage() -> &'static str {
      panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
 [--threads <n>] [--max-ii <ii>] [--simulate <iters>] [--configware] [--dot] \
-[--trace <file>] [--json]\n  \
+[--trace <file>] [--analyze] [--json]\n  \
+     panorama analyze <kernel-name|file|-> [--arch <file|preset>] \
+[--scale tiny|scaled|paper] [--no-fold] [--no-cse] [--no-dce] [--out <file>] \
+[--json]\n  \
      panorama trace <kernel-name|file|-> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
 [--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
      panorama lint [--dfg <file|-|kernel-name>] [--arch <file|preset>] \
-[--scale tiny|scaled|paper] [--max-ii <ii>] [--trace-json <file>] \
-[--serve-json <file>] [--fuzz-json <file>] [--json]\n  \
+[--scale tiny|scaled|paper] [--max-ii <ii>] [--report <file>] [--json]\n  \
      panorama fuzz [--seed <n>] [--cases <n>] [--max-nodes <n>] \
 [--shrink-evals <n>] [--max-seconds <s>] [--corpus <dir>] [--write-corpus] \
 [--out <file>] [--json]\n  \
@@ -72,7 +85,7 @@ fn usage() -> &'static str {
 [--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>]\n  \
      panorama bench [--json] [--out <file>] [--mapper spr|ultrafast] \
 [--threads <n>] [--check <baseline.json>] [--max-kernel-seconds <s>] \
-[--ceiling-scale <x>] [--trace <file>]\n  \
+[--ceiling-scale <x>] [--trace <file>] [--analyze]\n  \
      panorama kernels [--scale tiny|scaled|paper]\n  \
      panorama info --arch <file|preset>\n\n\
      presets: 4x4, 8x8, 9x9, 16x16, 6x1"
@@ -93,6 +106,17 @@ const COMPILE_FLAGS: FlagSpec = &[
     ("configware", true),
     ("dot", true),
     ("trace", false),
+    ("analyze", true),
+    ("no-analyze", true),
+    ("json", true),
+];
+const ANALYZE_FLAGS: FlagSpec = &[
+    ("arch", false),
+    ("scale", false),
+    ("no-fold", true),
+    ("no-cse", true),
+    ("no-dce", true),
+    ("out", false),
     ("json", true),
 ];
 const TRACE_FLAGS: FlagSpec = &[
@@ -113,6 +137,7 @@ const BENCH_FLAGS: FlagSpec = &[
     ("max-kernel-seconds", false),
     ("ceiling-scale", false),
     ("trace", false),
+    ("analyze", true),
 ];
 const LINT_FLAGS: FlagSpec = &[
     ("dfg", false),
@@ -120,6 +145,7 @@ const LINT_FLAGS: FlagSpec = &[
     ("scale", false),
     ("max-ii", false),
     ("json", true),
+    ("report", false),
     ("trace-json", false),
     ("serve-json", false),
     ("fuzz-json", false),
@@ -145,6 +171,7 @@ const SERVE_FLAGS: FlagSpec = &[
     ("result-cache", false),
     ("mrrg-cache", false),
     ("threads", false),
+    ("analyze", true),
 ];
 
 fn parse_flags(
@@ -265,6 +292,8 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let compiler = Panorama::new(PanoramaConfig {
         max_ii: parse_max_ii(flags)?,
         threads,
+        analyze: (flags.contains_key("analyze") && !flags.contains_key("no-analyze"))
+            .then(AnalyzeConfig::default),
         ..PanoramaConfig::default()
     });
     let baseline = flags.contains_key("baseline");
@@ -279,8 +308,18 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         std::fs::write(path, trace.to_json())?;
         eprintln!("wrote trace {path}");
     }
+    // With `--analyze` the mapping targets the optimized graph, so verify,
+    // simulate and configware-generate against it, not the input.
+    let mapped = report.mapped_dfg(&dfg);
+    if let Some(analyzed) = report.analyzed_dfg() {
+        eprintln!(
+            "analyze: {} ops -> {} ops before mapping",
+            dfg.num_ops(),
+            analyzed.num_ops()
+        );
+    }
     let mapping = report.mapping();
-    mapping.verify(&dfg, &cgra)?;
+    mapping.verify(mapped, &cgra)?;
     if flags.contains_key("json") {
         // The canonical deterministic document — byte-identical to what
         // `panorama serve` returns for the same inputs.
@@ -309,7 +348,7 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     }
     if let Some(iters) = flags.get("simulate") {
         let iters: usize = iters.parse()?;
-        match simulate(&dfg, &cgra, mapping, iters) {
+        match simulate(mapped, &cgra, mapping, iters) {
             Ok(sim) => println!(
                 "simulation: {} iterations, {} deliveries checked, FU util {:.0}%, link util {:.0}%",
                 sim.iterations,
@@ -321,7 +360,7 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         }
     }
     if flags.contains_key("configware") && mapping.routes().is_some() {
-        let cfg = Configware::generate(&dfg, &cgra, mapping);
+        let cfg = Configware::generate(mapped, &cgra, mapping);
         println!(
             "configware: {} active words, ~{} bits",
             cfg.active_words(),
@@ -420,6 +459,73 @@ fn cmd_trace(kernel: &str, flags: &HashMap<String, String>) -> Result<(), Box<dy
     Ok(())
 }
 
+/// `panorama analyze`: run the equivalence-checked DFG optimizer and the
+/// exact recurrence-cycle analysis without mapping anything. Prints the
+/// op/dependence shrink, the RecMII bound with its witness cycle, and the
+/// `ANLZ` diagnostics; `--out` writes the `panorama-analyze-v1` JSON.
+/// Exits nonzero when any error-severity finding is reported.
+fn cmd_analyze(kernel: &str, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let scale = parse_scale(flags.get("scale"))?;
+    let dfg = load_dfg(kernel, scale)?;
+    let cgra = load_arch(flags.get("arch"))?;
+    let config = AnalyzeConfig {
+        fold_constants: !flags.contains_key("no-fold"),
+        merge_common: !flags.contains_key("no-cse"),
+        eliminate_dead: !flags.contains_key("no-dce"),
+        ..AnalyzeConfig::default()
+    };
+    let analysis = analyze(&dfg, &config)?;
+    let r = &analysis.report;
+    if flags.contains_key("json") {
+        println!("{}", r.to_json());
+    } else {
+        eprintln!(
+            "kernel `{}`: {} | CGRA {}x{}",
+            dfg.name(),
+            dfg.stats(),
+            cgra.config().rows,
+            cgra.config().cols
+        );
+        println!(
+            "ops {} -> {} (folded {}, merged {}, removed {}) in {} round(s)",
+            r.ops_before, r.ops_after, r.folded, r.merged, r.removed, r.rounds
+        );
+        println!(
+            "deps {} -> {}, {} op(s) provably constant, critical path {} -> {}",
+            r.deps_before,
+            r.deps_after,
+            r.known_constants,
+            r.critical_path_before,
+            r.critical_path_after
+        );
+        println!(
+            "exact RecMII {} -> {} (equivalence checked over {} iterations)",
+            r.rec_mii_before, r.rec_mii_after, r.equiv_iterations
+        );
+        if r.witness.is_empty() {
+            println!("no recurrence cycle: II floor is resource-bound only");
+        } else {
+            println!(
+                "witness cycle {:?}: latency {} over distance {}",
+                r.witness, r.witness_latency, r.witness_distance
+            );
+        }
+    }
+    let mut diags = Diagnostics::new();
+    analyze_diagnostics(&dfg, &analysis, Some(&cgra), &mut diags);
+    if !diags.is_empty() && !flags.contains_key("json") {
+        print!("{}", diags.render_human());
+    }
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, r.to_json())?;
+        eprintln!("wrote analyze report {path}");
+    }
+    if diags.has_errors() {
+        return Err(format!("analyze found {} error(s)", diags.num_errors()).into());
+    }
+    Ok(())
+}
+
 /// Object-safe shim so one closure can drive any mapper.
 struct DynMapper<'a>(&'a dyn LowerLevelMapper);
 
@@ -474,6 +580,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             Some(other) => return Err(format!("unknown bench mapper `{other}`").into()),
         },
         trace: flags.contains_key("trace"),
+        analyze: flags.contains_key("analyze"),
         ..panorama_bench::BenchOptions::default()
     };
     eprintln!(
@@ -611,21 +718,52 @@ fn cmd_fuzz(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Reads a lint input: a path, or stdin for `-`.
+fn read_report(path: &str) -> Result<String, Box<dyn Error>> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        Ok(std::fs::read_to_string(path)?)
+    }
+}
+
+/// Dispatches a report document to the matching schema linter by its
+/// top-level `schema` field. Unparseable documents fall through to the
+/// trace linter, which reports the syntax error as a diagnostic.
+fn lint_report(text: &str, diags: &mut Diagnostics) -> Result<(), Box<dyn Error>> {
+    let schema = panorama_trace::json::parse(text)
+        .ok()
+        .and_then(|d| d.get("schema").and_then(|s| s.as_str().map(String::from)));
+    match schema.as_deref() {
+        Some("panorama-serve-metrics-v1") => lint_serve_json(text, diags),
+        Some("panorama-fuzz-v1") => lint_fuzz_json(text, diags),
+        Some("panorama-analyze-v1") => lint_analyze_json(text, diags),
+        Some("panorama-trace-v1") | None => lint_trace_json(text, diags),
+        Some(other) => {
+            return Err(format!(
+                "--report: unknown schema `{other}` (expected panorama-trace-v1, \
+                 panorama-serve-metrics-v1, panorama-fuzz-v1 or panorama-analyze-v1)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
 /// `panorama lint`: static diagnostics over a kernel (and optionally an
-/// architecture) without mapping anything; `--trace-json` validates a
-/// recorded `panorama-trace-v1` file instead of (or besides) a kernel.
-/// Exits nonzero when any error-severity finding is reported.
+/// architecture) without mapping anything; `--report` validates a recorded
+/// trace/serve/fuzz/analyze JSON file instead of (or besides) a kernel,
+/// auto-detecting the schema. Exits nonzero when any error-severity
+/// finding is reported.
 fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let scale = parse_scale(flags.get("scale"))?;
-    if !["dfg", "trace-json", "serve-json", "fuzz-json"]
+    if !["dfg", "report", "trace-json", "serve-json", "fuzz-json"]
         .iter()
         .any(|k| flags.contains_key(*k))
     {
-        return Err(
-            "`lint` needs --dfg <file|-|kernel-name>, --trace-json <file>, --serve-json <file> \
-             and/or --fuzz-json <file>"
-                .into(),
-        );
+        return Err("`lint` needs --dfg <file|-|kernel-name> and/or --report <file>".into());
     }
     let mut diags = Diagnostics::new();
     if let Some(spec) = flags.get("dfg") {
@@ -642,28 +780,22 @@ fn cmd_lint(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         };
         diags.extend(Registry::with_default_passes().run(&ctx));
     }
-    if let Some(path) = flags.get("trace-json") {
-        lint_trace_json(&std::fs::read_to_string(path)?, &mut diags);
+    if let Some(path) = flags.get("report") {
+        lint_report(&read_report(path)?, &mut diags)?;
     }
-    if let Some(path) = flags.get("serve-json") {
-        let text = if path == "-" {
-            let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf)?;
-            buf
-        } else {
-            std::fs::read_to_string(path)?
-        };
-        lint_serve_json(&text, &mut diags);
-    }
-    if let Some(path) = flags.get("fuzz-json") {
-        let text = if path == "-" {
-            let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf)?;
-            buf
-        } else {
-            std::fs::read_to_string(path)?
-        };
-        lint_fuzz_json(&text, &mut diags);
+    // Deprecated spellings of `--report` from before schema auto-detection;
+    // each still pins its original schema linter.
+    type LintFn = fn(&str, &mut Diagnostics);
+    let aliases: [(&str, LintFn); 3] = [
+        ("trace-json", lint_trace_json),
+        ("serve-json", lint_serve_json),
+        ("fuzz-json", lint_fuzz_json),
+    ];
+    for (flag, lint_fn) in aliases {
+        if let Some(path) = flags.get(flag) {
+            eprintln!("warning: --{flag} is deprecated; use --report {path}");
+            lint_fn(&read_report(path)?, &mut diags);
+        }
     }
     if flags.contains_key("json") {
         println!("{}", diags.render_json());
@@ -708,6 +840,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         result_cache_capacity: parse_n("result-cache", 256)?,
         mrrg_cache_capacity: parse_n("mrrg-cache", panorama_arch::DEFAULT_MRRG_CACHE_CAPACITY)?,
         portfolio_threads: parse_threads(flags)?,
+        analyze: flags.contains_key("analyze"),
     };
     let server = panorama_serve::Server::bind(config)?;
     let addr = server.local_addr();
@@ -771,6 +904,7 @@ fn main() -> ExitCode {
     };
     let spec = match cmd.as_str() {
         "compile" => COMPILE_FLAGS,
+        "analyze" => ANALYZE_FLAGS,
         "trace" => TRACE_FLAGS,
         "lint" => LINT_FLAGS,
         "bench" => BENCH_FLAGS,
@@ -784,19 +918,19 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "error: unknown command `{other}` (expected compile, trace, lint, bench, serve, fuzz, kernels, info or help)\n\n{}",
+                "error: unknown command `{other}` (expected compile, analyze, trace, lint, bench, serve, fuzz, kernels, info or help)\n\n{}",
                 usage()
             );
             return ExitCode::FAILURE;
         }
     };
-    // `trace` takes its kernel as a positional first argument
-    let (positional, rest) = if cmd == "trace" {
+    // `trace` and `analyze` take their kernel as a positional first argument
+    let (positional, rest) = if cmd == "trace" || cmd == "analyze" {
         match rest.split_first() {
             Some((k, r)) if !k.starts_with("--") => (Some(k.as_str()), r),
             _ => {
                 eprintln!(
-                    "error: `trace` needs a kernel (name, file or `-`) as its first argument\n\n{}",
+                    "error: `{cmd}` needs a kernel (name, file or `-`) as its first argument\n\n{}",
                     usage()
                 );
                 return ExitCode::FAILURE;
@@ -814,6 +948,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "compile" => cmd_compile(&flags),
+        "analyze" => cmd_analyze(positional.unwrap_or_default(), &flags),
         "trace" => cmd_trace(positional.unwrap_or_default(), &flags),
         "lint" => cmd_lint(&flags),
         "bench" => cmd_bench(&flags),

@@ -112,6 +112,118 @@ fn lint_validates_serve_metrics_files() {
 }
 
 #[test]
+fn analyze_subcommand_reports_and_exports_lintable_json() {
+    let path =
+        std::env::temp_dir().join(format!("panorama-analyze-cli-{}.json", std::process::id()));
+    let path = path.to_str().unwrap().to_string();
+    let out = bin()
+        .args(["analyze", "invertmat", "--scale", "tiny", "--out", &path])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("exact RecMII"), "{stdout}");
+    assert!(stdout.contains("witness cycle"), "{stdout}");
+
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"panorama-analyze-v1\""));
+    // The exported report is schema-valid under the auto-detecting linter.
+    let lint = bin().args(["lint", "--report", &path]).output().unwrap();
+    assert!(
+        lint.status.success(),
+        "{}",
+        String::from_utf8(lint.stdout).unwrap()
+    );
+    // Deterministic: a second run writes the identical document.
+    let again_path = format!("{path}.again");
+    let again = bin()
+        .args([
+            "analyze",
+            "invertmat",
+            "--scale",
+            "tiny",
+            "--out",
+            &again_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(again.status.success());
+    assert_eq!(json, std::fs::read_to_string(&again_path).unwrap());
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&again_path).unwrap();
+}
+
+#[test]
+fn compile_analyze_flag_optimizes_before_mapping() {
+    let out = bin()
+        .args([
+            "compile",
+            "--dfg",
+            "invertmat",
+            "--scale",
+            "tiny",
+            "--arch",
+            "8x8",
+            "--analyze",
+            "--simulate",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    // invertmat's tiny graph folds: the optimizer must shrink it and the
+    // simulation must still pass against the optimized graph.
+    assert!(stderr.contains("analyze: 34 ops -> 26 ops"), "{stderr}");
+    assert!(stdout.contains("simulation: 3 iterations"), "{stdout}");
+}
+
+#[test]
+fn lint_report_auto_detects_schema_and_aliases_warn() {
+    let dir = std::env::temp_dir().join("panorama-lint-report-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.json");
+    std::fs::write(
+        &metrics,
+        "{\"schema\":\"panorama-serve-metrics-v1\",\
+         \"queue\":{\"depth\":0,\"capacity\":4,\"in_flight\":0},\
+         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
+         \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
+         \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
+         \"phases\":[]}",
+    )
+    .unwrap();
+    // --report dispatches on the schema field; no deprecation warning.
+    let out = bin()
+        .args(["lint", "--report", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("deprecated"), "{stderr}");
+    // The legacy flag still works but warns on stderr.
+    let out = bin()
+        .args(["lint", "--serve-json", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--serve-json is deprecated"), "{stderr}");
+    // An unknown schema is an input error, not a silent fallthrough.
+    let odd = dir.join("odd.json");
+    std::fs::write(&odd, "{\"schema\":\"panorama-mystery-v9\"}").unwrap();
+    let out = bin()
+        .args(["lint", "--report", odd.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown schema"), "{stderr}");
+}
+
+#[test]
 fn compile_reads_dfg_from_stdin() {
     use std::io::Write as _;
     use std::process::Stdio;
