@@ -1,42 +1,58 @@
 //! The `panorama bench` performance harness.
 //!
 //! Compiles the full 12-kernel suite on two architecture presets, twice:
-//! once with the requested worker-thread count (jobs fan out over a pool
-//! *and* each compile runs its candidate portfolio in parallel), once
-//! fully sequential (`threads = 1` everywhere). It records per-kernel
-//! wall-clock and achieved II for both phases, checks the two phases
-//! produced bit-identical mappings (the portfolio's determinism guarantee,
-//! end to end), and reports the suite-level speedup.
+//! once with the requested worker-thread count (all kernel × candidate
+//! work shared on one [`BatchExecutor`] pool), once fully sequential
+//! (`threads = 1` everywhere). It records per-kernel wall-clock and
+//! achieved II for both phases, checks the two phases produced
+//! bit-identical mappings (the portfolio's determinism guarantee, end to
+//! end), and reports the suite-level speedup.
+//!
+//! With the SPR\* mapper the harness additionally runs a **delta-replay
+//! scenario**: every suite kernel is perturbed by one extra op, the batch
+//! phase replays the perturbed kernels through a [`WarmStartCache`] seeded
+//! with the suite's winning mappings (modelling the serve daemon's warm
+//! remap tier), while the sequential phase pays a full cold compile for
+//! each. Every warm mapping is re-verified and cross-checked against the
+//! cycle-accurate simulator.
 //!
 //! The report serialises to JSON (schema below) so CI can pin a baseline
-//! (`BENCH_PR2.json`) and fail on II drift or per-kernel wall-clock
-//! ceiling breaches — see [`BenchReport::check_against_baseline`].
+//! (`BENCH_PR7.json`) and fail on II drift, per-kernel wall-clock ceiling
+//! breaches, a suite speedup below 1.0, or a warm-start replay that never
+//! hit the cache — see [`BenchReport::check_against_baseline`].
 //!
 //! ```json
 //! {
 //!   "schema": "panorama-bench-v1",
-//!   "mapper": "Ultra-Fast",
-//!   "threads": 8,
-//!   "suite_wall_seconds": 1.9,
-//!   "suite_wall_seconds_single": 5.6,
-//!   "speedup": 2.9,
+//!   "mapper": "SPR*",
+//!   "threads": 4,
+//!   "suite_wall_seconds": 14.9,
+//!   "suite_wall_seconds_single": 24.6,
+//!   "speedup": 1.65,
+//!   "mrrg_cache": {"hits": 310, "misses": 22, "evictions": 0},
 //!   "kernels": [
 //!     {"kernel": "fir", "preset": "4x4", "ii": 3, "mii": 2,
 //!      "wall_seconds": 0.04, "wall_seconds_single": 0.09,
-//!      "identical": true}
-//!   ]
+//!      "speedup": 2.250, "identical": true}
+//!   ],
+//!   "warm_start": {
+//!     "hits": 24, "misses": 0, "records": 48,
+//!     "wall_seconds": 0.8, "wall_seconds_cold": 10.4,
+//!     "replays": [
+//!       {"kernel": "fir", "preset": "4x4", "ii": 3, "ii_cold": 3,
+//!        "verified": true, "wall_seconds": 0.01, "wall_seconds_cold": 0.1}
+//!     ]
+//!   }
 //! }
 //! ```
 
-use panorama::{CompileReport, Panorama, PanoramaConfig};
+use panorama::{BatchExecutor, CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
-use panorama_dfg::{kernels, KernelId, KernelScale};
-use panorama_mapper::{SprConfig, SprMapper, UltraFastMapper};
+use panorama_dfg::{kernels, Dep, Dfg, DfgBuilder, KernelId, KernelScale, OpKind};
+use panorama_mapper::{LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper, WarmStartCache};
 use panorama_trace::json::{self, Json};
 use panorama_trace::{phase_totals, RecordingSink, TraceEvent, TraceReport, Tracer};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Which lower-level mapper the harness drives.
@@ -105,11 +121,52 @@ pub struct KernelResult {
     pub wall_seconds: f64,
     /// Wall-clock of the sequential-phase compile, seconds.
     pub wall_seconds_single: f64,
+    /// `wall_seconds_single / wall_seconds` for this kernel alone.
+    pub speedup: f64,
     /// Whether the two phases produced bit-identical mappings and plans.
     pub identical: bool,
     /// Per-phase `(phase, event count, total ns)` rows from tracing the
     /// parallel-phase compile; empty when tracing was off.
     pub trace_phases: Vec<(String, u64, u64)>,
+}
+
+/// One perturbed-kernel replay: warm (cache-seeded direct remap) versus
+/// cold (full pipeline compile from scratch).
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    /// Kernel name the perturbed graph was derived from.
+    pub kernel: String,
+    /// Architecture preset.
+    pub preset: String,
+    /// II achieved by the warm remap.
+    pub ii: usize,
+    /// II achieved by the cold full compile.
+    pub ii_cold: usize,
+    /// Whether the warm mapping passed [`panorama_mapper::Mapping::verify`]
+    /// *and* the cycle-accurate simulator cross-check.
+    pub verified: bool,
+    /// Warm remap wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Cold full-compile wall-clock, seconds.
+    pub wall_seconds_cold: f64,
+}
+
+/// Aggregate results of the delta-replay scenario (SPR\* runs only).
+#[derive(Debug, Clone)]
+pub struct WarmReplay {
+    /// Warm-cache lookup hits across the replay.
+    pub hits: u64,
+    /// Warm-cache lookup misses across the replay.
+    pub misses: u64,
+    /// Mappings recorded into the cache (suite winners + replay results).
+    pub records: u64,
+    /// Total warm-replay wall-clock, seconds (part of the batch phase).
+    pub wall_seconds: f64,
+    /// Total cold-replay wall-clock, seconds (part of the sequential
+    /// phase).
+    pub wall_seconds_cold: f64,
+    /// Per-kernel replay rows, in suite order.
+    pub replays: Vec<ReplayRow>,
 }
 
 /// The full suite measurement.
@@ -119,14 +176,25 @@ pub struct BenchReport {
     pub mapper: &'static str,
     /// Effective worker-thread count of the parallel phase.
     pub threads: usize,
-    /// Parallel-phase suite wall-clock, seconds.
+    /// Parallel-phase suite wall-clock (batch compiles + warm replay),
+    /// seconds.
     pub suite_wall_seconds: f64,
-    /// Sequential-phase suite wall-clock, seconds.
+    /// Sequential-phase suite wall-clock (cold compiles + cold replay),
+    /// seconds.
     pub suite_wall_seconds_single: f64,
     /// `suite_wall_seconds_single / suite_wall_seconds`.
     pub speedup: f64,
+    /// MRRG cache hits across both phases (the per-preset caches are
+    /// shared, so this covers every compile of the run).
+    pub mrrg_hits: u64,
+    /// MRRG cache misses across both phases.
+    pub mrrg_misses: u64,
+    /// MRRG cache evictions across both phases.
+    pub mrrg_evictions: u64,
     /// Per-kernel rows, in suite order.
     pub kernels: Vec<KernelResult>,
+    /// Delta-replay results; `None` unless the suite ran SPR\*.
+    pub warm: Option<WarmReplay>,
 }
 
 /// The two architecture presets the suite runs on: a 4×4 with tiny
@@ -138,19 +206,42 @@ fn presets() -> Vec<(&'static str, CgraConfig, KernelScale)> {
     ]
 }
 
+/// The suite's two mapper instances, built once and shared by every job
+/// (batch compiles borrow them for the executor scope's lifetime).
+struct Mappers {
+    ultrafast: UltraFastMapper,
+    spr: SprMapper,
+}
+
+fn spr_config(options: &BenchOptions) -> SprConfig {
+    SprConfig {
+        time_budget: Some(options.spr_budget),
+        ..SprConfig::default()
+    }
+}
+
+impl Mappers {
+    fn new(options: &BenchOptions) -> Self {
+        Mappers {
+            ultrafast: UltraFastMapper::default(),
+            spr: SprMapper::new(spr_config(options)),
+        }
+    }
+}
+
 /// One finished compile: the report, its wall-clock seconds and the
 /// per-phase trace summaries (`(phase, count, total_ns)`, empty untraced).
 type JobResult = (CompileReport, f64, Vec<(String, u64, u64)>);
 
-fn compile_job(
-    kernel: KernelId,
+fn compile_job<'env>(
+    dfg: &Dfg,
     cgra: &Cgra,
-    scale: KernelScale,
     threads: usize,
     options: &BenchOptions,
     trace: bool,
+    mappers: &'env Mappers,
+    exec: Option<&BatchExecutor<'env>>,
 ) -> Result<JobResult, String> {
-    let dfg = kernels::generate(kernel, scale);
     let compiler = Panorama::new(PanoramaConfig {
         threads,
         analyze: options.analyze.then(panorama::AnalyzeConfig::default),
@@ -162,19 +253,17 @@ fn compile_job(
         None => Tracer::disabled(),
     };
     let t = Instant::now();
-    let report = match options.mapper {
-        BenchMapper::UltraFast => {
-            compiler.compile_traced(&dfg, cgra, &UltraFastMapper::default(), &tracer)
+    let report = match (options.mapper, exec) {
+        (BenchMapper::UltraFast, Some(exec)) => {
+            compiler.compile_batch_traced(exec, dfg, cgra, &mappers.ultrafast, &tracer, None)
         }
-        BenchMapper::Spr => compiler.compile_traced(
-            &dfg,
-            cgra,
-            &SprMapper::new(SprConfig {
-                time_budget: Some(options.spr_budget),
-                ..SprConfig::default()
-            }),
-            &tracer,
-        ),
+        (BenchMapper::UltraFast, None) => {
+            compiler.compile_traced(dfg, cgra, &mappers.ultrafast, &tracer)
+        }
+        (BenchMapper::Spr, Some(exec)) => {
+            compiler.compile_batch_traced(exec, dfg, cgra, &mappers.spr, &tracer, None)
+        }
+        (BenchMapper::Spr, None) => compiler.compile_traced(dfg, cgra, &mappers.spr, &tracer),
     };
     let wall = t.elapsed().as_secs_f64();
     let phases = sink.map_or_else(Vec::new, |sink| {
@@ -185,7 +274,30 @@ fn compile_job(
     });
     report
         .map(|r| (r, wall, phases))
-        .map_err(|e| format!("{kernel} on {}: {e}", cgra.config().rows))
+        .map_err(|e| format!("{} on {}: {e}", dfg.name(), cgra.config().rows))
+}
+
+/// Rebuilds `dfg` with one extra `Add` consuming the first op's value —
+/// the smallest structural delta the warm-start cache must tolerate
+/// (kinds-length diff 1 + two added edges, well under the edit-distance
+/// threshold for every suite kernel).
+fn perturb(dfg: &Dfg) -> Dfg {
+    let mut b = DfgBuilder::new(format!("{}_delta", dfg.name()));
+    let copies: Vec<panorama_dfg::OpId> = dfg
+        .op_ids()
+        .map(|op| b.push_op(dfg.op(op).clone()))
+        .collect();
+    for e in dfg.deps() {
+        let (src, dst) = (copies[e.src.index()], copies[e.dst.index()]);
+        match *e.weight {
+            Dep::Data => b.data(src, dst),
+            Dep::Back { distance } => b.back(src, dst, distance),
+        }
+    }
+    let extra = b.op(OpKind::Add, "warm_delta");
+    b.data(copies[0], extra);
+    b.data(copies[0], extra);
+    b.build().expect("perturbed suite kernel stays well-formed")
 }
 
 /// Two compile reports describe bit-identical results: same II and
@@ -220,49 +332,100 @@ fn reports_identical(a: &CompileReport, b: &CompileReport, dfg_ops: usize) -> bo
 /// # Errors
 ///
 /// Returns a human-readable message when any kernel fails to compile in
-/// either phase.
+/// either phase, or when a warm replay fails to map.
 pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
     let presets = presets();
     let jobs: Vec<(KernelId, usize)> = KernelId::ALL
         .iter()
         .flat_map(|&k| (0..presets.len()).map(move |p| (k, p)))
         .collect();
+    let dfgs: Vec<Dfg> = jobs
+        .iter()
+        .map(|&(k, p)| kernels::generate(k, presets[p].2))
+        .collect();
     let cgras: Vec<Cgra> = presets
         .iter()
         .map(|(_, config, _)| Cgra::new(config.clone()).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
     let threads = crate::pool_threads(options.threads, jobs.len());
+    let mappers = Mappers::new(options);
 
-    // parallel phase: jobs fan out over the pool, each compile also runs
-    // its candidate portfolio on `threads` workers (clamped to candidates)
+    // Delta-replay scenario (SPR* only): perturbed copies of every suite
+    // kernel, remapped warm in the batch phase and cold in the sequential
+    // phase. The warm mapper's cache is seeded from the batch winners.
+    let replay: Option<Vec<Dfg>> =
+        (options.mapper == BenchMapper::Spr).then(|| dfgs.iter().map(perturb).collect());
+    let warm_cache = WarmStartCache::default();
+    let warm_mapper = SprMapper::new(spr_config(options)).with_warm_cache(warm_cache.clone());
+
+    // batch phase: every kernel's candidate portfolio shares ONE executor
+    // pool, so the suite is never oversubscribed however many kernels and
+    // candidates are in flight
     let t_par = Instant::now();
-    let parallel: Vec<Result<JobResult, String>> = run_jobs(threads, jobs.len(), |j| {
-        let (kernel, p) = jobs[j];
-        compile_job(
-            kernel,
-            &cgras[p],
-            presets[p].2,
-            threads,
-            options,
-            options.trace,
-        )
+    let parallel: Vec<Result<JobResult, String>> = BatchExecutor::scope(threads, |exec| {
+        exec.run_batch(jobs.len(), |exec, j| {
+            let (_, p) = jobs[j];
+            compile_job(
+                &dfgs[j],
+                &cgras[p],
+                threads,
+                options,
+                options.trace,
+                &mappers,
+                Some(exec),
+            )
+        })
     });
+    // Warm replay, still on the batch phase's clock: record the winners,
+    // then remap each perturbed kernel directly (no divide phase — this
+    // models the serve daemon's warm remap tier). Sequential on purpose:
+    // cache contents and hit counters stay deterministic at any thread
+    // count.
+    let mut warm_results: Vec<(panorama_mapper::Mapping, f64)> = Vec::new();
+    if let Some(deltas) = &replay {
+        for (j, result) in parallel.iter().enumerate() {
+            if let Ok((report, _, _)) = result {
+                let (_, p) = jobs[j];
+                let recorded = report.analyzed_dfg().unwrap_or(&dfgs[j]);
+                warm_cache.record(recorded, &cgras[p], report.mapping());
+            }
+        }
+        for (j, delta) in deltas.iter().enumerate() {
+            let (kernel, p) = jobs[j];
+            let t = Instant::now();
+            let mapping = warm_mapper
+                .map(delta, &cgras[p], None)
+                .map_err(|e| format!("warm replay of {kernel}/{}: {e}", presets[p].0))?;
+            warm_results.push((mapping, t.elapsed().as_secs_f64()));
+        }
+    }
     let suite_wall_seconds = t_par.elapsed().as_secs_f64();
 
     // sequential phase: one job at a time, portfolio pinned to one thread,
-    // never traced — its wall-clock feeds the speedup denominator
+    // never traced — its wall-clock feeds the speedup denominator; the
+    // cold replay pays a full from-scratch pipeline compile per delta
     let t_seq = Instant::now();
     let sequential: Vec<Result<JobResult, String>> = jobs
         .iter()
-        .map(|&(kernel, p)| compile_job(kernel, &cgras[p], presets[p].2, 1, options, false))
+        .enumerate()
+        .map(|(j, &(_, p))| compile_job(&dfgs[j], &cgras[p], 1, options, false, &mappers, None))
         .collect();
+    let mut cold_results: Vec<(CompileReport, f64)> = Vec::new();
+    if let Some(deltas) = &replay {
+        for (j, delta) in deltas.iter().enumerate() {
+            let (kernel, p) = jobs[j];
+            let (report, wall, _) =
+                compile_job(delta, &cgras[p], 1, options, false, &mappers, None)
+                    .map_err(|e| format!("cold replay of {kernel}/{}: {e}", presets[p].0))?;
+            cold_results.push((report, wall));
+        }
+    }
     let suite_wall_seconds_single = t_seq.elapsed().as_secs_f64();
 
     let mut rows = Vec::with_capacity(jobs.len());
     for (j, &(kernel, p)) in jobs.iter().enumerate() {
         let (par_report, par_wall, trace_phases) = parallel[j].clone()?;
         let (seq_report, seq_wall, _) = sequential[j].clone()?;
-        let dfg_ops = kernels::generate(kernel, presets[p].2).num_ops();
         rows.push(KernelResult {
             kernel: kernel.to_string(),
             preset: presets[p].0.to_string(),
@@ -270,10 +433,60 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
             mii: par_report.mapping().mii(),
             wall_seconds: par_wall,
             wall_seconds_single: seq_wall,
-            identical: reports_identical(&par_report, &seq_report, dfg_ops),
+            speedup: if par_wall > 0.0 {
+                seq_wall / par_wall
+            } else {
+                0.0
+            },
+            identical: reports_identical(&par_report, &seq_report, dfgs[j].num_ops()),
             trace_phases,
         });
     }
+
+    // off the clock: verify every warm mapping independently and against
+    // the cycle-accurate simulator (4 pipelined iterations)
+    let warm = match &replay {
+        None => None,
+        Some(deltas) => {
+            let mut replays = Vec::with_capacity(deltas.len());
+            let (mut warm_wall, mut cold_wall) = (0.0, 0.0);
+            for (j, delta) in deltas.iter().enumerate() {
+                let (kernel, p) = jobs[j];
+                let (mapping, wall) = &warm_results[j];
+                let (cold_report, cold_sec) = &cold_results[j];
+                let verified = mapping.verify(delta, &cgras[p]).is_ok()
+                    && panorama::sim::simulate(delta, &cgras[p], mapping, 4).is_ok();
+                warm_wall += wall;
+                cold_wall += cold_sec;
+                replays.push(ReplayRow {
+                    kernel: kernel.to_string(),
+                    preset: presets[p].0.to_string(),
+                    ii: mapping.ii(),
+                    ii_cold: cold_report.mapping().ii(),
+                    verified,
+                    wall_seconds: *wall,
+                    wall_seconds_cold: *cold_sec,
+                });
+            }
+            Some(WarmReplay {
+                hits: warm_cache.hits(),
+                misses: warm_cache.misses(),
+                records: warm_cache.records(),
+                wall_seconds: warm_wall,
+                wall_seconds_cold: cold_wall,
+                replays,
+            })
+        }
+    };
+
+    let (mut mrrg_hits, mut mrrg_misses, mut mrrg_evictions) = (0, 0, 0);
+    for cgra in &cgras {
+        let c = cgra.mrrg_cache();
+        mrrg_hits += c.hits();
+        mrrg_misses += c.misses();
+        mrrg_evictions += c.evictions();
+    }
+
     let speedup = if suite_wall_seconds > 0.0 {
         suite_wall_seconds_single / suite_wall_seconds
     } else {
@@ -285,7 +498,11 @@ pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
         suite_wall_seconds,
         suite_wall_seconds_single,
         speedup,
+        mrrg_hits,
+        mrrg_misses,
+        mrrg_evictions,
         kernels: rows,
+        warm,
     })
 }
 
@@ -308,18 +525,25 @@ impl BenchReport {
             self.suite_wall_seconds_single
         );
         let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup);
+        let _ = writeln!(
+            out,
+            "  \"mrrg_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},",
+            self.mrrg_hits, self.mrrg_misses, self.mrrg_evictions
+        );
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             let _ = write!(
                 out,
                 "    {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \"mii\": {}, \
-                 \"wall_seconds\": {:.6}, \"wall_seconds_single\": {:.6}, \"identical\": {}",
+                 \"wall_seconds\": {:.6}, \"wall_seconds_single\": {:.6}, \"speedup\": {:.3}, \
+                 \"identical\": {}",
                 json::escape(&k.kernel),
                 json::escape(&k.preset),
                 k.ii,
                 k.mii,
                 k.wall_seconds,
                 k.wall_seconds_single,
+                k.speedup,
                 k.identical
             );
             if !k.trace_phases.is_empty() {
@@ -343,7 +567,102 @@ impl BenchReport {
                 "\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str(if self.warm.is_some() {
+            "  ],\n"
+        } else {
+            "  ]\n"
+        });
+        if let Some(w) = &self.warm {
+            out.push_str("  \"warm_start\": {\n");
+            let _ = writeln!(
+                out,
+                "    \"hits\": {}, \"misses\": {}, \"records\": {},",
+                w.hits, w.misses, w.records
+            );
+            let _ = writeln!(
+                out,
+                "    \"wall_seconds\": {:.6}, \"wall_seconds_cold\": {:.6},",
+                w.wall_seconds, w.wall_seconds_cold
+            );
+            out.push_str("    \"replays\": [\n");
+            for (i, r) in w.replays.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "      {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \
+                     \"ii_cold\": {}, \"verified\": {}, \"wall_seconds\": {:.6}, \
+                     \"wall_seconds_cold\": {:.6}}}",
+                    json::escape(&r.kernel),
+                    json::escape(&r.preset),
+                    r.ii,
+                    r.ii_cold,
+                    r.verified,
+                    r.wall_seconds,
+                    r.wall_seconds_cold
+                );
+                out.push_str(if i + 1 < w.replays.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("    ]\n  }\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Deterministic projection of the report: every wall-clock field is
+    /// dropped, so two runs of the same suite — at *any* thread count —
+    /// must produce byte-identical output. CI runs the bench twice and
+    /// `cmp`s the stable files to enforce end-to-end determinism.
+    pub fn to_stable_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"panorama-bench-stable-v1\",\n");
+        let _ = writeln!(out, "  \"mapper\": \"{}\",", json::escape(self.mapper));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \"mii\": {}, \
+                 \"identical\": {}}}",
+                json::escape(&k.kernel),
+                json::escape(&k.preset),
+                k.ii,
+                k.mii,
+                k.identical
+            );
+            out.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str(if self.warm.is_some() {
+            "  ],\n"
+        } else {
+            "  ]\n"
+        });
+        if let Some(w) = &self.warm {
+            out.push_str("  \"warm_start\": {\n");
+            let _ = writeln!(
+                out,
+                "    \"hits\": {}, \"misses\": {}, \"records\": {},",
+                w.hits, w.misses, w.records
+            );
+            out.push_str("    \"replays\": [\n");
+            for (i, r) in w.replays.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "      {{\"kernel\": \"{}\", \"preset\": \"{}\", \"ii\": {}, \
+                     \"ii_cold\": {}, \"verified\": {}}}",
+                    json::escape(&r.kernel),
+                    json::escape(&r.preset),
+                    r.ii,
+                    r.ii_cold,
+                    r.verified
+                );
+                out.push_str(if i + 1 < w.replays.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("    ]\n  }\n");
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -395,13 +714,17 @@ impl BenchReport {
     /// * missing kernels — a kernel present in the baseline but not here;
     /// * wall-clock ceiling — any kernel in *either* phase slower than
     ///   `max_kernel_seconds * max(ceiling_scale, 1.0)`;
-    /// * a parallel/sequential mismatch (`identical == false`).
+    /// * a parallel/sequential mismatch (`identical == false`);
+    /// * suite speedup below 1.0 — the batch + warm phase losing outright
+    ///   to the sequential baseline;
+    /// * a delta-replay that never hit the warm cache, or whose warm
+    ///   mapping failed verification.
     ///
     /// Wall-clock values in the baseline are informational only — machines
     /// differ; the ceiling guards against pathological regressions, and
     /// `ceiling_scale` (normally [`calibration_scale`]) widens it on
-    /// machines slower than the one the ceiling was tuned on. The II-drift
-    /// and determinism checks are never relaxed.
+    /// machines slower than the one the ceiling was tuned on. The II-drift,
+    /// determinism, speedup and warm-start checks are never relaxed.
     ///
     /// # Errors
     ///
@@ -457,6 +780,25 @@ impl BenchReport {
                 ));
             }
         }
+        if self.speedup < 1.0 {
+            violations.push(format!(
+                "suite speedup {:.3} < 1.0: the batch + warm phase lost to the sequential baseline",
+                self.speedup
+            ));
+        }
+        if let Some(w) = &self.warm {
+            if w.hits == 0 {
+                violations.push("warm-start replay never hit the cache".into());
+            }
+            for r in &w.replays {
+                if !r.verified {
+                    violations.push(format!(
+                        "{}/{}: warm-start remapping failed verification",
+                        r.kernel, r.preset
+                    ));
+                }
+            }
+        }
         if violations.is_empty() {
             Ok(())
         } else {
@@ -487,41 +829,6 @@ pub fn calibration_scale() -> f64 {
     (t.elapsed().as_secs_f64() / PROBE_REF_SECONDS).max(1.0)
 }
 
-/// Runs `f(0..count)` on a scoped worker pool, results in index order.
-/// (A job-level twin of the portfolio pool in `panorama`, kept separate so
-/// the bench crate stays decoupled from pipeline internals.)
-fn run_jobs<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(count, || None);
-    let results = Mutex::new(slots);
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(count) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let value = f(i);
-                results.lock().expect("bench worker panicked")[i] = Some(value);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("bench worker panicked")
-        .into_iter()
-        .map(|slot| slot.expect("every job index claimed once"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +840,9 @@ mod tests {
             suite_wall_seconds: 1.0,
             suite_wall_seconds_single: 2.5,
             speedup: 2.5,
+            mrrg_hits: 10,
+            mrrg_misses: 2,
+            mrrg_evictions: 0,
             kernels: vec![KernelResult {
                 kernel: "fir".into(),
                 preset: "4x4".into(),
@@ -540,9 +850,33 @@ mod tests {
                 mii: 2,
                 wall_seconds: 0.1,
                 wall_seconds_single: 0.2,
+                speedup: 2.0,
                 identical: true,
                 trace_phases: vec![("scatter".into(), 3, 1_500_000)],
             }],
+            warm: None,
+        }
+    }
+
+    fn warm_report() -> BenchReport {
+        BenchReport {
+            warm: Some(WarmReplay {
+                hits: 1,
+                misses: 0,
+                records: 2,
+                wall_seconds: 0.01,
+                wall_seconds_cold: 0.2,
+                replays: vec![ReplayRow {
+                    kernel: "fir".into(),
+                    preset: "4x4".into(),
+                    ii: 3,
+                    ii_cold: 3,
+                    verified: true,
+                    wall_seconds: 0.01,
+                    wall_seconds_cold: 0.2,
+                }],
+            }),
+            ..tiny_report()
         }
     }
 
@@ -557,6 +891,33 @@ mod tests {
         let rows = v.get("kernels").and_then(Json::as_arr).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("ii").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(rows[0].get("speedup").and_then(Json::as_f64), Some(2.0));
+        let mrrg = v.get("mrrg_cache").unwrap();
+        assert_eq!(mrrg.get("hits").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn json_emits_warm_start_section() {
+        let v = json::parse(&warm_report().to_json()).unwrap();
+        let w = v.get("warm_start").unwrap();
+        assert_eq!(w.get("hits").and_then(Json::as_f64), Some(1.0));
+        let rows = w.get("replays").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("ii_cold").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn stable_json_drops_wall_clocks() {
+        let text = warm_report().to_stable_json();
+        assert!(!text.contains("wall_seconds"), "{text}");
+        let v = json::parse(&text).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("panorama-bench-stable-v1")
+        );
+        let rows = v.get("kernels").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("ii").and_then(Json::as_f64), Some(3.0));
+        let w = v.get("warm_start").unwrap();
+        assert_eq!(w.get("hits").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]
@@ -577,6 +938,35 @@ mod tests {
             .check_against_baseline(&report.to_json(), 0.05, 1.0)
             .unwrap_err();
         assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn baseline_check_fails_on_speedup_below_one() {
+        let mut report = tiny_report();
+        let baseline = report.to_json();
+        report.speedup = 0.875;
+        let err = report
+            .check_against_baseline(&baseline, 10.0, 1.0)
+            .unwrap_err();
+        assert!(err.contains("speedup 0.875 < 1.0"), "{err}");
+    }
+
+    #[test]
+    fn baseline_check_fails_on_cold_warm_cache_or_bad_replay() {
+        let mut report = warm_report();
+        let baseline = report.to_json();
+        report.check_against_baseline(&baseline, 10.0, 1.0).unwrap();
+        report.warm.as_mut().unwrap().hits = 0;
+        let err = report
+            .check_against_baseline(&baseline, 10.0, 1.0)
+            .unwrap_err();
+        assert!(err.contains("never hit the cache"), "{err}");
+        report.warm.as_mut().unwrap().hits = 1;
+        report.warm.as_mut().unwrap().replays[0].verified = false;
+        let err = report
+            .check_against_baseline(&baseline, 10.0, 1.0)
+            .unwrap_err();
+        assert!(err.contains("failed verification"), "{err}");
     }
 
     #[test]
@@ -617,6 +1007,16 @@ mod tests {
         let scale = calibration_scale();
         assert!(scale >= 1.0, "{scale}");
         assert!(scale.is_finite());
+    }
+
+    #[test]
+    fn perturb_adds_one_op_and_two_edges() {
+        let dfg = kernels::generate(KernelId::Fir, KernelScale::Tiny);
+        let delta = perturb(&dfg);
+        assert_eq!(delta.num_ops(), dfg.num_ops() + 1);
+        assert_eq!(delta.num_deps(), dfg.num_deps() + 2);
+        assert_eq!(delta.num_back_edges(), dfg.num_back_edges());
+        delta.validate().unwrap();
     }
 
     #[test]

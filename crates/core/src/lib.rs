@@ -42,6 +42,7 @@ mod report;
 pub use panorama_analyze::AnalyzeConfig;
 pub use panorama_mapper::CancelToken;
 pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};
+pub use portfolio::BatchExecutor;
 pub use report::{CompileReport, HigherLevelPlan};
 
 // Re-export the subsystem crates so downstream users need one dependency.

@@ -1,6 +1,6 @@
 //! The PANORAMA compilation pipeline (paper Algorithm 1).
 
-use crate::portfolio::{effective_threads, run_indexed};
+use crate::portfolio::{effective_threads, run_indexed, BatchExecutor};
 use crate::report::{CompileReport, HigherLevelPlan};
 use panorama_analyze::{optimize, AnalyzeConfig, AnalyzeError, Optimization};
 use panorama_arch::Cgra;
@@ -140,6 +140,47 @@ impl From<AnalyzeError> for PanoramaError {
     }
 }
 
+/// DFGs at or below this many operations never fan their candidate work
+/// out to worker threads: on graphs this small the spawn/queue overhead
+/// exceeds the mapping work itself (the 4×4-preset rows of
+/// `BENCH_PR2.json` lost wall-clock to their own threading). Scheduling
+/// only — results are bit-identical either way, by the portfolio's
+/// determinism contract.
+const SMALL_DFG_SEQUENTIAL_OPS: usize = 48;
+
+/// One partition candidate that survived cluster mapping and the
+/// restricted pre-flight check, ready for the conquer portfolio.
+#[derive(Clone)]
+struct Candidate {
+    rank: usize,
+    partition_index: usize,
+    cdg: Cdg,
+    cluster_map: ClusterMap,
+    restriction: Restriction,
+}
+
+/// Fans `f(0..count)` out over whichever pool is in play: the suite-level
+/// shared [`BatchExecutor`] when one was handed down, else a per-compile
+/// scoped pool of `threads` workers ([`run_indexed`]). Results come back
+/// in index order either way. Closures must own (or outlive `'env` with)
+/// everything they capture, which is what lets one call site serve both
+/// pools.
+fn fan_out<'env, T, F>(
+    exec: Option<&BatchExecutor<'env>>,
+    threads: usize,
+    count: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send + 'env,
+    F: Fn(usize) -> T + Send + Sync + 'env,
+{
+    match exec {
+        Some(exec) => exec.run_batch(count, move |_, i| f(i)),
+        None => run_indexed(threads, count, f),
+    }
+}
+
 /// The PANORAMA higher-level compiler.
 ///
 /// See the [crate docs](crate) for the full pipeline description and an
@@ -176,6 +217,23 @@ impl Panorama {
             Ok(())
         } else {
             Err(PanoramaError::Infeasible(diags.errors().cloned().collect()))
+        }
+    }
+
+    /// Picks the pool for a candidate fan-out: small DFGs always run
+    /// sequentially (see [`SMALL_DFG_SEQUENTIAL_OPS`]), larger ones use
+    /// the shared executor when one is in play, else a scoped pool sized
+    /// by the configured thread count.
+    fn pool_for<'a, 'env>(
+        &self,
+        dfg: &Dfg,
+        work_items: usize,
+        exec: Option<&'a BatchExecutor<'env>>,
+    ) -> (Option<&'a BatchExecutor<'env>>, usize) {
+        if dfg.num_ops() <= SMALL_DFG_SEQUENTIAL_OPS {
+            (None, 1)
+        } else {
+            (exec, effective_threads(self.config.threads, work_items))
         }
     }
 
@@ -217,27 +275,39 @@ impl Panorama {
     }
 
     /// Cluster-maps the top-`N` balanced candidates, one scattering ILP
-    /// per candidate fanned out over the portfolio worker pool. Results
-    /// come back in balance-rank order, each `(partition index, attempt,
-    /// trace collector)`. Scattering runs to completion on every candidate
-    /// (no cross-candidate pruning), so its trace events are stable.
+    /// per candidate fanned out over the portfolio worker pool (or the
+    /// suite-level shared executor when one is in play). Results come
+    /// back in balance-rank order, each `(partition index, attempt, trace
+    /// collector)`. Scattering runs to completion on every candidate (no
+    /// cross-candidate pruning), so its trace events are stable.
     #[allow(clippy::type_complexity)]
-    fn cluster_map_candidates(
+    fn cluster_map_candidates<'env>(
         &self,
-        dfg: &Dfg,
+        dfg: &Arc<Dfg>,
         cgra: &Cgra,
-        partitions: &[Partition],
+        partitions: &Arc<Vec<Partition>>,
         tracer: &Tracer,
+        exec: Option<&BatchExecutor<'env>>,
     ) -> Vec<(usize, Result<(Cdg, ClusterMap), PlaceError>, SpanCollector)> {
         let (rows, cols) = cgra.cluster_grid();
-        let ranked = top_balanced(partitions, self.config.top_partitions);
-        let threads = effective_threads(self.config.threads, ranked.len());
-        run_indexed(threads, ranked.len(), |rank| {
-            let (idx, part) = ranked[rank];
+        let ranked: Vec<usize> = top_balanced(partitions, self.config.top_partitions)
+            .into_iter()
+            .map(|(idx, _)| idx)
+            .collect();
+        let (exec, threads) = self.pool_for(dfg, ranked.len(), exec);
+        // The fan-out closure owns everything it touches, so it can run on
+        // the suite-level executor whose workers outlive this frame.
+        let dfg = Arc::clone(dfg);
+        let partitions = Arc::clone(partitions);
+        let tracer = tracer.clone();
+        let scatter = self.config.scatter;
+        fan_out(exec, threads, ranked.len(), move |rank| {
+            let idx = ranked[rank];
+            let part = &partitions[idx];
             let mut col = tracer.collector(rank as u32);
             let span = col.start();
-            let cdg = Cdg::new(dfg, part);
-            let attempt = map_clusters(&cdg, rows, cols, &self.config.scatter).map(|m| (cdg, m));
+            let cdg = Cdg::new(&dfg, part);
+            let attempt = map_clusters(&cdg, rows, cols, &scatter).map(|m| (cdg, m));
             match &attempt {
                 Ok((_, map)) => {
                     let effort = map.ilp_effort();
@@ -351,12 +421,16 @@ impl Panorama {
 
         let span = pipe.start();
         let t1 = Instant::now();
+        let dfg_shared = Arc::new(dfg.clone());
+        let partitions = Arc::new(partitions);
         // Deterministic reduction over the parallel attempts: least
         // routing complexity wins, ties go to the best balance rank (the
         // iteration order of the candidates).
         let mut best: Option<(usize, Cdg, ClusterMap)> = None;
         let mut last_err: Option<PlaceError> = None;
-        for (idx, attempt, col) in self.cluster_map_candidates(dfg, cgra, &partitions, tracer) {
+        for (idx, attempt, col) in
+            self.cluster_map_candidates(&dfg_shared, cgra, &partitions, tracer, None)
+        {
             collectors.push(col);
             match attempt {
                 Ok((cdg, map)) => {
@@ -493,6 +567,51 @@ impl Panorama {
             mapper,
             tracer,
             cancel,
+            None,
+            &mut pipe,
+            &mut collectors,
+        );
+        collectors.push(pipe);
+        tracer.submit(collectors);
+        result
+    }
+
+    /// [`compile_traced`](Panorama::compile_traced), but with every
+    /// candidate fan-out submitted to a suite-level shared
+    /// [`BatchExecutor`] instead of a per-compile scoped pool. A batch
+    /// driver compiling many kernels opens one executor scope, submits
+    /// kernel jobs as a batch, and each job calls this — so
+    /// kernel×candidate work items interleave across one fixed worker
+    /// set and the per-kernel thread-spawn cost disappears. The result is
+    /// bit-identical to [`compile_traced`](Panorama::compile_traced) at
+    /// any pool size; only wall-clock changes.
+    ///
+    /// `mapper` must outlive the executor scope (`'env`): candidate work
+    /// items sharing the pool may still be queued after this call's
+    /// frame would normally unwind on a panic elsewhere in the batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_traced`](Panorama::compile_traced), plus
+    /// [`PanoramaError::Cancelled`] when `cancel` fires mid-run.
+    pub fn compile_batch_traced<'env, M: LowerLevelMapper>(
+        &self,
+        exec: &BatchExecutor<'env>,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mapper: &'env M,
+        tracer: &Tracer,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut collectors: Vec<SpanCollector> = Vec::new();
+        let result = self.compile_inner(
+            dfg,
+            cgra,
+            mapper,
+            tracer,
+            cancel,
+            Some(exec),
             &mut pipe,
             &mut collectors,
         );
@@ -541,27 +660,38 @@ impl Panorama {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn compile_inner<M: LowerLevelMapper>(
+    fn compile_inner<'env, M: LowerLevelMapper>(
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
-        mapper: &M,
+        mapper: &'env M,
         tracer: &Tracer,
         cancel: Option<&CancelToken>,
+        exec: Option<&BatchExecutor<'env>>,
         pipe: &mut SpanCollector,
         collectors: &mut Vec<SpanCollector>,
     ) -> Result<CompileReport, PanoramaError> {
         Self::check_cancel(cancel)?;
         let analyzed = self.analyze_input(dfg, pipe)?;
-        let dfg = analyzed.as_ref().map_or(dfg, |o| &o.dfg);
+        // Shared ownership of the graph being mapped: candidate work
+        // items may run on suite-level executor workers that outlive this
+        // frame, so they cannot borrow it. (One shallow clone per compile
+        // — vectors of ops and edges — is noise next to a single spectral
+        // sweep.)
+        let dfg: Arc<Dfg> = Arc::new(
+            analyzed
+                .as_ref()
+                .map_or_else(|| dfg.clone(), |o| o.dfg.clone()),
+        );
         Self::check_cancel(cancel)?;
         let span = pipe.start();
-        self.preflight(dfg, cgra, None)?;
+        self.preflight(&dfg, cgra, None)?;
         pipe.record("preflight", span, &[]);
         Self::check_cancel(cancel)?;
 
         let span = pipe.start();
-        let (partitions, eigen_sweeps, clustering_time) = self.explore(dfg, cgra, pipe)?;
+        let (partitions, eigen_sweeps, clustering_time) = self.explore(&dfg, cgra, pipe)?;
+        let partitions = Arc::new(partitions);
         pipe.record(
             "partition",
             span,
@@ -573,19 +703,12 @@ impl Panorama {
 
         let span = pipe.start();
         let t1 = Instant::now();
-        struct Candidate {
-            rank: usize,
-            partition_index: usize,
-            cdg: Cdg,
-            cluster_map: ClusterMap,
-            restriction: Restriction,
-        }
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut last_place_err: Option<PlaceError> = None;
         let mut first_infeasible: Option<Vec<Diagnostic>> = None;
         let mut attempts = 0i64;
         for (rank, (idx, attempt, col)) in self
-            .cluster_map_candidates(dfg, cgra, &partitions, tracer)
+            .cluster_map_candidates(&dfg, cgra, &partitions, tracer, exec)
             .into_iter()
             .enumerate()
         {
@@ -593,12 +716,12 @@ impl Panorama {
             attempts += 1;
             match attempt {
                 Ok((cdg, cluster_map)) => {
-                    let restriction = Restriction::from_cluster_map(dfg, &cdg, &cluster_map, cgra);
-                    self.assert_plan_invariants(dfg, &partitions[idx], &cdg, &restriction);
+                    let restriction = Restriction::from_cluster_map(&dfg, &cdg, &cluster_map, cgra);
+                    self.assert_plan_invariants(&dfg, &partitions[idx], &cdg, &restriction);
                     // Restricted pre-flight: candidates the static bounds
                     // prove hopeless cannot produce a mapping, so they
                     // never enter the portfolio.
-                    match self.preflight(dfg, cgra, Some(&restriction)) {
+                    match self.preflight(&dfg, cgra, Some(&restriction)) {
                         Ok(()) => candidates.push(Candidate {
                             rank,
                             partition_index: idx,
@@ -640,36 +763,45 @@ impl Panorama {
         // first, so the shared bound starts pruning early. The execution
         // order affects only wall-clock — see the reduction below.
         candidates.sort_by_key(|c| (c.cluster_map.routing_complexity(), c.rank));
-        let threads = effective_threads(self.config.threads, candidates.len());
+        let candidates = Arc::new(candidates);
+        let (pool, threads) = self.pool_for(&dfg, candidates.len(), exec);
         let bound = PortfolioBound::new();
         let span = pipe.start();
         let t2 = Instant::now();
-        let mut outcomes = run_indexed(threads, candidates.len(), |i| {
-            let c = &candidates[i];
-            let mut control = SearchControl::new(
-                Arc::clone(&bound),
-                c.cluster_map.routing_complexity(),
-                c.rank,
-            );
-            if let Some(tok) = cancel {
-                control = control.with_cancel(tok.clone());
-            }
-            // The conquer collector's seq numbers start at SEQ_BASE_MAP so
-            // they merge after the same candidate's scatter events.
-            let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP);
-            let attempt_span = col.start();
-            let outcome =
-                mapper.map_traced(dfg, cgra, Some(&c.restriction), Some(&control), &mut col);
-            match &outcome {
-                Ok(m) => col.record(
-                    "map.candidate",
-                    attempt_span,
-                    &[("ii", m.ii() as i64), ("success", 1)],
-                ),
-                Err(_) => col.record("map.candidate", attempt_span, &[("success", 0)]),
-            }
-            (outcome, col)
-        });
+        let mut outcomes = {
+            let candidates = Arc::clone(&candidates);
+            let dfg = Arc::clone(&dfg);
+            let cgra = cgra.clone();
+            let tracer = tracer.clone();
+            let cancel_token = cancel.cloned();
+            let bound = Arc::clone(&bound);
+            fan_out(pool, threads, candidates.len(), move |i| {
+                let c = &candidates[i];
+                let mut control = SearchControl::new(
+                    Arc::clone(&bound),
+                    c.cluster_map.routing_complexity(),
+                    c.rank,
+                );
+                if let Some(tok) = &cancel_token {
+                    control = control.with_cancel(tok.clone());
+                }
+                // The conquer collector's seq numbers start at SEQ_BASE_MAP so
+                // they merge after the same candidate's scatter events.
+                let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP);
+                let attempt_span = col.start();
+                let outcome =
+                    mapper.map_traced(&dfg, &cgra, Some(&c.restriction), Some(&control), &mut col);
+                match &outcome {
+                    Ok(m) => col.record(
+                        "map.candidate",
+                        attempt_span,
+                        &[("ii", m.ii() as i64), ("success", 1)],
+                    ),
+                    Err(_) => col.record("map.candidate", attempt_span, &[("success", 0)]),
+                }
+                (outcome, col)
+            })
+        };
         let mapping_time = t2.elapsed();
 
         // A fired token wins over any candidate that slipped through
@@ -739,7 +871,7 @@ impl Panorama {
                 PanoramaError::Mapping(e)
             });
         };
-        let c = candidates.swap_remove(winner);
+        let c = candidates[winner].clone();
         pipe.record(
             "map",
             span,

@@ -58,6 +58,11 @@ const REQUIRED: &[(&str, &str)] = &[
     ("mrrg_cache", "entries"),
     ("mrrg_cache", "capacity"),
     ("mrrg_cache", "evictions"),
+    ("warm_cache", "hits"),
+    ("warm_cache", "misses"),
+    ("warm_cache", "entries"),
+    ("warm_cache", "capacity"),
+    ("warm_cache", "evictions"),
 ];
 
 /// The cumulative subset of [`REQUIRED`] that must never decrease across
@@ -74,6 +79,9 @@ const MONOTONIC: &[(&str, &str)] = &[
     ("mrrg_cache", "hits"),
     ("mrrg_cache", "misses"),
     ("mrrg_cache", "evictions"),
+    ("warm_cache", "hits"),
+    ("warm_cache", "misses"),
+    ("warm_cache", "evictions"),
 ];
 
 /// `SERVE001`: schema and field shape. Returns `false` when the snapshot
@@ -258,6 +266,7 @@ mod tests {
              \"requests\":{{\"received\":{received},\"completed\":{completed},\"shed\":0,\"cancelled\":0,\"failed\":0}},\
              \"result_cache\":{{\"hits\":{hits},\"misses\":1,\"entries\":1,\"capacity\":256,\"evictions\":0}},\
              \"mrrg_cache\":{{\"hits\":4,\"misses\":2,\"entries\":2,\"capacity\":32,\"evictions\":0}},\
+             \"warm_cache\":{{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0}},\
              \"phases\":[{phases}]}}"
         )
     }

@@ -52,6 +52,7 @@ mod schedule;
 mod spr;
 mod stats;
 mod ultrafast;
+mod warmstart;
 
 pub use cancel::CancelToken;
 pub use configware::{ConfigWord, Configware, ValueSource};
@@ -68,6 +69,7 @@ pub use schedule::{modulo_schedule, modulo_schedule_variant, ScheduleError};
 pub use spr::{MapError, SprConfig, SprMapper};
 pub use stats::RouteStats;
 pub use ultrafast::{UltraFastConfig, UltraFastMapper};
+pub use warmstart::{WarmHint, WarmStartCache, DEFAULT_WARM_CACHE_CAPACITY};
 
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;

@@ -122,6 +122,22 @@ pub(crate) fn home_bias(cgra: &Cgra, restriction: Option<&Restriction>, op: OpId
     dist as f64 * 8.0
 }
 
+/// Warm-started joint schedule + placement: ops with a `(PE, time)` seed
+/// from a prior mapping keep it whenever it is still legal (schedule
+/// window, FU slot, memory/multiplier capability, cluster restriction,
+/// memory slot budget); everything else — unseeded ops, seeds invalidated
+/// by the delta — falls back to the cold least-cost search op by op.
+/// Returns `Err(op)` naming the first op with no legal `(t, PE)` at all.
+pub(crate) fn warm_placement(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    ii: usize,
+    restriction: Option<&Restriction>,
+    seeds: &[Option<(PeId, usize)>],
+) -> Result<PlacementState, OpId> {
+    placement_pass(dfg, cgra, ii, restriction, Some(seeds))
+}
+
 /// Greedy least-cost joint schedule + placement of every op in topological
 /// order. Returns `Err(op)` naming the first op with no legal `(t, PE)`.
 pub(crate) fn initial_placement(
@@ -129,6 +145,16 @@ pub(crate) fn initial_placement(
     cgra: &Cgra,
     ii: usize,
     restriction: Option<&Restriction>,
+) -> Result<PlacementState, OpId> {
+    placement_pass(dfg, cgra, ii, restriction, None)
+}
+
+fn placement_pass(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    ii: usize,
+    restriction: Option<&Restriction>,
+    seeds: Option<&[Option<(PeId, usize)>]>,
 ) -> Result<PlacementState, OpId> {
     // quick global feasibility
     if dfg.num_ops() > cgra.num_pes() * ii || dfg.num_mem_ops() > cgra.num_mem_pes().max(1) * ii {
@@ -179,6 +205,28 @@ pub(crate) fn initial_placement(
         let estart = estart.max(0);
         if lstart < estart {
             return Err(op);
+        }
+
+        // a still-legal seed from a prior mapping wins outright: warm
+        // starts reproduce the prior solution wherever the delta allows,
+        // and fall through to the cold search where it does not
+        if let Some(&Some((pe, t))) = seeds.and_then(|s| s.get(op.index())) {
+            let slot = t % ii;
+            let in_window = t as i64 >= estart
+                && (t as i64) < (estart + ii as i64).min(lstart.saturating_add(1));
+            let legal = in_window
+                && (!is_mem || (mem_per_slot[slot] < mem_budget && cgra.is_mem_pe(pe)))
+                && state.is_free(pe, slot)
+                && (dfg.op(op).kind != panorama_dfg::OpKind::Mul || cgra.has_multiplier(pe))
+                && restriction.is_none_or(|r| r.allows(op, cgra.cluster_of(pe)));
+            if legal {
+                state.place(op, pe, t);
+                if is_mem {
+                    mem_per_slot[slot] += 1;
+                }
+                placed[op.index()] = true;
+                continue;
+            }
         }
 
         let mut best: Option<(f64, usize, PeId)> = None;

@@ -12,8 +12,12 @@
 //! This is the hottest loop in the toolchain, so the per-signal A* runs on
 //! flat `Vec`-backed tables indexed by `(elapsed, MRRG node)` and
 //! invalidated by generation stamps — no hashing, and no per-signal
-//! clearing. All buffers live in a [`RouterScratch`] reused across
-//! signals, PathFinder iterations, and annealing rounds.
+//! clearing. Producer broadcast claims live in a packed per-time-slice
+//! `u64` bitset (one AND/OR per probe), and neighbor expansion walks a
+//! flattened CSR with FU destinations pre-filtered and destination PE
+//! coordinates and capacities inlined per edge. All buffers live in a
+//! [`RouterScratch`] reused across signals, PathFinder iterations, and
+//! annealing rounds.
 
 use crate::mapping::Route;
 use crate::placement::PlacementState;
@@ -81,8 +85,22 @@ struct Signal {
     delta: i64,
 }
 
+/// One pre-lowered MRRG edge in the flattened CSR: everything the A*
+/// inner loop needs (destination, time advance, destination PE grid
+/// position for the heuristic, destination capacity) in one cache line's
+/// worth of sequential reads, with FU destinations already filtered out.
+#[derive(Clone, Copy)]
+struct FlatEdge {
+    dst: u32,
+    /// 0 or 1 time advance.
+    advance: u8,
+    dst_row: u8,
+    dst_col: u8,
+    capacity: u16,
+}
+
 /// Reusable routing state: A* tables, the priority heap, per-producer
-/// claim marks, congestion history, and per-iteration base costs. Created
+/// claim bits, congestion history, and per-iteration base costs. Created
 /// once per II attempt and threaded through every `route_all` call of the
 /// annealing loop, so the hot path never allocates.
 pub(crate) struct RouterScratch {
@@ -95,18 +113,25 @@ pub(crate) struct RouterScratch {
     parent: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<HeapEntry>,
-    /// Per-node stamp marking nodes already claimed by the current
-    /// producer's broadcast tree (shared fan-out routes cost ~nothing).
-    /// A claim is only shareable at the *same elapsed time* (see
-    /// `claimed_time`): the same producer crossing a node at two different
-    /// times carries two different iterations' values in the pipelined
-    /// steady state, which is a real conflict, not a broadcast share.
-    claimed_stamp: Vec<u32>,
-    /// Elapsed time (cycles since the producer's broadcast) at which the
-    /// current claim on each node was made; only valid where
-    /// `claimed_stamp` matches the current generation.
-    claimed_time: Vec<u32>,
-    claimed_generation: u32,
+    /// Packed occupancy bits marking `(elapsed, node)` pairs already
+    /// claimed by the current producer's broadcast tree (shared fan-out
+    /// routes cost ~nothing). Bit `node % 64` of word
+    /// `elapsed * claim_words + node / 64`. A claim is only shareable at
+    /// the *same elapsed time*: the same producer crossing a node at two
+    /// different times carries two different iterations' values in the
+    /// pipelined steady state, which is a real conflict, not a broadcast
+    /// share. One AND per probe, one OR per claim.
+    claim_bits: Vec<u64>,
+    /// Words of `claim_bits` set since the last [`Self::clear_claims`];
+    /// clearing a producer group zeroes only these.
+    claim_dirty: Vec<u32>,
+    /// `u64` words per time slice (`num_nodes / 64`, rounded up).
+    claim_words: usize,
+    /// Flattened neighbor CSR: `flat_edges[flat_offsets[n]..flat_offsets
+    /// [n + 1]]` are node `n`'s outgoing edges, FU destinations excluded.
+    /// Built lazily per MRRG (reset with the II).
+    flat_offsets: Vec<u32>,
+    flat_edges: Vec<FlatEdge>,
     /// `1 + history` per node, refreshed once per PathFinder iteration so
     /// the A* inner loop pays one multiply instead of a float add per
     /// visit.
@@ -127,9 +152,11 @@ impl RouterScratch {
             parent: Vec::new(),
             generation: 0,
             heap: BinaryHeap::new(),
-            claimed_stamp: Vec::new(),
-            claimed_time: Vec::new(),
-            claimed_generation: 0,
+            claim_bits: Vec::new(),
+            claim_dirty: Vec::new(),
+            claim_words: 0,
+            flat_offsets: Vec::new(),
+            flat_edges: Vec::new(),
             base_cost: Vec::new(),
             history: Vec::new(),
             usage: Vec::new(),
@@ -145,10 +172,29 @@ impl RouterScratch {
         // too; dropping the stamps (cheap — they are reused allocations)
         // keeps stale small-II entries from aliasing large-II states.
         self.stamp.clear();
-        self.claimed_stamp.clear();
-        self.claimed_time.clear();
+        self.claim_bits.clear();
+        self.claim_dirty.clear();
+        self.claim_words = 0;
+        // The CSR is a projection of the MRRG, which changes with the II.
+        self.flat_offsets.clear();
+        self.flat_edges.clear();
         self.generation = 0;
-        self.claimed_generation = 0;
+    }
+
+    /// Snapshot of the congestion history, for warm-start caching after a
+    /// successful search.
+    pub fn export_history(&self) -> Vec<f32> {
+        self.history.clone()
+    }
+
+    /// Preloads the congestion history from a prior search at the same II
+    /// on the same architecture — PathFinder starts already knowing which
+    /// nodes the converged solution had to negotiate around. Call right
+    /// after [`Self::reset_for_ii`]; `ensure_capacity` extends with zeros
+    /// if the node count ever differs.
+    pub fn seed_history(&mut self, history: &[f32]) {
+        self.history.clear();
+        self.history.extend_from_slice(history);
     }
 
     /// Sizes every per-node / per-state table for `num_nodes` MRRG nodes
@@ -160,15 +206,80 @@ impl RouterScratch {
             self.best.resize(states, 0.0);
             self.parent.resize(states, u32::MAX);
         }
-        if self.claimed_stamp.len() < num_nodes {
-            self.claimed_stamp.resize(num_nodes, 0);
-            self.claimed_time.resize(num_nodes, 0);
+        self.claim_words = num_nodes.div_ceil(64);
+        let claim_len = (max_delta + 1) * self.claim_words;
+        if self.claim_bits.len() < claim_len {
+            self.claim_bits.resize(claim_len, 0);
         }
         self.history.resize(num_nodes, 0.0);
         self.usage.resize(num_nodes, 0);
         if self.base_cost.len() < num_nodes {
             self.base_cost.resize(num_nodes, 1.0);
         }
+    }
+
+    /// Builds the flattened neighbor CSR for `mrrg`: per-edge destination,
+    /// time advance, destination PE position, and capacity, with edges
+    /// into FU nodes dropped up front (compute slots belong to placed ops;
+    /// routes terminate at inputs or register reads). Source edge order is
+    /// preserved, so A* tie-breaking matches walking `Mrrg::out_edges`.
+    fn build_flat(&mut self, mrrg: &Mrrg, cgra: &Cgra) {
+        let num_nodes = mrrg.num_nodes();
+        self.flat_offsets.clear();
+        self.flat_edges.clear();
+        self.flat_offsets.reserve(num_nodes + 1);
+        self.flat_offsets.push(0);
+        for n in 0..num_nodes {
+            let node = MrrgNodeId::from_index(n);
+            for e in mrrg.out_edges(node) {
+                if matches!(mrrg.kind(e.dst), panorama_arch::NodeKind::Fu) {
+                    continue;
+                }
+                let (row, col) = cgra.pe_position(mrrg.pe_of(e.dst));
+                self.flat_edges.push(FlatEdge {
+                    dst: e.dst.index() as u32,
+                    advance: u8::from(e.advance),
+                    dst_row: row as u8,
+                    dst_col: col as u8,
+                    capacity: mrrg.capacity(e.dst),
+                });
+            }
+            self.flat_offsets.push(self.flat_edges.len() as u32);
+        }
+    }
+
+    /// True when the current producer group already claimed `node` at
+    /// `elapsed` cycles from its broadcast.
+    #[inline]
+    fn is_claimed(&self, node: usize, elapsed: u32) -> bool {
+        let word = elapsed as usize * self.claim_words + (node >> 6);
+        self.claim_bits[word] & (1u64 << (node & 63)) != 0
+    }
+
+    /// Claims `(node, elapsed)` for the current producer group. Returns
+    /// `true` when it was already claimed — a genuine same-cycle broadcast
+    /// share whose occupancy must not be counted twice.
+    fn claim(&mut self, node: usize, elapsed: u32) -> bool {
+        let word = elapsed as usize * self.claim_words + (node >> 6);
+        let mask = 1u64 << (node & 63);
+        let bits = self.claim_bits[word];
+        if bits & mask != 0 {
+            return true;
+        }
+        if bits == 0 {
+            self.claim_dirty.push(word as u32);
+        }
+        self.claim_bits[word] = bits | mask;
+        false
+    }
+
+    /// Starts a new producer group by zeroing exactly the bitset words the
+    /// previous group dirtied — O(nodes touched), not O(table).
+    fn clear_claims(&mut self) {
+        for &word in &self.claim_dirty {
+            self.claim_bits[word as usize] = 0;
+        }
+        self.claim_dirty.clear();
     }
 
     /// Refreshes the per-node base costs from the congestion history;
@@ -189,16 +300,6 @@ impl RouterScratch {
         }
         self.generation += 1;
         self.generation
-    }
-
-    /// Starts a new producer group: previously claimed nodes become
-    /// unclaimed, again without clearing.
-    fn next_claim_generation(&mut self) {
-        if self.claimed_generation == u32::MAX {
-            self.claimed_stamp.fill(0);
-            self.claimed_generation = 0;
-        }
-        self.claimed_generation += 1;
     }
 
     /// A* over `(MRRG node, elapsed cycles)`: finds a cheapest path from
@@ -224,21 +325,21 @@ impl RouterScratch {
         }
         let delta = delta as u32;
         let num_nodes = mrrg.num_nodes();
+        if self.flat_offsets.len() != num_nodes + 1 {
+            self.build_flat(mrrg, cgra);
+        }
         let generation = self.next_generation();
         let start = mrrg.out(src_pe, start_time);
         let goal_in = mrrg.input(dst_pe, dst_slot);
         let goal_rr = mrrg.reg_read(dst_pe, dst_slot);
+        let (goal_row, goal_col) = cgra.pe_position(dst_pe);
+        let (goal_row, goal_col) = (goal_row as u32, goal_col as u32);
 
-        let node_cost = |scratch: &Self, n: MrrgNodeId, elapsed: u32| -> f64 {
-            let cap = mrrg.capacity(n);
+        let node_cost = |scratch: &Self, i: usize, elapsed: u32, cap: u16| -> f64 {
             if cap == u16::MAX {
                 return 0.05; // topology nodes are nearly free
             }
-            let i = n.index();
-            if scratch.claimed_stamp[i] == scratch.claimed_generation
-                && scratch.claimed_generation > 0
-                && scratch.claimed_time[i] == elapsed
-            {
+            if scratch.is_claimed(i, elapsed) {
                 // this producer already broadcasts here *in the same
                 // cycle*: one physical value, genuinely shared
                 return 0.02;
@@ -246,69 +347,71 @@ impl RouterScratch {
             let over = (f64::from(scratch.usage[i]) + 1.0 - f64::from(cap)).max(0.0);
             scratch.base_cost[i] * (1.0 + over * present)
         };
-        let heuristic = |n: MrrgNodeId| cgra.manhattan(mrrg.pe_of(n), dst_pe) as f64;
 
         self.heap.clear();
-        let g0 = node_cost(self, start, 0);
+        let g0 = node_cost(self, start.index(), 0, mrrg.capacity(start));
         let start_key = start.index() as u32; // elapsed 0 ⇒ key = node index
         self.stamp[start_key as usize] = generation;
         self.best[start_key as usize] = g0;
         self.parent[start_key as usize] = u32::MAX;
         self.heap.push(HeapEntry {
-            f: g0 + heuristic(start),
+            f: g0 + cgra.manhattan(src_pe, dst_pe) as f64,
             key: start_key,
         });
 
         let mut expansions = 0usize;
         while let Some(HeapEntry { key, .. }) = self.heap.pop() {
-            let node = MrrgNodeId::from_index(key as usize % num_nodes);
+            let node_index = key as usize % num_nodes;
             let elapsed = key / num_nodes as u32;
             let g = self.best[key as usize];
             expansions += 1;
             if expansions > max_expansions {
                 return None;
             }
-            if elapsed == delta && (node == goal_in || node == goal_rr) {
-                // reconstruct; the elapsed time of every hop is encoded in
-                // its state key, so recovering it is free
-                let mut path = vec![(node, elapsed)];
-                let mut cur = key;
-                while self.parent[cur as usize] != u32::MAX {
-                    cur = self.parent[cur as usize];
-                    path.push((
-                        MrrgNodeId::from_index(cur as usize % num_nodes),
-                        cur / num_nodes as u32,
-                    ));
+            if elapsed == delta {
+                let node = MrrgNodeId::from_index(node_index);
+                if node == goal_in || node == goal_rr {
+                    // reconstruct; the elapsed time of every hop is encoded
+                    // in its state key, so recovering it is free
+                    let mut path = vec![(node, elapsed)];
+                    let mut cur = key;
+                    while self.parent[cur as usize] != u32::MAX {
+                        cur = self.parent[cur as usize];
+                        path.push((
+                            MrrgNodeId::from_index(cur as usize % num_nodes),
+                            cur / num_nodes as u32,
+                        ));
+                    }
+                    path.reverse();
+                    return Some(path);
                 }
-                path.reverse();
-                return Some(path);
             }
-            for edge in mrrg.out_edges(node) {
-                // never route *through* an FU: compute slots belong to
-                // placed ops (consumption happens past the path's terminal
-                // node)
-                if matches!(mrrg.kind(edge.dst), panorama_arch::NodeKind::Fu) {
-                    continue;
-                }
+            let lo = self.flat_offsets[node_index] as usize;
+            let hi = self.flat_offsets[node_index + 1] as usize;
+            // FU destinations were filtered when the CSR was built; the
+            // slice walk re-checks no bounds and touches no MRRG tables.
+            for edge in &self.flat_edges[lo..hi] {
+                let edge = *edge;
                 let ne = elapsed + u32::from(edge.advance);
                 if ne > delta {
                     continue;
                 }
                 // reachability prune: remaining advances must cover the
                 // distance
-                let remaining = (delta - ne) as usize;
-                if cgra.manhattan(mrrg.pe_of(edge.dst), dst_pe) > remaining {
+                let dist = u32::from(edge.dst_row).abs_diff(goal_row)
+                    + u32::from(edge.dst_col).abs_diff(goal_col);
+                if dist > delta - ne {
                     continue;
                 }
-                let ng = g + node_cost(self, edge.dst, ne);
-                let nkey = ne * num_nodes as u32 + edge.dst.index() as u32;
+                let ng = g + node_cost(self, edge.dst as usize, ne, edge.capacity);
+                let nkey = ne * num_nodes as u32 + edge.dst;
                 let ni = nkey as usize;
                 if self.stamp[ni] != generation || ng < self.best[ni] - 1e-12 {
                     self.stamp[ni] = generation;
                     self.best[ni] = ng;
                     self.parent[ni] = key;
                     self.heap.push(HeapEntry {
-                        f: ng + heuristic(edge.dst),
+                        f: ng + f64::from(dist),
                         key: nkey,
                     });
                 }
@@ -407,7 +510,7 @@ pub(crate) fn route_all(
             };
             if producer != current_producer {
                 current_producer = producer;
-                scratch.next_claim_generation();
+                scratch.clear_claims();
             }
             let found = scratch.route_one(
                 mrrg,
@@ -426,14 +529,12 @@ pub(crate) fn route_all(
                         // fan-out edges of one producer broadcast a single
                         // physical value: nodes shared *at the same cycle*
                         // count once. A second visit at a different time is
-                        // a different iteration's value and must pay.
+                        // a different iteration's value and must pay. The
+                        // bitset remembers *every* `(node, time)` claim of
+                        // the group, so occupancy matches the verifier's
+                        // distinct-`(node, time)` model exactly.
                         let i = n.index();
-                        if mrrg.capacity(n) != u16::MAX
-                            && (scratch.claimed_stamp[i] != scratch.claimed_generation
-                                || scratch.claimed_time[i] != t)
-                        {
-                            scratch.claimed_stamp[i] = scratch.claimed_generation;
-                            scratch.claimed_time[i] = t;
+                        if mrrg.capacity(n) != u16::MAX && !scratch.claim(i, t) {
                             scratch.usage[i] = scratch.usage[i].saturating_add(1);
                         }
                     }
@@ -641,33 +742,47 @@ mod tests {
     }
 
     #[test]
-    fn claim_generations_expire_previous_producers() {
+    fn claims_clear_between_producer_groups() {
         let (cgra, mrrg) = setup(2);
         let mut scratch = fresh_scratch(&mrrg, 1);
         let a = cgra.pe_at(0, 0);
         let b = cgra.pe_at(0, 1);
-        scratch.next_claim_generation();
         let path = scratch
             .route_one(&mrrg, &cgra, a, b, 0, 1, 1, 0.5, 100_000)
             .unwrap();
         // claim the path for the producer, as route_all does
+        let mut claimed_now = Vec::new();
         for &(n, t) in &path {
             if mrrg.capacity(n) != u16::MAX {
-                scratch.claimed_stamp[n.index()] = scratch.claimed_generation;
-                scratch.claimed_time[n.index()] = t;
+                assert!(!scratch.claim(n.index(), t), "first claim is not a share");
+                assert!(
+                    scratch.claim(n.index(), t),
+                    "same-cycle re-claim is a share"
+                );
+                claimed_now.push((n.index(), t));
             }
         }
-        let claimed_now: Vec<usize> = path
-            .iter()
-            .filter(|(n, _)| mrrg.capacity(*n) != u16::MAX)
-            .map(|(n, _)| n.index())
-            .collect();
         assert!(!claimed_now.is_empty());
         // a new producer group must not see those claims
-        scratch.next_claim_generation();
-        for i in claimed_now {
-            assert_ne!(scratch.claimed_stamp[i], scratch.claimed_generation);
+        scratch.clear_claims();
+        for (i, t) in claimed_now {
+            assert!(!scratch.is_claimed(i, t));
         }
+    }
+
+    #[test]
+    fn claims_are_per_cycle_not_per_node() {
+        let (_cgra, mrrg) = setup(4);
+        let mut scratch = fresh_scratch(&mrrg, 3);
+        assert!(!scratch.claim(5, 1));
+        assert!(
+            !scratch.claim(5, 2),
+            "same node at another cycle carries another iteration's value"
+        );
+        assert!(scratch.is_claimed(5, 1), "earlier claims stay visible");
+        assert!(scratch.claim(5, 1), "both cycles remain claimed");
+        scratch.clear_claims();
+        assert!(!scratch.is_claimed(5, 1) && !scratch.is_claimed(5, 2));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! re-implementing SPR (Friedman et al., FPGA'09) on the MRRG.
 
 use crate::placement::{
-    candidates_for, home_bias, initial_placement, placement_cost, PlacementState,
+    candidates_for, home_bias, initial_placement, placement_cost, warm_placement, PlacementState,
 };
 use crate::router::{route_all, RouterConfig, RouterScratch};
+use crate::warmstart::WarmStartCache;
 use crate::{min_ii, LowerLevelMapper, Mapping, MappingStats, Restriction, SearchControl};
 use panorama_arch::Cgra;
 use panorama_dfg::{Dfg, OpId};
@@ -116,12 +117,32 @@ impl Default for SprConfig {
 pub struct SprMapper {
     /// Mapper configuration.
     pub config: SprConfig,
+    /// Optional warm-start store; see [`SprMapper::with_warm_cache`].
+    warm: Option<WarmStartCache>,
 }
 
 impl SprMapper {
     /// Creates a mapper with custom settings.
     pub fn new(config: SprConfig) -> Self {
-        SprMapper { config }
+        SprMapper { config, warm: None }
+    }
+
+    /// Attaches a [`WarmStartCache`]: successful mappings are recorded
+    /// into it, and each search first consults it for a prior mapping of
+    /// a structurally near-identical `(DFG, architecture)` pair. On a hit
+    /// the attempt at the prior II seeds placement and PathFinder history
+    /// from the stored solution; every seed that no longer fits falls
+    /// back to the cold path, so results always pass the same
+    /// [`Mapping::verify`] as a cold search.
+    #[must_use]
+    pub fn with_warm_cache(mut self, cache: WarmStartCache) -> Self {
+        self.warm = Some(cache);
+        self
+    }
+
+    /// The attached warm-start cache, if any (for hit/miss accounting).
+    pub fn warm_cache(&self) -> Option<&WarmStartCache> {
+        self.warm.as_ref()
     }
 }
 
@@ -179,6 +200,16 @@ impl LowerLevelMapper for SprMapper {
                 .is_some_and(|budget| start.elapsed() > budget)
         };
         let cancel = control.and_then(SearchControl::cancel_token);
+        // One structural lookup per search. A hint's II was proven feasible
+        // for a near-identical graph, so the ascent resumes there instead of
+        // re-paying every failing low-II attempt; the delta could in theory
+        // relax a recurrence and admit a lower II, which the warm search
+        // deliberately forgoes — the incremental-compile trade.
+        let warm_hint = self.warm.as_ref().and_then(|w| w.lookup(dfg, cgra));
+        let start_ii = match &warm_hint {
+            Some(h) if h.ii > start_ii && h.ii <= max_ii => h.ii,
+            _ => start_ii,
+        };
         for ii in start_ii..=max_ii {
             // External cancellation (deadline, shutdown) aborts the whole
             // search with a distinguishable error; timing-dependent, so the
@@ -203,7 +234,27 @@ impl LowerLevelMapper for SprMapper {
             let ii_span = trace.start();
             // joint schedule + least-cost placement (Algorithm 2 lines 4–8)
             let place_span = trace.start();
-            let placement = initial_placement(dfg, cgra, ii, restriction);
+            let warm = warm_hint.as_ref().filter(|h| h.ii == ii);
+            let placement = match warm {
+                // seeds that no longer fit degrade per-op; a wholesale
+                // failure falls back to the cold search for the same II
+                Some(h) => warm_placement(dfg, cgra, ii, restriction, &h.seeds)
+                    .or_else(|_| initial_placement(dfg, cgra, ii, restriction)),
+                None => initial_placement(dfg, cgra, ii, restriction),
+            };
+            if let Some(h) = warm {
+                trace.event(
+                    "spr.warm",
+                    &[
+                        ("ii", ii as i64),
+                        ("edit_distance", h.edit_distance as i64),
+                        (
+                            "seeds",
+                            h.seeds.iter().filter(|s| s.is_some()).count() as i64,
+                        ),
+                    ],
+                );
+            }
             match &placement {
                 Ok(_) => trace.record("spr.place", place_span, &[("ii", ii as i64)]),
                 Err(op) => trace.record(
@@ -218,6 +269,11 @@ impl LowerLevelMapper for SprMapper {
             };
             let mrrg = cgra.mrrg_shared(ii);
             scratch.reset_for_ii();
+            if let Some(h) = warm {
+                // same arch, same II ⇒ node indices line up: PathFinder
+                // starts knowing which nodes the prior run fought over
+                scratch.seed_history(&h.history);
+            }
             let mut temp = self.config.sa_initial_temp;
 
             loop {
@@ -266,6 +322,16 @@ impl LowerLevelMapper for SprMapper {
                         .collect();
                     if let Some(c) = control {
                         c.record_success(ii);
+                    }
+                    if let Some(w) = &self.warm {
+                        w.record_parts(
+                            dfg,
+                            cgra,
+                            ii,
+                            state.pe_of.clone(),
+                            state.time_of.clone(),
+                            scratch.export_history(),
+                        );
                     }
                     trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 1)]);
                     return Ok(Mapping {

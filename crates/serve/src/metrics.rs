@@ -210,6 +210,7 @@ impl Metrics {
         queue_capacity: usize,
         mut result_cache: CacheStats,
         mrrg_cache: CacheStats,
+        warm_cache: CacheStats,
     ) -> String {
         let m = self.lock();
         // Result-cache lookups are tallied here (they take part in the
@@ -224,7 +225,11 @@ impl Metrics {
              \"requests\":{{\"received\":{},\"completed\":{},\"shed\":{},\"cancelled\":{},\"failed\":{}}}",
             m.queued, m.in_flight, m.received, m.completed, m.shed, m.cancelled, m.failed,
         );
-        for (name, c) in [("result_cache", &result_cache), ("mrrg_cache", &mrrg_cache)] {
+        for (name, c) in [
+            ("result_cache", &result_cache),
+            ("mrrg_cache", &mrrg_cache),
+            ("warm_cache", &warm_cache),
+        ] {
             let _ = write!(
                 s,
                 ",\"{name}\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{},\"evictions\":{}}}",
@@ -273,8 +278,13 @@ mod tests {
     fn conservation_holds_through_every_transition() {
         let m = Metrics::new();
         let check = |m: &Metrics| {
-            let doc = json::parse(&m.to_json(4, CacheStats::default(), CacheStats::default()))
-                .expect("metrics JSON parses");
+            let doc = json::parse(&m.to_json(
+                4,
+                CacheStats::default(),
+                CacheStats::default(),
+                CacheStats::default(),
+            ))
+            .expect("metrics JSON parses");
             let (received, accounted) = counters(&doc);
             assert_eq!(received, accounted);
         };
@@ -329,7 +339,13 @@ mod tests {
         m.request_enqueued();
         m.job_started();
         m.job_completed(&[("preflight", 10), ("map", 20)]);
-        let doc = json::parse(&m.to_json(8, CacheStats::default(), CacheStats::default())).unwrap();
+        let doc = json::parse(&m.to_json(
+            8,
+            CacheStats::default(),
+            CacheStats::default(),
+            CacheStats::default(),
+        ))
+        .unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), METRICS_SCHEMA);
         let phases = doc.get("phases").unwrap().as_arr().unwrap();
         let names: Vec<&str> = phases

@@ -32,7 +32,9 @@ use panorama::{CompileReport, Panorama, PanoramaConfig, PanoramaError};
 use panorama_arch::{Cgra, CgraConfig, DEFAULT_MRRG_CACHE_CAPACITY};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_lint::{Diagnostics, LintContext, Registry};
-use panorama_mapper::{CancelToken, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
+use panorama_mapper::{
+    CancelToken, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper, WarmStartCache,
+};
 use panorama_trace::json::{escape, parse, Json};
 use panorama_trace::{phase_totals, RecordingSink, Tracer};
 use std::collections::HashMap;
@@ -70,6 +72,14 @@ pub struct ServeConfig {
     /// say otherwise (a request's `analyze` field overrides this
     /// default). Off by default so responses stay bit-stable.
     pub analyze: bool,
+    /// Enable the warm-start remap tier: SPR\* compiles share a
+    /// [`WarmStartCache`], so a kernel within a small structural delta of
+    /// a previously compiled one is remapped from the prior placement and
+    /// router history instead of from scratch. Off by default because a
+    /// warm-seeded search may legitimately land on a different (equally
+    /// verified) mapping than a cold one, trading the daemon's
+    /// byte-stable-response guarantee for recompile latency.
+    pub warm_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +93,7 @@ impl Default for ServeConfig {
             mrrg_cache_capacity: DEFAULT_MRRG_CACHE_CAPACITY,
             portfolio_threads: 1,
             analyze: false,
+            warm_cache: false,
         }
     }
 }
@@ -136,6 +147,9 @@ struct State {
     /// text; bounded crudely (cleared past 16 architectures — a daemon
     /// serves a handful).
     cgras: Mutex<HashMap<String, Cgra>>,
+    /// Warm-start tier shared by every SPR\* compile; `None` when the
+    /// daemon runs with bit-stable responses (the default).
+    warm: Option<WarmStartCache>,
     watch: Mutex<Vec<WatchEntry>>,
     draining: AtomicBool,
     stopped: AtomicBool,
@@ -175,6 +189,19 @@ impl State {
             stats.evictions += c.evictions();
         }
         stats
+    }
+
+    fn warm_stats(&self) -> CacheStats {
+        match &self.warm {
+            None => CacheStats::default(),
+            Some(cache) => CacheStats {
+                hits: cache.hits(),
+                misses: cache.misses(),
+                entries: cache.len() as u64,
+                capacity: cache.capacity() as u64,
+                evictions: cache.evictions(),
+            },
+        }
     }
 
     fn result_stats(&self) -> CacheStats {
@@ -232,6 +259,7 @@ impl Server {
             metrics: Metrics::new(),
             results: ResultCache::new(config.result_cache_capacity),
             cgras: Mutex::new(HashMap::new()),
+            warm: config.warm_cache.then(WarmStartCache::default),
             watch: Mutex::new(Vec::new()),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
@@ -399,7 +427,12 @@ fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
         }
     };
     let result: Result<CompileReport, PanoramaError> = match req.mapper.as_str() {
-        "spr" => run(&SprMapper::default()),
+        // The warm tier only helps SPR*: it is the one mapper that can
+        // seed its placement and router history from a prior mapping.
+        "spr" => match &state.warm {
+            Some(cache) => run(&SprMapper::default().with_warm_cache(cache.clone())),
+            None => run(&SprMapper::default()),
+        },
         "ultrafast" => run(&UltraFastMapper::default()),
         "exhaustive" => run(&ExactMapper::default()),
         other => {
@@ -478,6 +511,7 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
                     state.queue.capacity(),
                     state.result_stats(),
                     state.mrrg_stats(),
+                    state.warm_stats(),
                 )
             );
             let _ = write_response(&stream, 200, &[], &body);

@@ -15,7 +15,9 @@
 //!               [--out FILE] [--json]
 //! panorama serve [--addr IP:PORT] [--workers N] [--queue-depth N]
 //!                [--deadline-ms MS] [--result-cache N] [--mrrg-cache N]
-//! panorama bench [--json] [--out FILE] [--mapper spr|ultrafast] [--threads N]
+//!                [--warm-cache]
+//! panorama bench [--json] [--out FILE] [--stable-out FILE]
+//!                [--mapper spr|ultrafast] [--threads N]
 //!                [--check FILE] [--max-kernel-seconds S] [--ceiling-scale X]
 //!                [--trace FILE]
 //! panorama kernels [--scale tiny|scaled|paper]
@@ -82,10 +84,11 @@ fn usage() -> &'static str {
 [--shrink-evals <n>] [--max-seconds <s>] [--corpus <dir>] [--write-corpus] \
 [--out <file>] [--json]\n  \
      panorama serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] \
-[--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>]\n  \
-     panorama bench [--json] [--out <file>] [--mapper spr|ultrafast] \
-[--threads <n>] [--check <baseline.json>] [--max-kernel-seconds <s>] \
-[--ceiling-scale <x>] [--trace <file>] [--analyze]\n  \
+[--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>] \
+[--warm-cache]\n  \
+     panorama bench [--json] [--out <file>] [--stable-out <file>] \
+[--mapper spr|ultrafast] [--threads <n>] [--check <baseline.json>] \
+[--max-kernel-seconds <s>] [--ceiling-scale <x>] [--trace <file>] [--analyze]\n  \
      panorama kernels [--scale tiny|scaled|paper]\n  \
      panorama info --arch <file|preset>\n\n\
      presets: 4x4, 8x8, 9x9, 16x16, 6x1"
@@ -131,6 +134,7 @@ const TRACE_FLAGS: FlagSpec = &[
 const BENCH_FLAGS: FlagSpec = &[
     ("json", true),
     ("out", false),
+    ("stable-out", false),
     ("mapper", false),
     ("threads", false),
     ("check", false),
@@ -172,6 +176,7 @@ const SERVE_FLAGS: FlagSpec = &[
     ("mrrg-cache", false),
     ("threads", false),
     ("analyze", true),
+    ("warm-cache", true),
 ];
 
 fn parse_flags(
@@ -569,8 +574,11 @@ impl LowerLevelMapper for DynMapper<'_> {
 }
 
 /// `panorama bench`: the perf harness over the 12-kernel suite. With
-/// `--json` the report is written to `--out` (default `BENCH_PR2.json`);
-/// with `--check` the fresh run is gated against a checked-in baseline.
+/// `--json` the report is written to `--out` (default `BENCH_PR7.json`)
+/// and `--stable-out` additionally writes the wall-clock-free projection
+/// (byte-identical across runs and thread counts — CI `cmp`s two of
+/// them); with `--check` the fresh run is gated against a checked-in
+/// baseline.
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let options = panorama_bench::BenchOptions {
         threads: parse_threads(flags)?,
@@ -610,10 +618,23 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     if !report.all_identical() {
         return Err("parallel and sequential compiles disagree".into());
     }
+    if let Some(w) = &report.warm {
+        println!(
+            "warm replay: {} kernels, {} cache hits, {:.2}s warm vs {:.2}s cold",
+            w.replays.len(),
+            w.hits,
+            w.wall_seconds,
+            w.wall_seconds_cold
+        );
+    }
     if flags.contains_key("json") {
-        let out = flags.get("out").map_or("BENCH_PR2.json", String::as_str);
+        let out = flags.get("out").map_or("BENCH_PR7.json", String::as_str);
         std::fs::write(out, report.to_json())?;
         eprintln!("wrote {out}");
+    }
+    if let Some(path) = flags.get("stable-out") {
+        std::fs::write(path, report.to_stable_json())?;
+        eprintln!("wrote stable projection {path}");
     }
     if let Some(path) = flags.get("trace") {
         std::fs::write(path, report.to_trace_report().to_json())?;
@@ -841,6 +862,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         mrrg_cache_capacity: parse_n("mrrg-cache", panorama_arch::DEFAULT_MRRG_CACHE_CAPACITY)?,
         portfolio_threads: parse_threads(flags)?,
         analyze: flags.contains_key("analyze"),
+        warm_cache: flags.contains_key("warm-cache"),
     };
     let server = panorama_serve::Server::bind(config)?;
     let addr = server.local_addr();

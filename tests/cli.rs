@@ -85,6 +85,7 @@ fn lint_validates_serve_metrics_files() {
          \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
          \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
          \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
+         \"warm_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0},\
          \"phases\":[]}",
     )
     .unwrap();
@@ -192,6 +193,7 @@ fn lint_report_auto_detects_schema_and_aliases_warn() {
          \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
          \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
          \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
+         \"warm_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0},\
          \"phases\":[]}",
     )
     .unwrap();

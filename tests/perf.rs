@@ -8,10 +8,10 @@
 //! resulting reports to be observably identical — same II, same per-op
 //! placement and schedule, same winning partition.
 
-use panorama::{CompileReport, Panorama, PanoramaConfig};
+use panorama::{BatchExecutor, CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
-use panorama_mapper::{LowerLevelMapper, SprMapper, UltraFastMapper};
+use panorama_mapper::{LowerLevelMapper, SprMapper, UltraFastMapper, WarmStartCache};
 use panorama_trace::{RecordingSink, SpanCollector, TraceReport, Tracer};
 use std::time::{Duration, Instant};
 
@@ -90,6 +90,66 @@ fn spr_portfolio_is_thread_count_invariant() {
             assert_eq!(base, got, "{id}: report diverged at {threads} threads");
         }
     }
+}
+
+#[test]
+fn batch_executor_is_thread_count_invariant_across_the_suite() {
+    // The suite-level executor shares one pool between every kernel's
+    // candidate portfolio; results must still be bit-identical to the
+    // single-threaded compile at any worker count.
+    let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+    let mapper = UltraFastMapper::default();
+    let dfgs: Vec<Dfg> = KernelId::ALL
+        .iter()
+        .map(|&id| kernels::generate(id, KernelScale::Tiny))
+        .collect();
+    let base: Vec<Fingerprint> = dfgs
+        .iter()
+        .map(|d| compile_at(d, &cgra, &mapper, 1))
+        .collect();
+    for threads in [1, 2, 4, 8] {
+        let got: Vec<Fingerprint> = BatchExecutor::scope(threads, |exec| {
+            exec.run_batch(dfgs.len(), |exec, j| {
+                let panorama = Panorama::new(PanoramaConfig {
+                    threads,
+                    ..PanoramaConfig::default()
+                });
+                let report = panorama
+                    .compile_batch_traced(exec, &dfgs[j], &cgra, &mapper, &Tracer::disabled(), None)
+                    .unwrap_or_else(|e| panic!("batch compile failed at {threads} threads: {e}"));
+                fingerprint(&dfgs[j], &report)
+            })
+        });
+        assert_eq!(base, got, "suite diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn warm_start_remap_is_verified_equivalent_to_cold() {
+    // A warm remap may legally differ from the cold mapping, but it must
+    // be a *valid* mapping of the same graph: the independent verifier and
+    // the cycle-accurate simulator are the equivalence oracles, and the
+    // warm II must never exceed the cold II it was seeded from.
+    let cgra = Cgra::new(CgraConfig::small_4x4()).unwrap();
+    let cache = WarmStartCache::default();
+    let warm_mapper = SprMapper::default().with_warm_cache(cache.clone());
+    let cold_mapper = SprMapper::default();
+    for id in [KernelId::Fir, KernelId::Cordic, KernelId::IdctRows] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let cold = cold_mapper.map(&dfg, &cgra, None).unwrap();
+        cache.record(&dfg, &cgra, &cold);
+        let warm = warm_mapper.map(&dfg, &cgra, None).unwrap();
+        warm.verify(&dfg, &cgra)
+            .unwrap_or_else(|e| panic!("{id}: warm mapping failed verification: {e}"));
+        let sim = panorama::sim::simulate(&dfg, &cgra, &warm, 4)
+            .unwrap_or_else(|e| panic!("{id}: warm mapping failed simulation: {e}"));
+        assert!(
+            sim.checked_deliveries > 0,
+            "{id}: simulator checked nothing"
+        );
+        assert!(warm.ii() <= cold.ii(), "{id}: warm II worse than cold");
+    }
+    assert_eq!(cache.hits(), 3, "every warm remap should hit the cache");
 }
 
 /// Compiles with a recording tracer and returns both the mapping
