@@ -23,10 +23,12 @@ pub mod ablations;
 mod experiments;
 mod format;
 pub mod perf;
+pub mod serveload;
 
 pub use experiments::{fig5, fig7, fig8, fig9, table1a, table1b};
 pub use format::Table;
 pub use perf::{calibration_scale, BenchMapper, BenchOptions, BenchReport, KernelResult};
+pub use serveload::{run_serve_load, PhaseReport, ServeLoadOptions, ServeLoadReport};
 
 use panorama_arch::CgraConfig;
 use panorama_dfg::KernelScale;

@@ -1,0 +1,617 @@
+//! Deterministic load generator for the compile daemon.
+//!
+//! Drives N concurrent in-process clients through a *real* socket against
+//! a `panorama-serve` daemon started inside this process, in two phases:
+//!
+//! 1. **cold** — a fresh daemon with an empty disk cache compiles the
+//!    request mix (the 12 benchmark kernels at tiny scale, cycled until
+//!    the request budget is spent);
+//! 2. **warm** — the daemon is drained, *restarted* on the same cache
+//!    directory, and the identical mix is replayed. Every response must
+//!    come back byte-identical to its cold twin and be served from a
+//!    cache tier (hit rate 100%), which exercises the disk tier's
+//!    restart-survival guarantee end to end.
+//!
+//! The report (`panorama-serve-bench-v1`) carries throughput and
+//! log2-bucket latency percentiles; the stable projection
+//! (`panorama-serve-bench-stable-v1`) strips every wall-clock-dependent
+//! field so CI can `cmp` runs at different worker counts byte-for-byte.
+//! `check` gates on the request-conservation and cache-hit-rate
+//! invariants rather than on timing.
+
+use panorama_serve::{ServeConfig, Server};
+use panorama_trace::json::{parse, Json};
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The kernel mix: every benchmark kernel, tiny scale, on the small
+/// array with the fastest mapper — the point is serving behaviour, not
+/// mapper quality, so each compile is milliseconds.
+const KERNELS: &[&str] = &[
+    "edn",
+    "idctcols",
+    "idctrows",
+    "conv2d",
+    "matchedfilter",
+    "matrixmultiply",
+    "cordic",
+    "kmeansclustering",
+    "fir",
+    "jpegfdct",
+    "jpegidctfst",
+    "invertmat",
+];
+
+/// Load-generator knobs; every field maps to a `panorama bench --serve`
+/// flag.
+#[derive(Debug, Clone)]
+pub struct ServeLoadOptions {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests per phase (cycled over the kernel mix).
+    pub requests: usize,
+    /// Daemon worker threads.
+    pub workers: usize,
+    /// Disk-cache directory shared by both phases (pre-existing contents
+    /// are removed so the cold phase really is cold).
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServeLoadOptions {
+    fn default() -> Self {
+        ServeLoadOptions {
+            clients: 4,
+            requests: 48,
+            workers: 2,
+            cache_dir: std::env::temp_dir().join("panorama-serve-bench"),
+        }
+    }
+}
+
+/// Log2-bucket latency histogram (same shape the daemon uses, kept local
+/// so the bench does not reach into serve internals).
+#[derive(Debug, Clone)]
+struct Hist {
+    buckets: [u64; 64],
+    count: u64,
+    total_ns: u64,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: [0; 64],
+            count: 0,
+            total_ns: 0,
+        }
+    }
+
+    fn add(&mut self, ns: u64) {
+        let idx = (64 - ns.leading_zeros() as usize).min(63);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+    }
+
+    fn percentile_ns(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * p).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One phase's measurements.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Wall-clock of the whole phase, seconds.
+    pub wall_seconds: f64,
+    /// Requests per second over the phase wall clock.
+    pub throughput_rps: f64,
+    /// End-to-end latency percentiles (log2-bucket upper bounds).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Responses with HTTP status 200 (must equal `requests`).
+    pub ok: u64,
+    /// Responses with any other status.
+    pub not_ok: u64,
+    /// Daemon-side `requests.received` scraped after the phase.
+    pub received: u64,
+    /// Daemon-side `requests.completed`.
+    pub completed: u64,
+    /// Daemon-side `requests.shed + cancelled + failed + quota_rejected`.
+    pub lost: u64,
+    /// Daemon-side `result_cache.hits` (memory or disk tier).
+    pub cache_hits: u64,
+    /// Daemon-side `disk_cache.hits`.
+    pub disk_hits: u64,
+    /// Daemon-side `disk_cache.entries` at scrape time.
+    pub disk_entries: u64,
+}
+
+/// The two-phase load-bench result.
+#[derive(Debug, Clone)]
+pub struct ServeLoadReport {
+    /// Options the run used.
+    pub clients: usize,
+    /// Requests per phase.
+    pub requests: usize,
+    /// Daemon workers.
+    pub workers: usize,
+    /// Distinct compile keys in the mix.
+    pub unique_kernels: usize,
+    /// Cold-start phase (empty disk cache).
+    pub cold: PhaseReport,
+    /// Warm phase (restarted daemon, same cache directory).
+    pub warm: PhaseReport,
+    /// Every warm response byte-identical to its cold twin.
+    pub identical_replay: bool,
+}
+
+fn phase_json(p: &PhaseReport) -> String {
+    format!(
+        "{{\"wall_seconds\": {:.6}, \"throughput_rps\": {:.3}, \
+         \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+         \"ok\": {}, \"not_ok\": {}, \"received\": {}, \"completed\": {}, \
+         \"lost\": {}, \"cache_hits\": {}, \"disk_hits\": {}, \"disk_entries\": {}}}",
+        p.wall_seconds,
+        p.throughput_rps,
+        p.p50_ns,
+        p.p90_ns,
+        p.p99_ns,
+        p.ok,
+        p.not_ok,
+        p.received,
+        p.completed,
+        p.lost,
+        p.cache_hits,
+        p.disk_hits,
+        p.disk_entries,
+    )
+}
+
+impl ServeLoadReport {
+    /// Serialises the full report (`panorama-serve-bench-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"panorama-serve-bench-v1\",\n");
+        let _ = writeln!(out, "  \"clients\": {},", self.clients);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"unique_kernels\": {},", self.unique_kernels);
+        let _ = writeln!(out, "  \"cold\": {},", phase_json(&self.cold));
+        let _ = writeln!(out, "  \"warm\": {},", phase_json(&self.warm));
+        let _ = writeln!(out, "  \"identical_replay\": {}", self.identical_replay);
+        out.push_str("}\n");
+        out
+    }
+
+    /// The wall-clock-free projection (`panorama-serve-bench-stable-v1`):
+    /// byte-identical across runs, machines, and worker counts, so CI
+    /// `cmp`s it directly. Racy counters (disk hit counts can vary with
+    /// promotion races between clients) are projected to the invariants
+    /// they must satisfy, not their exact values.
+    pub fn to_stable_json(&self) -> String {
+        let conserve = |p: &PhaseReport| {
+            p.received == self.requests as u64
+                && p.completed == p.received
+                && p.lost == 0
+                && p.ok == self.requests as u64
+                && p.not_ok == 0
+        };
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"panorama-serve-bench-stable-v1\",\n");
+        let _ = writeln!(out, "  \"clients\": {},", self.clients);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"unique_kernels\": {},", self.unique_kernels);
+        let _ = writeln!(out, "  \"cold_conserved\": {},", conserve(&self.cold));
+        let _ = writeln!(out, "  \"warm_conserved\": {},", conserve(&self.warm));
+        let _ = writeln!(
+            out,
+            "  \"warm_hit_rate_pct\": {},",
+            if self.requests == 0 {
+                0
+            } else {
+                self.warm.cache_hits * 100 / self.requests as u64
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  \"disk_survived_restart\": {},",
+            self.warm.disk_hits > 0 && self.warm.disk_entries > 0
+        );
+        let _ = writeln!(out, "  \"identical_replay\": {}", self.identical_replay);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Gates the run on its invariants: request conservation in both
+    /// phases, zero lost requests, a 100% warm hit rate, a disk tier
+    /// that actually survived the restart, and byte-identical replay.
+    ///
+    /// # Errors
+    ///
+    /// One message per violated invariant, joined by `; `.
+    pub fn check(&self) -> Result<(), String> {
+        let mut errors = Vec::new();
+        for (name, p) in [("cold", &self.cold), ("warm", &self.warm)] {
+            if p.ok != self.requests as u64 || p.not_ok != 0 {
+                errors.push(format!(
+                    "{name}: {} of {} requests returned non-200",
+                    p.not_ok, self.requests
+                ));
+            }
+            if p.received != self.requests as u64 {
+                errors.push(format!(
+                    "{name}: conservation broken: sent {} but daemon received {}",
+                    self.requests, p.received
+                ));
+            }
+            if p.completed != p.received || p.lost != 0 {
+                errors.push(format!(
+                    "{name}: conservation broken: received {} != completed {} (+{} lost)",
+                    p.received, p.completed, p.lost
+                ));
+            }
+        }
+        if self.warm.cache_hits != self.requests as u64 {
+            errors.push(format!(
+                "warm hit rate {}/{} != 100%",
+                self.warm.cache_hits, self.requests
+            ));
+        }
+        if self.warm.disk_hits == 0 || self.warm.disk_entries == 0 {
+            errors.push("disk cache served nothing after the restart".to_string());
+        }
+        if !self.identical_replay {
+            errors.push("warm responses were not byte-identical to cold".to_string());
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("; "))
+        }
+    }
+
+    /// Additionally gates against a committed baseline report: the
+    /// baseline must describe the same workload shape and itself satisfy
+    /// the stable invariants (wall clocks are never compared).
+    ///
+    /// # Errors
+    ///
+    /// Explains the first mismatch.
+    pub fn check_against_baseline(&self, baseline_json: &str) -> Result<(), String> {
+        self.check()?;
+        let doc = parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+        let field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline missing `{k}`"))
+        };
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("panorama-serve-bench-v1") => {}
+            other => return Err(format!("baseline schema {other:?}")),
+        }
+        if field("requests")? as usize != self.requests {
+            return Err(format!(
+                "baseline ran {} requests, this run {}",
+                field("requests")? as usize,
+                self.requests
+            ));
+        }
+        if field("unique_kernels")? as usize != self.unique_kernels {
+            return Err("baseline kernel mix differs".to_string());
+        }
+        match doc.get("identical_replay").and_then(Json::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err("baseline itself lacks identical_replay=true".to_string()),
+        }
+    }
+}
+
+/// One HTTP request over a fresh connection; returns `(status, body)`.
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad status line")?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let head = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad status line")?;
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// The deterministic request mix: request `i` compiles kernel
+/// `KERNELS[i % 12]`.
+fn request_body(i: usize) -> String {
+    format!(
+        "{{\"kernel\":\"{}\",\"arch\":\"4x4\",\"scale\":\"tiny\",\"mapper\":\"ultrafast\"}}",
+        KERNELS[i % KERNELS.len()]
+    )
+}
+
+fn metric(doc: &Json, section: &str, field: &str) -> u64 {
+    doc.get(section)
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64
+}
+
+/// Runs one phase: start a daemon on `cache_dir`, fire the mix from
+/// `clients` threads, scrape `/metrics`, drain. Returns the phase report
+/// and every response body (request-indexed) for the replay comparison.
+fn run_phase(options: &ServeLoadOptions) -> Result<(PhaseReport, Vec<String>), String> {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: options.workers.max(1),
+        // Generous queue: the bench measures cache and batch behaviour,
+        // not shedding (`check` requires zero shed).
+        queue_depth: options.requests.max(16),
+        cache_dir: Some(options.cache_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let drain = server.drain_handle();
+    let serve_thread = std::thread::spawn(move || server.run());
+
+    let clients = options.clients.max(1);
+    let total = options.requests;
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(clients);
+    for c in 0..clients {
+        joins.push(std::thread::spawn(move || {
+            // Client c takes requests c, c+clients, c+2*clients, … so the
+            // full index set is covered exactly once, deterministically.
+            let mut hist = Hist::new();
+            let mut bodies: Vec<(usize, u16, String)> = Vec::new();
+            for i in (c..total).step_by(clients) {
+                let body = request_body(i);
+                let t0 = Instant::now();
+                let (status, payload) = http_post(addr, "/compile", &body)?;
+                hist.add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                bodies.push((i, status, payload));
+            }
+            Ok::<(Hist, Vec<(usize, u16, String)>), String>((hist, bodies))
+        }));
+    }
+    let mut hist = Hist::new();
+    let mut responses: Vec<String> = vec![String::new(); total];
+    let (mut ok, mut not_ok) = (0u64, 0u64);
+    for join in joins {
+        let (h, bodies) = join.join().map_err(|_| "client thread panicked")??;
+        hist.merge(&h);
+        for (i, status, payload) in bodies {
+            if status == 200 {
+                ok += 1;
+            } else {
+                not_ok += 1;
+            }
+            responses[i] = payload;
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let (status, metrics_body) = http_get(addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    let doc = parse(&metrics_body).map_err(|e| format!("metrics parse: {e}"))?;
+    let report = PhaseReport {
+        wall_seconds,
+        throughput_rps: if wall_seconds > 0.0 {
+            total as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        p50_ns: hist.percentile_ns(50),
+        p90_ns: hist.percentile_ns(90),
+        p99_ns: hist.percentile_ns(99),
+        ok,
+        not_ok,
+        received: metric(&doc, "requests", "received"),
+        completed: metric(&doc, "requests", "completed"),
+        lost: metric(&doc, "requests", "shed")
+            + metric(&doc, "requests", "cancelled")
+            + metric(&doc, "requests", "failed")
+            + metric(&doc, "requests", "quota_rejected"),
+        cache_hits: metric(&doc, "result_cache", "hits"),
+        disk_hits: metric(&doc, "disk_cache", "hits"),
+        disk_entries: metric(&doc, "disk_cache", "entries"),
+    };
+
+    drain.drain();
+    serve_thread
+        .join()
+        .map_err(|_| "serve thread panicked")?
+        .map_err(|e| format!("serve: {e}"))?;
+    Ok((report, responses))
+}
+
+/// Runs the two-phase load bench.
+///
+/// # Errors
+///
+/// Propagates daemon/socket failures; invariant violations are *not*
+/// errors here — they surface via [`ServeLoadReport::check`].
+pub fn run_serve_load(options: &ServeLoadOptions) -> Result<ServeLoadReport, String> {
+    // A genuinely cold phase 1: scrub any previous cache contents.
+    let _ = std::fs::remove_dir_all(&options.cache_dir);
+    let (cold, cold_bodies) = run_phase(options)?;
+    // Phase 2: a *new* daemon process-state on the same directory — the
+    // only carried-over state is the disk cache.
+    let (warm, warm_bodies) = run_phase(options)?;
+    let identical_replay = cold_bodies == warm_bodies;
+    Ok(ServeLoadReport {
+        clients: options.clients.max(1),
+        requests: options.requests,
+        workers: options.workers.max(1),
+        unique_kernels: KERNELS.len().min(options.requests),
+        cold,
+        warm,
+        identical_replay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeLoadReport {
+        let phase = |hits: u64, disk_hits: u64| PhaseReport {
+            wall_seconds: 1.5,
+            throughput_rps: 16.0,
+            p50_ns: 1023,
+            p90_ns: 2047,
+            p99_ns: 4095,
+            ok: 24,
+            not_ok: 0,
+            received: 24,
+            completed: 24,
+            lost: 0,
+            cache_hits: hits,
+            disk_hits,
+            disk_entries: 12,
+        };
+        ServeLoadReport {
+            clients: 4,
+            requests: 24,
+            workers: 2,
+            unique_kernels: 12,
+            cold: phase(12, 0),
+            warm: phase(24, 12),
+            identical_replay: true,
+        }
+    }
+
+    #[test]
+    fn clean_report_passes_check_and_projects_stably() {
+        let report = sample();
+        report.check().expect("invariants hold");
+        let stable = report.to_stable_json();
+        assert!(stable.contains("\"warm_hit_rate_pct\": 100"));
+        assert!(stable.contains("\"cold_conserved\": true"));
+        assert!(stable.contains("\"disk_survived_restart\": true"));
+        assert!(!stable.contains("wall_seconds"), "stable is wall-free");
+        assert!(!stable.contains("throughput"), "stable is wall-free");
+    }
+
+    #[test]
+    fn broken_invariants_fail_check() {
+        let mut report = sample();
+        report.warm.cache_hits = 23;
+        assert!(report.check().unwrap_err().contains("hit rate"));
+        let mut report = sample();
+        report.cold.received = 25;
+        assert!(report.check().unwrap_err().contains("conservation"));
+        let mut report = sample();
+        report.identical_replay = false;
+        assert!(report.check().unwrap_err().contains("byte-identical"));
+        let mut report = sample();
+        report.warm.disk_hits = 0;
+        assert!(report.check().unwrap_err().contains("disk cache"));
+    }
+
+    #[test]
+    fn baseline_gate_compares_shape_not_wall_clocks() {
+        let report = sample();
+        report
+            .check_against_baseline(&report.to_json())
+            .expect("self-baseline passes");
+        let other = report
+            .to_json()
+            .replace("\"requests\": 24", "\"requests\": 12");
+        assert!(report.check_against_baseline(&other).is_err());
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_both_phases() {
+        let doc = parse(&sample().to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "panorama-serve-bench-v1"
+        );
+        assert_eq!(
+            doc.get("cold")
+                .unwrap()
+                .get("ok")
+                .unwrap()
+                .as_f64()
+                .unwrap() as u64,
+            24
+        );
+        assert!(doc.get("identical_replay").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_and_cycles() {
+        assert_eq!(request_body(0), request_body(12));
+        assert_ne!(request_body(0), request_body(1));
+        assert!(request_body(3).contains("\"mapper\":\"ultrafast\""));
+    }
+}

@@ -181,6 +181,16 @@ pub const ALL: &[CodeInfo] = &[
         "pipeline phases missing despite non-cached completions, or percentiles out of order",
     ),
     info(
+        "SERVE004",
+        "error",
+        "quota section inconsistent: tenants unsorted/duplicated, rejected counts disagree, or tokens exceed burst",
+    ),
+    info(
+        "SERVE005",
+        "error",
+        "disk-cache invariants broken: resident bytes exceed the budget, or disk hits exceed total cache hits",
+    ),
+    info(
         "FUZZ001",
         "error",
         "invalid JSON, wrong `schema`, or missing/mistyped field",

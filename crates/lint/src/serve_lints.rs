@@ -5,11 +5,14 @@
 //! | `SERVE001` | error | invalid JSON, wrong `schema`, or missing/mistyped field |
 //! | `SERVE002` | error | conservation broken, or a cumulative counter decreased between snapshots |
 //! | `SERVE003` | error | pipeline phases missing despite non-cached completions, or percentiles out of order |
+//! | `SERVE004` | error | quota section inconsistent: tenants unsorted/duplicated, rejected counts disagree, or tokens exceed burst |
+//! | `SERVE005` | error | disk-cache invariants broken: resident bytes exceed the budget, or disk hits exceed total cache hits |
 //!
 //! The daemon's `/metrics` endpoint maintains the conservation invariant
 //!
 //! ```text
-//! received == completed + shed + cancelled + failed + queued + in_flight
+//! received == completed + shed + cancelled + failed + quota_rejected
+//!             + queued + in_flight
 //! ```
 //!
 //! *exactly* (transitions are combined updates under one lock), so
@@ -48,6 +51,7 @@ const REQUIRED: &[(&str, &str)] = &[
     ("requests", "shed"),
     ("requests", "cancelled"),
     ("requests", "failed"),
+    ("requests", "quota_rejected"),
     ("result_cache", "hits"),
     ("result_cache", "misses"),
     ("result_cache", "entries"),
@@ -63,6 +67,16 @@ const REQUIRED: &[(&str, &str)] = &[
     ("warm_cache", "entries"),
     ("warm_cache", "capacity"),
     ("warm_cache", "evictions"),
+    ("disk_cache", "hits"),
+    ("disk_cache", "misses"),
+    ("disk_cache", "entries"),
+    ("disk_cache", "capacity"),
+    ("disk_cache", "evictions"),
+    ("disk_cache", "bytes"),
+    ("disk_cache", "corrupt"),
+    ("quota", "rps"),
+    ("quota", "burst"),
+    ("quota", "rejected"),
 ];
 
 /// The cumulative subset of [`REQUIRED`] that must never decrease across
@@ -82,6 +96,12 @@ const MONOTONIC: &[(&str, &str)] = &[
     ("warm_cache", "hits"),
     ("warm_cache", "misses"),
     ("warm_cache", "evictions"),
+    ("requests", "quota_rejected"),
+    ("disk_cache", "hits"),
+    ("disk_cache", "misses"),
+    ("disk_cache", "evictions"),
+    ("disk_cache", "corrupt"),
+    ("quota", "rejected"),
 ];
 
 /// `SERVE001`: schema and field shape. Returns `false` when the snapshot
@@ -132,6 +152,7 @@ fn check_conservation(doc: &Json, at: Entity, out: &mut Diagnostics) {
         + get("requests", "shed")
         + get("requests", "cancelled")
         + get("requests", "failed")
+        + get("requests", "quota_rejected")
         + get("queue", "depth")
         + get("queue", "in_flight");
     if received != accounted {
@@ -139,7 +160,93 @@ fn check_conservation(doc: &Json, at: Entity, out: &mut Diagnostics) {
             "SERVE002",
             at,
             format!(
-                "conservation broken: received {received} != completed+shed+cancelled+failed+queued+in_flight = {accounted}"
+                "conservation broken: received {received} != completed+shed+cancelled+failed+quota_rejected+queued+in_flight = {accounted}"
+            ),
+        ));
+    }
+}
+
+/// `SERVE004`: internal consistency of the quota section — tenants
+/// sorted and unique, per-tenant rejections summing to both the quota's
+/// and the request counter's totals, and no bucket holding more than
+/// `burst` tokens.
+fn check_quota(doc: &Json, at: Entity, out: &mut Diagnostics) {
+    let Some(quota) = doc.get("quota") else {
+        return; // SERVE001 already flagged the missing section
+    };
+    let Some(tenants) = quota.get("tenants").and_then(Json::as_arr) else {
+        out.push(err(
+            "SERVE004",
+            at,
+            "`quota.tenants` missing or not an array",
+        ));
+        return;
+    };
+    let burst = num(doc, "quota", "burst").unwrap_or(0);
+    let mut names: Vec<&str> = Vec::with_capacity(tenants.len());
+    let mut rejected_sum = 0u64;
+    for t in tenants {
+        let Some(name) = t.get("tenant").and_then(Json::as_str) else {
+            out.push(err(
+                "SERVE004",
+                at.clone(),
+                "tenant entry missing `tenant` name",
+            ));
+            continue;
+        };
+        names.push(name);
+        let field = |f: &str| t.get(f).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        rejected_sum += field("rejected");
+        let tokens = field("tokens");
+        if tokens > burst {
+            out.push(err(
+                "SERVE004",
+                at.clone(),
+                format!("tenant `{name}` holds {tokens} tokens, above the burst capacity {burst}"),
+            ));
+        }
+    }
+    if names.windows(2).any(|w| w[0] >= w[1]) {
+        out.push(err(
+            "SERVE004",
+            at.clone(),
+            "`quota.tenants` not sorted by unique tenant name",
+        ));
+    }
+    let quota_rejected = num(doc, "quota", "rejected").unwrap_or(0);
+    let counter = num(doc, "requests", "quota_rejected").unwrap_or(0);
+    if rejected_sum != quota_rejected || quota_rejected != counter {
+        out.push(err(
+            "SERVE004",
+            at,
+            format!(
+                "quota rejection counters disagree: per-tenant sum {rejected_sum}, quota.rejected {quota_rejected}, requests.quota_rejected {counter}"
+            ),
+        ));
+    }
+}
+
+/// `SERVE005`: disk-cache tier invariants — resident bytes within the
+/// byte budget (when one is set), and disk hits never exceeding the total
+/// cache hits they are a subset of.
+fn check_disk(doc: &Json, at: Entity, out: &mut Diagnostics) {
+    let get = |f| num(doc, "disk_cache", f).unwrap_or(0);
+    let (bytes, capacity) = (get("bytes"), get("capacity"));
+    if capacity > 0 && bytes > capacity {
+        out.push(err(
+            "SERVE005",
+            at.clone(),
+            format!("disk cache holds {bytes} bytes, above its {capacity}-byte budget"),
+        ));
+    }
+    let disk_hits = get("hits");
+    let total_hits = num(doc, "result_cache", "hits").unwrap_or(0);
+    if disk_hits > total_hits {
+        out.push(err(
+            "SERVE005",
+            at,
+            format!(
+                "disk cache reports {disk_hits} hits but only {total_hits} requests were answered from any cache tier"
             ),
         ));
     }
@@ -241,7 +348,9 @@ pub fn lint_serve_json(text: &str, out: &mut Diagnostics) {
         };
         if check_shape(snap, at.clone(), out) {
             check_conservation(snap, at.clone(), out);
-            check_phases(snap, at, out);
+            check_phases(snap, at.clone(), out);
+            check_quota(snap, at.clone(), out);
+            check_disk(snap, at, out);
             shaped.push(Some(snap));
         } else {
             shaped.push(None);
@@ -263,10 +372,12 @@ mod tests {
         format!(
             "{{\"schema\":\"{SERVE_METRICS_SCHEMA}\",\
              \"queue\":{{\"depth\":{depth},\"capacity\":8,\"in_flight\":0}},\
-             \"requests\":{{\"received\":{received},\"completed\":{completed},\"shed\":0,\"cancelled\":0,\"failed\":0}},\
+             \"requests\":{{\"received\":{received},\"completed\":{completed},\"shed\":0,\"cancelled\":0,\"failed\":0,\"quota_rejected\":0}},\
              \"result_cache\":{{\"hits\":{hits},\"misses\":1,\"entries\":1,\"capacity\":256,\"evictions\":0}},\
              \"mrrg_cache\":{{\"hits\":4,\"misses\":2,\"entries\":2,\"capacity\":32,\"evictions\":0}},\
              \"warm_cache\":{{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0}},\
+             \"disk_cache\":{{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0,\"bytes\":0,\"corrupt\":0}},\
+             \"quota\":{{\"enabled\":false,\"rps\":0,\"burst\":0,\"rejected\":0,\"tenants\":[]}},\
              \"phases\":[{phases}]}}"
         )
     }
@@ -324,5 +435,58 @@ mod tests {
     fn unordered_percentiles_hit_serve003() {
         let bad = GOOD_PHASES.replace("\"p90_ns\":15", "\"p90_ns\":1");
         assert_eq!(run(&snapshot(1, 1, 1, &bad)), ["SERVE003"]);
+    }
+
+    #[test]
+    fn quota_rejections_take_part_in_conservation() {
+        // received 5 = completed 3 + quota_rejected 2, depth 0.
+        let text = snapshot(5, 5, 5, GOOD_PHASES)
+            .replace("\"completed\":5", "\"completed\":3")
+            .replace("\"quota_rejected\":0", "\"quota_rejected\":2")
+            .replace(
+                "\"quota\":{\"enabled\":false,\"rps\":0,\"burst\":0,\"rejected\":0,\"tenants\":[]}",
+                "\"quota\":{\"enabled\":true,\"rps\":0,\"burst\":4,\"rejected\":2,\
+                 \"tenants\":[{\"tenant\":\"a\",\"admitted\":3,\"rejected\":2,\"tokens\":1}]}",
+            );
+        assert!(run(&text).is_empty(), "{:?}", run(&text));
+        // Dropping the tenant-side count breaks SERVE004, not SERVE002.
+        let bad = text.replace("\"rejected\":2,\"tenants\"", "\"rejected\":1,\"tenants\"");
+        assert_eq!(run(&bad), ["SERVE004"]);
+    }
+
+    #[test]
+    fn unsorted_tenants_and_overfull_buckets_hit_serve004() {
+        let base = snapshot(1, 1, 1, GOOD_PHASES);
+        let unsorted = base.replace(
+            "\"tenants\":[]",
+            "\"tenants\":[{\"tenant\":\"b\",\"admitted\":0,\"rejected\":0,\"tokens\":0},\
+             {\"tenant\":\"a\",\"admitted\":0,\"rejected\":0,\"tokens\":0}]",
+        );
+        assert_eq!(run(&unsorted), ["SERVE004"]);
+        let overfull = base.replace(
+            "\"tenants\":[]",
+            "\"tenants\":[{\"tenant\":\"a\",\"admitted\":0,\"rejected\":0,\"tokens\":9}]",
+        );
+        assert_eq!(run(&overfull), ["SERVE004"]);
+    }
+
+    #[test]
+    fn disk_cache_invariants_hit_serve005() {
+        let base = snapshot(1, 1, 1, GOOD_PHASES);
+        let over_budget = base.replace(
+            "\"disk_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0,\"bytes\":0,\"corrupt\":0}",
+            "\"disk_cache\":{\"hits\":0,\"misses\":0,\"entries\":3,\"capacity\":100,\"evictions\":0,\"bytes\":150,\"corrupt\":0}",
+        );
+        assert_eq!(run(&over_budget), ["SERVE005"]);
+        // Disk hits are a subset of total cache hits.
+        let phantom_hits =
+            base.replace("\"disk_cache\":{\"hits\":0,", "\"disk_cache\":{\"hits\":7,");
+        assert_eq!(run(&phantom_hits), ["SERVE005"]);
+        // Within budget and consistent: clean.
+        let clean = base.replace(
+            "\"disk_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0,\"bytes\":0,\"corrupt\":0}",
+            "\"disk_cache\":{\"hits\":1,\"misses\":2,\"entries\":2,\"capacity\":1000,\"evictions\":0,\"bytes\":200,\"corrupt\":0}",
+        );
+        assert!(run(&clean).is_empty());
     }
 }

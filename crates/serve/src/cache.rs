@@ -9,7 +9,7 @@
 //! (The portfolio's result is bit-identical at any thread count, which is
 //! what makes excluding `threads` from the key sound.)
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Accumulating FNV-1a hasher over byte chunks, with length framing so
@@ -55,9 +55,27 @@ struct Slot {
     last_used: u64,
 }
 
+/// Slots plus a tick-ordered recency index. Ticks are unique (one global
+/// counter incremented under the lock), so `order` is a total order over
+/// resident keys: the least recently used entry is always `order`'s first
+/// element, making eviction `O(log n)` instead of a full scan.
 struct Inner {
     slots: HashMap<u64, Slot>,
+    /// `last_used tick -> key`; every resident key appears exactly once.
+    order: BTreeMap<u64, u64>,
     tick: u64,
+}
+
+impl Inner {
+    /// Moves `key` (already in `slots`) to most-recently-used.
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.slots.get_mut(&key).expect("touched key is resident");
+        self.order.remove(&slot.last_used);
+        slot.last_used = tick;
+        self.order.insert(tick, key);
+    }
 }
 
 /// A bounded key → response-document cache with LRU eviction.
@@ -73,6 +91,7 @@ impl ResultCache {
         ResultCache {
             inner: Mutex::new(Inner {
                 slots: HashMap::new(),
+                order: BTreeMap::new(),
                 tick: 0,
             }),
             capacity: capacity.max(1),
@@ -88,28 +107,33 @@ impl ResultCache {
     /// The cached response for `key`, refreshing its recency.
     pub fn get(&self, key: u64) -> Option<String> {
         let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let slot = inner.slots.get_mut(&key)?;
-        slot.last_used = tick;
-        Some(slot.response.clone())
+        if !inner.slots.contains_key(&key) {
+            return None;
+        }
+        inner.touch(key);
+        Some(inner.slots[&key].response.clone())
     }
 
     /// Stores a response, evicting the least recently used entry past
-    /// capacity.
+    /// capacity. Insert is `O(log n)`: recency is tracked in a tick-ordered
+    /// index, so eviction pops the index head instead of scanning every
+    /// slot.
     pub fn insert(&self, key: u64, response: String) {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.slots.insert(
+        if let Some(old) = inner.slots.insert(
             key,
             Slot {
                 response,
                 last_used: tick,
             },
-        );
+        ) {
+            inner.order.remove(&old.last_used);
+        }
+        inner.order.insert(tick, key);
         while inner.slots.len() > self.capacity {
-            let Some((&victim, _)) = inner.slots.iter().min_by_key(|(_, s)| s.last_used) else {
+            let Some((_, victim)) = inner.order.pop_first() else {
                 break;
             };
             inner.slots.remove(&victim);
@@ -165,5 +189,59 @@ mod tests {
         cache.insert(1, "new".to_string());
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(1).as_deref(), Some("new"));
+    }
+
+    /// Regression test for the `O(capacity)` eviction scan: at capacity
+    /// 10k, inserting 2×capacity entries must stay fast (the old
+    /// `min_by_key` scan made this quadratic) and evict in exact LRU
+    /// order — the surviving keys are precisely the newest `capacity`.
+    #[test]
+    fn insert_at_capacity_10k_is_logarithmic_and_exact_lru() {
+        const CAP: u64 = 10_000;
+        let cache = ResultCache::new(CAP as usize);
+        for key in 0..2 * CAP {
+            cache.insert(key, String::new());
+        }
+        assert_eq!(cache.len(), CAP as usize);
+        assert!(cache.get(CAP - 1).is_none(), "oldest half evicted");
+        assert!(cache.get(CAP).is_some(), "newest half resident");
+        // Refresh an old-but-resident key, then push one past capacity:
+        // the refreshed key survives, the now-coldest one does not.
+        assert!(cache.get(CAP + 1).is_some());
+        cache.insert(2 * CAP, String::new());
+        assert!(cache.get(CAP + 1).is_some(), "refreshed key survives");
+        assert!(cache.get(CAP + 2).is_none(), "coldest key evicted");
+    }
+
+    /// Concurrent get/insert stress: 8 threads hammering a small cache
+    /// must never lose an update mid-flight (every get returns the exact
+    /// string inserted for that key) and `len <= capacity` must hold at
+    /// every observation point.
+    #[test]
+    fn concurrent_stress_preserves_values_and_capacity() {
+        use std::sync::Arc;
+        const CAP: usize = 64;
+        let cache = Arc::new(ResultCache::new(CAP));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (t * 131 + i) % 256;
+                        cache.insert(key, format!("value-{key}"));
+                        let probe = (i * 17 + t) % 256;
+                        if let Some(v) = cache.get(probe) {
+                            assert_eq!(v, format!("value-{probe}"), "torn value for {probe}");
+                        }
+                        assert!(cache.len() <= CAP, "len exceeded capacity");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("stress thread");
+        }
+        assert!(cache.len() <= CAP);
+        assert!(!cache.is_empty());
     }
 }

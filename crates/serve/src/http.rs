@@ -14,15 +14,41 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body (generous for inline DFG/ADL text).
 const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
-/// A parsed HTTP request: method, path, and body.
+/// A parsed HTTP request: method, path, headers, and body.
 #[derive(Debug)]
 pub struct Request {
     /// Request method, uppercased by the client (`GET`, `POST`).
     pub method: String,
     /// Request target path, query string included verbatim.
     pub path: String,
+    /// Header `(name, value)` pairs in arrival order, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Decoded request body (empty when no `Content-Length`).
     pub body: String,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses one `Content-Length` value with request-smuggling hardening:
+/// the value must be pure ASCII digits after trimming optional whitespace
+/// — a sign, an empty/whitespace-only value, or any other decoration is
+/// rejected rather than leniently accepted by `parse`.
+fn parse_content_length(value: &str) -> Result<usize, String> {
+    let digits = value.trim();
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad Content-Length `{}`", value.trim()));
+    }
+    digits
+        .parse::<usize>()
+        .map_err(|_| format!("bad Content-Length `{digits}`"))
 }
 
 /// Reads one HTTP/1.1 request from `stream`. Returns `Err` with a
@@ -56,18 +82,30 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported version `{version}`"));
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     for header in lines {
         let Some((name, value)) = header.split_once(':') else {
             continue;
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse::<usize>()
-                .map_err(|_| "bad Content-Length".to_string())?;
+            let parsed = parse_content_length(value)?;
+            // Duplicate Content-Length headers that agree are tolerated
+            // (some proxies emit them); conflicting duplicates are the
+            // classic request-smuggling vector and are rejected outright
+            // rather than resolved last-one-wins.
+            if let Some(prev) = content_length {
+                if prev != parsed {
+                    return Err(format!(
+                        "conflicting Content-Length headers ({prev} vs {parsed})"
+                    ));
+                }
+            }
+            content_length = Some(parsed);
         }
+        headers.push((name.trim().to_string(), value.trim().to_string()));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err("request body exceeds 4 MiB".to_string());
     }
@@ -76,7 +114,12 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, String> {
         .read_exact(&mut body)
         .map_err(|e| format!("short body: {e}"))?;
     let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// Writes one `Connection: close` response with a JSON body.
@@ -95,6 +138,7 @@ pub fn write_response<S: Write>(
         404 => "Not Found",
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Unknown",
@@ -146,6 +190,38 @@ mod tests {
     fn rejects_short_bodies() {
         let raw = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
         assert!(read_request(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_lengths() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nhello";
+        let err = read_request(raw.as_bytes()).unwrap_err();
+        assert!(err.contains("conflicting Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn tolerates_agreeing_duplicate_content_lengths() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn rejects_signed_or_decorated_content_lengths() {
+        for bad in ["+5", "-1", " ", "", "0x10", "5 5", "5,5"] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let err = read_request(raw.as_bytes()).unwrap_err();
+            assert!(err.contains("Content-Length"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn headers_are_captured_case_insensitively() {
+        let raw = "POST /x HTTP/1.1\r\nX-Panorama-Tenant: alice\r\nContent-Length: 2\r\n\r\nhi";
+        let req = read_request(raw.as_bytes()).unwrap();
+        assert_eq!(req.header("x-panorama-tenant"), Some("alice"));
+        assert_eq!(req.header("X-PANORAMA-TENANT"), Some("alice"));
+        assert_eq!(req.header("missing"), None);
     }
 
     #[test]

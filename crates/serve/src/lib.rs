@@ -6,6 +6,9 @@
 //!
 //! * `POST /compile` — map a kernel; the response body is byte-identical
 //!   to `panorama compile --json` for the same inputs;
+//! * `POST /compile-batch` — map up to 64 kernels in one request; each
+//!   entry's result is byte-identical to the `/compile` equivalent
+//!   (`panorama-serve-batch-v1`);
 //! * `POST /lint` — run the static mappability prechecker;
 //! * `GET /healthz` — liveness probe;
 //! * `GET /metrics` — queue depth, shed/cancel counts, cache hit rates,
@@ -17,12 +20,16 @@
 //! accounting is [`metrics`]. The daemon itself lives in [`server`].
 
 pub mod cache;
+pub mod diskcache;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod quota;
 pub mod server;
 
 pub use cache::{ContentHash, ResultCache};
+pub use diskcache::{DiskCache, DiskCacheStats};
 pub use metrics::{CacheStats, Metrics, METRICS_SCHEMA};
 pub use queue::{JobQueue, PushError};
-pub use server::{DrainHandle, ServeConfig, Server, ERROR_SCHEMA};
+pub use quota::{Quota, QuotaStats, TenantStats, TENANT_HEADER};
+pub use server::{DrainHandle, ServeConfig, Server, BATCH_SCHEMA, ERROR_SCHEMA, MAX_BATCH_ENTRIES};

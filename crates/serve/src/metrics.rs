@@ -5,7 +5,8 @@
 //! conservation invariant
 //!
 //! ```text
-//! received == completed + shed + cancelled + failed + queued + in_flight
+//! received == completed + shed + cancelled + failed + quota_rejected
+//!             + queued + in_flight
 //! ```
 //!
 //! holds at every instant, not just quiescently — `/metrics` snapshots can
@@ -17,6 +18,8 @@
 //! constant regardless of request volume while still answering
 //! p50/p90/p99 within a factor of two.
 
+use crate::diskcache::DiskCacheStats;
+use crate::quota::QuotaStats;
 use std::fmt::Write as _;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -79,6 +82,7 @@ struct Inner {
     shed: u64,
     cancelled: u64,
     failed: u64,
+    quota_rejected: u64,
     queued: u64,
     in_flight: u64,
     cache_hits: u64,
@@ -132,18 +136,31 @@ impl Metrics {
 
     /// A `/compile` request answered straight from the result cache.
     pub fn request_cache_hit(&self) {
+        self.request_cache_hits(1);
+    }
+
+    /// `n` compile units (batch entries count individually) answered from
+    /// a cache tier — in-memory or disk.
+    pub fn request_cache_hits(&self, n: u64) {
         let mut m = self.lock();
-        m.received += 1;
-        m.cache_hits += 1;
-        m.completed += 1;
+        m.received += n;
+        m.cache_hits += n;
+        m.completed += n;
     }
 
     /// A cache-missing `/compile` request accepted into the queue.
     pub fn request_enqueued(&self) {
+        self.request_enqueued_n(1);
+    }
+
+    /// `n` cache-missing compile units accepted into the queue. A batch
+    /// occupies *one* queue slot but counts each entry here — the metrics
+    /// `queue.depth` is in requests, not jobs.
+    pub fn request_enqueued_n(&self, n: u64) {
         let mut m = self.lock();
-        m.received += 1;
-        m.cache_misses += 1;
-        m.queued += 1;
+        m.received += n;
+        m.cache_misses += n;
+        m.queued += n;
     }
 
     /// A cache-missing `/compile` request shed (queue full or draining).
@@ -160,16 +177,39 @@ impl Metrics {
     /// decrement `queued` below zero; a refused push is then rolled back
     /// here.
     pub fn request_shed_after_enqueue(&self) {
+        self.request_shed_after_enqueue_n(1);
+    }
+
+    /// `n` enqueued-then-refused compile units: queued → shed, see
+    /// [`Metrics::request_shed_after_enqueue`].
+    pub fn request_shed_after_enqueue_n(&self, n: u64) {
         let mut m = self.lock();
-        m.queued -= 1;
-        m.shed += 1;
+        m.queued -= n;
+        m.shed += n;
+    }
+
+    /// `n` compile units rejected by the per-tenant quota gate (`429`) —
+    /// a terminal state of its own so admission pressure is visible
+    /// without polluting the shed (overload) counter.
+    pub fn request_quota_rejected(&self, n: u64) {
+        let mut m = self.lock();
+        m.received += n;
+        m.quota_rejected += n;
     }
 
     /// A worker popped a job: queued → in-flight.
     pub fn job_started(&self) {
+        self.batch_started(1);
+    }
+
+    /// A worker popped a batch of `n` compile units: queued → in-flight
+    /// for each. Entries then settle individually via
+    /// [`Metrics::job_completed`] / [`Metrics::job_failed`] /
+    /// [`Metrics::job_cancelled`].
+    pub fn batch_started(&self, n: u64) {
         let mut m = self.lock();
-        m.queued -= 1;
-        m.in_flight += 1;
+        m.queued -= n;
+        m.in_flight += n;
     }
 
     /// An in-flight job finished successfully; `phase_ns` are the
@@ -204,13 +244,18 @@ impl Metrics {
     }
 
     /// Renders the `panorama-serve-metrics-v1` document. `queue_capacity`
-    /// and the cache statistics come from the structures that own them.
+    /// and the cache statistics come from the structures that own them;
+    /// `disk_cache` is all-zero when the daemon runs without `--cache-dir`
+    /// and `quota.enabled` is `false` without `--quota-burst` (the rows
+    /// are always present so the lint shape check stays unconditional).
     pub fn to_json(
         &self,
         queue_capacity: usize,
         mut result_cache: CacheStats,
         mrrg_cache: CacheStats,
         warm_cache: CacheStats,
+        disk_cache: DiskCacheStats,
+        quota: &QuotaStats,
     ) -> String {
         let m = self.lock();
         // Result-cache lookups are tallied here (they take part in the
@@ -222,8 +267,15 @@ impl Metrics {
             s,
             "{{\"schema\":\"{METRICS_SCHEMA}\",\
              \"queue\":{{\"depth\":{},\"capacity\":{queue_capacity},\"in_flight\":{}}},\
-             \"requests\":{{\"received\":{},\"completed\":{},\"shed\":{},\"cancelled\":{},\"failed\":{}}}",
-            m.queued, m.in_flight, m.received, m.completed, m.shed, m.cancelled, m.failed,
+             \"requests\":{{\"received\":{},\"completed\":{},\"shed\":{},\"cancelled\":{},\"failed\":{},\"quota_rejected\":{}}}",
+            m.queued,
+            m.in_flight,
+            m.received,
+            m.completed,
+            m.shed,
+            m.cancelled,
+            m.failed,
+            m.quota_rejected,
         );
         for (name, c) in [
             ("result_cache", &result_cache),
@@ -236,6 +288,36 @@ impl Metrics {
                 c.hits, c.misses, c.entries, c.capacity, c.evictions,
             );
         }
+        let _ = write!(
+            s,
+            ",\"disk_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{},\"evictions\":{},\"bytes\":{},\"corrupt\":{}}}",
+            disk_cache.hits,
+            disk_cache.misses,
+            disk_cache.entries,
+            disk_cache.capacity,
+            disk_cache.evictions,
+            disk_cache.bytes,
+            disk_cache.corrupt,
+        );
+        let _ = write!(
+            s,
+            ",\"quota\":{{\"enabled\":{},\"rps\":{},\"burst\":{},\"rejected\":{},\"tenants\":[",
+            quota.enabled, quota.rps, quota.burst, m.quota_rejected,
+        );
+        for (i, t) in quota.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"tenant\":\"{}\",\"admitted\":{},\"rejected\":{},\"tokens\":{}}}",
+                panorama_trace::json::escape(&t.tenant),
+                t.admitted,
+                t.rejected,
+                t.tokens,
+            );
+        }
+        s.push_str("]}");
         s.push_str(",\"phases\":[");
         let mut phases: Vec<&Hist> = m.phases.iter().collect();
         phases.sort_by(|a, b| a.phase.cmp(&b.phase));
@@ -268,23 +350,32 @@ mod tests {
         let req = doc.get("requests").unwrap();
         let get = |k: &str| req.get(k).unwrap().as_f64().unwrap() as u64;
         let q = doc.get("queue").unwrap();
-        let flows = get("completed") + get("shed") + get("cancelled") + get("failed");
+        let flows = get("completed")
+            + get("shed")
+            + get("cancelled")
+            + get("failed")
+            + get("quota_rejected");
         let held = q.get("depth").unwrap().as_f64().unwrap() as u64
             + q.get("in_flight").unwrap().as_f64().unwrap() as u64;
         (get("received"), flows + held)
+    }
+
+    fn render(m: &Metrics) -> String {
+        m.to_json(
+            4,
+            CacheStats::default(),
+            CacheStats::default(),
+            CacheStats::default(),
+            DiskCacheStats::default(),
+            &QuotaStats::default(),
+        )
     }
 
     #[test]
     fn conservation_holds_through_every_transition() {
         let m = Metrics::new();
         let check = |m: &Metrics| {
-            let doc = json::parse(&m.to_json(
-                4,
-                CacheStats::default(),
-                CacheStats::default(),
-                CacheStats::default(),
-            ))
-            .expect("metrics JSON parses");
+            let doc = json::parse(&render(m)).expect("metrics JSON parses");
             let (received, accounted) = counters(&doc);
             assert_eq!(received, accounted);
         };
@@ -307,6 +398,75 @@ mod tests {
         m.job_started();
         m.job_failed();
         check(&m);
+        m.request_quota_rejected(3);
+        check(&m);
+    }
+
+    #[test]
+    fn batch_accounting_conserves_per_entry() {
+        let m = Metrics::new();
+        // A 5-entry batch: 2 hits, 3 misses enqueued as one job.
+        m.request_cache_hits(2);
+        m.request_enqueued_n(3);
+        let doc = json::parse(&render(&m)).unwrap();
+        let (received, accounted) = counters(&doc);
+        assert_eq!((received, accounted), (5, 5));
+        m.batch_started(3);
+        m.job_completed(&[("map", 100)]);
+        m.job_failed();
+        m.job_cancelled();
+        let doc = json::parse(&render(&m)).unwrap();
+        let (received, accounted) = counters(&doc);
+        assert_eq!((received, accounted), (5, 5));
+        // A refused batch push rolls all entries back to shed.
+        m.request_enqueued_n(4);
+        m.request_shed_after_enqueue_n(4);
+        let doc = json::parse(&render(&m)).unwrap();
+        let (received, accounted) = counters(&doc);
+        assert_eq!((received, accounted), (9, 9));
+    }
+
+    #[test]
+    fn disk_and_quota_rows_render() {
+        let m = Metrics::new();
+        m.request_quota_rejected(2);
+        let disk = DiskCacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 3,
+            capacity: 1024,
+            evictions: 0,
+            bytes: 300,
+            corrupt: 1,
+        };
+        let quota = QuotaStats {
+            enabled: true,
+            rps: 5,
+            burst: 10,
+            tenants: vec![crate::quota::TenantStats {
+                tenant: "alice".to_string(),
+                admitted: 7,
+                rejected: 2,
+                tokens: 3,
+            }],
+        };
+        let doc = json::parse(&m.to_json(
+            4,
+            CacheStats::default(),
+            CacheStats::default(),
+            CacheStats::default(),
+            disk,
+            &quota,
+        ))
+        .unwrap();
+        let d = doc.get("disk_cache").unwrap();
+        assert_eq!(d.get("bytes").unwrap().as_f64().unwrap() as u64, 300);
+        assert_eq!(d.get("corrupt").unwrap().as_f64().unwrap() as u64, 1);
+        let q = doc.get("quota").unwrap();
+        assert!(q.get("enabled").unwrap().as_bool().unwrap());
+        assert_eq!(q.get("rejected").unwrap().as_f64().unwrap() as u64, 2);
+        let tenants = q.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants[0].get("tenant").unwrap().as_str().unwrap(), "alice");
     }
 
     #[test]
@@ -339,13 +499,7 @@ mod tests {
         m.request_enqueued();
         m.job_started();
         m.job_completed(&[("preflight", 10), ("map", 20)]);
-        let doc = json::parse(&m.to_json(
-            8,
-            CacheStats::default(),
-            CacheStats::default(),
-            CacheStats::default(),
-        ))
-        .unwrap();
+        let doc = json::parse(&render(&m)).unwrap();
         assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), METRICS_SCHEMA);
         let phases = doc.get("phases").unwrap().as_arr().unwrap();
         let names: Vec<&str> = phases

@@ -25,10 +25,12 @@
 //!   exits `0`.
 
 use crate::cache::{ContentHash, ResultCache};
+use crate::diskcache::{DiskCache, DiskCacheStats};
 use crate::http::{read_request, write_response, Request};
 use crate::metrics::{CacheStats, Metrics};
 use crate::queue::JobQueue;
-use panorama::{CompileReport, Panorama, PanoramaConfig, PanoramaError};
+use crate::quota::{Quota, TENANT_HEADER};
+use panorama::{BatchExecutor, CompileReport, Panorama, PanoramaConfig, PanoramaError};
 use panorama_arch::{Cgra, CgraConfig, DEFAULT_MRRG_CACHE_CAPACITY};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_lint::{Diagnostics, LintContext, Registry};
@@ -47,6 +49,13 @@ use std::time::{Duration, Instant};
 
 /// Schema identifier of error payloads.
 pub const ERROR_SCHEMA: &str = "panorama-error-v1";
+
+/// Schema identifier of `/compile-batch` response envelopes.
+pub const BATCH_SCHEMA: &str = "panorama-serve-batch-v1";
+
+/// Hard cap on `/compile-batch` entries per request: bounds worst-case
+/// memory and keeps one batch from monopolising the queue.
+pub const MAX_BATCH_ENTRIES: usize = 64;
 
 /// Daemon tunables; every knob maps to a `panorama serve` flag.
 #[derive(Debug, Clone)]
@@ -80,6 +89,21 @@ pub struct ServeConfig {
     /// verified) mapping than a cold one, trading the daemon's
     /// byte-stable-response guarantee for recompile latency.
     pub warm_cache: bool,
+    /// Directory of the persistent result cache; `None` keeps results
+    /// in-memory only (lost on restart). With a directory, completed
+    /// responses are layered onto disk and a restarted daemon replays
+    /// them byte-identically.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Byte budget of the disk cache (`0` = unbounded).
+    pub cache_budget: u64,
+    /// Per-tenant quota refill rate, tokens per second.
+    pub quota_rps: u64,
+    /// Per-tenant quota bucket capacity; `0` disables admission control.
+    pub quota_burst: u64,
+    /// Per-socket read/write timeout; a client that stalls mid-request
+    /// (slow-loris) gets a `400` instead of holding a connection thread
+    /// forever. `None` disables the timeouts.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +118,11 @@ impl Default for ServeConfig {
             portfolio_threads: 1,
             analyze: false,
             warm_cache: false,
+            cache_dir: None,
+            cache_budget: 0,
+            quota_rps: 0,
+            quota_burst: 0,
+            io_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -121,13 +150,39 @@ struct JobOutcome {
     body: String,
 }
 
+/// One queued unit of work: a single compile or a whole batch (a batch
+/// occupies one queue slot; its entries fan out on the [`BatchExecutor`]
+/// inside the worker that pops it).
+enum Job {
+    // Boxed: a CompileRequest is hundreds of bytes, a BatchJob a few
+    // pointers, and jobs move through the queue by value.
+    Single(Box<SingleJob>),
+    Batch(BatchJob),
+}
+
 /// One queued compile.
-struct Job {
+struct SingleJob {
     request: CompileRequest,
     key: u64,
     cancel: CancelToken,
     done: Arc<AtomicBool>,
     respond: mpsc::Sender<JobOutcome>,
+}
+
+/// One cache-missing `/compile-batch` entry, tagged with its position in
+/// the request's `entries` array.
+struct BatchEntry {
+    index: usize,
+    request: CompileRequest,
+    key: u64,
+}
+
+/// The cache-missing remainder of one `/compile-batch` request.
+struct BatchJob {
+    entries: Vec<BatchEntry>,
+    cancel: CancelToken,
+    done: Arc<AtomicBool>,
+    respond: mpsc::Sender<Vec<(usize, JobOutcome)>>,
 }
 
 /// A deadline the watchdog enforces.
@@ -150,6 +205,11 @@ struct State {
     /// Warm-start tier shared by every SPR\* compile; `None` when the
     /// daemon runs with bit-stable responses (the default).
     warm: Option<WarmStartCache>,
+    /// Persistent result tier under the in-memory cache; `None` without
+    /// `--cache-dir`.
+    disk: Option<DiskCache>,
+    /// Per-tenant admission control; disabled unless `--quota-burst` > 0.
+    quota: Quota,
     watch: Mutex<Vec<WatchEntry>>,
     draining: AtomicBool,
     stopped: AtomicBool,
@@ -213,6 +273,30 @@ impl State {
             ..CacheStats::default()
         }
     }
+
+    fn disk_stats(&self) -> DiskCacheStats {
+        self.disk.as_ref().map(DiskCache::stats).unwrap_or_default()
+    }
+
+    /// The two-tier cache lookup: memory first, then disk (promoting a
+    /// disk hit into memory so the next lookup is cheap). Either tier
+    /// satisfies the byte-identical-replay guarantee.
+    fn cached_response(&self, key: u64) -> Option<String> {
+        if let Some(body) = self.results.get(key) {
+            return Some(body);
+        }
+        let body = self.disk.as_ref()?.get(key)?;
+        self.results.insert(key, body.clone());
+        Some(body)
+    }
+
+    /// Stores a completed response in both tiers.
+    fn store_response(&self, key: u64, body: &str) {
+        self.results.insert(key, body.to_string());
+        if let Some(disk) = &self.disk {
+            disk.insert(key, body);
+        }
+    }
 }
 
 /// A handle that can trigger the graceful drain from another thread (the
@@ -254,12 +338,18 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let disk = match &config.cache_dir {
+            None => None,
+            Some(dir) => Some(DiskCache::open(dir, config.cache_budget)?),
+        };
         let state = Arc::new(State {
             queue: JobQueue::new(config.queue_depth),
             metrics: Metrics::new(),
             results: ResultCache::new(config.result_cache_capacity),
             cgras: Mutex::new(HashMap::new()),
             warm: config.warm_cache.then(WarmStartCache::default),
+            disk,
+            quota: Quota::new(config.quota_rps, config.quota_burst),
             watch: Mutex::new(Vec::new()),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
@@ -307,6 +397,12 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            // Slow-loris guard: a peer that stalls mid-read or mid-write
+            // trips the socket timeout instead of pinning this thread.
+            if let Some(t) = state.config.io_timeout {
+                let _ = stream.set_read_timeout(Some(t));
+                let _ = stream.set_write_timeout(Some(t));
+            }
             {
                 let mut n = state
                     .connections
@@ -379,20 +475,57 @@ fn watchdog_loop(state: &Arc<State>) {
 
 fn worker_loop(state: &Arc<State>) {
     while let Some(job) = state.queue.pop() {
-        state.metrics.job_started();
-        let outcome = run_job(state, &job);
-        job.done.store(true, Ordering::Release);
-        // A disappeared client is not an error; the job's effects
-        // (metrics, result cache) already landed.
-        let _ = job.respond.send(outcome);
+        match job {
+            Job::Single(job) => {
+                state.metrics.job_started();
+                let outcome = run_job(state, &job);
+                job.done.store(true, Ordering::Release);
+                // A disappeared client is not an error; the job's effects
+                // (metrics, result cache) already landed.
+                let _ = job.respond.send(outcome);
+            }
+            Job::Batch(job) => {
+                state.metrics.batch_started(job.entries.len() as u64);
+                let outcomes = run_batch_job(state, &job);
+                job.done.store(true, Ordering::Release);
+                let _ = job.respond.send(outcomes);
+            }
+        }
     }
 }
 
+/// Runs one batch's cache-missing entries, fanning them out on a
+/// [`BatchExecutor`] scope sized by the daemon's portfolio-thread budget.
+/// Each entry goes through *exactly* the single-compile routine
+/// ([`run_compile`]), so a batch result is bit-identical to the same
+/// request sent to `/compile` — the executor only changes the schedule,
+/// never the bytes.
+fn run_batch_job(state: &Arc<State>, job: &BatchJob) -> Vec<(usize, JobOutcome)> {
+    let outcomes = BatchExecutor::scope(state.config.portfolio_threads, |exec| {
+        exec.run_batch(job.entries.len(), |_, i| {
+            let entry = &job.entries[i];
+            run_compile(state, &entry.request, entry.key, &job.cancel)
+        })
+    });
+    job.entries.iter().map(|e| e.index).zip(outcomes).collect()
+}
+
 /// Compiles one job; returns the HTTP outcome and settles the metrics.
-fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
-    let req = &job.request;
+fn run_job(state: &Arc<State>, job: &SingleJob) -> JobOutcome {
+    run_compile(state, &job.request, job.key, &job.cancel)
+}
+
+/// Compiles one request (a `/compile` job or one `/compile-batch` entry);
+/// returns the HTTP outcome and settles that unit's metrics. The caller
+/// has already moved the unit to in-flight.
+fn run_compile(
+    state: &Arc<State>,
+    req: &CompileRequest,
+    key: u64,
+    cancel: &CancelToken,
+) -> JobOutcome {
     let started = Instant::now();
-    if job.cancel.is_cancelled() {
+    if cancel.is_cancelled() {
         // Deadline expired while the job sat in the queue.
         state.metrics.job_cancelled();
         return error_outcome(504, "cancelled", "deadline exceeded before compile started");
@@ -420,10 +553,10 @@ fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
                 &cgra,
                 &shim,
                 &tracer,
-                Some(&job.cancel),
+                Some(cancel),
             )
         } else {
-            compiler.compile_traced_with_cancel(&req.dfg, &cgra, &shim, &tracer, Some(&job.cancel))
+            compiler.compile_traced_with_cancel(&req.dfg, &cgra, &shim, &tracer, Some(cancel))
         }
     };
     let result: Result<CompileReport, PanoramaError> = match req.mapper.as_str() {
@@ -460,7 +593,7 @@ fn run_job(state: &Arc<State>, job: &Job) -> JobOutcome {
             let request_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             folded.push(("request", request_ns));
             state.metrics.job_completed(&folded);
-            state.results.insert(job.key, body.clone());
+            state.store_response(key, &body);
             JobOutcome { status: 200, body }
         }
         Err(PanoramaError::Cancelled) => {
@@ -512,6 +645,8 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
                     state.result_stats(),
                     state.mrrg_stats(),
                     state.warm_stats(),
+                    state.disk_stats(),
+                    &state.quota.stats(),
                 )
             );
             let _ = write_response(&stream, 200, &[], &body);
@@ -527,8 +662,12 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
             }
         }
         ("POST", "/compile") => handle_compile(state, &stream, &request),
+        ("POST", "/compile-batch") => handle_compile_batch(state, &stream, &request),
         ("POST", "/lint") => handle_lint(&stream, &request),
-        (_, "/healthz" | "/metrics" | "/admin/shutdown" | "/compile" | "/lint") => {
+        (
+            _,
+            "/healthz" | "/metrics" | "/admin/shutdown" | "/compile" | "/compile-batch" | "/lint",
+        ) => {
             let JobOutcome { status, body } =
                 error_outcome(405, "method_not_allowed", "wrong method for this path");
             let _ = write_response(&stream, status, &[], &body);
@@ -540,17 +679,10 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
     }
 }
 
-fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
-    let parsed =
-        match parse_compile_request(&request.body, state.config.deadline, state.config.analyze) {
-            Ok(parsed) => parsed,
-            Err(e) => {
-                let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
-                let _ = write_response(stream, status, &[], &body);
-                return;
-            }
-        };
-    let key = ContentHash::new()
+/// The content key of a parsed request: everything that determines the
+/// response bytes, nothing incidental (see [`crate::cache`]).
+fn compile_key(parsed: &CompileRequest) -> u64 {
+    ContentHash::new()
         .chunk(&parsed.dfg.to_text())
         .chunk(&parsed.arch_display)
         .chunk(&parsed.arch_config.to_text())
@@ -562,8 +694,37 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
         })
         .chunk(&parsed.max_ii.map(|n| n.to_string()).unwrap_or_default())
         .chunk(if parsed.analyze { "analyze" } else { "plain" })
-        .finish();
-    if let Some(body) = state.results.get(key) {
+        .finish()
+}
+
+/// Writes the 429 for a quota-rejected request (`n` compile units).
+fn reject_quota(state: &Arc<State>, stream: &TcpStream, n: u64) {
+    state.metrics.request_quota_rejected(n);
+    let JobOutcome { status, body } = error_outcome(
+        429,
+        "quota_exceeded",
+        "tenant quota exhausted; retry after the indicated delay",
+    );
+    let retry = format!("Retry-After: {}", state.quota.retry_after_secs());
+    let _ = write_response(stream, status, &[retry.as_str()], &body);
+}
+
+fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
+    if !state.quota.admit(request.header(TENANT_HEADER)) {
+        reject_quota(state, stream, 1);
+        return;
+    }
+    let parsed =
+        match parse_compile_request(&request.body, state.config.deadline, state.config.analyze) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                let JobOutcome { status, body } = error_outcome(400, "bad_request", &e);
+                let _ = write_response(stream, status, &[], &body);
+                return;
+            }
+        };
+    let key = compile_key(&parsed);
+    if let Some(body) = state.cached_response(key) {
         state.metrics.request_cache_hit();
         let _ = write_response(stream, 200, &[], &body);
         return;
@@ -584,20 +745,20 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
             });
     }
     let (tx, rx) = mpsc::channel();
-    let job = Job {
+    let job = Job::Single(Box::new(SingleJob {
         request: parsed,
         key,
         cancel,
         done: Arc::clone(&done),
         respond: tx,
-    };
+    }));
     // Account the enqueue *before* pushing: once the job is in the queue a
     // worker may pop it at any moment, and `job_started` must never see
     // `queued == 0` (debug builds panic on the underflow).
     state.metrics.request_enqueued();
-    if let Err((job, _reason)) = state.queue.try_push(job) {
+    if let Err((_job, _reason)) = state.queue.try_push(job) {
         // Full and draining shed identically: try again later.
-        job.done.store(true, Ordering::Release);
+        done.store(true, Ordering::Release);
         state.metrics.request_shed_after_enqueue();
         let JobOutcome { status, body } = error_outcome(
             503,
@@ -619,6 +780,152 @@ fn handle_compile(state: &Arc<State>, stream: &TcpStream, request: &Request) {
             let _ = write_response(stream, status, &["Retry-After: 1"], &body);
         }
     }
+}
+
+/// `POST /compile-batch`: N compile entries in one request, sharing the
+/// daemon's `Cgra`/MRRG setup and fanning out on the batch executor.
+///
+/// Failure is *per entry*: a malformed entry yields a 400-shaped element,
+/// a shed entry a 503-shaped one, while the rest of the batch proceeds —
+/// the envelope itself is `200` whenever the request frame parses. Every
+/// entry's `response` is byte-identical to what `/compile` would have
+/// returned for the same body (cache tiers included), so batching is a
+/// transport optimization, never a semantic fork.
+fn handle_compile_batch(state: &Arc<State>, stream: &TcpStream, request: &Request) {
+    let bad_request = |reason: &str| {
+        let JobOutcome { status, body } = error_outcome(400, "bad_request", reason);
+        let _ = write_response(stream, status, &[], &body);
+    };
+    let doc = match parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => return bad_request(&e),
+    };
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        return bad_request("missing `entries` array");
+    };
+    if entries.is_empty() {
+        return bad_request("`entries` must not be empty");
+    }
+    if entries.len() > MAX_BATCH_ENTRIES {
+        return bad_request(&format!(
+            "too many entries ({} > {MAX_BATCH_ENTRIES})",
+            entries.len()
+        ));
+    }
+    let batch_deadline = match opt_usize(&doc, "deadline_ms") {
+        Ok(Some(ms)) => Some(Duration::from_millis(ms as u64)),
+        Ok(None) => state.config.deadline,
+        Err(e) => return bad_request(&e),
+    };
+    // Quota charges one token per entry, all-or-nothing — batching must
+    // not be a way around admission control.
+    if !state
+        .quota
+        .admit_n(request.header(TENANT_HEADER), entries.len() as u64)
+    {
+        reject_quota(state, stream, entries.len() as u64);
+        return;
+    }
+    // Parse every entry and probe the cache tiers; only misses queue.
+    let mut results: Vec<Option<JobOutcome>> = Vec::with_capacity(entries.len());
+    let mut misses: Vec<BatchEntry> = Vec::new();
+    let mut hits = 0u64;
+    for (index, entry) in entries.iter().enumerate() {
+        match parse_compile_doc(entry, batch_deadline, state.config.analyze) {
+            Err(e) => results.push(Some(error_outcome(400, "bad_request", &e))),
+            Ok(parsed) => {
+                let key = compile_key(&parsed);
+                if let Some(body) = state.cached_response(key) {
+                    hits += 1;
+                    results.push(Some(JobOutcome { status: 200, body }));
+                } else {
+                    results.push(None);
+                    misses.push(BatchEntry {
+                        index,
+                        request: parsed,
+                        key,
+                    });
+                }
+            }
+        }
+    }
+    if hits > 0 {
+        state.metrics.request_cache_hits(hits);
+    }
+    if !misses.is_empty() {
+        let count = misses.len() as u64;
+        let cancel = CancelToken::new();
+        let done = Arc::new(AtomicBool::new(false));
+        if let Some(d) = batch_deadline {
+            // One deadline governs the whole batch (queue wait included);
+            // entry-level `deadline_ms` fields do not re-arm the watchdog.
+            state
+                .watch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(WatchEntry {
+                    deadline: Instant::now() + d,
+                    cancel: cancel.clone(),
+                    done: Arc::clone(&done),
+                });
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job::Batch(BatchJob {
+            entries: misses,
+            cancel,
+            done: Arc::clone(&done),
+            respond: tx,
+        });
+        state.metrics.request_enqueued_n(count);
+        if state.queue.try_push(job).is_err() {
+            // Shed the miss entries; cache hits in this same batch still
+            // return their bodies (failure is per entry).
+            done.store(true, Ordering::Release);
+            state.metrics.request_shed_after_enqueue_n(count);
+            for slot in results.iter_mut().filter(|s| s.is_none()) {
+                *slot = Some(error_outcome(
+                    503,
+                    "overloaded",
+                    "compile queue is full; retry after the indicated delay",
+                ));
+            }
+        } else {
+            match rx.recv() {
+                Ok(outcomes) => {
+                    for (index, outcome) in outcomes {
+                        results[index] = Some(outcome);
+                    }
+                }
+                Err(_) => {
+                    for slot in results.iter_mut().filter(|s| s.is_none()) {
+                        *slot = Some(error_outcome(503, "shutting_down", "server is draining"));
+                    }
+                }
+            }
+        }
+    }
+    let mut body = format!(
+        "{{\"schema\":\"{BATCH_SCHEMA}\",\"count\":{},\"results\":[",
+        results.len()
+    );
+    for (index, outcome) in results.iter().enumerate() {
+        let outcome = outcome.as_ref().expect("every entry settled");
+        if index > 0 {
+            body.push(',');
+        }
+        // The per-entry body is a complete JSON document; embed it
+        // verbatim (minus its trailing newline) so batch responses carry
+        // the exact bytes `/compile` would have produced.
+        use std::fmt::Write as _;
+        let _ = write!(
+            body,
+            "{{\"index\":{index},\"status\":{},\"response\":{}}}",
+            outcome.status,
+            outcome.body.trim_end(),
+        );
+    }
+    body.push_str("]}\n");
+    let _ = write_response(stream, 200, &[], &body);
 }
 
 fn handle_lint(stream: &TcpStream, request: &Request) {
@@ -725,17 +1032,27 @@ fn parse_compile_request(
     default_analyze: bool,
 ) -> Result<CompileRequest, String> {
     let doc = parse(raw)?;
-    let dfg = parse_dfg_field(&doc)?;
+    parse_compile_doc(&doc, default_deadline, default_analyze)
+}
+
+/// [`parse_compile_request`] over an already-parsed JSON value — the
+/// shape `/compile-batch` entries arrive in.
+fn parse_compile_doc(
+    doc: &Json,
+    default_deadline: Option<Duration>,
+    default_analyze: bool,
+) -> Result<CompileRequest, String> {
+    let dfg = parse_dfg_field(doc)?;
     let (arch_display, arch_config) =
-        parse_arch_field(&doc)?.unwrap_or_else(|| ("8x8".to_string(), CgraConfig::scaled_8x8()));
-    let mapper = opt_str(&doc, "mapper").unwrap_or("spr").to_string();
+        parse_arch_field(doc)?.unwrap_or_else(|| ("8x8".to_string(), CgraConfig::scaled_8x8()));
+    let mapper = opt_str(doc, "mapper").unwrap_or("spr").to_string();
     if !matches!(mapper.as_str(), "spr" | "ultrafast" | "exhaustive") {
         return Err(format!("unknown mapper `{mapper}`"));
     }
     let baseline = doc.get("baseline").and_then(Json::as_bool).unwrap_or(false);
-    let max_ii = opt_usize(&doc, "max_ii")?;
-    let threads = opt_usize(&doc, "threads")?;
-    let deadline = match opt_usize(&doc, "deadline_ms")? {
+    let max_ii = opt_usize(doc, "max_ii")?;
+    let threads = opt_usize(doc, "threads")?;
+    let deadline = match opt_usize(doc, "deadline_ms")? {
         Some(ms) => Some(Duration::from_millis(ms as u64)),
         None => default_deadline,
     };

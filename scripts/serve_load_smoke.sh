@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Load smoke for the serve layer (DESIGN.md §15), used by the CI
+# `serve-load-smoke` job and runnable locally. Runs the deterministic
+# `panorama bench --serve` harness — N concurrent clients over a real
+# socket, a cold phase and then a fresh daemon on the same disk-cache
+# directory — at worker counts 1 and 4, gated against the committed
+# BENCH_PR8.json baseline (request conservation, 100% warm hit rate,
+# disk-cache hits after the restart, byte-identical replay). The
+# wall-clock-free stable projections of both runs must be byte-identical:
+# the serving results may not depend on the worker count.
+set -euo pipefail
+
+BIN=${BIN:-target/release/panorama}
+BASELINE=${BASELINE:-BENCH_PR8.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for workers in 1 4; do
+    echo "== serve load bench: 4 clients x 48 requests, workers $workers"
+    "$BIN" bench --serve --clients 4 --requests 48 --workers "$workers" \
+        --cache-dir "$TMP/cache-w$workers" \
+        --out "$TMP/serve-w$workers.json" \
+        --stable-out "$TMP/stable-w$workers.json" \
+        --check "$BASELINE"
+    grep -q '"disk_survived_restart": true' "$TMP/stable-w$workers.json" \
+        || { echo "workers $workers: warm phase served nothing from disk"; exit 1; }
+    grep -q '"identical_replay": true' "$TMP/stable-w$workers.json" \
+        || { echo "workers $workers: restart replay diverged"; exit 1; }
+done
+
+echo "== stable projections identical across worker counts"
+cmp "$TMP/stable-w1.json" "$TMP/stable-w4.json"
+echo "== serve load smoke passed"

@@ -85,10 +85,14 @@ fn usage() -> &'static str {
 [--out <file>] [--json]\n  \
      panorama serve [--addr <ip:port>] [--workers <n>] [--queue-depth <n>] \
 [--deadline-ms <ms>] [--result-cache <n>] [--mrrg-cache <n>] [--threads <n>] \
-[--warm-cache]\n  \
+[--warm-cache] [--cache-dir <dir>] [--cache-budget <bytes>] \
+[--quota-rps <n>] [--quota-burst <n>] [--io-timeout-ms <ms>]\n  \
      panorama bench [--json] [--out <file>] [--stable-out <file>] \
 [--mapper spr|ultrafast] [--threads <n>] [--check <baseline.json>] \
 [--max-kernel-seconds <s>] [--ceiling-scale <x>] [--trace <file>] [--analyze]\n  \
+     panorama bench --serve [--clients <n>] [--requests <n>] [--workers <n>] \
+[--cache-dir <dir>] [--out <file>] [--stable-out <file>] \
+[--check <baseline.json>]\n  \
      panorama kernels [--scale tiny|scaled|paper]\n  \
      panorama info --arch <file|preset>\n\n\
      presets: 4x4, 8x8, 9x9, 16x16, 6x1"
@@ -142,6 +146,11 @@ const BENCH_FLAGS: FlagSpec = &[
     ("ceiling-scale", false),
     ("trace", false),
     ("analyze", true),
+    ("serve", true),
+    ("clients", false),
+    ("requests", false),
+    ("workers", false),
+    ("cache-dir", false),
 ];
 const LINT_FLAGS: FlagSpec = &[
     ("dfg", false),
@@ -177,6 +186,11 @@ const SERVE_FLAGS: FlagSpec = &[
     ("threads", false),
     ("analyze", true),
     ("warm-cache", true),
+    ("cache-dir", false),
+    ("cache-budget", false),
+    ("quota-rps", false),
+    ("quota-burst", false),
+    ("io-timeout-ms", false),
 ];
 
 fn parse_flags(
@@ -580,6 +594,9 @@ impl LowerLevelMapper for DynMapper<'_> {
 /// them); with `--check` the fresh run is gated against a checked-in
 /// baseline.
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    if flags.contains_key("serve") {
+        return cmd_bench_serve(flags);
+    }
     let options = panorama_bench::BenchOptions {
         threads: parse_threads(flags)?,
         mapper: match flags.get("mapper").map(String::as_str) {
@@ -661,6 +678,71 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             .check_against_baseline(&baseline, ceiling, scale)
             .map_err(|e| format!("baseline check failed:\n{e}"))?;
         eprintln!("baseline check passed ({baseline_path})");
+    }
+    Ok(())
+}
+
+/// `panorama bench --serve`: the deterministic serve-layer load bench.
+/// Drives N concurrent clients through a real socket against an
+/// in-process daemon, twice over the same disk-cache directory, so the
+/// warm phase measures restart survival. `--check <baseline>` gates the
+/// run on the bench's own invariants (conservation, 100% warm hit rate,
+/// disk hits after restart, byte-identical replay) plus shape agreement
+/// with the committed baseline.
+fn cmd_bench_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let parse_n = |key: &str, default: usize| -> Result<usize, String> {
+        flags.get(key).map_or(Ok(default), |s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("--{key} needs a non-negative integer, got `{s}`"))
+        })
+    };
+    let defaults = panorama_bench::ServeLoadOptions::default();
+    let options = panorama_bench::ServeLoadOptions {
+        clients: parse_n("clients", defaults.clients)?,
+        requests: parse_n("requests", defaults.requests)?,
+        workers: parse_n("workers", defaults.workers)?,
+        cache_dir: flags
+            .get("cache-dir")
+            .map_or(defaults.cache_dir, std::path::PathBuf::from),
+    };
+    eprintln!(
+        "serve bench: {} clients x {} requests over {} workers (disk cache {})...",
+        options.clients.max(1),
+        options.requests,
+        options.workers.max(1),
+        options.cache_dir.display()
+    );
+    let report = panorama_bench::run_serve_load(&options)?;
+    for (name, p) in [("cold", &report.cold), ("warm", &report.warm)] {
+        println!(
+            "{name:<5} {:>7.2} req/s  p50 {:>9}ns  p99 {:>9}ns  {} ok / {} not-ok  \
+             {} cache hits ({} from disk)",
+            p.throughput_rps, p.p50_ns, p.p99_ns, p.ok, p.not_ok, p.cache_hits, p.disk_hits
+        );
+    }
+    println!(
+        "replay: {}",
+        if report.identical_replay {
+            "warm responses byte-identical to cold"
+        } else {
+            "WARM RESPONSES DIVERGED FROM COLD"
+        }
+    );
+    if flags.contains_key("json") || flags.contains_key("out") {
+        let out = flags.get("out").map_or("BENCH_PR8.json", String::as_str);
+        std::fs::write(out, report.to_json())?;
+        eprintln!("wrote {out}");
+    }
+    if let Some(path) = flags.get("stable-out") {
+        std::fs::write(path, report.to_stable_json())?;
+        eprintln!("wrote stable projection {path}");
+    }
+    if let Some(baseline_path) = flags.get("check") {
+        let baseline = std::fs::read_to_string(baseline_path)?;
+        report
+            .check_against_baseline(&baseline)
+            .map_err(|e| format!("serve bench check failed:\n{e}"))?;
+        eprintln!("serve bench check passed ({baseline_path})");
     }
     Ok(())
 }
@@ -863,12 +945,35 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         portfolio_threads: parse_threads(flags)?,
         analyze: flags.contains_key("analyze"),
         warm_cache: flags.contains_key("warm-cache"),
+        cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
+        cache_budget: flags.get("cache-budget").map_or(Ok(0), |s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--cache-budget needs a byte count, got `{s}`"))
+        })?,
+        quota_rps: flags.get("quota-rps").map_or(Ok(0), |s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--quota-rps needs a non-negative integer, got `{s}`"))
+        })?,
+        quota_burst: flags.get("quota-burst").map_or(Ok(0), |s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--quota-burst needs a non-negative integer, got `{s}`"))
+        })?,
+        io_timeout: match flags.get("io-timeout-ms") {
+            None => panorama_serve::ServeConfig::default().io_timeout,
+            Some(s) => {
+                let ms = s.parse::<u64>().map_err(|_| {
+                    format!("--io-timeout-ms needs a non-negative integer, got `{s}`")
+                })?;
+                // 0 disables the per-socket read/write timeouts entirely
+                (ms > 0).then(|| std::time::Duration::from_millis(ms))
+            }
+        },
     };
     let server = panorama_serve::Server::bind(config)?;
     let addr = server.local_addr();
     println!("panorama-serve listening on http://{addr}");
     println!(
-        "endpoints: POST /compile, POST /lint, GET /healthz, GET /metrics, POST /admin/shutdown"
+        "endpoints: POST /compile, POST /compile-batch, POST /lint, GET /healthz, GET /metrics, POST /admin/shutdown"
     );
     println!("drain: POST /admin/shutdown (loopback-only) or close stdin");
     let drain = server.drain_handle();

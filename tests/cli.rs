@@ -82,10 +82,14 @@ fn lint_validates_serve_metrics_files() {
         &good,
         "{\"schema\":\"panorama-serve-metrics-v1\",\
          \"queue\":{\"depth\":0,\"capacity\":4,\"in_flight\":0},\
-         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
+         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\
+         \"failed\":0,\"quota_rejected\":0},\
          \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
          \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
          \"warm_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0},\
+         \"disk_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\
+         \"evictions\":0,\"bytes\":0,\"corrupt\":0},\
+         \"quota\":{\"enabled\":false,\"rps\":0,\"burst\":0,\"rejected\":0,\"tenants\":[]},\
          \"phases\":[]}",
     )
     .unwrap();
@@ -190,10 +194,14 @@ fn lint_report_auto_detects_schema_and_aliases_warn() {
         &metrics,
         "{\"schema\":\"panorama-serve-metrics-v1\",\
          \"queue\":{\"depth\":0,\"capacity\":4,\"in_flight\":0},\
-         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\"failed\":0},\
+         \"requests\":{\"received\":1,\"completed\":1,\"shed\":0,\"cancelled\":0,\
+         \"failed\":0,\"quota_rejected\":0},\
          \"result_cache\":{\"hits\":1,\"misses\":0,\"entries\":0,\"capacity\":256,\"evictions\":0},\
          \"mrrg_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":32,\"evictions\":0},\
          \"warm_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\"evictions\":0},\
+         \"disk_cache\":{\"hits\":0,\"misses\":0,\"entries\":0,\"capacity\":0,\
+         \"evictions\":0,\"bytes\":0,\"corrupt\":0},\
+         \"quota\":{\"enabled\":false,\"rps\":0,\"burst\":0,\"rejected\":0,\"tenants\":[]},\
          \"phases\":[]}",
     )
     .unwrap();

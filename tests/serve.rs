@@ -43,13 +43,25 @@ impl Daemon {
 /// One HTTP request over a fresh connection; returns `(status, headers,
 /// body)`.
 fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    http_with_headers(addr, method, path, &[], body)
+}
+
+/// Like [`http`] but with extra request header lines (no trailing CRLF).
+fn http_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[&str],
+    body: &str,
+) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(300)))
         .unwrap();
+    let extra = extra.iter().map(|h| format!("{h}\r\n")).collect::<String>();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{extra}Content-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send");
@@ -443,5 +455,288 @@ fn bad_requests_get_structured_errors() {
     assert_eq!(status, 422, "{body}");
     let m = metrics(daemon.addr);
     assert_eq!(metric(&m, "requests", "failed"), 1);
+    daemon.drain_and_join();
+}
+
+/// A per-test disk-cache directory, scrubbed before use.
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("panorama-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Tentpole: a daemon restart over the same `--cache-dir` serves warm
+/// responses byte-identically from disk — the in-memory tiers start
+/// empty, so the replay can only have come from the persistent cache.
+#[test]
+fn disk_cache_survives_restart_byte_identically() {
+    let dir = cache_dir("restart");
+    let config = || ServeConfig {
+        workers: 2,
+        queue_depth: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let kernels = ["fir", "cordic"];
+    let daemon = start(config());
+    let cold: Vec<String> = kernels
+        .iter()
+        .map(|k| {
+            let (status, _, body) = http(daemon.addr, "POST", "/compile", &compile_body(k, ""));
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    let m = metrics(daemon.addr);
+    assert_eq!(metric(&m, "disk_cache", "entries"), 2);
+    assert_eq!(metric(&m, "disk_cache", "hits"), 0);
+    daemon.drain_and_join();
+
+    // A fresh daemon: process state is gone, the disk corpus is not.
+    let daemon = start(config());
+    for (k, want) in kernels.iter().zip(&cold) {
+        let (status, _, body) = http(daemon.addr, "POST", "/compile", &compile_body(k, ""));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(&body, want, "{k}: restart replay must be byte-identical");
+    }
+    let m = metrics(daemon.addr);
+    assert_eq!(
+        metric(&m, "disk_cache", "hits"),
+        2,
+        "warm replays must be answered from disk, not recompiled"
+    );
+    assert_eq!(metric(&m, "result_cache", "hits"), 2);
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a truncated on-disk entry is dropped and recompiled — the
+/// daemon never serves bytes that fail the integrity check, and the
+/// recompile reproduces the original response exactly.
+#[test]
+fn truncated_disk_entry_is_recompiled_not_served() {
+    let dir = cache_dir("truncate");
+    let config = || ServeConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let daemon = start(config());
+    let (status, _, want) = http(daemon.addr, "POST", "/compile", &compile_body("fir", ""));
+    assert_eq!(status, 200);
+    daemon.drain_and_join();
+
+    // Truncate every committed entry mid-body.
+    let mut truncated = 0;
+    for dirent in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = dirent.expect("dirent").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("entry") {
+            let raw = std::fs::read_to_string(&path).expect("read entry");
+            std::fs::write(&path, &raw[..raw.len() / 2]).expect("truncate");
+            truncated += 1;
+        }
+    }
+    assert!(truncated > 0, "first daemon must have persisted entries");
+
+    let daemon = start(config());
+    let (status, _, body) = http(daemon.addr, "POST", "/compile", &compile_body("fir", ""));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, want, "recompile must reproduce the original bytes");
+    let m = metrics(daemon.addr);
+    assert_eq!(
+        metric(&m, "disk_cache", "hits"),
+        0,
+        "a truncated entry must never be served"
+    );
+    assert!(
+        metric(&m, "disk_cache", "corrupt") >= 1,
+        "the dropped entry must be counted"
+    );
+    daemon.drain_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole: `/compile-batch` responses embed, per entry, the exact bytes
+/// `/compile` returns for the same body — at every worker count — and a
+/// bad entry fails alone (400 in its slot) while the rest of the batch
+/// completes.
+#[test]
+fn compile_batch_matches_individual_compiles() {
+    let kernels = ["fir", "cordic", "edn", "conv2d"];
+    // Per-entry reference bytes from a separate daemon's /compile, so the
+    // batch path under test cannot be answered from a shared cache.
+    let reference = start(ServeConfig::default());
+    let singles: Vec<String> = kernels
+        .iter()
+        .map(|k| {
+            let (status, _, body) = http(reference.addr, "POST", "/compile", &compile_body(k, ""));
+            assert_eq!(status, 200, "{body}");
+            body.trim_end().to_string()
+        })
+        .collect();
+    reference.drain_and_join();
+
+    for workers in [1usize, 2, 4] {
+        let daemon = start(ServeConfig {
+            workers,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        });
+        // Entry 2 is malformed: it must fail alone, in place.
+        let mut entries: Vec<String> = kernels.iter().map(|k| compile_body(k, "")).collect();
+        entries.insert(2, compile_body("nope", ""));
+        let frame = format!("{{\"entries\":[{}]}}", entries.join(","));
+        let (status, _, body) = http(daemon.addr, "POST", "/compile-batch", &frame);
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("batch envelope parses");
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("panorama-serve-batch-v1")
+        );
+        assert_eq!(doc.get("count").unwrap().as_f64(), Some(5.0));
+        // Byte-level check: each good entry embeds the single-compile
+        // response verbatim at its index.
+        for (slot, want) in [
+            (0, &singles[0]),
+            (1, &singles[1]),
+            (3, &singles[2]),
+            (4, &singles[3]),
+        ] {
+            let exact = format!("{{\"index\":{slot},\"status\":200,\"response\":{want}}}");
+            assert!(
+                body.contains(&exact),
+                "workers {workers}: entry {slot} not byte-identical to /compile\n{body}"
+            );
+        }
+        assert!(
+            body.contains("{\"index\":2,\"status\":400,"),
+            "bad entry must 400 in place: {body}"
+        );
+        assert!(body.contains("unknown kernel"), "{body}");
+        // The four valid entries are the only metric-visible requests.
+        let m = metrics(daemon.addr);
+        assert_eq!(metric(&m, "requests", "received"), 4);
+        assert_eq!(metric(&m, "requests", "completed"), 4);
+        daemon.drain_and_join();
+    }
+}
+
+/// Tentpole: token-bucket admission control — with `rps 0, burst 2` a
+/// tenant gets exactly two admissions, then deterministic `429` with
+/// `Retry-After`; other tenants have their own buckets; batches charge
+/// one token per entry all-or-nothing; the quota state shows in
+/// `/metrics` and passes the serve lints.
+#[test]
+fn quota_admits_burst_then_rejects_with_429() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        queue_depth: 8,
+        quota_rps: 0,
+        quota_burst: 2,
+        ..ServeConfig::default()
+    });
+    let tenant = |name: &str| format!("X-Panorama-Tenant: {name}");
+    let body = compile_body("fir", "");
+    for _ in 0..2 {
+        let (status, _, payload) =
+            http_with_headers(daemon.addr, "POST", "/compile", &[&tenant("alice")], &body);
+        assert_eq!(status, 200, "{payload}");
+    }
+    let (status, head, payload) =
+        http_with_headers(daemon.addr, "POST", "/compile", &[&tenant("alice")], &body);
+    assert_eq!(status, 429, "{payload}");
+    assert!(
+        head.contains("Retry-After: 60"),
+        "rps 0 never refills, so Retry-After is the long delay:\n{head}"
+    );
+    assert!(
+        payload.contains("\"error\":\"quota_exceeded\""),
+        "{payload}"
+    );
+    // A different tenant has an untouched bucket.
+    let (status, _, payload) =
+        http_with_headers(daemon.addr, "POST", "/compile", &[&tenant("bob")], &body);
+    assert_eq!(status, 200, "{payload}");
+    // Batches charge per entry, all-or-nothing: bob holds one token, so a
+    // two-entry batch is rejected whole and spends nothing...
+    let batch = format!("{{\"entries\":[{body},{body}]}}");
+    let (status, _, payload) = http_with_headers(
+        daemon.addr,
+        "POST",
+        "/compile-batch",
+        &[&tenant("bob")],
+        &batch,
+    );
+    assert_eq!(status, 429, "{payload}");
+    // ...while a one-entry batch still fits.
+    let batch = format!("{{\"entries\":[{body}]}}");
+    let (status, _, payload) = http_with_headers(
+        daemon.addr,
+        "POST",
+        "/compile-batch",
+        &[&tenant("bob")],
+        &batch,
+    );
+    assert_eq!(status, 200, "{payload}");
+
+    let m = metrics(daemon.addr);
+    assert_eq!(metric(&m, "requests", "quota_rejected"), 3);
+    assert_eq!(metric(&m, "quota", "rejected"), 3);
+    let tenants = m
+        .get("quota")
+        .and_then(|q| q.get("tenants"))
+        .and_then(Json::as_arr)
+        .expect("tenants array");
+    let names: Vec<&str> = tenants
+        .iter()
+        .map(|t| t.get("tenant").and_then(Json::as_str).expect("tenant name"))
+        .collect();
+    assert_eq!(names, ["alice", "bob"], "tenants sorted by name");
+    // The snapshot passes the quota/disk serve lints.
+    let (_, _, snapshot) = http(daemon.addr, "GET", "/metrics", "");
+    let mut diags = Diagnostics::new();
+    lint_serve_json(&format!("[{}]", snapshot.trim()), &mut diags);
+    assert_eq!(
+        diags.iter().count(),
+        0,
+        "lint findings: {:?}",
+        diags
+            .iter()
+            .map(|d| (d.code, d.message.clone()))
+            .collect::<Vec<_>>()
+    );
+    daemon.drain_and_join();
+}
+
+/// Satellite: a slow-loris peer that stalls mid-body trips the per-socket
+/// read timeout and gets a structured `400` instead of pinning a
+/// connection thread — and the daemon keeps serving normal clients.
+#[test]
+fn stalled_request_times_out_with_400() {
+    let daemon = start(ServeConfig {
+        workers: 1,
+        io_timeout: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Claim 200 body bytes, send 8, then stall.
+    write!(
+        stream,
+        "POST /compile HTTP/1.1\r\nHost: t\r\nContent-Length: 200\r\n\r\n{{\"kern"
+    )
+    .expect("send partial");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    assert!(
+        response.starts_with("HTTP/1.1 400"),
+        "stalled body must yield a 400:\n{response}"
+    );
+    assert!(response.contains("bad_request"), "{response}");
+    // The daemon is still healthy for well-behaved clients.
+    let (status, _, body) = http(daemon.addr, "POST", "/compile", &compile_body("fir", ""));
+    assert_eq!(status, 200, "{body}");
     daemon.drain_and_join();
 }
