@@ -49,7 +49,9 @@
 use panorama::{BatchExecutor, CompileReport, Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dep, Dfg, DfgBuilder, KernelId, KernelScale, OpKind};
-use panorama_mapper::{LowerLevelMapper, SprConfig, SprMapper, UltraFastMapper, WarmStartCache};
+use panorama_mapper::{
+    LowerLevelMapper, SatMapper, SprConfig, SprMapper, UltraFastMapper, WarmStartCache,
+};
 use panorama_trace::json::{self, Json};
 use panorama_trace::{phase_totals, RecordingSink, TraceEvent, TraceReport, Tracer};
 use std::fmt::Write as _;
@@ -63,6 +65,9 @@ pub enum BenchMapper {
     UltraFast,
     /// SPR\* with a per-mapping time budget (representative, slower).
     Spr,
+    /// The CDCL SAT-based mapper. Runs the 4×4/tiny preset only — the
+    /// CNF encoding grows too fast for scaled kernels on the 8×8.
+    Sat,
 }
 
 impl BenchMapper {
@@ -71,6 +76,7 @@ impl BenchMapper {
         match self {
             BenchMapper::UltraFast => "Ultra-Fast",
             BenchMapper::Spr => "SPR*",
+            BenchMapper::Sat => "SAT",
         }
     }
 }
@@ -198,12 +204,15 @@ pub struct BenchReport {
 }
 
 /// The two architecture presets the suite runs on: a 4×4 with tiny
-/// kernels and the scaled 8×8 with ~1/3-paper-size kernels.
-fn presets() -> Vec<(&'static str, CgraConfig, KernelScale)> {
-    vec![
-        ("4x4", CgraConfig::small_4x4(), KernelScale::Tiny),
-        ("8x8", CgraConfig::scaled_8x8(), KernelScale::Scaled),
-    ]
+/// kernels and the scaled 8×8 with ~1/3-paper-size kernels. The SAT
+/// mapper runs the 4×4/tiny preset only (scaled kernels exceed its CNF
+/// budget by design).
+fn presets(mapper: BenchMapper) -> Vec<(&'static str, CgraConfig, KernelScale)> {
+    let mut presets = vec![("4x4", CgraConfig::small_4x4(), KernelScale::Tiny)];
+    if mapper != BenchMapper::Sat {
+        presets.push(("8x8", CgraConfig::scaled_8x8(), KernelScale::Scaled));
+    }
+    presets
 }
 
 /// The suite's two mapper instances, built once and shared by every job
@@ -211,6 +220,7 @@ fn presets() -> Vec<(&'static str, CgraConfig, KernelScale)> {
 struct Mappers {
     ultrafast: UltraFastMapper,
     spr: SprMapper,
+    sat: SatMapper,
 }
 
 fn spr_config(options: &BenchOptions) -> SprConfig {
@@ -225,6 +235,7 @@ impl Mappers {
         Mappers {
             ultrafast: UltraFastMapper::default(),
             spr: SprMapper::new(spr_config(options)),
+            sat: SatMapper::default(),
         }
     }
 }
@@ -264,6 +275,10 @@ fn compile_job<'env>(
             compiler.compile_batch_traced(exec, dfg, cgra, &mappers.spr, &tracer, None)
         }
         (BenchMapper::Spr, None) => compiler.compile_traced(dfg, cgra, &mappers.spr, &tracer),
+        (BenchMapper::Sat, Some(exec)) => {
+            compiler.compile_batch_traced(exec, dfg, cgra, &mappers.sat, &tracer, None)
+        }
+        (BenchMapper::Sat, None) => compiler.compile_traced(dfg, cgra, &mappers.sat, &tracer),
     };
     let wall = t.elapsed().as_secs_f64();
     let phases = sink.map_or_else(Vec::new, |sink| {
@@ -334,7 +349,7 @@ fn reports_identical(a: &CompileReport, b: &CompileReport, dfg_ops: usize) -> bo
 /// Returns a human-readable message when any kernel fails to compile in
 /// either phase, or when a warm replay fails to map.
 pub fn run(options: &BenchOptions) -> Result<BenchReport, String> {
-    let presets = presets();
+    let presets = presets(options.mapper);
     let jobs: Vec<(KernelId, usize)> = KernelId::ALL
         .iter()
         .flat_map(|&k| (0..presets.len()).map(move |p| (k, p)))

@@ -1,0 +1,138 @@
+//! Portfolio backend selection: which lower-level mappers race per
+//! candidate.
+//!
+//! [`PanoramaConfig::backends`](crate::PanoramaConfig::backends) names the
+//! mappers the portfolio entry points
+//! ([`Panorama::compile_portfolio`](crate::Panorama::compile_portfolio)
+//! and friends) run side by side. Every *(candidate partition, backend)*
+//! pair becomes one work item on the worker pool, all racing under the
+//! shared atomic best-II bound; the reduction key *(achieved II, routing
+//! complexity, candidate rank × backend count + backend position)* keeps
+//! the winner a deterministic function of the inputs for any thread
+//! count.
+
+use panorama_mapper::{
+    LowerLevelMapper, MapError, Mapping, Restriction, SatMapper, SearchControl, SprMapper,
+    UltraFastMapper,
+};
+use panorama_trace::SpanCollector;
+
+/// A selectable portfolio backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendId {
+    /// SPR\*: schedule / place / route with PathFinder + annealing.
+    Spr,
+    /// Ultra-Fast: greedy abstract scheduler with a wiring budget.
+    UltraFast,
+    /// SAT: CNF modulo scheduling decided by the CDCL solver.
+    Sat,
+}
+
+impl BackendId {
+    /// Every backend, in canonical order.
+    pub const ALL: [BackendId; 3] = [BackendId::Spr, BackendId::UltraFast, BackendId::Sat];
+
+    /// The CLI/config spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendId::Spr => "spr",
+            BackendId::UltraFast => "ultrafast",
+            BackendId::Sat => "sat",
+        }
+    }
+
+    /// Parses a CLI/config spelling.
+    pub fn parse(name: &str) -> Option<BackendId> {
+        match name {
+            "spr" => Some(BackendId::Spr),
+            "ultrafast" => Some(BackendId::UltraFast),
+            "sat" => Some(BackendId::Sat),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the backend's mapper with default settings.
+    pub fn mapper(self) -> AnyMapper {
+        match self {
+            BackendId::Spr => AnyMapper::Spr(SprMapper::default()),
+            BackendId::UltraFast => AnyMapper::UltraFast(UltraFastMapper::default()),
+            BackendId::Sat => AnyMapper::Sat(SatMapper::default()),
+        }
+    }
+}
+
+/// A uniformly-typed lower-level mapper, so heterogeneous backends can
+/// share one portfolio fan-out (and one generic instantiation of the
+/// pipeline).
+#[derive(Debug, Clone)]
+pub enum AnyMapper {
+    /// The SPR\* mapper.
+    Spr(SprMapper),
+    /// The Ultra-Fast mapper.
+    UltraFast(UltraFastMapper),
+    /// The SAT mapper.
+    Sat(SatMapper),
+}
+
+impl AnyMapper {
+    /// The wrapped SAT mapper, when this is the SAT backend — gives the
+    /// CLI access to [`SatMapper::take_attempts`] after a portfolio run.
+    pub fn as_sat(&self) -> Option<&SatMapper> {
+        match self {
+            AnyMapper::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl LowerLevelMapper for AnyMapper {
+    fn map(
+        &self,
+        dfg: &panorama_dfg::Dfg,
+        cgra: &panorama_arch::Cgra,
+        restriction: Option<&Restriction>,
+    ) -> Result<Mapping, MapError> {
+        match self {
+            AnyMapper::Spr(m) => m.map(dfg, cgra, restriction),
+            AnyMapper::UltraFast(m) => m.map(dfg, cgra, restriction),
+            AnyMapper::Sat(m) => m.map(dfg, cgra, restriction),
+        }
+    }
+
+    fn map_with_control(
+        &self,
+        dfg: &panorama_dfg::Dfg,
+        cgra: &panorama_arch::Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+    ) -> Result<Mapping, MapError> {
+        match self {
+            AnyMapper::Spr(m) => m.map_with_control(dfg, cgra, restriction, control),
+            AnyMapper::UltraFast(m) => m.map_with_control(dfg, cgra, restriction, control),
+            AnyMapper::Sat(m) => m.map_with_control(dfg, cgra, restriction, control),
+        }
+    }
+
+    fn map_traced(
+        &self,
+        dfg: &panorama_dfg::Dfg,
+        cgra: &panorama_arch::Cgra,
+        restriction: Option<&Restriction>,
+        control: Option<&SearchControl>,
+        trace: &mut SpanCollector,
+    ) -> Result<Mapping, MapError> {
+        match self {
+            AnyMapper::Spr(m) => m.map_traced(dfg, cgra, restriction, control, trace),
+            AnyMapper::UltraFast(m) => m.map_traced(dfg, cgra, restriction, control, trace),
+            AnyMapper::Sat(m) => m.map_traced(dfg, cgra, restriction, control, trace),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyMapper::Spr(m) => m.name(),
+            AnyMapper::UltraFast(m) => m.name(),
+            AnyMapper::Sat(m) => m.name(),
+        }
+    }
+}

@@ -35,10 +35,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod pipeline;
 mod portfolio;
 mod report;
 
+pub use backend::{AnyMapper, BackendId};
 pub use panorama_analyze::AnalyzeConfig;
 pub use panorama_mapper::CancelToken;
 pub use pipeline::{Panorama, PanoramaConfig, PanoramaError};

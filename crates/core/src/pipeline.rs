@@ -1,5 +1,6 @@
 //! The PANORAMA compilation pipeline (paper Algorithm 1).
 
+use crate::backend::{AnyMapper, BackendId};
 use crate::portfolio::{effective_threads, run_indexed, BatchExecutor};
 use crate::report::{CompileReport, HigherLevelPlan};
 use panorama_analyze::{optimize, AnalyzeConfig, AnalyzeError, Optimization};
@@ -49,6 +50,16 @@ pub struct PanoramaConfig {
     /// means one per available core. The compile result is bit-identical
     /// for every value — parallelism only changes wall-clock.
     pub threads: usize,
+    /// Backends raced by the portfolio entry points
+    /// ([`Panorama::compile_portfolio`] and friends): every *(candidate,
+    /// backend)* pair becomes one work item under the shared best-II
+    /// bound. The single-mapper entry points ([`Panorama::compile`],
+    /// [`Panorama::compile_traced`], ...) ignore this field. Defaults to
+    /// SPR\* alone, which keeps the portfolio byte-identical to
+    /// [`Panorama::compile`] with an [`SprMapper`].
+    ///
+    /// [`SprMapper`]: panorama_mapper::SprMapper
+    pub backends: Vec<BackendId>,
 }
 
 impl Default for PanoramaConfig {
@@ -61,6 +72,7 @@ impl Default for PanoramaConfig {
             max_ii: None,
             analyze: None,
             threads: 0,
+            backends: vec![BackendId::Spr],
         }
     }
 }
@@ -564,7 +576,7 @@ impl Panorama {
         let result = self.compile_inner(
             dfg,
             cgra,
-            mapper,
+            std::slice::from_ref(mapper),
             tracer,
             cancel,
             None,
@@ -608,7 +620,143 @@ impl Panorama {
         let result = self.compile_inner(
             dfg,
             cgra,
-            mapper,
+            std::slice::from_ref(mapper),
+            tracer,
+            cancel,
+            Some(exec),
+            &mut pipe,
+            &mut collectors,
+        );
+        collectors.push(pipe);
+        tracer.submit(collectors);
+        result
+    }
+
+    /// Instantiates [`PanoramaConfig::backends`] as concrete mappers (an
+    /// empty list falls back to SPR\* so a portfolio compile always has a
+    /// backend). Useful for callers that drive
+    /// [`compile_portfolio_batch_traced`](Panorama::compile_portfolio_batch_traced)
+    /// and need the mapper instances to outlive the executor scope — or
+    /// to query backend state afterwards (e.g.
+    /// [`AnyMapper::as_sat`]).
+    pub fn build_backends(&self) -> Vec<AnyMapper> {
+        if self.config.backends.is_empty() {
+            vec![BackendId::Spr.mapper()]
+        } else {
+            self.config.backends.iter().map(|b| b.mapper()).collect()
+        }
+    }
+
+    /// [`compile`](Panorama::compile), but racing every configured
+    /// [`PanoramaConfig::backends`] entry per candidate partition under
+    /// the shared best-II bound. The reduction key *(achieved II, routing
+    /// complexity, candidate rank × backend count + backend position)*
+    /// makes the winner deterministic at any thread count; with the
+    /// default single-SPR backend list the result is byte-identical to
+    /// [`compile`](Panorama::compile) with an `SprMapper`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile`](Panorama::compile).
+    pub fn compile_portfolio(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+    ) -> Result<CompileReport, PanoramaError> {
+        self.compile_portfolio_traced_with_cancel(dfg, cgra, &Tracer::disabled(), None)
+    }
+
+    /// [`compile_portfolio`](Panorama::compile_portfolio) with
+    /// cooperative cancellation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_portfolio`](Panorama::compile_portfolio), plus
+    /// [`PanoramaError::Cancelled`] when `cancel` fires mid-run.
+    pub fn compile_portfolio_with_cancel(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
+        self.compile_portfolio_traced_with_cancel(dfg, cgra, &Tracer::disabled(), cancel)
+    }
+
+    /// [`compile_portfolio`](Panorama::compile_portfolio) with trace
+    /// recording (see [`compile_traced`](Panorama::compile_traced) for
+    /// the span layout; each backend's conquer events occupy their own
+    /// sequence window per candidate).
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_portfolio`](Panorama::compile_portfolio).
+    pub fn compile_portfolio_traced(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        tracer: &Tracer,
+    ) -> Result<CompileReport, PanoramaError> {
+        self.compile_portfolio_traced_with_cancel(dfg, cgra, tracer, None)
+    }
+
+    /// The fully-general portfolio compile: tracing plus cancellation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_portfolio`](Panorama::compile_portfolio), plus
+    /// [`PanoramaError::Cancelled`] when `cancel` fires mid-run.
+    pub fn compile_portfolio_traced_with_cancel(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        tracer: &Tracer,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
+        let mappers = self.build_backends();
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut collectors: Vec<SpanCollector> = Vec::new();
+        let result = self.compile_inner(
+            dfg,
+            cgra,
+            &mappers,
+            tracer,
+            cancel,
+            None,
+            &mut pipe,
+            &mut collectors,
+        );
+        collectors.push(pipe);
+        tracer.submit(collectors);
+        result
+    }
+
+    /// [`compile_portfolio_traced_with_cancel`](Panorama::compile_portfolio_traced_with_cancel)
+    /// on a suite-level shared [`BatchExecutor`] (see
+    /// [`compile_batch_traced`](Panorama::compile_batch_traced)). The
+    /// caller owns the backend instances — typically from
+    /// [`build_backends`](Panorama::build_backends) — so they outlive the
+    /// executor scope and their state (e.g. the SAT attempt log) stays
+    /// inspectable after the batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`compile_portfolio`](Panorama::compile_portfolio), plus
+    /// [`PanoramaError::Cancelled`] when `cancel` fires mid-run.
+    pub fn compile_portfolio_batch_traced<'env>(
+        &self,
+        exec: &BatchExecutor<'env>,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        mappers: &'env [AnyMapper],
+        tracer: &Tracer,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompileReport, PanoramaError> {
+        let mut pipe = tracer.collector(NO_CANDIDATE);
+        let mut collectors: Vec<SpanCollector> = Vec::new();
+        let result = self.compile_inner(
+            dfg,
+            cgra,
+            mappers,
             tracer,
             cancel,
             Some(exec),
@@ -664,7 +812,7 @@ impl Panorama {
         &self,
         dfg: &Dfg,
         cgra: &Cgra,
-        mapper: &'env M,
+        mappers: &'env [M],
         tracer: &Tracer,
         cancel: Option<&CancelToken>,
         exec: Option<&BatchExecutor<'env>>,
@@ -764,7 +912,12 @@ impl Panorama {
         // order affects only wall-clock — see the reduction below.
         candidates.sort_by_key(|c| (c.cluster_map.routing_complexity(), c.rank));
         let candidates = Arc::new(candidates);
-        let (pool, threads) = self.pool_for(&dfg, candidates.len(), exec);
+        // Every (candidate, backend) pair is one work item; with a single
+        // backend this degenerates to the historical per-candidate layout
+        // (same indices, same seq bases, byte-identical output).
+        let nb = mappers.len();
+        assert!(nb > 0, "compile_inner needs at least one mapper");
+        let (pool, threads) = self.pool_for(&dfg, candidates.len() * nb, exec);
         let bound = PortfolioBound::new();
         let span = pipe.start();
         let t2 = Instant::now();
@@ -775,22 +928,29 @@ impl Panorama {
             let tracer = tracer.clone();
             let cancel_token = cancel.cloned();
             let bound = Arc::clone(&bound);
-            fan_out(pool, threads, candidates.len(), move |i| {
-                let c = &candidates[i];
+            fan_out(pool, threads, candidates.len() * nb, move |w| {
+                let c = &candidates[w / nb];
+                let b = w % nb;
                 let mut control = SearchControl::new(
                     Arc::clone(&bound),
                     c.cluster_map.routing_complexity(),
-                    c.rank,
+                    c.rank * nb + b,
                 );
                 if let Some(tok) = &cancel_token {
                     control = control.with_cancel(tok.clone());
                 }
                 // The conquer collector's seq numbers start at SEQ_BASE_MAP so
-                // they merge after the same candidate's scatter events.
-                let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP);
+                // they merge after the same candidate's scatter events; each
+                // additional backend gets its own seq window above that.
+                let mut col = tracer.collector_from(c.rank as u32, SEQ_BASE_MAP * (b as u64 + 1));
                 let attempt_span = col.start();
-                let outcome =
-                    mapper.map_traced(&dfg, &cgra, Some(&c.restriction), Some(&control), &mut col);
+                let outcome = mappers[b].map_traced(
+                    &dfg,
+                    &cgra,
+                    Some(&c.restriction),
+                    Some(&control),
+                    &mut col,
+                );
                 match &outcome {
                     Ok(m) => col.record(
                         "map.candidate",
@@ -822,22 +982,23 @@ impl Panorama {
         // winner and the result is thread-count-invariant.
         let mut best: Option<(u64, usize)> = None;
         let mut first_map_err: Option<(usize, MapError)> = None;
-        for (i, (outcome, _)) in outcomes.iter().enumerate() {
-            let c = &candidates[i];
+        for (w, (outcome, _)) in outcomes.iter().enumerate() {
+            let c = &candidates[w / nb];
+            let idx = c.rank * nb + (w % nb);
             match outcome {
                 Ok(mapping) => {
                     let key = SearchControl::reduction_key(
                         mapping.ii(),
                         c.cluster_map.routing_complexity(),
-                        c.rank,
+                        idx,
                     );
                     if best.as_ref().is_none_or(|&(b, _)| key < b) {
-                        best = Some((key, i));
+                        best = Some((key, w));
                     }
                 }
                 Err(e) => {
-                    if first_map_err.as_ref().is_none_or(|&(r, _)| c.rank < r) {
-                        first_map_err = Some((c.rank, e.clone()));
+                    if first_map_err.as_ref().is_none_or(|&(r, _)| idx < r) {
+                        first_map_err = Some((idx, e.clone()));
                     }
                 }
             }
@@ -871,7 +1032,7 @@ impl Panorama {
                 PanoramaError::Mapping(e)
             });
         };
-        let c = candidates[winner].clone();
+        let c = candidates[winner / nb].clone();
         pipe.record(
             "map",
             span,

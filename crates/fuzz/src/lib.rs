@@ -175,7 +175,7 @@ mod tests {
         for c in [&r.verify, &r.simulate, &r.exact_ii, &r.rewrite] {
             assert_eq!(c.checks, c.pass + c.fail + c.skip);
         }
-        assert_eq!(r.verify.checks, r.completed * 2);
+        assert_eq!(r.verify.checks, r.completed * 3);
         assert_eq!(r.exact_ii.checks, r.completed);
         assert_eq!(r.rewrite.checks, r.completed);
     }

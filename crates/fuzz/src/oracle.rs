@@ -18,7 +18,8 @@ use panorama_analyze::{optimize, AnalyzeConfig};
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;
 use panorama_mapper::{
-    CancelToken, ExactMapper, LowerLevelMapper, SearchControl, SprMapper, UltraFastMapper,
+    CancelToken, ExactMapper, LowerLevelMapper, SatMapper, SatMapperConfig, SearchControl,
+    SprMapper, UltraFastMapper,
 };
 use panorama_sim::{simulate, SimError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,17 +31,20 @@ pub enum Backend {
     Spr,
     /// Ultra-Fast: abstract mapping, no concrete routes.
     UltraFast,
+    /// SAT: CNF modulo scheduling with concrete time-expanded routes.
+    Sat,
 }
 
 impl Backend {
-    /// Both backends, in report order.
-    pub const ALL: [Backend; 2] = [Backend::Spr, Backend::UltraFast];
+    /// Every backend, in report order.
+    pub const ALL: [Backend; 3] = [Backend::Spr, Backend::UltraFast, Backend::Sat];
 
     /// Stable lower-case name used in reports and corpus files.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Spr => "spr",
             Backend::UltraFast => "ultrafast",
+            Backend::Sat => "sat",
         }
     }
 }
@@ -180,6 +184,19 @@ fn run_backend(dfg: &Dfg, cgra: &Cgra, backend: Backend, cfg: &OracleConfig) -> 
         Backend::Spr => compiler.compile_with_cancel(dfg, cgra, &SprMapper::default(), cancel),
         Backend::UltraFast => {
             compiler.compile_with_cancel(dfg, cgra, &UltraFastMapper::default(), cancel)
+        }
+        Backend::Sat => {
+            // Tight per-case budgets: a fuzz run visits hundreds of random
+            // graphs, and an unmapped case is a skip, not a failure — the
+            // oracles only judge what the backend positively claims.
+            let mapper = SatMapper::new(SatMapperConfig {
+                max_ops: 48,
+                schedule_conflicts: 5_000,
+                route_conflicts: 5_000,
+                refine_rounds: 16,
+                ..SatMapperConfig::default()
+            });
+            compiler.compile_with_cancel(dfg, cgra, &mapper, cancel)
         }
     };
     match result {

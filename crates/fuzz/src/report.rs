@@ -111,6 +111,8 @@ pub struct FuzzReport {
     pub spr: BackendCounts,
     /// Ultra-Fast mapping tallies.
     pub ultrafast: BackendCounts,
+    /// Pan-SAT mapping tallies.
+    pub sat: BackendCounts,
     /// Minimized failures, in case order.
     pub failures: Vec<FailureRecord>,
     /// Corpus replay results when a corpus directory was given.
@@ -133,6 +135,7 @@ impl FuzzReport {
             rewrite: OracleCounts::default(),
             spr: BackendCounts::default(),
             ultrafast: BackendCounts::default(),
+            sat: BackendCounts::default(),
             failures: Vec::new(),
             corpus: None,
         }
@@ -149,6 +152,7 @@ impl FuzzReport {
             let counts = match b.backend {
                 Backend::Spr => &mut self.spr,
                 Backend::UltraFast => &mut self.ultrafast,
+                Backend::Sat => &mut self.sat,
             };
             if b.mapped {
                 counts.mapped += 1;
@@ -204,7 +208,11 @@ impl FuzzReport {
             });
         }
         out.push_str("  ],\n  \"backends\": [\n");
-        let backend_rows = [("spr", &self.spr), ("ultrafast", &self.ultrafast)];
+        let backend_rows = [
+            ("spr", &self.spr),
+            ("ultrafast", &self.ultrafast),
+            ("sat", &self.sat),
+        ];
         for (i, (name, c)) in backend_rows.iter().enumerate() {
             let _ = write!(
                 out,
@@ -287,11 +295,13 @@ impl FuzzReport {
         }
         let _ = writeln!(
             out,
-            "  backends  spr {}/{} mapped, ultrafast {}/{} mapped, {} crash(es)",
+            "  backends  spr {}/{} mapped, ultrafast {}/{} mapped, sat {}/{} mapped, {} crash(es)",
             self.spr.mapped,
             self.spr.mapped + self.spr.unmapped,
             self.ultrafast.mapped,
             self.ultrafast.mapped + self.ultrafast.unmapped,
+            self.sat.mapped,
+            self.sat.mapped + self.sat.unmapped,
             self.crashes
         );
         for f in &self.failures {

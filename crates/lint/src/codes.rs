@@ -33,7 +33,7 @@ const fn info(code: &'static str, severity: &'static str, summary: &'static str)
 
 /// Prefix groups in pipeline order — the order [`ALL`] lists codes in.
 pub const PREFIXES: &[&str] = &[
-    "DFG", "ARCH", "PART", "ILP", "MAP", "TRACE", "SERVE", "FUZZ", "ANLZ",
+    "DFG", "ARCH", "PART", "ILP", "MAP", "SAT", "TRACE", "SERVE", "FUZZ", "ANLZ",
 ];
 
 /// Every stable diagnostic code of the toolchain, grouped by prefix in
@@ -146,6 +146,21 @@ pub const ALL: &[CodeInfo] = &[
         "MAP004",
         "error/info",
         "restriction-aware capacity bound (tightened or unmappable)",
+    ),
+    info(
+        "SAT001",
+        "error",
+        "malformed panorama-sat-v1 report, or an attempt's CNF exceeded the variable/clause budget",
+    ),
+    info(
+        "SAT002",
+        "warn",
+        "SAT solver timed out at the II ceiling without proving infeasibility or mapping",
+    ),
+    info(
+        "SAT003",
+        "error",
+        "decoded SAT assignment failed Mapping::verify (encoder/verifier mismatch)",
     ),
     info("TRACE001", "error", "the document is not valid JSON"),
     info("TRACE002", "error", "missing or unknown `schema` field"),
@@ -295,6 +310,7 @@ mod tests {
             include_str!("partition_lints.rs"),
             include_str!("ilp_lints.rs"),
             include_str!("precheck.rs"),
+            include_str!("sat_lints.rs"),
             include_str!("trace_lints.rs"),
             include_str!("serve_lints.rs"),
             include_str!("fuzz_lints.rs"),

@@ -22,7 +22,8 @@
 //!
 //! Codes are stable strings grouped by prefix: `DFG...` (kernel structure),
 //! `ARCH...` (architecture), `PART...` (partition/CDG/restriction),
-//! `ILP...` (solver models), `MAP...` (mappability bounds), `TRACE...`
+//! `ILP...` (solver models), `MAP...` (mappability bounds), `SAT...`
+//! (`panorama-sat-v1` solver attempt logs), `TRACE...`
 //! (`panorama-trace-v1` JSON exports), `SERVE...` (`panorama-serve`
 //! metrics), `FUZZ...` (`panorama-fuzz-v1` reports) and `ANLZ...`
 //! (`panorama-analyze` findings and `panorama-analyze-v1` reports). The
@@ -64,6 +65,7 @@ pub mod ilp_lints;
 pub mod partition_lints;
 pub mod precheck;
 mod registry;
+pub mod sat_lints;
 pub mod serve_lints;
 pub mod trace_lints;
 
@@ -76,5 +78,6 @@ pub use ilp_lints::lint_model;
 pub use partition_lints::lint_partition;
 pub use precheck::{precheck, PrecheckReport};
 pub use registry::{LintContext, LintPass, Registry};
+pub use sat_lints::lint_sat_json;
 pub use serve_lints::lint_serve_json;
 pub use trace_lints::lint_trace_json;

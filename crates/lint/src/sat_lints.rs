@@ -1,0 +1,291 @@
+//! Schema and invariant validation for `panorama-sat-v1` JSON — the
+//! per-II attempt log `panorama compile --mapper sat --sat-report` writes.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | `SAT001` | error | malformed report, or an attempt's CNF exceeded the variable/clause budget |
+//! | `SAT002` | warn | the solver timed out at the II ceiling without an answer |
+//! | `SAT003` | error | a decoded assignment failed `Mapping::verify` (decode/verify mismatch) |
+//!
+//! The SAT mapper proves infeasibility (`unsat`) or produces a verified
+//! mapping (`mapped`) per II; `budget` and `timeout` rows mean it gave no
+//! answer for that II. `SAT003` is the serious one: the encoder's model of
+//! the MRRG disagreed with the verifier, which a correct encoding never
+//! does — each occurrence was re-blocked and re-solved, so results stay
+//! sound, but the encoding should be fixed.
+
+use crate::{Diagnostic, Diagnostics, Entity, Severity};
+use panorama_trace::json::{self, Json};
+
+/// The schema this linter validates (mirrored by `panorama compile`).
+pub const SAT_SCHEMA: &str = "panorama-sat-v1";
+
+/// Attempt outcomes the mapper records.
+const RESULTS: &[&str] = &["mapped", "unsat", "budget", "timeout", "cancelled"];
+
+fn err(code: &'static str, entity: Entity, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(code, Severity::Error, entity, message)
+}
+
+fn num(doc: &Json, field: &str) -> Option<u64> {
+    let v = doc.get(field)?.as_f64()?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return None;
+    }
+    Some(v as u64)
+}
+
+/// `SAT001`: schema and field shape. Returns `false` when the report is
+/// too malformed for the invariant checks to be meaningful.
+fn check_shape(doc: &Json, out: &mut Diagnostics) -> bool {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SAT_SCHEMA) => {}
+        Some(other) => {
+            out.push(err(
+                "SAT001",
+                Entity::Global,
+                format!("unknown schema `{other}` (expected `{SAT_SCHEMA}`)"),
+            ));
+            return false;
+        }
+        None => {
+            out.push(err(
+                "SAT001",
+                Entity::Global,
+                format!("missing `schema` field (expected `{SAT_SCHEMA}`)"),
+            ));
+            return false;
+        }
+    }
+    let mut ok = true;
+    for field in ["kernel", "arch"] {
+        if doc.get(field).and_then(Json::as_str).is_none() {
+            out.push(err(
+                "SAT001",
+                Entity::Global,
+                format!("`{field}` missing or not a string"),
+            ));
+            ok = false;
+        }
+    }
+    for field in ["mii", "max_ii", "mapped_ii", "max_vars", "max_clauses"] {
+        if num(doc, field).is_none() {
+            out.push(err(
+                "SAT001",
+                Entity::Global,
+                format!("`{field}` missing or not a non-negative integer"),
+            ));
+            ok = false;
+        }
+    }
+    let Some(rows) = doc.get("attempts").and_then(Json::as_arr) else {
+        out.push(err(
+            "SAT001",
+            Entity::Global,
+            "`attempts` missing or not an array",
+        ));
+        return false;
+    };
+    for (i, row) in rows.iter().enumerate() {
+        match row.get("result").and_then(Json::as_str) {
+            Some(r) if RESULTS.contains(&r) => {}
+            Some(other) => {
+                out.push(err(
+                    "SAT001",
+                    Entity::Event(i),
+                    format!("unknown attempt result `{other}`"),
+                ));
+                ok = false;
+            }
+            None => {
+                out.push(err(
+                    "SAT001",
+                    Entity::Event(i),
+                    "attempt row missing `result`",
+                ));
+                ok = false;
+            }
+        }
+        for field in [
+            "ii",
+            "refinements",
+            "decode_mismatches",
+            "vars",
+            "clauses",
+            "conflicts",
+            "propagations",
+            "decisions",
+            "restarts",
+        ] {
+            if num(row, field).is_none() {
+                out.push(err(
+                    "SAT001",
+                    Entity::Event(i),
+                    format!("attempt row `{field}` missing or not a non-negative integer"),
+                ));
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+/// The invariant checks proper: budget overruns (`SAT001`), a ceiling
+/// timeout (`SAT002`) and decode/verify mismatches (`SAT003`).
+fn check_attempts(doc: &Json, out: &mut Diagnostics) {
+    let max_vars = num(doc, "max_vars").unwrap_or(u64::MAX);
+    let max_clauses = num(doc, "max_clauses").unwrap_or(u64::MAX);
+    let max_ii = num(doc, "max_ii").unwrap_or(0);
+    let mapped_ii = num(doc, "mapped_ii").unwrap_or(0);
+    let rows = doc
+        .get("attempts")
+        .and_then(Json::as_arr)
+        .map(<[_]>::to_vec)
+        .unwrap_or_default();
+    let mut ceiling_timeout = None;
+    for (i, row) in rows.iter().enumerate() {
+        let ii = num(row, "ii").unwrap_or(0);
+        let result = row.get("result").and_then(Json::as_str).unwrap_or("?");
+        let (vars, clauses) = (
+            num(row, "vars").unwrap_or(0),
+            num(row, "clauses").unwrap_or(0),
+        );
+        if result == "budget" || vars > max_vars || clauses > max_clauses {
+            out.push(err(
+                "SAT001",
+                Entity::Event(i),
+                format!(
+                    "II {ii}: CNF budget exceeded ({vars} vars / {clauses} clauses against a \
+                     {max_vars} var / {max_clauses} clause budget)"
+                ),
+            ));
+        }
+        if result == "timeout" && ii >= max_ii {
+            ceiling_timeout = Some((i, ii));
+        }
+        let mismatches = num(row, "decode_mismatches").unwrap_or(0);
+        if mismatches > 0 {
+            out.push(err(
+                "SAT003",
+                Entity::Event(i),
+                format!(
+                    "II {ii}: {mismatches} decoded assignment(s) failed Mapping::verify — \
+                     the CNF encoding disagrees with the verifier"
+                ),
+            ));
+        }
+    }
+    // A timeout at the ceiling only matters when nothing mapped: the
+    // search ended on exhausted conflict budgets, not an infeasibility
+    // proof or a solution.
+    if let (Some((i, ii)), 0) = (ceiling_timeout, mapped_ii) {
+        out.push(Diagnostic::new(
+            "SAT002",
+            Severity::Warn,
+            Entity::Event(i),
+            format!(
+                "solver timed out at the II ceiling ({ii}): the search ran out of conflict \
+                 budget without proving infeasibility or finding a mapping"
+            ),
+        ));
+    }
+}
+
+/// Validates a `panorama-sat-v1` document, appending findings to `out`.
+pub fn lint_sat_json(text: &str, out: &mut Diagnostics) {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            out.push(err("SAT001", Entity::Global, format!("invalid JSON: {e}")));
+            return;
+        }
+    };
+    if check_shape(&doc, out) {
+        check_attempts(&doc, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mapped_ii: u64, attempts: &str) -> String {
+        format!(
+            "{{\"schema\": \"{SAT_SCHEMA}\", \"kernel\": \"fir\", \"arch\": \"4x4\", \
+             \"mii\": 2, \"max_ii\": 12, \"mapped_ii\": {mapped_ii}, \
+             \"max_vars\": 200000, \"max_clauses\": 2000000, \
+             \"attempts\": [{attempts}]}}"
+        )
+    }
+
+    fn attempt(ii: u64, result: &str, mismatches: u64, vars: u64) -> String {
+        format!(
+            "{{\"ii\": {ii}, \"result\": \"{result}\", \"refinements\": 0, \
+             \"decode_mismatches\": {mismatches}, \"vars\": {vars}, \"clauses\": 10, \
+             \"conflicts\": 5, \"propagations\": 100, \"decisions\": 9, \"restarts\": 0}}"
+        )
+    }
+
+    fn run(text: &str) -> Vec<String> {
+        let mut diags = Diagnostics::new();
+        lint_sat_json(text, &mut diags);
+        diags.iter().map(|d| d.code.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let ok = report(
+            3,
+            &format!(
+                "{},{}",
+                attempt(2, "unsat", 0, 50),
+                attempt(3, "mapped", 0, 60)
+            ),
+        );
+        assert!(run(&ok).is_empty(), "{:?}", run(&ok));
+    }
+
+    #[test]
+    fn malformed_reports_hit_sat001() {
+        assert_eq!(run("{nope"), ["SAT001"]);
+        assert_eq!(run("{\"schema\": \"nope\"}"), ["SAT001"]);
+        let missing = report(0, &attempt(2, "unsat", 0, 1)).replace("\"mii\": 2, ", "");
+        assert!(run(&missing).contains(&"SAT001".to_string()));
+        let bad_result = report(0, &attempt(2, "exploded", 0, 1));
+        assert!(run(&bad_result).contains(&"SAT001".to_string()));
+    }
+
+    #[test]
+    fn budget_overruns_hit_sat001() {
+        assert_eq!(run(&report(0, &attempt(2, "budget", 0, 10))), ["SAT001"]);
+        // vars over the declared budget, even when not flagged as such
+        assert_eq!(
+            run(&report(0, &attempt(2, "unsat", 0, 300_000))),
+            ["SAT001"]
+        );
+    }
+
+    #[test]
+    fn ceiling_timeout_hits_sat002_only_when_nothing_mapped() {
+        let codes = run(&report(0, &attempt(12, "timeout", 0, 10)));
+        assert_eq!(codes, ["SAT002"]);
+        // A timeout below the ceiling, or one followed by a success at a
+        // later window, is business as usual.
+        assert!(run(&report(0, &attempt(5, "timeout", 0, 10))).is_empty());
+        let mapped_anyway = report(
+            12,
+            &format!(
+                "{},{}",
+                attempt(12, "timeout", 0, 10),
+                attempt(12, "mapped", 0, 10)
+            ),
+        );
+        assert!(run(&mapped_anyway).is_empty());
+    }
+
+    #[test]
+    fn decode_mismatches_hit_sat003() {
+        let codes = run(&report(2, &attempt(2, "mapped", 3, 10)));
+        assert_eq!(codes, ["SAT003"]);
+    }
+}

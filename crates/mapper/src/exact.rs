@@ -12,7 +12,7 @@
 
 use crate::placement::PlacementState;
 use crate::router::{route_all, RouterConfig};
-use crate::schedule::modulo_schedule_variant;
+use crate::schedule::{enumerate_slack_schedules, modulo_schedule_variant};
 use crate::{
     min_ii, LowerLevelMapper, MapError, Mapping, MappingStats, Restriction, SearchControl,
 };
@@ -30,7 +30,7 @@ pub struct ExactConfig {
     pub max_ii_factor: usize,
     /// Absolute offset on the II ceiling.
     pub max_ii_offset: usize,
-    /// Backtracking-node budget per placement search.
+    /// Backtracking-node budget per schedule tried.
     pub search_budget: usize,
     /// Complete placements handed to the router per II before giving up.
     /// The hop-per-cycle bound the search prunes against is necessary but
@@ -38,11 +38,17 @@ pub struct ExactConfig {
     /// still fail PathFinder; enumerating a few alternatives keeps one
     /// congested corner from sinking an otherwise feasible II.
     pub route_attempts: usize,
-    /// Distinct modulo schedules tried per II (tie-break variants). The
-    /// placement search is exhaustive only *for a given schedule*; a
-    /// feasible II can hide behind a different op-to-slot assignment, so
-    /// declaring an II infeasible from a single schedule under-estimates
-    /// the mapper (found by differential fuzzing against SPR\*).
+    /// Distinct modulo schedules tried per II: priority-permutation
+    /// variants of [`modulo_schedule_variant`] fill up to half this cap,
+    /// then the slack-ordered enumeration of [`enumerate_slack_schedules`]
+    /// fills the rest. The placement search is exhaustive only *for a
+    /// given schedule*; a feasible II can hide behind an op-to-slot
+    /// assignment with more routing slack, so declaring an II infeasible
+    /// from too few schedules under-estimates the mapper. Both sources
+    /// are needed (each gap found by differential fuzzing): the variants
+    /// cover list schedules the lateness enumeration ranks too deep to
+    /// reach, and the enumeration covers II 1, where every tie-break
+    /// variant collapses to the same single-slot ASAP schedule.
     pub schedule_attempts: usize,
 }
 
@@ -54,7 +60,7 @@ impl Default for ExactConfig {
             max_ii_offset: 6,
             search_budget: 2_000_000,
             route_attempts: 32,
-            schedule_attempts: 6,
+            schedule_attempts: 256,
         }
     }
 }
@@ -78,6 +84,7 @@ impl ExactMapper {
     /// the hardest ops first); the search stops when `accept` returns
     /// `true` and yields that placement, or `None` when the space or the
     /// budget is exhausted without an accepted placement.
+    #[allow(clippy::too_many_arguments)]
     fn place_exhaustive(
         &self,
         dfg: &Dfg,
@@ -85,6 +92,7 @@ impl ExactMapper {
         restriction: Option<&Restriction>,
         times: &[usize],
         ii: usize,
+        budget: &mut usize,
         accept: &mut dyn FnMut(&[PeId]) -> bool,
     ) -> Option<Vec<PeId>> {
         let n = dfg.num_ops();
@@ -113,7 +121,6 @@ impl ExactMapper {
 
         let mut assignment: Vec<Option<PeId>> = vec![None; n];
         let mut fu_used: HashMap<(PeId, usize), ()> = HashMap::new();
-        let mut budget = self.config.search_budget;
         if self.backtrack(
             dfg,
             cgra,
@@ -124,7 +131,7 @@ impl ExactMapper {
             0,
             &mut assignment,
             &mut fu_used,
-            &mut budget,
+            budget,
             accept,
         ) {
             Some(
@@ -260,36 +267,53 @@ impl LowerLevelMapper for ExactMapper {
             stats.ii_attempts += 1;
             let mrrg = cgra.mrrg_shared(ii);
             // Placement is exhaustive only per schedule, so an II is
-            // abandoned only after every distinct schedule variant failed.
-            let mut tried_schedules: Vec<Vec<usize>> = Vec::new();
-            for variant in 0..self.config.schedule_attempts.max(1) as u64 {
+            // abandoned only after every candidate schedule failed: the
+            // IMS priority-permutation variants first (diverse list
+            // schedules), then the slack-ordered enumeration — an edge
+            // routes over t(dst)−t(src) hops, so placements the ASAP
+            // schedule cannot route may be reachable with lateness.
+            let fu_budget = cgra.num_pes();
+            let mem_budget = cgra.num_mem_pes().max(1);
+            let slack = cgra.config().rows + cgra.config().cols;
+            let cap = self.config.schedule_attempts.max(1);
+            let variant_cap = cap.div_ceil(2);
+            let mut schedules: Vec<Vec<usize>> = Vec::new();
+            for variant in 0..cap as u64 {
+                if schedules.len() >= variant_cap {
+                    break;
+                }
+                if let Ok(times) = modulo_schedule_variant(dfg, ii, fu_budget, mem_budget, variant)
+                {
+                    if !schedules.contains(&times) {
+                        schedules.push(times);
+                    }
+                }
+            }
+            for times in enumerate_slack_schedules(dfg, ii, fu_budget, mem_budget, slack, cap) {
+                if schedules.len() >= cap {
+                    break;
+                }
+                if !schedules.contains(&times) {
+                    schedules.push(times);
+                }
+            }
+            for times in schedules {
                 if control.is_some_and(SearchControl::is_cancelled) {
                     return Err(MapError::cancelled(ii.saturating_sub(1), self.name()));
                 }
-                let Ok(times) = modulo_schedule_variant(
-                    dfg,
-                    ii,
-                    cgra.num_pes(),
-                    cgra.num_mem_pes().max(1),
-                    variant,
-                ) else {
-                    continue;
-                };
-                if tried_schedules.contains(&times) {
-                    continue; // tie-break landed on an already-tried schedule
-                }
-                tried_schedules.push(times.clone());
                 // Each complete placement the search yields goes straight
                 // to the shared PathFinder; the first routable one wins.
                 let mut attempts = self.config.route_attempts;
                 let mut routed: Option<Vec<crate::Route>> = None;
                 let mut router_iterations = 0usize;
+                let mut search_budget = self.config.search_budget;
                 let accepted = self.place_exhaustive(
                     dfg,
                     cgra,
                     restriction,
                     &times,
                     ii,
+                    &mut search_budget,
                     &mut |pe_of: &[PeId]| {
                         if attempts == 0 {
                             // Budget spent: accept unrouted to end the

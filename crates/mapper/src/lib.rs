@@ -48,6 +48,8 @@ mod placement;
 mod render;
 mod restrict;
 mod router;
+mod sat_encode;
+mod sat_mapper;
 mod schedule;
 mod spr;
 mod stats;
@@ -65,6 +67,7 @@ pub use mii::{
 };
 pub use restrict::Restriction;
 pub use router::RouterConfig;
+pub use sat_mapper::{IiAttempt, SatMapper, SatMapperConfig};
 pub use schedule::{modulo_schedule, modulo_schedule_variant, ScheduleError};
 pub use spr::{MapError, SprConfig, SprMapper};
 pub use stats::RouteStats;

@@ -117,6 +117,39 @@ impl Mapping {
         &self.stats
     }
 
+    /// Deterministic hash of the mapping's *content*: producing mapper,
+    /// II, MII, schedule, placement and routes — everything a report
+    /// renders, nothing timing-dependent ([`MappingStats`] is excluded).
+    /// Two mappings with equal content hashes produce byte-identical
+    /// reports, which is what lets the warm-start tier
+    /// ([`WarmStartCache`](crate::WarmStartCache)) prove a warm-seeded
+    /// replay reproduced the recorded result.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.mapper.hash(&mut h);
+        self.ii.hash(&mut h);
+        self.mii.hash(&mut h);
+        self.time_of.hash(&mut h);
+        for pe in &self.pe_of {
+            pe.index().hash(&mut h);
+        }
+        match &self.routes {
+            None => h.write_u8(0),
+            Some(routes) => {
+                h.write_u8(1);
+                for r in routes {
+                    r.edge_index.hash(&mut h);
+                    for n in &r.nodes {
+                        n.index().hash(&mut h);
+                    }
+                    h.write_usize(usize::MAX); // route terminator
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Independently re-checks the mapping against `dfg` and `cgra`:
     /// placement legality (FU exclusivity, memory PEs), schedule timing,
     /// and — when routes are present — route connectivity, exact route

@@ -263,6 +263,166 @@ pub fn modulo_schedule_variant(
     Ok(times)
 }
 
+/// Deterministically enumerates up to `limit` legal schedules at `ii`,
+/// ordered by total lateness: the pure ASAP schedule first, then every
+/// schedule where ops start up to `max_lateness` cycles after their
+/// earliest feasible time, cheapest total delay first.
+///
+/// Lateness is what a placement-only exhaustive search cannot recover on
+/// its own: an edge can only be routed over `t(dst) − t(src)` hops, so a
+/// consumer placed far from its producer needs a schedule that delays it
+/// — and at II 1 the variant window of [`modulo_schedule_variant`]
+/// collapses to a single slot, which is exactly the case differential
+/// fuzzing caught the SAT backend beating the "exhaustive optimum" on.
+/// Iterative deepening on the total-lateness budget keeps the order
+/// fair (single-op delays before compound ones) and deterministic.
+///
+/// Back-edge constraints are not threaded through the forward DFS;
+/// candidate schedules are validated against every dependence (and
+/// dropped) before being returned. The search is capped by an internal
+/// visit budget, so the enumeration is best-effort beyond tiny DFGs —
+/// callers treat it as a schedule stream, not a completeness proof.
+pub fn enumerate_slack_schedules(
+    dfg: &Dfg,
+    ii: usize,
+    fu_budget: usize,
+    mem_budget: usize,
+    max_lateness: usize,
+    limit: usize,
+) -> Vec<Vec<usize>> {
+    assert!(ii > 0, "II must be at least 1");
+    let n = dfg.num_ops();
+    if n == 0 || limit == 0 {
+        return Vec::new();
+    }
+    if n > fu_budget * ii || dfg.num_mem_ops() > mem_budget * ii {
+        return Vec::new();
+    }
+    // Deterministic topological order over forward edges: repeatedly take
+    // the lowest-index op whose forward predecessors are all ordered.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut ordered = vec![false; n];
+    while order.len() < n {
+        let mut advanced = false;
+        for i in 0..n {
+            if ordered[i] {
+                continue;
+            }
+            let op = panorama_dfg::OpId::from_index(i);
+            if dfg
+                .graph()
+                .incoming(op)
+                .all(|e| e.weight.is_back() || ordered[e.src.index()])
+            {
+                ordered[i] = true;
+                order.push(i);
+                advanced = true;
+            }
+        }
+        if !advanced {
+            return Vec::new(); // forward cycle: not a validated DFG
+        }
+    }
+
+    struct Search<'a> {
+        dfg: &'a Dfg,
+        ii: usize,
+        fu_budget: usize,
+        mem_budget: usize,
+        max_lateness: usize,
+        limit: usize,
+        order: &'a [usize],
+        time: Vec<usize>,
+        slot_count: Vec<usize>,
+        slot_mem: Vec<usize>,
+        out: Vec<Vec<usize>>,
+        visits: usize,
+    }
+
+    impl Search<'_> {
+        /// Explores schedules whose remaining total lateness is exactly
+        /// `lateness_left` (so each deepening layer emits only its own
+        /// schedules, never a shallower layer's again).
+        fn go(&mut self, depth: usize, lateness_left: usize) {
+            if self.out.len() >= self.limit || self.visits == 0 {
+                return;
+            }
+            if depth == self.order.len() {
+                if lateness_left == 0
+                    && schedule_is_legal(
+                        self.dfg,
+                        &self.time,
+                        self.ii,
+                        self.fu_budget,
+                        self.mem_budget,
+                    )
+                {
+                    self.out.push(self.time.clone());
+                }
+                return;
+            }
+            let idx = self.order[depth];
+            let v = panorama_dfg::OpId::from_index(idx);
+            let is_mem = self.dfg.op(v).kind.needs_memory();
+            let mut estart = 0i64;
+            for e in self.dfg.graph().incoming(v) {
+                if e.weight.is_back() {
+                    continue;
+                }
+                let lat = self.dfg.op(e.src).kind.latency() as i64;
+                estart = estart.max(self.time[e.src.index()] as i64 + lat);
+            }
+            let estart = estart.max(0) as usize;
+            for l in 0..=self.max_lateness.min(lateness_left) {
+                if self.visits == 0 {
+                    return;
+                }
+                self.visits -= 1;
+                let t = estart + l;
+                let s = t % self.ii;
+                if self.slot_count[s] >= self.fu_budget
+                    || (is_mem && self.slot_mem[s] >= self.mem_budget)
+                {
+                    continue;
+                }
+                self.time[idx] = t;
+                self.slot_count[s] += 1;
+                if is_mem {
+                    self.slot_mem[s] += 1;
+                }
+                self.go(depth + 1, lateness_left - l);
+                self.slot_count[s] -= 1;
+                if is_mem {
+                    self.slot_mem[s] -= 1;
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        dfg,
+        ii,
+        fu_budget,
+        mem_budget,
+        max_lateness,
+        limit,
+        order: &order,
+        time: vec![0; n],
+        slot_count: vec![0; ii],
+        slot_mem: vec![0; ii],
+        out: Vec::new(),
+        visits: 200_000,
+    };
+    let layer_cap = (max_lateness * n).min(48);
+    for lateness in 0..=layer_cap {
+        search.go(0, lateness);
+        if search.out.len() >= search.limit || search.visits == 0 {
+            break;
+        }
+    }
+    search.out
+}
+
 fn unschedule(
     dfg: &Dfg,
     u: usize,

@@ -185,15 +185,10 @@ impl LowerLevelMapper for SprMapper {
         let max_ii = mii * self.config.max_ii_factor + self.config.max_ii_offset;
         // With a restriction, per-cluster capacity bounds prove some low II
         // values infeasible; skipping them avoids pointless SA+router runs.
-        let start_ii = match restriction {
+        let cold_start_ii = match restriction {
             Some(r) => mii.max(crate::restricted_min_ii(dfg, cgra, r)),
             None => mii,
         };
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let mut stats = MappingStats::default();
-        let mut scratch = RouterScratch::new();
-        let mut anneal_scratch = AnnealScratch::default();
-
         let out_of_time = |start: Instant| {
             self.config
                 .time_budget
@@ -205,198 +200,229 @@ impl LowerLevelMapper for SprMapper {
         // re-paying every failing low-II attempt; the delta could in theory
         // relax a recurrence and admit a lower II, which the warm search
         // deliberately forgoes — the incremental-compile trade.
-        let warm_hint = self.warm.as_ref().and_then(|w| w.lookup(dfg, cgra));
-        let start_ii = match &warm_hint {
-            Some(h) if h.ii > start_ii && h.ii <= max_ii => h.ii,
-            _ => start_ii,
-        };
-        for ii in start_ii..=max_ii {
-            // External cancellation (deadline, shutdown) aborts the whole
-            // search with a distinguishable error; timing-dependent, so the
-            // event stays out of the deterministic signature.
-            if control.is_some_and(SearchControl::is_cancelled) {
-                trace.event_unstable("spr.abort", &[("ii", ii as i64)]);
-                return Err(MapError::cancelled(ii, self.name()));
-            }
-            if out_of_time(start) {
-                // Wall-clock cutoffs depend on machine load, so the event
-                // is excluded from the deterministic trace signature.
-                trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
-                break;
-            }
-            // II searches ascend: once the portfolio bound rejects this II
-            // it rejects every later one, so the candidate is done.
-            if control.is_some_and(|c| !c.admits(ii)) {
-                trace.event_unstable("spr.cancelled", &[("ii", ii as i64)]);
-                break;
-            }
-            stats.ii_attempts += 1;
-            let ii_span = trace.start();
-            // joint schedule + least-cost placement (Algorithm 2 lines 4–8)
-            let place_span = trace.start();
-            let warm = warm_hint.as_ref().filter(|h| h.ii == ii);
-            let placement = match warm {
-                // seeds that no longer fit degrade per-op; a wholesale
-                // failure falls back to the cold search for the same II
-                Some(h) => warm_placement(dfg, cgra, ii, restriction, &h.seeds)
-                    .or_else(|_| initial_placement(dfg, cgra, ii, restriction)),
-                None => initial_placement(dfg, cgra, ii, restriction),
+        let mut warm_hint = self.warm.as_ref().and_then(|w| w.lookup(dfg, cgra));
+        // The outer loop runs at most twice: once warm, and — only when an
+        // exact-structure hit produced a mapping whose content hash differs
+        // from the recorded one — once more cold, so a warm-enabled replay
+        // returns byte-identical reports to a cold run.
+        'search: loop {
+            let mut rng = SmallRng::seed_from_u64(self.config.seed);
+            let mut stats = MappingStats::default();
+            let mut scratch = RouterScratch::new();
+            let mut anneal_scratch = AnnealScratch::default();
+            let start_ii = match &warm_hint {
+                Some(h) if h.ii > cold_start_ii && h.ii <= max_ii => h.ii,
+                _ => cold_start_ii,
             };
-            if let Some(h) = warm {
-                trace.event(
-                    "spr.warm",
-                    &[
-                        ("ii", ii as i64),
-                        ("edit_distance", h.edit_distance as i64),
-                        (
-                            "seeds",
-                            h.seeds.iter().filter(|s| s.is_some()).count() as i64,
-                        ),
-                    ],
-                );
-            }
-            match &placement {
-                Ok(_) => trace.record("spr.place", place_span, &[("ii", ii as i64)]),
-                Err(op) => trace.record(
-                    "spr.place_fail",
-                    place_span,
-                    &[("ii", ii as i64), ("op", op.index() as i64)],
-                ),
-            }
-            let Ok(mut state) = placement else {
-                trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
-                continue;
-            };
-            let mrrg = cgra.mrrg_shared(ii);
-            scratch.reset_for_ii();
-            if let Some(h) = warm {
-                // same arch, same II ⇒ node indices line up: PathFinder
-                // starts knowing which nodes the prior run fought over
-                scratch.seed_history(&h.history);
-            }
-            let mut temp = self.config.sa_initial_temp;
-
-            loop {
-                let route_span = trace.start();
-                let outcome = route_all(
-                    &mrrg,
-                    cgra,
-                    dfg,
-                    &state,
-                    &state.time_of,
-                    &self.config.router,
-                    &mut scratch,
-                    cancel,
-                );
-                stats.router_iterations += outcome.iterations;
-                if trace.is_enabled() {
-                    // overused-node census, formerly a PANORAMA_DEBUG
-                    // stderr dump; only computed when someone listens
-                    let overused = outcome
-                        .usage
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, &u)| {
-                            let cap = mrrg.capacity(panorama_arch::MrrgNodeId::from_index(i));
-                            cap != u16::MAX && u as usize > cap as usize
-                        })
-                        .count();
-                    trace.record(
-                        "spr.route",
-                        route_span,
-                        &[
-                            ("ii", ii as i64),
-                            ("iterations", outcome.iterations as i64),
-                            ("overuse", outcome.overuse as i64),
-                            ("failed", outcome.failed as i64),
-                            ("overused_nodes", overused as i64),
-                        ],
-                    );
-                }
-                if outcome.is_clean() {
-                    stats.compile_time = start.elapsed();
-                    let routes = outcome
-                        .routes
-                        .into_iter()
-                        .map(|r| r.expect("clean outcome has every route"))
-                        .collect();
-                    if let Some(c) = control {
-                        c.record_success(ii);
-                    }
-                    if let Some(w) = &self.warm {
-                        w.record_parts(
-                            dfg,
-                            cgra,
-                            ii,
-                            state.pe_of.clone(),
-                            state.time_of.clone(),
-                            scratch.export_history(),
-                        );
-                    }
-                    trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 1)]);
-                    return Ok(Mapping {
-                        mapper: self.name(),
-                        ii,
-                        mii,
-                        time_of: state.time_of,
-                        pe_of: state.pe_of,
-                        routes: Some(routes),
-                        stats,
-                    });
-                }
-                if temp < self.config.sa_min_temp {
-                    break; // give up on this II
-                }
-                // A fired token makes the router return early with a dirty
-                // outcome; abort before spending another annealing round.
+            for ii in start_ii..=max_ii {
+                // External cancellation (deadline, shutdown) aborts the whole
+                // search with a distinguishable error; timing-dependent, so the
+                // event stays out of the deterministic signature.
                 if control.is_some_and(SearchControl::is_cancelled) {
                     trace.event_unstable("spr.abort", &[("ii", ii as i64)]);
                     return Err(MapError::cancelled(ii, self.name()));
                 }
                 if out_of_time(start) {
+                    // Wall-clock cutoffs depend on machine load, so the event
+                    // is excluded from the deterministic trace signature.
                     trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
                     break;
                 }
-                // simulated-annealing placement repair targeting the ops on
-                // congested PEs (Algorithm 2 line 14)
-                let anneal_span = trace.start();
-                congested_ops(
-                    dfg,
-                    &mrrg,
-                    cgra,
-                    &state,
-                    &outcome.usage,
-                    &outcome.routes,
-                    &mut anneal_scratch,
-                );
-                let moves = anneal_step(
-                    dfg,
-                    cgra,
-                    &mut state,
-                    restriction,
-                    &anneal_scratch.ops,
-                    &anneal_scratch.heat,
-                    temp,
-                    self.config.sa_moves_per_temp,
-                    &mut rng,
-                );
-                stats.anneal_moves += moves;
-                trace.record(
-                    "spr.anneal",
-                    anneal_span,
-                    &[
-                        ("ii", ii as i64),
-                        ("temp_milli", (temp * 1000.0) as i64),
-                        ("moves", moves as i64),
-                        ("candidates", anneal_scratch.ops.len() as i64),
-                    ],
-                );
-                temp *= self.config.sa_alpha;
+                // II searches ascend: once the portfolio bound rejects this II
+                // it rejects every later one, so the candidate is done.
+                if control.is_some_and(|c| !c.admits(ii)) {
+                    trace.event_unstable("spr.cancelled", &[("ii", ii as i64)]);
+                    break;
+                }
+                stats.ii_attempts += 1;
+                let ii_span = trace.start();
+                // joint schedule + least-cost placement (Algorithm 2 lines 4–8)
+                let place_span = trace.start();
+                let warm = warm_hint.as_ref().filter(|h| h.ii == ii);
+                let placement = match warm {
+                    // seeds that no longer fit degrade per-op; a wholesale
+                    // failure falls back to the cold search for the same II
+                    Some(h) => warm_placement(dfg, cgra, ii, restriction, &h.seeds)
+                        .or_else(|_| initial_placement(dfg, cgra, ii, restriction)),
+                    None => initial_placement(dfg, cgra, ii, restriction),
+                };
+                if let Some(h) = warm {
+                    trace.event(
+                        "spr.warm",
+                        &[
+                            ("ii", ii as i64),
+                            ("edit_distance", h.edit_distance as i64),
+                            (
+                                "seeds",
+                                h.seeds.iter().filter(|s| s.is_some()).count() as i64,
+                            ),
+                        ],
+                    );
+                }
+                match &placement {
+                    Ok(_) => trace.record("spr.place", place_span, &[("ii", ii as i64)]),
+                    Err(op) => trace.record(
+                        "spr.place_fail",
+                        place_span,
+                        &[("ii", ii as i64), ("op", op.index() as i64)],
+                    ),
+                }
+                let Ok(mut state) = placement else {
+                    trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
+                    continue;
+                };
+                let mrrg = cgra.mrrg_shared(ii);
+                scratch.reset_for_ii();
+                if let Some(h) = warm {
+                    // same arch, same II ⇒ node indices line up: PathFinder
+                    // starts knowing which nodes the prior run fought over
+                    scratch.seed_history(&h.history);
+                }
+                let mut temp = self.config.sa_initial_temp;
+
+                loop {
+                    let route_span = trace.start();
+                    let outcome = route_all(
+                        &mrrg,
+                        cgra,
+                        dfg,
+                        &state,
+                        &state.time_of,
+                        &self.config.router,
+                        &mut scratch,
+                        cancel,
+                    );
+                    stats.router_iterations += outcome.iterations;
+                    if trace.is_enabled() {
+                        // overused-node census, formerly a PANORAMA_DEBUG
+                        // stderr dump; only computed when someone listens
+                        let overused = outcome
+                            .usage
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, &u)| {
+                                let cap = mrrg.capacity(panorama_arch::MrrgNodeId::from_index(i));
+                                cap != u16::MAX && u as usize > cap as usize
+                            })
+                            .count();
+                        trace.record(
+                            "spr.route",
+                            route_span,
+                            &[
+                                ("ii", ii as i64),
+                                ("iterations", outcome.iterations as i64),
+                                ("overuse", outcome.overuse as i64),
+                                ("failed", outcome.failed as i64),
+                                ("overused_nodes", overused as i64),
+                            ],
+                        );
+                    }
+                    if outcome.is_clean() {
+                        stats.compile_time = start.elapsed();
+                        let routes = outcome
+                            .routes
+                            .into_iter()
+                            .map(|r| r.expect("clean outcome has every route"))
+                            .collect();
+                        let mapping = Mapping {
+                            mapper: self.name(),
+                            ii,
+                            mii,
+                            time_of: state.time_of.clone(),
+                            pe_of: state.pe_of.clone(),
+                            routes: Some(routes),
+                            stats,
+                        };
+                        // An exact-structure warm hit must reproduce the
+                        // recorded mapping bit for bit; a divergent result
+                        // (seeded history steered the router elsewhere) is
+                        // discarded and the search redone cold, so warm replay
+                        // never changes report bytes (ROADMAP item 2).
+                        let diverged = warm_hint.as_ref().is_some_and(|h| {
+                            h.edit_distance == 0
+                                && h.content_hash != 0
+                                && mapping.content_hash() != h.content_hash
+                        });
+                        if diverged {
+                            trace.record(
+                                "spr.ii",
+                                ii_span,
+                                &[("ii", ii as i64), ("success", 0), ("warm_diverged", 1)],
+                            );
+                            warm_hint = None;
+                            continue 'search;
+                        }
+                        if let Some(c) = control {
+                            c.record_success(ii);
+                        }
+                        if let Some(w) = &self.warm {
+                            w.record_parts(
+                                dfg,
+                                cgra,
+                                ii,
+                                state.pe_of,
+                                state.time_of,
+                                scratch.export_history(),
+                                mapping.content_hash(),
+                            );
+                        }
+                        trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 1)]);
+                        return Ok(mapping);
+                    }
+                    if temp < self.config.sa_min_temp {
+                        break; // give up on this II
+                    }
+                    // A fired token makes the router return early with a dirty
+                    // outcome; abort before spending another annealing round.
+                    if control.is_some_and(SearchControl::is_cancelled) {
+                        trace.event_unstable("spr.abort", &[("ii", ii as i64)]);
+                        return Err(MapError::cancelled(ii, self.name()));
+                    }
+                    if out_of_time(start) {
+                        trace.event_unstable("spr.timeout", &[("ii", ii as i64)]);
+                        break;
+                    }
+                    // simulated-annealing placement repair targeting the ops on
+                    // congested PEs (Algorithm 2 line 14)
+                    let anneal_span = trace.start();
+                    congested_ops(
+                        dfg,
+                        &mrrg,
+                        cgra,
+                        &state,
+                        &outcome.usage,
+                        &outcome.routes,
+                        &mut anneal_scratch,
+                    );
+                    let moves = anneal_step(
+                        dfg,
+                        cgra,
+                        &mut state,
+                        restriction,
+                        &anneal_scratch.ops,
+                        &anneal_scratch.heat,
+                        temp,
+                        self.config.sa_moves_per_temp,
+                        &mut rng,
+                    );
+                    stats.anneal_moves += moves;
+                    trace.record(
+                        "spr.anneal",
+                        anneal_span,
+                        &[
+                            ("ii", ii as i64),
+                            ("temp_milli", (temp * 1000.0) as i64),
+                            ("moves", moves as i64),
+                            ("candidates", anneal_scratch.ops.len() as i64),
+                        ],
+                    );
+                    temp *= self.config.sa_alpha;
+                }
+                trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
             }
-            trace.record("spr.ii", ii_span, &[("ii", ii as i64), ("success", 0)]);
-        }
-        trace.event("spr.exhausted", &[("max_ii", max_ii as i64)]);
-        Err(MapError::exhausted(max_ii, self.name()))
+            trace.event("spr.exhausted", &[("max_ii", max_ii as i64)]);
+            return Err(MapError::exhausted(max_ii, self.name()));
+        } // 'search
     }
 
     fn name(&self) -> &'static str {

@@ -121,6 +121,11 @@ struct Entry {
     /// Final PathFinder history of the search that produced the mapping
     /// (empty when recorded externally from a bare [`Mapping`]).
     history: Vec<f32>,
+    /// [`Mapping::content_hash`] of the recorded mapping; `0` when the
+    /// recorder predates hashing. On an exact-structure hit the mapper
+    /// compares its warm-seeded result against this hash and falls back
+    /// to the cold search on a mismatch, so replay stays byte-stable.
+    content_hash: u64,
 }
 
 /// What a cache hit seeds the mapper with.
@@ -132,6 +137,7 @@ pub struct WarmHint {
     /// at the same index; `None` for inserted or retyped ops.
     pub(crate) seeds: Vec<Option<(PeId, usize)>>,
     pub(crate) history: Vec<f32>,
+    pub(crate) content_hash: u64,
 }
 
 impl WarmHint {
@@ -143,6 +149,12 @@ impl WarmHint {
     /// Node/edge edit distance between the query and the matched entry.
     pub fn edit_distance(&self) -> usize {
         self.edit_distance
+    }
+
+    /// [`Mapping::content_hash`] of the recorded mapping (`0` when the
+    /// entry was recorded without one).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
     }
 }
 
@@ -240,6 +252,7 @@ impl WarmStartCache {
             edit_distance,
             seeds,
             history: entry.history.clone(),
+            content_hash: entry.content_hash,
         })
     }
 
@@ -248,11 +261,20 @@ impl WarmStartCache {
     pub fn record(&self, dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) {
         let pe_of = dfg.op_ids().map(|op| mapping.pe_of(op)).collect();
         let time_of = dfg.op_ids().map(|op| mapping.time_of(op)).collect();
-        self.record_parts(dfg, cgra, mapping.ii(), pe_of, time_of, Vec::new());
+        self.record_parts(
+            dfg,
+            cgra,
+            mapping.ii(),
+            pe_of,
+            time_of,
+            Vec::new(),
+            mapping.content_hash(),
+        );
     }
 
     /// Remembers a successful mapping together with the PathFinder history
     /// that produced it (the internal success path of `SprMapper`).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_parts(
         &self,
         dfg: &Dfg,
@@ -261,6 +283,7 @@ impl WarmStartCache {
         pe_of: Vec<PeId>,
         time_of: Vec<usize>,
         history: Vec<f32>,
+        content_hash: u64,
     ) {
         let structure = Structure::of(dfg, cgra);
         let fingerprint = structure.fingerprint();
@@ -271,6 +294,7 @@ impl WarmStartCache {
             pe_of,
             time_of,
             history,
+            content_hash,
         };
         let mut inner = self.lock();
         inner.records += 1;
@@ -412,6 +436,45 @@ mod tests {
         cache.record(&dfg, &cgra(), &fake_mapping(&dfg, 2));
         let other = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
         assert!(cache.lookup(&dfg, &other).is_none());
+    }
+
+    #[test]
+    fn warm_replay_reports_are_byte_identical_to_cold() {
+        use crate::{LowerLevelMapper, SprMapper};
+        use panorama_dfg::{kernels, KernelId, KernelScale};
+        for id in [KernelId::Fir, KernelId::Cordic, KernelId::MatrixMultiply] {
+            let cgra = cgra();
+            let dfg = kernels::generate(id, KernelScale::Tiny);
+            let cold = SprMapper::default().map(&dfg, &cgra, None).unwrap();
+            let cache = WarmStartCache::default();
+            cache.record(&dfg, &cgra, &cold);
+            let warm = SprMapper::default()
+                .with_warm_cache(cache.clone())
+                .map(&dfg, &cgra, None)
+                .unwrap();
+            assert_eq!(cache.hits(), 1, "{id:?}: warm run should hit the cache");
+            assert_eq!(
+                cold.content_hash(),
+                warm.content_hash(),
+                "{id:?}: warm-seeded mapping content must match the cold run"
+            );
+            assert_eq!(
+                cold.render(&dfg, &cgra).into_bytes(),
+                warm.render(&dfg, &cgra).into_bytes(),
+                "{id:?}: warm report bytes must match the cold run"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_hint_carries_the_content_hash() {
+        let cache = WarmStartCache::default();
+        let dfg = chain(6, 0);
+        let mapping = fake_mapping(&dfg, 2);
+        cache.record(&dfg, &cgra(), &mapping);
+        let hint = cache.lookup(&dfg, &cgra()).unwrap();
+        assert_eq!(hint.content_hash(), mapping.content_hash());
+        assert_ne!(hint.content_hash(), 0);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! DIMACS-style unit suite for the CDCL core: pigeonhole UNSAT instances,
+//! small SAT/UNSAT pairs, learned-clause/backjump behaviour, budget and
+//! interrupt handling, and byte-identical determinism across runs.
+
+use crate::{Limits, Lit, SolveResult, Solver, Var};
+
+/// Builds a solver over `n` fresh variables.
+fn with_vars(n: usize) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars = (0..n).map(|_| s.new_var()).collect();
+    (s, vars)
+}
+
+/// Adds DIMACS-style clauses: positive numbers are positive literals of
+/// `vars[k-1]`, negative numbers the negations.
+fn add_dimacs(s: &mut Solver, vars: &[Var], clauses: &[&[i32]]) {
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&x| {
+                let v = vars[(x.unsigned_abs() - 1) as usize];
+                if x > 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+}
+
+/// `php(n)`: n+1 pigeons into n holes — the canonical resolution-hard
+/// UNSAT family; forces genuine clause learning.
+fn pigeonhole(n: usize) -> Solver {
+    let (mut s, vars) = with_vars((n + 1) * n);
+    let p = |pigeon: usize, hole: usize| vars[pigeon * n + hole];
+    for pigeon in 0..=n {
+        let lits: Vec<Lit> = (0..n).map(|h| Lit::pos(p(pigeon, h))).collect();
+        s.add_clause(&lits);
+    }
+    for hole in 0..n {
+        for a in 0..=n {
+            for b in (a + 1)..=n {
+                s.add_clause(&[Lit::neg(p(a, hole)), Lit::neg(p(b, hole))]);
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn empty_problem_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn unit_clauses_fix_the_model() {
+    let (mut s, v) = with_vars(2);
+    assert!(s.add_clause(&[Lit::pos(v[0])]));
+    assert!(s.add_clause(&[Lit::neg(v[1])]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value(v[0]), Some(true));
+    assert_eq!(s.value(v[1]), Some(false));
+}
+
+#[test]
+fn contradictory_units_are_unsat() {
+    let (mut s, v) = with_vars(1);
+    assert!(s.add_clause(&[Lit::pos(v[0])]));
+    assert!(!s.add_clause(&[Lit::neg(v[0])]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert_eq!(s.value(v[0]), None);
+}
+
+#[test]
+fn tautologies_and_duplicates_are_harmless() {
+    let (mut s, v) = with_vars(2);
+    assert!(s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+    assert!(s.add_clause(&[Lit::pos(v[1]), Lit::pos(v[1])]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value(v[1]), Some(true));
+}
+
+#[test]
+fn small_sat_unsat_pair() {
+    // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b) is satisfied only by a=b=true ...
+    let (mut s, v) = with_vars(2);
+    add_dimacs(&mut s, &v, &[&[1, 2], &[-1, 2], &[1, -2]]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value(v[0]), Some(true));
+    assert_eq!(s.value(v[1]), Some(true));
+    // ... and adding (¬a ∨ ¬b) completes the UNSAT quartet
+    s.add_clause(&[Lit::neg(v[0]), Lit::neg(v[1])]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn three_sat_instance_with_propagation_chains() {
+    // implication chain x1 → x2 → ... → x6 plus a unit driving it
+    let (mut s, v) = with_vars(6);
+    add_dimacs(
+        &mut s,
+        &v,
+        &[&[1], &[-1, 2], &[-2, 3], &[-3, 4], &[-4, 5], &[-5, 6]],
+    );
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for var in &v {
+        assert_eq!(s.value(*var), Some(true));
+    }
+}
+
+#[test]
+fn pigeonhole_instances_are_unsat() {
+    for n in 2..=5 {
+        let mut s = pigeonhole(n);
+        assert_eq!(s.solve(), SolveResult::Unsat, "php({n}) must be UNSAT");
+    }
+}
+
+#[test]
+fn pigeonhole_learns_clauses_and_backjumps() {
+    let mut s = pigeonhole(5);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = *s.stats();
+    assert!(
+        st.conflicts > 0,
+        "php(5) cannot be solved without conflicts"
+    );
+    assert!(st.learned > 0, "CDCL must learn clauses on php(5)");
+    assert!(st.decisions > 0);
+    // every analyzed conflict learns one clause under first-UIP; the
+    // final root-level conflict terminates the search without learning
+    assert!(st.learned >= st.conflicts - 1);
+}
+
+#[test]
+fn satisfiable_pigeonhole_variant_finds_a_model() {
+    // n pigeons into n holes is satisfiable (a perfect matching)
+    let n = 4;
+    let (mut s, vars) = with_vars(n * n);
+    let p = |pigeon: usize, hole: usize| vars[pigeon * n + hole];
+    for pigeon in 0..n {
+        let lits: Vec<Lit> = (0..n).map(|h| Lit::pos(p(pigeon, h))).collect();
+        s.add_clause(&lits);
+    }
+    for hole in 0..n {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                s.add_clause(&[Lit::neg(p(a, hole)), Lit::neg(p(b, hole))]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // the model is a function: every pigeon sits in at least one hole,
+    // no two pigeons share one
+    for hole in 0..n {
+        let users = (0..n)
+            .filter(|&a| s.value(p(a, hole)) == Some(true))
+            .count();
+        assert!(users <= 1);
+    }
+    for pigeon in 0..n {
+        let holes = (0..n)
+            .filter(|&h| s.value(p(pigeon, h)) == Some(true))
+            .count();
+        assert!(holes >= 1);
+    }
+}
+
+#[test]
+fn model_satisfies_every_clause_on_random_like_instances() {
+    // a deterministic pseudo-random 3-SAT instance at a satisfiable
+    // clause/variable ratio, literals drawn from a SplitMix64 stream
+    let n = 40;
+    let (mut s, vars) = with_vars(n);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    for _ in 0..120 {
+        let mut c = Vec::new();
+        for _ in 0..3 {
+            let v = vars[(next() % n as u64) as usize];
+            c.push(if next() & 1 == 0 {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            });
+        }
+        s.add_clause(&c);
+        clauses.push(c);
+    }
+    if s.solve() == SolveResult::Sat {
+        for c in &clauses {
+            let sat = c.iter().any(|l| {
+                let val = s.value(l.var()).expect("model is total");
+                val != l.is_neg()
+            });
+            assert!(sat, "model violates a clause");
+        }
+    }
+}
+
+#[test]
+fn incremental_model_enumeration_terminates_exactly() {
+    // block each model of (a ∨ b ∨ c) in turn: exactly 7 models exist,
+    // so the 8th solve must be UNSAT — exercises clause addition between
+    // solves and root-level restarts
+    let (mut s, v) = with_vars(3);
+    add_dimacs(&mut s, &v, &[&[1, 2, 3]]);
+    let mut models = 0;
+    while s.solve() == SolveResult::Sat {
+        models += 1;
+        assert!(models <= 7, "more models than the clause admits");
+        let blocking: Vec<Lit> = v
+            .iter()
+            .map(|&var| {
+                if s.value(var).unwrap() {
+                    Lit::neg(var)
+                } else {
+                    Lit::pos(var)
+                }
+            })
+            .collect();
+        s.add_clause(&blocking);
+    }
+    assert_eq!(models, 7);
+}
+
+#[test]
+fn conflict_budget_yields_unknown_and_search_resumes() {
+    let mut s = pigeonhole(6);
+    let limits = Limits {
+        max_conflicts: Some(5),
+        max_propagations: None,
+    };
+    assert_eq!(
+        s.solve_limited(&limits, &mut || false),
+        SolveResult::Unknown
+    );
+    // an unbudgeted re-run completes (learned clauses are kept)
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn interrupt_yields_unknown() {
+    let mut s = pigeonhole(6);
+    let mut polls = 0u32;
+    let result = s.solve_limited(&Limits::default(), &mut || {
+        polls += 1;
+        true
+    });
+    assert_eq!(result, SolveResult::Unknown);
+    assert!(polls > 0);
+}
+
+#[test]
+fn determinism_stats_and_model_are_identical_across_runs() {
+    let run = || {
+        let mut s = pigeonhole(5);
+        let r = s.solve();
+        (r, *s.stats())
+    };
+    let (r1, s1) = run();
+    let (r2, s2) = run();
+    assert_eq!(r1, r2);
+    assert_eq!(s1, s2, "search statistics must be bit-identical");
+
+    let run_sat = || {
+        let (mut s, vars) = with_vars(30);
+        for w in vars.windows(3) {
+            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1]), Lit::pos(w[2])]);
+            s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[2])]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model: Vec<Option<bool>> = vars.iter().map(|&v| s.value(v)).collect();
+        (model, *s.stats())
+    };
+    let (m1, t1) = run_sat();
+    let (m2, t2) = run_sat();
+    assert_eq!(m1, m2, "models must be bit-identical");
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn learned_clause_reduction_is_triggered_on_hard_instances() {
+    // php(7) generates thousands of conflicts — enough to cross the
+    // first reduction threshold deterministically
+    let mut s = pigeonhole(7);
+    let limits = Limits {
+        max_conflicts: Some(6000),
+        max_propagations: None,
+    };
+    let _ = s.solve_limited(&limits, &mut || false);
+    let st = s.stats();
+    assert!(st.conflicts > 2000, "expected a long run, got {st:?}");
+    assert!(
+        st.removed > 0,
+        "clause-database reduction never fired: {st:?}"
+    );
+}
+
+#[test]
+fn stats_are_monotone_and_restarts_happen() {
+    let mut s = pigeonhole(5);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = s.stats();
+    assert!(st.propagations > st.conflicts);
+    assert!(st.restarts > 0, "php(5) runs past the first Luby restart");
+}
+
+#[test]
+fn num_clauses_counts_live_clauses() {
+    let (mut s, v) = with_vars(2);
+    add_dimacs(&mut s, &v, &[&[1, 2], &[-1, 2]]);
+    assert_eq!(s.num_clauses(), 2);
+    assert_eq!(s.num_vars(), 2);
+}

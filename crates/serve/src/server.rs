@@ -35,7 +35,8 @@ use panorama_arch::{Cgra, CgraConfig, DEFAULT_MRRG_CACHE_CAPACITY};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_lint::{Diagnostics, LintContext, Registry};
 use panorama_mapper::{
-    CancelToken, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper, WarmStartCache,
+    CancelToken, ExactMapper, LowerLevelMapper, SatMapper, SprMapper, UltraFastMapper,
+    WarmStartCache,
 };
 use panorama_trace::json::{escape, parse, Json};
 use panorama_trace::{phase_totals, RecordingSink, Tracer};
@@ -568,6 +569,7 @@ fn run_compile(
         },
         "ultrafast" => run(&UltraFastMapper::default()),
         "exhaustive" => run(&ExactMapper::default()),
+        "sat" => run(&SatMapper::default()),
         other => {
             state.metrics.job_failed();
             return error_outcome(400, "bad_mapper", &format!("unknown mapper `{other}`"));
@@ -1046,7 +1048,7 @@ fn parse_compile_doc(
     let (arch_display, arch_config) =
         parse_arch_field(doc)?.unwrap_or_else(|| ("8x8".to_string(), CgraConfig::scaled_8x8()));
     let mapper = opt_str(doc, "mapper").unwrap_or("spr").to_string();
-    if !matches!(mapper.as_str(), "spr" | "ultrafast" | "exhaustive") {
+    if !matches!(mapper.as_str(), "spr" | "ultrafast" | "exhaustive" | "sat") {
         return Err(format!("unknown mapper `{mapper}`"));
     }
     let baseline = doc.get("baseline").and_then(Json::as_bool).unwrap_or(false);

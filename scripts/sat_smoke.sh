@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# SAT-backend smoke: drives the release binary through the 12-kernel
+# suite with `--mapper sat` and checks the properties CI cares about:
+#
+#   1. coverage — every suite kernel maps, verifies and simulates with
+#      the SAT backend on the 4x4/tiny preset;
+#   2. determinism — compiling the whole suite twice produces
+#      byte-identical panorama-compile-v1 documents and
+#      panorama-sat-v1 attempt logs (the CDCL search has no wall-clock
+#      or RNG state);
+#   3. report hygiene — the attempt logs pass the SAT001-003 lints;
+#   4. differential coverage — a short fuzz sweep plus the committed
+#      corpus replay runs the SAT backend against all four oracles
+#      with zero failures.
+#
+# Usage: scripts/sat_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=./target/release/panorama
+TMP="${TMPDIR:-/tmp}"
+
+[ -x "$BIN" ] || { echo "build first: cargo build --release" >&2; exit 1; }
+
+KERNELS="edn idctcols idctrows conv2d matchedfilter matrixmultiply \
+cordic kmeansclustering fir jpegfdct jpegidctfst invertmat"
+
+echo "== 12-kernel suite with --mapper sat, twice, byte-compare =="
+for run in a b; do
+    : > "$TMP/sat-smoke-$run.json"
+    for k in $KERNELS; do
+        "$BIN" compile --dfg "$k" --arch 4x4 --scale tiny --mapper sat \
+            --simulate 3 --json --sat-report "$TMP/sat-report-$run-$k.json" \
+            >> "$TMP/sat-smoke-$run.json"
+    done
+done
+cmp "$TMP/sat-smoke-a.json" "$TMP/sat-smoke-b.json"
+for k in $KERNELS; do
+    cmp "$TMP/sat-report-a-$k.json" "$TMP/sat-report-b-$k.json"
+done
+echo "compile documents and attempt logs are byte-identical"
+
+echo "== attempt-log lints (SAT001-003) =="
+for k in $KERNELS; do
+    "$BIN" lint --report "$TMP/sat-report-a-$k.json"
+done
+
+echo "== portfolio determinism across thread counts =="
+"$BIN" compile --dfg cordic --arch 4x4 --scale tiny --mapper portfolio \
+    --threads 1 --json > "$TMP/sat-portfolio-t1.json"
+"$BIN" compile --dfg cordic --arch 4x4 --scale tiny --mapper portfolio \
+    --threads 4 --json > "$TMP/sat-portfolio-t4.json"
+cmp "$TMP/sat-portfolio-t1.json" "$TMP/sat-portfolio-t4.json"
+echo "portfolio documents are byte-identical at threads 1 and 4"
+
+echo "== fuzz sweep + corpus replay (SAT vs all four oracles) =="
+"$BIN" fuzz --seed 7 --cases 30 --max-nodes 20 \
+    --corpus fuzz/corpus --out "$TMP/sat-fuzz.json"
+"$BIN" lint --report "$TMP/sat-fuzz.json"
+
+echo "sat smoke OK"

@@ -1,12 +1,14 @@
 //! `panorama` — the command-line CGRA compiler.
 //!
 //! ```text
-//! panorama compile --dfg kernel.dfg --arch cgra.adl [--mapper spr|ultrafast|exhaustive]
+//! panorama compile --dfg kernel.dfg --arch cgra.adl
+//!                  [--mapper spr|ultrafast|exhaustive|sat|portfolio]
 //!                  [--baseline] [--threads N] [--max-ii N] [--simulate N]
-//!                  [--configware] [--dot] [--analyze]
+//!                  [--configware] [--dot] [--analyze] [--sat-report FILE]
 //! panorama analyze <kernel> [--arch cgra.adl] [--no-fold] [--no-cse] [--no-dce]
 //!                  [--out FILE] [--json]
-//! panorama trace <kernel> [--arch cgra.adl] [--mapper spr|ultrafast|exhaustive]
+//! panorama trace <kernel> [--arch cgra.adl]
+//!                [--mapper spr|ultrafast|exhaustive|sat|portfolio]
 //!                [--baseline] [--threads N] [--max-ii N] [--out FILE]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
 //!               [--report FILE]
@@ -17,7 +19,7 @@
 //!                [--deadline-ms MS] [--result-cache N] [--mrrg-cache N]
 //!                [--warm-cache]
 //! panorama bench [--json] [--out FILE] [--stable-out FILE]
-//!                [--mapper spr|ultrafast] [--threads N]
+//!                [--mapper spr|ultrafast|sat] [--threads N]
 //!                [--check FILE] [--max-kernel-seconds S] [--ceiling-scale X]
 //!                [--trace FILE]
 //! panorama kernels [--scale tiny|scaled|paper]
@@ -38,8 +40,8 @@
 //! it always records and prints the per-phase profile table instead of the
 //! mapping details. `lint` runs the static diagnostics of [`panorama_lint`]
 //! over the same inputs without mapping anything (`--report` validates a
-//! recorded trace/serve/fuzz/analyze report file instead, auto-detecting
-//! the schema). `bench` measures the 12-kernel suite
+//! recorded trace/serve/fuzz/sat/analyze report file instead,
+//! auto-detecting the schema). `bench` measures the 12-kernel suite
 //! in parallel and sequential modes, verifies both produce identical
 //! mappings, and can gate CI against a checked-in JSON baseline; the
 //! ceiling of that gate is widened by `--ceiling-scale` (defaulting to a
@@ -50,15 +52,18 @@
 //! failing-case minimization, and regression-corpus replay; its
 //! `panorama-fuzz-v1` JSON report is what `lint --fuzz-json` validates.
 
-use panorama::{AnalyzeConfig, Panorama, PanoramaConfig};
+use panorama::{AnalyzeConfig, BackendId, Panorama, PanoramaConfig};
 use panorama_analyze::{analyze, analyze_diagnostics};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
 use panorama_lint::{
-    lint_analyze_json, lint_fuzz_json, lint_serve_json, lint_trace_json, Diagnostics, LintContext,
-    Registry,
+    lint_analyze_json, lint_fuzz_json, lint_sat_json, lint_serve_json, lint_trace_json,
+    Diagnostics, LintContext, Registry,
 };
-use panorama_mapper::{Configware, ExactMapper, LowerLevelMapper, SprMapper, UltraFastMapper};
+use panorama_mapper::{
+    min_ii, Configware, ExactMapper, IiAttempt, LowerLevelMapper, SatMapper, SprMapper,
+    UltraFastMapper,
+};
 use panorama_sim::simulate;
 use panorama_trace::{RecordingSink, TraceEvent, TraceReport, Tracer};
 use std::collections::HashMap;
@@ -69,15 +74,16 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage:\n  \
      panorama compile --dfg <file|-|kernel-name> [--arch <file|preset>] \
-[--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
-[--threads <n>] [--max-ii <ii>] [--simulate <iters>] [--configware] [--dot] \
-[--trace <file>] [--analyze] [--json]\n  \
+[--mapper spr|ultrafast|exhaustive|sat|portfolio] [--baseline] \
+[--scale tiny|scaled|paper] [--threads <n>] [--max-ii <ii>] \
+[--simulate <iters>] [--configware] [--dot] [--trace <file>] \
+[--sat-report <file>] [--analyze] [--json]\n  \
      panorama analyze <kernel-name|file|-> [--arch <file|preset>] \
 [--scale tiny|scaled|paper] [--no-fold] [--no-cse] [--no-dce] [--out <file>] \
 [--json]\n  \
      panorama trace <kernel-name|file|-> [--arch <file|preset>] \
-[--mapper spr|ultrafast|exhaustive] [--baseline] [--scale tiny|scaled|paper] \
-[--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
+[--mapper spr|ultrafast|exhaustive|sat|portfolio] [--baseline] \
+[--scale tiny|scaled|paper] [--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
      panorama lint [--dfg <file|-|kernel-name>] [--arch <file|preset>] \
 [--scale tiny|scaled|paper] [--max-ii <ii>] [--report <file>] [--json]\n  \
      panorama fuzz [--seed <n>] [--cases <n>] [--max-nodes <n>] \
@@ -88,7 +94,7 @@ fn usage() -> &'static str {
 [--warm-cache] [--cache-dir <dir>] [--cache-budget <bytes>] \
 [--quota-rps <n>] [--quota-burst <n>] [--io-timeout-ms <ms>]\n  \
      panorama bench [--json] [--out <file>] [--stable-out <file>] \
-[--mapper spr|ultrafast] [--threads <n>] [--check <baseline.json>] \
+[--mapper spr|ultrafast|sat] [--threads <n>] [--check <baseline.json>] \
 [--max-kernel-seconds <s>] [--ceiling-scale <x>] [--trace <file>] [--analyze]\n  \
      panorama bench --serve [--clients <n>] [--requests <n>] [--workers <n>] \
 [--cache-dir <dir>] [--out <file>] [--stable-out <file>] \
@@ -113,6 +119,7 @@ const COMPILE_FLAGS: FlagSpec = &[
     ("configware", true),
     ("dot", true),
     ("trace", false),
+    ("sat-report", false),
     ("analyze", true),
     ("no-analyze", true),
     ("json", true),
@@ -313,6 +320,7 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         threads,
         analyze: (flags.contains_key("analyze") && !flags.contains_key("no-analyze"))
             .then(AnalyzeConfig::default),
+        backends: portfolio_backends(mapper_name),
         ..PanoramaConfig::default()
     });
     let baseline = flags.contains_key("baseline");
@@ -321,7 +329,8 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         Some(sink) => Tracer::new(sink.clone()),
         None => Tracer::disabled(),
     };
-    let report = run_mapper(&compiler, &dfg, &cgra, mapper_name, baseline, &tracer)?;
+    let (report, sat_attempts) =
+        run_mapper(&compiler, &dfg, &cgra, mapper_name, baseline, &tracer)?;
     if let (Some(path), Some(sink)) = (flags.get("trace"), &sink) {
         let trace = trace_report(&dfg, flags, mapper_name, threads, &report, sink.take());
         std::fs::write(path, trace.to_json())?;
@@ -339,6 +348,20 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     }
     let mapping = report.mapping();
     mapping.verify(mapped, &cgra)?;
+    if let Some(path) = flags.get("sat-report") {
+        let Some(attempts) = &sat_attempts else {
+            return Err("--sat-report requires --mapper sat".into());
+        };
+        let doc = sat_report_json(
+            dfg.name(),
+            flags.get("arch").map_or("8x8", String::as_str),
+            min_ii(mapped, &cgra).mii(),
+            mapping.ii(),
+            attempts,
+        );
+        std::fs::write(path, doc)?;
+        eprintln!("wrote SAT report {path}");
+    }
     if flags.contains_key("json") {
         // The canonical deterministic document — byte-identical to what
         // `panorama serve` returns for the same inputs.
@@ -390,8 +413,14 @@ fn cmd_compile(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// A compile report plus, for `--mapper sat` only, the drained per-II
+/// attempt log that backs `--sat-report`.
+type MapperRun = (panorama::CompileReport, Option<Vec<IiAttempt>>);
+
 /// Runs the named lower-level mapper through the pipeline (or the
-/// whole-array baseline), recording into `tracer` when it is enabled.
+/// whole-array baseline, or the multi-backend portfolio), recording into
+/// `tracer` when it is enabled. For `--mapper sat` the drained per-II
+/// attempt log rides along for `--sat-report`.
 fn run_mapper(
     compiler: &Panorama,
     dfg: &Dfg,
@@ -399,7 +428,7 @@ fn run_mapper(
     mapper_name: &str,
     baseline: bool,
     tracer: &Tracer,
-) -> Result<panorama::CompileReport, Box<dyn Error>> {
+) -> Result<MapperRun, Box<dyn Error>> {
     let run = |m: &dyn LowerLevelMapper| {
         if baseline {
             compiler.compile_baseline_traced(dfg, cgra, &DynMapper(m), tracer)
@@ -408,11 +437,69 @@ fn run_mapper(
         }
     };
     Ok(match mapper_name {
-        "spr" => run(&SprMapper::default())?,
-        "ultrafast" => run(&UltraFastMapper::default())?,
-        "exhaustive" => run(&ExactMapper::default())?,
+        "spr" => (run(&SprMapper::default())?, None),
+        "ultrafast" => (run(&UltraFastMapper::default())?, None),
+        "exhaustive" => (run(&ExactMapper::default())?, None),
+        "sat" => {
+            let mapper = SatMapper::default();
+            let report = run(&mapper)?;
+            (report, Some(mapper.take_attempts()))
+        }
+        "portfolio" => {
+            if baseline {
+                return Err("--baseline races a single mapper; pick one with --mapper".into());
+            }
+            (compiler.compile_portfolio_traced(dfg, cgra, tracer)?, None)
+        }
         other => return Err(format!("unknown mapper `{other}`").into()),
     })
+}
+
+/// Assembles the `panorama-sat-v1` attempt-log document that
+/// `compile --mapper sat --sat-report` writes and `lint --report`
+/// validates (SAT001–SAT003).
+fn sat_report_json(
+    kernel: &str,
+    arch: &str,
+    mii: usize,
+    mapped_ii: usize,
+    attempts: &[IiAttempt],
+) -> String {
+    use std::fmt::Write as _;
+    let config = panorama_mapper::SatMapperConfig::default();
+    let max_ii = mii * config.max_ii_factor + config.max_ii_offset;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\": \"panorama-sat-v1\", \"kernel\": {}, \"arch\": {}, \
+         \"mii\": {mii}, \"max_ii\": {max_ii}, \"mapped_ii\": {mapped_ii}, \
+         \"max_vars\": {}, \"max_clauses\": {}, \"attempts\": [",
+        panorama_trace::json::string(kernel),
+        panorama_trace::json::string(arch),
+        config.max_vars,
+        config.max_clauses,
+    );
+    for (i, a) in attempts.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"ii\": {}, \"result\": \"{}\", \"refinements\": {}, \
+             \"decode_mismatches\": {}, \"vars\": {}, \"clauses\": {}, \"conflicts\": {}, \
+             \"propagations\": {}, \"decisions\": {}, \"restarts\": {}}}",
+            if i == 0 { "" } else { ", " },
+            a.ii,
+            a.result,
+            a.refinements,
+            a.decode_mismatches,
+            a.vars,
+            a.clauses,
+            a.conflicts,
+            a.propagations,
+            a.decisions,
+            a.restarts,
+        );
+    }
+    out.push_str("]}\n");
+    out
 }
 
 /// Assembles the `panorama-trace-v1` report for one compile run.
@@ -431,6 +518,17 @@ fn trace_report(
         threads: resolved_threads(threads),
         wall_ns: report.total_time().as_nanos() as u64,
         events,
+    }
+}
+
+/// `--mapper portfolio` races every registered backend; every other
+/// spelling keeps the single-backend default (ignored by the
+/// single-mapper entry points).
+fn portfolio_backends(mapper_name: &str) -> Vec<BackendId> {
+    if mapper_name == "portfolio" {
+        BackendId::ALL.to_vec()
+    } else {
+        PanoramaConfig::default().backends
     }
 }
 
@@ -455,12 +553,13 @@ fn cmd_trace(kernel: &str, flags: &HashMap<String, String>) -> Result<(), Box<dy
     let compiler = Panorama::new(PanoramaConfig {
         max_ii: parse_max_ii(flags)?,
         threads,
+        backends: portfolio_backends(mapper_name),
         ..PanoramaConfig::default()
     });
     let baseline = flags.contains_key("baseline");
     let sink = RecordingSink::shared();
     let tracer = Tracer::new(sink.clone());
-    let report = run_mapper(&compiler, &dfg, &cgra, mapper_name, baseline, &tracer)?;
+    let (report, _) = run_mapper(&compiler, &dfg, &cgra, mapper_name, baseline, &tracer)?;
     let mapping = report.mapping();
     eprintln!(
         "mapped `{}` with {} at II {} in {:.2?}",
@@ -602,6 +701,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         mapper: match flags.get("mapper").map(String::as_str) {
             None | Some("ultrafast") => panorama_bench::BenchMapper::UltraFast,
             Some("spr") => panorama_bench::BenchMapper::Spr,
+            Some("sat") => panorama_bench::BenchMapper::Sat,
             Some(other) => return Err(format!("unknown bench mapper `{other}`").into()),
         },
         trace: flags.contains_key("trace"),
@@ -609,7 +709,12 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         ..panorama_bench::BenchOptions::default()
     };
     eprintln!(
-        "benching 12 kernels x 2 presets with {} ({} threads)...",
+        "benching 12 kernels x {} preset(s) with {} ({} threads)...",
+        if options.mapper == panorama_bench::BenchMapper::Sat {
+            1
+        } else {
+            2
+        },
         options.mapper.name(),
         if options.threads == 0 {
             "auto".to_string()
@@ -843,11 +948,13 @@ fn lint_report(text: &str, diags: &mut Diagnostics) -> Result<(), Box<dyn Error>
         Some("panorama-serve-metrics-v1") => lint_serve_json(text, diags),
         Some("panorama-fuzz-v1") => lint_fuzz_json(text, diags),
         Some("panorama-analyze-v1") => lint_analyze_json(text, diags),
+        Some("panorama-sat-v1") => lint_sat_json(text, diags),
         Some("panorama-trace-v1") | None => lint_trace_json(text, diags),
         Some(other) => {
             return Err(format!(
                 "--report: unknown schema `{other}` (expected panorama-trace-v1, \
-                 panorama-serve-metrics-v1, panorama-fuzz-v1 or panorama-analyze-v1)"
+                 panorama-serve-metrics-v1, panorama-fuzz-v1, panorama-sat-v1 or \
+                 panorama-analyze-v1)"
             )
             .into())
         }

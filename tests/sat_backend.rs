@@ -1,0 +1,76 @@
+//! End-to-end tests of the SAT mapping backend: every suite kernel maps,
+//! verifies and simulates; the achieved II matches the exhaustive
+//! optimum where the exhaustive mapper can check it; and the portfolio
+//! with all three backends stays bit-identical at any thread count.
+
+use panorama::{BackendId, Panorama, PanoramaConfig};
+use panorama_arch::{Cgra, CgraConfig};
+use panorama_dfg::{kernels, KernelId, KernelScale};
+use panorama_mapper::{ExactMapper, SatMapper};
+
+fn cgra() -> Cgra {
+    Cgra::new(CgraConfig::small_4x4()).expect("preset is valid")
+}
+
+#[test]
+fn every_suite_kernel_maps_with_sat_verifies_and_simulates() {
+    let cgra = cgra();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let mapper = SatMapper::default();
+    for id in KernelId::ALL {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let report = compiler
+            .compile(&dfg, &cgra, &mapper)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let mapped = report.mapped_dfg(&dfg);
+        report
+            .mapping()
+            .verify(mapped, &cgra)
+            .unwrap_or_else(|e| panic!("{id}: invalid mapping: {e}"));
+        panorama::sim::simulate(mapped, &cgra, report.mapping(), 4)
+            .unwrap_or_else(|e| panic!("{id}: simulation diverged: {e}"));
+    }
+}
+
+#[test]
+fn sat_ii_is_never_worse_than_the_exhaustive_optimum() {
+    // Only the kernels small enough for the exhaustive mapper's default
+    // op cap; it proves the optimal II, so SAT must land at or below it.
+    let cgra = cgra();
+    let compiler = Panorama::new(PanoramaConfig::default());
+    for id in [KernelId::Fir, KernelId::Cordic, KernelId::MatrixMultiply] {
+        let dfg = kernels::generate(id, KernelScale::Tiny);
+        let exact = compiler
+            .compile(&dfg, &cgra, &ExactMapper::default())
+            .unwrap_or_else(|e| panic!("{id} exact: {e}"));
+        let sat = compiler
+            .compile(&dfg, &cgra, &SatMapper::default())
+            .unwrap_or_else(|e| panic!("{id} sat: {e}"));
+        assert!(
+            sat.mapping().ii() <= exact.mapping().ii(),
+            "{id}: SAT II {} worse than exhaustive optimum {}",
+            sat.mapping().ii(),
+            exact.mapping().ii()
+        );
+    }
+}
+
+#[test]
+fn portfolio_with_all_backends_is_bit_identical_across_thread_counts() {
+    let cgra = cgra();
+    let dfg = kernels::generate(KernelId::Cordic, KernelScale::Tiny);
+    let mut renders = Vec::new();
+    for threads in [1, 2, 4] {
+        let compiler = Panorama::new(PanoramaConfig {
+            threads,
+            backends: BackendId::ALL.to_vec(),
+            ..PanoramaConfig::default()
+        });
+        let report = compiler
+            .compile_portfolio(&dfg, &cgra)
+            .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        renders.push(report.to_json("cordic", "4x4"));
+    }
+    assert_eq!(renders[0], renders[1], "threads 1 vs 2 diverge");
+    assert_eq!(renders[0], renders[2], "threads 1 vs 4 diverge");
+}
