@@ -52,6 +52,7 @@ pub use panorama_analyze as analyze;
 pub use panorama_arch as arch;
 pub use panorama_cluster as cluster;
 pub use panorama_dfg as dfg;
+pub use panorama_exec as exec;
 pub use panorama_graph as graph;
 pub use panorama_ilp as ilp;
 pub use panorama_linalg as linalg;

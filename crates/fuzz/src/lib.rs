@@ -2,11 +2,13 @@
 //!
 //! The harness sweeps the random-DFG and architecture configuration
 //! spaces, runs every sampled case through the full pipeline under both
-//! lower-level backends, and cross-checks the results with five oracles
+//! lower-level backends, and cross-checks the results with six oracles
 //! (static verify, cycle-level simulation against the golden interpreter,
-//! II-optimality against the exhaustive mapper on small instances,
-//! rewriter equivalence of the `panorama-analyze` optimizer against the
-//! reference interpreter, and a crash pseudo-oracle). Any disagreement is
+//! data-level execution of the generated configware against the concrete
+//! reference interpreter, II-optimality against the exhaustive mapper on
+//! small instances, rewriter equivalence of the `panorama-analyze`
+//! optimizer against the reference interpreter, and a crash
+//! pseudo-oracle). Any disagreement is
 //! minimized to a small reproducer and serialized in the corpus file
 //! format.
 //!
@@ -172,10 +174,12 @@ mod tests {
     fn conservation_holds() {
         let r = run(&smoke_opts());
         assert_eq!(r.failures.len(), r.total_failures());
-        for c in [&r.verify, &r.simulate, &r.exact_ii, &r.rewrite] {
+        for c in [&r.verify, &r.simulate, &r.exec, &r.exact_ii, &r.rewrite] {
             assert_eq!(c.checks, c.pass + c.fail + c.skip);
         }
         assert_eq!(r.verify.checks, r.completed * 3);
+        assert_eq!(r.simulate.checks, r.completed * 3);
+        assert_eq!(r.exec.checks, r.completed * 3);
         assert_eq!(r.exact_ii.checks, r.completed);
         assert_eq!(r.rewrite.checks, r.completed);
     }

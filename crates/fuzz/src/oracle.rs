@@ -5,6 +5,7 @@
 //! |------------|---------|---------|
 //! | `verify`   | static  | structural violations: FU conflicts, missing/disconnected routes, dependence or capacity violations |
 //! | `simulate` | dynamic | cycle-accurate disagreements: wrong operand arrival, value collisions, golden-value mismatches vs the interpreter |
+//! | `exec`     | dynamic | value-level divergences: the generated configware, replayed data-carrying on the fabric model under concrete input vectors, disagreeing with direct DFG interpretation — a semantically wrong encoder. Abstract backends (no routes) are excluded |
 //! | `exact_ii` | cross   | a route-producing backend reporting an II below the exhaustive mapper's optimum — an unsound II claim. Abstract backends (no routes) are excluded: their relaxed interconnect model makes lower IIs legitimate |
 //! | `rewrite`  | cross   | the `panorama-analyze` optimizer producing a graph the reference interpreter distinguishes from the input — a broken rewrite (per case, before any mapping) |
 //! | `crash`    | harness | panics anywhere in the pipeline, caught per backend |
@@ -17,6 +18,7 @@ use panorama::{Panorama, PanoramaConfig};
 use panorama_analyze::{optimize, AnalyzeConfig};
 use panorama_arch::Cgra;
 use panorama_dfg::Dfg;
+use panorama_exec::{execute, ExecError, ExecOptions};
 use panorama_mapper::{
     CancelToken, ExactMapper, LowerLevelMapper, SatMapper, SatMapperConfig, SearchControl,
     SprMapper, UltraFastMapper,
@@ -86,6 +88,9 @@ pub struct BackendResult {
     pub verify: OracleOutcome,
     /// Cycle-level simulation outcome.
     pub simulate: OracleOutcome,
+    /// Data-level configware execution outcome (value-level differential
+    /// check against the DFG reference interpreter).
+    pub exec: OracleOutcome,
 }
 
 /// Everything the oracles concluded about one case.
@@ -116,6 +121,9 @@ impl CaseResult {
             }
             if let OracleOutcome::Fail(msg) = &b.simulate {
                 out.push((b.backend.name().to_string(), "simulate".into(), msg.clone()));
+            }
+            if let OracleOutcome::Fail(msg) = &b.exec {
+                out.push((b.backend.name().to_string(), "exec".into(), msg.clone()));
             }
         }
         if let OracleOutcome::Fail(msg) = &self.exact_ii {
@@ -213,6 +221,31 @@ fn run_backend(dfg: &Dfg, cgra: &Cgra, backend: Backend, cfg: &OracleConfig) -> 
                 }
                 Err(e) => OracleOutcome::Fail(format!("simulation diverged: {e}")),
             };
+            // the data-level oracle only executes structurally valid
+            // mappings: configware generation presumes verified routes
+            let exec = if verify.is_fail() {
+                OracleOutcome::Skip("mapping failed verify".into())
+            } else {
+                let opts = ExecOptions {
+                    iterations: cfg.sim_iterations,
+                    ..ExecOptions::default()
+                };
+                match execute(dfg, cgra, mapping, &opts) {
+                    Ok(outcome) if outcome.passed() => OracleOutcome::Pass,
+                    Ok(outcome) => {
+                        let (vector, msg) = outcome
+                            .first_divergence()
+                            .expect("a non-passing outcome records a divergence");
+                        OracleOutcome::Fail(format!(
+                            "execution diverged on the {vector} vector: {msg}"
+                        ))
+                    }
+                    Err(ExecError::NoRoutes) => {
+                        OracleOutcome::Skip("no concrete routes (abstract mapper)".into())
+                    }
+                    Err(e) => OracleOutcome::Fail(format!("execution failed: {e}")),
+                }
+            };
             BackendResult {
                 backend,
                 mapped: true,
@@ -221,6 +254,7 @@ fn run_backend(dfg: &Dfg, cgra: &Cgra, backend: Backend, cfg: &OracleConfig) -> 
                 note: String::new(),
                 verify,
                 simulate: sim,
+                exec,
             }
         }
         Err(e) => {
@@ -232,6 +266,7 @@ fn run_backend(dfg: &Dfg, cgra: &Cgra, backend: Backend, cfg: &OracleConfig) -> 
                 ii: None,
                 verify: OracleOutcome::Skip(format!("unmapped: {note}")),
                 simulate: OracleOutcome::Skip(format!("unmapped: {note}")),
+                exec: OracleOutcome::Skip(format!("unmapped: {note}")),
                 note,
             }
         }
@@ -334,6 +369,7 @@ pub fn run_case(dfg: &Dfg, cgra: &Cgra, cfg: &OracleConfig) -> CaseResult {
                     note: "crashed".into(),
                     verify: OracleOutcome::Skip("crashed".into()),
                     simulate: OracleOutcome::Skip("crashed".into()),
+                    exec: OracleOutcome::Skip("crashed".into()),
                 });
             }
         }
@@ -394,10 +430,12 @@ mod tests {
         assert!(spr.mapped);
         assert_eq!(spr.verify, OracleOutcome::Pass);
         assert_eq!(spr.simulate, OracleOutcome::Pass);
+        assert_eq!(spr.exec, OracleOutcome::Pass);
         assert_eq!(result.rewrite, OracleOutcome::Pass);
-        // ultrafast has no routes -> simulate skips
+        // ultrafast has no routes -> simulate and exec skip
         let uf = &result.backends[1];
         assert!(matches!(uf.simulate, OracleOutcome::Skip(_)));
+        assert!(matches!(uf.exec, OracleOutcome::Skip(_)));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `panorama-fuzz-v1` report: aggregated oracle tallies plus one
+//! The `panorama-fuzz-v2` report: aggregated oracle tallies plus one
 //! record per (minimized) failure.
 //!
 //! The report is deliberately free of wall-clock data — two runs of the
@@ -10,7 +10,7 @@ use panorama_trace::json::escape;
 use std::fmt::Write as _;
 
 /// Schema identifier carried by every report.
-pub const FUZZ_SCHEMA: &str = "panorama-fuzz-v1";
+pub const FUZZ_SCHEMA: &str = "panorama-fuzz-v2";
 
 /// Pass/fail/skip tallies for one oracle across a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +103,8 @@ pub struct FuzzReport {
     pub verify: OracleCounts,
     /// Simulator tallies (per backend per case).
     pub simulate: OracleCounts,
+    /// Data-level execution tallies (per backend per case).
+    pub exec: OracleCounts,
     /// Exact II-optimality tallies (per case).
     pub exact_ii: OracleCounts,
     /// Rewriter-equivalence tallies (per case).
@@ -131,6 +133,7 @@ impl FuzzReport {
             crashes: 0,
             verify: OracleCounts::default(),
             simulate: OracleCounts::default(),
+            exec: OracleCounts::default(),
             exact_ii: OracleCounts::default(),
             rewrite: OracleCounts::default(),
             spr: BackendCounts::default(),
@@ -161,6 +164,7 @@ impl FuzzReport {
             }
             self.verify.add(&b.verify);
             self.simulate.add(&b.simulate);
+            self.exec.add(&b.exec);
         }
         self.exact_ii.add(&result.exact_ii);
         self.rewrite.add(&result.rewrite);
@@ -171,12 +175,13 @@ impl FuzzReport {
     pub fn total_failures(&self) -> usize {
         self.verify.fail
             + self.simulate.fail
+            + self.exec.fail
             + self.exact_ii.fail
             + self.rewrite.fail
             + self.crashes
     }
 
-    /// Serializes the report as `panorama-fuzz-v1` JSON. Deterministic:
+    /// Serializes the report as `panorama-fuzz-v2` JSON. Deterministic:
     /// no timestamps, no durations, no environment data.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -192,6 +197,7 @@ impl FuzzReport {
         let oracle_rows = [
             ("verify", &self.verify),
             ("simulate", &self.simulate),
+            ("exec", &self.exec),
             ("exact_ii", &self.exact_ii),
             ("rewrite", &self.rewrite),
         ];
@@ -284,6 +290,7 @@ impl FuzzReport {
         for (name, c) in [
             ("verify  ", &self.verify),
             ("simulate", &self.simulate),
+            ("exec    ", &self.exec),
             ("exact_ii", &self.exact_ii),
             ("rewrite ", &self.rewrite),
         ] {
@@ -368,7 +375,7 @@ mod tests {
             doc.get("oracles")
                 .and_then(|o| o.as_arr())
                 .map(<[panorama_trace::json::Json]>::len),
-            Some(4)
+            Some(5)
         );
     }
 

@@ -33,7 +33,7 @@ const fn info(code: &'static str, severity: &'static str, summary: &'static str)
 
 /// Prefix groups in pipeline order — the order [`ALL`] lists codes in.
 pub const PREFIXES: &[&str] = &[
-    "DFG", "ARCH", "PART", "ILP", "MAP", "SAT", "TRACE", "SERVE", "FUZZ", "ANLZ",
+    "DFG", "ARCH", "PART", "ILP", "MAP", "SAT", "EXEC", "TRACE", "SERVE", "FUZZ", "ANLZ",
 ];
 
 /// Every stable diagnostic code of the toolchain, grouped by prefix in
@@ -161,6 +161,21 @@ pub const ALL: &[CodeInfo] = &[
         "SAT003",
         "error",
         "decoded SAT assignment failed Mapping::verify (encoder/verifier mismatch)",
+    ),
+    info(
+        "EXEC001",
+        "error",
+        "invalid JSON, wrong `schema`, or missing/mistyped field",
+    ),
+    info(
+        "EXEC002",
+        "error",
+        "a vector records a value-level divergence between machine and reference",
+    ),
+    info(
+        "EXEC003",
+        "error",
+        "conservation broken: status, checked totals or vector rows inconsistent",
     ),
     info("TRACE001", "error", "the document is not valid JSON"),
     info("TRACE002", "error", "missing or unknown `schema` field"),
@@ -311,6 +326,7 @@ mod tests {
             include_str!("ilp_lints.rs"),
             include_str!("precheck.rs"),
             include_str!("sat_lints.rs"),
+            include_str!("exec_lints.rs"),
             include_str!("trace_lints.rs"),
             include_str!("serve_lints.rs"),
             include_str!("fuzz_lints.rs"),

@@ -1,4 +1,4 @@
-//! Schema and invariant validation for `panorama-fuzz-v1` JSON.
+//! Schema and invariant validation for `panorama-fuzz-v2` JSON.
 //!
 //! | code | severity | finding |
 //! |------|----------|---------|
@@ -18,7 +18,7 @@ use crate::{Diagnostic, Diagnostics, Entity, Severity};
 use panorama_trace::json::{self, Json};
 
 /// The schema this linter validates (mirrored by `panorama-fuzz`).
-pub const FUZZ_SCHEMA: &str = "panorama-fuzz-v1";
+pub const FUZZ_SCHEMA: &str = "panorama-fuzz-v2";
 
 fn err(code: &'static str, entity: Entity, message: impl Into<String>) -> Diagnostic {
     Diagnostic::new(code, Severity::Error, entity, message)
@@ -40,8 +40,8 @@ fn row_num(row: &Json, field: &str) -> Option<u64> {
     Some(v as u64)
 }
 
-/// The four oracles every report must tally, in report order.
-const ORACLES: &[&str] = &["verify", "simulate", "exact_ii", "rewrite"];
+/// The five oracles every report must tally, in report order.
+const ORACLES: &[&str] = &["verify", "simulate", "exec", "exact_ii", "rewrite"];
 
 /// `FUZZ001`: schema and field shape. Returns `false` when the report is
 /// too malformed for the invariant checks to be meaningful.
@@ -279,7 +279,7 @@ fn check_determinism(prev: &Json, cur: &Json, at: Entity, out: &mut Diagnostics)
     }
 }
 
-/// Validates a `panorama-fuzz-v1` document — either one report object or
+/// Validates a `panorama-fuzz-v2` document — either one report object or
 /// a JSON array of reports (e.g. two runs of the same seed, for the
 /// determinism check) — appending findings to `out`.
 pub fn lint_fuzz_json(text: &str, out: &mut Diagnostics) {
@@ -342,6 +342,7 @@ mod tests {
              \"oracles\": [\
                {{\"oracle\": \"verify\", \"checks\": {c2}, \"pass\": {vp}, \"fail\": {fails}, \"skip\": 0}},\
                {{\"oracle\": \"simulate\", \"checks\": {c2}, \"pass\": {c2}, \"fail\": 0, \"skip\": 0}},\
+               {{\"oracle\": \"exec\", \"checks\": {c2}, \"pass\": {c2}, \"fail\": 0, \"skip\": 0}},\
                {{\"oracle\": \"exact_ii\", \"checks\": {completed}, \"pass\": 0, \"fail\": 0, \"skip\": {completed}}},\
                {{\"oracle\": \"rewrite\", \"checks\": {completed}, \"pass\": {completed}, \"fail\": 0, \"skip\": 0}}],\
              \"backends\": [\

@@ -25,7 +25,8 @@
 //! `ILP...` (solver models), `MAP...` (mappability bounds), `SAT...`
 //! (`panorama-sat-v1` solver attempt logs), `TRACE...`
 //! (`panorama-trace-v1` JSON exports), `SERVE...` (`panorama-serve`
-//! metrics), `FUZZ...` (`panorama-fuzz-v1` reports) and `ANLZ...`
+//! metrics), `FUZZ...` (`panorama-fuzz-v2` reports), `EXEC...`
+//! (`panorama-exec-v1` data-level execution reports) and `ANLZ...`
 //! (`panorama-analyze` findings and `panorama-analyze-v1` reports). The
 //! per-pass module docs list every code with its severity; [`codes`] is
 //! the machine-readable index of all of them.
@@ -60,6 +61,7 @@ pub mod arch_lints;
 pub mod codes;
 pub mod dfg_lints;
 mod diag;
+pub mod exec_lints;
 pub mod fuzz_lints;
 pub mod ilp_lints;
 pub mod partition_lints;
@@ -73,6 +75,7 @@ pub use analyze_lints::lint_analyze_json;
 pub use arch_lints::lint_arch;
 pub use dfg_lints::lint_dfg;
 pub use diag::{Diagnostic, Diagnostics, Entity, Severity};
+pub use exec_lints::lint_exec_json;
 pub use fuzz_lints::lint_fuzz_json;
 pub use ilp_lints::lint_model;
 pub use partition_lints::lint_partition;

@@ -57,7 +57,7 @@ mod ultrafast;
 mod warmstart;
 
 pub use cancel::CancelToken;
-pub use configware::{ConfigWord, Configware, ValueSource};
+pub use configware::{ConfigWord, Configware, InPort, OperandSel, ValueSource};
 pub use control::{PortfolioBound, SearchControl};
 pub use exact::{ExactConfig, ExactMapper};
 pub use mapping::{Mapping, MappingStats, Route, VerifyError};

@@ -10,7 +10,7 @@
 #      or RNG state);
 #   3. report hygiene — the attempt logs pass the SAT001-003 lints;
 #   4. differential coverage — a short fuzz sweep plus the committed
-#      corpus replay runs the SAT backend against all four oracles
+#      corpus replay runs the SAT backend against all five oracles
 #      with zero failures.
 #
 # Usage: scripts/sat_smoke.sh
@@ -53,7 +53,7 @@ echo "== portfolio determinism across thread counts =="
 cmp "$TMP/sat-portfolio-t1.json" "$TMP/sat-portfolio-t4.json"
 echo "portfolio documents are byte-identical at threads 1 and 4"
 
-echo "== fuzz sweep + corpus replay (SAT vs all four oracles) =="
+echo "== fuzz sweep + corpus replay (SAT vs all five oracles) =="
 "$BIN" fuzz --seed 7 --cases 30 --max-nodes 20 \
     --corpus fuzz/corpus --out "$TMP/sat-fuzz.json"
 "$BIN" lint --report "$TMP/sat-fuzz.json"

@@ -10,6 +10,10 @@
 //! panorama trace <kernel> [--arch cgra.adl]
 //!                [--mapper spr|ultrafast|exhaustive|sat|portfolio]
 //!                [--baseline] [--threads N] [--max-ii N] [--out FILE]
+//! panorama exec <kernel> [--arch cgra.adl]
+//!               [--mapper spr|ultrafast|exhaustive|sat|portfolio]
+//!               [--iterations N] [--seed N] [--out FILE] [--json]
+//!               [--trace FILE]
 //! panorama lint --dfg kernel.dfg [--arch cgra.adl] [--max-ii N] [--json]
 //!               [--report FILE]
 //! panorama fuzz [--seed N] [--cases N] [--max-nodes N] [--shrink-evals N]
@@ -38,7 +42,12 @@
 //! the `ANLZ` diagnostics; `--out` writes the `panorama-analyze-v1` JSON.
 //! `trace` is the profiling spin of a compile run:
 //! it always records and prints the per-phase profile table instead of the
-//! mapping details. `lint` runs the static diagnostics of [`panorama_lint`]
+//! mapping details. `exec` compiles a kernel and then *runs* the emitted
+//! configware on the data-carrying cycle-accurate machine of
+//! [`panorama_exec`], comparing every produced token against the DFG
+//! reference interpreter under five input-vector families; `--out`/`--json`
+//! emit the deterministic `panorama-exec-v1` report and a recorded
+//! divergence exits nonzero. `lint` runs the static diagnostics of [`panorama_lint`]
 //! over the same inputs without mapping anything (`--report` validates a
 //! recorded trace/serve/fuzz/sat/analyze report file instead,
 //! auto-detecting the schema). `bench` measures the 12-kernel suite
@@ -50,15 +59,16 @@
 //! [`panorama_fuzz`]: seeded random DFG/architecture sweeps, both
 //! lower-level backends, verify/simulate/exact-II oracle cross-checks,
 //! failing-case minimization, and regression-corpus replay; its
-//! `panorama-fuzz-v1` JSON report is what `lint --fuzz-json` validates.
+//! `panorama-fuzz-v2` JSON report is what `lint --fuzz-json` validates.
 
 use panorama::{AnalyzeConfig, BackendId, Panorama, PanoramaConfig};
 use panorama_analyze::{analyze, analyze_diagnostics};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, Dfg, KernelId, KernelScale};
+use panorama_exec::{exec_report_json, execute, ExecOptions};
 use panorama_lint::{
-    lint_analyze_json, lint_fuzz_json, lint_sat_json, lint_serve_json, lint_trace_json,
-    Diagnostics, LintContext, Registry,
+    lint_analyze_json, lint_exec_json, lint_fuzz_json, lint_sat_json, lint_serve_json,
+    lint_trace_json, Diagnostics, LintContext, Registry,
 };
 use panorama_mapper::{
     min_ii, Configware, ExactMapper, IiAttempt, LowerLevelMapper, SatMapper, SprMapper,
@@ -84,6 +94,10 @@ fn usage() -> &'static str {
      panorama trace <kernel-name|file|-> [--arch <file|preset>] \
 [--mapper spr|ultrafast|exhaustive|sat|portfolio] [--baseline] \
 [--scale tiny|scaled|paper] [--threads <n>] [--max-ii <ii>] [--out <file>]\n  \
+     panorama exec <kernel-name|file|-> [--arch <file|preset>] \
+[--mapper spr|ultrafast|exhaustive|sat|portfolio] [--scale tiny|scaled|paper] \
+[--threads <n>] [--max-ii <ii>] [--iterations <n>] [--seed <n>] \
+[--out <file>] [--json] [--trace <file>]\n  \
      panorama lint [--dfg <file|-|kernel-name>] [--arch <file|preset>] \
 [--scale tiny|scaled|paper] [--max-ii <ii>] [--report <file>] [--json]\n  \
      panorama fuzz [--seed <n>] [--cases <n>] [--max-nodes <n>] \
@@ -141,6 +155,18 @@ const TRACE_FLAGS: FlagSpec = &[
     ("threads", false),
     ("max-ii", false),
     ("out", false),
+];
+const EXEC_FLAGS: FlagSpec = &[
+    ("arch", false),
+    ("mapper", false),
+    ("scale", false),
+    ("threads", false),
+    ("max-ii", false),
+    ("iterations", false),
+    ("seed", false),
+    ("out", false),
+    ("json", true),
+    ("trace", false),
 ];
 const BENCH_FLAGS: FlagSpec = &[
     ("json", true),
@@ -577,6 +603,129 @@ fn cmd_trace(kernel: &str, flags: &HashMap<String, String>) -> Result<(), Box<dy
     Ok(())
 }
 
+/// `panorama exec`: compile one kernel, then *run* the emitted configware
+/// on the data-carrying cycle-accurate machine and compare every produced
+/// token against the DFG reference interpreter under all five
+/// input-vector families (seeded, zeros, ones, `i32::MIN`, `i32::MAX`).
+/// `--out`/`--json` emit the deterministic `panorama-exec-v1` report
+/// (byte-identical per seed); `--trace` records the compile phases plus
+/// `exec`/`exec.run` spans. Exits nonzero on any value-level divergence.
+fn cmd_exec(kernel: &str, flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let scale = parse_scale(flags.get("scale"))?;
+    let dfg = load_dfg(kernel, scale)?;
+    let cgra = load_arch(flags.get("arch"))?;
+    let mapper_name = flags.get("mapper").map_or("spr", String::as_str);
+    let threads = parse_threads(flags)?;
+    let compiler = Panorama::new(PanoramaConfig {
+        max_ii: parse_max_ii(flags)?,
+        threads,
+        backends: portfolio_backends(mapper_name),
+        ..PanoramaConfig::default()
+    });
+    let sink = flags.contains_key("trace").then(RecordingSink::shared);
+    let tracer = match &sink {
+        Some(sink) => Tracer::new(sink.clone()),
+        None => Tracer::disabled(),
+    };
+    let (report, _) = run_mapper(&compiler, &dfg, &cgra, mapper_name, false, &tracer)?;
+    let mapped = report.mapped_dfg(&dfg);
+    let mapping = report.mapping();
+    mapping.verify(mapped, &cgra)?;
+    let defaults = ExecOptions::default();
+    let opts = ExecOptions {
+        iterations: flags
+            .get("iterations")
+            .map_or(Ok(defaults.iterations), |s| {
+                s.parse::<usize>()
+                    .map_err(|_| format!("--iterations needs a positive integer, got `{s}`"))
+            })?,
+        seed: flags.get("seed").map_or(Ok(defaults.seed), |s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--seed needs a non-negative integer, got `{s}`"))
+        })?,
+    };
+    // The exec spans ride in their own collector; the high sequence base
+    // keeps them sorted after every pipeline event of the same candidate.
+    let mut col = tracer.collector_from(
+        panorama_trace::NO_CANDIDATE,
+        panorama_trace::SEQ_BASE_MAP * 64,
+    );
+    let span = col.start();
+    let outcome = execute(mapped, &cgra, mapping, &opts)?;
+    let divergences = outcome
+        .vectors
+        .iter()
+        .filter(|v| v.divergence.is_some())
+        .count();
+    for v in &outcome.vectors {
+        col.event(
+            "exec.run",
+            &[
+                ("checked", v.checked as i64),
+                ("output_tokens", v.output_tokens as i64),
+                ("diverged", i64::from(v.divergence.is_some())),
+            ],
+        );
+    }
+    col.record(
+        "exec",
+        span,
+        &[
+            ("vectors", outcome.vectors.len() as i64),
+            ("checked", outcome.checked_total() as i64),
+            ("divergences", divergences as i64),
+        ],
+    );
+    tracer.submit(vec![col]);
+    if let (Some(path), Some(sink)) = (flags.get("trace"), &sink) {
+        let trace = trace_report(&dfg, flags, mapper_name, threads, &report, sink.take());
+        std::fs::write(path, trace.to_json())?;
+        eprintln!("wrote trace {path}");
+    }
+    let arch_name = flags.get("arch").map_or("8x8", String::as_str);
+    let doc = exec_report_json(dfg.name(), arch_name, mapping.mapper(), &outcome);
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &doc)?;
+        eprintln!("wrote exec report {path}");
+    }
+    if flags.contains_key("json") {
+        print!("{doc}");
+    } else {
+        eprintln!(
+            "mapped `{}` with {} at II {}; executing {} iterations x {} vectors (seed {})",
+            dfg.name(),
+            mapping.mapper(),
+            mapping.ii(),
+            outcome.iterations,
+            outcome.vectors.len(),
+            outcome.seed
+        );
+        println!(
+            "{:<8} {:>8} {:>8} {:>18}  divergence",
+            "vector", "checked", "tokens", "digest"
+        );
+        for v in &outcome.vectors {
+            println!(
+                "{:<8} {:>8} {:>8} {:>#18x}  {}",
+                v.vector,
+                v.checked,
+                v.output_tokens,
+                v.output_digest,
+                v.divergence.as_deref().unwrap_or("-")
+            );
+        }
+        println!(
+            "exec: {} tokens value-equal to the reference across {} vectors",
+            outcome.checked_total(),
+            outcome.vectors.len()
+        );
+    }
+    if let Some((vector, msg)) = outcome.first_divergence() {
+        return Err(format!("execution diverged on the `{vector}` vector: {msg}").into());
+    }
+    Ok(())
+}
+
 /// `panorama analyze`: run the equivalence-checked DFG optimizer and the
 /// exact recurrence-cycle analysis without mapping anything. Prints the
 /// op/dependence shrink, the RecMII bound with its witness cycle, and the
@@ -946,15 +1095,16 @@ fn lint_report(text: &str, diags: &mut Diagnostics) -> Result<(), Box<dyn Error>
         .and_then(|d| d.get("schema").and_then(|s| s.as_str().map(String::from)));
     match schema.as_deref() {
         Some("panorama-serve-metrics-v1") => lint_serve_json(text, diags),
-        Some("panorama-fuzz-v1") => lint_fuzz_json(text, diags),
+        Some("panorama-fuzz-v2") => lint_fuzz_json(text, diags),
         Some("panorama-analyze-v1") => lint_analyze_json(text, diags),
         Some("panorama-sat-v1") => lint_sat_json(text, diags),
+        Some("panorama-exec-v1") => lint_exec_json(text, diags),
         Some("panorama-trace-v1") | None => lint_trace_json(text, diags),
         Some(other) => {
             return Err(format!(
                 "--report: unknown schema `{other}` (expected panorama-trace-v1, \
-                 panorama-serve-metrics-v1, panorama-fuzz-v1, panorama-sat-v1 or \
-                 panorama-analyze-v1)"
+                 panorama-serve-metrics-v1, panorama-fuzz-v2, panorama-sat-v1, \
+                 panorama-exec-v1 or panorama-analyze-v1)"
             )
             .into())
         }
@@ -1140,6 +1290,7 @@ fn main() -> ExitCode {
         "compile" => COMPILE_FLAGS,
         "analyze" => ANALYZE_FLAGS,
         "trace" => TRACE_FLAGS,
+        "exec" => EXEC_FLAGS,
         "lint" => LINT_FLAGS,
         "bench" => BENCH_FLAGS,
         "kernels" => KERNELS_FLAGS,
@@ -1152,14 +1303,15 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "error: unknown command `{other}` (expected compile, analyze, trace, lint, bench, serve, fuzz, kernels, info or help)\n\n{}",
+                "error: unknown command `{other}` (expected compile, analyze, trace, exec, lint, bench, serve, fuzz, kernels, info or help)\n\n{}",
                 usage()
             );
             return ExitCode::FAILURE;
         }
     };
-    // `trace` and `analyze` take their kernel as a positional first argument
-    let (positional, rest) = if cmd == "trace" || cmd == "analyze" {
+    // `trace`, `analyze` and `exec` take their kernel as a positional
+    // first argument
+    let (positional, rest) = if cmd == "trace" || cmd == "analyze" || cmd == "exec" {
         match rest.split_first() {
             Some((k, r)) if !k.starts_with("--") => (Some(k.as_str()), r),
             _ => {
@@ -1184,6 +1336,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&flags),
         "analyze" => cmd_analyze(positional.unwrap_or_default(), &flags),
         "trace" => cmd_trace(positional.unwrap_or_default(), &flags),
+        "exec" => cmd_exec(positional.unwrap_or_default(), &flags),
         "lint" => cmd_lint(&flags),
         "bench" => cmd_bench(&flags),
         "kernels" => cmd_kernels(&flags),

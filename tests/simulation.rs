@@ -11,7 +11,8 @@
 use panorama::{Panorama, PanoramaConfig};
 use panorama_arch::{Cgra, CgraConfig};
 use panorama_dfg::{kernels, KernelId, KernelScale};
-use panorama_mapper::{SprMapper, UltraFastMapper};
+use panorama_exec::{execute, ExecError, ExecOptions};
+use panorama_mapper::{ExactConfig, ExactMapper, SatMapper, SprMapper, UltraFastMapper};
 use panorama_sim::{simulate, SimError};
 
 /// Per-kernel outcome: simulated clean, or skipped for a stated reason.
@@ -20,11 +21,11 @@ enum Outcome {
     Skipped { reason: String },
 }
 
-fn run_all<F>(mut one: F) -> Vec<(KernelId, Outcome)>
+fn run_all_on<F>(config: CgraConfig, mut one: F) -> Vec<(KernelId, Outcome)>
 where
     F: FnMut(KernelId, &panorama_dfg::Dfg, &Cgra) -> Outcome,
 {
-    let cgra = Cgra::new(CgraConfig::scaled_8x8()).unwrap();
+    let cgra = Cgra::new(config).unwrap();
     KernelId::ALL
         .iter()
         .map(|&id| {
@@ -32,6 +33,13 @@ where
             (id, one(id, &dfg, &cgra))
         })
         .collect()
+}
+
+fn run_all<F>(one: F) -> Vec<(KernelId, Outcome)>
+where
+    F: FnMut(KernelId, &panorama_dfg::Dfg, &Cgra) -> Outcome,
+{
+    run_all_on(CgraConfig::scaled_8x8(), one)
 }
 
 #[test]
@@ -108,6 +116,168 @@ fn all_tiny_kernels_verify_under_ultrafast_and_skip_simulation_explicitly() {
         skips.iter().all(|r| r.contains("no routes to execute")),
         "skip reasons must state the NoRoutes cause"
     );
+}
+
+// ---------------------------------------------------------------------
+// Data-level execution: beyond token *delivery* (the simulator above),
+// the configware of every backend is replayed on the data-carrying
+// cycle-accurate machine and every produced value is compared against
+// the DFG reference interpreter, under all five input-vector families.
+// The same discipline applies: a backend may only be excused with an
+// explicit, asserted reason.
+// ---------------------------------------------------------------------
+
+/// Runs the data-level differential oracle on one compiled mapping and
+/// folds the result into an [`Outcome`]; divergences panic with the
+/// kernel and the first mismatching token.
+fn exec_outcome(
+    id: KernelId,
+    dfg: &panorama_dfg::Dfg,
+    cgra: &Cgra,
+    mapping: &panorama_mapper::Mapping,
+    opts: &ExecOptions,
+) -> Outcome {
+    match execute(dfg, cgra, mapping, opts) {
+        Ok(out) => {
+            assert!(
+                out.passed(),
+                "{id}: value divergence: {:?}",
+                out.first_divergence()
+            );
+            Outcome::Simulated {
+                checked: out.checked_total(),
+            }
+        }
+        Err(ExecError::NoRoutes) => Outcome::Skipped {
+            reason: "abstract mapping carries no routes; nothing to execute".to_string(),
+        },
+        Err(e) => panic!("{id}: execution failed: {e}"),
+    }
+}
+
+#[test]
+fn all_tiny_kernels_execute_data_level_under_spr() {
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let opts = ExecOptions::default();
+    let outcomes = run_all(|id, dfg, cgra| {
+        let report = compiler
+            .compile(dfg, cgra, &SprMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: SPR must map every tiny kernel: {e}"));
+        exec_outcome(id, dfg, cgra, report.mapping(), &opts)
+    });
+    assert_eq!(outcomes.len(), 12);
+    for (id, outcome) in outcomes {
+        match outcome {
+            Outcome::Simulated { checked } => {
+                let ops = kernels::generate(id, KernelScale::Tiny).num_ops();
+                assert_eq!(
+                    checked,
+                    5 * ops * opts.iterations,
+                    "{id}: every (vector, op, iteration) token must be checked"
+                );
+            }
+            Outcome::Skipped { reason } => {
+                panic!("{id}: SPR emits concrete routes, no skip allowed, got `{reason}`")
+            }
+        }
+    }
+}
+
+#[test]
+fn all_tiny_kernels_execute_data_level_under_sat() {
+    // SAT maps on the 4x4 fabric (matching tests/sat_backend.rs); fewer
+    // iterations keep the 12-kernel sweep fast without losing coverage.
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let opts = ExecOptions {
+        iterations: 4,
+        ..ExecOptions::default()
+    };
+    let outcomes = run_all_on(CgraConfig::small_4x4(), |id, dfg, cgra| {
+        let report = compiler
+            .compile(dfg, cgra, &SatMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: SAT must map every tiny kernel: {e}"));
+        let mapped = report.mapped_dfg(dfg);
+        exec_outcome(id, mapped, cgra, report.mapping(), &opts)
+    });
+    assert_eq!(outcomes.len(), 12);
+    for (id, outcome) in outcomes {
+        match outcome {
+            Outcome::Simulated { checked } => assert!(checked > 0, "{id}: nothing checked"),
+            Outcome::Skipped { reason } => {
+                panic!("{id}: SAT emits concrete routes, no skip allowed, got `{reason}`")
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_backend_executes_small_kernels_and_skips_over_cap_explicitly() {
+    // The exhaustive mapper proves optimality only below its op cap; the
+    // kernels above it are excused with the cap spelled out, everything
+    // below must execute value-equal.
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let cap = ExactConfig::default().max_ops;
+    let opts = ExecOptions {
+        iterations: 4,
+        ..ExecOptions::default()
+    };
+    let outcomes = run_all_on(CgraConfig::small_4x4(), |id, dfg, cgra| {
+        if dfg.num_ops() > cap {
+            return Outcome::Skipped {
+                reason: format!(
+                    "{} ops exceed the exhaustive mapper's {cap}-op cap",
+                    dfg.num_ops()
+                ),
+            };
+        }
+        let report = compiler
+            .compile(dfg, cgra, &ExactMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: exact must map kernels under its cap: {e}"));
+        let mapped = report.mapped_dfg(dfg);
+        exec_outcome(id, mapped, cgra, report.mapping(), &opts)
+    });
+    assert_eq!(outcomes.len(), 12);
+    let executed = outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, Outcome::Simulated { .. }))
+        .count();
+    assert!(
+        executed >= 3,
+        "at least fir/cordic/matrixmultiply fit under the exact op cap, got {executed}"
+    );
+    for (id, outcome) in outcomes {
+        if let Outcome::Skipped { reason } = outcome {
+            assert!(
+                reason.contains("op cap"),
+                "{id}: exact skips must cite the op cap, got `{reason}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_tiny_kernels_skip_data_level_execution_under_ultrafast_explicitly() {
+    // Ultra-Fast's abstract mappings carry no routes, so the data-level
+    // oracle is definitionally inapplicable — but only with the reason
+    // recorded, mirroring the simulation-level test above.
+    let compiler = Panorama::new(PanoramaConfig::default());
+    let opts = ExecOptions::default();
+    let outcomes = run_all(|id, dfg, cgra| {
+        let report = compiler
+            .compile(dfg, cgra, &UltraFastMapper::default())
+            .unwrap_or_else(|e| panic!("{id}: Ultra-Fast must map every tiny kernel: {e}"));
+        exec_outcome(id, dfg, cgra, report.mapping(), &opts)
+    });
+    assert_eq!(outcomes.len(), 12);
+    for (id, outcome) in outcomes {
+        match outcome {
+            Outcome::Simulated { .. } => panic!("{id}: a routeless mapping must not execute"),
+            Outcome::Skipped { reason } => assert!(
+                reason.contains("no routes"),
+                "{id}: skip reason must state the missing routes, got `{reason}`"
+            ),
+        }
+    }
 }
 
 #[test]
